@@ -1,0 +1,438 @@
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation plus ablation benches for the design choices DESIGN.md calls
+// out. Each figure benchmark regenerates the full sweep (the paper's 100
+// query runs per point) and reports the headline numbers as custom metrics,
+// so `go test -bench` output records the reproduced results.
+package mobispatial
+
+import (
+	"sync"
+	"testing"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/experiments"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/sim"
+)
+
+var (
+	paOnce  sync.Once
+	paData  *dataset.Dataset
+	nycOnce sync.Once
+	nycData *dataset.Dataset
+)
+
+func paDS() *dataset.Dataset {
+	paOnce.Do(func() { paData = dataset.PA() })
+	return paData
+}
+
+func nycDS() *dataset.Dataset {
+	nycOnce.Do(func() { nycData = dataset.NYC() })
+	return nycData
+}
+
+// reportCrossovers attaches the figure's headline result — the lowest swept
+// bandwidth at which the given scheme beats fully-at-client — as bench
+// metrics (0 = never within the sweep).
+func reportCrossovers(b *testing.B, fig experiments.Figure, label string) {
+	for _, s := range fig.Series {
+		if s.Variant.Label != label {
+			continue
+		}
+		var ec, cc float64
+		for _, p := range s.Points {
+			if cc == 0 && p.Cycles.Total() < fig.Baseline.Cycles.Total() {
+				cc = p.BandwidthMbps
+			}
+			if ec == 0 && p.Energy.Total() < fig.Baseline.Energy.Total() {
+				ec = p.BandwidthMbps
+			}
+		}
+		b.ReportMetric(cc, "cycles-crossover-Mbps")
+		b.ReportMetric(ec, "energy-crossover-Mbps")
+		b.ReportMetric(fig.Baseline.Energy.Total(), "fully-client-J")
+	}
+}
+
+func benchAdequate(b *testing.B, cfg experiments.Config, crossoverLabel string) {
+	b.Helper()
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Adequate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if crossoverLabel != "" {
+		reportCrossovers(b, fig, crossoverLabel)
+	}
+}
+
+// BenchmarkFig4 — point queries on PA: energy and cycles across bandwidths
+// for the fully-server and hybrid schemes (fully-client wins everywhere).
+func BenchmarkFig4(b *testing.B) {
+	benchAdequate(b, experiments.Config{DS: paDS(), Kind: core.PointQuery}, "fully-server")
+}
+
+// BenchmarkFig5 — range queries on PA: the central work-partitioning result.
+func BenchmarkFig5(b *testing.B) {
+	benchAdequate(b, experiments.Config{DS: paDS(), Kind: core.RangeQuery}, "fully-server/data-present")
+}
+
+// BenchmarkFig6 — nearest-neighbor queries on PA.
+func BenchmarkFig6(b *testing.B) {
+	benchAdequate(b, experiments.Config{DS: paDS(), Kind: core.NNQuery}, "fully-server")
+}
+
+// BenchmarkFig7 — range queries on the NYC dataset.
+func BenchmarkFig7(b *testing.B) {
+	benchAdequate(b, experiments.Config{DS: nycDS(), Kind: core.RangeQuery}, "fully-server/data-present")
+}
+
+// BenchmarkFig8 — range queries with the faster client (C/S = 1/2).
+func BenchmarkFig8(b *testing.B) {
+	benchAdequate(b, experiments.Config{DS: paDS(), Kind: core.RangeQuery, SpeedRatio: 0.5}, "fully-server/data-present")
+}
+
+// BenchmarkFig9 — range queries at 100 m client–base-station distance.
+func BenchmarkFig9(b *testing.B) {
+	benchAdequate(b, experiments.Config{DS: paDS(), Kind: core.RangeQuery, DistanceM: 100}, "fully-server/data-present")
+}
+
+// BenchmarkFig10 — insufficient client memory: proximity sweep for the 1 MB
+// and 2 MB budgets; the reported metric is the energy-crossover proximity.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig1, err := experiments.Insufficient(experiments.InsufficientConfig{
+			DS: paDS(), BudgetBytes: 1 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig2, err := experiments.Insufficient(experiments.InsufficientConfig{
+			DS: paDS(), BudgetBytes: 2 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(fig1.EnergyCrossover), "energy-crossover-1MB")
+			b.ReportMetric(float64(fig2.EnergyCrossover), "energy-crossover-2MB")
+		}
+	}
+}
+
+// BenchmarkTables123and4 — the configuration tables are constants; this
+// bench exercises the full stack once per iteration at those exact settings
+// (Table 2 NIC powers, Table 3 client, Table 4 server) on a single range
+// query, reporting the per-query cost under the base configuration.
+func BenchmarkTables123and4(b *testing.B) {
+	ds := paDS()
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := dataset.RangeQueries(ds, 1, 5)[0]
+	var total float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := sim.New(sim.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := core.NewEngineWithTree(ds, tree, sys)
+		if _, err := eng.Run(core.Range(w), core.FullyServer, core.DataAtClient); err != nil {
+			b.Fatal(err)
+		}
+		total = sys.Result().Energy.Total()
+	}
+	b.ReportMetric(total*1e3, "mJ/query")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// ablationConfig runs a reduced fig5-style sweep with a parameter mutation
+// and reports the fully-server/data-present energy at 2 Mbps.
+func ablationConfig(b *testing.B, mutate func(*sim.Params)) {
+	b.Helper()
+	cfg := experiments.Config{
+		DS:             paDS(),
+		Kind:           core.RangeQuery,
+		Runs:           40,
+		BandwidthsMbps: []float64{2},
+		Mutate:         mutate,
+	}
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Adequate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range fig.Series {
+		if s.Variant.Label == "fully-server/data-present" {
+			b.ReportMetric(s.Points[0].Energy.Total(), "offload-J")
+		}
+	}
+	b.ReportMetric(fig.Baseline.Energy.Total(), "fully-client-J")
+}
+
+// BenchmarkAblationBaseline is the reference point for the ablations below.
+func BenchmarkAblationBaseline(b *testing.B) {
+	ablationConfig(b, nil)
+}
+
+// BenchmarkAblationBusyWait re-runs with the client polling instead of
+// blocking during receives (§5.2 reports blocking halves receive energy).
+func BenchmarkAblationBusyWait(b *testing.B) {
+	ablationConfig(b, func(p *sim.Params) { p.BusyWaitReceive = true })
+}
+
+// BenchmarkAblationNoCPUSleep disables the client core's low-power mode
+// while blocked (§5.2 reports a 10–20% saving from it).
+func BenchmarkAblationNoCPUSleep(b *testing.B) {
+	ablationConfig(b, func(p *sim.Params) { p.DisableCPUSleep = true })
+}
+
+// BenchmarkAblationNoNICSleep keeps the NIC in IDLE wherever the protocol
+// would sleep it.
+func BenchmarkAblationNoNICSleep(b *testing.B) {
+	ablationConfig(b, func(p *sim.Params) { p.DisableNICSleep = true })
+}
+
+// BenchmarkAblationPacking compares Hilbert-packed bulk loading against a
+// 1-D x-sorted packing on the index-node visits of a fixed window workload.
+func BenchmarkAblationPacking(b *testing.B) {
+	ds := paDS()
+	windows := dataset.RangeQueries(ds, 50, 9)
+	for _, packing := range []struct {
+		name string
+		mode rtree.Packing
+	}{{"hilbert", rtree.PackingHilbert}, {"str", rtree.PackingSTR}, {"xsort", rtree.PackingXSort}} {
+		b.Run(packing.name, func(b *testing.B) {
+			tree, err := rtree.Build(ds.Items(), rtree.Config{Packing: packing.mode}, ops.Null{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var visits int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var rec ops.Counts
+				for _, w := range windows {
+					tree.Search(w, &rec)
+				}
+				visits = rec.Ops[ops.OpNodeVisit]
+			}
+			b.ReportMetric(float64(visits)/float64(len(windows)), "node-visits/query")
+		})
+	}
+}
+
+// BenchmarkAblationFanout sweeps the R-tree node size (and hence fanout),
+// reporting index size and per-query node visits.
+func BenchmarkAblationFanout(b *testing.B) {
+	ds := paDS()
+	windows := dataset.RangeQueries(ds, 50, 9)
+	for _, nodeBytes := range []int{128, 256, 512, 1024, 2048} {
+		b.Run(byteSizeName(nodeBytes), func(b *testing.B) {
+			tree, err := rtree.Build(ds.Items(), rtree.Config{NodeBytes: nodeBytes}, ops.Null{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var visits int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var rec ops.Counts
+				for _, w := range windows {
+					tree.Search(w, &rec)
+				}
+				visits = rec.Ops[ops.OpNodeVisit]
+			}
+			b.ReportMetric(float64(visits)/float64(len(windows)), "node-visits/query")
+			b.ReportMetric(float64(tree.IndexBytes())/(1<<20), "index-MB")
+		})
+	}
+}
+
+func byteSizeName(n int) string {
+	switch {
+	case n >= 1024:
+		return string(rune('0'+n/1024)) + "KiB"
+	default:
+		return string(rune('0'+n/100)) + "xxB" // 128->1xxB, 256->2xxB, 512->5xxB
+	}
+}
+
+// BenchmarkInsufficientShipment measures one Fig. 2 extraction + sub-index
+// build on the full PA master index.
+func BenchmarkInsufficientShipment(b *testing.B) {
+	ds := paDS()
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := dataset.RangeQueries(ds, 1, 11)[0]
+	budget := rtree.Budget{Bytes: 1 << 20, RecordBytes: ds.RecordBytes}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.ExtractSubset(w, budget, ops.Null{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSessionSimulation measures the end-to-end simulator cost of
+// one fully-at-server range query on PA (system setup + query + accounting).
+func BenchmarkFullSessionSimulation(b *testing.B) {
+	ds := paDS()
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := geom.Rect{Min: geom.Point{X: 40_000, Y: 30_000}, Max: geom.Point{X: 44_000, Y: 34_000}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := sim.New(sim.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := core.NewEngineWithTree(ds, tree, sys)
+		if _, err := eng.Run(core.Range(w), core.FullyClient, core.DataAtClient); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTCPAcks re-runs the reduced sweep with TCP acknowledgment
+// traffic modeled (delayed ACKs transmitted by the client during receives).
+func BenchmarkAblationTCPAcks(b *testing.B) {
+	ablationConfig(b, func(p *sim.Params) { p.ModelTCPAcks = true })
+}
+
+// BenchmarkPipelined compares the serial filter@client+refine@server scheme
+// against the pipelined variant (w4 > 0) on a fixed heavyweight window,
+// reporting the cycle counts of both.
+func BenchmarkPipelined(b *testing.B) {
+	ds := paDS()
+	c := ds.Segments[4242].Midpoint()
+	q := core.Range(geom.Rect{
+		Min: geom.Point{X: c.X - 4000, Y: c.Y - 4000},
+		Max: geom.Point{X: c.X + 4000, Y: c.Y + 4000},
+	})
+	var serialCycles, pipeCycles int64
+	for i := 0; i < b.N; i++ {
+		sysA, err := sim.New(sim.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		engA, err := core.NewEngine(ds, sysA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engA.Run(q, core.FilterClientRefineServer, core.DataAtClient); err != nil {
+			b.Fatal(err)
+		}
+		serialCycles = sysA.Result().TotalClientCycles()
+
+		sysB, err := sim.New(sim.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		engB, err := core.NewEngine(ds, sysB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engB.RunPipelined(q, core.DataAtClient, 6); err != nil {
+			b.Fatal(err)
+		}
+		pipeCycles = sysB.Result().TotalClientCycles()
+	}
+	b.ReportMetric(float64(serialCycles), "serial-cycles")
+	b.ReportMetric(float64(pipeCycles), "pipelined-cycles")
+	b.ReportMetric(float64(serialCycles)/float64(pipeCycles), "speedup")
+}
+
+// BenchmarkIndexComparison regenerates the access-method comparison matrix
+// (the paper's reference-[2] context) on the NYC dataset.
+func BenchmarkIndexComparison(b *testing.B) {
+	var results []experiments.IndexResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		results, err = experiments.CompareIndexes(experiments.IndexComparisonConfig{
+			DS: nycDS(), Runs: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		if r.Index == "packed-rtree" && r.Kind == core.RangeQuery {
+			b.ReportMetric(float64(r.IndexBytes)/(1<<20), "packed-index-MB")
+			b.ReportMetric(r.EnergyJ, "packed-range-J")
+		}
+	}
+}
+
+// BenchmarkBroadcastVsPull regenerates the hot-region dissemination
+// comparison ([15]'s setting inside this framework).
+func BenchmarkBroadcastVsPull(b *testing.B) {
+	ds := paDS()
+	c := ds.Segments[2026].Midpoint()
+	window := geom.Rect{
+		Min: geom.Point{X: c.X - 2000, Y: c.Y - 2000},
+		Max: geom.Point{X: c.X + 2000, Y: c.Y + 2000},
+	}
+	var cmp experiments.BroadcastComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = experiments.CompareBroadcast(ds, window, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.PullJ, "pull-J")
+	b.ReportMetric(cmp.BroadcastJ, "broadcast-J")
+}
+
+// BenchmarkValidationLease measures the consistency/energy trade-off of the
+// update-handling extension: revalidate every local query vs every 10.
+func BenchmarkValidationLease(b *testing.B) {
+	ds := paDS()
+	var eagerJ, lazyJ float64
+	for i := 0; i < b.N; i++ {
+		for _, lease := range []int{1, 10} {
+			seq := dataset.ProximitySequence(ds, 40, 0.012, 4242)
+			sys, err := sim.New(sim.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := core.NewEngine(ds, sys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache := core.NewCache(1<<20, ds.RecordBytes)
+			log := core.NewUpdateLog()
+			for qi, w := range seq {
+				if qi%4 == 1 {
+					log.Apply(eng.RandomUpdates(w, 3))
+				}
+				if _, _, _, err := eng.RunInsufficientClientValidated(core.Range(w), cache, log, lease); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if lease == 1 {
+				eagerJ = sys.Result().Energy.Total()
+			} else {
+				lazyJ = sys.Result().Energy.Total()
+			}
+		}
+	}
+	b.ReportMetric(eagerJ, "lease1-J")
+	b.ReportMetric(lazyJ, "lease10-J")
+}

@@ -1,0 +1,243 @@
+// Command mqsim reproduces the paper's evaluation: one subcommand per figure
+// plus configuration printers for the tables.
+//
+// Usage:
+//
+//	mqsim <fig4|fig5|fig6|fig7|fig8|fig9|fig10|all|config|schemes> [flags]
+//
+// Flags:
+//
+//	-runs N       queries per sweep point (default 100, as in the paper)
+//	-trials N     sequences per proximity value for fig10 (default 3)
+//	-workers N    parallel sweep points (default GOMAXPROCS)
+//	-seed N       workload seed (default 42)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/cpu"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/experiments"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/nic"
+	"mobispatial/internal/proto"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mqsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mqsim <fig4..fig10|fig10var|indexes|clocksweep|broadcast|load|session|report|all|config|schemes> [flags]")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	runs := fs.Int("runs", experiments.Runs, "queries per sweep point")
+	trials := fs.Int("trials", 3, "fig10 sequences per proximity value")
+	workers := fs.Int("workers", 0, "parallel sweep points (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 42, "workload seed (figs 4-9)")
+	seed10 := fs.Int64("seed10", 4242, "fig10 workload seed")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	switch cmd {
+	case "config":
+		return printConfig(out)
+	case "schemes":
+		return printSchemes(out)
+	case "fig4":
+		return adequate(out, "Fig. 4", dataset.PA(), core.PointQuery, 0, 0, *runs, *seed, *workers)
+	case "fig5":
+		return adequate(out, "Fig. 5", dataset.PA(), core.RangeQuery, 0, 0, *runs, *seed, *workers)
+	case "fig6":
+		return adequate(out, "Fig. 6", dataset.PA(), core.NNQuery, 0, 0, *runs, *seed, *workers)
+	case "fig7":
+		return adequate(out, "Fig. 7", dataset.NYC(), core.RangeQuery, 0, 0, *runs, *seed, *workers)
+	case "fig8":
+		return adequate(out, "Fig. 8", dataset.PA(), core.RangeQuery, 0.5, 0, *runs, *seed, *workers)
+	case "fig9":
+		return adequate(out, "Fig. 9", dataset.PA(), core.RangeQuery, 0, 100, *runs, *seed, *workers)
+	case "fig10":
+		return insufficient(out, dataset.PA(), *trials, *seed10, *workers)
+	case "fig10var":
+		for _, budget := range []int{1 << 20, 2 << 20} {
+			v, err := experiments.InsufficientSeedSweep(experiments.InsufficientConfig{
+				DS: dataset.PA(), BudgetBytes: budget, Trials: *trials, Workers: *workers,
+			}, []int64{42, 777, 4242, 9001, 31337})
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteInsufficientVariance(out, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "report":
+		return experiments.WriteReport(out, experiments.ReportConfig{
+			Runs: *runs, Trials: *trials, Workers: *workers,
+		})
+	case "session":
+		results, err := experiments.Session(experiments.SessionConfig{DS: dataset.PA(), Seed: *seed})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteSession(out, results, experiments.SessionConfig{})
+	case "load":
+		pts, err := experiments.LoadSweep(dataset.PA(), 6, *runs, *seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteLoadSweep(out, pts, 6, *runs)
+	case "clocksweep":
+		pts, err := experiments.ClockSweep(dataset.PA(), 6, *runs, *seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteClockSweep(out, pts, 6, *runs)
+	case "broadcast":
+		ds := dataset.PA()
+		c := ds.Segments[2026].Midpoint()
+		window := geom.Rect{
+			Min: geom.Point{X: c.X - 2000, Y: c.Y - 2000},
+			Max: geom.Point{X: c.X + 2000, Y: c.Y + 2000},
+		}
+		cmp, err := experiments.CompareBroadcast(ds, window, 2)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteBroadcastComparison(out, cmp, 2)
+	case "indexes":
+		results, err := experiments.CompareIndexes(experiments.IndexComparisonConfig{
+			DS: dataset.PA(), Runs: *runs, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		return experiments.WriteIndexComparison(out, results, *runs)
+	case "all":
+		type figSpec struct {
+			label string
+			run   func() error
+		}
+		pa := dataset.PA()
+		nyc := dataset.NYC()
+		figs := []figSpec{
+			{"Fig. 4", func() error { return adequate(out, "Fig. 4", pa, core.PointQuery, 0, 0, *runs, *seed, *workers) }},
+			{"Fig. 5", func() error { return adequate(out, "Fig. 5", pa, core.RangeQuery, 0, 0, *runs, *seed, *workers) }},
+			{"Fig. 6", func() error { return adequate(out, "Fig. 6", pa, core.NNQuery, 0, 0, *runs, *seed, *workers) }},
+			{"Fig. 7", func() error { return adequate(out, "Fig. 7", nyc, core.RangeQuery, 0, 0, *runs, *seed, *workers) }},
+			{"Fig. 8", func() error { return adequate(out, "Fig. 8", pa, core.RangeQuery, 0.5, 0, *runs, *seed, *workers) }},
+			{"Fig. 9", func() error { return adequate(out, "Fig. 9", pa, core.RangeQuery, 0, 100, *runs, *seed, *workers) }},
+			{"Fig. 10", func() error { return insufficient(out, pa, *trials, *seed10, *workers) }},
+		}
+		for _, f := range figs {
+			if err := f.run(); err != nil {
+				return fmt.Errorf("%s: %w", f.label, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func adequate(out *os.File, label string, ds *dataset.Dataset, kind core.QueryKind,
+	ratio, distance float64, runs int, seed int64, workers int) error {
+
+	fmt.Fprintf(out, "### %s ###\n", label)
+	fig, err := experiments.Adequate(experiments.Config{
+		DS:         ds,
+		Kind:       kind,
+		SpeedRatio: ratio,
+		DistanceM:  distance,
+		Runs:       runs,
+		Seed:       seed,
+		Workers:    workers,
+	})
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteFigure(out, fig); err != nil {
+		return err
+	}
+	if err := experiments.WriteFigureBars(out, fig); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, experiments.Summary(fig))
+	return nil
+}
+
+func insufficient(out *os.File, ds *dataset.Dataset, trials int, seed int64, workers int) error {
+	fmt.Fprintln(out, "### Fig. 10 ###")
+	for _, budget := range []int{1 << 20, 2 << 20} {
+		fig, err := experiments.Insufficient(experiments.InsufficientConfig{
+			DS:          ds,
+			BudgetBytes: budget,
+			Trials:      trials,
+			Seed:        seed,
+			Workers:     workers,
+		})
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteInsufficientFigure(out, fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printConfig(out *os.File) error {
+	cc := cpu.DefaultClientConfig()
+	sc := cpu.DefaultServerConfig()
+	fmt.Fprintln(out, "== Table 2: NIC power states ==")
+	fmt.Fprintf(out, "TRANSMIT  %7.1f mW at 1 km (%.1f mW at 100 m)\n", nic.TxPower1Km*1e3, nic.TxPower100m*1e3)
+	fmt.Fprintf(out, "RECEIVE   %7.1f mW\n", nic.RxPower*1e3)
+	fmt.Fprintf(out, "IDLE      %7.1f mW (exit latency: 0 s)\n", nic.IdlePower*1e3)
+	fmt.Fprintf(out, "SLEEP     %7.1f mW (exit latency: %.0f us)\n", nic.SleepPower*1e3, nic.SleepExitLatency*1e6)
+	if err := nic.SanityCheckTable2(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "\n== Table 3: client configuration ==")
+	fmt.Fprintf(out, "clock            %s/8 = %.0f MHz (swept)\n", "MhzS", cc.ClockHz/1e6)
+	fmt.Fprintf(out, "pipeline         single-issue 5-stage integer\n")
+	fmt.Fprintf(out, "I-cache          %d KB %d-way, %d B lines\n", cc.ICache.SizeBytes/1024, cc.ICache.Assoc, cc.ICache.LineBytes)
+	fmt.Fprintf(out, "D-cache          %d KB %d-way, %d B lines\n", cc.DCache.SizeBytes/1024, cc.DCache.Assoc, cc.DCache.LineBytes)
+	fmt.Fprintf(out, "memory latency   %d cycles\n", cc.MemLatency)
+
+	fmt.Fprintln(out, "\n== Table 4: server configuration ==")
+	fmt.Fprintf(out, "clock            %.0f GHz\n", sc.ClockHz/1e9)
+	fmt.Fprintf(out, "issue width      %d (effective IPC %.2f)\n", sc.IssueWidth, float64(sc.IssueWidth)*sc.IPCEfficiency)
+	fmt.Fprintf(out, "L1 I/D           %d KB %d-way, %d B lines\n", sc.ICache.SizeBytes/1024, sc.ICache.Assoc, sc.ICache.LineBytes)
+	fmt.Fprintf(out, "unified L2       %d KB %d-way, %d B lines\n", sc.L2.SizeBytes/1024, sc.L2.Assoc, sc.L2.LineBytes)
+
+	fmt.Fprintln(out, "\n== Wire format ==")
+	fmt.Fprintf(out, "TCP/IP headers   %d + %d B, MAC %d B, MTU %d B, MSS %d B\n",
+		proto.TCPHeaderBytes, proto.IPHeaderBytes, proto.MACHeaderBytes, proto.MTU, proto.MSS)
+	return proto.Validate()
+}
+
+func printSchemes(out *os.File) error {
+	fmt.Fprintln(out, "== Table 1: work partitioning and data placement choices ==")
+	fmt.Fprintln(out, "\nAdequate memory at client:")
+	fmt.Fprintln(out, "  fully-client                      index both,  data both")
+	fmt.Fprintln(out, "  fully-server                      index server, data server-only OR both")
+	fmt.Fprintln(out, "  filter-client-refine-server       index both,  data server-only OR both")
+	fmt.Fprintln(out, "  filter-server-refine-client       index server, data both")
+	fmt.Fprintln(out, "\nInsufficient memory at client:")
+	fmt.Fprintln(out, "  fully-server                      index server, data server")
+	fmt.Fprintln(out, "  fully-client (budgeted shipment)  index/data partly at client, fully at server")
+	fmt.Fprintln(out, "\nQuery kinds: point, range, nn (nn has no filter/refine split)")
+	return nil
+}

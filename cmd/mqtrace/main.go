@@ -1,0 +1,152 @@
+// Command mqtrace dumps the execution-driven cost streams of a single query:
+// the abstract-operation log, the memory-reference trace, and the machine
+// models' verdicts. This is the debugging lens on the simulator — "what
+// exactly does this query touch, and what does each machine charge for it?"
+//
+//	mqtrace -kind range -x 40000 -y 30000 -w 4000 [-ops] [-n 20000]
+//
+// Flags:
+//
+//	-kind    point | range | nn            (default range)
+//	-x,-y    query location (meters)       (default dataset center)
+//	-w       window side for range queries (default 2000 m)
+//	-n       synthetic dataset size        (default 20000; 0 = full PA)
+//	-ops     also print the full event log (can be large)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobispatial/internal/cpu"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/energy"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mqtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", "range", "query kind: point, range, nn")
+	x := flag.Float64("x", -1, "query x (meters)")
+	y := flag.Float64("y", -1, "query y (meters)")
+	w := flag.Float64("w", 2000, "range-window side (meters)")
+	n := flag.Int("n", 20000, "synthetic dataset size (0 = full PA)")
+	dumpOps := flag.Bool("ops", false, "print the full event log")
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	if *n == 0 {
+		ds = dataset.PA()
+	} else {
+		cfg := dataset.PAConfig()
+		cfg.NumSegments = *n
+		var err error
+		ds, err = dataset.Generate(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if *x < 0 {
+		*x = ds.Extent.Center().X
+	}
+	if *y < 0 {
+		*y = ds.Extent.Center().Y
+	}
+
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return err
+	}
+	client, err := cpu.NewClient(cpu.DefaultClientConfig())
+	if err != nil {
+		return err
+	}
+	server, err := cpu.NewServer(cpu.DefaultServerConfig())
+	if err != nil {
+		return err
+	}
+
+	// Tee: counts + both machine models (+ the raw log if asked).
+	var counts ops.Counts
+	recs := ops.Tee{&counts, client, server}
+	var tw *ops.TraceWriter
+	if *dumpOps {
+		tw = ops.NewTraceWriter(os.Stdout)
+		recs = append(recs, tw)
+	}
+
+	p := geom.Point{X: *x, Y: *y}
+	switch *kind {
+	case "point":
+		ids := tree.SearchPoint(p, recs)
+		fmt.Fprintf(os.Stderr, "point query at %v: %d MBR candidates\n", p, len(ids))
+	case "nn":
+		id, d, ok := tree.Nearest(p, func(id uint32) float64 {
+			recs.Load(ds.RecordAddr(id), ds.RecordBytes)
+			recs.Op(ops.OpRefineNN, 1)
+			return ds.Seg(id).DistToPoint(p)
+		}, recs)
+		fmt.Fprintf(os.Stderr, "nn query at %v: id %d at %.1f m (ok=%v)\n", p, id, d, ok)
+	case "range":
+		win := geom.Rect{
+			Min: geom.Point{X: *x - *w/2, Y: *y - *w/2},
+			Max: geom.Point{X: *x + *w/2, Y: *y + *w/2},
+		}
+		ids := tree.Search(win, recs)
+		hits := 0
+		for _, id := range ids {
+			recs.Load(ds.RecordAddr(id), ds.RecordBytes)
+			recs.Op(ops.OpRefineRange, 1)
+			if ds.Seg(id).IntersectsRect(win) {
+				hits++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "range query %v: %d candidates, %d exact hits\n", win, len(ids), hits)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	// Summaries.
+	fmt.Fprintln(os.Stderr, "\n-- abstract operations --")
+	for op := 0; op < ops.NumOps; op++ {
+		if c := counts.Ops[op]; c > 0 {
+			fmt.Fprintf(os.Stderr, "  %-16s %10d\n", ops.Op(op), c)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "  loads %d (%d B), stores %d (%d B)\n",
+		counts.LoadCalls, counts.LoadBytes, counts.StoreCalls, counts.StoreBytes)
+
+	ca := client.Activity()
+	ep := energy.DefaultParams()
+	fmt.Fprintln(os.Stderr, "\n-- client machine (Table 3) --")
+	fmt.Fprintf(os.Stderr, "  instructions %d, cycles %d (CPI %.2f), stalls %d\n",
+		ca.Instructions, ca.Cycles, ca.CPI(), ca.StallCycles)
+	fmt.Fprintf(os.Stderr, "  I$ %.1f%% hit, D$ %.1f%% hit, DRAM reads %d\n",
+		ca.ICache.HitRate()*100, ca.DCache.HitRate()*100, ca.MemReads)
+	fmt.Fprintf(os.Stderr, "  time %.3f ms @ %.0f MHz, energy %.3f mJ (%.3f W active)\n",
+		client.Seconds(ca.Cycles)*1e3, client.ClockHz()/1e6,
+		ep.ComputeJoules(ca)*1e3, ep.ActiveWatts(ca, client.ClockHz()))
+
+	sa := server.Activity()
+	fmt.Fprintln(os.Stderr, "\n-- server machine (Table 4) --")
+	fmt.Fprintf(os.Stderr, "  cycles %d (CPI %.2f), L1D %.1f%% hit, L2 %.1f%% hit, time %.3f ms @ 1 GHz\n",
+		sa.Cycles, sa.CPI(), sa.DCache.HitRate()*100, sa.L2.HitRate()*100,
+		server.Seconds(sa.Cycles)*1e3)
+	fmt.Fprintf(os.Stderr, "  client/server speedup: %.1f×\n",
+		client.Seconds(ca.Cycles)/server.Seconds(sa.Cycles))
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package mobispatial reproduces "Energy and Performance Considerations in
+// Work Partitioning for Mobile Spatial Queries" (Gurumurthi, An,
+// Sivasubramaniam, Vijaykrishnan, Kandemir, Irwin — IPPS 2003): a study of
+// how to split spatial query processing between a battery-powered mobile
+// client and a resource-rich server across a wireless link.
+//
+// The implementation lives under internal/ (one package per subsystem: the
+// packed R-tree, the synthetic TIGER-like datasets, the SimplePower-style
+// client and SimpleScalar-style server machine models, the NIC power
+// machine, the wireless protocol stack, the co-simulator, the partitioning
+// schemes, and the per-figure experiment harness), with runnable tools in
+// cmd/ and worked examples in examples/. The benchmarks in this root
+// package regenerate every table and figure of the paper's evaluation; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package mobispatial

@@ -1,0 +1,68 @@
+// Insufficientmem: walks through the paper's §6.2 scenario, where the
+// dataset and index do not fit on the mobile device. The first query makes
+// the server pick a memory-budget-sized slice of data spatially around the
+// query (Fig. 2), build a fresh packed sub-index over it, and ship both; the
+// client then answers every spatially proximate follow-up locally, with the
+// radio asleep, until the user wanders outside the shipped coverage.
+//
+//	go run ./examples/insufficientmem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/sim"
+)
+
+func main() {
+	fmt.Println("generating the PA dataset...")
+	ds := dataset.PA()
+	fmt.Printf("dataset: %d segments, %.2f MB data — far beyond a 1 MB client budget\n\n",
+		ds.Len(), float64(ds.TotalBytes())/(1<<20))
+
+	p := sim.DefaultParams()
+	p.BandwidthBps = 11e6
+	sys, err := sim.New(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := core.NewCache(1<<20, ds.RecordBytes)
+
+	// A browsing session: queries around one neighborhood, then a jump to a
+	// far part of the state.
+	browse := dataset.ProximitySequence(ds, 8, 0.012, 4242)
+	far := geom.Rect{
+		Min: geom.Point{X: 2_000, Y: 2_000},
+		Max: geom.Point{X: 4_000, Y: 4_000},
+	}
+	queries := append(browse, far)
+
+	fmt.Printf("%-6s %-10s %10s %14s %10s\n", "query", "served", "hits", "total cycles", "energy J")
+	for i, w := range queries {
+		ans, local, err := eng.RunInsufficientClient(core.Range(w), cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		served := "SHIPMENT" // a fresh slice was downloaded
+		if local {
+			served = "local"
+		}
+		r := sys.Result()
+		fmt.Printf("%-6d %-10s %10d %14d %10.4f\n",
+			i, served, len(ans.IDs), r.TotalClientCycles(), r.Energy.Total())
+	}
+
+	fmt.Printf("\nshipments fetched: %d, local hits: %d\n", cache.Refetches, cache.LocalHits)
+	fmt.Println("\nThe first query pays for a 1 MB shipment; the follow-ups cost almost")
+	fmt.Println("nothing because they never touch the radio. The jump across the state")
+	fmt.Println("falls outside the shipped coverage and triggers a fresh shipment —")
+	fmt.Println("exactly the amortization trade-off the paper's Fig. 10 sweeps.")
+}

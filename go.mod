@@ -1,0 +1,3 @@
+module mobispatial
+
+go 1.22

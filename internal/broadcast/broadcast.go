@@ -1,0 +1,326 @@
+// Package broadcast models energy-efficient data dissemination on a
+// broadcast channel with (1, m) air indexing, after Imielinski,
+// Viswanathan, and Badrinath ("Energy Efficient Indexing on Air", SIGMOD
+// 1994) — the related work the paper contrasts with its pull-style
+// client/server setting (§2) and names as a future integration (§7).
+//
+// The server cyclically broadcasts a program of data records. With (1, m)
+// indexing the index is repeated m times per cycle, evenly interleaved with
+// the data, so a client that tunes in at a random moment only stays awake
+// until the next index segment, learns when its records will air, and dozes
+// (NIC SLEEP) until then. The trade-off: larger m shortens the initial
+// probe (less time to the next index) but lengthens the whole cycle (more
+// index repetitions), and the client pays the NIC sleep-exit latency at
+// every wake-up.
+//
+// The model uses the same Table 2 NIC powers as the rest of the repository,
+// so broadcast and pull results are directly comparable.
+package broadcast
+
+import (
+	"fmt"
+	"math"
+
+	"mobispatial/internal/nic"
+)
+
+// Program describes one broadcast cycle.
+type Program struct {
+	// Items is the number of records in the program, broadcast in Hilbert
+	// order so that spatially proximate records are adjacent on air.
+	Items int
+	// RecordBytes is the size of one record on air.
+	RecordBytes int
+	// IndexBytes is the size of one index segment on air.
+	IndexBytes int
+	// IndexReplication is m in (1, m) indexing: how many times the index
+	// airs per cycle. 1 = classic index-once.
+	IndexReplication int
+	// BandwidthBps is the broadcast channel rate.
+	BandwidthBps float64
+}
+
+// Validate reports configuration errors.
+func (p Program) Validate() error {
+	switch {
+	case p.Items <= 0:
+		return fmt.Errorf("broadcast: %d items", p.Items)
+	case p.RecordBytes <= 0:
+		return fmt.Errorf("broadcast: record bytes %d", p.RecordBytes)
+	case p.IndexBytes <= 0:
+		return fmt.Errorf("broadcast: index bytes %d", p.IndexBytes)
+	case p.IndexReplication < 1:
+		return fmt.Errorf("broadcast: index replication %d", p.IndexReplication)
+	case p.BandwidthBps <= 0:
+		return fmt.Errorf("broadcast: bandwidth %v", p.BandwidthBps)
+	}
+	return nil
+}
+
+// DataSeconds is the air time of all data records once.
+func (p Program) DataSeconds() float64 {
+	return float64(p.Items*p.RecordBytes*8) / p.BandwidthBps
+}
+
+// IndexSeconds is the air time of one index segment.
+func (p Program) IndexSeconds() float64 {
+	return float64(p.IndexBytes*8) / p.BandwidthBps
+}
+
+// CycleSeconds is the full broadcast-cycle duration: the data plus m index
+// segments.
+func (p Program) CycleSeconds() float64 {
+	return p.DataSeconds() + float64(p.IndexReplication)*p.IndexSeconds()
+}
+
+// Tuning is the cost of answering one query from the broadcast.
+type Tuning struct {
+	// LatencySeconds is the access time: tune-in until the last wanted
+	// record has been received.
+	LatencySeconds float64
+	// ListenSeconds is the time the NIC spends in RECEIVE.
+	ListenSeconds float64
+	// DozeSeconds is the time the NIC spends in SLEEP.
+	DozeSeconds float64
+	// Wakeups counts SLEEP exits (each costs nic.SleepExitLatency, spent at
+	// idle power, included in LatencySeconds).
+	Wakeups int
+}
+
+// EnergyJoules is the client NIC energy of the tuning (the CPU is assumed
+// blocked in its low-power mode throughout; add that separately if needed).
+func (t Tuning) EnergyJoules() float64 {
+	return t.ListenSeconds*nic.RxPower +
+		t.DozeSeconds*nic.SleepPower +
+		float64(t.Wakeups)*nic.SleepExitLatency*nic.IdlePower
+}
+
+// Tune computes the cost of retrieving `span` consecutive records whose
+// first record starts at data offset `firstItem` (in items), for a client
+// that tunes in `phase` seconds into the cycle. Typical analyses average
+// Tune over random phases — use ExpectedTuning for that.
+func (p Program) Tune(firstItem, span int, phase float64) (Tuning, error) {
+	if err := p.Validate(); err != nil {
+		return Tuning{}, err
+	}
+	if firstItem < 0 || span <= 0 || firstItem+span > p.Items {
+		return Tuning{}, fmt.Errorf("broadcast: bad item range [%d,%d) of %d", firstItem, firstItem+span, p.Items)
+	}
+	cycle := p.CycleSeconds()
+	phase = math.Mod(phase, cycle)
+
+	// The cycle layout: m equal chunks, each = [index segment][data/m].
+	chunk := cycle / float64(p.IndexReplication)
+
+	// 1. Initial probe: listen from tune-in until the end of the next index
+	// segment. Time to the next chunk boundary:
+	intoChunk := math.Mod(phase, chunk)
+	var probeWait, probeListen float64
+	if intoChunk < p.IndexSeconds() {
+		// Tuned in during an index segment: listen to its remainder
+		// (simplification: partial index still yields the directory).
+		probeListen = p.IndexSeconds() - intoChunk
+	} else {
+		probeWait = chunk - intoChunk // doze to the next index
+		probeListen = p.IndexSeconds()
+	}
+
+	// 2. The target records air at a fixed offset within the data portion.
+	// Find their absolute time in the cycle: data item k airs within chunk
+	// k/(items/m), after that chunk's index segment.
+	perChunk := float64(p.Items) / float64(p.IndexReplication)
+	recordSecs := float64(p.RecordBytes*8) / p.BandwidthBps
+	itemStart := func(k int) float64 {
+		c := float64(k) / perChunk
+		chunkIdx := math.Floor(c)
+		within := (float64(k) - chunkIdx*perChunk) * recordSecs
+		return chunkIdx*chunk + p.IndexSeconds() + within
+	}
+
+	// Absolute time (from tune-in) when the probe completes.
+	tProbe := probeWait + probeListen
+	// Cycle-time at probe completion.
+	probeCycleTime := math.Mod(phase+tProbe, cycle)
+
+	start := itemStart(firstItem)
+	end := itemStart(firstItem+span-1) + recordSecs
+
+	// Wait from probe completion to the records (possibly next cycle).
+	wait := start - probeCycleTime
+	if wait < 0 {
+		wait += cycle
+	}
+	listen := end - start
+	// Records can straddle index segments; the client sleeps through those
+	// but we fold that into listen time for simplicity (the index segments
+	// within [start,end] are small); count the straddled index time as doze.
+	straddled := 0.0
+	for c := 1; c < p.IndexReplication; c++ {
+		boundary := float64(c) * chunk
+		if boundary > start && boundary < end {
+			straddled += p.IndexSeconds()
+			listen -= p.IndexSeconds()
+		}
+	}
+
+	t := Tuning{
+		LatencySeconds: tProbe + wait + listen + straddled,
+		ListenSeconds:  probeListen + listen,
+		DozeSeconds:    probeWait + wait + straddled,
+		Wakeups:        1, // doze→listen for the records
+	}
+	if probeWait > 0 {
+		t.Wakeups++ // doze→listen for the index
+	}
+	t.LatencySeconds += float64(t.Wakeups) * nic.SleepExitLatency
+	return t, nil
+}
+
+// ExpectedTuning averages Tune over n uniformly random tune-in phases.
+func (p Program) ExpectedTuning(firstItem, span, n int) (Tuning, error) {
+	if n <= 0 {
+		n = 64
+	}
+	var sum Tuning
+	cycle := p.CycleSeconds()
+	for i := 0; i < n; i++ {
+		phase := cycle * (float64(i) + 0.5) / float64(n)
+		t, err := p.Tune(firstItem, span, phase)
+		if err != nil {
+			return Tuning{}, err
+		}
+		sum.LatencySeconds += t.LatencySeconds
+		sum.ListenSeconds += t.ListenSeconds
+		sum.DozeSeconds += t.DozeSeconds
+		sum.Wakeups += t.Wakeups
+	}
+	f := float64(n)
+	return Tuning{
+		LatencySeconds: sum.LatencySeconds / f,
+		ListenSeconds:  sum.ListenSeconds / f,
+		DozeSeconds:    sum.DozeSeconds / f,
+		Wakeups:        int(math.Round(float64(sum.Wakeups) / f)),
+	}, nil
+}
+
+// TuneSparse computes the cost of retrieving an arbitrary set of record
+// positions (sorted ascending) in one cycle: after the index probe the
+// client dozes between the contiguous runs of wanted records, waking once
+// per run. This is how an indexed client retrieves a spatially filtered
+// subset whose records are not perfectly adjacent on air.
+func (p Program) TuneSparse(positions []int, phase float64) (Tuning, error) {
+	if err := p.Validate(); err != nil {
+		return Tuning{}, err
+	}
+	if len(positions) == 0 {
+		return Tuning{}, fmt.Errorf("broadcast: empty position set")
+	}
+	for i, pos := range positions {
+		if pos < 0 || pos >= p.Items {
+			return Tuning{}, fmt.Errorf("broadcast: position %d out of range", pos)
+		}
+		if i > 0 && pos <= positions[i-1] {
+			return Tuning{}, fmt.Errorf("broadcast: positions not strictly ascending")
+		}
+	}
+	// Runs of consecutive positions.
+	type run struct{ first, span int }
+	var runs []run
+	cur := run{first: positions[0], span: 1}
+	for _, pos := range positions[1:] {
+		if pos == cur.first+cur.span {
+			cur.span++
+			continue
+		}
+		runs = append(runs, cur)
+		cur = run{first: pos, span: 1}
+	}
+	runs = append(runs, cur)
+
+	// Reuse Tune for the first run (it pays the probe), then extend with
+	// the later runs: doze from the end of one run to the start of the
+	// next, listen through it.
+	t, err := p.Tune(runs[0].first, runs[0].span, phase)
+	if err != nil {
+		return Tuning{}, err
+	}
+	recordSecs := float64(p.RecordBytes*8) / p.BandwidthBps
+	chunk := p.CycleSeconds() / float64(p.IndexReplication)
+	perChunk := float64(p.Items) / float64(p.IndexReplication)
+	itemStart := func(k int) float64 {
+		c := math.Floor(float64(k) / perChunk)
+		within := (float64(k) - c*perChunk) * recordSecs
+		return c*chunk + p.IndexSeconds() + within
+	}
+	for i := 1; i < len(runs); i++ {
+		prevEnd := itemStart(runs[i-1].first+runs[i-1].span-1) + recordSecs
+		start := itemStart(runs[i].first)
+		listen := float64(runs[i].span) * recordSecs
+		t.DozeSeconds += start - prevEnd
+		t.ListenSeconds += listen
+		t.LatencySeconds += (start - prevEnd) + listen + nic.SleepExitLatency
+		t.Wakeups++
+	}
+	return t, nil
+}
+
+// ExpectedTuningSparse averages TuneSparse over n uniformly random tune-in
+// phases.
+func (p Program) ExpectedTuningSparse(positions []int, n int) (Tuning, error) {
+	if n <= 0 {
+		n = 64
+	}
+	var sum Tuning
+	cycle := p.CycleSeconds()
+	for i := 0; i < n; i++ {
+		phase := cycle * (float64(i) + 0.5) / float64(n)
+		t, err := p.TuneSparse(positions, phase)
+		if err != nil {
+			return Tuning{}, err
+		}
+		sum.LatencySeconds += t.LatencySeconds
+		sum.ListenSeconds += t.ListenSeconds
+		sum.DozeSeconds += t.DozeSeconds
+		sum.Wakeups += t.Wakeups
+	}
+	f := float64(n)
+	return Tuning{
+		LatencySeconds: sum.LatencySeconds / f,
+		ListenSeconds:  sum.ListenSeconds / f,
+		DozeSeconds:    sum.DozeSeconds / f,
+		Wakeups:        int(math.Round(float64(sum.Wakeups) / f)),
+	}, nil
+}
+
+// NoIndexTuning is the flat-broadcast baseline: without an air index the
+// client must listen from tune-in until its records pass — on average half
+// a cycle of full-power reception plus the records themselves.
+func (p Program) NoIndexTuning(span int) Tuning {
+	recordSecs := float64(p.RecordBytes*8) / p.BandwidthBps
+	data := p.DataSeconds()
+	return Tuning{
+		LatencySeconds: data/2 + float64(span)*recordSecs,
+		ListenSeconds:  data/2 + float64(span)*recordSecs,
+	}
+}
+
+// OptimalReplication returns the m minimizing expected tuning energy for
+// the program's parameters, searched over 1..maxM.
+func (p Program) OptimalReplication(firstItem, span, maxM int) (int, error) {
+	if maxM < 1 {
+		maxM = 16
+	}
+	bestM, bestE := 1, math.Inf(1)
+	for m := 1; m <= maxM; m++ {
+		q := p
+		q.IndexReplication = m
+		t, err := q.ExpectedTuning(firstItem, span, 64)
+		if err != nil {
+			return 0, err
+		}
+		if e := t.EnergyJoules(); e < bestE {
+			bestE, bestM = e, m
+		}
+	}
+	return bestM, nil
+}

@@ -1,0 +1,204 @@
+// Package cache implements a set-associative LRU cache simulator. It is the
+// common building block for the client's split L1 caches (Table 3 of the
+// paper: 16 KB 4-way I-cache, 8 KB 4-way D-cache, 32-byte lines) and the
+// server's two-level hierarchy (Table 4: 32 KB 2-way L1s with 64-byte lines,
+// 1 MB 2-way unified L2 with 128-byte lines).
+//
+// The simulator tracks only tags — no data — because the machine models need
+// hit/miss behavior and access counts, not contents. Accesses are split at
+// line boundaries, so a single Access call covering n lines counts as n
+// cache accesses (exactly what a blocking cache does for an unaligned
+// multi-word structure walk).
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity. Must be a multiple of
+	// LineBytes × Assoc.
+	SizeBytes int
+	// LineBytes is the line (block) size in bytes; must be a power of two.
+	LineBytes int
+	// Assoc is the set associativity; Assoc == Sets×0 is invalid, use 1 for
+	// direct-mapped.
+	Assoc int
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by line×assoc %d", c.SizeBytes, c.LineBytes*c.Assoc)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats holds access counters for one cache.
+type Stats struct {
+	Accesses  int64 // line-granular accesses (reads + writes)
+	Misses    int64
+	Reads     int64
+	Writes    int64
+	WriteBack int64 // dirty evictions (write-back policy)
+}
+
+// HitRate returns the fraction of accesses that hit, or 1 when there were no
+// accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return 1 - float64(s.Misses)/float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set logical timestamp; larger = more recently used.
+	lru uint64
+}
+
+// Cache is a set-associative write-back, write-allocate cache model.
+type Cache struct {
+	cfg       Config
+	sets      int
+	lineShift uint
+	setMask   uint64
+	lines     []line // sets × assoc, set-major
+	clock     uint64
+	stats     Stats
+	// Lower, if non-nil, receives every miss and write-back (for multilevel
+	// hierarchies). Misses are reads of a full line; write-backs are writes.
+	Lower *Cache
+}
+
+// New builds a cache from cfg; it panics if cfg is invalid (geometries are
+// static configuration, not runtime input).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		lines:   make([]line, sets*cfg.Assoc),
+	}
+	c.lineShift = uint(log2(cfg.LineBytes))
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStatsOnly zeroes the counters but keeps the cache contents (warm
+// restart between measurement intervals).
+func (c *Cache) ResetStatsOnly() { c.stats = Stats{} }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Access touches [addr, addr+size) with a read (write=false) or write
+// (write=true). It returns the number of line-granular accesses and the
+// number of misses that resulted. size 0 is a no-op.
+func (c *Cache) Access(addr uint64, size int, write bool) (accesses, misses int) {
+	if size <= 0 {
+		return 0, 0
+	}
+	first := addr >> c.lineShift
+	last := (addr + uint64(size) - 1) >> c.lineShift
+	for ln := first; ln <= last; ln++ {
+		accesses++
+		if !c.touchLine(ln, write) {
+			misses++
+		}
+	}
+	return accesses, misses
+}
+
+// touchLine accesses a single line (identified by addr>>lineShift) and
+// reports whether it hit.
+func (c *Cache) touchLine(lineAddr uint64, write bool) bool {
+	c.clock++
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> uint(log2(c.sets))
+	base := set * c.cfg.Assoc
+	ways := c.lines[base : base+c.cfg.Assoc]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			return true
+		}
+	}
+	// Miss: allocate, filling an invalid way if one exists, else evicting
+	// the LRU way.
+	c.stats.Misses++
+	victim := -1
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lru < ways[victim].lru {
+				victim = i
+			}
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		c.stats.WriteBack++
+		if c.Lower != nil {
+			// Reconstruct the victim's line address for the write-back.
+			victimLine := ways[victim].tag<<uint(log2(c.sets)) | uint64(set)
+			c.Lower.Access(victimLine<<c.lineShift, c.cfg.LineBytes, true)
+		}
+	}
+	if c.Lower != nil {
+		c.Lower.Access(lineAddr<<c.lineShift, c.cfg.LineBytes, false)
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return false
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

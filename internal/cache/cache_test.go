@@ -1,0 +1,264 @@
+package cache
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{SizeBytes: 16 * 1024, LineBytes: 32, Assoc: 4},
+		{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 4},
+		{SizeBytes: 1024 * 1024, LineBytes: 128, Assoc: 2},
+		{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Assoc: 4},
+		{SizeBytes: 16 * 1024, LineBytes: 33, Assoc: 4},
+		{SizeBytes: 16*1024 + 8, LineBytes: 32, Assoc: 4},
+		{SizeBytes: 16 * 1024, LineBytes: 32, Assoc: 0},
+		{SizeBytes: 96, LineBytes: 16, Assoc: 2}, // 3 sets, not a power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	_, m := c.Access(0x100, 4, false)
+	if m != 1 {
+		t.Fatalf("first access misses = %d, want 1", m)
+	}
+	_, m = c.Access(0x104, 4, false)
+	if m != 0 {
+		t.Fatalf("same-line access misses = %d, want 0", m)
+	}
+	if got := c.Stats().Accesses; got != 2 {
+		t.Fatalf("accesses = %d, want 2", got)
+	}
+}
+
+func TestAccessSpanningLines(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	a, m := c.Access(30, 8, false) // crosses the 32-byte boundary
+	if a != 2 || m != 2 {
+		t.Fatalf("spanning access: accesses=%d misses=%d, want 2/2", a, m)
+	}
+	a, m = c.Access(0, 128, false) // 4 lines, first two already present
+	if a != 4 || m != 2 {
+		t.Fatalf("multi-line access: accesses=%d misses=%d, want 4/2", a, m)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct construction: 2-way, line 32, 2 sets (128 bytes total).
+	c := New(Config{SizeBytes: 128, LineBytes: 32, Assoc: 2})
+	// Three distinct lines mapping to set 0: line addresses 0, 2, 4 (stride
+	// = sets*line = 64 bytes).
+	c.Access(0, 1, false)   // miss, set0 way0
+	c.Access(64, 1, false)  // miss, set0 way1
+	c.Access(0, 1, false)   // hit, refresh line 0
+	c.Access(128, 1, false) // miss, should evict line at 64 (LRU)
+	if _, m := c.Access(0, 1, false); m != 0 {
+		t.Error("line 0 was evicted despite being MRU")
+	}
+	if _, m := c.Access(64, 1, false); m != 1 {
+		t.Error("line 64 unexpectedly survived (LRU violated)")
+	}
+}
+
+func TestWriteBackToLower(t *testing.T) {
+	l2 := New(Config{SizeBytes: 4096, LineBytes: 64, Assoc: 2})
+	l1 := New(Config{SizeBytes: 128, LineBytes: 32, Assoc: 1}) // 4 sets
+	l1.Lower = l2
+	l1.Access(0, 4, true) // write-allocate: L1 miss -> L2 read
+	if got := l2.Stats().Reads; got != 1 {
+		t.Fatalf("L2 reads after L1 miss = %d, want 1", got)
+	}
+	// Evict the dirty line: same set, different tag (stride 128 bytes).
+	l1.Access(128, 4, false)
+	if got := l1.Stats().WriteBack; got != 1 {
+		t.Fatalf("L1 write-backs = %d, want 1", got)
+	}
+	if got := l2.Stats().Writes; got != 1 {
+		t.Fatalf("L2 writes after write-back = %d, want 1", got)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	c.Access(0, 64, true)
+	c.Reset()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after Reset = %+v", s)
+	}
+	if _, m := c.Access(0, 1, false); m != 1 {
+		t.Fatal("contents survived Reset")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 1 {
+		t.Error("empty stats hit rate should be 1")
+	}
+	s := Stats{Accesses: 10, Misses: 3}
+	if got := s.HitRate(); got != 0.7 {
+		t.Errorf("HitRate = %g, want 0.7", got)
+	}
+}
+
+// refModel is an obviously-correct fully-explicit LRU model used as an
+// oracle: map from set -> slice of line tags in MRU order.
+type refModel struct {
+	lineShift uint
+	sets      int
+	assoc     int
+	content   map[int][]uint64
+}
+
+func newRef(cfg Config) *refModel {
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	return &refModel{
+		lineShift: uint(log2(cfg.LineBytes)),
+		sets:      sets,
+		assoc:     cfg.Assoc,
+		content:   map[int][]uint64{},
+	}
+}
+
+func (r *refModel) access(addr uint64) bool { // returns hit
+	lineAddr := addr >> r.lineShift
+	set := int(lineAddr % uint64(r.sets))
+	tag := lineAddr / uint64(r.sets)
+	ways := r.content[set]
+	for i, w := range ways {
+		if w == tag {
+			// move to front
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			return true
+		}
+	}
+	ways = append([]uint64{tag}, ways...)
+	if len(ways) > r.assoc {
+		ways = ways[:r.assoc]
+	}
+	r.content[set] = ways
+	return false
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	cfgs := []Config{
+		{SizeBytes: 256, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 512, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 2048, LineBytes: 32, Assoc: 4},
+		{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 4},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, cfg := range cfgs {
+		c := New(cfg)
+		ref := newRef(cfg)
+		for i := 0; i < 20000; i++ {
+			// Mix of localized and scattered addresses.
+			var addr uint64
+			if rng.Intn(2) == 0 {
+				addr = uint64(rng.Intn(4096))
+			} else {
+				addr = uint64(rng.Intn(1 << 20))
+			}
+			_, m := c.Access(addr, 1, rng.Intn(4) == 0)
+			hit := ref.access(addr)
+			if (m == 0) != hit {
+				t.Fatalf("cfg %+v access %d addr %#x: sim hit=%v ref hit=%v", cfg, i, addr, m == 0, hit)
+			}
+		}
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	// A working set that fits must incur only cold misses.
+	cfg := Config{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 4}
+	c := New(cfg)
+	lines := cfg.SizeBytes / cfg.LineBytes
+	for pass := 0; pass < 5; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i*cfg.LineBytes), 4, false)
+		}
+	}
+	if got, want := c.Stats().Misses, int64(lines); got != want {
+		t.Fatalf("misses = %d, want %d (cold only)", got, want)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(Config{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 4})
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 18))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], 4, false)
+	}
+}
+
+// accessSeq is a quick-generatable access trace.
+type accessSeq struct {
+	addrs  []uint64
+	writes []bool
+}
+
+func (accessSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 200 + r.Intn(2000)
+	s := accessSeq{addrs: make([]uint64, n), writes: make([]bool, n)}
+	base := uint64(r.Intn(1 << 16))
+	for i := range s.addrs {
+		if r.Intn(3) == 0 {
+			s.addrs[i] = uint64(r.Intn(1 << 20)) // scattered
+		} else {
+			s.addrs[i] = base + uint64(r.Intn(2048)) // localized
+		}
+		s.writes[i] = r.Intn(4) == 0
+	}
+	return reflect.ValueOf(s)
+}
+
+// TestQuickAgainstReference: arbitrary traces agree with the explicit LRU
+// oracle on every hit/miss decision, for several geometries.
+func TestQuickAgainstReference(t *testing.T) {
+	cfgs := []Config{
+		{SizeBytes: 256, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 4},
+	}
+	f := func(seq accessSeq, which uint8) bool {
+		cfg := cfgs[int(which)%len(cfgs)]
+		c := New(cfg)
+		ref := newRef(cfg)
+		for i, addr := range seq.addrs {
+			_, m := c.Access(addr, 1, seq.writes[i])
+			if (m == 0) != ref.access(addr) {
+				return false
+			}
+		}
+		// Counter consistency.
+		st := c.Stats()
+		return st.Accesses == int64(len(seq.addrs)) &&
+			st.Reads+st.Writes == st.Accesses &&
+			st.Misses <= st.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"mobispatial/internal/cpu"
+	"mobispatial/internal/nic"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/proto"
+)
+
+// Adaptive work partitioning: the paper closes hoping its lessons "provide a
+// more systematic way of designing and implementing applications" (§7) —
+// this file turns the §4.1 cost model into an online, per-query policy. The
+// client estimates the query's work from the dataset's density before
+// touching the index, prices every applicable scheme with the platform
+// constants it knows (its clock, the Table 2 NIC powers, the link
+// bandwidth), and picks the cheapest by energy, breaking near-ties by
+// response time.
+//
+// The reproduced figures explain what the policy ends up doing: point and
+// NN queries always stay local (Figs. 4, 6); range queries offload to the
+// server once the estimated refinement work outweighs the round trip
+// (Fig. 5); and the candidate-upload hybrid is essentially never chosen at
+// 1 km — its transmitter cost is exactly why Fig. 5 shows it losing on
+// energy everywhere.
+
+// AdaptiveStats counts the policy's decisions.
+type AdaptiveStats struct {
+	KeptLocal int64
+	Offloaded int64
+}
+
+// schemeEstimate is one candidate plan's predicted cost.
+type schemeEstimate struct {
+	scheme  Scheme
+	energyJ float64
+	seconds float64
+}
+
+// RunAdaptive executes q under the adaptive policy with the data replicated
+// at the client. NN queries always run locally (the paper's unconditional
+// finding).
+func (e *Engine) RunAdaptive(q Query, stats *AdaptiveStats) (Answer, error) {
+	scheme := e.chooseScheme(q)
+	if stats != nil {
+		if scheme == FullyClient {
+			stats.KeptLocal++
+		} else {
+			stats.Offloaded++
+		}
+	}
+	return e.Run(q, scheme, DataAtClient)
+}
+
+// chooseScheme prices the applicable schemes for q and returns the winner.
+func (e *Engine) chooseScheme(q Query) Scheme {
+	if q.Kind == NNQuery {
+		return FullyClient
+	}
+	n := e.estimateCandidates(q)
+	ests := []schemeEstimate{
+		e.estimate(FullyClient, q, n),
+		e.estimate(FullyServer, q, n),
+		e.estimate(FilterClientRefineServer, q, n),
+	}
+	best := ests[0]
+	for _, est := range ests[1:] {
+		if est.energyJ < best.energyJ*0.95 ||
+			(est.energyJ < best.energyJ*1.05 && est.seconds < best.seconds) {
+			best = est
+		}
+	}
+	return best.scheme
+}
+
+// estimateCandidates predicts the filtering output size from the dataset's
+// average density. Clustering makes real counts swing around this, but the
+// policy only needs the order of magnitude.
+func (e *Engine) estimateCandidates(q Query) float64 {
+	if q.Kind == PointQuery {
+		return 2 // MBRs containing a point: a couple of incident streets
+	}
+	w := q.Window.Intersection(e.DS.Extent)
+	density := float64(e.DS.Len()) / e.DS.Extent.Area()
+	n := w.Area() * density
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// estimate prices one scheme for a query with n estimated candidates.
+func (e *Engine) estimate(s Scheme, q Query, n float64) schemeEstimate {
+	params := e.Sys.Params()
+	costs := cpu.DefaultOpCosts()
+	refineOp := ops.OpRefineRange
+	if q.Kind == PointQuery {
+		refineOp = ops.OpRefinePoint
+	}
+
+	// Per-candidate client cycles: filtering share plus refinement with a
+	// record-load miss allowance.
+	filterPerCand := float64(costs[ops.OpMBRTest].Instr)*2 + 40
+	refinePerCand := float64(costs[refineOp].Instr) + 3*100
+	serverIPC := 2.6
+
+	clientHz := params.Client.ClockHz
+	serverHz := params.Server.ClockHz
+	ptx := nic.TxPowerAt(params.DistanceM)
+	pblk := params.Energy.CPUSleepWatts
+	const pClient = 0.11 // calibrated active draw, as in the §4.1 advisor
+
+	secsOfBits := func(bits float64) float64 { return bits / params.BandwidthBps }
+	wire := func(payload int) float64 { return float64(proto.Packetize(payload).WireBytes * 8) }
+
+	switch s {
+	case FullyClient:
+		cycles := n * (filterPerCand + refinePerCand)
+		secs := cycles / clientHz
+		return schemeEstimate{s, (pClient + nic.SleepPower) * secs, secs}
+
+	case FullyServer:
+		tx := secsOfBits(wire(proto.QueryRequestBytes))
+		rx := secsOfBits(wire(proto.IDListBytes(int(n))))
+		wait := n * (filterPerCand + refinePerCand) / serverIPC / serverHz
+		secs := tx + rx + wait
+		energy := ptx*tx + nic.RxPower*rx + nic.IdlePower*wait + pblk*secs
+		return schemeEstimate{s, energy, secs}
+
+	default: // FilterClientRefineServer
+		filterCycles := n * filterPerCand
+		tx := secsOfBits(wire(proto.QueryRequestBytes + proto.IDListBytes(int(n))))
+		rx := secsOfBits(wire(proto.IDListBytes(int(n))))
+		wait := n * refinePerCand / serverIPC / serverHz
+		secs := filterCycles/clientHz + tx + rx + wait
+		energy := (pClient+nic.SleepPower)*(filterCycles/clientHz) +
+			ptx*tx + nic.RxPower*rx + nic.IdlePower*wait + pblk*(tx+rx+wait)
+		return schemeEstimate{s, energy, secs}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/sim"
+)
+
+func TestAdaptiveMatchesAnswers(t *testing.T) {
+	ds := smallDataset(t, 10000)
+	queries := []Query{
+		Point(ds.Segments[7].A),
+		Range(geom.Rect{Min: geom.Point{X: 2000, Y: 2000}, Max: geom.Point{X: 6000, Y: 6000}}),
+		Nearest(geom.Point{X: 3000, Y: 9000}),
+		Range(geom.Rect{Min: geom.Point{X: 100, Y: 100}, Max: geom.Point{X: 300, Y: 300}}),
+	}
+	for i, q := range queries {
+		ref := newEngine(t, ds, nil)
+		want, err := ref.Run(q, FullyClient, DataAtClient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ada := newEngine(t, ds, nil)
+		got, err := ada.RunAdaptive(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(sortedIDs(got), sortedIDs(want)) {
+			t.Fatalf("query %d: adaptive answered %d ids, fully-client %d", i, len(got.IDs), len(want.IDs))
+		}
+	}
+}
+
+func TestAdaptiveDecisionRespondsToWork(t *testing.T) {
+	ds := smallDataset(t, 12000)
+	fast := func(p *sim.Params) { p.BandwidthBps = 11e6 }
+	var stats AdaptiveStats
+	e := newEngine(t, ds, fast)
+
+	// Tiny point queries stay local.
+	for i := 0; i < 5; i++ {
+		if _, err := e.RunAdaptive(Point(ds.Segments[i*13].A), &stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats.Offloaded != 0 {
+		t.Fatalf("point queries offloaded: %+v", stats)
+	}
+	// A heavyweight range query (thousands of candidates) offloads at
+	// 11 Mbps.
+	big := Range(geom.Rect{Min: geom.Point{X: 500, Y: 500}, Max: geom.Point{X: 9500, Y: 9500}})
+	if _, err := e.RunAdaptive(big, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Offloaded == 0 {
+		t.Fatalf("heavyweight range query stayed local: %+v", stats)
+	}
+	// NN always local.
+	if _, err := e.RunAdaptive(Nearest(geom.Point{X: 1, Y: 1}), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.KeptLocal < 6 {
+		t.Fatalf("local count %d", stats.KeptLocal)
+	}
+}
+
+func TestAdaptiveBeatsWorstFixedScheme(t *testing.T) {
+	// Over a mixed workload the adaptive policy must land at or below the
+	// worse of the two fixed extremes on energy — the whole point of
+	// choosing per query.
+	ds := smallDataset(t, 12000)
+	var queries []Query
+	for i := 0; i < 10; i++ {
+		queries = append(queries, Point(ds.Segments[i*31].A))
+	}
+	queries = append(queries,
+		Range(geom.Rect{Min: geom.Point{X: 1000, Y: 1000}, Max: geom.Point{X: 8000, Y: 8000}}),
+		Range(geom.Rect{Min: geom.Point{X: 2000, Y: 5000}, Max: geom.Point{X: 7000, Y: 9000}}),
+	)
+	fast := func(p *sim.Params) { p.BandwidthBps = 11e6 }
+
+	run := func(f func(e *Engine, q Query) error) float64 {
+		e := newEngine(t, ds, fast)
+		for _, q := range queries {
+			if err := f(e, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Sys.Result().Energy.Total()
+	}
+	adaptive := run(func(e *Engine, q Query) error {
+		_, err := e.RunAdaptive(q, nil)
+		return err
+	})
+	allLocal := run(func(e *Engine, q Query) error {
+		_, err := e.Run(q, FullyClient, DataAtClient)
+		return err
+	})
+	allServer := run(func(e *Engine, q Query) error {
+		_, err := e.Run(q, FullyServer, DataAtClient)
+		return err
+	})
+	worst := allLocal
+	if allServer > worst {
+		worst = allServer
+	}
+	if adaptive >= worst {
+		t.Fatalf("adaptive %.4f J not below worst fixed %.4f J (local %.4f, server %.4f)",
+			adaptive, worst, allLocal, allServer)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+// The quantitative trade-off model of §4.1: closed-form conditions under
+// which offloading work to the server beats executing fully at the client,
+// from the performance and the energy perspectives. The experiment harness
+// uses the full simulation; this model is the paper's intuition pump and is
+// exposed for the advisor CLI and as a cheap pre-filter.
+
+// AnalyticInputs are the §4.1 parameters, in the paper's notation.
+type AnalyticInputs struct {
+	// BandwidthBps is B, the effective wireless bandwidth (bits/s).
+	BandwidthBps float64
+	// CFullyLocal is the client cycles of a fully-local execution.
+	CFullyLocal float64
+	// CLocal is the client cycles of the locally-executed portion (w1+w3).
+	CLocal float64
+	// CProtocol is the client cycles of protocol processing.
+	CProtocol float64
+	// CW2 is the server cycles of the offloaded portion.
+	CW2 float64
+	// ClientHz and ServerHz are MhzC and MhzS (in Hz).
+	ClientHz float64
+	ServerHz float64
+	// PacketTxBits / PacketRxBits are the total transmitted / received
+	// message sizes in bits (wire bytes × 8).
+	PacketTxBits float64
+	PacketRxBits float64
+	// PClient is the client's compute power draw (W); PTx, PRx, PIdle,
+	// PSleep are the NIC state powers (W).
+	PClient float64
+	PTx     float64
+	PRx     float64
+	PIdle   float64
+	PSleep  float64
+	// PBlocked is the client core's draw while blocked on communication.
+	PBlocked float64
+}
+
+// TxSeconds is PacketTx/B.
+func (a AnalyticInputs) TxSeconds() float64 { return a.PacketTxBits / a.BandwidthBps }
+
+// RxSeconds is PacketRx/B.
+func (a AnalyticInputs) RxSeconds() float64 { return a.PacketRxBits / a.BandwidthBps }
+
+// WaitSeconds is the client wall time blocked on server work: Cw2/MhzS.
+func (a AnalyticInputs) WaitSeconds() float64 { return a.CW2 / a.ServerHz }
+
+// PartitionedCycles returns the client-clock cycles of the partitioned
+// execution: CTx + Cwait + CRx + Clocal + Cprotocol, with
+// CTx = (PacketTx/B)·MhzC, Cwait = (Cw2/MhzS)·MhzC.
+func (a AnalyticInputs) PartitionedCycles() float64 {
+	return (a.TxSeconds()+a.RxSeconds()+a.WaitSeconds())*a.ClientHz +
+		a.CLocal + a.CProtocol
+}
+
+// FullyLocalCycles returns CFullyLocal.
+func (a AnalyticInputs) FullyLocalCycles() float64 { return a.CFullyLocal }
+
+// SavesCycles reports the §4.1 performance condition: partitioning wins
+// when CFullyLocal > CTx + Cw2·(MhzC/MhzS) + CRx + CLocal + CProtocol.
+func (a AnalyticInputs) SavesCycles() bool {
+	return a.CFullyLocal > a.PartitionedCycles()
+}
+
+// FullyLocalJoules returns the fully-local energy: (PClient + PSleep) ×
+// CFullyLocal/MhzC — the client computes with the NIC asleep.
+func (a AnalyticInputs) FullyLocalJoules() float64 {
+	return (a.PClient + a.PSleep) * a.CFullyLocal / a.ClientHz
+}
+
+// PartitionedJoules returns the partitioned-execution energy: the
+// transmitter and receiver run for the transfer times, the NIC idles (and
+// the core blocks) while the server works, and the client pays compute
+// power for its local and protocol portions.
+func (a AnalyticInputs) PartitionedJoules() float64 {
+	return a.PTx*a.TxSeconds() +
+		a.PRx*a.RxSeconds() +
+		(a.PIdle+a.PBlocked)*a.WaitSeconds() +
+		a.PBlocked*(a.TxSeconds()+a.RxSeconds()) +
+		(a.PClient+a.PSleep)*(a.CLocal+a.CProtocol)/a.ClientHz
+}
+
+// SavesEnergy reports the §4.1 energy condition.
+func (a AnalyticInputs) SavesEnergy() bool {
+	return a.FullyLocalJoules() > a.PartitionedJoules()
+}
+
+// Verdict summarizes both §4.1 conditions.
+type Verdict struct {
+	SavesCycles bool
+	SavesEnergy bool
+	// CycleRatio is partitioned/fully-local cycles (<1 = partitioning
+	// faster); EnergyRatio likewise.
+	CycleRatio  float64
+	EnergyRatio float64
+}
+
+// Advise evaluates both conditions.
+func (a AnalyticInputs) Advise() Verdict {
+	v := Verdict{
+		SavesCycles: a.SavesCycles(),
+		SavesEnergy: a.SavesEnergy(),
+	}
+	if a.CFullyLocal > 0 {
+		v.CycleRatio = a.PartitionedCycles() / a.CFullyLocal
+	}
+	if fl := a.FullyLocalJoules(); fl > 0 {
+		v.EnergyRatio = a.PartitionedJoules() / fl
+	}
+	return v
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"mobispatial/internal/ops"
+)
+
+// Query batching: the paper's lesson list observes that communication costs
+// "can be amortized by the savings over several queries" (§7). When the user
+// interface can tolerate answering queries in groups (prefetching map tiles,
+// bulk lookups), the client ships k query descriptors in one request and
+// receives one combined reply — paying the transmitter ramp, the protocol
+// fixed costs, and the NIC wake-up once instead of k times.
+
+// BatchAnswer is the combined result of a batched execution.
+type BatchAnswer struct {
+	// Answers are the per-query answers, in request order.
+	Answers []Answer
+}
+
+// RunBatch executes the queries fully at the server as one exchange, with
+// the data present at the client (ids-only replies). NN queries are allowed
+// in the mix. An empty batch is an error.
+func (e *Engine) RunBatch(queries []Query) (BatchAnswer, error) {
+	if len(queries) == 0 {
+		return BatchAnswer{}, fmt.Errorf("core: empty batch")
+	}
+
+	// One request carrying all descriptors.
+	e.Sys.ClientCompute(func(rec ops.Recorder) {
+		rec.Op(ops.OpDispatch, 1)
+		rec.Op(ops.OpCopyWord, len(queries)*QueryRequestBytesFor(queries[0])/4)
+	})
+	reqBytes := 0
+	for _, q := range queries {
+		reqBytes += QueryRequestBytesFor(q)
+	}
+	e.Sys.Send(reqBytes)
+
+	// The server executes every query; the combined reply carries each
+	// query's id list.
+	var out BatchAnswer
+	replyBytesTotal := 0
+	e.Sys.ServerCompute(func(rec ops.Recorder) {
+		rec.Op(ops.OpDispatch, 1)
+		for _, q := range queries {
+			var ans Answer
+			if q.Kind == NNQuery {
+				ans = e.nearest(q, rec, e.localRecordAddr)
+			} else {
+				cands := e.filter(q, rec)
+				ans.IDs = e.refine(q, cands, rec, e.localRecordAddr)
+			}
+			out.Answers = append(out.Answers, ans)
+			replyBytesTotal += IDListBytes(len(ans.IDs))
+			rec.Op(ops.OpCopyWord, IDListBytes(len(ans.IDs))/4)
+		}
+	})
+	e.Sys.Receive(replyBytesTotal)
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"mobispatial/internal/geom"
+)
+
+func batchQueries(ds interface{ Len() int }, n int) []Query {
+	var qs []Query
+	for i := 0; i < n; i++ {
+		base := float64(500 + i*700)
+		qs = append(qs, Range(geom.Rect{
+			Min: geom.Point{X: base, Y: base},
+			Max: geom.Point{X: base + 600, Y: base + 600},
+		}))
+	}
+	return qs
+}
+
+func TestBatchMatchesIndividualAnswers(t *testing.T) {
+	ds := smallDataset(t, 8000)
+	qs := batchQueries(ds, 8)
+	qs = append(qs, Point(ds.Segments[42].A), Nearest(geom.Point{X: 3000, Y: 3000}))
+
+	eng := newEngine(t, ds, nil)
+	batch, err := eng.RunBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Answers) != len(qs) {
+		t.Fatalf("batch returned %d answers for %d queries", len(batch.Answers), len(qs))
+	}
+	for i, q := range qs {
+		ref := newEngine(t, ds, nil)
+		want, err := ref.Run(q, FullyClient, DataAtClient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(sortedIDs(batch.Answers[i]), sortedIDs(want)) {
+			t.Fatalf("query %d: batch %d ids, individual %d", i, len(batch.Answers[i].IDs), len(want.IDs))
+		}
+	}
+}
+
+func TestBatchAmortizesCommunication(t *testing.T) {
+	ds := smallDataset(t, 8000)
+	qs := batchQueries(ds, 10)
+
+	batched := newEngine(t, ds, nil)
+	if _, err := batched.RunBatch(qs); err != nil {
+		t.Fatal(err)
+	}
+	individual := newEngine(t, ds, nil)
+	for _, q := range qs {
+		if _, err := individual.Run(q, FullyServer, DataAtClient); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rb, ri := batched.Sys.Result(), individual.Sys.Result()
+	// The payload volume is essentially identical, but the batch pays the
+	// per-message fixed costs once: both energy and cycles must drop.
+	if rb.Energy.Total() >= ri.Energy.Total() {
+		t.Fatalf("batching saved no energy: %.4f vs %.4f J", rb.Energy.Total(), ri.Energy.Total())
+	}
+	if rb.TotalClientCycles() >= ri.TotalClientCycles() {
+		t.Fatalf("batching saved no cycles: %d vs %d", rb.TotalClientCycles(), ri.TotalClientCycles())
+	}
+	// The NIC wakes once instead of ten times.
+	if rb.NIC.Wakeups >= ri.NIC.Wakeups {
+		t.Fatalf("batch wakeups %d not below individual %d", rb.NIC.Wakeups, ri.NIC.Wakeups)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ds := smallDataset(t, 500)
+	eng := newEngine(t, ds, nil)
+	if _, err := eng.RunBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/sim"
+)
+
+// smallDataset builds a quick synthetic dataset for unit tests.
+func smallDataset(t testing.TB, n int) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name:           "test",
+		NumSegments:    n,
+		RecordBytes:    76,
+		Extent:         geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 10_000, Y: 10_000}},
+		Clusters:       4,
+		ClusterStdFrac: 0.1,
+		UniformFrac:    0.3,
+		StreetSegs:     [2]int{2, 10},
+		SegLen:         [2]float64{40, 120},
+		GridBias:       0.5,
+		Seed:           77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newEngine(t testing.TB, ds *dataset.Dataset, mutate func(*sim.Params)) *Engine {
+	t.Helper()
+	p := sim.DefaultParams()
+	if mutate != nil {
+		mutate(&p)
+	}
+	sys, err := sim.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(ds, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func sortedIDs(a Answer) []uint32 {
+	ids := append([]uint32(nil), a.IDs...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sameIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSchemesAgreeOnAnswers is the core correctness property: every work
+// partitioning produces exactly the same query answer.
+func TestSchemesAgreeOnAnswers(t *testing.T) {
+	ds := smallDataset(t, 8000)
+	rng := rand.New(rand.NewSource(5))
+
+	type cfg struct {
+		scheme    Scheme
+		placement DataPlacement
+	}
+	cfgs := []cfg{
+		{FullyClient, DataAtClient},
+		{FullyServer, DataAtClient},
+		{FullyServer, DataAtServerOnly},
+		{FilterClientRefineServer, DataAtClient},
+		{FilterClientRefineServer, DataAtServerOnly},
+		{FilterServerRefineClient, DataAtClient},
+	}
+
+	for qi := 0; qi < 30; qi++ {
+		var q Query
+		switch qi % 3 {
+		case 0:
+			s := ds.Segments[rng.Intn(ds.Len())]
+			q = Point(s.A)
+		case 1:
+			c := ds.Segments[rng.Intn(ds.Len())].Midpoint()
+			q = Range(geom.Rect{
+				Min: geom.Point{X: c.X - 200, Y: c.Y - 200},
+				Max: geom.Point{X: c.X + 200, Y: c.Y + 200},
+			})
+		default:
+			q = Nearest(geom.Point{X: rng.Float64() * 10_000, Y: rng.Float64() * 10_000})
+		}
+
+		var ref []uint32
+		for ci, c := range cfgs {
+			if q.Kind == NNQuery && c.scheme != FullyClient && c.scheme != FullyServer {
+				continue
+			}
+			e := newEngine(t, ds, nil)
+			ans, err := e.Run(q, c.scheme, c.placement)
+			if err != nil {
+				t.Fatalf("query %d scheme %v/%v: %v", qi, c.scheme, c.placement, err)
+			}
+			ids := sortedIDs(ans)
+			if ci == 0 {
+				ref = ids
+				continue
+			}
+			if !sameIDs(ids, ref) {
+				t.Fatalf("query %d (%v): scheme %v/%v answered %v, fully-client answered %v",
+					qi, q.Kind, c.scheme, c.placement, ids, ref)
+			}
+		}
+	}
+}
+
+func TestNNRejectsHybridSchemes(t *testing.T) {
+	ds := smallDataset(t, 500)
+	e := newEngine(t, ds, nil)
+	q := Nearest(geom.Point{X: 5, Y: 5})
+	if _, err := e.Run(q, FilterClientRefineServer, DataAtClient); err == nil {
+		t.Error("NN accepted filter/refine split (client filter)")
+	}
+	if _, err := e.Run(q, FilterServerRefineClient, DataAtClient); err == nil {
+		t.Error("NN accepted filter/refine split (server filter)")
+	}
+}
+
+func TestFilterServerRefineClientRequiresLocalData(t *testing.T) {
+	ds := smallDataset(t, 500)
+	e := newEngine(t, ds, nil)
+	q := Range(geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 100, Y: 100}})
+	if _, err := e.Run(q, FilterServerRefineClient, DataAtServerOnly); err == nil {
+		t.Error("refine-at-client without local data accepted")
+	}
+}
+
+func TestFullyClientUsesNoCommunication(t *testing.T) {
+	ds := smallDataset(t, 2000)
+	e := newEngine(t, ds, nil)
+	q := Range(geom.Rect{Min: geom.Point{X: 1000, Y: 1000}, Max: geom.Point{X: 1500, Y: 1500}})
+	if _, err := e.Run(q, FullyClient, DataAtClient); err != nil {
+		t.Fatal(err)
+	}
+	r := e.Sys.Result()
+	if r.TxCycles != 0 || r.RxCycles != 0 || r.WaitCycles != 0 || r.ServerCycles != 0 {
+		t.Fatalf("fully-client communicated: %+v", r)
+	}
+	if r.ProcessorCycles == 0 {
+		t.Fatal("fully-client did no work")
+	}
+}
+
+func TestFullyServerClientDoesAlmostNothing(t *testing.T) {
+	// Needs a query with substantial compute so that the client's fixed
+	// dispatch+protocol overhead is small in comparison — this is exactly
+	// why the paper finds offloading useless for tiny point queries.
+	ds := smallDataset(t, 8000)
+	e := newEngine(t, ds, nil)
+	q := Range(geom.Rect{Min: geom.Point{X: 1000, Y: 1000}, Max: geom.Point{X: 6000, Y: 6000}})
+	if _, err := e.Run(q, FullyServer, DataAtClient); err != nil {
+		t.Fatal(err)
+	}
+	r := e.Sys.Result()
+	if r.ServerCycles == 0 {
+		t.Fatal("server did no work")
+	}
+	if r.TxCycles == 0 || r.RxCycles == 0 {
+		t.Fatal("no communication recorded")
+	}
+	// Client processor work (dispatch + protocol) must be tiny next to the
+	// equivalent fully-client execution.
+	e2 := newEngine(t, ds, nil)
+	if _, err := e2.Run(q, FullyClient, DataAtClient); err != nil {
+		t.Fatal(err)
+	}
+	if r.ProcessorCycles*2 >= e2.Sys.Result().ProcessorCycles {
+		t.Fatalf("fully-server client work %d not << fully-client %d",
+			r.ProcessorCycles, e2.Sys.Result().ProcessorCycles)
+	}
+}
+
+func TestDataPresentShrinksReceiveNotTransmit(t *testing.T) {
+	// §6.1.1: keeping the data at the client only shrinks the reply (ids
+	// instead of records): Rx drops, Tx unchanged — which is why it saves
+	// more performance than energy.
+	ds := smallDataset(t, 8000)
+	q := Range(geom.Rect{Min: geom.Point{X: 2000, Y: 2000}, Max: geom.Point{X: 4000, Y: 4000}})
+
+	eAbsent := newEngine(t, ds, nil)
+	if _, err := eAbsent.Run(q, FullyServer, DataAtServerOnly); err != nil {
+		t.Fatal(err)
+	}
+	ePresent := newEngine(t, ds, nil)
+	if _, err := ePresent.Run(q, FullyServer, DataAtClient); err != nil {
+		t.Fatal(err)
+	}
+	ra, rp := eAbsent.Sys.Result(), ePresent.Sys.Result()
+	if rp.RxCycles >= ra.RxCycles {
+		t.Fatalf("data-present Rx %d not < data-absent Rx %d", rp.RxCycles, ra.RxCycles)
+	}
+	if rp.TxCycles != ra.TxCycles {
+		t.Fatalf("data placement changed Tx: %d vs %d", rp.TxCycles, ra.TxCycles)
+	}
+}
+
+func TestSchemeAndKindStrings(t *testing.T) {
+	if FullyClient.String() != "fully-client" || Scheme(99).String() != "Scheme(?)" {
+		t.Error("scheme strings")
+	}
+	if PointQuery.String() != "point" || RangeQuery.String() != "range" || NNQuery.String() != "nn" {
+		t.Error("kind strings")
+	}
+	if QueryKind(99).String() != "QueryKind(?)" {
+		t.Error("unknown kind string")
+	}
+	if DataAtClient.String() != "data-at-client" || DataAtServerOnly.String() != "data-at-server-only" {
+		t.Error("placement strings")
+	}
+}
+
+func TestUnknownSchemeRejected(t *testing.T) {
+	ds := smallDataset(t, 100)
+	e := newEngine(t, ds, nil)
+	if _, err := e.Run(Point(geom.Point{}), Scheme(42), DataAtClient); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

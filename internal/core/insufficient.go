@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+)
+
+// The insufficient-memory scenario of §4 and §6.2: the dataset and index do
+// not fit on the client. Two schemes are compared:
+//
+//   - fully at the server: no data or index is kept at the client; every
+//     query is shipped and the server replies with full records (there is
+//     nothing on the client for ids to refer to);
+//   - "fully at the client": the client holds a memory-budget-sized slice
+//     of the data and index, shipped by the server around the first query
+//     (Fig. 2). Later queries that fall within the shipment's coverage are
+//     answered locally with no communication at all; a query outside it
+//     discards the slice and re-requests a fresh shipment.
+//
+// With enough spatial proximity from one query to the next, the big
+// shipment amortizes — the trade-off Fig. 10 sweeps.
+
+// Cache is the client-side shipment holder.
+type Cache struct {
+	// Budget is the client memory availability (the x of §6.2: 1 MB, 2 MB).
+	Budget rtree.Budget
+	ship   *rtree.Shipment
+	// Refetches counts shipment downloads (1 for a well-localized
+	// workload).
+	Refetches int64
+	// LocalHits counts queries answered without communication.
+	LocalHits int64
+	// Revalidations and StaleServed are maintained by the update-handling
+	// extension (updates.go): delta exchanges performed, and local answers
+	// served while changes were pending at the server.
+	Revalidations int64
+	StaleServed   int64
+
+	// epoch is the server epoch the cached records reflect;
+	// sinceValidation counts local answers since the last delta exchange.
+	epoch           int64
+	sinceValidation int64
+}
+
+// NewCache returns an empty cache with the given byte budget for a dataset
+// with the given record size.
+func NewCache(budgetBytes, recordBytes int) *Cache {
+	return &Cache{Budget: rtree.Budget{Bytes: budgetBytes, RecordBytes: recordBytes}}
+}
+
+// Holds reports whether the cache can answer the window locally.
+func (c *Cache) Holds(q Query) bool {
+	return c.ship != nil && q.Kind == RangeQuery && c.ship.Coverage.ContainsRect(q.Window)
+}
+
+// RunInsufficientServer executes q fully at the server with no client-side
+// data: identical to the adequate-memory fully-at-server scheme with the
+// data absent from the client.
+func (e *Engine) RunInsufficientServer(q Query) Answer {
+	return e.runFullyServer(q, DataAtServerOnly)
+}
+
+// RunInsufficientClient executes a range query under the client-caching
+// scheme. It returns the answer and whether the query was answered locally.
+// Only range queries are supported — Fig. 10 sweeps range queries, and the
+// coverage guarantee is defined for windows.
+func (e *Engine) RunInsufficientClient(q Query, cache *Cache) (Answer, bool, error) {
+	if q.Kind != RangeQuery {
+		return Answer{}, false, fmt.Errorf("core: insufficient-memory client scheme supports range queries, got %v", q.Kind)
+	}
+	if cache == nil {
+		return Answer{}, false, fmt.Errorf("core: nil cache")
+	}
+	if e.Master == nil {
+		return Answer{}, false, fmt.Errorf("core: insufficient-memory schemes need a packed R-tree master index")
+	}
+
+	if cache.Holds(q) {
+		cache.LocalHits++
+		return e.answerFromCache(q, cache), true, nil
+	}
+
+	// Miss: discard the slice and re-request around this query. The request
+	// carries the query plus the client's memory availability (§4).
+	cache.Refetches++
+	e.Sys.ClientCompute(func(rec ops.Recorder) { rec.Op(ops.OpDispatch, 1) })
+	e.Sys.Send(QueryRequestBytesFor(q))
+
+	var ship *rtree.Shipment
+	var err error
+	e.Sys.ServerCompute(func(rec ops.Recorder) {
+		rec.Op(ops.OpDispatch, 1)
+		ship, err = e.Master.ExtractSubset(q.Window, cache.Budget, rec)
+	})
+	if err != nil {
+		return Answer{}, false, err
+	}
+
+	payload := ShipmentPayloadBytes(len(ship.Items), cache.Budget.RecordBytes, ship.IndexBytes())
+	e.Sys.Receive(payload)
+
+	// Install the shipment: copy records and index out of the receive
+	// buffer into client memory.
+	e.Sys.ClientCompute(func(rec ops.Recorder) {
+		rec.Op(ops.OpCopyWord, payload/4)
+		rec.Load(ops.BufferBase, payload)
+		rec.Store(ops.DataBase, len(ship.Items)*cache.Budget.RecordBytes)
+		rec.Store(ops.IndexBase, ship.IndexBytes())
+	})
+	cache.ship = ship
+
+	if !cache.Holds(q) {
+		// The budget could not hold even this query's full answer
+		// (coverage is empty) — the scheme cannot answer it correctly.
+		return Answer{}, false, fmt.Errorf("core: client budget %d B cannot hold the answer to %v", cache.Budget.Bytes, q.Window)
+	}
+	return e.answerFromCache(q, cache), false, nil
+}
+
+// answerFromCache filters on the shipped sub-index and refines against the
+// shipped records, all on the client.
+func (e *Engine) answerFromCache(q Query, cache *Cache) Answer {
+	var ans Answer
+	e.Sys.ClientCompute(func(rec ops.Recorder) {
+		cands := cache.ship.SubTree.Search(q.Window, rec)
+		ans.IDs = e.refine(q, cands, rec, e.localRecordAddr)
+	})
+	return ans
+}

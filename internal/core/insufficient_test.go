@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/sim"
+)
+
+func TestInsufficientClientMatchesServerAnswers(t *testing.T) {
+	ds := smallDataset(t, 10000)
+	seq := dataset.ProximitySequence(ds, 20, 0.01, 41)
+
+	eClient := newEngine(t, ds, nil)
+	cache := NewCache(256*1024, ds.RecordBytes)
+	eServer := newEngine(t, ds, nil)
+
+	for i, w := range seq {
+		q := Range(w)
+		ansC, local, err := eClient.RunInsufficientClient(q, cache)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if i == 0 && local {
+			t.Fatal("first query cannot be a local hit")
+		}
+		ansS := eServer.RunInsufficientServer(q)
+		if !sameIDs(sortedIDs(ansC), sortedIDs(ansS)) {
+			t.Fatalf("query %d: client-cache answer %d ids, server answer %d ids",
+				i, len(ansC.IDs), len(ansS.IDs))
+		}
+	}
+	if cache.Refetches == 0 {
+		t.Fatal("no shipment ever fetched")
+	}
+	if cache.LocalHits == 0 {
+		t.Fatal("proximity workload produced no local hits")
+	}
+}
+
+func TestInsufficientClientLocalHitsAreCommunicationFree(t *testing.T) {
+	ds := smallDataset(t, 10000)
+	seq := dataset.ProximitySequence(ds, 10, 0.01, 43)
+	e := newEngine(t, ds, nil)
+	cache := NewCache(256*1024, ds.RecordBytes)
+
+	if _, _, err := e.RunInsufficientClient(Range(seq[0]), cache); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Sys.Result()
+
+	for _, w := range seq[1:] {
+		if _, local, err := e.RunInsufficientClient(Range(w), cache); err != nil {
+			t.Fatal(err)
+		} else if !local {
+			t.Fatal("proximate query missed the cache")
+		}
+	}
+	final := e.Sys.Result()
+	if final.TxCycles != after.TxCycles || final.RxCycles != after.RxCycles {
+		t.Fatalf("local hits communicated: tx %d→%d rx %d→%d",
+			after.TxCycles, final.TxCycles, after.RxCycles, final.RxCycles)
+	}
+	if final.ProcessorCycles <= after.ProcessorCycles {
+		t.Fatal("local hits did no client work")
+	}
+}
+
+func TestInsufficientClientRefetchOnFarQuery(t *testing.T) {
+	ds := smallDataset(t, 10000)
+	e := newEngine(t, ds, nil)
+	cache := NewCache(128*1024, ds.RecordBytes)
+
+	// Two queries in opposite corners force a refetch.
+	q1 := Range(geom.Rect{Min: geom.Point{X: 100, Y: 100}, Max: geom.Point{X: 300, Y: 300}})
+	q2 := Range(geom.Rect{Min: geom.Point{X: 9000, Y: 9000}, Max: geom.Point{X: 9300, Y: 9300}})
+	if _, _, err := e.RunInsufficientClient(q1, cache); err != nil {
+		t.Fatal(err)
+	}
+	if _, local, err := e.RunInsufficientClient(q2, cache); err != nil {
+		t.Fatal(err)
+	} else if local {
+		t.Fatal("far query claimed a local hit")
+	}
+	if cache.Refetches != 2 {
+		t.Fatalf("refetches = %d, want 2", cache.Refetches)
+	}
+}
+
+func TestInsufficientClientRejectsNonRange(t *testing.T) {
+	ds := smallDataset(t, 500)
+	e := newEngine(t, ds, nil)
+	cache := NewCache(128*1024, ds.RecordBytes)
+	if _, _, err := e.RunInsufficientClient(Point(geom.Point{}), cache); err == nil {
+		t.Error("point query accepted")
+	}
+	if _, _, err := e.RunInsufficientClient(Range(geom.Rect{}), nil); err == nil {
+		t.Error("nil cache accepted")
+	}
+}
+
+func TestInsufficientClientBudgetTooSmallForAnswer(t *testing.T) {
+	ds := smallDataset(t, 10000)
+	e := newEngine(t, ds, nil)
+	// A budget of ~20 records against a window matching hundreds.
+	cache := NewCache(2000, ds.RecordBytes)
+	q := Range(geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 10000, Y: 10000}})
+	if _, _, err := e.RunInsufficientClient(q, cache); err == nil {
+		t.Fatal("oversized answer accepted")
+	}
+}
+
+// runAmortization executes a y-query proximity sequence under both
+// insufficient-memory schemes and returns their results.
+func runAmortization(t *testing.T, y int) (caching, server sim.Result) {
+	t.Helper()
+	ds := smallDataset(t, 10000)
+	seq := dataset.ProximitySequence(ds, y, 0.008, 47)
+	eC := newEngine(t, ds, nil)
+	cache := NewCache(128*1024, ds.RecordBytes)
+	eS := newEngine(t, ds, nil)
+	for _, w := range seq {
+		if _, _, err := eC.RunInsufficientClient(Range(w), cache); err != nil {
+			t.Fatal(err)
+		}
+		eS.RunInsufficientServer(Range(w))
+	}
+	return eC.Sys.Result(), eS.Sys.Result()
+}
+
+func TestCacheAmortizationShape(t *testing.T) {
+	// The Fig. 10 mechanism in miniature: with few proximate queries the
+	// shipment download dominates and fully-at-server wins both metrics;
+	// with enough proximity the caching scheme's total energy drops below
+	// fully-at-server (the trade-off the paper sweeps).
+	rcFew, rsFew := runAmortization(t, 3)
+	if rcFew.Energy.Total() <= rsFew.Energy.Total() {
+		t.Fatalf("at y=3 caching energy %.4f J already beat server %.4f J — download not charged?",
+			rcFew.Energy.Total(), rsFew.Energy.Total())
+	}
+	if rcFew.TotalClientCycles() <= rsFew.TotalClientCycles() {
+		t.Fatalf("at y=3 caching cycles %d already beat server %d",
+			rcFew.TotalClientCycles(), rsFew.TotalClientCycles())
+	}
+
+	rcMany, rsMany := runAmortization(t, 120)
+	if rcMany.Energy.Total() >= rsMany.Energy.Total() {
+		t.Fatalf("after 120 proximate queries caching energy %.3f J not < server %.3f J",
+			rcMany.Energy.Total(), rsMany.Energy.Total())
+	}
+}

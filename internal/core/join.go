@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/sim"
+)
+
+// Spatial-join work partitioning — extending the paper's scheme taxonomy to
+// the intersection join between two layers (streets × rail/utility lines),
+// another of the §7 "other spatial queries". The join, too, splits at the
+// filtering/refinement boundary: the filtering step is the synchronized
+// traversal of both R-trees (rtree.JoinCandidates), the refinement step the
+// exact segment–segment tests over the candidate pairs.
+//
+// Placement considerations mirror the single-layer schemes, with one twist:
+// the join needs *both* layers' indexes for filtering and both layers'
+// records for refinement, so the filter-at-client variant only makes sense
+// when the (small) overlay layer is replicated.
+
+// JoinSpec binds the two layers and their indexes.
+type JoinSpec struct {
+	// Base is the large layer (the street network); Overlay the small one
+	// (rail/utility lines), with records stored after Base's.
+	Base, Overlay         *dataset.Dataset
+	BaseTree, OverlayTree *rtree.Tree
+	// overlayAddr maps overlay record ids to simulated addresses.
+	overlayAddr func(uint32) uint64
+}
+
+// NewJoinSpec bulk-loads both indexes. The overlay's index is placed after
+// the base index in the simulated address space.
+func NewJoinSpec(base, overlay *dataset.Dataset) (*JoinSpec, error) {
+	bt, err := rtree.Build(base.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	ot, err := rtree.Build(overlay.Items(), rtree.Config{
+		BaseAddr: ops.IndexBase + uint64(bt.IndexBytes()),
+	}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	return &JoinSpec{
+		Base:        base,
+		Overlay:     overlay,
+		BaseTree:    bt,
+		OverlayTree: ot,
+		overlayAddr: overlay.RecordAddrAfter(base),
+	}, nil
+}
+
+// JoinScheme selects where the join executes.
+type JoinScheme uint8
+
+// The evaluated join partitionings.
+const (
+	// JoinFullyClient: both indexes and layers on the client; no
+	// communication.
+	JoinFullyClient JoinScheme = iota
+	// JoinFullyServer: the query ships; the reply carries the result pairs
+	// (8 bytes each — both layers are replicated on the client, so ids
+	// suffice).
+	JoinFullyServer
+	// JoinFilterServerRefineClient: the server runs the synchronized
+	// traversal and ships the candidate pairs; the client refines against
+	// its local records.
+	JoinFilterServerRefineClient
+)
+
+var joinSchemeNames = [...]string{
+	"join-fully-client", "join-fully-server", "join-filter-server-refine-client",
+}
+
+// String implements fmt.Stringer.
+func (s JoinScheme) String() string {
+	if int(s) < len(joinSchemeNames) {
+		return joinSchemeNames[s]
+	}
+	return "JoinScheme(?)"
+}
+
+// PairBytes is the wire size of one candidate/result pair.
+const PairBytes = 8
+
+// RunJoin executes the intersection join of the spec's two layers under the
+// given scheme on sys, returning the matching pairs.
+func RunJoin(sys *sim.System, spec *JoinSpec, scheme JoinScheme) ([]rtree.Pair, error) {
+	if spec == nil || spec.BaseTree == nil || spec.OverlayTree == nil {
+		return nil, fmt.Errorf("core: incomplete join spec")
+	}
+	switch scheme {
+	case JoinFullyClient:
+		var pairs []rtree.Pair
+		sys.ClientCompute(func(rec ops.Recorder) {
+			cands := rtree.JoinCandidates(spec.BaseTree, spec.OverlayTree, rec)
+			pairs = spec.refine(cands, rec)
+		})
+		return pairs, nil
+
+	case JoinFullyServer:
+		sys.ClientCompute(func(rec ops.Recorder) { rec.Op(ops.OpDispatch, 1) })
+		sys.Send(QueryRequestBytesFor(Query{}))
+		var pairs []rtree.Pair
+		sys.ServerCompute(func(rec ops.Recorder) {
+			rec.Op(ops.OpDispatch, 1)
+			cands := rtree.JoinCandidates(spec.BaseTree, spec.OverlayTree, rec)
+			pairs = spec.refine(cands, rec)
+			rec.Op(ops.OpCopyWord, len(pairs)*PairBytes/4)
+		})
+		sys.Receive(ListHeaderPlusPairs(len(pairs)))
+		return pairs, nil
+
+	case JoinFilterServerRefineClient:
+		sys.ClientCompute(func(rec ops.Recorder) { rec.Op(ops.OpDispatch, 1) })
+		sys.Send(QueryRequestBytesFor(Query{}))
+		var cands []rtree.Pair
+		sys.ServerCompute(func(rec ops.Recorder) {
+			rec.Op(ops.OpDispatch, 1)
+			cands = rtree.JoinCandidates(spec.BaseTree, spec.OverlayTree, rec)
+			rec.Op(ops.OpCopyWord, len(cands)*PairBytes/4)
+		})
+		sys.Receive(ListHeaderPlusPairs(len(cands)))
+		var pairs []rtree.Pair
+		sys.ClientCompute(func(rec ops.Recorder) {
+			rec.Op(ops.OpCopyWord, len(cands)*PairBytes/4)
+			pairs = spec.refine(cands, rec)
+		})
+		return pairs, nil
+	}
+	return nil, fmt.Errorf("core: unknown join scheme %v", scheme)
+}
+
+// refine applies the exact intersection predicate to the candidate pairs.
+func (s *JoinSpec) refine(cands []rtree.Pair, rec ops.Recorder) []rtree.Pair {
+	hits := cands[:0:0]
+	for _, pr := range cands {
+		rec.Load(s.Base.RecordAddr(pr.A), 16)
+		rec.Load(s.overlayAddr(pr.B), 16)
+		rec.Op(ops.OpRefineRange, 1) // exact segment×segment test ≈ clip cost
+		if geom.SegmentsIntersect(s.Base.Seg(pr.A), s.Overlay.Seg(pr.B)) {
+			rec.Op(ops.OpResultAppend, 1)
+			hits = append(hits, pr)
+		}
+	}
+	return hits
+}
+
+// ListHeaderPlusPairs is the payload size of a pair list.
+func ListHeaderPlusPairs(n int) int { return IDListBytes(0) + n*PairBytes }

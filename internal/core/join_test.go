@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/sim"
+)
+
+func joinFixture(t testing.TB) (*JoinSpec, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	base := smallDataset(t, 8000)
+	overlay, err := dataset.UtilityLines(base, 6, 40, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewJoinSpec(base, overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, base, overlay
+}
+
+func bruteJoin(a, b *dataset.Dataset) []rtree.Pair {
+	var out []rtree.Pair
+	for i, sa := range a.Segments {
+		for j, sb := range b.Segments {
+			if geom.SegmentsIntersect(sa, sb) {
+				out = append(out, rtree.Pair{A: uint32(i), B: uint32(j)})
+			}
+		}
+	}
+	return out
+}
+
+func sortPairs(p []rtree.Pair) {
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].A != p[j].A {
+			return p[i].A < p[j].A
+		}
+		return p[i].B < p[j].B
+	})
+}
+
+func samePairs(a, b []rtree.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	spec, base, overlay := joinFixture(t)
+	want := bruteJoin(base, overlay)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no intersections")
+	}
+	sys, err := sim.New(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunJoin(sys, spec, JoinFullyClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortPairs(got)
+	sortPairs(want)
+	if !samePairs(got, want) {
+		t.Fatalf("join returned %d pairs, brute force %d", len(got), len(want))
+	}
+}
+
+func TestJoinSchemesAgree(t *testing.T) {
+	spec, _, _ := joinFixture(t)
+	var ref []rtree.Pair
+	for i, scheme := range []JoinScheme{JoinFullyClient, JoinFullyServer, JoinFilterServerRefineClient} {
+		sys, err := sim.New(sim.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunJoin(sys, spec, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(got)
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !samePairs(got, ref) {
+			t.Fatalf("%v: %d pairs vs fully-client %d", scheme, len(got), len(ref))
+		}
+	}
+}
+
+func TestJoinSchemeAccounting(t *testing.T) {
+	spec, _, _ := joinFixture(t)
+	results := map[JoinScheme]sim.Result{}
+	for _, scheme := range []JoinScheme{JoinFullyClient, JoinFullyServer, JoinFilterServerRefineClient} {
+		sys, err := sim.New(sim.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunJoin(sys, spec, scheme); err != nil {
+			t.Fatal(err)
+		}
+		results[scheme] = sys.Result()
+	}
+	if r := results[JoinFullyClient]; r.TxCycles != 0 || r.ServerCycles != 0 {
+		t.Fatal("fully-client join communicated")
+	}
+	if r := results[JoinFullyServer]; r.ServerCycles == 0 || r.RxCycles == 0 {
+		t.Fatal("fully-server join did not use the server")
+	}
+	// Filter-at-server ships candidates (more pairs than results), so its
+	// Rx exceeds fully-server's.
+	if results[JoinFilterServerRefineClient].RxCycles <= results[JoinFullyServer].RxCycles {
+		t.Fatal("candidate shipping not larger than result shipping")
+	}
+	// And its client does the refinement work.
+	if results[JoinFilterServerRefineClient].ProcessorCycles <= results[JoinFullyServer].ProcessorCycles {
+		t.Fatal("refine-at-client did no extra client work")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	sys, err := sim.New(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunJoin(sys, nil, JoinFullyClient); err == nil {
+		t.Error("nil spec accepted")
+	}
+	spec, _, _ := joinFixture(t)
+	if _, err := RunJoin(sys, spec, JoinScheme(9)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if JoinFullyClient.String() != "join-fully-client" || JoinScheme(9).String() != "JoinScheme(?)" {
+		t.Error("scheme strings")
+	}
+}
+
+func TestUtilityLinesGenerator(t *testing.T) {
+	base := smallDataset(t, 1000)
+	if _, err := dataset.UtilityLines(base, 0, 10, 1); err == nil {
+		t.Error("zero lines accepted")
+	}
+	overlay, err := dataset.UtilityLines(base, 4, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlay.Len() == 0 || overlay.Len() > 100 {
+		t.Fatalf("overlay has %d segments", overlay.Len())
+	}
+	for i, s := range overlay.Segments {
+		if !base.Extent.ContainsPoint(s.A) || !base.Extent.ContainsPoint(s.B) {
+			t.Fatalf("overlay segment %d escapes the extent", i)
+		}
+	}
+	// Address layout: after the base's records.
+	addr := overlay.RecordAddrAfter(base)
+	if addr(0) != base.RecordAddr(uint32(base.Len()-1))+uint64(base.RecordBytes) {
+		t.Fatal("overlay records do not follow the base records")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/pmrquad"
+	"mobispatial/internal/sim"
+)
+
+func TestKNNSchemesAgree(t *testing.T) {
+	ds := smallDataset(t, 6000)
+	q := KNearest(geom.Point{X: 4200, Y: 6100}, 8)
+
+	eC := newEngine(t, ds, nil)
+	ansC, err := eC.Run(q, FullyClient, DataAtClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ansC.IDs) != 8 {
+		t.Fatalf("k-NN returned %d ids, want 8", len(ansC.IDs))
+	}
+	eS := newEngine(t, ds, nil)
+	ansS, err := eS.Run(q, FullyServer, DataAtServerOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k-NN results are distance-ordered, so compare in order.
+	for i := range ansC.IDs {
+		if ansC.IDs[i] != ansS.IDs[i] {
+			t.Fatalf("neighbor %d differs: %d vs %d", i, ansC.IDs[i], ansS.IDs[i])
+		}
+	}
+	if ansC.NNDist != ansS.NNDist {
+		t.Fatal("nearest distances differ")
+	}
+	// Results must be the k nearest: the first equals the 1-NN answer.
+	one, err := newEngine(t, ds, nil).Run(Nearest(q.Point), FullyClient, DataAtClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.IDs[0] != ansC.IDs[0] {
+		t.Fatal("k-NN head differs from 1-NN")
+	}
+}
+
+func TestKNNRejectsHybridSchemes(t *testing.T) {
+	ds := smallDataset(t, 500)
+	e := newEngine(t, ds, nil)
+	q := KNearest(geom.Point{X: 5, Y: 5}, 4)
+	if _, err := e.Run(q, FilterClientRefineServer, DataAtClient); err == nil {
+		t.Error("k-NN accepted a filter/refine split")
+	}
+}
+
+func TestKNNRejectsUnsupportedIndex(t *testing.T) {
+	ds := smallDataset(t, 500)
+	quad, err := pmrquad.Build(ds.Segments, ds.Extent, pmrquad.Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := sim.New(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngineWithIndex(ds, quad, sys)
+	if _, err := eng.Run(KNearest(geom.Point{X: 5, Y: 5}, 4), FullyClient, DataAtClient); err == nil {
+		t.Fatal("PMR quadtree accepted a k-NN query")
+	}
+	// Plain NN still works on the quadtree.
+	if _, err := eng.Run(Nearest(geom.Point{X: 5, Y: 5}), FullyClient, DataAtClient); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNNReplySizeScalesWithK(t *testing.T) {
+	ds := smallDataset(t, 4000)
+	p := geom.Point{X: 5000, Y: 5000}
+	small := newEngine(t, ds, nil)
+	if _, err := small.Run(KNearest(p, 2), FullyServer, DataAtServerOnly); err != nil {
+		t.Fatal(err)
+	}
+	big := newEngine(t, ds, nil)
+	if _, err := big.Run(KNearest(p, 200), FullyServer, DataAtServerOnly); err != nil {
+		t.Fatal(err)
+	}
+	if big.Sys.Result().RxCycles <= small.Sys.Result().RxCycles {
+		t.Fatal("larger k did not grow the reply")
+	}
+}

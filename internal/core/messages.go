@@ -1,0 +1,22 @@
+package core
+
+import "mobispatial/internal/proto"
+
+// Message-size helpers: thin veneer over the protocol catalogue so scheme
+// code reads in domain terms.
+
+// QueryRequestBytesFor returns the request payload size for q. All three
+// query types fit the fixed-size descriptor (type tag, geometry parameters,
+// client memory availability).
+func QueryRequestBytesFor(Query) int { return proto.QueryRequestBytes }
+
+// IDListBytes is the payload of an n-id object-id list.
+func IDListBytes(n int) int { return proto.IDListBytes(n) }
+
+// DataListBytes is the payload of n full data records.
+func DataListBytes(n, recordBytes int) int { return proto.DataListBytes(n, recordBytes) }
+
+// ShipmentPayloadBytes is the payload of an insufficient-memory shipment.
+func ShipmentPayloadBytes(items, recordBytes, indexBytes int) int {
+	return proto.ShipmentBytes(items, recordBytes, indexBytes)
+}

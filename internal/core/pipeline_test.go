@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/sim"
+)
+
+func pipelineQuery(ds int) Query {
+	return Range(geom.Rect{
+		Min: geom.Point{X: 1000, Y: 1000},
+		Max: geom.Point{X: 7000, Y: 7000},
+	})
+}
+
+func TestPipelinedMatchesPlainAnswers(t *testing.T) {
+	ds := smallDataset(t, 12000)
+	q := pipelineQuery(0)
+
+	plainEng := newEngine(t, ds, nil)
+	want, err := plainEng.Run(q, FilterClientRefineServer, DataAtClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slices := range []int{1, 2, 4, 8} {
+		eng := newEngine(t, ds, nil)
+		got, err := eng.RunPipelined(q, DataAtClient, slices)
+		if err != nil {
+			t.Fatalf("slices=%d: %v", slices, err)
+		}
+		if !sameIDs(sortedIDs(got), sortedIDs(want)) {
+			t.Fatalf("slices=%d: %d ids, plain scheme %d", slices, len(got.IDs), len(want.IDs))
+		}
+	}
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	ds := smallDataset(t, 500)
+	eng := newEngine(t, ds, nil)
+	if _, err := eng.RunPipelined(Point(geom.Point{}), DataAtClient, 4); err == nil {
+		t.Error("point query accepted")
+	}
+	if _, err := eng.RunPipelined(pipelineQuery(0), DataAtClient, 0); err == nil {
+		t.Error("zero slices accepted")
+	}
+}
+
+func TestPipelinedHidesFilteringLatency(t *testing.T) {
+	// The point of w4 > 0: at low bandwidth the pipelined variant finishes
+	// in fewer total client cycles than the serial
+	// filter-at-client + refine-at-server scheme, with similar energy
+	// (same work, just overlapped).
+	ds := smallDataset(t, 12000)
+	q := pipelineQuery(0)
+	slow := func(p *sim.Params) { p.BandwidthBps = 2e6 }
+
+	serial := newEngine(t, ds, slow)
+	if _, err := serial.Run(q, FilterClientRefineServer, DataAtClient); err != nil {
+		t.Fatal(err)
+	}
+	rs := serial.Sys.Result()
+
+	pipe := newEngine(t, ds, slow)
+	if _, err := pipe.RunPipelined(q, DataAtClient, 6); err != nil {
+		t.Fatal(err)
+	}
+	rp := pipe.Sys.Result()
+
+	if rp.TotalClientCycles() >= rs.TotalClientCycles() {
+		t.Fatalf("pipelined cycles %d not below serial %d",
+			rp.TotalClientCycles(), rs.TotalClientCycles())
+	}
+	// Energy stays in the same ballpark (the NIC idles more but the per-
+	// byte work is identical).
+	if ratio := rp.Energy.Total() / rs.Energy.Total(); ratio > 1.3 || ratio < 0.6 {
+		t.Fatalf("pipelined energy ratio %.2f implausible", ratio)
+	}
+}
+
+func TestPipelinedSingleSliceDegeneratesToSerial(t *testing.T) {
+	// With one slice there is nothing to overlap: prologue + epilogue only.
+	ds := smallDataset(t, 5000)
+	q := pipelineQuery(0)
+	eng := newEngine(t, ds, nil)
+	if _, err := eng.RunPipelined(q, DataAtClient, 1); err != nil {
+		t.Fatal(err)
+	}
+	r := eng.Sys.Result()
+	if r.TxCycles == 0 || r.RxCycles == 0 || r.ServerCycles == 0 {
+		t.Fatalf("degenerate pipeline missing phases: %+v", r)
+	}
+}
+
+func TestSliceWindowCoversExactly(t *testing.T) {
+	w := geom.Rect{Min: geom.Point{X: 3, Y: 5}, Max: geom.Point{X: 17, Y: 11}}
+	for _, n := range []int{1, 2, 3, 7} {
+		slices := sliceWindow(w, n)
+		if len(slices) != n {
+			t.Fatalf("n=%d: %d slices", n, len(slices))
+		}
+		if slices[0].Min != w.Min {
+			t.Fatalf("n=%d: first slice starts at %v", n, slices[0].Min)
+		}
+		if slices[n-1].Max != w.Max {
+			t.Fatalf("n=%d: last slice ends at %v", n, slices[n-1].Max)
+		}
+		for i := 1; i < n; i++ {
+			if slices[i].Min.X != slices[i-1].Max.X {
+				t.Fatalf("n=%d: gap between slice %d and %d", n, i-1, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/roadnet"
+)
+
+// Route-query work partitioning: "driving directions" is the first
+// application the paper's road-atlas discussion names, and the most
+// compute-intensive query of the workload — A* expands thousands of graph
+// nodes, making it the strongest offloading candidate of the suite. The
+// placement question doubles: the client needs the *graph* locally to route
+// itself, exactly as it needs the index to filter.
+
+// RouteSpec binds the routable graph to its underlying dataset.
+type RouteSpec struct {
+	DS    *dataset.Dataset
+	Graph *roadnet.Graph
+}
+
+// NewRouteSpec derives the graph (50 m snap) from the dataset.
+func NewRouteSpec(ds *dataset.Dataset) (*RouteSpec, error) {
+	g, err := roadnet.Build(ds, 0, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	return &RouteSpec{DS: ds, Graph: g}, nil
+}
+
+// RouteScheme selects where the shortest-path computation runs.
+type RouteScheme uint8
+
+// The evaluated route partitionings.
+const (
+	// RouteFullyClient: graph on the device, no communication.
+	RouteFullyClient RouteScheme = iota
+	// RouteFullyServer: terminals ship up; the path's segment ids ship
+	// down (the client holds the data, so ids suffice for display).
+	RouteFullyServer
+)
+
+var routeSchemeNames = [...]string{"route-fully-client", "route-fully-server"}
+
+// String implements fmt.Stringer.
+func (s RouteScheme) String() string {
+	if int(s) < len(routeSchemeNames) {
+		return routeSchemeNames[s]
+	}
+	return "RouteScheme(?)"
+}
+
+// RunRoute computes the shortest path between the street-network points
+// nearest from and to, under the given scheme, charging sys. ok == false
+// when the terminals are not connected in the network.
+func RunRoute(sys SysRunner, spec *RouteSpec, from, to geom.Point, scheme RouteScheme) (roadnet.Route, bool, error) {
+	if spec == nil || spec.Graph == nil {
+		return roadnet.Route{}, false, fmt.Errorf("core: incomplete route spec")
+	}
+	compute := func(rec ops.Recorder) (roadnet.Route, bool) {
+		src, ok1 := spec.Graph.NearestNode(from, rec)
+		dst, ok2 := spec.Graph.NearestNode(to, rec)
+		if !ok1 || !ok2 {
+			return roadnet.Route{}, false
+		}
+		return spec.Graph.ShortestPath(src, dst, rec)
+	}
+
+	switch scheme {
+	case RouteFullyClient:
+		var route roadnet.Route
+		var ok bool
+		sys.ClientCompute(func(rec ops.Recorder) {
+			rec.Op(ops.OpDispatch, 1)
+			route, ok = compute(rec)
+		})
+		return route, ok, nil
+
+	case RouteFullyServer:
+		sys.ClientCompute(func(rec ops.Recorder) { rec.Op(ops.OpDispatch, 1) })
+		sys.Send(QueryRequestBytesFor(Query{}))
+		var route roadnet.Route
+		var ok bool
+		sys.ServerCompute(func(rec ops.Recorder) {
+			rec.Op(ops.OpDispatch, 1)
+			route, ok = compute(rec)
+			rec.Op(ops.OpCopyWord, len(route.SegIDs))
+		})
+		sys.Receive(IDListBytes(len(route.SegIDs)))
+		return route, ok, nil
+	}
+	return roadnet.Route{}, false, fmt.Errorf("core: unknown route scheme %v", scheme)
+}
+
+// SysRunner is the subset of the simulator the route scheme needs; it lets
+// tests substitute instrumented doubles.
+type SysRunner interface {
+	ClientCompute(func(ops.Recorder))
+	ServerCompute(func(ops.Recorder))
+	Send(int)
+	Receive(int)
+}

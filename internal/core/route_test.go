@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/sim"
+)
+
+func routeFixture(t testing.TB) *RouteSpec {
+	t.Helper()
+	// A compact, dense network so routes exist.
+	ds := smallDataset(t, 15000)
+	spec, err := NewRouteSpec(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestRouteSchemesAgree(t *testing.T) {
+	spec := routeFixture(t)
+	from := geom.Point{X: 2000, Y: 2000}
+	to := geom.Point{X: 8000, Y: 8000}
+
+	sysC, err := sim.New(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routeC, okC, err := RunRoute(sysC, spec, from, to, RouteFullyClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysS, err := sim.New(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routeS, okS, err := RunRoute(sysS, spec, from, to, RouteFullyServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okC != okS {
+		t.Fatalf("connectivity disagrees: client %v server %v", okC, okS)
+	}
+	if !okC {
+		t.Skip("terminals not connected in this synthetic network")
+	}
+	if routeC.Meters != routeS.Meters || len(routeC.SegIDs) != len(routeS.SegIDs) {
+		t.Fatalf("routes differ: %.1f m/%d segs vs %.1f m/%d segs",
+			routeC.Meters, len(routeC.SegIDs), routeS.Meters, len(routeS.SegIDs))
+	}
+
+	// Accounting: fully-client is communication-free; fully-server uses the
+	// radio and the server.
+	rc, rs := sysC.Result(), sysS.Result()
+	if rc.TxCycles != 0 || rc.ServerCycles != 0 {
+		t.Fatal("fully-client route communicated")
+	}
+	if rs.ServerCycles == 0 || rs.RxCycles == 0 {
+		t.Fatal("fully-server route did not use the server")
+	}
+	// Routing is compute-heavy: offloading must slash the client cycles.
+	if rs.TotalClientCycles() >= rc.TotalClientCycles() {
+		t.Fatalf("offloaded route cycles %d not below local %d",
+			rs.TotalClientCycles(), rc.TotalClientCycles())
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	sys, err := sim.New(sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunRoute(sys, nil, geom.Point{}, geom.Point{}, RouteFullyClient); err == nil {
+		t.Error("nil spec accepted")
+	}
+	spec := routeFixture(t)
+	if _, _, err := RunRoute(sys, spec, geom.Point{}, geom.Point{}, RouteScheme(7)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if RouteFullyClient.String() != "route-fully-client" || RouteScheme(7).String() != "RouteScheme(?)" {
+		t.Error("scheme strings")
+	}
+}

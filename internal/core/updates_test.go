@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"mobispatial/internal/dataset"
+)
+
+func TestUpdateLog(t *testing.T) {
+	log := NewUpdateLog()
+	if log.Epoch() != 0 {
+		t.Fatal("fresh log epoch != 0")
+	}
+	log.Apply([]uint32{1, 2, 3})
+	log.Apply([]uint32{3, 4})
+	if log.Epoch() != 2 {
+		t.Fatalf("epoch = %d", log.Epoch())
+	}
+	all := log.UpdatedSince(0, nil)
+	if len(all) != 4 {
+		t.Fatalf("updated since 0: %d ids", len(all))
+	}
+	recent := log.UpdatedSince(1, nil)
+	if len(recent) != 2 { // ids 3 and 4 at epoch 2
+		t.Fatalf("updated since 1: %v", recent)
+	}
+	odd := log.UpdatedSince(0, func(id uint32) bool { return id%2 == 1 })
+	if len(odd) != 2 {
+		t.Fatalf("filtered: %v", odd)
+	}
+}
+
+func TestValidatedFlowCountsAndPatches(t *testing.T) {
+	ds := smallDataset(t, 10000)
+	seq := dataset.ProximitySequence(ds, 12, 0.01, 51)
+	e := newEngine(t, ds, nil)
+	cache := NewCache(256*1024, ds.RecordBytes)
+	log := NewUpdateLog()
+
+	// Anchor query fetches the shipment.
+	if _, local, _, err := e.RunInsufficientClientValidated(Range(seq[0]), cache, log, 3); err != nil {
+		t.Fatal(err)
+	} else if local {
+		t.Fatal("anchor was local")
+	}
+
+	// Server-side updates land inside the covered area.
+	updated := e.RandomUpdates(seq[1], 5)
+	if len(updated) == 0 {
+		t.Skip("no records under the first follow-up window")
+	}
+	log.Apply(updated)
+
+	totalPatched := 0
+	for _, w := range seq[1:] {
+		_, local, patched, err := e.RunInsufficientClientValidated(Range(w), cache, log, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !local {
+			t.Fatal("follow-up missed the cache")
+		}
+		totalPatched += patched
+	}
+	if cache.Revalidations == 0 {
+		t.Fatal("lease never triggered a revalidation")
+	}
+	if totalPatched == 0 {
+		t.Fatal("updates were never patched to the client")
+	}
+	if cache.StaleServed == 0 {
+		t.Fatal("no stale answers counted before the revalidation")
+	}
+}
+
+func TestValidatedLeaseTradeoff(t *testing.T) {
+	// A shorter lease revalidates more (more energy), serves less staleness.
+	run := func(lease int) (*Cache, float64) {
+		ds := smallDataset(t, 10000)
+		seq := dataset.ProximitySequence(ds, 30, 0.01, 53)
+		e := newEngine(t, ds, nil)
+		cache := NewCache(256*1024, ds.RecordBytes)
+		log := NewUpdateLog()
+		for i, w := range seq {
+			if i%3 == 1 {
+				log.Apply(e.RandomUpdates(w, 2))
+			}
+			if _, _, _, err := e.RunInsufficientClientValidated(Range(w), cache, log, lease); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return cache, e.Sys.Result().Energy.Total()
+	}
+	eager, eagerJ := run(1)
+	lazy, lazyJ := run(10)
+	if eager.Revalidations <= lazy.Revalidations {
+		t.Fatalf("lease=1 revalidations %d not above lease=10 %d",
+			eager.Revalidations, lazy.Revalidations)
+	}
+	if eagerJ <= lazyJ {
+		t.Fatalf("eager validation energy %.4f not above lazy %.4f", eagerJ, lazyJ)
+	}
+	if eager.StaleServed > lazy.StaleServed {
+		t.Fatalf("eager staleness %d above lazy %d", eager.StaleServed, lazy.StaleServed)
+	}
+}
+
+func TestValidatedRequiresLog(t *testing.T) {
+	ds := smallDataset(t, 500)
+	e := newEngine(t, ds, nil)
+	cache := NewCache(128*1024, ds.RecordBytes)
+	if _, _, _, err := e.RunInsufficientClientValidated(Range(ds.Extent), cache, nil, 3); err == nil {
+		t.Fatal("nil log accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package cpu
+
+import (
+	"testing"
+
+	"mobispatial/internal/cache"
+	"mobispatial/internal/ops"
+)
+
+func newTestClient(t *testing.T) *Client {
+	t.Helper()
+	c, err := NewClient(DefaultClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClientValidation(t *testing.T) {
+	bad := DefaultClientConfig()
+	bad.ClockHz = 0
+	if _, err := NewClient(bad); err == nil {
+		t.Error("zero clock accepted")
+	}
+	bad = DefaultClientConfig()
+	bad.ICache = cache.Config{SizeBytes: 100, LineBytes: 32, Assoc: 4}
+	if _, err := NewClient(bad); err == nil {
+		t.Error("bad I-cache geometry accepted")
+	}
+	bad = DefaultClientConfig()
+	bad.MemLatency = 0
+	if _, err := NewClient(bad); err == nil {
+		t.Error("zero memory latency accepted")
+	}
+}
+
+func TestDefaultClientMatchesTable3(t *testing.T) {
+	cfg := DefaultClientConfig()
+	if cfg.ICache.SizeBytes != 16*1024 || cfg.ICache.Assoc != 4 || cfg.ICache.LineBytes != 32 {
+		t.Errorf("I-cache config %+v not Table 3", cfg.ICache)
+	}
+	if cfg.DCache.SizeBytes != 8*1024 || cfg.DCache.Assoc != 4 || cfg.DCache.LineBytes != 32 {
+		t.Errorf("D-cache config %+v not Table 3", cfg.DCache)
+	}
+	if cfg.MemLatency != 100 {
+		t.Errorf("memory latency %d, want 100", cfg.MemLatency)
+	}
+	if cfg.ClockHz != 1e9/8 {
+		t.Errorf("default client clock %v, want MhzS/8", cfg.ClockHz)
+	}
+}
+
+func TestClientOpAccounting(t *testing.T) {
+	c := newTestClient(t)
+	costs := DefaultOpCosts()
+	c.Op(ops.OpMBRTest, 10)
+	act := c.Activity()
+	wantInstr := int64(costs[ops.OpMBRTest].Instr) * 10
+	if act.Instructions != wantInstr {
+		t.Fatalf("instructions = %d, want %d", act.Instructions, wantInstr)
+	}
+	// Single issue: cycles >= instructions, extra is stall from the single
+	// cold I-cache fill.
+	if act.Cycles < act.Instructions {
+		t.Fatalf("cycles %d < instructions %d", act.Cycles, act.Instructions)
+	}
+	if act.ICache.Accesses != wantInstr {
+		t.Fatalf("fetches = %d, want %d", act.ICache.Accesses, wantInstr)
+	}
+	if act.ICache.Misses == 0 {
+		t.Fatal("cold I-cache produced no misses")
+	}
+}
+
+func TestClientRepeatedOpsOnlyColdMiss(t *testing.T) {
+	c := newTestClient(t)
+	c.Op(ops.OpMBRTest, 1)
+	coldStall := c.Activity().StallCycles
+	c.Op(ops.OpMBRTest, 1000)
+	if got := c.Activity().StallCycles; got != coldStall {
+		t.Fatalf("warm op executions stalled: %d vs cold %d", got, coldStall)
+	}
+}
+
+func TestClientDataAccessStalls(t *testing.T) {
+	c := newTestClient(t)
+	c.Load(ops.DataBase, 4)
+	act := c.Activity()
+	if act.DCache.Misses != 1 {
+		t.Fatalf("cold load misses = %d", act.DCache.Misses)
+	}
+	if act.StallCycles != int64(c.cfg.MemLatency) {
+		t.Fatalf("stall = %d, want %d", act.StallCycles, c.cfg.MemLatency)
+	}
+	c.Load(ops.DataBase, 4)
+	if got := c.Activity().DCache.Misses; got != 1 {
+		t.Fatalf("warm load missed again: %d", got)
+	}
+	c.Store(ops.DataBase+64, 8)
+	if got := c.Activity().DCache.Writes; got == 0 {
+		t.Fatal("store not counted as write")
+	}
+}
+
+func TestClientZeroSizeAccessIsNoop(t *testing.T) {
+	c := newTestClient(t)
+	c.Load(ops.DataBase, 0)
+	c.Store(ops.DataBase, -4)
+	c.Op(ops.OpMBRTest, 0)
+	c.Op(ops.OpMBRTest, -1)
+	if act := c.Activity(); act.Cycles != 0 || act.Instructions != 0 {
+		t.Fatalf("no-op accesses produced activity: %+v", act)
+	}
+}
+
+func TestClientSeconds(t *testing.T) {
+	c := newTestClient(t)
+	if got := c.Seconds(int64(c.cfg.ClockHz)); got != 1.0 {
+		t.Fatalf("Seconds(1s of cycles) = %v", got)
+	}
+}
+
+func TestClientResetVariants(t *testing.T) {
+	c := newTestClient(t)
+	c.Op(ops.OpRefineRange, 5)
+	c.Load(ops.DataBase, 64)
+	c.ResetActivity()
+	if act := c.Activity(); act.Cycles != 0 {
+		t.Fatalf("activity after ResetActivity: %+v", act)
+	}
+	// Warm: repeating the same access must not miss.
+	c.Load(ops.DataBase, 64)
+	if got := c.Activity().DCache.Misses; got != 0 {
+		t.Fatalf("ResetActivity lost cache contents: %d misses", got)
+	}
+	c.Reset()
+	c.Load(ops.DataBase, 64)
+	if got := c.Activity().DCache.Misses; got == 0 {
+		t.Fatal("Reset kept cache contents")
+	}
+}
+
+func TestServerFasterThanClient(t *testing.T) {
+	// The same operation stream must take far fewer wall seconds on the
+	// 1 GHz 4-issue server than on the 125 MHz single-issue client.
+	client := newTestClient(t)
+	server, err := NewServer(DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := func(rec ops.Recorder) {
+		for i := 0; i < 200; i++ {
+			rec.Op(ops.OpRefineRange, 10)
+			rec.Load(ops.DataBase+uint64(i*64), 64)
+		}
+	}
+	work(client)
+	work(server)
+	ct := client.Seconds(client.Activity().Cycles)
+	st := server.Seconds(server.Cycles())
+	if ratio := ct / st; ratio < 8 || ratio > 64 {
+		t.Fatalf("client/server time ratio %.1f outside plausible [8,64]", ratio)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	bad := DefaultServerConfig()
+	bad.IssueWidth = 0
+	if _, err := NewServer(bad); err == nil {
+		t.Error("zero issue width accepted")
+	}
+	bad = DefaultServerConfig()
+	bad.IPCEfficiency = 1.5
+	if _, err := NewServer(bad); err == nil {
+		t.Error("IPC efficiency >1 accepted")
+	}
+	bad = DefaultServerConfig()
+	bad.OverlapFactor = 1.0
+	if _, err := NewServer(bad); err == nil {
+		t.Error("full overlap accepted")
+	}
+	bad = DefaultServerConfig()
+	bad.L2 = cache.Config{SizeBytes: 100, LineBytes: 128, Assoc: 2}
+	if _, err := NewServer(bad); err == nil {
+		t.Error("bad L2 accepted")
+	}
+}
+
+func TestServerMatchesTable4(t *testing.T) {
+	cfg := DefaultServerConfig()
+	if cfg.ClockHz != 1e9 {
+		t.Errorf("server clock %v, want 1 GHz", cfg.ClockHz)
+	}
+	if cfg.IssueWidth != 4 {
+		t.Errorf("issue width %d, want 4", cfg.IssueWidth)
+	}
+	if cfg.L2.SizeBytes != 1<<20 || cfg.L2.LineBytes != 128 || cfg.L2.Assoc != 2 {
+		t.Errorf("L2 %+v not Table 4", cfg.L2)
+	}
+	if cfg.ICache.SizeBytes != 32*1024 || cfg.DCache.SizeBytes != 32*1024 {
+		t.Errorf("L1s not Table 4")
+	}
+}
+
+func TestServerL2Hierarchy(t *testing.T) {
+	s, err := NewServer(DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch a working set bigger than L1 (32 KB) but smaller than L2
+	// (1 MB): second pass should hit in L2, not memory.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 256*1024; a += 64 {
+			s.Load(ops.DataBase+a, 4)
+		}
+	}
+	act := s.Activity()
+	if act.L2.Accesses == 0 {
+		t.Fatal("L2 never accessed")
+	}
+	// Memory reads should be ~ the cold fill only (4096 lines at 128 B is
+	// 2048 L2 fills), far below total L1 misses.
+	if act.MemReads >= act.DCache.Misses {
+		t.Fatalf("mem reads %d >= L1 misses %d — L2 not filtering", act.MemReads, act.DCache.Misses)
+	}
+}
+
+func TestActivityAdd(t *testing.T) {
+	a := Activity{Instructions: 10, Cycles: 20, MemReads: 1}
+	a.Add(Activity{Instructions: 5, Cycles: 7, MemWrites: 2})
+	if a.Instructions != 15 || a.Cycles != 27 || a.MemReads != 1 || a.MemWrites != 2 {
+		t.Fatalf("Add result %+v", a)
+	}
+	if got := a.CPI(); got != 27.0/15.0 {
+		t.Fatalf("CPI = %v", got)
+	}
+	if (Activity{}).CPI() != 0 {
+		t.Fatal("empty CPI not 0")
+	}
+}
+
+func TestOpCostsCoverAllOps(t *testing.T) {
+	costs := DefaultOpCosts()
+	for i, c := range costs {
+		if c.Instr <= 0 {
+			t.Errorf("op %v has no instruction cost", ops.Op(i))
+		}
+		if c.CodeBytes() != c.Instr*4 {
+			t.Errorf("op %v code bytes %d", ops.Op(i), c.CodeBytes())
+		}
+	}
+}
+
+func BenchmarkClientOpStream(b *testing.B) {
+	c, err := NewClient(DefaultClientConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Op(ops.OpMBRTest, 1)
+		c.Load(ops.IndexBase+uint64(i%100000)*20, 20)
+	}
+}

@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"mobispatial/internal/geom"
+)
+
+// Binary dataset persistence so generated datasets can be exported,
+// version-controlled, and re-imported without rerunning the generator.
+//
+// Format (little endian):
+//
+//	magic "MSDS" | version u16 | name len u16 | name bytes
+//	recordBytes u32 | segment count u32 | extent 4×f64
+//	segments: count × 4×f64 (ax ay bx by)
+//	crc32 (IEEE) of everything before it
+const (
+	fileMagic   = "MSDS"
+	fileVersion = 1
+)
+
+// WriteTo serializes the dataset.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingCRCWriter{w: w}
+	write := func(v interface{}) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write([]byte(fileMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint16(fileVersion)); err != nil {
+		return cw.n, err
+	}
+	name := []byte(d.Name)
+	if len(name) > math.MaxUint16 {
+		return cw.n, fmt.Errorf("dataset: name too long")
+	}
+	if err := write(uint16(len(name))); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write(name); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(d.RecordBytes)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(d.Segments))); err != nil {
+		return cw.n, err
+	}
+	ext := [4]float64{d.Extent.Min.X, d.Extent.Min.Y, d.Extent.Max.X, d.Extent.Max.Y}
+	if err := write(ext); err != nil {
+		return cw.n, err
+	}
+	for _, s := range d.Segments {
+		if err := write([4]float64{s.A.X, s.A.Y, s.B.X, s.B.Y}); err != nil {
+			return cw.n, err
+		}
+	}
+	sum := cw.crc
+	if err := binary.Write(cw.w, binary.LittleEndian, sum); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 4, nil
+}
+
+// ReadFrom deserializes a dataset written by WriteTo.
+func ReadFrom(r io.Reader) (*Dataset, error) {
+	cr := &countingCRCReader{r: r}
+	read := func(v interface{}) error { return binary.Read(cr, binary.LittleEndian, v) }
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var version uint16
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", version)
+	}
+	var nameLen uint16
+	if err := read(&nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(cr, name); err != nil {
+		return nil, err
+	}
+	var recordBytes, count uint32
+	if err := read(&recordBytes); err != nil {
+		return nil, err
+	}
+	if err := read(&count); err != nil {
+		return nil, err
+	}
+	if recordBytes < 16 {
+		return nil, fmt.Errorf("dataset: record bytes %d", recordBytes)
+	}
+	var ext [4]float64
+	if err := read(&ext); err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Name:        string(name),
+		RecordBytes: int(recordBytes),
+		Extent: geom.Rect{
+			Min: geom.Point{X: ext[0], Y: ext[1]},
+			Max: geom.Point{X: ext[2], Y: ext[3]},
+		},
+		Segments: make([]geom.Segment, count),
+	}
+	for i := range d.Segments {
+		var v [4]float64
+		if err := read(&v); err != nil {
+			return nil, err
+		}
+		d.Segments[i] = geom.Segment{
+			A: geom.Point{X: v[0], Y: v[1]},
+			B: geom.Point{X: v[2], Y: v[3]},
+		}
+	}
+	want := cr.crc
+	var got uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &got); err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("dataset: checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := d.WriteTo(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(bufio.NewReader(f))
+}
+
+type countingCRCWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *countingCRCWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+type countingCRCReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *countingCRCReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func smallTestDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := NYCConfig()
+	cfg.NumSegments = 2000
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := smallTestDataset(t)
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.RecordBytes != d.RecordBytes || got.Extent != d.Extent {
+		t.Fatalf("header mismatch: %+v", got.Summary())
+	}
+	if len(got.Segments) != len(d.Segments) {
+		t.Fatalf("segment count %d != %d", len(got.Segments), len(d.Segments))
+	}
+	for i := range d.Segments {
+		if got.Segments[i] != d.Segments[i] {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	d := smallTestDataset(t)
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	corrupt := append([]byte(nil), pristine...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := ReadFrom(bytes.NewReader(corrupt)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), pristine...)
+	bad[0] = 'X'
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Truncation.
+	if _, err := ReadFrom(bytes.NewReader(pristine[:len(pristine)/3])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := smallTestDataset(t)
+	path := filepath.Join(t.TempDir(), "test.msds")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("loaded %d segments, want %d", got.Len(), d.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.msds")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"mobispatial/internal/geom"
+)
+
+// Workload generation, following §5.4 of the paper:
+//
+//   - Point queries pick a random segment endpoint (so they actually hit).
+//   - Nearest-neighbor queries place the query point uniformly at random in
+//     the spatial extent.
+//   - Range queries draw the window size between 0.01% and 1% of the extent
+//     area, the aspect ratio between 0.25 and 4, and the location from the
+//     distribution of the dataset itself (a denser region receives more
+//     windows) — implemented by centering windows on random segment
+//     midpoints.
+//
+// Each experiment uses 100 runs with different parameters; the harness sums
+// over the runs exactly as the paper's figures do.
+
+// PointQueries returns n point-query locations.
+func PointQueries(d *Dataset, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	for i := range out {
+		s := d.Segments[rng.Intn(len(d.Segments))]
+		if rng.Intn(2) == 0 {
+			out[i] = s.A
+		} else {
+			out[i] = s.B
+		}
+	}
+	return out
+}
+
+// NNQueries returns n nearest-neighbor query points, uniform over the
+// extent.
+func NNQueries(d *Dataset, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{
+			X: d.Extent.Min.X + rng.Float64()*d.Extent.Width(),
+			Y: d.Extent.Min.Y + rng.Float64()*d.Extent.Height(),
+		}
+	}
+	return out
+}
+
+// RangeQueries returns n range-query windows per the paper's distribution.
+func RangeQueries(d *Dataset, n int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, n)
+	for i := range out {
+		out[i] = randomWindow(d, rng)
+	}
+	return out
+}
+
+// randomWindow draws one window: area fraction in [0.01%, 1%], aspect in
+// [0.25, 4], centered on a random segment midpoint (density-weighted
+// location), clamped into the extent.
+func randomWindow(d *Dataset, rng *rand.Rand) geom.Rect {
+	// Log-uniform area fraction across two decades keeps small and large
+	// windows equally represented.
+	frac := math.Pow(10, -4+rng.Float64()*2) // 1e-4 .. 1e-2
+	area := d.Extent.Area() * frac
+	aspect := math.Pow(4, rng.Float64()*2-1) // 0.25 .. 4, log-uniform
+	w := math.Sqrt(area * aspect)
+	h := area / w
+	c := d.Segments[rng.Intn(len(d.Segments))].Midpoint()
+	win := geom.Rect{
+		Min: geom.Point{X: c.X - w/2, Y: c.Y - h/2},
+		Max: geom.Point{X: c.X + w/2, Y: c.Y + h/2},
+	}
+	return clampRect(win, d.Extent)
+}
+
+// clampRect translates win so it fits inside ext (shrinking only if win is
+// larger than ext on an axis).
+func clampRect(win, ext geom.Rect) geom.Rect {
+	if dx := ext.Min.X - win.Min.X; dx > 0 {
+		win.Min.X += dx
+		win.Max.X += dx
+	}
+	if dx := win.Max.X - ext.Max.X; dx > 0 {
+		win.Min.X -= dx
+		win.Max.X -= dx
+	}
+	if dy := ext.Min.Y - win.Min.Y; dy > 0 {
+		win.Min.Y += dy
+		win.Max.Y += dy
+	}
+	if dy := win.Max.Y - ext.Max.Y; dy > 0 {
+		win.Min.Y -= dy
+		win.Max.Y -= dy
+	}
+	return win.Intersection(ext)
+}
+
+// ProximitySequence generates the insufficient-memory workload of §6.2: an
+// anchor range query at a random (density-weighted) location followed by y
+// windows confined to a small disc around the anchor, so that they can be
+// answered from the data shipped for the anchor query. radiusFrac is the
+// disc radius as a fraction of the extent's smaller side.
+func ProximitySequence(d *Dataset, y int, radiusFrac float64, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, 0, y+1)
+	anchor := randomWindow(d, rng)
+	out = append(out, anchor)
+	c := anchor.Center()
+	r := math.Min(d.Extent.Width(), d.Extent.Height()) * radiusFrac
+	for i := 0; i < y; i++ {
+		// Follow-up windows near the anchor: magnifying-glass style
+		// browsing in one neighborhood, with window sides comparable to
+		// the disc radius.
+		cx := c.X + (rng.Float64()*2-1)*r
+		cy := c.Y + (rng.Float64()*2-1)*r
+		w := r * (0.95 + rng.Float64()*0.75)
+		h := r * (0.95 + rng.Float64()*0.75)
+		win := geom.Rect{
+			Min: geom.Point{X: cx - w/2, Y: cy - h/2},
+			Max: geom.Point{X: cx + w/2, Y: cy + h/2},
+		}
+		out = append(out, clampRect(win, d.Extent))
+	}
+	return out
+}

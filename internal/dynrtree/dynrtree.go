@@ -1,0 +1,468 @@
+// Package dynrtree implements Guttman's original dynamic R-tree with
+// quadratic node splitting — the item-by-item-insertion baseline the paper's
+// §3 discussion contrasts with bulk loading: "these structures can become
+// inefficient when the database of spatial items is static ... one should
+// use bulk-loading techniques rather than insert item by item". The packing
+// ablation bench quantifies exactly that claim against internal/rtree.
+//
+// The structure shares the packed R-tree's physical layout constants
+// (20-byte entries, configurable node size) and the common access-method
+// contract, and emits its work to an ops.Recorder like every other
+// substrate.
+package dynrtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/index"
+	"mobispatial/internal/ops"
+)
+
+// Layout constants, matching internal/rtree.
+const (
+	HeaderBytes      = 8
+	EntryBytes       = 20
+	DefaultNodeBytes = 512
+)
+
+// Config controls the tree shape.
+type Config struct {
+	// NodeBytes determines the maximum entries per node:
+	// (NodeBytes − HeaderBytes) / EntryBytes. Default 512.
+	NodeBytes int
+	// MinFillRatio is the minimum node occupancy after a split as a
+	// fraction of the maximum (Guttman's m/M); default 0.4.
+	MinFillRatio float64
+	// BaseAddr of the node arena; defaults to ops.IndexBase.
+	BaseAddr uint64
+}
+
+func (c *Config) fill() {
+	if c.NodeBytes == 0 {
+		c.NodeBytes = DefaultNodeBytes
+	}
+	if c.MinFillRatio == 0 {
+		c.MinFillRatio = 0.4
+	}
+	if c.BaseAddr == 0 {
+		c.BaseAddr = ops.IndexBase
+	}
+}
+
+type entry struct {
+	mbr geom.Rect
+	ptr uint32 // child node index (internal) or item id (leaf)
+}
+
+type node struct {
+	leaf    bool
+	addr    uint64
+	parent  int32 // -1 for the root
+	entries []entry
+}
+
+// Tree is a dynamic R-tree.
+type Tree struct {
+	cfg    Config
+	maxEnt int
+	minEnt int
+	nodes  []node
+	root   int32
+	nitems int
+	height int
+}
+
+// The dynamic R-tree satisfies the shared access-method contract.
+var _ index.Index = (*Tree)(nil)
+
+// New returns an empty tree.
+func New(cfg Config) (*Tree, error) {
+	cfg.fill()
+	maxEnt := (cfg.NodeBytes - HeaderBytes) / EntryBytes
+	if maxEnt < 2 {
+		return nil, fmt.Errorf("dynrtree: node size %dB gives max entries %d (<2)", cfg.NodeBytes, maxEnt)
+	}
+	minEnt := int(float64(maxEnt) * cfg.MinFillRatio)
+	if minEnt < 1 {
+		minEnt = 1
+	}
+	if minEnt > maxEnt/2 {
+		minEnt = maxEnt / 2
+	}
+	t := &Tree{cfg: cfg, maxEnt: maxEnt, minEnt: minEnt, height: 1}
+	t.root = t.newNode(true, -1)
+	return t, nil
+}
+
+// BuildByInsertion constructs a tree by inserting the items one by one (the
+// baseline the paper argues against for static data). rec receives the
+// build work.
+func BuildByInsertion(items []Item, cfg Config, rec ops.Recorder) (*Tree, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		t.Insert(it.MBR, it.ID, rec)
+	}
+	return t, nil
+}
+
+// Item mirrors rtree.Item so callers can build either structure from the
+// same input.
+type Item struct {
+	MBR geom.Rect
+	ID  uint32
+}
+
+func (t *Tree) newNode(leaf bool, parent int32) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		leaf:   leaf,
+		addr:   t.cfg.BaseAddr + uint64(idx)*uint64(t.cfg.NodeBytes),
+		parent: parent,
+	})
+	return idx
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.nitems }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the number of allocated nodes.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// IndexBytes returns the structure's byte size.
+func (t *Tree) IndexBytes() int { return len(t.nodes) * t.cfg.NodeBytes }
+
+// nodeMBR computes the union of a node's entry MBRs.
+func (t *Tree) nodeMBR(ni int32) geom.Rect {
+	mbr := geom.EmptyRect()
+	for _, e := range t.nodes[ni].entries {
+		mbr = mbr.Union(e.mbr)
+	}
+	return mbr
+}
+
+// Insert adds one item, splitting and growing the tree as needed.
+func (t *Tree) Insert(mbr geom.Rect, id uint32, rec ops.Recorder) {
+	leaf := t.chooseLeaf(t.root, mbr, rec)
+	t.nodes[leaf].entries = append(t.nodes[leaf].entries, entry{mbr: mbr, ptr: id})
+	rec.Op(ops.OpIndexBuildEntry, 1)
+	rec.Store(t.nodes[leaf].addr+HeaderBytes+uint64(len(t.nodes[leaf].entries)-1)*EntryBytes, EntryBytes)
+	t.nitems++
+	if len(t.nodes[leaf].entries) > t.maxEnt {
+		t.splitNode(leaf, rec)
+	} else {
+		// Guttman's AdjustTree: grow ancestor MBRs along the insertion
+		// path even when no split happened.
+		t.adjustUpward(leaf, rec)
+	}
+}
+
+// chooseLeaf descends from ni picking the child needing the least MBR
+// enlargement (ties by smaller area), Guttman's ChooseLeaf.
+func (t *Tree) chooseLeaf(ni int32, mbr geom.Rect, rec ops.Recorder) int32 {
+	for {
+		rec.Op(ops.OpNodeVisit, 1)
+		rec.Load(t.nodes[ni].addr, HeaderBytes)
+		if t.nodes[ni].leaf {
+			return ni
+		}
+		bestI := -1
+		bestEnl := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i, e := range t.nodes[ni].entries {
+			rec.Load(t.nodes[ni].addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+			rec.Op(ops.OpMBRTest, 1)
+			area := e.mbr.Area()
+			enl := e.mbr.Union(mbr).Area() - area
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				bestI, bestEnl, bestArea = i, enl, area
+			}
+		}
+		ni = int32(t.nodes[ni].entries[bestI].ptr)
+	}
+}
+
+// splitNode splits an overfull node with Guttman's quadratic algorithm and
+// propagates upward.
+func (t *Tree) splitNode(ni int32, rec ops.Recorder) {
+	entries := t.nodes[ni].entries
+	// PickSeeds: the pair wasting the most area together.
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			rec.Op(ops.OpMBRTest, 1)
+			d := entries[i].mbr.Union(entries[j].mbr).Area() -
+				entries[i].mbr.Area() - entries[j].mbr.Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+
+	groupA := []entry{entries[seedA]}
+	groupB := []entry{entries[seedB]}
+	mbrA, mbrB := entries[seedA].mbr, entries[seedB].mbr
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	// PickNext: assign the entry with the strongest preference first.
+	for len(rest) > 0 {
+		// Force-assign when one group must take everything left to reach
+		// the minimum fill.
+		if len(groupA)+len(rest) <= t.minEnt {
+			for _, e := range rest {
+				groupA = append(groupA, e)
+				mbrA = mbrA.Union(e.mbr)
+			}
+			break
+		}
+		if len(groupB)+len(rest) <= t.minEnt {
+			for _, e := range rest {
+				groupB = append(groupB, e)
+				mbrB = mbrB.Union(e.mbr)
+			}
+			break
+		}
+		bestI := 0
+		bestDiff := -1.0
+		for i, e := range rest {
+			rec.Op(ops.OpMBRTest, 1)
+			dA := mbrA.Union(e.mbr).Area() - mbrA.Area()
+			dB := mbrB.Union(e.mbr).Area() - mbrB.Area()
+			if diff := math.Abs(dA - dB); diff > bestDiff {
+				bestDiff, bestI = diff, i
+			}
+		}
+		e := rest[bestI]
+		rest = append(rest[:bestI], rest[bestI+1:]...)
+		dA := mbrA.Union(e.mbr).Area() - mbrA.Area()
+		dB := mbrB.Union(e.mbr).Area() - mbrB.Area()
+		if dA < dB || (dA == dB && len(groupA) < len(groupB)) {
+			groupA = append(groupA, e)
+			mbrA = mbrA.Union(e.mbr)
+		} else {
+			groupB = append(groupB, e)
+			mbrB = mbrB.Union(e.mbr)
+		}
+	}
+
+	parent := t.nodes[ni].parent
+	isLeaf := t.nodes[ni].leaf
+	t.nodes[ni].entries = groupA
+	sibling := t.newNode(isLeaf, parent)
+	t.nodes[sibling].entries = groupB
+	if !isLeaf {
+		// Reparent group B's children.
+		for _, e := range groupB {
+			t.nodes[e.ptr].parent = sibling
+		}
+	}
+	rec.Store(t.nodes[ni].addr, HeaderBytes+len(groupA)*EntryBytes)
+	rec.Store(t.nodes[sibling].addr, HeaderBytes+len(groupB)*EntryBytes)
+
+	if parent < 0 {
+		// Root split: grow the tree.
+		newRoot := t.newNode(false, -1)
+		t.nodes[newRoot].entries = []entry{
+			{mbr: mbrA, ptr: uint32(ni)},
+			{mbr: mbrB, ptr: uint32(sibling)},
+		}
+		t.nodes[ni].parent = newRoot
+		t.nodes[sibling].parent = newRoot
+		t.root = newRoot
+		t.height++
+		rec.Store(t.nodes[newRoot].addr, HeaderBytes+2*EntryBytes)
+		return
+	}
+
+	// Update the parent: fix this node's MBR, add the sibling.
+	p := &t.nodes[parent]
+	for i := range p.entries {
+		if p.entries[i].ptr == uint32(ni) {
+			p.entries[i].mbr = mbrA
+			break
+		}
+	}
+	p.entries = append(p.entries, entry{mbr: mbrB, ptr: uint32(sibling)})
+	rec.Store(p.addr, HeaderBytes+len(p.entries)*EntryBytes)
+	if len(p.entries) > t.maxEnt {
+		t.splitNode(parent, rec)
+	} else {
+		// Propagate the MBR growth toward the root.
+		t.adjustUpward(parent, rec)
+	}
+}
+
+// adjustUpward refreshes ancestor MBRs after an insertion.
+func (t *Tree) adjustUpward(ni int32, rec ops.Recorder) {
+	for ni >= 0 {
+		parent := t.nodes[ni].parent
+		if parent < 0 {
+			return
+		}
+		mbr := t.nodeMBR(ni)
+		p := &t.nodes[parent]
+		for i := range p.entries {
+			if p.entries[i].ptr == uint32(ni) {
+				if p.entries[i].mbr.ContainsRect(mbr) {
+					return // no growth; ancestors unchanged
+				}
+				p.entries[i].mbr = p.entries[i].mbr.Union(mbr)
+				rec.Store(p.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+				break
+			}
+		}
+		ni = parent
+	}
+}
+
+// Search returns the ids of all items whose MBR intersects the window.
+func (t *Tree) Search(window geom.Rect, rec ops.Recorder) []uint32 {
+	var out []uint32
+	if t.nitems == 0 {
+		return out
+	}
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.nodes[ni]
+		rec.Op(ops.OpNodeVisit, 1)
+		rec.Load(n.addr, HeaderBytes)
+		for i := range n.entries {
+			rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+			rec.Op(ops.OpMBRTest, 1)
+			if !window.Intersects(n.entries[i].mbr) {
+				continue
+			}
+			if n.leaf {
+				rec.Op(ops.OpResultAppend, 1)
+				rec.Store(ops.ScratchBase+uint64(len(out))*4, 4)
+				out = append(out, n.entries[i].ptr)
+			} else {
+				walk(int32(n.entries[i].ptr))
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// SearchPoint returns the ids of all items whose MBR contains p.
+func (t *Tree) SearchPoint(p geom.Point, rec ops.Recorder) []uint32 {
+	return t.Search(geom.Rect{Min: p, Max: p}, rec)
+}
+
+// Nearest runs the branch-and-bound NN search (same algorithm as the packed
+// tree).
+func (t *Tree) Nearest(p geom.Point, dist index.DistFunc, rec ops.Recorder) (uint32, float64, bool) {
+	if t.nitems == 0 {
+		return 0, 0, false
+	}
+	best := math.Inf(1)
+	bestID := uint32(0)
+	found := false
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.nodes[ni]
+		rec.Op(ops.OpNodeVisit, 1)
+		rec.Load(n.addr, HeaderBytes)
+		if n.leaf {
+			for i := range n.entries {
+				rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+				rec.Op(ops.OpDistCalc, 1)
+				if n.entries[i].mbr.MinDist(p) > best {
+					continue
+				}
+				d := dist(n.entries[i].ptr)
+				if d < best || !found {
+					best, bestID, found = d, n.entries[i].ptr, true
+				}
+			}
+			return
+		}
+		type cand struct {
+			d float64
+			i int
+		}
+		cands := make([]cand, 0, len(n.entries))
+		for i := range n.entries {
+			rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+			rec.Op(ops.OpDistCalc, 1)
+			cands = append(cands, cand{n.entries[i].mbr.MinDist(p), i})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		rec.Op(ops.OpHeapOp, len(cands))
+		for _, c := range cands {
+			if c.d > best {
+				break
+			}
+			walk(int32(n.entries[c.i].ptr))
+		}
+	}
+	walk(t.root)
+	return bestID, best, found
+}
+
+// CheckInvariants verifies structural invariants (for tests): parent MBRs
+// contain children, occupancy bounds hold (root exempt), every item is
+// reachable exactly once.
+func (t *Tree) CheckInvariants() error {
+	seen := map[uint32]int{}
+	var walk func(ni int32, depth int) (geom.Rect, int, error)
+	walk = func(ni int32, depth int) (geom.Rect, int, error) {
+		n := &t.nodes[ni]
+		if ni != t.root && (len(n.entries) < t.minEnt || len(n.entries) > t.maxEnt) {
+			return geom.Rect{}, 0, fmt.Errorf("node %d occupancy %d outside [%d,%d]", ni, len(n.entries), t.minEnt, t.maxEnt)
+		}
+		mbr := geom.EmptyRect()
+		leafDepth := -1
+		for _, e := range n.entries {
+			mbr = mbr.Union(e.mbr)
+			if n.leaf {
+				seen[e.ptr]++
+				leafDepth = depth
+				continue
+			}
+			childMBR, d, err := walk(int32(e.ptr), depth+1)
+			if err != nil {
+				return geom.Rect{}, 0, err
+			}
+			if !e.mbr.ContainsRect(childMBR) {
+				return geom.Rect{}, 0, fmt.Errorf("node %d entry MBR does not contain child", ni)
+			}
+			if t.nodes[e.ptr].parent != ni {
+				return geom.Rect{}, 0, fmt.Errorf("node %d child %d has wrong parent", ni, e.ptr)
+			}
+			switch {
+			case leafDepth == -1:
+				leafDepth = d
+			case leafDepth != d:
+				return geom.Rect{}, 0, fmt.Errorf("unbalanced: leaf depths %d and %d", leafDepth, d)
+			}
+		}
+		return mbr, leafDepth, nil
+	}
+	if _, _, err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if len(seen) != t.nitems {
+		return fmt.Errorf("reachable items %d != inserted %d", len(seen), t.nitems)
+	}
+	for id, cnt := range seen {
+		if cnt != 1 {
+			return fmt.Errorf("item %d stored %d times", id, cnt)
+		}
+	}
+	return nil
+}

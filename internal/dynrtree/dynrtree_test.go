@@ -1,0 +1,209 @@
+package dynrtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+)
+
+func randItems(n int, seed int64) ([]Item, []geom.Segment) {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	segs := make([]geom.Segment, n)
+	for i := range items {
+		a := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		s := geom.Segment{
+			A: a,
+			B: geom.Point{X: a.X + rng.Float64()*20 - 10, Y: a.Y + rng.Float64()*20 - 10},
+		}
+		segs[i] = s
+		items[i] = Item{MBR: s.MBR(), ID: uint32(i)}
+	}
+	return items, segs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NodeBytes: HeaderBytes + EntryBytes}); err == nil {
+		t.Error("fanout-1 config accepted")
+	}
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("fresh tree: %d items, height %d", tr.Len(), tr.Height())
+	}
+}
+
+func TestInsertAndInvariants(t *testing.T) {
+	items, _ := randItems(3000, 1)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("3000 items in height %d", tr.Height())
+	}
+}
+
+func TestInvariantsUnderIncrementalInsertion(t *testing.T) {
+	items, _ := randItems(600, 2)
+	tr, err := New(Config{NodeBytes: 128}) // small nodes: many splits
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		tr.Insert(it.MBR, it.ID, ops.Null{})
+		if i%97 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	items, segs := randItems(3000, 3)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 100; q++ {
+		w := geom.Rect{Min: geom.Point{X: rng.Float64() * 950, Y: rng.Float64() * 950}}
+		w.Max = geom.Point{X: w.Min.X + rng.Float64()*80, Y: w.Min.Y + rng.Float64()*80}
+		got := tr.Search(w, ops.Null{})
+		var want []uint32
+		for i, s := range segs {
+			if w.Intersects(s.MBR()) {
+				want = append(want, uint32(i))
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: mismatch at %d", q, i)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	items, segs := randItems(2000, 5)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for q := 0; q < 100; q++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		df := func(id uint32) float64 { return segs[id].DistToPoint(p) }
+		_, d, ok := tr.Nearest(p, df, ops.Null{})
+		if !ok {
+			t.Fatal("found nothing")
+		}
+		best := math.Inf(1)
+		for _, s := range segs {
+			if dd := s.DistToPoint(p); dd < best {
+				best = dd
+			}
+		}
+		if math.Abs(d-best) > 1e-9 {
+			t.Fatalf("query %d: NN %g vs brute %g", q, d, best)
+		}
+	}
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Search(geom.Rect{Max: geom.Point{X: 1, Y: 1}}, ops.Null{}); len(got) != 0 {
+		t.Fatal("empty search returned results")
+	}
+	if _, _, ok := tr.Nearest(geom.Point{}, nil, ops.Null{}); ok {
+		t.Fatal("empty NN found something")
+	}
+}
+
+// TestPackedBeatsInsertionBuilt quantifies the paper's §3 argument for bulk
+// loading: on the same static data, the packed tree answers window queries
+// with fewer node visits and occupies less memory.
+func TestPackedBeatsInsertionBuilt(t *testing.T) {
+	items, _ := randItems(20000, 7)
+	rItems := make([]rtree.Item, len(items))
+	for i, it := range items {
+		rItems[i] = rtree.Item{MBR: it.MBR, ID: it.ID}
+	}
+	packed, err := rtree.Build(rItems, rtree.Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.IndexBytes() <= packed.IndexBytes() {
+		t.Errorf("insertion-built index %dB not larger than packed %dB",
+			dyn.IndexBytes(), packed.IndexBytes())
+	}
+	rng := rand.New(rand.NewSource(8))
+	var pv, dv int64
+	for q := 0; q < 50; q++ {
+		w := geom.Rect{Min: geom.Point{X: rng.Float64() * 900, Y: rng.Float64() * 900}}
+		w.Max = geom.Point{X: w.Min.X + 60, Y: w.Min.Y + 60}
+		var pr, dr ops.Counts
+		packed.Search(w, &pr)
+		dyn.Search(w, &dr)
+		pv += pr.Ops[ops.OpNodeVisit]
+		dv += dr.Ops[ops.OpNodeVisit]
+	}
+	if pv >= dv {
+		t.Errorf("packed visits %d not below insertion-built %d", pv, dv)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	items, _ := randItems(100000, 9)
+	tr, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		tr.Insert(it.MBR, it.ID, ops.Null{})
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	items, _ := randItems(50000, 10)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := geom.Rect{Min: geom.Point{X: 400, Y: 400}, Max: geom.Point{X: 450, Y: 450}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(w, ops.Null{})
+	}
+}

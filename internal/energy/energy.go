@@ -1,0 +1,137 @@
+// Package energy converts machine activity into Joules, mirroring the
+// SimplePower methodology the paper uses for the mobile client (§5.1):
+// energy is the sum of per-access component energies — datapath, clock tree,
+// caches, buses, and DRAM — at the client's 3.3 V / 0.35 µm technology point
+// (Table 3). It also provides the client CPU power modes used while the
+// processor is blocked on communication (§5.2).
+//
+// Server energy is deliberately absent: the paper treats the wall-powered
+// server as having no energy constraint (§5.3).
+package energy
+
+import (
+	"fmt"
+
+	"mobispatial/internal/cpu"
+)
+
+// Params are the per-event component energies in Joules. The defaults are
+// representative 3.3 V / 0.35 µm values of the SimplePower era: cache
+// accesses around a nanojoule, DRAM transactions tens of nanojoules, and a
+// clock tree that is a first-class consumer — the same component mix whose
+// I-cache dominance the paper's reference [2] reports.
+type Params struct {
+	// DatapathPerInstr is pipeline + register-file energy per instruction.
+	DatapathPerInstr float64
+	// ClockPerCycle is clock-tree energy per clock cycle.
+	ClockPerCycle float64
+	// ICachePerAccess is energy per instruction fetch.
+	ICachePerAccess float64
+	// DCachePerAccess is energy per data-cache access (line-granular).
+	DCachePerAccess float64
+	// MemPerAccess is DRAM energy per line transaction (fill or write-back).
+	MemPerAccess float64
+	// BusPerMem is processor–memory bus energy per line transaction.
+	BusPerMem float64
+	// CPUSleepWatts is the client core's low-power-mode draw while blocked
+	// on the NIC (many mobile CPUs offer such modes, §5.2).
+	CPUSleepWatts float64
+	// CPUIdleWatts is the clock-gated draw when the core is idle but not in
+	// the low-power mode (used by the CPU-sleep ablation).
+	CPUIdleWatts float64
+}
+
+// DefaultParams returns the client energy table.
+func DefaultParams() Params {
+	return Params{
+		DatapathPerInstr: 0.28e-9,
+		ClockPerCycle:    0.18e-9,
+		ICachePerAccess:  0.42e-9,
+		DCachePerAccess:  0.50e-9,
+		MemPerAccess:     32e-9,
+		BusPerMem:        4e-9,
+		CPUSleepWatts:    0.050,
+		CPUIdleWatts:     0.120,
+	}
+}
+
+// Validate reports nonsensical parameters.
+func (p Params) Validate() error {
+	vals := []float64{
+		p.DatapathPerInstr, p.ClockPerCycle, p.ICachePerAccess,
+		p.DCachePerAccess, p.MemPerAccess, p.BusPerMem,
+		p.CPUSleepWatts, p.CPUIdleWatts,
+	}
+	for i, v := range vals {
+		if v < 0 {
+			return fmt.Errorf("energy: negative parameter #%d", i)
+		}
+	}
+	return nil
+}
+
+// ComputeJoules returns the dynamic energy of the recorded activity.
+func (p Params) ComputeJoules(act cpu.Activity) float64 {
+	mem := act.MemReads + act.MemWrites
+	return float64(act.Instructions)*p.DatapathPerInstr +
+		float64(act.Cycles)*p.ClockPerCycle +
+		float64(act.ICache.Accesses)*p.ICachePerAccess +
+		float64(act.DCache.Accesses)*p.DCachePerAccess +
+		float64(mem)*(p.MemPerAccess+p.BusPerMem)
+}
+
+// PollWatts returns the client-core draw of a tight busy-wait poll loop at
+// the given clock: one instruction per cycle, all I-cache hits, roughly one
+// data access (the message-queue state variable) every four instructions.
+// Used by the busy-wait receive ablation (§5.2).
+func (p Params) PollWatts(clockHz float64) float64 {
+	perInstr := p.DatapathPerInstr + p.ICachePerAccess + p.ClockPerCycle + 0.25*p.DCachePerAccess
+	return clockHz * perInstr
+}
+
+// ActiveWatts returns the average compute power implied by activity at the
+// given clock — the paper's P_client term in the §4.1 analytic model.
+func (p Params) ActiveWatts(act cpu.Activity, clockHz float64) float64 {
+	if act.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(act.Cycles) / clockHz
+	return p.ComputeJoules(act) / seconds
+}
+
+// Breakdown is the energy decomposition the paper's figures plot for the
+// mobile client: everything that is not the wireless interface is bunched
+// together as "Processor" (datapath, clock, caches, buses, memory), and the
+// NIC is split by power state.
+type Breakdown struct {
+	Processor float64
+	NICTx     float64
+	NICRx     float64
+	NICIdle   float64
+	NICSleep  float64
+}
+
+// Total returns the total client energy in Joules.
+func (b Breakdown) Total() float64 {
+	return b.Processor + b.NICTx + b.NICRx + b.NICIdle + b.NICSleep
+}
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.Processor += other.Processor
+	b.NICTx += other.NICTx
+	b.NICRx += other.NICRx
+	b.NICIdle += other.NICIdle
+	b.NICSleep += other.NICSleep
+}
+
+// Scale returns b with every component multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		Processor: b.Processor * f,
+		NICTx:     b.NICTx * f,
+		NICRx:     b.NICRx * f,
+		NICIdle:   b.NICIdle * f,
+		NICSleep:  b.NICSleep * f,
+	}
+}

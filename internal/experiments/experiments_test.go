@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+)
+
+// Shared datasets: generating PA/NYC is cheap but not free, so tests share
+// one instance.
+var (
+	paOnce  sync.Once
+	pa      *dataset.Dataset
+	nycOnce sync.Once
+	nyc     *dataset.Dataset
+)
+
+func paDS() *dataset.Dataset {
+	paOnce.Do(func() { pa = dataset.PA() })
+	return pa
+}
+
+func nycDS() *dataset.Dataset {
+	nycOnce.Do(func() { nyc = dataset.NYC() })
+	return nyc
+}
+
+// reducedRuns keeps the shape tests quick while staying statistically
+// meaningful; the benches run the full 100.
+const reducedRuns = 40
+
+func mustAdequate(t *testing.T, cfg Config) Figure {
+	t.Helper()
+	fig, err := Adequate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fig
+}
+
+func seriesByLabel(t *testing.T, fig Figure, label string) Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Variant.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("series %q not found", label)
+	return Series{}
+}
+
+// Fig. 4 / Fig. 6 shape: for point and NN queries, communication dominates
+// and fully-at-client wins both energy and cycles at every bandwidth.
+func TestPointQueriesFullyClientWinsEverywhere(t *testing.T) {
+	fig := mustAdequate(t, Config{DS: paDS(), Kind: core.PointQuery, Runs: reducedRuns})
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Energy.Total() <= fig.Baseline.Energy.Total() {
+				t.Errorf("%s @%gMbps energy %.4f beats fully-client %.4f",
+					s.Variant.Label, p.BandwidthMbps, p.Energy.Total(), fig.Baseline.Energy.Total())
+			}
+			if p.Cycles.Total() <= fig.Baseline.Cycles.Total() {
+				t.Errorf("%s @%gMbps cycles %d beats fully-client %d",
+					s.Variant.Label, p.BandwidthMbps, p.Cycles.Total(), fig.Baseline.Cycles.Total())
+			}
+		}
+	}
+	// The server-using schemes are communication-dominated: NIC energy must
+	// dwarf processor energy at 2 Mbps.
+	for _, s := range fig.Series {
+		e := s.Points[0].Energy
+		if nicE := e.NICTx + e.NICRx + e.NICIdle; nicE < 5*e.Processor {
+			t.Errorf("%s: NIC energy %.4f not >> processor %.4f", s.Variant.Label, nicE, e.Processor)
+		}
+	}
+}
+
+func TestNNQueriesFullyClientWins(t *testing.T) {
+	fig := mustAdequate(t, Config{DS: paDS(), Kind: core.NNQuery, Runs: reducedRuns})
+	if len(fig.Series) != 1 {
+		t.Fatalf("NN figure has %d series, want 1 (no filter/refine split)", len(fig.Series))
+	}
+	for _, p := range fig.Series[0].Points {
+		if p.Energy.Total() <= fig.Baseline.Energy.Total() ||
+			p.Cycles.Total() <= fig.Baseline.Cycles.Total() {
+			t.Errorf("fully-server @%gMbps beat fully-client", p.BandwidthMbps)
+		}
+	}
+}
+
+// Fig. 5 shape: the paper's range-query findings.
+func TestRangeQueriesPartitioningShape(t *testing.T) {
+	fig := mustAdequate(t, Config{DS: paDS(), Kind: core.RangeQuery, Runs: reducedRuns})
+
+	fsAbsent := seriesByLabel(t, fig, "fully-server/data-absent")
+	fsPresent := seriesByLabel(t, fig, "fully-server/data-present")
+	fcrsAbsent := seriesByLabel(t, fig, "filter-client-refine-server/data-absent")
+	fcrsPresent := seriesByLabel(t, fig, "filter-client-refine-server/data-present")
+	fsrc := seriesByLabel(t, fig, "filter-server-refine-client")
+
+	last := len(Bandwidths) - 1
+
+	// (1) Work partitioning pays off for range queries: fully-server with
+	// the data present beats fully-client on both metrics at high bandwidth.
+	if fsPresent.Points[last].Cycles.Total() >= fig.Baseline.Cycles.Total() {
+		t.Error("fully-server/data-present never beats fully-client cycles")
+	}
+	if fsPresent.Points[last].Energy.Total() >= fig.Baseline.Energy.Total() {
+		t.Error("fully-server/data-present never beats fully-client energy")
+	}
+
+	// (2) The performance crossover comes at a lower bandwidth than the
+	// energy crossover (§6.1.1: communication Joules are more expensive
+	// than communication seconds).
+	cyclesCross, energyCross := -1.0, -1.0
+	for _, p := range fsPresent.Points {
+		if cyclesCross < 0 && p.Cycles.Total() < fig.Baseline.Cycles.Total() {
+			cyclesCross = p.BandwidthMbps
+		}
+		if energyCross < 0 && p.Energy.Total() < fig.Baseline.Energy.Total() {
+			energyCross = p.BandwidthMbps
+		}
+	}
+	if cyclesCross < 0 || energyCross < 0 || energyCross < cyclesCross {
+		t.Errorf("crossovers: cycles at %g Mbps, energy at %g Mbps — want cycles ≤ energy",
+			cyclesCross, energyCross)
+	}
+
+	// (3) Keeping the data at the client helps, and helps cycles more than
+	// energy (it shrinks Rx, not the dominant Tx).
+	for i := range Bandwidths {
+		if fsPresent.Points[i].Energy.Total() >= fsAbsent.Points[i].Energy.Total() {
+			t.Errorf("data-present not cheaper in energy at %g Mbps", Bandwidths[i])
+		}
+		if fsPresent.Points[i].Cycles.Total() >= fsAbsent.Points[i].Cycles.Total() {
+			t.Errorf("data-present not faster at %g Mbps", Bandwidths[i])
+		}
+	}
+	cycleGain := float64(fsAbsent.Points[0].Cycles.Total()) / float64(fsPresent.Points[0].Cycles.Total())
+	energyGain := fsAbsent.Points[0].Energy.Total() / fsPresent.Points[0].Energy.Total()
+	if cycleGain <= energyGain {
+		t.Errorf("data-present cycle gain %.2f not > energy gain %.2f", cycleGain, energyGain)
+	}
+
+	// (4) Among the hybrids (data present): filter-at-client+refine-at-
+	// server is the performance side, filter-at-server+refine-at-client the
+	// energy side.
+	if fcrsPresent.Points[last].Cycles.Total() >= fsrc.Points[last].Cycles.Total() {
+		t.Error("filter@client+refine@server not faster than filter@server+refine@client at 11 Mbps")
+	}
+	for i := range Bandwidths {
+		if fsrc.Points[i].Energy.Total() >= fcrsPresent.Points[i].Energy.Total() {
+			t.Errorf("filter@server+refine@client not more energy-efficient at %g Mbps", Bandwidths[i])
+		}
+	}
+
+	// (5) Monotonicity: more bandwidth never hurts.
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Energy.Total() > s.Points[i-1].Energy.Total()*1.0001 {
+				t.Errorf("%s energy not monotone at %g Mbps", s.Variant.Label, s.Points[i].BandwidthMbps)
+			}
+			if s.Points[i].Cycles.Total() > s.Points[i-1].Cycles.Total() {
+				t.Errorf("%s cycles not monotone at %g Mbps", s.Variant.Label, s.Points[i].BandwidthMbps)
+			}
+		}
+	}
+	_ = fcrsAbsent
+}
+
+// Fig. 7 shape: NYC's smaller filtering selectivity makes the hybrid schemes
+// more competitive relative to fully-client than on PA.
+func TestNYCHybridsMoreCompetitive(t *testing.T) {
+	paFig := mustAdequate(t, Config{DS: paDS(), Kind: core.RangeQuery, Runs: reducedRuns})
+	nycFig := mustAdequate(t, Config{DS: nycDS(), Kind: core.RangeQuery, Runs: reducedRuns})
+
+	// The paper's §6.1.2 wording is about the selectivity-driven message
+	// components: NYC's smaller filtering selectivity shrinks the id
+	// upload of filter@client+refine@server (Tx) and the id download of
+	// filter@server+refine@client (Rx), per query.
+	paFCRS := seriesByLabel(t, paFig, "filter-client-refine-server/data-present").Points[0]
+	nycFCRS := seriesByLabel(t, nycFig, "filter-client-refine-server/data-present").Points[0]
+	if nycFCRS.Energy.NICTx >= paFCRS.Energy.NICTx {
+		t.Errorf("NYC filter@client Tx energy %.4f not below PA %.4f",
+			nycFCRS.Energy.NICTx, paFCRS.Energy.NICTx)
+	}
+	paFSRC := seriesByLabel(t, paFig, "filter-server-refine-client").Points[0]
+	nycFSRC := seriesByLabel(t, nycFig, "filter-server-refine-client").Points[0]
+	if nycFSRC.Energy.NICRx >= paFSRC.Energy.NICRx {
+		t.Errorf("NYC filter@server Rx energy %.4f not below PA %.4f",
+			nycFSRC.Energy.NICRx, paFSRC.Energy.NICRx)
+	}
+	// And the hybrid that carries the big uplink gets closer to the
+	// fully-client baseline on NYC.
+	paRatio := paFCRS.Energy.Total() / paFig.Baseline.Energy.Total()
+	nycRatio := nycFCRS.Energy.Total() / nycFig.Baseline.Energy.Total()
+	if nycRatio >= paRatio {
+		t.Errorf("filter@client: NYC energy ratio %.2f not better than PA %.2f", nycRatio, paRatio)
+	}
+}
+
+// Fig. 8 shape: a faster client (C/S = 1/2) speeds up the client-heavy
+// schemes with little impact on their energy.
+func TestFasterClientHelpsClientHeavySchemes(t *testing.T) {
+	slow := mustAdequate(t, Config{DS: paDS(), Kind: core.RangeQuery, Runs: reducedRuns})
+	fast := mustAdequate(t, Config{DS: paDS(), Kind: core.RangeQuery, SpeedRatio: 0.5, Runs: reducedRuns})
+
+	// Compare wall time: cycles / clock.
+	slowClock := 1e9 / 8
+	fastClock := 1e9 / 2
+	slowT := float64(slow.Baseline.Cycles.Total()) / slowClock
+	fastT := float64(fast.Baseline.Cycles.Total()) / fastClock
+	if fastT >= slowT/2 {
+		t.Errorf("4× faster client cut fully-client time only %.2fs → %.2fs", slowT, fastT)
+	}
+	// Energy of fully-client barely moves (same work, same per-event
+	// energies; only the NIC-sleep and block components scale with time).
+	se, fe := slow.Baseline.Energy.Total(), fast.Baseline.Energy.Total()
+	if fe > se || fe < se*0.5 {
+		t.Errorf("faster client changed fully-client energy implausibly: %.4f → %.4f", se, fe)
+	}
+	// Communication-bound schemes keep nearly the same wall time: their
+	// cycles scale with the clock.
+	slowFS := seriesByLabel(t, slow, "fully-server/data-present").Points[0]
+	fastFS := seriesByLabel(t, fast, "fully-server/data-present").Points[0]
+	slowFSt := float64(slowFS.Cycles.Total()) / slowClock
+	fastFSt := float64(fastFS.Cycles.Total()) / fastClock
+	if fastFSt < slowFSt*0.7 || fastFSt > slowFSt*1.3 {
+		t.Errorf("fully-server wall time moved with client clock: %.3fs → %.3fs", slowFSt, fastFSt)
+	}
+}
+
+// Fig. 9 shape: at 100 m the transmit power drops ~3×, making Tx-heavy
+// schemes much more competitive in energy with unchanged cycles.
+func TestShorterDistanceImprovesTxHeavySchemes(t *testing.T) {
+	far := mustAdequate(t, Config{DS: paDS(), Kind: core.RangeQuery, Runs: reducedRuns})
+	near := mustAdequate(t, Config{DS: paDS(), Kind: core.RangeQuery, DistanceM: 100, Runs: reducedRuns})
+
+	farFCRS := seriesByLabel(t, far, "filter-client-refine-server/data-present").Points[0]
+	nearFCRS := seriesByLabel(t, near, "filter-client-refine-server/data-present").Points[0]
+	if gain := farFCRS.Energy.Total() / nearFCRS.Energy.Total(); gain < 2 {
+		t.Errorf("100 m cut filter@client energy only %.2f×, want ≥2×", gain)
+	}
+	if farFCRS.Cycles.Total() != nearFCRS.Cycles.Total() {
+		t.Error("distance changed cycles")
+	}
+	// Fully-client is untouched by distance.
+	if far.Baseline.Energy.Total() != near.Baseline.Energy.Total() {
+		t.Error("distance changed the fully-client baseline")
+	}
+}
+
+// Fig. 10 shape: the caching scheme's energy crosses below fully-at-server
+// within the swept proximity range for the 1 MB buffer, the crossover moves
+// out (or beyond the range) for 2 MB, and fully-at-server keeps the
+// performance lead throughout.
+func TestInsufficientMemoryCrossovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 sweep in -short mode")
+	}
+	prox := []int{0, 40, 80, 120, 160, 200}
+	fig1, err := Insufficient(InsufficientConfig{
+		DS: paDS(), BudgetBytes: 1 << 20, Proximities: prox, Trials: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig1.EnergyCrossover < 0 {
+		t.Error("1 MB: no energy crossover in the swept range")
+	}
+	// The energy crossover always precedes any cycles crossover: the
+	// communication the caching scheme avoids is more expensive in Joules
+	// than in seconds (§6.2's "energy and performance criteria going
+	// against each other").
+	if fig1.CyclesCrossover >= 0 && fig1.CyclesCrossover <= fig1.EnergyCrossover {
+		t.Errorf("1 MB: cycles crossover y=%d not after energy crossover y=%d",
+			fig1.CyclesCrossover, fig1.EnergyCrossover)
+	}
+	fig2, err := Insufficient(InsufficientConfig{
+		DS: paDS(), BudgetBytes: 2 << 20, Proximities: prox, Trials: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: the break-even proximity "gets higher (from 115 to 200) as
+	// we increase the amount of data that is shipped" — 2 MB crosses later
+	// than 1 MB (possibly beyond the swept range).
+	if fig2.EnergyCrossover >= 0 && fig2.EnergyCrossover <= fig1.EnergyCrossover {
+		t.Errorf("2 MB crossover y=%d not later than 1 MB y=%d",
+			fig2.EnergyCrossover, fig1.EnergyCrossover)
+	}
+	// Download volume scales with the budget.
+	if fig2.Points[0].ClientEnergy <= fig1.Points[0].ClientEnergy {
+		t.Error("2 MB download not costlier than 1 MB")
+	}
+	// Fully-at-server leads on performance until (at least) well past the
+	// energy crossover.
+	for _, pt := range fig1.Points {
+		if pt.Proximity <= fig1.EnergyCrossover && pt.ClientCycles < pt.ServerCycles {
+			t.Errorf("1 MB: caching beat fully-server cycles already at y=%d", pt.Proximity)
+		}
+	}
+}
+
+func TestWriteFigureRendering(t *testing.T) {
+	fig := mustAdequate(t, Config{DS: nycDS(), Kind: core.PointQuery, Runs: 10})
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Energy at the mobile client", "Total cycles", "fully-client (baseline)", "fully-server"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q", want)
+		}
+	}
+	if s := Summary(fig); !strings.Contains(s, "fully-server") {
+		t.Errorf("summary missing scheme labels: %q", s)
+	}
+}
+
+func TestWriteInsufficientRendering(t *testing.T) {
+	fig := InsufficientFigure{
+		BudgetBytes:     1 << 20,
+		Points:          []InsufficientPoint{{Proximity: 0, ClientEnergy: 1, ServerEnergy: 0.1}},
+		EnergyCrossover: -1,
+		CyclesCrossover: -1,
+	}
+	var buf bytes.Buffer
+	if err := WriteInsufficientFigure(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.0 MB buffer") {
+		t.Error("budget not rendered")
+	}
+}
+
+func TestAdequateVariantSets(t *testing.T) {
+	if len(AdequateVariants(core.NNQuery)) != 1 {
+		t.Error("NN variant set")
+	}
+	if len(AdequateVariants(core.PointQuery)) != 3 {
+		t.Error("point variant set")
+	}
+	if len(AdequateVariants(core.RangeQuery)) != 5 {
+		t.Error("range variant set")
+	}
+}

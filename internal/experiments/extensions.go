@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mobispatial/internal/broadcast"
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/sim"
+)
+
+// ClockSweep reproduces the Table 3 client-clock sweep (MhzS/8, /4, /2, /1):
+// for each ratio it reports the fully-client and fully-server(data-present)
+// range-query costs, showing how the client/server speed gap governs the
+// benefit of offloading (§6.1.3's observation generalized across the whole
+// sweep).
+type ClockSweepPoint struct {
+	Ratio float64
+	// FullyClientSecs / FullyServerSecs are wall times (cycles normalized
+	// by the respective client clock) — the paper's Fig. 8 comparison needs
+	// time, not raw cycles, across different clocks.
+	FullyClientSecs float64
+	FullyServerSecs float64
+	FullyClientJ    float64
+	FullyServerJ    float64
+}
+
+// ClockSweep runs the sweep at the given bandwidth.
+func ClockSweep(ds *dataset.Dataset, bandwidthMbps float64, runs int, seed int64) ([]ClockSweepPoint, error) {
+	if runs == 0 {
+		runs = Runs
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	queries := queriesFor(ds, core.RangeQuery, runs, seed)
+
+	var out []ClockSweepPoint
+	for _, ratio := range []float64{1.0 / 8, 1.0 / 4, 1.0 / 2, 1.0} {
+		pt := ClockSweepPoint{Ratio: ratio}
+		for _, scheme := range []core.Scheme{core.FullyClient, core.FullyServer} {
+			p := sim.DefaultParams()
+			p.BandwidthBps = bandwidthMbps * 1e6
+			p.Client.ClockHz = p.Server.ClockHz * ratio
+			sys, err := sim.New(p)
+			if err != nil {
+				return nil, err
+			}
+			eng := core.NewEngineWithTree(ds, tree, sys)
+			for _, q := range queries {
+				if _, err := eng.Run(q, scheme, core.DataAtClient); err != nil {
+					return nil, err
+				}
+			}
+			r := sys.Result()
+			secs := float64(r.TotalClientCycles()) / p.Client.ClockHz
+			if scheme == core.FullyClient {
+				pt.FullyClientSecs, pt.FullyClientJ = secs, r.Energy.Total()
+			} else {
+				pt.FullyServerSecs, pt.FullyServerJ = secs, r.Energy.Total()
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteClockSweep renders the sweep.
+func WriteClockSweep(w io.Writer, points []ClockSweepPoint, bandwidthMbps float64, runs int) error {
+	if _, err := fmt.Fprintf(w, "== Client-clock sweep (Table 3), range queries, %g Mbps, sum of %d runs ==\n",
+		bandwidthMbps, runs); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %16s %16s %14s %14s %10s\n",
+		"MhzC/MhzS", "fully-client s", "fully-server s", "client J", "server J", "winner")
+	for _, p := range points {
+		winner := "client"
+		if p.FullyServerSecs < p.FullyClientSecs && p.FullyServerJ < p.FullyClientJ {
+			winner = "server"
+		} else if p.FullyServerSecs < p.FullyClientSecs || p.FullyServerJ < p.FullyClientJ {
+			winner = "split"
+		}
+		fmt.Fprintf(w, "%8.3f %16.3f %16.3f %14.4f %14.4f %10s\n",
+			p.Ratio, p.FullyClientSecs, p.FullyServerSecs, p.FullyClientJ, p.FullyServerJ, winner)
+	}
+	return nil
+}
+
+// BroadcastComparison contrasts on-demand (pull) delivery of a hot region
+// with broadcast dissemination — the paper's §2 discussion of [15]: when
+// many clients want the same information, broadcast amortizes the server's
+// transmission and lets each client receive with zero uplink energy.
+type BroadcastComparison struct {
+	// PullJ is one client's energy to fetch the region on demand (request
+	// uplink + records downlink).
+	PullJ float64
+	// PullLatency is the pull response time.
+	PullLatency float64
+	// BroadcastJ is one client's expected energy to catch the same records
+	// from the indexed broadcast.
+	BroadcastJ float64
+	// BroadcastLatency is the expected broadcast access time.
+	BroadcastLatency float64
+	// Items is the number of records in the hot region.
+	Items int
+}
+
+// CompareBroadcast computes the comparison for a query window inside a hot
+// district. Following the paper's framing of [15] ("several mobile devices
+// are interested in the same information, and the amount of information to
+// be disseminated is not too large"), the broadcast program carries the hot
+// district's records — the neighborhood around the window, a ~1 MB slice —
+// in Hilbert pack order with a (1, m) air index, rather than the whole
+// state atlas.
+func CompareBroadcast(ds *dataset.Dataset, window geom.Rect, bandwidthMbps float64) (BroadcastComparison, error) {
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return BroadcastComparison{}, err
+	}
+
+	// Pull: fully-at-server, data absent (records come down).
+	p := sim.DefaultParams()
+	p.BandwidthBps = bandwidthMbps * 1e6
+	sys, err := sim.New(p)
+	if err != nil {
+		return BroadcastComparison{}, err
+	}
+	eng := core.NewEngineWithTree(ds, tree, sys)
+	ans, err := eng.Run(core.Range(window), core.FullyServer, core.DataAtServerOnly)
+	if err != nil {
+		return BroadcastComparison{}, err
+	}
+	if len(ans.IDs) == 0 {
+		return BroadcastComparison{}, fmt.Errorf("broadcast: window matches nothing")
+	}
+	r := sys.Result()
+
+	// Broadcast program: the hot district around the window, selected with
+	// the same Fig. 2 machinery the insufficient-memory scheme uses.
+	ship, err := tree.ExtractSubset(window, rtree.Budget{
+		Bytes:       1 << 20,
+		RecordBytes: ds.RecordBytes,
+	}, ops.Null{})
+	if err != nil {
+		return BroadcastComparison{}, err
+	}
+	// Positions (in program order) of the records matching the window.
+	matching := map[uint32]bool{}
+	for _, id := range ans.IDs {
+		matching[id] = true
+	}
+	var positions []int
+	for i, it := range ship.Items {
+		if matching[it.ID] {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != len(ans.IDs) {
+		return BroadcastComparison{}, fmt.Errorf("broadcast: district misses %d matching records",
+			len(ans.IDs)-len(positions))
+	}
+	prog := broadcast.Program{
+		Items:            len(ship.Items),
+		RecordBytes:      ds.RecordBytes,
+		IndexBytes:       ship.IndexBytes() / 16, // a compact air directory
+		IndexReplication: 8,
+		BandwidthBps:     bandwidthMbps * 1e6,
+	}
+	tune, err := prog.ExpectedTuningSparse(positions, 128)
+	if err != nil {
+		return BroadcastComparison{}, err
+	}
+
+	return BroadcastComparison{
+		PullJ:            r.Energy.Total(),
+		PullLatency:      r.ElapsedSeconds,
+		BroadcastJ:       tune.EnergyJoules(),
+		BroadcastLatency: tune.LatencySeconds,
+		Items:            len(ans.IDs),
+	}, nil
+}
+
+// WriteBroadcastComparison renders the comparison.
+func WriteBroadcastComparison(w io.Writer, c BroadcastComparison, bandwidthMbps float64) error {
+	if _, err := fmt.Fprintf(w, "== Broadcast vs pull for a hot region (%d records, %g Mbps) ==\n",
+		c.Items, bandwidthMbps); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-22s %14s %14s\n", "delivery", "client J", "latency s")
+	fmt.Fprintf(w, "%-22s %14.4f %14.3f\n", "pull (request/reply)", c.PullJ, c.PullLatency)
+	fmt.Fprintf(w, "%-22s %14.4f %14.3f\n", "broadcast (1,m index)", c.BroadcastJ, c.BroadcastLatency)
+	fmt.Fprintln(w, "\npull spends transmitter energy per client and scales the server's work")
+	fmt.Fprintln(w, "with the audience; broadcast trades latency for a receive-only client")
+	fmt.Fprintln(w, "and constant server airtime regardless of the audience size.")
+	return nil
+}
+
+// LoadSweepPoint is one server-utilization sweep value.
+type LoadSweepPoint struct {
+	Utilization     float64
+	FullyClientSecs float64
+	FullyServerSecs float64
+	FullyClientJ    float64
+	FullyServerJ    float64
+}
+
+// LoadSweep models the shared-server scenario of the §5.3 future work:
+// under growing background utilization the offloading schemes queue behind
+// other clients while fully-at-client execution is untouched. Range
+// queries, data present, at the given bandwidth.
+func LoadSweep(ds *dataset.Dataset, bandwidthMbps float64, runs int, seed int64) ([]LoadSweepPoint, error) {
+	if runs == 0 {
+		runs = Runs
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	queries := queriesFor(ds, core.RangeQuery, runs, seed)
+
+	var out []LoadSweepPoint
+	for _, rho := range []float64{0, 0.3, 0.6, 0.8, 0.9, 0.95} {
+		pt := LoadSweepPoint{Utilization: rho}
+		for _, scheme := range []core.Scheme{core.FullyClient, core.FullyServer} {
+			p := sim.DefaultParams()
+			p.BandwidthBps = bandwidthMbps * 1e6
+			p.ServerUtilization = rho
+			sys, err := sim.New(p)
+			if err != nil {
+				return nil, err
+			}
+			eng := core.NewEngineWithTree(ds, tree, sys)
+			for _, q := range queries {
+				if _, err := eng.Run(q, scheme, core.DataAtClient); err != nil {
+					return nil, err
+				}
+			}
+			r := sys.Result()
+			secs := float64(r.TotalClientCycles()) / p.Client.ClockHz
+			if scheme == core.FullyClient {
+				pt.FullyClientSecs, pt.FullyClientJ = secs, r.Energy.Total()
+			} else {
+				pt.FullyServerSecs, pt.FullyServerJ = secs, r.Energy.Total()
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteLoadSweep renders the sweep.
+func WriteLoadSweep(w io.Writer, points []LoadSweepPoint, bandwidthMbps float64, runs int) error {
+	if _, err := fmt.Fprintf(w, "== Server-load sweep, range queries, %g Mbps, sum of %d runs ==\n",
+		bandwidthMbps, runs); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%12s %16s %16s %14s %14s\n",
+		"utilization", "fully-client s", "fully-server s", "client J", "server J")
+	for _, p := range points {
+		fmt.Fprintf(w, "%12.2f %16.3f %16.3f %14.4f %14.4f\n",
+			p.Utilization, p.FullyClientSecs, p.FullyServerSecs, p.FullyClientJ, p.FullyServerJ)
+	}
+	fmt.Fprintln(w, "\na loaded shared server erodes the offloading advantage: queueing delay")
+	fmt.Fprintln(w, "inflates both the response time and the client's idle-listening energy.")
+	return nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text rendering of reproduced figures: one table for the energy panel, one
+// for the cycles panel, in the same shape the paper's bar charts encode.
+
+// WriteFigure renders an adequate-memory figure as text tables.
+func WriteFigure(w io.Writer, fig Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", fig.Title); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\n-- Energy at the mobile client (J, sum of %d runs) --\n", fig.Runs)
+	fmt.Fprintf(w, "%-44s", "scheme \\ bandwidth")
+	for _, p := range fig.Series[0].Points {
+		fmt.Fprintf(w, "%10.0fM", p.BandwidthMbps)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-44s", "fully-client (baseline)")
+	for range fig.Series[0].Points {
+		fmt.Fprintf(w, "%11.4f", fig.Baseline.Energy.Total())
+	}
+	fmt.Fprintln(w)
+	for _, s := range fig.Series {
+		fmt.Fprintf(w, "%-44s", s.Variant.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%11.4f", p.Energy.Total())
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\n-- Total cycles at the client clock (sum of %d runs) --\n", fig.Runs)
+	fmt.Fprintf(w, "%-44s", "scheme \\ bandwidth")
+	for _, p := range fig.Series[0].Points {
+		fmt.Fprintf(w, "%10.0fM", p.BandwidthMbps)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-44s", "fully-client (baseline)")
+	for range fig.Series[0].Points {
+		fmt.Fprintf(w, "%11.3e", float64(fig.Baseline.Cycles.Total()))
+	}
+	fmt.Fprintln(w)
+	for _, s := range fig.Series {
+		fmt.Fprintf(w, "%-44s", s.Variant.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%11.3e", float64(p.Cycles.Total()))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\n-- Energy decomposition at 2 Mbps (J: processor / NIC-Tx / NIC-Rx / NIC-Idle) --\n")
+	b := fig.Baseline.Energy
+	fmt.Fprintf(w, "%-44s %8.4f /%8.4f /%8.4f /%8.4f\n",
+		"fully-client (baseline)", b.Processor, b.NICTx, b.NICRx, b.NICIdle)
+	for _, s := range fig.Series {
+		e := s.Points[0].Energy
+		fmt.Fprintf(w, "%-44s %8.4f /%8.4f /%8.4f /%8.4f\n",
+			s.Variant.Label, e.Processor, e.NICTx, e.NICRx, e.NICIdle)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteInsufficientFigure renders a Fig. 10 reproduction.
+func WriteInsufficientFigure(w io.Writer, fig InsufficientFigure) error {
+	if _, err := fmt.Fprintf(w, "== Insufficient memory, %.1f MB buffer ==\n",
+		float64(fig.BudgetBytes)/(1024*1024)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %20s %20s %14s %14s %10s\n",
+		"proximity", "client-energy J", "server-energy J", "client-cycles", "server-cycles", "refetches")
+	for _, p := range fig.Points {
+		fmt.Fprintf(w, "%10d %13.4f ±%.4f %13.4f ±%.4f %14.3e %14.3e %10.1f\n",
+			p.Proximity, p.ClientEnergy, p.ClientEnergyCI, p.ServerEnergy, p.ServerEnergyCI,
+			p.ClientCycles, p.ServerCycles, p.Refetches)
+	}
+	if fig.EnergyCrossover >= 0 {
+		fmt.Fprintf(w, "energy crossover: fully-client wins beyond y ≈ %d\n", fig.EnergyCrossover)
+	} else {
+		fmt.Fprintln(w, "energy crossover: none in the swept range")
+	}
+	if fig.CyclesCrossover >= 0 {
+		fmt.Fprintf(w, "cycles crossover: fully-client wins beyond y ≈ %d\n", fig.CyclesCrossover)
+	} else {
+		fmt.Fprintln(w, "cycles crossover: none (fully-at-server wins performance everywhere)")
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Summary compactly describes where a series beats the baseline — used for
+// the EXPERIMENTS.md shape records.
+func Summary(fig Figure) string {
+	var sb strings.Builder
+	for _, s := range fig.Series {
+		eCross, cCross := -1.0, -1.0
+		for _, p := range s.Points {
+			if eCross < 0 && p.Energy.Total() < fig.Baseline.Energy.Total() {
+				eCross = p.BandwidthMbps
+			}
+			if cCross < 0 && p.Cycles.Total() < fig.Baseline.Cycles.Total() {
+				cCross = p.BandwidthMbps
+			}
+		}
+		fmt.Fprintf(&sb, "%s: ", s.Variant.Label)
+		if cCross >= 0 {
+			fmt.Fprintf(&sb, "beats fully-client cycles from %g Mbps, ", cCross)
+		} else {
+			sb.WriteString("never beats fully-client cycles, ")
+		}
+		if eCross >= 0 {
+			fmt.Fprintf(&sb, "energy from %g Mbps\n", eCross)
+		} else {
+			sb.WriteString("never on energy\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/dynrtree"
+	"mobispatial/internal/index"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/pmrquad"
+	"mobispatial/internal/rstar"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/sim"
+)
+
+// Index comparison — the reference point of the paper's §2/§3: its
+// predecessor study [2] compared spatial access methods (PMR quadtree,
+// packed R-tree, buddy tree) for fully-client execution on memory-resident
+// data, and the paper adopts the packed R-tree as the representative. This
+// harness reproduces that comparison over the structures implemented here:
+// the packed R-tree, the PMR quadtree, and the insertion-built (Guttman)
+// R-tree the paper's §3 argues against for static data.
+
+// IndexResult is one access method's fully-client cost on one query kind.
+type IndexResult struct {
+	Index      string
+	Kind       core.QueryKind
+	EnergyJ    float64
+	Cycles     int64
+	IndexBytes int
+}
+
+// IndexComparisonConfig parameterizes the comparison.
+type IndexComparisonConfig struct {
+	DS   *dataset.Dataset
+	Runs int
+	Seed int64
+}
+
+// CompareIndexes runs the three query workloads fully at the client over
+// each access method and returns the cost matrix.
+func CompareIndexes(cfg IndexComparisonConfig) ([]IndexResult, error) {
+	if cfg.Runs == 0 {
+		cfg.Runs = Runs
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+
+	packed, err := rtree.Build(cfg.DS.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	dyn, err := dynrtree.BuildByInsertion(dynItems(cfg.DS), dynrtree.Config{}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	quad, err := pmrquad.Build(cfg.DS.Segments, cfg.DS.Extent, pmrquad.Config{}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	star, err := rstar.BuildByInsertion(rstarItems(cfg.DS), rstar.Config{}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+
+	structures := []struct {
+		name string
+		idx  index.Index
+	}{
+		{"packed-rtree", packed},
+		{"insertion-rtree", dyn},
+		{"rstar-tree", star},
+		{"pmr-quadtree", quad},
+	}
+
+	var out []IndexResult
+	for _, kind := range []core.QueryKind{core.PointQuery, core.RangeQuery, core.NNQuery} {
+		queries := queriesFor(cfg.DS, kind, cfg.Runs, cfg.Seed)
+		for _, st := range structures {
+			sys, err := sim.New(sim.DefaultParams())
+			if err != nil {
+				return nil, err
+			}
+			eng := core.NewEngineWithIndex(cfg.DS, st.idx, sys)
+			for _, q := range queries {
+				if _, err := eng.Run(q, core.FullyClient, core.DataAtClient); err != nil {
+					return nil, fmt.Errorf("%s/%v: %w", st.name, kind, err)
+				}
+			}
+			r := sys.Result()
+			out = append(out, IndexResult{
+				Index:      st.name,
+				Kind:       kind,
+				EnergyJ:    r.Energy.Total(),
+				Cycles:     r.TotalClientCycles(),
+				IndexBytes: st.idx.IndexBytes(),
+			})
+		}
+	}
+	return out, nil
+}
+
+func rstarItems(ds *dataset.Dataset) []rstar.Item {
+	items := make([]rstar.Item, ds.Len())
+	for i, s := range ds.Segments {
+		items[i] = rstar.Item{MBR: s.MBR(), ID: uint32(i)}
+	}
+	return items
+}
+
+func dynItems(ds *dataset.Dataset) []dynrtree.Item {
+	items := make([]dynrtree.Item, ds.Len())
+	for i, s := range ds.Segments {
+		items[i] = dynrtree.Item{MBR: s.MBR(), ID: uint32(i)}
+	}
+	return items
+}
+
+// WriteIndexComparison renders the comparison matrix.
+func WriteIndexComparison(w io.Writer, results []IndexResult, runs int) error {
+	if _, err := fmt.Fprintf(w, "== Access-method comparison, fully-at-client execution (sum of %d runs) ==\n", runs); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s %-8s %12s %14s %12s\n", "structure", "query", "energy (J)", "cycles", "index MB")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-18s %-8v %12.4f %14d %12.2f\n",
+			r.Index, r.Kind, r.EnergyJ, r.Cycles, float64(r.IndexBytes)/(1<<20))
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/dynrtree"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/pmrquad"
+	"mobispatial/internal/rtree"
+)
+
+func TestCompareIndexes(t *testing.T) {
+	results, err := CompareIndexes(IndexComparisonConfig{DS: nycDS(), Runs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 { // 4 structures × 3 query kinds
+		t.Fatalf("got %d results", len(results))
+	}
+	byKey := map[string]IndexResult{}
+	for _, r := range results {
+		byKey[r.Index+"/"+r.Kind.String()] = r
+		if r.EnergyJ <= 0 || r.Cycles <= 0 || r.IndexBytes <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+	}
+	// The packed R-tree is the most compact structure — the reason the
+	// memory-constrained study standardizes on it.
+	packed := byKey["packed-rtree/range"].IndexBytes
+	if byKey["insertion-rtree/range"].IndexBytes <= packed {
+		t.Error("insertion-built R-tree not larger than packed")
+	}
+	if byKey["pmr-quadtree/range"].IndexBytes <= packed {
+		t.Error("PMR quadtree not larger than packed (multi-storage duplication)")
+	}
+	// Bulk loading beats item-by-item insertion on query cycles (§3).
+	if byKey["packed-rtree/range"].Cycles >= byKey["insertion-rtree/range"].Cycles {
+		t.Error("packed R-tree range cycles not below insertion-built")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteIndexComparison(&buf, results, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pmr-quadtree") {
+		t.Error("rendering incomplete")
+	}
+}
+
+// TestAllIndexesAgreeOnAnswers: the three access methods produce identical
+// filtering candidates (same MBR-intersection predicate) and thus identical
+// refined answers under the engine.
+func TestAllIndexesAgreeOnAnswers(t *testing.T) {
+	ds := nycDS()
+	packed, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := dynrtree.BuildByInsertion(dynItems(ds), dynrtree.Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := pmrquad.Build(ds.Segments, ds.Extent, pmrquad.Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range dataset.RangeQueries(ds, 20, 77) {
+		a := sortedU32(packed.Search(w, ops.Null{}))
+		b := sortedU32(dyn.Search(w, ops.Null{}))
+		c := sortedU32(quad.Search(w, ops.Null{}))
+		if !equalU32s(a, b) || !equalU32s(a, c) {
+			t.Fatalf("window %v: candidate sets differ (%d/%d/%d)", w, len(a), len(b), len(c))
+		}
+	}
+}
+
+func sortedU32(v []uint32) []uint32 {
+	out := append([]uint32(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalU32s(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

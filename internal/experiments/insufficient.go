@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/sim"
+	"mobispatial/internal/stats"
+)
+
+// InsufficientConfig parameterizes the Fig. 10 reproduction: a sequence of
+// one anchor range query plus y spatially proximate follow-ups is executed
+// under the "fully at client" caching scheme and the "fully at server"
+// scheme; the sweep varies y (the spatial proximity).
+type InsufficientConfig struct {
+	DS *dataset.Dataset
+	// BudgetBytes is the client memory availability x (1 MB and 2 MB in the
+	// paper).
+	BudgetBytes int
+	// Proximities are the swept y values; nil means 0..200 step 20.
+	Proximities []int
+	// RadiusFrac confines follow-up queries to a disc of this fraction of
+	// the extent around the anchor.
+	RadiusFrac float64
+	// Trials averages each y over this many independent sequences.
+	Trials int
+	// BandwidthMbps of the link. The paper does not state Fig. 10's
+	// bandwidth; the default 11 Mbps (contemporary 802.11b) reproduces the
+	// published crossovers.
+	BandwidthMbps float64
+	// SpeedRatio is MhzC/MhzS.
+	SpeedRatio float64
+	// DistanceM to the base station.
+	DistanceM float64
+	Seed      int64
+	Workers   int
+}
+
+func (c *InsufficientConfig) fill() {
+	if len(c.Proximities) == 0 {
+		c.Proximities = []int{0, 20, 40, 60, 80, 100, 120, 140, 160, 180, 200}
+	}
+	if c.RadiusFrac == 0 {
+		c.RadiusFrac = 0.012
+	}
+	if c.Trials == 0 {
+		c.Trials = 3
+	}
+	if c.BandwidthMbps == 0 {
+		c.BandwidthMbps = 11
+	}
+	if c.SpeedRatio == 0 {
+		c.SpeedRatio = 1.0 / 8
+	}
+	if c.DistanceM == 0 {
+		c.DistanceM = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 4242
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// InsufficientPoint is one swept proximity value: total energy and cycles of
+// the whole sequence under each scheme (averaged over trials).
+type InsufficientPoint struct {
+	Proximity    int
+	ClientEnergy float64 // "fully at client" (caching) scheme, Joules
+	ServerEnergy float64
+	ClientCycles float64
+	ServerCycles float64
+	// Refetches is the mean shipment count of the caching scheme.
+	Refetches float64
+	// ClientEnergyCI / ServerEnergyCI are 95% confidence half-widths over
+	// the trials (0 for a single trial).
+	ClientEnergyCI float64
+	ServerEnergyCI float64
+}
+
+// InsufficientFigure is the Fig. 10 reproduction for one buffer size.
+type InsufficientFigure struct {
+	BudgetBytes int
+	Points      []InsufficientPoint
+	// EnergyCrossover is the smallest swept proximity at which the caching
+	// scheme's energy drops below fully-at-server, or -1 if none.
+	EnergyCrossover int
+	// CyclesCrossover likewise for cycles (the paper finds none: the server
+	// always wins performance).
+	CyclesCrossover int
+}
+
+// Insufficient reproduces Fig. 10 for one buffer size.
+func Insufficient(cfg InsufficientConfig) (InsufficientFigure, error) {
+	cfg.fill()
+	tree, err := rtree.Build(cfg.DS.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return InsufficientFigure{}, err
+	}
+
+	fig := InsufficientFigure{
+		BudgetBytes: cfg.BudgetBytes,
+		Points:      make([]InsufficientPoint, len(cfg.Proximities)),
+	}
+
+	params := func() sim.Params {
+		p := sim.DefaultParams()
+		p.BandwidthBps = cfg.BandwidthMbps * 1e6
+		p.DistanceM = cfg.DistanceM
+		p.Client.ClockHz = p.Server.ClockHz * cfg.SpeedRatio
+		return p
+	}
+
+	errs := make([]error, len(cfg.Proximities))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for pi, y := range cfg.Proximities {
+		wg.Add(1)
+		go func(pi, y int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			pt := InsufficientPoint{Proximity: y}
+			var clientJs, serverJs []float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				// The same trial seed across all y values makes each curve a
+				// prefix-extension of one query sequence, so the sweep is
+				// smooth instead of re-rolling the anchor at every point.
+				seed := cfg.Seed + int64(trial)
+				seq := dataset.ProximitySequence(cfg.DS, y, cfg.RadiusFrac, seed)
+
+				sysC, err := sim.New(params())
+				if err != nil {
+					errs[pi] = err
+					return
+				}
+				engC := core.NewEngineWithTree(cfg.DS, tree, sysC)
+				cache := core.NewCache(cfg.BudgetBytes, cfg.DS.RecordBytes)
+
+				sysS, err := sim.New(params())
+				if err != nil {
+					errs[pi] = err
+					return
+				}
+				engS := core.NewEngineWithTree(cfg.DS, tree, sysS)
+
+				for qi, w := range seq {
+					q := core.Range(w)
+					if _, _, err := engC.RunInsufficientClient(q, cache); err != nil {
+						errs[pi] = fmt.Errorf("y=%d trial=%d query=%d: %w", y, trial, qi, err)
+						return
+					}
+					engS.RunInsufficientServer(q)
+				}
+				rc, rs := sysC.Result(), sysS.Result()
+				clientJs = append(clientJs, rc.Energy.Total())
+				serverJs = append(serverJs, rs.Energy.Total())
+				pt.ClientCycles += float64(rc.TotalClientCycles())
+				pt.ServerCycles += float64(rs.TotalClientCycles())
+				pt.Refetches += float64(cache.Refetches)
+			}
+			n := float64(cfg.Trials)
+			cj := stats.Summarize(clientJs)
+			sj := stats.Summarize(serverJs)
+			pt.ClientEnergy, pt.ClientEnergyCI = cj.Mean, cj.CI95()
+			pt.ServerEnergy, pt.ServerEnergyCI = sj.Mean, sj.CI95()
+			pt.ClientCycles /= n
+			pt.ServerCycles /= n
+			pt.Refetches /= n
+			fig.Points[pi] = pt
+		}(pi, y)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return InsufficientFigure{}, err
+		}
+	}
+
+	fig.EnergyCrossover = -1
+	fig.CyclesCrossover = -1
+	for _, pt := range fig.Points {
+		if fig.EnergyCrossover < 0 && pt.ClientEnergy < pt.ServerEnergy {
+			fig.EnergyCrossover = pt.Proximity
+		}
+		if fig.CyclesCrossover < 0 && pt.ClientCycles < pt.ServerCycles {
+			fig.CyclesCrossover = pt.Proximity
+		}
+	}
+	return fig, nil
+}

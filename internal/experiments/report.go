@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+)
+
+// Report runs the complete evaluation — every figure plus the extension
+// experiments — and writes one self-contained markdown document. It is the
+// push-button regeneration of EXPERIMENTS.md's raw material.
+
+// ReportConfig scales the report's workloads.
+type ReportConfig struct {
+	// Runs per figure point (100 = paper scale).
+	Runs int
+	// Trials per Fig. 10 proximity value.
+	Trials int
+	// Workers bounds the per-figure fan-out.
+	Workers int
+	// SkipExtensions limits the report to the paper's figures.
+	SkipExtensions bool
+}
+
+func (c *ReportConfig) fill() {
+	if c.Runs == 0 {
+		c.Runs = Runs
+	}
+	if c.Trials == 0 {
+		c.Trials = 3
+	}
+}
+
+// WriteReport runs everything and renders the document.
+func WriteReport(w io.Writer, cfg ReportConfig) error {
+	cfg.fill()
+	pa := dataset.PA()
+	nyc := dataset.NYC()
+
+	fmt.Fprintln(w, "# mobispatial — generated evaluation report")
+	fmt.Fprintf(w, "\nWorkload scale: %d runs per figure point, %d trials per Fig. 10 value.\n", cfg.Runs, cfg.Trials)
+
+	figures := []struct {
+		id  string
+		cfg Config
+	}{
+		{"Fig. 4 — point queries (PA)", Config{DS: pa, Kind: core.PointQuery}},
+		{"Fig. 5 — range queries (PA)", Config{DS: pa, Kind: core.RangeQuery}},
+		{"Fig. 6 — NN queries (PA)", Config{DS: pa, Kind: core.NNQuery}},
+		{"Fig. 7 — range queries (NYC)", Config{DS: nyc, Kind: core.RangeQuery}},
+		{"Fig. 8 — range queries, C/S = 1/2 (PA)", Config{DS: pa, Kind: core.RangeQuery, SpeedRatio: 0.5}},
+		{"Fig. 9 — range queries, 100 m (PA)", Config{DS: pa, Kind: core.RangeQuery, DistanceM: 100}},
+	}
+	for _, f := range figures {
+		c := f.cfg
+		c.Runs = cfg.Runs
+		c.Workers = cfg.Workers
+		fig, err := Adequate(c)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.id, err)
+		}
+		fmt.Fprintf(w, "\n## %s\n\n```\n", f.id)
+		if err := WriteFigure(w, fig); err != nil {
+			return err
+		}
+		if err := WriteFigureBars(w, fig); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "```")
+		fmt.Fprintf(w, "\n%s\n", Summary(fig))
+	}
+
+	fmt.Fprintln(w, "\n## Fig. 10 — insufficient client memory (PA)")
+	for _, budget := range []int{1 << 20, 2 << 20} {
+		fig, err := Insufficient(InsufficientConfig{
+			DS: pa, BudgetBytes: budget, Trials: cfg.Trials, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\n```")
+		if err := WriteInsufficientFigure(w, fig); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "```")
+	}
+
+	if cfg.SkipExtensions {
+		return nil
+	}
+
+	fmt.Fprintln(w, "\n## Extensions")
+
+	results, err := CompareIndexes(IndexComparisonConfig{DS: pa, Runs: cfg.Runs})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n```")
+	if err := WriteIndexComparison(w, results, cfg.Runs); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "```")
+
+	clock, err := ClockSweep(pa, 6, cfg.Runs, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n```")
+	if err := WriteClockSweep(w, clock, 6, cfg.Runs); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "```")
+
+	load, err := LoadSweep(pa, 6, cfg.Runs, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n```")
+	if err := WriteLoadSweep(w, load, 6, cfg.Runs); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "```")
+
+	c := pa.Segments[2026].Midpoint()
+	bc, err := CompareBroadcast(pa, rectAround(c.X, c.Y, 2000), 2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n```")
+	if err := WriteBroadcastComparison(w, bc, 2); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "```")
+
+	session, err := Session(SessionConfig{DS: pa})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n```")
+	if err := WriteSession(w, session, SessionConfig{}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "```")
+	return nil
+}
+
+func rectAround(x, y, half float64) geom.Rect {
+	return geom.Rect{
+		Min: geom.Point{X: x - half, Y: y - half},
+		Max: geom.Point{X: x + half, Y: y + half},
+	}
+}

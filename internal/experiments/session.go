@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/sim"
+)
+
+// Session experiment: a realistic mobile map-browsing session mixes the
+// three query types, and no fixed scheme is right for all of them — the
+// paper's central message. The experiment compares the fixed extremes with
+// the adaptive §4.1-based policy of core.RunAdaptive.
+
+// SessionConfig parameterizes the mixed-session experiment.
+type SessionConfig struct {
+	DS *dataset.Dataset
+	// Queries is the session length (default 60).
+	Queries int
+	// BandwidthMbps of the link (default 11 — the regime where offloading
+	// heavy queries pays).
+	BandwidthMbps float64
+	Seed          int64
+}
+
+func (c *SessionConfig) fill() {
+	if c.Queries == 0 {
+		c.Queries = 60
+	}
+	if c.BandwidthMbps == 0 {
+		c.BandwidthMbps = 11
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// SessionResult is one strategy's session cost.
+type SessionResult struct {
+	Strategy string
+	EnergyJ  float64
+	Cycles   int64
+	Seconds  float64
+	// Offloaded counts the adaptive policy's server-bound queries (0 for
+	// fixed strategies by construction of the field).
+	Offloaded int64
+}
+
+// sessionQueries scripts a browsing session: pans/zooms (range, half of
+// them heavyweight), street taps (point), nearest-road probes (NN).
+func sessionQueries(ds *dataset.Dataset, n int, seed int64) []core.Query {
+	rng := rand.New(rand.NewSource(seed))
+	at := ds.Segments[rng.Intn(ds.Len())].Midpoint()
+	clampWin := func(w geom.Rect) geom.Rect {
+		return w.Intersection(ds.Extent)
+	}
+	var qs []core.Query
+	for len(qs) < n {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			side := 2000 + rng.Float64()*8000
+			qs = append(qs, core.Range(clampWin(geom.Rect{
+				Min: geom.Point{X: at.X - side/2, Y: at.Y - side/2},
+				Max: geom.Point{X: at.X + side/2, Y: at.Y + side/2},
+			})))
+			at.X += (rng.Float64() - 0.5) * 3000
+			at.Y += (rng.Float64() - 0.5) * 3000
+		case 4, 5, 6:
+			s := ds.Segments[rng.Intn(ds.Len())]
+			qs = append(qs, core.Point(s.A))
+		default:
+			qs = append(qs, core.Nearest(geom.Point{
+				X: at.X + (rng.Float64()-0.5)*2000,
+				Y: at.Y + (rng.Float64()-0.5)*2000,
+			}))
+		}
+	}
+	return qs
+}
+
+// Session runs the mixed workload under each strategy.
+func Session(cfg SessionConfig) ([]SessionResult, error) {
+	cfg.fill()
+	tree, err := rtree.Build(cfg.DS.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return nil, err
+	}
+	queries := sessionQueries(cfg.DS, cfg.Queries, cfg.Seed)
+
+	newEng := func() (*core.Engine, *sim.System, error) {
+		p := sim.DefaultParams()
+		p.BandwidthBps = cfg.BandwidthMbps * 1e6
+		sys, err := sim.New(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.NewEngineWithTree(cfg.DS, tree, sys), sys, nil
+	}
+
+	var out []SessionResult
+
+	for _, fixed := range []struct {
+		name   string
+		scheme core.Scheme
+	}{
+		{"all-local", core.FullyClient},
+		{"all-server", core.FullyServer},
+	} {
+		eng, sys, err := newEng()
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			if _, err := eng.Run(q, fixed.scheme, core.DataAtClient); err != nil {
+				return nil, err
+			}
+		}
+		r := sys.Result()
+		out = append(out, SessionResult{
+			Strategy: fixed.name,
+			EnergyJ:  r.Energy.Total(),
+			Cycles:   r.TotalClientCycles(),
+			Seconds:  r.ElapsedSeconds,
+		})
+	}
+
+	eng, sys, err := newEng()
+	if err != nil {
+		return nil, err
+	}
+	var stats core.AdaptiveStats
+	for _, q := range queries {
+		if _, err := eng.RunAdaptive(q, &stats); err != nil {
+			return nil, err
+		}
+	}
+	r := sys.Result()
+	out = append(out, SessionResult{
+		Strategy:  "adaptive",
+		EnergyJ:   r.Energy.Total(),
+		Cycles:    r.TotalClientCycles(),
+		Seconds:   r.ElapsedSeconds,
+		Offloaded: stats.Offloaded,
+	})
+	return out, nil
+}
+
+// WriteSession renders the comparison.
+func WriteSession(w io.Writer, results []SessionResult, cfg SessionConfig) error {
+	cfg.fill()
+	if _, err := fmt.Fprintf(w, "== Mixed session (%d queries, %g Mbps): fixed vs adaptive partitioning ==\n",
+		cfg.Queries, cfg.BandwidthMbps); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %12s %14s %12s %10s\n", "strategy", "energy (J)", "cycles", "elapsed s", "offloaded")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12s %12.4f %14d %12.3f %10d\n",
+			r.Strategy, r.EnergyJ, r.Cycles, r.Seconds, r.Offloaded)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripExhaustiveSmall(t *testing.T) {
+	const order = 5
+	side := uint32(1) << order
+	seen := make(map[uint64]bool, side*side)
+	for x := uint32(0); x < side; x++ {
+		for y := uint32(0); y < side; y++ {
+			d := Encode(order, x, y)
+			if d >= uint64(side)*uint64(side) {
+				t.Fatalf("Encode(%d,%d,%d) = %d out of range", order, x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate Hilbert value %d at (%d,%d)", d, x, y)
+			}
+			seen[d] = true
+			gx, gy := Decode(order, d)
+			if gx != x || gy != y {
+				t.Fatalf("Decode(Encode(%d,%d)) = (%d,%d)", x, y, gx, gy)
+			}
+		}
+	}
+	if len(seen) != int(side*side) {
+		t.Fatalf("curve visited %d cells, want %d", len(seen), side*side)
+	}
+}
+
+func TestCurveIsContinuous(t *testing.T) {
+	// Consecutive curve positions must be 4-neighbors in the grid: that
+	// adjacency is the locality property the packed R-tree relies on.
+	const order = 6
+	px, py := Decode(order, 0)
+	for d := uint64(1); d < 1<<(2*order); d++ {
+		x, y := Decode(order, d)
+		dx := int64(x) - int64(px)
+		dy := int64(y) - int64(py)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("curve jumps from (%d,%d) to (%d,%d) at d=%d", px, py, x, y, d)
+		}
+		px, py = x, y
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x &= 1<<Order - 1
+		y &= 1<<Order - 1
+		gx, gy := Decode(Order, Encode(Order, x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizerClamps(t *testing.T) {
+	q := NewQuantizer(8, 0, 0, 100, 100)
+	lo := q.Value(-5, -5)
+	if lo != q.Value(0, 0) {
+		t.Errorf("below-range point not clamped to origin cell: %d vs %d", lo, q.Value(0, 0))
+	}
+	hi := q.Value(200, 200)
+	if hi != q.Value(100, 100) {
+		t.Errorf("above-range point not clamped to max cell: %d vs %d", hi, q.Value(100, 100))
+	}
+}
+
+func TestQuantizerDegenerateExtent(t *testing.T) {
+	q := NewQuantizer(8, 5, 5, 5, 5) // zero-area box
+	if got := q.Value(5, 5); got != Encode(8, 0, 0) {
+		t.Errorf("degenerate quantizer: got %d, want cell (0,0) value %d", got, Encode(8, 0, 0))
+	}
+}
+
+func TestQuantizerPreservesLocality(t *testing.T) {
+	// Nearby points should usually have nearby Hilbert values. We check a
+	// statistical version: the mean |Δd| for pairs at distance 1/256 of the
+	// extent must be far below the mean for random pairs.
+	q := NewQuantizer(Order, 0, 0, 1, 1)
+	rng := rand.New(rand.NewSource(42))
+	var near, far float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*0.99, rng.Float64()*0.99
+		d0 := q.Value(x, y)
+		d1 := q.Value(x+1.0/256, y)
+		near += absDiff(d0, d1)
+		d2 := q.Value(rng.Float64(), rng.Float64())
+		far += absDiff(d0, d2)
+	}
+	if near >= far/10 {
+		t.Errorf("locality too weak: mean near Δ=%g, mean random Δ=%g", near/n, far/n)
+	}
+}
+
+func absDiff(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(Order, uint32(i)&0xFFFF, uint32(i>>8)&0xFFFF)
+	}
+}

@@ -1,0 +1,41 @@
+// Package index declares the access-method contract shared by the spatial
+// index structures. The paper evaluates work partitioning on the packed
+// R-tree, chosen as the representative structure from its reference [2]
+// ("Analyzing Energy Behavior of Spatial Access Methods for Memory-Resident
+// Data", VLDB 2001), which compared PMR quadtrees, packed R-trees, and buddy
+// trees. This repository implements several of those structures; anything
+// satisfying Index can serve as the filtering step of the adequate-memory
+// partitioning schemes and of the index-comparison benches.
+package index
+
+import (
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+)
+
+// DistFunc returns the exact distance from the current query point to the
+// data item with the given id; the nearest-neighbor search calls it to
+// refine leaf candidates. Implementations charge their own refinement cost
+// to whatever recorder they close over.
+type DistFunc func(id uint32) float64
+
+// Index is a read-only spatial access method over a static set of
+// identified items. All traversals emit their work to an ops.Recorder so
+// the machine models can observe the execution; ops.Null{} runs them as a
+// plain library.
+type Index interface {
+	// Search returns the ids of all items whose MBR intersects the window
+	// (the filtering step of a range query).
+	Search(window geom.Rect, rec ops.Recorder) []uint32
+	// SearchPoint returns the ids of all items whose MBR contains p (the
+	// filtering step of a point query).
+	SearchPoint(p geom.Point, rec ops.Recorder) []uint32
+	// Nearest returns the item nearest to p by exact distance dist,
+	// ok == false when the index is empty.
+	Nearest(p geom.Point, dist DistFunc, rec ops.Recorder) (id uint32, d float64, ok bool)
+	// Len returns the number of indexed items.
+	Len() int
+	// IndexBytes returns the structure's total byte size — what must fit
+	// in (or be shipped to) client memory.
+	IndexBytes() int
+}

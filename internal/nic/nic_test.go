@@ -1,0 +1,155 @@
+package nic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2Constants(t *testing.T) {
+	if err := SanityCheckTable2(); err != nil {
+		t.Fatal(err)
+	}
+	if TxPower1Km != 3.0891 || TxPower100m != 1.0891 || RxPower != 0.165 ||
+		IdlePower != 0.100 || SleepPower != 0.0198 {
+		t.Fatal("Table 2 constants drifted")
+	}
+	if SleepExitLatency != 470e-6 {
+		t.Fatalf("sleep exit latency %v", SleepExitLatency)
+	}
+}
+
+func TestTxPowerMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 5000)), math.Abs(math.Mod(b, 5000))
+		if a > b {
+			a, b = b, a
+		}
+		return TxPowerAt(a) <= TxPowerAt(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if TxPowerAt(-10) != TxPowerAt(0) {
+		t.Error("negative distance not clamped")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{DistanceM: 0}); err == nil {
+		t.Fatal("zero distance accepted")
+	}
+	n, err := New(Config{DistanceM: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.TxPower()-TxPower1Km) > 1e-9 {
+		t.Fatalf("1 km TxPower = %v", n.TxPower())
+	}
+}
+
+func TestStateEnergyAccounting(t *testing.T) {
+	n, err := New(Config{DistanceM: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.TransmitFor(1.0)
+	n.IdleFor(2.0)
+	n.ReceiveFor(3.0)
+	n.SleepFor(4.0)
+	u := n.Usage()
+	if math.Abs(u.TxJoules-TxPower1Km) > 1e-9 {
+		t.Errorf("Tx energy %v, want %v", u.TxJoules, TxPower1Km)
+	}
+	if math.Abs(u.IdleJoules-2*IdlePower) > 1e-9 {
+		t.Errorf("Idle energy %v", u.IdleJoules)
+	}
+	if math.Abs(u.RxJoules-3*RxPower) > 1e-9 {
+		t.Errorf("Rx energy %v", u.RxJoules)
+	}
+	if math.Abs(u.SleepJoules-4*SleepPower) > 1e-9 {
+		t.Errorf("Sleep energy %v", u.SleepJoules)
+	}
+	if math.Abs(u.TotalSeconds()-10) > 1e-9 {
+		t.Errorf("total seconds %v, want 10", u.TotalSeconds())
+	}
+	if math.Abs(u.TotalJoules()-(TxPower1Km+2*IdlePower+3*RxPower+4*SleepPower)) > 1e-9 {
+		t.Errorf("total joules %v", u.TotalJoules())
+	}
+}
+
+func TestSleepExitPenalty(t *testing.T) {
+	n, err := New(Config{DistanceM: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SleepFor(1.0)
+	elapsed := n.TransmitFor(0.001)
+	if math.Abs(elapsed-(SleepExitLatency+0.001)) > 1e-12 {
+		t.Fatalf("transmit after sleep took %v, want exit latency included", elapsed)
+	}
+	u := n.Usage()
+	if u.Wakeups != 1 {
+		t.Fatalf("wakeups = %d", u.Wakeups)
+	}
+	// The exit latency burns idle-level power.
+	if math.Abs(u.IdleJoules-SleepExitLatency*IdlePower) > 1e-12 {
+		t.Fatalf("wakeup energy %v", u.IdleJoules)
+	}
+	// Idle -> Transmit costs nothing extra.
+	n2, _ := New(Config{DistanceM: 100})
+	if got := n2.TransmitFor(0.001); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("idle->transmit took %v", got)
+	}
+}
+
+func TestDisableSleepAblation(t *testing.T) {
+	n, err := New(Config{DistanceM: 1000, DisableSleep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SleepFor(2.0)
+	u := n.Usage()
+	if u.SleepSeconds != 0 {
+		t.Fatal("DisableSleep still slept")
+	}
+	if math.Abs(u.IdleSeconds-2.0) > 1e-12 {
+		t.Fatalf("idle seconds %v, want 2", u.IdleSeconds)
+	}
+	// No wake penalty either.
+	if got := n.TransmitFor(0.001); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("transmit took %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	n, _ := New(Config{DistanceM: 500})
+	n.TransmitFor(1)
+	n.Reset()
+	if u := n.Usage(); u.TotalSeconds() != 0 || u.TotalJoules() != 0 || u.Wakeups != 0 {
+		t.Fatalf("usage after reset: %+v", u)
+	}
+	if n.State() != Idle {
+		t.Fatalf("state after reset: %v", n.State())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Transmit: "TRANSMIT", Receive: "RECEIVE", Idle: "IDLE", Sleep: "SLEEP"} {
+		if s.String() != want {
+			t.Errorf("State %d = %q", s, s.String())
+		}
+	}
+	if State(99).String() != "State(?)" {
+		t.Error("unknown state string")
+	}
+}
+
+func TestNegativeDurationsIgnored(t *testing.T) {
+	n, _ := New(Config{DistanceM: 100})
+	n.TransmitFor(-1)
+	n.IdleFor(0)
+	if u := n.Usage(); u.TotalJoules() != 0 {
+		t.Fatalf("negative durations accounted: %+v", u)
+	}
+}

@@ -1,0 +1,161 @@
+// Package ops defines the instrumentation boundary between the spatial query
+// algorithms and the performance/energy simulators.
+//
+// The reproduction follows the SimplePower methodology (§5.1 of the paper):
+// the workload is *executed*, not modeled in closed form, and the execution
+// emits two streams that a machine model turns into cycles and Joules:
+//
+//   - abstract operations (MBR test, node visit, geometric refinement, ...)
+//     that stand for short straight-line instruction sequences, and
+//   - a memory-reference trace of every index node, data record, and message
+//     buffer touched, with byte-exact simulated addresses.
+//
+// The query code in internal/rtree and the protocol code in internal/proto
+// call a Recorder; internal/cpu provides Recorder implementations that model
+// the paper's client (Table 3) and server (Table 4) machines. A no-op
+// Recorder lets the same code run as a plain spatial library with zero
+// simulation overhead.
+package ops
+
+// Op identifies an abstract operation: a short straight-line sequence of
+// instructions whose cost the CPU model knows statically.
+type Op uint8
+
+// The abstract operation vocabulary. Instruction budgets for each op live in
+// the CPU model (internal/cpu); the comments here describe what the op
+// stands for.
+const (
+	// OpMBRTest is one rectangle-overlap or point-in-rectangle test during
+	// filtering: 4 compares with loads of one entry's MBR.
+	OpMBRTest Op = iota
+	// OpNodeVisit is the per-node loop setup of the index traversal: header
+	// decode, bounds setup, stack push/pop.
+	OpNodeVisit
+	// OpDistCalc is one MINDIST/MINMAXDIST evaluation in the branch-and-
+	// bound nearest-neighbor search.
+	OpDistCalc
+	// OpHeapOp is one priority-queue push or pop in the NN search.
+	OpHeapOp
+	// OpRefineRange is one exact segment-vs-window intersection test (the
+	// refinement step of a range query).
+	OpRefineRange
+	// OpRefinePoint is one exact point-on-segment test (the refinement step
+	// of a point query).
+	OpRefinePoint
+	// OpRefineNN is one exact point-to-segment distance evaluation.
+	OpRefineNN
+	// OpResultAppend is appending one hit to the result list.
+	OpResultAppend
+	// OpCopyWord is one 4-byte word of a buffer copy (packing results,
+	// copying received payloads).
+	OpCopyWord
+	// OpProtoPacket is the per-packet TCP/IP processing: header
+	// construction/parse, checksum setup, interrupt handling.
+	OpProtoPacket
+	// OpProtoByte is the per-byte protocol cost (checksumming, copy into the
+	// NIC buffer).
+	OpProtoByte
+	// OpIndexBuildEntry is one entry emitted during a bulk load or subtree
+	// extraction (sort amortization included) — charged to whoever builds.
+	OpIndexBuildEntry
+	// OpDispatch is the fixed per-query dispatch overhead: parsing the
+	// request, selecting the query routine, formatting the reply descriptor.
+	OpDispatch
+	numOps
+)
+
+// NumOps is the number of distinct abstract operations.
+const NumOps = int(numOps)
+
+var opNames = [NumOps]string{
+	"MBRTest", "NodeVisit", "DistCalc", "HeapOp",
+	"RefineRange", "RefinePoint", "RefineNN", "ResultAppend",
+	"CopyWord", "ProtoPacket", "ProtoByte", "IndexBuildEntry", "Dispatch",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opNames[o]
+	}
+	return "Op(?)"
+}
+
+// Recorder receives the execution streams. Implementations must tolerate
+// size 0 memory accesses (they are no-ops).
+type Recorder interface {
+	// Op records n executions of abstract operation op.
+	Op(op Op, n int)
+	// Load records a data-memory read of size bytes at simulated address
+	// addr.
+	Load(addr uint64, size int)
+	// Store records a data-memory write of size bytes at simulated address
+	// addr.
+	Store(addr uint64, size int)
+}
+
+// Null is a Recorder that discards everything; it lets the query code run as
+// an ordinary spatial library.
+type Null struct{}
+
+// Op implements Recorder.
+func (Null) Op(Op, int) {}
+
+// Load implements Recorder.
+func (Null) Load(uint64, int) {}
+
+// Store implements Recorder.
+func (Null) Store(uint64, int) {}
+
+// Counts is a Recorder that tallies operation and access counts. It is used
+// by tests and by the analytic advisor to characterize workloads without a
+// full machine model.
+type Counts struct {
+	Ops        [NumOps]int64
+	LoadBytes  int64
+	StoreBytes int64
+	LoadCalls  int64
+	StoreCalls int64
+}
+
+// Op implements Recorder.
+func (c *Counts) Op(op Op, n int) { c.Ops[op] += int64(n) }
+
+// Load implements Recorder.
+func (c *Counts) Load(_ uint64, size int) {
+	c.LoadCalls++
+	c.LoadBytes += int64(size)
+}
+
+// Store implements Recorder.
+func (c *Counts) Store(_ uint64, size int) {
+	c.StoreCalls++
+	c.StoreBytes += int64(size)
+}
+
+// Total returns the total number of abstract operations recorded.
+func (c *Counts) Total() int64 {
+	var t int64
+	for _, n := range c.Ops {
+		t += n
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (c *Counts) Reset() { *c = Counts{} }
+
+// Simulated address-space layout. Each major structure lives in its own
+// region so traces from different components never alias accidentally.
+const (
+	// CodeBase is where abstract-operation code footprints live (I-cache).
+	CodeBase uint64 = 0x0040_0000
+	// IndexBase is where R-tree nodes are laid out by the bulk loader.
+	IndexBase uint64 = 0x1000_0000
+	// DataBase is where data records (line segments + attributes) live.
+	DataBase uint64 = 0x2000_0000
+	// BufferBase is where protocol/message buffers live.
+	BufferBase uint64 = 0x3000_0000
+	// ScratchBase is for result lists and other transient structures.
+	ScratchBase uint64 = 0x3800_0000
+)

@@ -1,0 +1,114 @@
+package ops
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountsRecorder(t *testing.T) {
+	var c Counts
+	c.Op(OpMBRTest, 3)
+	c.Op(OpRefineRange, 1)
+	c.Load(0x1000, 20)
+	c.Store(0x2000, 8)
+	if c.Ops[OpMBRTest] != 3 || c.Ops[OpRefineRange] != 1 {
+		t.Fatalf("op counts: %+v", c.Ops)
+	}
+	if c.LoadBytes != 20 || c.StoreBytes != 8 || c.LoadCalls != 1 || c.StoreCalls != 1 {
+		t.Fatalf("access counts: %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 || c.LoadBytes != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestNullRecorder(t *testing.T) {
+	var n Null
+	n.Op(OpMBRTest, 5)
+	n.Load(0, 100)
+	n.Store(0, 100)
+	// Nothing to assert — it must simply not panic.
+}
+
+func TestOpStrings(t *testing.T) {
+	for i := 0; i < NumOps; i++ {
+		if s := Op(i).String(); s == "" || s == "Op(?)" {
+			t.Errorf("op %d has no name", i)
+		}
+	}
+	if Op(200).String() != "Op(?)" {
+		t.Error("unknown op string")
+	}
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	regions := []uint64{CodeBase, IndexBase, DataBase, BufferBase, ScratchBase}
+	for i := 1; i < len(regions); i++ {
+		if regions[i] <= regions[i-1] {
+			t.Fatalf("address regions not ascending: %#x after %#x", regions[i], regions[i-1])
+		}
+	}
+}
+
+func TestTraceWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Op(OpMBRTest, 3)
+	tw.Load(0x10000200, 20)
+	tw.Store(ScratchBase, 4)
+	tw.Op(OpMBRTest, 0) // ignored
+	tw.Load(0, -1)      // ignored
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"op MBRTest x3", "ld 0x10000200 20", "st 0x38000000 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q in %q", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("trace has %d lines, want 3", strings.Count(out, "\n"))
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b Counts
+	tee := Tee{&a, &b}
+	tee.Op(OpNodeVisit, 2)
+	tee.Load(0x100, 16)
+	tee.Store(0x200, 4)
+	if a != b {
+		t.Fatalf("tee receivers diverged: %+v vs %+v", a, b)
+	}
+	if a.Ops[OpNodeVisit] != 2 || a.LoadBytes != 16 || a.StoreBytes != 4 {
+		t.Fatalf("tee lost events: %+v", a)
+	}
+}
+
+func TestLocked(t *testing.T) {
+	var c Counts
+	l := &Locked{R: &c}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Op(OpMBRTest, 1)
+				l.Load(0x100, 4)
+				l.Store(0x200, 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Ops[OpMBRTest] != 8000 || c.LoadCalls != 8000 || c.StoreCalls != 8000 {
+		t.Fatalf("lost events under concurrency: %+v", c)
+	}
+}

@@ -1,0 +1,117 @@
+package ops
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Tracing and composition utilities around Recorder: a streaming trace
+// writer for debugging cost-model questions ("what exactly does this query
+// touch?"), a tee for recording while simulating, and a prefix-labeling
+// wrapper for multi-phase traces.
+
+// TraceWriter is a Recorder that streams a human-readable event log:
+//
+//	op MBRTest x3
+//	ld 0x10000200 20
+//	st 0x38000000 4
+//
+// It buffers internally; call Flush (or Close the underlying writer's owner)
+// when done. Safe for single-goroutine use, like all Recorders.
+type TraceWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewTraceWriter wraps w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w)}
+}
+
+// Op implements Recorder.
+func (t *TraceWriter) Op(op Op, n int) {
+	if t.err != nil || n <= 0 {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, "op %s x%d\n", op, n)
+}
+
+// Load implements Recorder.
+func (t *TraceWriter) Load(addr uint64, size int) {
+	if t.err != nil || size <= 0 {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, "ld %#x %d\n", addr, size)
+}
+
+// Store implements Recorder.
+func (t *TraceWriter) Store(addr uint64, size int) {
+	if t.err != nil || size <= 0 {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, "st %#x %d\n", addr, size)
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Tee duplicates every event to all receivers (e.g. a machine model plus a
+// trace file).
+type Tee []Recorder
+
+// Op implements Recorder.
+func (t Tee) Op(op Op, n int) {
+	for _, r := range t {
+		r.Op(op, n)
+	}
+}
+
+// Load implements Recorder.
+func (t Tee) Load(addr uint64, size int) {
+	for _, r := range t {
+		r.Load(addr, size)
+	}
+}
+
+// Store implements Recorder.
+func (t Tee) Store(addr uint64, size int) {
+	for _, r := range t {
+		r.Store(addr, size)
+	}
+}
+
+// Locked wraps a Recorder for use from multiple goroutines (the harness
+// normally gives each goroutine its own system; Locked covers ad-hoc
+// aggregation in tools).
+type Locked struct {
+	mu sync.Mutex
+	R  Recorder
+}
+
+// Op implements Recorder.
+func (l *Locked) Op(op Op, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.R.Op(op, n)
+}
+
+// Load implements Recorder.
+func (l *Locked) Load(addr uint64, size int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.R.Load(addr, size)
+}
+
+// Store implements Recorder.
+func (l *Locked) Store(addr uint64, size int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.R.Store(addr, size)
+}

@@ -1,0 +1,126 @@
+// Package parallel executes spatial query workloads concurrently over a
+// shared read-only index — the server side of the paper's architecture run
+// as a real Go library rather than a simulated machine. Index traversals
+// are pure reads, so one packed R-tree serves any number of goroutines; the
+// pool fans queries out over workers and preserves input order in the
+// results.
+//
+// This is also the repository's throughput harness: the scaling benchmarks
+// measure queries/second against worker count on the full PA dataset.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/index"
+	"mobispatial/internal/ops"
+)
+
+// Pool is a fixed-width worker pool over one dataset and one access method.
+type Pool struct {
+	ds      *dataset.Dataset
+	idx     index.Index
+	workers int
+}
+
+// New builds a pool; workers <= 0 means GOMAXPROCS.
+func New(ds *dataset.Dataset, idx index.Index, workers int) (*Pool, error) {
+	if ds == nil || idx == nil {
+		return nil, fmt.Errorf("parallel: nil dataset or index")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{ds: ds, idx: idx, workers: workers}, nil
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// forEach runs fn(i) for every i in [0, n) across the pool's workers.
+func (p *Pool) forEach(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// RangeAll answers every window query (filter + exact refinement) and
+// returns the matching ids per query, in input order.
+func (p *Pool) RangeAll(windows []geom.Rect) [][]uint32 {
+	out := make([][]uint32, len(windows))
+	p.forEach(len(windows), func(i int) {
+		out[i] = p.rangeOne(windows[i])
+	})
+	return out
+}
+
+func (p *Pool) rangeOne(w geom.Rect) []uint32 {
+	cands := p.idx.Search(w, ops.Null{})
+	hits := cands[:0:0]
+	for _, id := range cands {
+		if p.ds.Seg(id).IntersectsRect(w) {
+			hits = append(hits, id)
+		}
+	}
+	return hits
+}
+
+// PointAll answers every point query with the given incidence tolerance.
+func (p *Pool) PointAll(points []geom.Point, eps float64) [][]uint32 {
+	out := make([][]uint32, len(points))
+	p.forEach(len(points), func(i int) {
+		cands := p.idx.SearchPoint(points[i], ops.Null{})
+		hits := cands[:0:0]
+		for _, id := range cands {
+			if p.ds.Seg(id).ContainsPoint(points[i], eps) {
+				hits = append(hits, id)
+			}
+		}
+		out[i] = hits
+	})
+	return out
+}
+
+// NearestResult is one NN answer.
+type NearestResult struct {
+	ID   uint32
+	Dist float64
+	OK   bool
+}
+
+// NearestAll answers every nearest-neighbor query.
+func (p *Pool) NearestAll(points []geom.Point) []NearestResult {
+	out := make([]NearestResult, len(points))
+	p.forEach(len(points), func(i int) {
+		pt := points[i]
+		id, d, ok := p.idx.Nearest(pt, func(id uint32) float64 {
+			return p.ds.Seg(id).DistToPoint(pt)
+		}, ops.Null{})
+		out[i] = NearestResult{ID: id, Dist: d, OK: ok}
+	})
+	return out
+}

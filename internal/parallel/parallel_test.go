@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+)
+
+func fixture(t testing.TB) (*dataset.Dataset, *rtree.Tree) {
+	t.Helper()
+	cfg := dataset.NYCConfig()
+	cfg.NumSegments = 8000
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, tree
+}
+
+func TestNewValidation(t *testing.T) {
+	ds, tree := fixture(t)
+	if _, err := New(nil, tree, 4); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := New(ds, nil, 4); err == nil {
+		t.Error("nil index accepted")
+	}
+	p, err := New(ds, tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() < 1 {
+		t.Fatal("no workers")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	ds, tree := fixture(t)
+	windows := dataset.RangeQueries(ds, 60, 7)
+	points := dataset.PointQueries(ds, 60, 8)
+	nnPts := dataset.NNQueries(ds, 60, 9)
+
+	seq, err := New(ds, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(ds, tree, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := seq.RangeAll(windows), par.RangeAll(windows)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("range query %d: %d vs %d hits", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("range query %d: order differs at %d", i, j)
+			}
+		}
+	}
+	pa, pb := seq.PointAll(points, 2), par.PointAll(points, 2)
+	for i := range pa {
+		if len(pa[i]) != len(pb[i]) {
+			t.Fatalf("point query %d differs", i)
+		}
+	}
+	na, nb := seq.NearestAll(nnPts), par.NearestAll(nnPts)
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatalf("NN query %d differs: %+v vs %+v", i, na[i], nb[i])
+		}
+	}
+}
+
+func TestEmptyBatches(t *testing.T) {
+	ds, tree := fixture(t)
+	p, err := New(ds, tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RangeAll(nil); len(got) != 0 {
+		t.Fatal("empty range batch returned results")
+	}
+	if got := p.NearestAll(nil); len(got) != 0 {
+		t.Fatal("empty NN batch returned results")
+	}
+}
+
+func TestRefinementActuallyFilters(t *testing.T) {
+	ds, tree := fixture(t)
+	p, err := New(ds, tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := dataset.RangeQueries(ds, 30, 11)
+	hits := p.RangeAll(windows)
+	for i, w := range windows {
+		for _, id := range hits[i] {
+			if !ds.Seg(id).IntersectsRect(w) {
+				t.Fatalf("query %d: id %d does not intersect the window", i, id)
+			}
+		}
+		// And nothing intersecting was dropped.
+		n := 0
+		for sid, s := range ds.Segments {
+			if s.IntersectsRect(w) {
+				n++
+				found := false
+				for _, id := range hits[i] {
+					if id == uint32(sid) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("query %d: segment %d missing", i, sid)
+				}
+			}
+		}
+		if n != len(hits[i]) {
+			t.Fatalf("query %d: %d hits, brute force %d", i, len(hits[i]), n)
+		}
+	}
+}
+
+func benchWorkers(b *testing.B, workers int) {
+	cfg := dataset.NYCConfig()
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := New(ds, tree, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := dataset.RangeQueries(ds, 256, 21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RangeAll(windows)
+	}
+	b.ReportMetric(float64(len(windows)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkThroughput1(b *testing.B)  { benchWorkers(b, 1) }
+func BenchmarkThroughput2(b *testing.B)  { benchWorkers(b, 2) }
+func BenchmarkThroughput4(b *testing.B)  { benchWorkers(b, 4) }
+func BenchmarkThroughput8(b *testing.B)  { benchWorkers(b, 8) }
+func BenchmarkThroughput16(b *testing.B) { benchWorkers(b, 16) }

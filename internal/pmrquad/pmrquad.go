@@ -1,0 +1,316 @@
+// Package pmrquad implements the PMR quadtree of Nelson and Samet — one of
+// the three spatial access methods compared by the paper's reference [2]
+// ("Analyzing Energy Behavior of Spatial Access Methods for Memory-Resident
+// Data", VLDB 2001), whose packed-R-tree representative this repository's
+// main experiments use. The PMR quadtree is included so the index-comparison
+// bench can reproduce that reference point.
+//
+// A PMR quadtree over line segments recursively partitions the space into
+// quadrants. A segment is stored in every leaf whose region it intersects.
+// On insertion, a leaf whose occupancy exceeds the splitting threshold is
+// split exactly once (not recursively) — the PMR probabilistic splitting
+// rule — up to a maximum depth. Because a segment can live in several
+// leaves, queries deduplicate results before returning them.
+//
+// Like the packed R-tree, every node has a simulated byte address and all
+// traversals emit their work to an ops.Recorder.
+package pmrquad
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/index"
+	"mobispatial/internal/ops"
+)
+
+// Config controls the quadtree shape and its byte-accounting layout.
+type Config struct {
+	// SplitThreshold is the PMR splitting threshold: a leaf exceeding this
+	// many segments is split once on insertion. Nelson and Samet found
+	// small thresholds (4–8) effective; the default is 8.
+	SplitThreshold int
+	// MaxDepth bounds the recursion so collinear bundles cannot split
+	// forever. Default 16.
+	MaxDepth int
+	// BaseAddr is the simulated address of the node arena; defaults to
+	// ops.IndexBase (the structure replaces the R-tree in the client's
+	// index region when used).
+	BaseAddr uint64
+}
+
+func (c *Config) fill() {
+	if c.SplitThreshold == 0 {
+		c.SplitThreshold = 8
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 16
+	}
+	if c.BaseAddr == 0 {
+		c.BaseAddr = ops.IndexBase
+	}
+}
+
+// Byte-layout constants: an internal node holds four children pointers plus
+// a header; a leaf holds a header plus one 20-byte entry (MBR + id) per
+// stored segment, matching the R-tree's entry size.
+const (
+	nodeHeaderBytes = 8
+	childPtrBytes   = 4
+	entryBytes      = 20
+	internalBytes   = nodeHeaderBytes + 4*childPtrBytes
+)
+
+// node is one quadtree cell. Leaves have children == nil.
+type node struct {
+	region   geom.Rect
+	addr     uint64
+	children []int32 // 4 child node indices, nil for leaves
+	items    []item  // leaf payload
+	depth    int
+}
+
+type item struct {
+	seg geom.Segment
+	id  uint32
+}
+
+// Tree is a PMR quadtree over line segments.
+type Tree struct {
+	cfg    Config
+	nodes  []node
+	nitems int
+	bytes  int // running byte size
+	// nextAddr is the arena allocation cursor.
+	nextAddr uint64
+}
+
+// The PMR quadtree satisfies the shared access-method contract.
+var _ index.Index = (*Tree)(nil)
+
+// Build inserts all segments into a fresh PMR quadtree covering bounds. The
+// ids are the segment positions in segs. rec receives the build work.
+func Build(segs []geom.Segment, bounds geom.Rect, cfg Config, rec ops.Recorder) (*Tree, error) {
+	cfg.fill()
+	if cfg.SplitThreshold < 1 {
+		return nil, fmt.Errorf("pmrquad: split threshold %d", cfg.SplitThreshold)
+	}
+	if bounds.IsEmpty() || bounds.Area() <= 0 {
+		return nil, fmt.Errorf("pmrquad: bounds %v have no area", bounds)
+	}
+	t := &Tree{cfg: cfg, nextAddr: cfg.BaseAddr}
+	t.newNode(bounds, 0)
+	for i, s := range segs {
+		t.insert(0, s, uint32(i), rec)
+		t.nitems++
+	}
+	return t, nil
+}
+
+// newNode allocates a leaf covering region and returns its index.
+func (t *Tree) newNode(region geom.Rect, depth int) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		region: region,
+		addr:   t.nextAddr,
+		depth:  depth,
+	})
+	t.nextAddr += internalBytes // header reserved up front
+	t.bytes += internalBytes
+	return idx
+}
+
+// insert places the segment into every intersecting leaf under node ni,
+// applying the PMR one-shot splitting rule.
+func (t *Tree) insert(ni int32, s geom.Segment, id uint32, rec ops.Recorder) {
+	rec.Op(ops.OpNodeVisit, 1)
+	rec.Load(t.nodes[ni].addr, nodeHeaderBytes)
+	// Copy the children slice header before recursing: recursive inserts
+	// can grow t.nodes and move the backing array out from under a held
+	// pointer.
+	if children := t.nodes[ni].children; children != nil {
+		for _, ci := range children {
+			rec.Op(ops.OpMBRTest, 1)
+			if s.IntersectsRect(t.nodes[ci].region) {
+				t.insert(ci, s, id, rec)
+			}
+		}
+		return
+	}
+	// Leaf: store the segment.
+	n := &t.nodes[ni]
+	n.items = append(n.items, item{seg: s, id: id})
+	t.bytes += entryBytes
+	rec.Op(ops.OpIndexBuildEntry, 1)
+	rec.Store(n.addr+nodeHeaderBytes+uint64(len(n.items)-1)*entryBytes, entryBytes)
+	// PMR rule: split once if over threshold and depth allows.
+	if len(n.items) > t.cfg.SplitThreshold && n.depth < t.cfg.MaxDepth {
+		t.split(ni, rec)
+	}
+}
+
+// split turns leaf ni into an internal node with four children and
+// redistributes its items (each into every intersecting child).
+func (t *Tree) split(ni int32, rec ops.Recorder) {
+	// Note: appending children may grow t.nodes, so copy what we need
+	// before taking pointers.
+	region := t.nodes[ni].region
+	depth := t.nodes[ni].depth
+	items := t.nodes[ni].items
+	c := region.Center()
+	quads := [4]geom.Rect{
+		{Min: region.Min, Max: c},
+		{Min: geom.Point{X: c.X, Y: region.Min.Y}, Max: geom.Point{X: region.Max.X, Y: c.Y}},
+		{Min: geom.Point{X: region.Min.X, Y: c.Y}, Max: geom.Point{X: c.X, Y: region.Max.Y}},
+		{Min: c, Max: region.Max},
+	}
+	children := make([]int32, 4)
+	for i, q := range quads {
+		children[i] = t.newNode(q, depth+1)
+	}
+	t.nodes[ni].children = children
+	t.nodes[ni].items = nil
+	t.bytes -= len(items) * entryBytes
+	for _, it := range items {
+		for _, ci := range children {
+			rec.Op(ops.OpMBRTest, 1)
+			if it.seg.IntersectsRect(t.nodes[ci].region) {
+				child := &t.nodes[ci]
+				child.items = append(child.items, it)
+				t.bytes += entryBytes
+				rec.Store(child.addr+nodeHeaderBytes+uint64(len(child.items)-1)*entryBytes, entryBytes)
+			}
+		}
+	}
+}
+
+// Len returns the number of distinct indexed segments.
+func (t *Tree) Len() int { return t.nitems }
+
+// IndexBytes returns the structure's byte size (node headers, child
+// pointers, and leaf entries).
+func (t *Tree) IndexBytes() int { return t.bytes }
+
+// NodeCount returns the number of quadtree cells.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// MaxDepthUsed returns the deepest cell level in use.
+func (t *Tree) MaxDepthUsed() int {
+	d := 0
+	for i := range t.nodes {
+		if t.nodes[i].depth > d {
+			d = t.nodes[i].depth
+		}
+	}
+	return d
+}
+
+// Search returns the ids of all segments whose MBR intersects the window.
+// To match the R-tree's filtering contract (candidates by MBR), leaf entries
+// are tested by MBR; duplicates from multi-leaf storage are removed.
+func (t *Tree) Search(window geom.Rect, rec ops.Recorder) []uint32 {
+	if t.nitems == 0 {
+		return nil
+	}
+	seen := make(map[uint32]bool)
+	var out []uint32
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.nodes[ni]
+		rec.Op(ops.OpNodeVisit, 1)
+		rec.Load(n.addr, nodeHeaderBytes)
+		if n.children != nil {
+			for _, ci := range n.children {
+				rec.Op(ops.OpMBRTest, 1)
+				if window.Intersects(t.nodes[ci].region) {
+					walk(ci)
+				}
+			}
+			return
+		}
+		for i := range n.items {
+			rec.Load(n.addr+nodeHeaderBytes+uint64(i)*entryBytes, entryBytes)
+			rec.Op(ops.OpMBRTest, 1)
+			if !window.Intersects(n.items[i].seg.MBR()) {
+				continue
+			}
+			// Dedup check costs a hash probe — charge a result append.
+			if seen[n.items[i].id] {
+				continue
+			}
+			seen[n.items[i].id] = true
+			rec.Op(ops.OpResultAppend, 1)
+			rec.Store(ops.ScratchBase+uint64(len(out))*4, 4)
+			out = append(out, n.items[i].id)
+		}
+	}
+	walk(0)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SearchPoint returns the ids of all segments whose MBR contains p.
+func (t *Tree) SearchPoint(p geom.Point, rec ops.Recorder) []uint32 {
+	return t.Search(geom.Rect{Min: p, Max: p}, rec)
+}
+
+// Nearest returns the segment nearest to p, using best-first traversal over
+// cell regions ordered by MINDIST with exact distances from dist.
+func (t *Tree) Nearest(p geom.Point, dist index.DistFunc, rec ops.Recorder) (uint32, float64, bool) {
+	if t.nitems == 0 {
+		return 0, 0, false
+	}
+	best := math.Inf(1)
+	bestID := uint32(0)
+	found := false
+	evaluated := make(map[uint32]bool)
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.nodes[ni]
+		rec.Op(ops.OpNodeVisit, 1)
+		rec.Load(n.addr, nodeHeaderBytes)
+		if n.children != nil {
+			// Visit children in MINDIST order; prune against best.
+			type cand struct {
+				d  float64
+				ci int32
+			}
+			cands := make([]cand, 0, 4)
+			for _, ci := range n.children {
+				rec.Op(ops.OpDistCalc, 1)
+				cands = append(cands, cand{t.nodes[ci].region.MinDist(p), ci})
+			}
+			sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+			rec.Op(ops.OpHeapOp, len(cands))
+			for _, c := range cands {
+				if c.d > best {
+					break
+				}
+				walk(c.ci)
+			}
+			return
+		}
+		for i := range n.items {
+			rec.Load(n.addr+nodeHeaderBytes+uint64(i)*entryBytes, entryBytes)
+			rec.Op(ops.OpDistCalc, 1)
+			if n.items[i].seg.MBR().MinDist(p) > best {
+				continue
+			}
+			id := n.items[i].id
+			if evaluated[id] {
+				continue
+			}
+			evaluated[id] = true
+			d := dist(id)
+			if d < best || !found {
+				best = d
+				bestID = id
+				found = true
+			}
+		}
+	}
+	walk(0)
+	return bestID, best, found
+}

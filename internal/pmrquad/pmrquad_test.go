@@ -1,0 +1,201 @@
+package pmrquad
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+)
+
+func randSegments(n int, seed int64) []geom.Segment {
+	rng := rand.New(rand.NewSource(seed))
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		a := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		segs[i] = geom.Segment{
+			A: a,
+			B: geom.Point{X: a.X + rng.Float64()*20 - 10, Y: a.Y + rng.Float64()*20 - 10},
+		}
+	}
+	return segs
+}
+
+var testBounds = geom.Rect{Min: geom.Point{X: -20, Y: -20}, Max: geom.Point{X: 1020, Y: 1020}}
+
+func buildTest(t testing.TB, segs []geom.Segment, cfg Config) *Tree {
+	t.Helper()
+	tr, err := Build(segs, testBounds, cfg, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, geom.Rect{}, Config{}, ops.Null{}); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := Build(nil, testBounds, Config{SplitThreshold: -1}, ops.Null{}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := buildTest(t, nil, Config{})
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has items")
+	}
+	if got := tr.Search(testBounds, ops.Null{}); len(got) != 0 {
+		t.Fatal("empty tree returned results")
+	}
+	if _, _, ok := tr.Nearest(geom.Point{}, nil, ops.Null{}); ok {
+		t.Fatal("empty tree found a neighbor")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	segs := randSegments(3000, 3)
+	tr := buildTest(t, segs, Config{})
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 100; q++ {
+		w := geom.Rect{Min: geom.Point{X: rng.Float64() * 950, Y: rng.Float64() * 950}}
+		w.Max = geom.Point{X: w.Min.X + rng.Float64()*80, Y: w.Min.Y + rng.Float64()*80}
+		got := tr.Search(w, ops.Null{})
+		var want []uint32
+		for i, s := range segs {
+			if w.Intersects(s.MBR()) {
+				want = append(want, uint32(i))
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d ids, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: id mismatch at %d", q, i)
+			}
+		}
+	}
+}
+
+func TestNoDuplicateResults(t *testing.T) {
+	// Segments span many quadrants; results must still be unique.
+	segs := []geom.Segment{
+		{A: geom.Point{X: 0, Y: 500}, B: geom.Point{X: 1000, Y: 500}}, // crosses everything
+		{A: geom.Point{X: 500, Y: 0}, B: geom.Point{X: 500, Y: 1000}},
+	}
+	segs = append(segs, randSegments(500, 5)...)
+	tr := buildTest(t, segs, Config{SplitThreshold: 4})
+	got := tr.Search(geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 1000, Y: 1000}}, ops.Null{})
+	seen := map[uint32]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate id %d in results", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	segs := randSegments(2000, 7)
+	tr := buildTest(t, segs, Config{})
+	rng := rand.New(rand.NewSource(8))
+	for q := 0; q < 100; q++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		df := func(id uint32) float64 { return segs[id].DistToPoint(p) }
+		_, d, ok := tr.Nearest(p, df, ops.Null{})
+		if !ok {
+			t.Fatal("Nearest found nothing")
+		}
+		best := math.Inf(1)
+		for _, s := range segs {
+			if dd := s.DistToPoint(p); dd < best {
+				best = dd
+			}
+		}
+		if math.Abs(d-best) > 1e-9 {
+			t.Fatalf("query %d: NN dist %g, brute force %g", q, d, best)
+		}
+	}
+}
+
+func TestSplitRespectsThresholdAndDepth(t *testing.T) {
+	segs := randSegments(5000, 9)
+	tr := buildTest(t, segs, Config{SplitThreshold: 8, MaxDepth: 10})
+	if tr.MaxDepthUsed() > 10 {
+		t.Fatalf("depth %d exceeds MaxDepth", tr.MaxDepthUsed())
+	}
+	// Leaves above threshold are allowed only at max depth.
+	for i := range tr.nodes {
+		n := &tr.nodes[i]
+		if n.children == nil && len(n.items) > 8+1 && n.depth < 10 {
+			t.Fatalf("leaf %d holds %d items at depth %d", i, len(n.items), n.depth)
+		}
+	}
+}
+
+func TestInstrumentationAndSize(t *testing.T) {
+	segs := randSegments(1000, 10)
+	var rec ops.Counts
+	tr, err := Build(segs, testBounds, Config{}, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ops[ops.OpIndexBuildEntry] < int64(len(segs)) {
+		t.Fatal("build entries not recorded")
+	}
+	if tr.IndexBytes() <= 0 || tr.NodeCount() <= 0 {
+		t.Fatal("size accounting broken")
+	}
+	var q ops.Counts
+	tr.Search(geom.Rect{Min: geom.Point{X: 100, Y: 100}, Max: geom.Point{X: 400, Y: 400}}, &q)
+	if q.Ops[ops.OpNodeVisit] == 0 || q.LoadBytes == 0 {
+		t.Fatal("search emitted no trace")
+	}
+}
+
+func TestSearchPointFindsOwner(t *testing.T) {
+	segs := randSegments(1500, 12)
+	tr := buildTest(t, segs, Config{})
+	for i := 0; i < 100; i++ {
+		id := uint32(i * 13 % len(segs))
+		hits := tr.SearchPoint(segs[id].A, ops.Null{})
+		found := false
+		for _, h := range hits {
+			if h == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("endpoint of segment %d not found by point search", id)
+		}
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	segs := randSegments(10000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(segs, testBounds, Config{}, ops.Null{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	segs := randSegments(50000, 21)
+	tr, err := Build(segs, testBounds, Config{}, ops.Null{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := geom.Rect{Min: geom.Point{X: 400, Y: 400}, Max: geom.Point{X: 450, Y: 450}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(w, ops.Null{})
+	}
+}

@@ -1,0 +1,115 @@
+package proto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobispatial/internal/ops"
+)
+
+func TestPacketizeSmall(t *testing.T) {
+	tr := Packetize(100)
+	if tr.Packets != 1 {
+		t.Fatalf("packets = %d", tr.Packets)
+	}
+	if tr.WireBytes != 100+TCPHeaderBytes+IPHeaderBytes+MACHeaderBytes {
+		t.Fatalf("wire bytes = %d", tr.WireBytes)
+	}
+}
+
+func TestPacketizeZeroStillOneFrame(t *testing.T) {
+	tr := Packetize(0)
+	if tr.Packets != 1 || tr.WireBytes != TCPHeaderBytes+IPHeaderBytes+MACHeaderBytes {
+		t.Fatalf("zero payload: %+v", tr)
+	}
+	if neg := Packetize(-5); neg != tr {
+		t.Fatalf("negative payload: %+v", neg)
+	}
+}
+
+func TestPacketizeBoundaries(t *testing.T) {
+	if got := Packetize(MSS).Packets; got != 1 {
+		t.Fatalf("exactly one MSS: %d packets", got)
+	}
+	if got := Packetize(MSS + 1).Packets; got != 2 {
+		t.Fatalf("MSS+1: %d packets", got)
+	}
+	if got := Packetize(10 * MSS).Packets; got != 10 {
+		t.Fatalf("10×MSS: %d packets", got)
+	}
+}
+
+func TestPacketizeOverheadBounded(t *testing.T) {
+	f := func(n int) bool {
+		if n < 0 {
+			n = -n
+		}
+		n %= 10 << 20
+		tr := Packetize(n)
+		perPkt := TCPHeaderBytes + IPHeaderBytes + MACHeaderBytes
+		return tr.WireBytes == n+tr.Packets*perPkt &&
+			tr.Packets >= 1 &&
+			(n == 0 || tr.Packets == (n+MSS-1)/MSS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	tr := Packetize(MSS) // one full frame
+	secs := tr.Seconds(2e6)
+	want := float64(tr.WireBytes*8) / 2e6
+	if math.Abs(secs-want) > 1e-15 {
+		t.Fatalf("Seconds = %v, want %v", secs, want)
+	}
+	// Higher bandwidth, strictly faster.
+	if tr.Seconds(11e6) >= secs {
+		t.Fatal("11 Mbps not faster than 2 Mbps")
+	}
+	if tr.Seconds(0) != 0 {
+		t.Fatal("zero bandwidth should not divide by zero")
+	}
+}
+
+func TestChargeProcessing(t *testing.T) {
+	tr := Packetize(3 * MSS)
+	var send, recv ops.Counts
+	tr.ChargeProcessing(&send, true)
+	tr.ChargeProcessing(&recv, false)
+	if send.Ops[ops.OpProtoPacket] != int64(tr.Packets) {
+		t.Fatalf("send packet ops = %d", send.Ops[ops.OpProtoPacket])
+	}
+	if send.Ops[ops.OpProtoByte] != int64(tr.PayloadBytes) {
+		t.Fatalf("send byte ops = %d", send.Ops[ops.OpProtoByte])
+	}
+	if recv.Ops[ops.OpProtoPacket] != int64(tr.Packets) {
+		t.Fatalf("recv packet ops = %d", recv.Ops[ops.OpProtoPacket])
+	}
+	if send.LoadBytes == 0 || send.StoreBytes == 0 || recv.LoadBytes == 0 || recv.StoreBytes == 0 {
+		t.Fatal("buffer traffic not charged")
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	if IDListBytes(0) != ListHeaderBytes {
+		t.Fatal("empty id list")
+	}
+	if IDListBytes(10) != ListHeaderBytes+40 {
+		t.Fatalf("IDListBytes(10) = %d", IDListBytes(10))
+	}
+	if DataListBytes(10, 76) != ListHeaderBytes+760 {
+		t.Fatalf("DataListBytes = %d", DataListBytes(10, 76))
+	}
+	if ShipmentBytes(100, 76, 5120) != ListHeaderBytes+7600+5120 {
+		t.Fatalf("ShipmentBytes = %d", ShipmentBytes(100, 76, 5120))
+	}
+	// Ids are far smaller than records — the data-present optimization.
+	if IDListBytes(1000) >= DataListBytes(1000, 76) {
+		t.Fatal("id list not smaller than data list")
+	}
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

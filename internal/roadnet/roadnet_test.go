@@ -1,0 +1,239 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+)
+
+func testDataset(t testing.TB, n int) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name: "net", NumSegments: n, RecordBytes: 76,
+		Extent:   geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 10_000, Y: 10_000}},
+		Clusters: 3, ClusterStdFrac: 0.15, UniformFrac: 0.3,
+		StreetSegs: [2]int{3, 12}, SegLen: [2]float64{60, 150},
+		GridBias: 0.5, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func buildGraph(t testing.TB, n int) (*Graph, *dataset.Dataset) {
+	t.Helper()
+	ds := testDataset(t, n)
+	g, err := Build(ds, 60, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ds
+}
+
+// denseCity builds a compact, well-connected network for routing tests:
+// street spacing well below the snap radius, so the graph has one dominant
+// component.
+func denseCity(t testing.TB, n int) (*Graph, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name: "dense", NumSegments: n, RecordBytes: 76,
+		Extent:   geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 4_000, Y: 4_000}},
+		Clusters: 2, ClusterStdFrac: 0.25, UniformFrac: 0.6,
+		StreetSegs: [2]int{4, 14}, SegLen: [2]float64{60, 140},
+		GridBias: 0.6, Seed: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(d, 80, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, d
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(&dataset.Dataset{}, 50, ops.Null{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	g, ds := buildGraph(t, 5000)
+	if g.Nodes() == 0 || g.Edges() == 0 {
+		t.Fatal("empty graph")
+	}
+	// Each kept segment contributes two directed edges.
+	if g.Edges()%2 != 0 {
+		t.Fatal("odd edge count — pairing broken")
+	}
+	if g.Edges() > 2*ds.Len() {
+		t.Fatalf("edges %d exceed 2×segments %d", g.Edges(), 2*ds.Len())
+	}
+	if g.GraphBytes() != g.Nodes()*nodeRecBytes+g.Edges()*edgeRecBytes {
+		t.Fatal("byte accounting broken")
+	}
+	// Snapping must consolidate: far fewer nodes than endpoints.
+	if g.Nodes() >= 2*ds.Len() {
+		t.Fatalf("no endpoint sharing: %d nodes for %d segments", g.Nodes(), ds.Len())
+	}
+	st := g.Summary()
+	if st.Components <= 0 || st.Components > g.Nodes() {
+		t.Fatalf("components = %d", st.Components)
+	}
+}
+
+func TestEdgeOriginPairing(t *testing.T) {
+	g, _ := buildGraph(t, 1000)
+	for ei := int32(0); int(ei) < g.Edges(); ei++ {
+		origin := g.edgeOrigin(ei)
+		// The edge must appear in its origin's adjacency list.
+		found := false
+		for e := g.nodes[origin].firstEdge; e >= 0; e = g.edges[e].next {
+			if e == ei {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge %d not in its origin's list", ei)
+		}
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	g, ds := buildGraph(t, 3000)
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 50; i++ {
+		p := geom.Point{X: rng.Float64() * 10_000, Y: rng.Float64() * 10_000}
+		ni, ok := g.NearestNode(p, ops.Null{})
+		if !ok {
+			t.Fatal("no node found inside the extent")
+		}
+		// The returned node must be near-optimal: within one snap cell of
+		// the true nearest (the ring search scans cell-granular).
+		best := math.Inf(1)
+		for _, n := range g.nodes {
+			if d := n.at.Dist(p); d < best {
+				best = d
+			}
+		}
+		if got := g.nodes[ni].at.Dist(p); got > best+2*g.snapM*math.Sqrt2 {
+			t.Fatalf("probe %d: nearest node at %.0f m, optimum %.0f m", i, got, best)
+		}
+	}
+	_ = ds
+}
+
+// dijkstra is the oracle: plain Dijkstra without a heuristic.
+func dijkstra(g *Graph, src, dst int32) (float64, bool) {
+	dist := map[int32]float64{src: 0}
+	done := map[int32]bool{}
+	q := &pq{{node: src, f: 0}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == dst {
+			return dist[dst], true
+		}
+		for ei := g.nodes[cur.node].firstEdge; ei >= 0; ei = g.edges[ei].next {
+			e := &g.edges[ei]
+			nd := dist[cur.node] + e.len
+			if old, seen := dist[e.to]; !seen || nd < old {
+				dist[e.to] = nd
+				heap.Push(q, pqItem{node: e.to, f: nd})
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestShortestPathMatchesDijkstra(t *testing.T) {
+	g, ds := denseCity(t, 12000)
+	rng := rand.New(rand.NewSource(63))
+	routed := 0
+	for i := 0; i < 60 && routed < 25; i++ {
+		a := ds.Segments[rng.Intn(ds.Len())].Midpoint()
+		bq := ds.Segments[rng.Intn(ds.Len())].Midpoint()
+		src, ok1 := g.NearestNode(a, ops.Null{})
+		dst, ok2 := g.NearestNode(bq, ops.Null{})
+		if !ok1 || !ok2 || src == dst {
+			continue
+		}
+		route, ok := g.ShortestPath(src, dst, ops.Null{})
+		want, connected := dijkstra(g, src, dst)
+		if ok != connected {
+			t.Fatalf("pair %d: A* ok=%v, Dijkstra connected=%v", i, ok, connected)
+		}
+		if !ok {
+			continue
+		}
+		routed++
+		if math.Abs(route.Meters-want) > 1e-6*want+1e-9 {
+			t.Fatalf("pair %d: A* %.3f m, Dijkstra %.3f m", i, route.Meters, want)
+		}
+		// The network distance can never beat the crow-flies distance
+		// between the terminals.
+		straight := g.nodes[src].at.Dist(g.nodes[dst].at)
+		if route.Meters < straight-1e-6 {
+			t.Fatalf("pair %d: route %.3f m shorter than straight line %.3f m", i, route.Meters, straight)
+		}
+		if len(route.SegIDs) == 0 {
+			t.Fatalf("pair %d: non-trivial route with no segments", i)
+		}
+	}
+	if routed < 10 {
+		t.Fatalf("only %d connected pairs — graph too fragmented for the test", routed)
+	}
+}
+
+func TestShortestPathDegenerate(t *testing.T) {
+	g, _ := buildGraph(t, 500)
+	if _, ok := g.ShortestPath(0, 0, ops.Null{}); !ok {
+		t.Fatal("src == dst should trivially succeed")
+	}
+	if _, ok := g.ShortestPath(-1, 0, ops.Null{}); ok {
+		t.Fatal("negative node accepted")
+	}
+	if _, ok := g.ShortestPath(0, int32(g.Nodes()+5), ops.Null{}); ok {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestInstrumentation(t *testing.T) {
+	ds := testDataset(t, 2000)
+	var rec ops.Counts
+	g, err := Build(ds, 60, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ops[ops.OpIndexBuildEntry] == 0 || rec.StoreBytes == 0 {
+		t.Fatal("build not instrumented")
+	}
+	var q ops.Counts
+	src, _ := g.NearestNode(geom.Point{X: 2000, Y: 2000}, &q)
+	dst, _ := g.NearestNode(geom.Point{X: 8000, Y: 8000}, &q)
+	g.ShortestPath(src, dst, &q)
+	if q.Ops[ops.OpHeapOp] == 0 || q.LoadBytes == 0 {
+		t.Fatal("routing not instrumented")
+	}
+}
+
+func BenchmarkShortestPath(b *testing.B) {
+	g, _ := denseCity(b, 20000)
+	src, _ := g.NearestNode(geom.Point{X: 1000, Y: 1000}, ops.Null{})
+	dst, _ := g.NearestNode(geom.Point{X: 9000, Y: 9000}, ops.Null{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShortestPath(src, dst, ops.Null{})
+	}
+}

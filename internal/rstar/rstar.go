@@ -1,0 +1,552 @@
+// Package rstar implements the R*-tree of Beckmann, Kriegel, Schneider, and
+// Seeger — the improved dynamic R-tree variant the paper's §3 discusses
+// alongside Guttman's original and the R+-tree: structures that "attempt to
+// give better balanced (and efficient) trees by dynamically adapting to the
+// insertion pattern", yet still lose to bulk loading on static data.
+//
+// The implementation follows the published algorithm: ChooseSubtree picks by
+// minimum overlap enlargement at the leaf level (minimum area enlargement
+// above), splits choose the axis by minimum margin sum and the distribution
+// by minimum overlap, and the first overflow on each level per insertion
+// triggers a forced reinsertion of the 30 % most-distant entries instead of
+// an immediate split.
+//
+// It shares the physical layout constants and the access-method contract of
+// the other index structures and emits its work to an ops.Recorder.
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/index"
+	"mobispatial/internal/ops"
+)
+
+// Layout constants, matching internal/rtree.
+const (
+	HeaderBytes      = 8
+	EntryBytes       = 20
+	DefaultNodeBytes = 512
+)
+
+// Config controls the tree shape.
+type Config struct {
+	// NodeBytes determines the maximum entries per node. Default 512.
+	NodeBytes int
+	// MinFillRatio is m/M; the R*-tree paper recommends 0.4.
+	MinFillRatio float64
+	// ReinsertFraction is the share of entries force-reinserted on the
+	// first overflow of a level; the paper recommends 0.3.
+	ReinsertFraction float64
+	// BaseAddr of the node arena; defaults to ops.IndexBase.
+	BaseAddr uint64
+}
+
+func (c *Config) fill() {
+	if c.NodeBytes == 0 {
+		c.NodeBytes = DefaultNodeBytes
+	}
+	if c.MinFillRatio == 0 {
+		c.MinFillRatio = 0.4
+	}
+	if c.ReinsertFraction == 0 {
+		c.ReinsertFraction = 0.3
+	}
+	if c.BaseAddr == 0 {
+		c.BaseAddr = ops.IndexBase
+	}
+}
+
+type entry struct {
+	mbr geom.Rect
+	ptr uint32
+}
+
+type node struct {
+	leaf    bool
+	addr    uint64
+	parent  int32
+	entries []entry
+}
+
+// Tree is an R*-tree.
+type Tree struct {
+	cfg    Config
+	maxEnt int
+	minEnt int
+	nodes  []node
+	root   int32
+	nitems int
+	height int
+	// reinserted tracks which levels already force-reinserted during the
+	// current insertion (the R* "first overflow per level" rule). Keyed by
+	// level height from the leaves.
+	reinserted map[int]bool
+}
+
+// The R*-tree satisfies the shared access-method contract.
+var _ index.Index = (*Tree)(nil)
+
+// Item mirrors rtree.Item.
+type Item struct {
+	MBR geom.Rect
+	ID  uint32
+}
+
+// New returns an empty R*-tree.
+func New(cfg Config) (*Tree, error) {
+	cfg.fill()
+	maxEnt := (cfg.NodeBytes - HeaderBytes) / EntryBytes
+	if maxEnt < 4 {
+		return nil, fmt.Errorf("rstar: node size %dB gives max entries %d (<4)", cfg.NodeBytes, maxEnt)
+	}
+	minEnt := int(float64(maxEnt) * cfg.MinFillRatio)
+	if minEnt < 2 {
+		minEnt = 2
+	}
+	t := &Tree{cfg: cfg, maxEnt: maxEnt, minEnt: minEnt, height: 1}
+	t.root = t.newNode(true, -1)
+	return t, nil
+}
+
+// BuildByInsertion constructs a tree by inserting items one by one.
+func BuildByInsertion(items []Item, cfg Config, rec ops.Recorder) (*Tree, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		t.Insert(it.MBR, it.ID, rec)
+	}
+	return t, nil
+}
+
+func (t *Tree) newNode(leaf bool, parent int32) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		leaf:   leaf,
+		addr:   t.cfg.BaseAddr + uint64(idx)*uint64(t.cfg.NodeBytes),
+		parent: parent,
+	})
+	return idx
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.nitems }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the number of allocated nodes.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// IndexBytes returns the structure's byte size.
+func (t *Tree) IndexBytes() int { return len(t.nodes) * t.cfg.NodeBytes }
+
+func (t *Tree) nodeMBR(ni int32) geom.Rect {
+	mbr := geom.EmptyRect()
+	for _, e := range t.nodes[ni].entries {
+		mbr = mbr.Union(e.mbr)
+	}
+	return mbr
+}
+
+// levelOf returns a node's height above the leaves (0 = leaf).
+func (t *Tree) levelOf(ni int32) int {
+	lvl := 0
+	for !t.nodes[ni].leaf {
+		ni = int32(t.nodes[ni].entries[0].ptr)
+		lvl++
+	}
+	return lvl
+}
+
+// Insert adds one item.
+func (t *Tree) Insert(mbr geom.Rect, id uint32, rec ops.Recorder) {
+	t.reinserted = map[int]bool{}
+	t.insertAtLevel(entry{mbr: mbr, ptr: id}, 0, rec)
+	t.nitems++
+}
+
+// insertAtLevel places an entry at the given height above the leaves
+// (0 = data entry into a leaf; >0 = subtree reinsertion).
+func (t *Tree) insertAtLevel(e entry, level int, rec ops.Recorder) {
+	ni := t.chooseSubtree(e.mbr, level, rec)
+	n := &t.nodes[ni]
+	n.entries = append(n.entries, e)
+	if !n.leaf {
+		t.nodes[e.ptr].parent = ni
+	}
+	rec.Op(ops.OpIndexBuildEntry, 1)
+	rec.Store(n.addr+HeaderBytes+uint64(len(n.entries)-1)*EntryBytes, EntryBytes)
+	if len(t.nodes[ni].entries) > t.maxEnt {
+		t.overflowTreatment(ni, level, rec)
+	} else {
+		t.adjustUpward(ni, rec)
+	}
+}
+
+// chooseSubtree descends to the node at the target level using the R*
+// criteria: minimum overlap enlargement when the children are leaves,
+// minimum area enlargement otherwise.
+func (t *Tree) chooseSubtree(mbr geom.Rect, level int, rec ops.Recorder) int32 {
+	ni := t.root
+	depthToGo := t.levelOf(ni) - level
+	for depthToGo > 0 {
+		rec.Op(ops.OpNodeVisit, 1)
+		rec.Load(t.nodes[ni].addr, HeaderBytes)
+		n := &t.nodes[ni]
+		childrenAreLeaves := t.nodes[n.entries[0].ptr].leaf
+
+		bestI := 0
+		bestKey := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i, e := range n.entries {
+			rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+			rec.Op(ops.OpMBRTest, 1)
+			var key float64
+			if childrenAreLeaves && depthToGo == 1 {
+				// Minimum overlap enlargement with the siblings.
+				grown := e.mbr.Union(mbr)
+				var before, after float64
+				for j, o := range n.entries {
+					if j == i {
+						continue
+					}
+					before += e.mbr.Intersection(o.mbr).Area()
+					after += grown.Intersection(o.mbr).Area()
+				}
+				key = after - before
+			} else {
+				key = e.mbr.Union(mbr).Area() - e.mbr.Area()
+			}
+			area := e.mbr.Area()
+			if key < bestKey || (key == bestKey && area < bestArea) {
+				bestI, bestKey, bestArea = i, key, area
+			}
+		}
+		ni = int32(n.entries[bestI].ptr)
+		depthToGo--
+	}
+	return ni
+}
+
+// overflowTreatment applies the R* rule: the first overflow on a level per
+// insertion triggers forced reinsertion; subsequent overflows split.
+func (t *Tree) overflowTreatment(ni int32, level int, rec ops.Recorder) {
+	if ni != t.root && !t.reinserted[level] {
+		t.reinserted[level] = true
+		t.forcedReinsert(ni, level, rec)
+		return
+	}
+	t.splitNode(ni, rec)
+}
+
+// forcedReinsert removes the ReinsertFraction of entries farthest from the
+// node's center and reinserts them from the top.
+func (t *Tree) forcedReinsert(ni int32, level int, rec ops.Recorder) {
+	n := &t.nodes[ni]
+	center := t.nodeMBR(ni).Center()
+	type dist struct {
+		d float64
+		i int
+	}
+	ds := make([]dist, len(n.entries))
+	for i, e := range n.entries {
+		rec.Op(ops.OpDistCalc, 1)
+		ds[i] = dist{e.mbr.Center().DistSq(center), i}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d > ds[b].d })
+	p := int(float64(t.maxEnt) * t.cfg.ReinsertFraction)
+	if p < 1 {
+		p = 1
+	}
+	removed := make([]entry, 0, p)
+	removeIdx := map[int]bool{}
+	for i := 0; i < p; i++ {
+		removed = append(removed, n.entries[ds[i].i])
+		removeIdx[ds[i].i] = true
+	}
+	kept := n.entries[:0:0]
+	for i, e := range n.entries {
+		if !removeIdx[i] {
+			kept = append(kept, e)
+		}
+	}
+	n.entries = kept
+	rec.Store(n.addr, HeaderBytes+len(kept)*EntryBytes)
+	t.adjustUpward(ni, rec)
+	// Reinsert farthest-first (the paper's "far reinsert" variant).
+	for _, e := range removed {
+		t.insertAtLevel(e, level, rec)
+	}
+}
+
+// splitNode performs the R* topological split: choose the axis minimizing
+// the margin sum over all distributions, then the distribution on that axis
+// minimizing overlap (ties by area).
+func (t *Tree) splitNode(ni int32, rec ops.Recorder) {
+	entries := append([]entry(nil), t.nodes[ni].entries...)
+	m := t.minEnt
+
+	type distribution struct {
+		sorted []entry
+		split  int // first split-1 entries in group A
+	}
+	best := distribution{}
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+
+	for axis := 0; axis < 2; axis++ {
+		for _, byUpper := range []bool{false, true} {
+			sorted := append([]entry(nil), entries...)
+			sort.Slice(sorted, func(a, b int) bool {
+				ra, rb := sorted[a].mbr, sorted[b].mbr
+				switch {
+				case axis == 0 && !byUpper:
+					return ra.Min.X < rb.Min.X
+				case axis == 0:
+					return ra.Max.X < rb.Max.X
+				case !byUpper:
+					return ra.Min.Y < rb.Min.Y
+				default:
+					return ra.Max.Y < rb.Max.Y
+				}
+			})
+			rec.Op(ops.OpHeapOp, len(sorted))
+			for split := m; split <= len(sorted)-m; split++ {
+				rec.Op(ops.OpMBRTest, 2)
+				mbrA, mbrB := geom.EmptyRect(), geom.EmptyRect()
+				for i := 0; i < split; i++ {
+					mbrA = mbrA.Union(sorted[i].mbr)
+				}
+				for i := split; i < len(sorted); i++ {
+					mbrB = mbrB.Union(sorted[i].mbr)
+				}
+				overlap := mbrA.Intersection(mbrB).Area()
+				area := mbrA.Area() + mbrB.Area()
+				if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+					bestOverlap, bestArea = overlap, area
+					best = distribution{sorted: sorted, split: split}
+				}
+			}
+		}
+	}
+
+	groupA := append([]entry(nil), best.sorted[:best.split]...)
+	groupB := append([]entry(nil), best.sorted[best.split:]...)
+	mbrA, mbrB := geom.EmptyRect(), geom.EmptyRect()
+	for _, e := range groupA {
+		mbrA = mbrA.Union(e.mbr)
+	}
+	for _, e := range groupB {
+		mbrB = mbrB.Union(e.mbr)
+	}
+
+	parent := t.nodes[ni].parent
+	isLeaf := t.nodes[ni].leaf
+	t.nodes[ni].entries = groupA
+	sibling := t.newNode(isLeaf, parent)
+	t.nodes[sibling].entries = groupB
+	if !isLeaf {
+		for _, e := range groupB {
+			t.nodes[e.ptr].parent = sibling
+		}
+	}
+	rec.Store(t.nodes[ni].addr, HeaderBytes+len(groupA)*EntryBytes)
+	rec.Store(t.nodes[sibling].addr, HeaderBytes+len(groupB)*EntryBytes)
+
+	if parent < 0 {
+		newRoot := t.newNode(false, -1)
+		t.nodes[newRoot].entries = []entry{
+			{mbr: mbrA, ptr: uint32(ni)},
+			{mbr: mbrB, ptr: uint32(sibling)},
+		}
+		t.nodes[ni].parent = newRoot
+		t.nodes[sibling].parent = newRoot
+		t.root = newRoot
+		t.height++
+		rec.Store(t.nodes[newRoot].addr, HeaderBytes+2*EntryBytes)
+		return
+	}
+
+	p := &t.nodes[parent]
+	for i := range p.entries {
+		if p.entries[i].ptr == uint32(ni) {
+			p.entries[i].mbr = mbrA
+			break
+		}
+	}
+	p.entries = append(p.entries, entry{mbr: mbrB, ptr: uint32(sibling)})
+	rec.Store(p.addr, HeaderBytes+len(p.entries)*EntryBytes)
+	if len(p.entries) > t.maxEnt {
+		t.overflowTreatment(parent, t.levelOf(parent), rec)
+	} else {
+		t.adjustUpward(parent, rec)
+	}
+}
+
+// adjustUpward tightens ancestor entry MBRs after a change at ni.
+func (t *Tree) adjustUpward(ni int32, rec ops.Recorder) {
+	for {
+		parent := t.nodes[ni].parent
+		if parent < 0 {
+			return
+		}
+		mbr := t.nodeMBR(ni)
+		p := &t.nodes[parent]
+		changed := false
+		for i := range p.entries {
+			if p.entries[i].ptr == uint32(ni) {
+				if p.entries[i].mbr != mbr {
+					p.entries[i].mbr = mbr
+					rec.Store(p.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+					changed = true
+				}
+				break
+			}
+		}
+		if !changed {
+			return
+		}
+		ni = parent
+	}
+}
+
+// Search returns the ids of all items whose MBR intersects the window.
+func (t *Tree) Search(window geom.Rect, rec ops.Recorder) []uint32 {
+	var out []uint32
+	if t.nitems == 0 {
+		return out
+	}
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.nodes[ni]
+		rec.Op(ops.OpNodeVisit, 1)
+		rec.Load(n.addr, HeaderBytes)
+		for i := range n.entries {
+			rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+			rec.Op(ops.OpMBRTest, 1)
+			if !window.Intersects(n.entries[i].mbr) {
+				continue
+			}
+			if n.leaf {
+				rec.Op(ops.OpResultAppend, 1)
+				rec.Store(ops.ScratchBase+uint64(len(out))*4, 4)
+				out = append(out, n.entries[i].ptr)
+			} else {
+				walk(int32(n.entries[i].ptr))
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// SearchPoint returns the ids of all items whose MBR contains p.
+func (t *Tree) SearchPoint(p geom.Point, rec ops.Recorder) []uint32 {
+	return t.Search(geom.Rect{Min: p, Max: p}, rec)
+}
+
+// Nearest runs the branch-and-bound NN search.
+func (t *Tree) Nearest(p geom.Point, dist index.DistFunc, rec ops.Recorder) (uint32, float64, bool) {
+	if t.nitems == 0 {
+		return 0, 0, false
+	}
+	best := math.Inf(1)
+	bestID := uint32(0)
+	found := false
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		n := &t.nodes[ni]
+		rec.Op(ops.OpNodeVisit, 1)
+		rec.Load(n.addr, HeaderBytes)
+		if n.leaf {
+			for i := range n.entries {
+				rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+				rec.Op(ops.OpDistCalc, 1)
+				if n.entries[i].mbr.MinDist(p) > best {
+					continue
+				}
+				d := dist(n.entries[i].ptr)
+				if d < best || !found {
+					best, bestID, found = d, n.entries[i].ptr, true
+				}
+			}
+			return
+		}
+		type cand struct {
+			d float64
+			i int
+		}
+		cands := make([]cand, 0, len(n.entries))
+		for i := range n.entries {
+			rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+			rec.Op(ops.OpDistCalc, 1)
+			cands = append(cands, cand{n.entries[i].mbr.MinDist(p), i})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		rec.Op(ops.OpHeapOp, len(cands))
+		for _, c := range cands {
+			if c.d > best {
+				break
+			}
+			walk(int32(n.entries[c.i].ptr))
+		}
+	}
+	walk(t.root)
+	return bestID, best, found
+}
+
+// CheckInvariants verifies structural invariants for tests.
+func (t *Tree) CheckInvariants() error {
+	seen := map[uint32]int{}
+	var walk func(ni int32, depth int) (geom.Rect, int, error)
+	walk = func(ni int32, depth int) (geom.Rect, int, error) {
+		n := &t.nodes[ni]
+		if ni != t.root && len(n.entries) > t.maxEnt {
+			return geom.Rect{}, 0, fmt.Errorf("node %d overfull: %d", ni, len(n.entries))
+		}
+		mbr := geom.EmptyRect()
+		leafDepth := -1
+		for _, e := range n.entries {
+			mbr = mbr.Union(e.mbr)
+			if n.leaf {
+				seen[e.ptr]++
+				leafDepth = depth
+				continue
+			}
+			childMBR, d, err := walk(int32(e.ptr), depth+1)
+			if err != nil {
+				return geom.Rect{}, 0, err
+			}
+			if !e.mbr.ContainsRect(childMBR) {
+				return geom.Rect{}, 0, fmt.Errorf("node %d entry does not contain child", ni)
+			}
+			if t.nodes[e.ptr].parent != ni {
+				return geom.Rect{}, 0, fmt.Errorf("node %d child %d wrong parent", ni, e.ptr)
+			}
+			switch {
+			case leafDepth == -1:
+				leafDepth = d
+			case leafDepth != d:
+				return geom.Rect{}, 0, fmt.Errorf("unbalanced tree")
+			}
+		}
+		return mbr, leafDepth, nil
+	}
+	if _, _, err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if len(seen) != t.nitems {
+		return fmt.Errorf("reachable %d != inserted %d", len(seen), t.nitems)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("item %d stored %d times", id, c)
+		}
+	}
+	return nil
+}

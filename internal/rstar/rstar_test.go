@@ -1,0 +1,196 @@
+package rstar
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+)
+
+func randItems(n int, seed int64) ([]Item, []geom.Segment) {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	segs := make([]geom.Segment, n)
+	for i := range items {
+		a := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		s := geom.Segment{
+			A: a,
+			B: geom.Point{X: a.X + rng.Float64()*20 - 10, Y: a.Y + rng.Float64()*20 - 10},
+		}
+		segs[i] = s
+		items[i] = Item{MBR: s.MBR(), ID: uint32(i)}
+	}
+	return items, segs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NodeBytes: HeaderBytes + 3*EntryBytes}); err == nil {
+		t.Error("max-entries-3 config accepted")
+	}
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatal("fresh tree malformed")
+	}
+}
+
+func TestInsertInvariants(t *testing.T) {
+	items, _ := randItems(3000, 1)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsUnderSmallNodes(t *testing.T) {
+	items, _ := randItems(800, 2)
+	tr, err := New(Config{NodeBytes: HeaderBytes + 8*EntryBytes}) // max 8 entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		tr.Insert(it.MBR, it.ID, ops.Null{})
+		if i%101 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("800 items with fanout 8 in height %d", tr.Height())
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	items, segs := randItems(3000, 3)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 100; q++ {
+		w := geom.Rect{Min: geom.Point{X: rng.Float64() * 950, Y: rng.Float64() * 950}}
+		w.Max = geom.Point{X: w.Min.X + rng.Float64()*80, Y: w.Min.Y + rng.Float64()*80}
+		got := tr.Search(w, ops.Null{})
+		var want []uint32
+		for i, s := range segs {
+			if w.Intersects(s.MBR()) {
+				want = append(want, uint32(i))
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: mismatch at %d", q, i)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	items, segs := randItems(2000, 5)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for q := 0; q < 100; q++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		df := func(id uint32) float64 { return segs[id].DistToPoint(p) }
+		_, d, ok := tr.Nearest(p, df, ops.Null{})
+		if !ok {
+			t.Fatal("found nothing")
+		}
+		best := math.Inf(1)
+		for _, s := range segs {
+			if dd := s.DistToPoint(p); dd < best {
+				best = dd
+			}
+		}
+		if math.Abs(d-best) > 1e-9 {
+			t.Fatalf("query %d: NN %g vs brute %g", q, d, best)
+		}
+	}
+}
+
+// TestRStarBeatsGuttmanQuality: the R* split/reinsertion heuristics produce
+// a tree with less node overlap, measured as window-query node visits.
+func TestRStarBeatsGuttmanQuality(t *testing.T) {
+	items, _ := randItems(20000, 7)
+	star, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := star.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the packed tree too: packed should still win (the
+	// paper's §3 point).
+	rItems := make([]rtree.Item, len(items))
+	for i, it := range items {
+		rItems[i] = rtree.Item{MBR: it.MBR, ID: it.ID}
+	}
+	packed, err := rtree.Build(rItems, rtree.Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	var sv, pv int64
+	for q := 0; q < 50; q++ {
+		w := geom.Rect{Min: geom.Point{X: rng.Float64() * 900, Y: rng.Float64() * 900}}
+		w.Max = geom.Point{X: w.Min.X + 60, Y: w.Min.Y + 60}
+		var sr, pr ops.Counts
+		star.Search(w, &sr)
+		packed.Search(w, &pr)
+		sv += sr.Ops[ops.OpNodeVisit]
+		pv += pr.Ops[ops.OpNodeVisit]
+	}
+	if pv >= sv {
+		t.Errorf("packed visits %d not below R* %d — bulk loading should still win on static data", pv, sv)
+	}
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Search(geom.Rect{Max: geom.Point{X: 1, Y: 1}}, ops.Null{}); len(got) != 0 {
+		t.Fatal("empty search returned results")
+	}
+	if _, _, ok := tr.Nearest(geom.Point{}, nil, ops.Null{}); ok {
+		t.Fatal("empty NN found something")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	items, _ := randItems(100000, 9)
+	tr, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		tr.Insert(it.MBR, it.ID, ops.Null{})
+	}
+}

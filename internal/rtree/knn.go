@@ -1,0 +1,99 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+)
+
+// k-nearest-neighbor search — one of the "other spatial queries" the paper
+// lists as future work (§7). The algorithm generalizes the Roussopoulos
+// branch-and-bound: a max-heap keeps the k best exact distances found so
+// far, and subtrees are pruned against the k-th best once the heap is full.
+
+// Neighbor is one k-NN result.
+type Neighbor struct {
+	ID   uint32
+	Dist float64
+}
+
+// neighborHeap is a max-heap on distance (the worst of the current best-k
+// sits on top).
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNearest returns the k items nearest to p in ascending distance order
+// (fewer if the tree holds fewer than k items). dist supplies exact item
+// distances exactly as in Nearest.
+func (t *Tree) KNearest(p geom.Point, k int, dist DistFunc, rec ops.Recorder) []Neighbor {
+	if t.root < 0 || k <= 0 {
+		return nil
+	}
+	best := &neighborHeap{}
+	t.knn(&t.nodes[t.root], p, k, dist, rec, best)
+	out := make([]Neighbor, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Neighbor)
+	}
+	return out
+}
+
+// bound returns the pruning distance: the k-th best so far, or +Inf while
+// fewer than k neighbors are known.
+func knnBound(best *neighborHeap, k int) float64 {
+	if best.Len() < k {
+		return math.Inf(1)
+	}
+	return (*best)[0].Dist
+}
+
+func (t *Tree) knn(n *node, p geom.Point, k int, dist DistFunc, rec ops.Recorder, best *neighborHeap) {
+	t.visitNode(n, rec)
+	if n.level == 0 {
+		for i := range n.entries {
+			t.scanEntry(n, i, rec)
+			rec.Op(ops.OpDistCalc, 1)
+			if n.entries[i].mbr.MinDist(p) > knnBound(best, k) {
+				continue
+			}
+			d := dist(n.entries[i].ptr)
+			if d < knnBound(best, k) {
+				heap.Push(best, Neighbor{ID: n.entries[i].ptr, Dist: d})
+				rec.Op(ops.OpHeapOp, 1)
+				if best.Len() > k {
+					heap.Pop(best)
+					rec.Op(ops.OpHeapOp, 1)
+				}
+			}
+		}
+		return
+	}
+	branches := make([]branch, 0, len(n.entries))
+	for i := range n.entries {
+		t.scanEntry(n, i, rec)
+		rec.Op(ops.OpDistCalc, 1)
+		branches = append(branches, branch{minDist: n.entries[i].mbr.MinDist(p), idx: i})
+	}
+	sort.Slice(branches, func(a, b int) bool { return branches[a].minDist < branches[b].minDist })
+	rec.Op(ops.OpHeapOp, len(branches))
+	for _, br := range branches {
+		if br.minDist > knnBound(best, k) {
+			break // MINDIST-ordered: all later branches prune too
+		}
+		t.knn(&t.nodes[n.entries[br.idx].ptr], p, k, dist, rec, best)
+	}
+}

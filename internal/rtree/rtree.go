@@ -1,0 +1,428 @@
+// Package rtree implements the packed (bulk-loaded) R-tree of Kamel and
+// Faloutsos used by the paper (§3): data items are sorted by the Hilbert
+// value of their MBR centroid and the tree is built bottom-up, level by
+// level, with every node filled to capacity. The structure is static — the
+// paper considers read-only road-atlas data — so there is no insert/delete.
+//
+// Every node has a byte-exact simulated address assigned at build time, and
+// all traversals emit their operation and memory-reference streams to an
+// ops.Recorder, which is how the cycle/energy machine models observe the
+// execution (see internal/ops). Passing ops.Null{} runs the index as a plain
+// spatial library.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/hilbert"
+	"mobispatial/internal/index"
+	"mobispatial/internal/ops"
+)
+
+// Item is one spatial data item to index: an MBR and the caller's record
+// identifier (for the road-atlas datasets, the segment id).
+type Item struct {
+	MBR geom.Rect
+	ID  uint32
+}
+
+// Config controls the physical layout of the tree.
+type Config struct {
+	// NodeBytes is the byte size of one index node; the default models a
+	// 512-byte node as in the memory-resident index study the paper builds
+	// on. Fanout is derived: (NodeBytes − HeaderBytes) / EntryBytes.
+	NodeBytes int
+	// BaseAddr is the simulated address of the first node; defaults to
+	// ops.IndexBase.
+	BaseAddr uint64
+	// HilbertOrder is the order of the Hilbert curve used for sorting;
+	// defaults to hilbert.Order.
+	HilbertOrder uint
+	// Packing selects the bulk-load ordering; the default is Hilbert
+	// packing (the paper's structure).
+	Packing Packing
+	// SortByX is a legacy alias for PackingXSort. Only used by the packing
+	// ablation benchmark.
+	SortByX bool
+}
+
+// Packing enumerates the bulk-load orderings.
+type Packing uint8
+
+// The available packings.
+const (
+	// PackingHilbert sorts by the Hilbert value of the MBR centroid (Kamel
+	// and Faloutsos — the paper's structure).
+	PackingHilbert Packing = iota
+	// PackingSTR is Sort-Tile-Recursive (Leutenegger, Lopez, Edgington):
+	// sort by x, cut into vertical tiles of ~√(n/fanout) leaves each, sort
+	// each tile by y. A classic alternative the packing ablation compares.
+	PackingSTR
+	// PackingXSort is a naive 1-D x-sort (the ablation's strawman).
+	PackingXSort
+)
+
+// Physical layout constants. MBRs are stored as four float32s plus a 4-byte
+// pointer/id (20-byte entries) with an 8-byte node header (level, count,
+// padding), matching the ~3.5 MB index the paper reports for the PA dataset.
+const (
+	HeaderBytes      = 8
+	EntryBytes       = 20
+	DefaultNodeBytes = 512
+)
+
+func (c *Config) fill() {
+	if c.NodeBytes == 0 {
+		c.NodeBytes = DefaultNodeBytes
+	}
+	if c.BaseAddr == 0 {
+		c.BaseAddr = ops.IndexBase
+	}
+	if c.HilbertOrder == 0 {
+		c.HilbertOrder = hilbert.Order
+	}
+}
+
+// fanout returns the number of entries per node for this config.
+func (c Config) fanout() int { return (c.NodeBytes - HeaderBytes) / EntryBytes }
+
+// entry is one slot of a node: an MBR and either a child node index
+// (internal nodes) or a data item id (leaves).
+type entry struct {
+	mbr geom.Rect
+	ptr uint32
+}
+
+// node is one index node.
+type node struct {
+	level   int16 // 0 = leaf
+	addr    uint64
+	entries []entry
+}
+
+// Tree is a packed R-tree over a static set of items.
+type Tree struct {
+	cfg    Config
+	nodes  []node
+	root   int32 // index into nodes; -1 when empty
+	height int   // number of levels (0 for empty tree)
+	nitems int
+	bounds geom.Rect
+	// leafOrder[i] is the id of the i-th item in Hilbert pack order; used by
+	// the memory-budgeted subset extraction (Fig. 2).
+	leafOrder []Item
+}
+
+// Build bulk-loads a packed R-tree from items. The item slice is not
+// retained; order is not preserved. rec receives the build's operation
+// stream (one OpIndexBuildEntry per placed entry, plus the node stores),
+// charged to whichever machine performs the build — the server builds the
+// shipped sub-index in the insufficient-memory scenario (§4).
+func Build(items []Item, cfg Config, rec ops.Recorder) (*Tree, error) {
+	cfg.fill()
+	fanout := cfg.fanout()
+	if fanout < 2 {
+		return nil, fmt.Errorf("rtree: node size %dB gives fanout %d (<2)", cfg.NodeBytes, fanout)
+	}
+	t := &Tree{cfg: cfg, root: -1, bounds: geom.EmptyRect()}
+	if len(items) == 0 {
+		return t, nil
+	}
+	t.nitems = len(items)
+
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	for _, it := range sorted {
+		t.bounds = t.bounds.Union(it.MBR)
+	}
+	packing := cfg.Packing
+	if cfg.SortByX {
+		packing = PackingXSort
+	}
+	switch packing {
+	case PackingXSort:
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].MBR.Center().X < sorted[j].MBR.Center().X
+		})
+	case PackingSTR:
+		strSort(sorted, fanout)
+	default:
+		q := hilbert.NewQuantizer(cfg.HilbertOrder,
+			t.bounds.Min.X, t.bounds.Min.Y, t.bounds.Max.X, t.bounds.Max.Y)
+		keys := make([]uint64, len(sorted))
+		for i, it := range sorted {
+			c := it.MBR.Center()
+			keys[i] = q.Value(c.X, c.Y)
+		}
+		sort.Sort(&byKey{items: sorted, keys: keys})
+	}
+	t.leafOrder = sorted
+
+	// Build leaves, then each upper level, packing fanout entries per node.
+	level := make([]entry, len(sorted))
+	for i, it := range sorted {
+		level[i] = entry{mbr: it.MBR, ptr: it.ID}
+	}
+	rec.Op(ops.OpIndexBuildEntry, len(sorted))
+
+	var lvl int16
+	for {
+		nNodes := (len(level) + fanout - 1) / fanout
+		next := make([]entry, 0, nNodes)
+		for i := 0; i < nNodes; i++ {
+			lo := i * fanout
+			hi := lo + fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			idx := len(t.nodes)
+			n := node{
+				level:   lvl,
+				addr:    cfg.BaseAddr + uint64(idx)*uint64(cfg.NodeBytes),
+				entries: level[lo:hi:hi],
+			}
+			t.nodes = append(t.nodes, n)
+			rec.Store(n.addr, HeaderBytes+len(n.entries)*EntryBytes)
+			mbr := geom.EmptyRect()
+			for _, e := range n.entries {
+				mbr = mbr.Union(e.mbr)
+			}
+			next = append(next, entry{mbr: mbr, ptr: uint32(idx)})
+		}
+		rec.Op(ops.OpIndexBuildEntry, len(next))
+		t.height++
+		if nNodes == 1 {
+			t.root = int32(len(t.nodes) - 1)
+			break
+		}
+		level = next
+		lvl++
+	}
+	return t, nil
+}
+
+// strSort orders items Sort-Tile-Recursively: x-sort, slice into vertical
+// runs of S·fanout items (S = ⌈√(n/fanout)⌉), y-sort within each run.
+func strSort(items []Item, fanout int) {
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].MBR.Center().X < items[j].MBR.Center().X
+	})
+	leaves := (len(items) + fanout - 1) / fanout
+	s := int(math.Ceil(math.Sqrt(float64(leaves))))
+	run := s * fanout
+	if run <= 0 {
+		return
+	}
+	for lo := 0; lo < len(items); lo += run {
+		hi := lo + run
+		if hi > len(items) {
+			hi = len(items)
+		}
+		tile := items[lo:hi]
+		sort.Slice(tile, func(i, j int) bool {
+			return tile[i].MBR.Center().Y < tile[j].MBR.Center().Y
+		})
+	}
+}
+
+type byKey struct {
+	items []Item
+	keys  []uint64
+}
+
+func (b *byKey) Len() int           { return len(b.items) }
+func (b *byKey) Less(i, j int) bool { return b.keys[i] < b.keys[j] }
+func (b *byKey) Swap(i, j int) {
+	b.items[i], b.items[j] = b.items[j], b.items[i]
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+}
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.nitems }
+
+// Height returns the number of levels (1 for a single-leaf tree, 0 for an
+// empty tree).
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the total number of index nodes.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// IndexBytes returns the total byte size of the index — the quantity that
+// must fit in (or be shipped to) client memory.
+func (t *Tree) IndexBytes() int { return len(t.nodes) * t.cfg.NodeBytes }
+
+// Bounds returns the MBR of all indexed items.
+func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// Fanout returns the entries-per-node capacity.
+func (t *Tree) Fanout() int { return t.cfg.fanout() }
+
+// PackOrder returns the items in Hilbert pack order. The slice is owned by
+// the tree; callers must not modify it.
+func (t *Tree) PackOrder() []Item { return t.leafOrder }
+
+// visitNode charges one node visit: the traversal bookkeeping op plus the
+// load of the node header.
+func (t *Tree) visitNode(n *node, rec ops.Recorder) {
+	rec.Op(ops.OpNodeVisit, 1)
+	rec.Load(n.addr, HeaderBytes)
+}
+
+// scanEntry charges the examination of one entry: its load and one MBR test.
+func (t *Tree) scanEntry(n *node, i int, rec ops.Recorder) {
+	rec.Load(n.addr+uint64(HeaderBytes+i*EntryBytes), EntryBytes)
+	rec.Op(ops.OpMBRTest, 1)
+}
+
+// Search performs the filtering step for a range (window) query: it returns
+// the ids of all items whose MBR intersects the window, in ascending
+// traversal order. This is the first phase of range-query processing; the
+// refinement step (exact segment–window tests) is the caller's job because
+// it needs the actual data records.
+func (t *Tree) Search(window geom.Rect, rec ops.Recorder) []uint32 {
+	var out []uint32
+	if t.root < 0 {
+		return out
+	}
+	t.search(&t.nodes[t.root], window, rec, &out)
+	return out
+}
+
+func (t *Tree) search(n *node, window geom.Rect, rec ops.Recorder, out *[]uint32) {
+	t.visitNode(n, rec)
+	for i := range n.entries {
+		t.scanEntry(n, i, rec)
+		if !window.Intersects(n.entries[i].mbr) {
+			continue
+		}
+		if n.level == 0 {
+			rec.Op(ops.OpResultAppend, 1)
+			rec.Store(ops.ScratchBase+uint64(len(*out))*4, 4)
+			*out = append(*out, n.entries[i].ptr)
+		} else {
+			t.search(&t.nodes[n.entries[i].ptr], window, rec, out)
+		}
+	}
+}
+
+// SearchPoint performs the filtering step for a point query: ids of all
+// items whose MBR contains p.
+func (t *Tree) SearchPoint(p geom.Point, rec ops.Recorder) []uint32 {
+	return t.Search(geom.Rect{Min: p, Max: p}, rec)
+}
+
+// DistFunc returns the exact distance from the query point to the data item
+// with the given id, used by the nearest-neighbor search for refinement of
+// leaf entries. Implementations must charge their own refinement cost
+// (OpRefineNN plus the data-record load) to the recorder they were built
+// with.
+type DistFunc = index.DistFunc
+
+// The packed R-tree is the paper's access method; it satisfies the shared
+// access-method contract.
+var _ index.Index = (*Tree)(nil)
+
+// Nearest runs the branch-and-bound nearest-neighbor search of Roussopoulos
+// et al. (§3): children are visited in MINDIST order and pruned against the
+// best distance found so far (with a MINMAXDIST initialization pass at each
+// node). It returns the nearest item's id and its exact distance;
+// ok == false when the tree is empty.
+//
+// As in the paper, the NN query has no separate filtering/refinement phases:
+// exact item distances are computed during the traversal via dist.
+func (t *Tree) Nearest(p geom.Point, dist DistFunc, rec ops.Recorder) (id uint32, d float64, ok bool) {
+	if t.root < 0 {
+		return 0, 0, false
+	}
+	best := math.Inf(1)
+	bestID := uint32(0)
+	found := false
+	t.nearest(&t.nodes[t.root], p, dist, rec, &best, &bestID, &found)
+	return bestID, best, found
+}
+
+// branch is one child under consideration during the NN descent.
+type branch struct {
+	minDist float64
+	idx     int // entry index within the node
+}
+
+func (t *Tree) nearest(n *node, p geom.Point, dist DistFunc, rec ops.Recorder,
+	best *float64, bestID *uint32, found *bool) {
+
+	t.visitNode(n, rec)
+	if n.level == 0 {
+		for i := range n.entries {
+			t.scanEntry(n, i, rec)
+			rec.Op(ops.OpDistCalc, 1)
+			if n.entries[i].mbr.MinDist(p) > *best {
+				continue
+			}
+			d := dist(n.entries[i].ptr)
+			if d < *best || !*found {
+				*best = d
+				*bestID = n.entries[i].ptr
+				*found = true
+			}
+		}
+		return
+	}
+
+	// Order children by MINDIST; prune with MINMAXDIST and best-so-far.
+	branches := make([]branch, 0, len(n.entries))
+	minMaxBound := math.Inf(1)
+	for i := range n.entries {
+		t.scanEntry(n, i, rec)
+		rec.Op(ops.OpDistCalc, 2) // MINDIST + MINMAXDIST
+		md := n.entries[i].mbr.MinDist(p)
+		mmd := n.entries[i].mbr.MinMaxDist(p)
+		if mmd < minMaxBound {
+			minMaxBound = mmd
+		}
+		branches = append(branches, branch{minDist: md, idx: i})
+	}
+	sort.Slice(branches, func(a, b int) bool { return branches[a].minDist < branches[b].minDist })
+	rec.Op(ops.OpHeapOp, len(branches))
+
+	for _, br := range branches {
+		// Downward prune: a subtree whose MINDIST exceeds both the best
+		// exact distance found and the MINMAXDIST guarantee cannot contain
+		// the nearest neighbor.
+		if br.minDist > *best || br.minDist > minMaxBound {
+			continue
+		}
+		t.nearest(&t.nodes[n.entries[br.idx].ptr], p, dist, rec, best, bestID, found)
+	}
+}
+
+// Stats describes the composition of a tree, used by tests and the dataset
+// report tooling.
+type Stats struct {
+	Items      int
+	Nodes      int
+	Height     int
+	IndexBytes int
+	Fanout     int
+	LeafNodes  int
+}
+
+// TreeStats returns structural statistics.
+func (t *Tree) TreeStats() Stats {
+	leaves := 0
+	for i := range t.nodes {
+		if t.nodes[i].level == 0 {
+			leaves++
+		}
+	}
+	return Stats{
+		Items:      t.nitems,
+		Nodes:      len(t.nodes),
+		Height:     t.height,
+		IndexBytes: t.IndexBytes(),
+		Fanout:     t.Fanout(),
+		LeafNodes:  leaves,
+	}
+}

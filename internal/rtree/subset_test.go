@@ -1,0 +1,160 @@
+package rtree
+
+import (
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+)
+
+func TestBudgetCapacity(t *testing.T) {
+	b := Budget{Bytes: 1 << 20, RecordBytes: 76}
+	n := b.CapacityItems(DefaultNodeBytes, (DefaultNodeBytes-HeaderBytes)/EntryBytes)
+	if n <= 0 {
+		t.Fatal("capacity must be positive for a 1 MB budget")
+	}
+	// The chosen n must actually fit, and n+1 must not.
+	fanout := (DefaultNodeBytes - HeaderBytes) / EntryBytes
+	if n*76+packedIndexBytes(n, DefaultNodeBytes, fanout) > b.Bytes {
+		t.Fatalf("capacity %d overflows budget", n)
+	}
+	if (n+1)*76+packedIndexBytes(n+1, DefaultNodeBytes, fanout) <= b.Bytes {
+		t.Fatalf("capacity %d not maximal", n)
+	}
+	if (Budget{Bytes: 10, RecordBytes: 0}).CapacityItems(512, 25) != 0 {
+		t.Fatal("zero record size must yield zero capacity")
+	}
+}
+
+func TestPackedIndexBytes(t *testing.T) {
+	if got := packedIndexBytes(0, 512, 25); got != 0 {
+		t.Fatalf("empty index bytes = %d", got)
+	}
+	if got := packedIndexBytes(1, 512, 25); got != 512 {
+		t.Fatalf("1-item index bytes = %d", got)
+	}
+	// 26 items -> 2 leaves + 1 root = 3 nodes.
+	if got := packedIndexBytes(26, 512, 25); got != 3*512 {
+		t.Fatalf("26-item index bytes = %d", got)
+	}
+}
+
+func TestExtractSubsetRespectsBudgetAndCovers(t *testing.T) {
+	segs := randSegments(20000, 31)
+	tr := buildTest(t, segs, Config{})
+	budget := Budget{Bytes: 64 * 1024, RecordBytes: 76}
+	window := geom.Rect{Min: geom.Point{X: 480, Y: 480}, Max: geom.Point{X: 520, Y: 520}}
+
+	var rec ops.Counts
+	ship, err := tr.ExtractSubset(window, budget, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget respected.
+	total := ship.DataBytes(budget.RecordBytes) + ship.IndexBytes()
+	if total > budget.Bytes {
+		t.Fatalf("shipment %d bytes exceeds budget %d", total, budget.Bytes)
+	}
+	// All items matching the window are in the shipment.
+	shipped := map[uint32]bool{}
+	for _, it := range ship.Items {
+		shipped[it.ID] = true
+	}
+	for _, id := range tr.Search(window, ops.Null{}) {
+		if !shipped[id] {
+			t.Fatalf("matching item %d missing from shipment", id)
+		}
+	}
+	// Coverage guarantee: every master item intersecting Coverage is
+	// shipped, and the original window is covered.
+	if !ship.Coverage.ContainsRect(window) {
+		t.Fatalf("coverage %v does not contain window %v", ship.Coverage, window)
+	}
+	for _, id := range tr.Search(ship.Coverage, ops.Null{}) {
+		if !shipped[id] {
+			t.Fatalf("item %d intersects coverage but was not shipped", id)
+		}
+	}
+	// The sub-tree answers the window identically to the master tree.
+	got := ship.SubTree.Search(window, ops.Null{})
+	want := tr.Search(window, ops.Null{})
+	sortU32(got)
+	sortU32(want)
+	if !equalU32(got, want) {
+		t.Fatalf("sub-tree answers %d ids, master %d", len(got), len(want))
+	}
+	// Server work was recorded.
+	if rec.Ops[ops.OpNodeVisit] == 0 || rec.Ops[ops.OpIndexBuildEntry] == 0 {
+		t.Fatal("extraction recorded no server work")
+	}
+}
+
+func TestExtractSubsetEmptyRegion(t *testing.T) {
+	segs := randSegments(5000, 32)
+	tr := buildTest(t, segs, Config{})
+	// A window outside all data: still ships proximate items.
+	window := geom.Rect{Min: geom.Point{X: 5000, Y: 5000}, Max: geom.Point{X: 5010, Y: 5010}}
+	ship, err := tr.ExtractSubset(window, Budget{Bytes: 32 * 1024, RecordBytes: 76}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ship.Items) == 0 {
+		t.Fatal("empty-region extraction shipped nothing")
+	}
+}
+
+func TestExtractSubsetTinyBudget(t *testing.T) {
+	segs := randSegments(100, 33)
+	tr := buildTest(t, segs, Config{})
+	if _, err := tr.ExtractSubset(geom.Rect{}, Budget{Bytes: 10, RecordBytes: 76}, ops.Null{}); err == nil {
+		t.Fatal("sub-record budget accepted")
+	}
+}
+
+func TestExtractSubsetWholeDatasetFits(t *testing.T) {
+	segs := randSegments(200, 34)
+	tr := buildTest(t, segs, Config{})
+	ship, err := tr.ExtractSubset(
+		geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 10, Y: 10}},
+		Budget{Bytes: 1 << 20, RecordBytes: 76}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ship.Items) != len(segs) {
+		t.Fatalf("shipment has %d items, want all %d", len(ship.Items), len(segs))
+	}
+	// Coverage should be generous when everything is shipped.
+	if !ship.Coverage.ContainsRect(tr.Bounds()) {
+		t.Logf("note: coverage %v vs bounds %v", ship.Coverage, tr.Bounds())
+	}
+}
+
+func TestExtractSubsetTruncatesOversizedAnswer(t *testing.T) {
+	segs := randSegments(10000, 35)
+	tr := buildTest(t, segs, Config{})
+	// Budget holds ~100 items but the whole-extent window matches all 10k.
+	budget := Budget{Bytes: 100*76 + 3*DefaultNodeBytes, RecordBytes: 76}
+	ship, err := tr.ExtractSubset(tr.Bounds(), budget, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ship.DataBytes(76) + ship.IndexBytes(); got > budget.Bytes {
+		t.Fatalf("truncated shipment %dB exceeds budget %dB", got, budget.Bytes)
+	}
+	if !ship.Coverage.IsEmpty() {
+		t.Fatal("coverage must be empty when the window could not be fully shipped")
+	}
+}
+
+func BenchmarkExtractSubset(b *testing.B) {
+	segs := randSegments(50000, 36)
+	tr := buildTest(b, segs, Config{})
+	budget := Budget{Bytes: 1 << 20, RecordBytes: 76}
+	w := geom.Rect{Min: geom.Point{X: 500, Y: 500}, Max: geom.Point{X: 520, Y: 520}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.ExtractSubset(w, budget, ops.Null{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

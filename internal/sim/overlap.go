@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"mobispatial/internal/ops"
+	"mobispatial/internal/proto"
+)
+
+// OverlapStage models one stage of a pipelined work partitioning — the
+// paper's w4: "it is sometimes possible for the client to overlap its
+// waiting for the results from the server with a certain amount of useful
+// work". The base schemes set w4 = 0; the pipelined scheme in internal/core
+// uses this primitive.
+//
+// Two tracks run concurrently:
+//
+//   - the client track executes clientWork on the client model;
+//   - the communication track transmits txBytes to the server, runs
+//     serverWork there, and receives rxBytes back.
+//
+// The stage's wall time is the longer track. Energy accounting follows each
+// component's actual busy time: the NIC transmits/receives for the air
+// times and carrier-senses (IDLE) for the rest of the stage — it cannot
+// sleep, since traffic can arrive at any moment; the client core is active
+// for its own work and blocked for whatever remains of the stage.
+//
+// Cycle attribution: the client's own work goes to ProcessorCycles, the air
+// times to Tx/RxCycles, and any residue of the stage (communication time
+// the client work did not cover) to WaitCycles, so TotalClientCycles still
+// equals elapsed wall time × client clock.
+func (s *System) OverlapStage(clientWork func(ops.Recorder), txBytes int, serverWork func(ops.Recorder), rxBytes int) {
+	// Client track.
+	var clientSecs float64
+	if clientWork != nil {
+		clientSecs = s.clientPhase(clientWork)
+	}
+
+	// Communication track.
+	var commSecs, txAir, rxAir float64
+	if txBytes >= 0 && serverWork != nil {
+		tx := proto.Packetize(txBytes)
+		rx := proto.Packetize(rxBytes)
+		// Protocol processing for both directions is charged to the client
+		// model (it is part of the client track's compute in a real
+		// pipeline, but it is small; folding it into the client track keeps
+		// the accounting single-threaded).
+		secs := s.clientPhase(func(rec ops.Recorder) {
+			tx.ChargeProcessing(rec, true)
+			rx.ChargeProcessing(rec, false)
+		})
+		clientSecs += secs
+		tx.ChargeProcessing(s.Server, false)
+		rx.ChargeProcessing(s.Server, true)
+
+		before := s.Server.Cycles()
+		serverWork(s.Server)
+		delta := s.Server.Cycles() - before
+		s.serverCycles += delta
+
+		txAir = tx.Seconds(s.params.BandwidthBps)
+		rxAir = rx.Seconds(s.params.BandwidthBps)
+		commSecs = txAir + s.Server.Seconds(delta) + rxAir
+	}
+
+	elapsed := clientSecs
+	if commSecs > elapsed {
+		elapsed = commSecs
+	}
+	if elapsed == 0 {
+		return
+	}
+
+	// NIC: wake if needed, transmit and receive for the air times, idle the
+	// remainder of the stage (carrier sense).
+	wake := s.nic.TransmitFor(txAir) - txAir
+	s.nic.ReceiveFor(rxAir)
+	s.nic.IdleFor(elapsed - txAir - rxAir)
+	elapsed += wake
+
+	// Client core: busy for clientSecs, blocked for the rest.
+	if blocked := elapsed - clientSecs; blocked > 0 {
+		s.blockedJoules += s.blockedWatts() * blocked
+	}
+
+	// Cycle attribution (see doc comment).
+	s.txCycles += s.cyclesOf(txAir + wake)
+	s.rxCycles += s.cyclesOf(rxAir)
+	if residue := elapsed - clientSecs - txAir - rxAir - wake; residue > 0 {
+		s.waitCycles += s.cyclesOf(residue)
+	} else if residue < 0 {
+		// The client track covered part of the air time; trim the processor
+		// attribution so the stage total still equals elapsed × clock.
+		trim := s.cyclesOf(-residue)
+		if trim > s.procCycles {
+			trim = s.procCycles
+		}
+		s.procCycles -= trim
+	}
+	s.elapsed += elapsed
+}

@@ -1,0 +1,345 @@
+// Package sim is the co-simulator that ties the machine models together: the
+// client CPU (internal/cpu), the wireless NIC power machine (internal/nic),
+// the protocol stack (internal/proto), and the server model. It provides the
+// communication API of §5.2 — SendMessage/RecvMessage with Sleep/Idle NIC
+// management — and produces the two quantities the paper's figures plot for
+// every scheme:
+//
+//   - the client's energy breakdown (Processor, NIC-Tx, NIC-Rx, NIC-Idle,
+//     NIC-Sleep), and
+//   - the total client-clock cycles from query submission to answer
+//     (Processor, NIC-Tx, NIC-Rx, plus time blocked on server work).
+//
+// CPU management during communication follows the paper's findings: the
+// client blocks (entering a CPU low-power mode) while waiting for and
+// receiving messages — the paper measured that blocking halves the receive
+// energy versus busy-waiting, and the low-power mode saves another 10–20 % —
+// with both ablations (busy-wait, no CPU sleep) available as switches.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mobispatial/internal/cpu"
+	"mobispatial/internal/energy"
+	"mobispatial/internal/nic"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/proto"
+)
+
+// Params configures one simulated client/server/link system.
+type Params struct {
+	// BandwidthBps is the effective delivered wireless bandwidth in
+	// bits/second (the paper sweeps 2, 4, 6, 8, 11 Mbps).
+	BandwidthBps float64
+	// DistanceM is the client–base-station range in meters (100 or 1000 in
+	// the paper).
+	DistanceM float64
+	Client    cpu.ClientConfig
+	Server    cpu.ServerConfig
+	Energy    energy.Params
+	// BusyWaitReceive makes the client poll instead of blocking while
+	// waiting for / receiving messages (ablation, §5.2).
+	BusyWaitReceive bool
+	// DisableCPUSleep keeps the blocked client core at idle power instead
+	// of its low-power mode (ablation, §5.2).
+	DisableCPUSleep bool
+	// DisableNICSleep keeps the NIC in IDLE wherever the protocol would
+	// sleep it (ablation).
+	DisableNICSleep bool
+	// ModelTCPAcks adds TCP acknowledgment traffic: receiving data makes
+	// the client transmit delayed ACKs (expensive at 3 W), and sending data
+	// makes it receive the server's ACKs. Off by default — the paper folds
+	// reverse traffic into the effective bandwidth — and exercised by the
+	// TCP-ACK ablation bench.
+	ModelTCPAcks bool
+	// ServerUtilization models a loaded, shared server (the paper's §5.3
+	// future work: "modeling I/O issues and the resulting throughput at
+	// the server"): each request queues behind other clients' work before
+	// service. The value is the background utilization ρ ∈ [0, 1); the
+	// added delay is the M/D/1 mean queueing time
+	// ρ·S/(2(1−ρ)) with S = ServerMeanServiceSec. 0 = the paper's
+	// unloaded-server assumption.
+	ServerUtilization float64
+	// ServerMeanServiceSec is the mean service time of the background
+	// requests; 2 ms when zero.
+	ServerMeanServiceSec float64
+}
+
+// DefaultParams returns the paper's base configuration: 2 Mbps, 1 km,
+// Table 3 client at MhzS/8, Table 4 server.
+func DefaultParams() Params {
+	return Params{
+		BandwidthBps: 2e6,
+		DistanceM:    1000,
+		Client:       cpu.DefaultClientConfig(),
+		Server:       cpu.DefaultServerConfig(),
+		Energy:       energy.DefaultParams(),
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.BandwidthBps <= 0 {
+		return fmt.Errorf("sim: bandwidth %v bps", p.BandwidthBps)
+	}
+	if p.DistanceM <= 0 {
+		return fmt.Errorf("sim: distance %v m", p.DistanceM)
+	}
+	if p.ServerUtilization < 0 || p.ServerUtilization >= 1 {
+		return fmt.Errorf("sim: server utilization %v outside [0,1)", p.ServerUtilization)
+	}
+	if p.ServerMeanServiceSec < 0 {
+		return fmt.Errorf("sim: negative mean service time")
+	}
+	return p.Energy.Validate()
+}
+
+// System is one client + server + wireless link instance. It is not safe
+// for concurrent use; the experiment harness creates one System per sweep
+// point.
+type System struct {
+	params Params
+	// Client and Server are exposed so query code can record work on them
+	// via the phase helpers below.
+	Client *cpu.Client
+	Server *cpu.Server
+	nic    *nic.NIC
+
+	elapsed       float64 // client-observed wall seconds
+	blockedJoules float64 // client core energy while blocked/polling
+	procCycles    int64   // client cycles doing real work (compute+protocol)
+	txCycles      int64   // client-clock cycles spent in NIC transmit
+	rxCycles      int64   // client-clock cycles spent in NIC receive
+	waitCycles    int64   // client-clock cycles blocked on server work
+	serverCycles  int64   // server-clock cycles (the paper's Cw2)
+}
+
+// New builds a System.
+func New(p Params) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	client, err := cpu.NewClient(p.Client)
+	if err != nil {
+		return nil, err
+	}
+	server, err := cpu.NewServer(p.Server)
+	if err != nil {
+		return nil, err
+	}
+	n, err := nic.New(nic.Config{DistanceM: p.DistanceM, DisableSleep: p.DisableNICSleep})
+	if err != nil {
+		return nil, err
+	}
+	return &System{params: p, Client: client, Server: server, nic: n}, nil
+}
+
+// Params returns the system parameters.
+func (s *System) Params() Params { return s.params }
+
+// cyclesOf converts seconds to client-clock cycles, rounding to nearest.
+func (s *System) cyclesOf(seconds float64) int64 {
+	return int64(math.Round(seconds * s.params.Client.ClockHz))
+}
+
+// blockedWatts is the client-core draw while it has nothing to execute.
+func (s *System) blockedWatts() float64 {
+	switch {
+	case s.params.BusyWaitReceive:
+		return s.params.Energy.PollWatts(s.params.Client.ClockHz)
+	case s.params.DisableCPUSleep:
+		return s.params.Energy.CPUIdleWatts
+	default:
+		return s.params.Energy.CPUSleepWatts
+	}
+}
+
+// ClientCompute runs f against the client machine model as local work (the
+// paper's w1/w3): the NIC sleeps for the duration.
+func (s *System) ClientCompute(f func(ops.Recorder)) {
+	secs := s.clientPhase(f)
+	s.nic.SleepFor(secs)
+	s.elapsed += secs
+}
+
+// clientPhase runs f on the client model and returns the phase's duration;
+// cycles are attributed to procCycles.
+func (s *System) clientPhase(f func(ops.Recorder)) float64 {
+	before := s.Client.Activity().Cycles
+	f(s.Client)
+	delta := s.Client.Activity().Cycles - before
+	s.procCycles += delta
+	return s.Client.Seconds(delta)
+}
+
+// queueDelay returns the time a request spends queued behind other
+// clients' work at the shared server (M/D/1 mean waiting time).
+func (s *System) queueDelay() float64 {
+	rho := s.params.ServerUtilization
+	if rho <= 0 {
+		return 0
+	}
+	svc := s.params.ServerMeanServiceSec
+	if svc <= 0 {
+		svc = 2e-3
+	}
+	return rho * svc / (2 * (1 - rho))
+}
+
+// ServerCompute runs f against the server machine model while the client
+// blocks with the NIC in IDLE (carrier sense — a reply could arrive any
+// moment). This is the paper's w2/Cwait phase. Under a non-zero
+// ServerUtilization the request first queues behind other clients' work.
+func (s *System) ServerCompute(f func(ops.Recorder)) {
+	before := s.Server.Cycles()
+	f(s.Server)
+	delta := s.Server.Cycles() - before
+	s.serverCycles += delta
+	secs := s.Server.Seconds(delta) + s.queueDelay()
+	s.nic.IdleFor(secs)
+	s.blockedJoules += s.blockedWatts() * secs
+	s.waitCycles += s.cyclesOf(secs)
+	s.elapsed += secs
+}
+
+// Send transmits a client→server message with the given payload size: the
+// client runs the protocol stack (send side), then the NIC transmits the
+// framed bytes at the link bandwidth while the core blocks. The NIC wake-up
+// penalty (470 µs out of SLEEP) is paid here when applicable.
+func (s *System) Send(payloadBytes int) {
+	t := proto.Packetize(payloadBytes)
+	// Protocol processing runs with the NIC still asleep (it is CPU work).
+	secs := s.clientPhase(func(rec ops.Recorder) { t.ChargeProcessing(rec, true) })
+	s.nic.SleepFor(secs)
+	s.elapsed += secs
+
+	// Server-side receive processing overlaps the transmission; charge the
+	// server model but no extra client wall time.
+	t.ChargeProcessing(s.Server, false)
+
+	air := t.Seconds(s.params.BandwidthBps)
+	total := s.nic.TransmitFor(air) // includes sleep-exit latency
+	s.blockedJoules += s.blockedWatts() * total
+	s.txCycles += s.cyclesOf(total)
+	s.elapsed += total
+
+	if s.params.ModelTCPAcks {
+		// The server's ACKs come back while the client listens.
+		ack := proto.AckTransfer(proto.AckFrames(t.Packets))
+		secs := s.clientPhase(func(rec ops.Recorder) { ack.ChargeProcessing(rec, false) })
+		s.nic.IdleFor(secs)
+		ackAir := ack.Seconds(s.params.BandwidthBps)
+		s.nic.ReceiveFor(ackAir)
+		s.blockedJoules += s.blockedWatts() * ackAir
+		s.rxCycles += s.cyclesOf(ackAir)
+		s.elapsed += secs + ackAir
+	}
+}
+
+// Receive accepts a server→client message with the given payload size: the
+// server runs its send-side protocol stack (overlapped, charged to the
+// server model only), the NIC receives the framed bytes while the core
+// blocks, and the client then runs its receive-side protocol processing.
+// Afterwards the NIC is put back to SLEEP (no further inbound traffic is
+// expected until the next request, §5.2).
+func (s *System) Receive(payloadBytes int) {
+	t := proto.Packetize(payloadBytes)
+	t.ChargeProcessing(s.Server, true)
+
+	air := t.Seconds(s.params.BandwidthBps)
+	total := s.nic.ReceiveFor(air)
+	s.blockedJoules += s.blockedWatts() * total
+	s.rxCycles += s.cyclesOf(total)
+	s.elapsed += total
+
+	if s.params.ModelTCPAcks {
+		// The client transmits delayed ACKs for the received segments —
+		// the transmitter's high power makes this the dominant ACK cost.
+		ack := proto.AckTransfer(proto.AckFrames(t.Packets))
+		secs := s.clientPhase(func(rec ops.Recorder) { ack.ChargeProcessing(rec, true) })
+		s.nic.IdleFor(secs)
+		ackAir := ack.Seconds(s.params.BandwidthBps)
+		s.nic.TransmitFor(ackAir)
+		s.blockedJoules += s.blockedWatts() * ackAir
+		s.txCycles += s.cyclesOf(ackAir)
+		s.elapsed += secs + ackAir
+	}
+
+	secs := s.clientPhase(func(rec ops.Recorder) { t.ChargeProcessing(rec, false) })
+	s.nic.SleepFor(secs)
+	s.elapsed += secs
+}
+
+// Result is the per-run outcome in the paper's reporting units.
+type Result struct {
+	// Energy is the client's energy breakdown in Joules.
+	Energy energy.Breakdown
+	// ProcessorCycles are client cycles doing compute + protocol work.
+	ProcessorCycles int64
+	// TxCycles / RxCycles are client-clock cycles during NIC transmit /
+	// receive (including NIC wake-ups).
+	TxCycles int64
+	RxCycles int64
+	// WaitCycles are client-clock cycles blocked on server computation.
+	WaitCycles int64
+	// ServerCycles are server-clock cycles (Cw2).
+	ServerCycles int64
+	// ElapsedSeconds is the wall time from submission to answer.
+	ElapsedSeconds float64
+	// NIC is the NIC's own time/energy accounting.
+	NIC nic.Usage
+	// ClientActivity is the raw client machine activity.
+	ClientActivity cpu.Activity
+}
+
+// TotalClientCycles is the paper's performance metric: all client-clock
+// cycles from query submission until the result is available.
+func (r Result) TotalClientCycles() int64 {
+	return r.ProcessorCycles + r.TxCycles + r.RxCycles + r.WaitCycles
+}
+
+// Add accumulates other into r (summing runs, as the figures do).
+func (r *Result) Add(other Result) {
+	r.Energy.Add(other.Energy)
+	r.ProcessorCycles += other.ProcessorCycles
+	r.TxCycles += other.TxCycles
+	r.RxCycles += other.RxCycles
+	r.WaitCycles += other.WaitCycles
+	r.ServerCycles += other.ServerCycles
+	r.ElapsedSeconds += other.ElapsedSeconds
+}
+
+// Result snapshots the accumulated accounting.
+func (s *System) Result() Result {
+	act := s.Client.Activity()
+	usage := s.nic.Usage()
+	return Result{
+		Energy: energy.Breakdown{
+			Processor: s.params.Energy.ComputeJoules(act) + s.blockedJoules,
+			NICTx:     usage.TxJoules,
+			NICRx:     usage.RxJoules,
+			NICIdle:   usage.IdleJoules,
+			NICSleep:  usage.SleepJoules,
+		},
+		ProcessorCycles: s.procCycles,
+		TxCycles:        s.txCycles,
+		RxCycles:        s.rxCycles,
+		WaitCycles:      s.waitCycles,
+		ServerCycles:    s.serverCycles,
+		ElapsedSeconds:  s.elapsed,
+		NIC:             usage,
+		ClientActivity:  act,
+	}
+}
+
+// Reset returns the system to a pristine cold state.
+func (s *System) Reset() {
+	s.Client.Reset()
+	s.Server.Reset()
+	s.nic.Reset()
+	s.elapsed = 0
+	s.blockedJoules = 0
+	s.procCycles, s.txCycles, s.rxCycles, s.waitCycles, s.serverCycles = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mobispatial/internal/nic"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/proto"
+)
+
+func newSystem(t *testing.T, mutate func(*Params)) *System {
+	t.Helper()
+	p := DefaultParams()
+	if mutate != nil {
+		mutate(&p)
+	}
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := DefaultParams()
+	p.BandwidthBps = 0
+	if _, err := New(p); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	p = DefaultParams()
+	p.DistanceM = -1
+	if _, err := New(p); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestLocalComputeAccounting(t *testing.T) {
+	s := newSystem(t, nil)
+	s.ClientCompute(func(rec ops.Recorder) {
+		rec.Op(ops.OpRefineRange, 1000)
+		rec.Load(ops.DataBase, 4096)
+	})
+	r := s.Result()
+	if r.ProcessorCycles == 0 {
+		t.Fatal("no processor cycles recorded")
+	}
+	if r.TxCycles != 0 || r.RxCycles != 0 || r.WaitCycles != 0 || r.ServerCycles != 0 {
+		t.Fatalf("local compute leaked communication cycles: %+v", r)
+	}
+	// NIC slept throughout: Efully-local = (Pclient + Psleep)·C in §4.1.
+	if r.Energy.NICSleep <= 0 {
+		t.Fatal("NIC sleep energy missing")
+	}
+	if r.Energy.NICTx != 0 || r.Energy.NICRx != 0 || r.Energy.NICIdle != 0 {
+		t.Fatalf("local compute used the radio: %+v", r.Energy)
+	}
+	wantSleepJ := nic.SleepPower * r.ElapsedSeconds
+	if math.Abs(r.Energy.NICSleep-wantSleepJ)/wantSleepJ > 1e-9 {
+		t.Fatalf("sleep energy %v, want %v", r.Energy.NICSleep, wantSleepJ)
+	}
+	if r.TotalClientCycles() != r.ProcessorCycles {
+		t.Fatal("total cycles mismatch for local run")
+	}
+}
+
+func TestRoundTripAccounting(t *testing.T) {
+	s := newSystem(t, nil)
+	s.Send(proto.QueryRequestBytes)
+	s.ServerCompute(func(rec ops.Recorder) {
+		rec.Op(ops.OpRefineRange, 5000)
+		rec.Load(ops.DataBase, 1<<16)
+	})
+	s.Receive(proto.IDListBytes(200))
+	r := s.Result()
+
+	if r.TxCycles == 0 || r.RxCycles == 0 || r.WaitCycles == 0 {
+		t.Fatalf("round trip missing phases: %+v", r)
+	}
+	if r.ServerCycles == 0 {
+		t.Fatal("server did no work")
+	}
+	if r.Energy.NICTx <= 0 || r.Energy.NICRx <= 0 || r.Energy.NICIdle <= 0 {
+		t.Fatalf("NIC energies: %+v", r.Energy)
+	}
+	// Transmit dominates per-second cost (3 W vs 0.165 W at 1 km).
+	txW := r.Energy.NICTx / r.NIC.TxSeconds
+	rxW := r.Energy.NICRx / r.NIC.RxSeconds
+	if txW <= rxW*10 {
+		t.Fatalf("tx power %v not >> rx power %v", txW, rxW)
+	}
+	// Wait cycles reflect the client/server clock ratio: Cwait = Cw2·(C/S).
+	wantWait := float64(r.ServerCycles) * (s.Params().Client.ClockHz / s.Params().Server.ClockHz)
+	if math.Abs(float64(r.WaitCycles)-wantWait) > wantWait*0.05+2 {
+		t.Fatalf("wait cycles %d, want ≈%v", r.WaitCycles, wantWait)
+	}
+}
+
+func TestBandwidthScalesCommunication(t *testing.T) {
+	run := func(bw float64) Result {
+		s := newSystem(t, func(p *Params) { p.BandwidthBps = bw })
+		s.Send(proto.DataListBytes(1000, 76))
+		s.Receive(proto.DataListBytes(1000, 76))
+		return s.Result()
+	}
+	slow := run(2e6)
+	fast := run(11e6)
+	if fast.TxCycles >= slow.TxCycles || fast.RxCycles >= slow.RxCycles {
+		t.Fatalf("higher bandwidth not faster: %+v vs %+v", fast, slow)
+	}
+	if fast.Energy.NICTx >= slow.Energy.NICTx {
+		t.Fatal("higher bandwidth did not cut Tx energy")
+	}
+	// Air time ratio ≈ bandwidth ratio (wake latency adds a constant).
+	ratio := slow.NIC.TxSeconds / fast.NIC.TxSeconds
+	if ratio < 4 || ratio > 6.5 {
+		t.Fatalf("tx time ratio %v, want ≈5.5", ratio)
+	}
+}
+
+func TestDistanceAffectsOnlyTransmitPower(t *testing.T) {
+	run := func(d float64) Result {
+		s := newSystem(t, func(p *Params) { p.DistanceM = d })
+		s.Send(proto.DataListBytes(500, 76))
+		s.Receive(proto.IDListBytes(500))
+		return s.Result()
+	}
+	far := run(1000)
+	near := run(100)
+	if near.Energy.NICTx >= far.Energy.NICTx {
+		t.Fatal("shorter distance did not cut Tx energy")
+	}
+	if math.Abs(near.Energy.NICRx-far.Energy.NICRx) > 1e-12 {
+		t.Fatal("distance changed Rx energy")
+	}
+	if near.TotalClientCycles() != far.TotalClientCycles() {
+		t.Fatal("distance changed cycles")
+	}
+	wantRatio := nic.TxPower1Km / nic.TxPower100m
+	gotRatio := far.Energy.NICTx / near.Energy.NICTx
+	if math.Abs(gotRatio-wantRatio) > 0.01 {
+		t.Fatalf("tx energy ratio %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestBusyWaitCostsMoreEnergySameCycles(t *testing.T) {
+	run := func(busy bool) Result {
+		s := newSystem(t, func(p *Params) { p.BusyWaitReceive = busy })
+		s.Send(proto.QueryRequestBytes)
+		s.ServerCompute(func(rec ops.Recorder) { rec.Op(ops.OpRefineRange, 20000) })
+		s.Receive(proto.DataListBytes(2000, 76))
+		return s.Result()
+	}
+	block := run(false)
+	busy := run(true)
+	if busy.TotalClientCycles() != block.TotalClientCycles() {
+		t.Fatal("busy-wait changed cycle count")
+	}
+	// §5.2: blocking cut the receive-path processor energy by more than
+	// half. The NIC energy is identical, so compare processor components.
+	if block.Energy.Processor >= busy.Energy.Processor/2 {
+		t.Fatalf("blocking saved too little: block %v vs busy %v",
+			block.Energy.Processor, busy.Energy.Processor)
+	}
+}
+
+func TestCPUSleepAblation(t *testing.T) {
+	run := func(disable bool) Result {
+		s := newSystem(t, func(p *Params) { p.DisableCPUSleep = disable })
+		s.Send(proto.QueryRequestBytes)
+		s.ServerCompute(func(rec ops.Recorder) { rec.Op(ops.OpRefineRange, 20000) })
+		s.Receive(proto.DataListBytes(2000, 76))
+		return s.Result()
+	}
+	withSleep := run(false)
+	noSleep := run(true)
+	if withSleep.Energy.Processor >= noSleep.Energy.Processor {
+		t.Fatal("CPU low-power mode saved nothing")
+	}
+	if withSleep.TotalClientCycles() != noSleep.TotalClientCycles() {
+		t.Fatal("CPU sleep changed cycles")
+	}
+}
+
+func TestNICSleepAblation(t *testing.T) {
+	run := func(disable bool) Result {
+		s := newSystem(t, func(p *Params) { p.DisableNICSleep = disable })
+		s.ClientCompute(func(rec ops.Recorder) { rec.Op(ops.OpRefineRange, 100000) })
+		return s.Result()
+	}
+	sleep := run(false)
+	noSleep := run(true)
+	// Without sleep, the long local compute burns idle power (100 mW vs
+	// 19.8 mW).
+	if sleep.Energy.Total() >= noSleep.Energy.Total() {
+		t.Fatal("NIC sleep saved nothing on a local workload")
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	a := Result{ProcessorCycles: 1, TxCycles: 2, RxCycles: 3, WaitCycles: 4, ServerCycles: 5, ElapsedSeconds: 1}
+	a.Add(Result{ProcessorCycles: 10, TxCycles: 20, RxCycles: 30, WaitCycles: 40, ServerCycles: 50, ElapsedSeconds: 2})
+	if a.ProcessorCycles != 11 || a.TxCycles != 22 || a.RxCycles != 33 || a.WaitCycles != 44 || a.ServerCycles != 55 {
+		t.Fatalf("Add: %+v", a)
+	}
+	if a.TotalClientCycles() != 11+22+33+44 {
+		t.Fatalf("TotalClientCycles = %d", a.TotalClientCycles())
+	}
+	if a.ElapsedSeconds != 3 {
+		t.Fatalf("elapsed = %v", a.ElapsedSeconds)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := newSystem(t, nil)
+	s.Send(1000)
+	s.Reset()
+	r := s.Result()
+	if r.TotalClientCycles() != 0 || r.Energy.Total() != 0 || r.ElapsedSeconds != 0 {
+		t.Fatalf("state after reset: %+v", r)
+	}
+}
+
+func TestEnergyTimelineConsistency(t *testing.T) {
+	// NIC total accounted seconds must equal the elapsed wall time: the
+	// radio is always in exactly one state.
+	s := newSystem(t, nil)
+	s.ClientCompute(func(rec ops.Recorder) { rec.Op(ops.OpRefineRange, 500) })
+	s.Send(proto.QueryRequestBytes)
+	s.ServerCompute(func(rec ops.Recorder) { rec.Op(ops.OpRefineRange, 5000) })
+	s.Receive(proto.DataListBytes(100, 76))
+	s.ClientCompute(func(rec ops.Recorder) { rec.Op(ops.OpRefineRange, 500) })
+	r := s.Result()
+	if math.Abs(r.NIC.TotalSeconds()-r.ElapsedSeconds) > 1e-9 {
+		t.Fatalf("NIC time %v != elapsed %v", r.NIC.TotalSeconds(), r.ElapsedSeconds)
+	}
+}
+
+func TestTCPAckModeling(t *testing.T) {
+	run := func(acks bool) Result {
+		s := newSystem(t, func(p *Params) { p.ModelTCPAcks = acks })
+		s.Send(proto.QueryRequestBytes)
+		s.Receive(proto.DataListBytes(2000, 76)) // ~104 frames down
+		return s.Result()
+	}
+	off := run(false)
+	on := run(true)
+	// Receiving a large payload with ACKs on costs extra *transmit* energy.
+	if on.Energy.NICTx <= off.Energy.NICTx {
+		t.Fatalf("ACKs did not add transmit energy: %v vs %v", on.Energy.NICTx, off.Energy.NICTx)
+	}
+	if on.TotalClientCycles() <= off.TotalClientCycles() {
+		t.Fatal("ACKs did not add cycles")
+	}
+	// The ACK overhead is bounded: pure-header frames against a 150 KB
+	// payload must stay well under half the total energy.
+	if on.Energy.Total() > off.Energy.Total()*1.5 {
+		t.Fatalf("ACK overhead implausibly large: %v vs %v", on.Energy.Total(), off.Energy.Total())
+	}
+	// Timeline consistency still holds with ACKs on.
+	s := newSystem(t, func(p *Params) { p.ModelTCPAcks = true })
+	s.Send(proto.DataListBytes(500, 76))
+	s.Receive(proto.DataListBytes(500, 76))
+	r := s.Result()
+	if math.Abs(r.NIC.TotalSeconds()-r.ElapsedSeconds) > 1e-9 {
+		t.Fatalf("NIC time %v != elapsed %v with ACKs", r.NIC.TotalSeconds(), r.ElapsedSeconds)
+	}
+}
+
+func TestServerLoadQueueing(t *testing.T) {
+	run := func(rho float64) Result {
+		s := newSystem(t, func(p *Params) { p.ServerUtilization = rho })
+		s.Send(proto.QueryRequestBytes)
+		s.ServerCompute(func(rec ops.Recorder) { rec.Op(ops.OpRefineRange, 1000) })
+		s.Receive(proto.IDListBytes(100))
+		return s.Result()
+	}
+	idle := run(0)
+	loaded := run(0.9)
+	// A ρ=0.9 M/D/1 queue adds 9 ms of waiting on a 2 ms mean service.
+	if loaded.WaitCycles <= idle.WaitCycles {
+		t.Fatal("server load added no waiting")
+	}
+	addedSecs := float64(loaded.WaitCycles-idle.WaitCycles) / DefaultParams().Client.ClockHz
+	if addedSecs < 8e-3 || addedSecs > 10e-3 {
+		t.Fatalf("queueing delay %.4f s, want ≈9 ms", addedSecs)
+	}
+	// The wait is idle+blocked time: energy grows too.
+	if loaded.Energy.Total() <= idle.Energy.Total() {
+		t.Fatal("server load added no energy")
+	}
+	// Utilization must be validated.
+	p := DefaultParams()
+	p.ServerUtilization = 1.0
+	if _, err := New(p); err == nil {
+		t.Fatal("utilization 1.0 accepted")
+	}
+	p.ServerUtilization = -0.1
+	if _, err := New(p); err == nil {
+		t.Fatal("negative utilization accepted")
+	}
+}
+
+func TestOverlapStageClientBound(t *testing.T) {
+	// Client work longer than the exchange: elapsed tracks the client, and
+	// total cycles equal elapsed × clock (air time hidden).
+	s := newSystem(t, nil)
+	s.OverlapStage(func(rec ops.Recorder) {
+		rec.Op(ops.OpRefineRange, 200000) // ~0.38e6 instr -> several ms
+	}, proto.IDListBytes(10), func(rec ops.Recorder) {
+		rec.Op(ops.OpRefineRange, 10)
+	}, proto.IDListBytes(10))
+	r := s.Result()
+	wantCycles := s.cyclesOf(r.ElapsedSeconds)
+	if diff := r.TotalClientCycles() - wantCycles; diff > 2 || diff < -2 {
+		t.Fatalf("total cycles %d != elapsed-derived %d", r.TotalClientCycles(), wantCycles)
+	}
+	if math.Abs(r.NIC.TotalSeconds()-r.ElapsedSeconds) > 1e-9 {
+		t.Fatalf("NIC timeline %v != elapsed %v", r.NIC.TotalSeconds(), r.ElapsedSeconds)
+	}
+}
+
+func TestOverlapStageCommBound(t *testing.T) {
+	// Exchange longer than the client work: the client blocks for the
+	// difference and the wait bucket absorbs the residue.
+	s := newSystem(t, func(p *Params) { p.BandwidthBps = 2e6 })
+	s.OverlapStage(func(rec ops.Recorder) {
+		rec.Op(ops.OpMBRTest, 10)
+	}, proto.DataListBytes(2000, 76), func(rec ops.Recorder) {
+		rec.Op(ops.OpRefineRange, 5000)
+	}, proto.DataListBytes(2000, 76))
+	r := s.Result()
+	if r.WaitCycles == 0 && r.TxCycles == 0 {
+		t.Fatal("comm-bound stage recorded no communication")
+	}
+	wantCycles := s.cyclesOf(r.ElapsedSeconds)
+	if diff := r.TotalClientCycles() - wantCycles; diff > 2 || diff < -2 {
+		t.Fatalf("total cycles %d != elapsed-derived %d", r.TotalClientCycles(), wantCycles)
+	}
+	if math.Abs(r.NIC.TotalSeconds()-r.ElapsedSeconds) > 1e-9 {
+		t.Fatalf("NIC timeline %v != elapsed %v", r.NIC.TotalSeconds(), r.ElapsedSeconds)
+	}
+}
+
+func TestOverlapStageEmptyIsNoop(t *testing.T) {
+	s := newSystem(t, nil)
+	s.OverlapStage(nil, -1, nil, 0)
+	if r := s.Result(); r.ElapsedSeconds != 0 || r.TotalClientCycles() != 0 {
+		t.Fatalf("empty stage did something: %+v", r)
+	}
+}

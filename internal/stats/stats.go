@@ -1,0 +1,72 @@
+// Package stats provides the small descriptive-statistics kit the experiment
+// harness uses for multi-trial aggregation: mean, standard deviation,
+// median, and a normal-approximation confidence half-width.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1)
+	Min    float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes the summary of xs; it panics on an empty sample only
+// indirectly by returning a zero Summary (callers check N).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the mean
+// under the normal approximation (1.96·σ/√n); 0 for samples of size < 2.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g (min %.4g, median %.4g, max %.4g)",
+		s.N, s.Mean, s.CI95(), s.Min, s.Median, s.Max)
+}

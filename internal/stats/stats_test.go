@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("mean: %+v", s)
+	}
+	if math.Abs(s.StdDev-2.1380899) > 1e-6 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 || s.Median != 4.5 {
+		t.Fatalf("order stats: %+v", s)
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("no CI for an 8-sample")
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Error("String rendering")
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty sample")
+	}
+	one := Summarize([]float64{3})
+	if one.Mean != 3 || one.Median != 3 || one.StdDev != 0 || one.CI95() != 0 {
+		t.Fatalf("singleton: %+v", one)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Fatalf("odd median: %v", odd.Median)
+	}
+}
+
+func TestSummarizeQuickInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%50
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+		}
+		s := Summarize(xs)
+		return s.N == n &&
+			s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
