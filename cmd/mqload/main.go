@@ -1,0 +1,206 @@
+// Command mqload is a closed-loop load generator for mqserve: N workers each
+// issue the next query only after the previous answer arrives, so measured
+// latency is uninflated by coordinated omission and QPS reflects the
+// server's real completion rate at that concurrency.
+//
+// Usage:
+//
+//	mqload [flags]
+//
+// Flags:
+//
+//	-addr       server address (default 127.0.0.1:7070)
+//	-dataset    pa | nyc — sizes the query area to the server's map (default pa)
+//	-conns      concurrent closed-loop workers / pooled connections (default 32)
+//	-duration   measured run length (default 10s)
+//	-warmup     excluded ramp-up time (default 1s)
+//	-mix        query mix, e.g. point=60,range=25,nn=15
+//	-rangew     half-width in meters of range windows (default 1000)
+//	-seed       workload seed (default 1)
+//
+// Output: total queries, QPS, mean and p50/p95/p99 latency from a merged
+// streaming histogram (internal/stats), plus error and retry counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/serve/client"
+	"mobispatial/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mqload:", err)
+		os.Exit(1)
+	}
+}
+
+type mix struct {
+	kinds   []string
+	weights []int
+	total   int
+}
+
+func parseMix(s string) (mix, error) {
+	var m mix
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		switch name {
+		case "point", "range", "nn":
+		default:
+			return m, fmt.Errorf("unknown query kind %q in mix", name)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad weight in %q", part)
+		}
+		m.kinds = append(m.kinds, name)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	if m.total <= 0 {
+		return m, fmt.Errorf("mix has no positive weight")
+	}
+	return m, nil
+}
+
+func (m mix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total)
+	for i, w := range m.weights {
+		if n < w {
+			return m.kinds[i]
+		}
+		n -= w
+	}
+	return m.kinds[len(m.kinds)-1]
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mqload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	dsName := fs.String("dataset", "pa", "dataset the server runs: pa | nyc")
+	conns := fs.Int("conns", 32, "closed-loop workers / pooled connections")
+	duration := fs.Duration("duration", 10*time.Second, "measured run length")
+	warmup := fs.Duration("warmup", time.Second, "excluded ramp-up time")
+	mixFlag := fs.String("mix", "point=60,range=25,nn=15", "query mix")
+	rangeW := fs.Float64("rangew", 1000, "half-width of range windows (m)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var extent geom.Rect
+	switch *dsName {
+	case "pa":
+		extent = dataset.PAConfig().Extent
+	case "nyc":
+		extent = dataset.NYCConfig().Extent
+	default:
+		return fmt.Errorf("unknown dataset %q (want pa or nyc)", *dsName)
+	}
+	qmix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+
+	c, err := client.New(client.Config{Addr: *addr, Conns: *conns})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Probe(); err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+
+	var (
+		measuring atomic.Bool
+		stop      atomic.Bool
+		errs      atomic.Uint64
+		wg        sync.WaitGroup
+	)
+	hists := make([]*stats.Histogram, *conns)
+	for w := 0; w < *conns; w++ {
+		hists[w] = stats.NewLatencyHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			h := hists[w]
+			for !stop.Load() {
+				pt := geom.Point{
+					X: extent.Min.X + rng.Float64()*extent.Width(),
+					Y: extent.Min.Y + rng.Float64()*extent.Height(),
+				}
+				var qerr error
+				start := time.Now()
+				switch qmix.pick(rng) {
+				case "point":
+					_, qerr = c.PointIDs(pt, 0)
+				case "range":
+					_, qerr = c.RangeIDs(geom.Rect{
+						Min: geom.Point{X: pt.X - *rangeW, Y: pt.Y - *rangeW},
+						Max: geom.Point{X: pt.X + *rangeW, Y: pt.Y + *rangeW},
+					})
+				case "nn":
+					_, qerr = c.Nearest(pt)
+				}
+				elapsed := time.Since(start)
+				if !measuring.Load() {
+					continue
+				}
+				if qerr != nil {
+					errs.Add(1)
+					continue
+				}
+				h.Record(elapsed.Seconds())
+			}
+		}(w)
+	}
+
+	time.Sleep(*warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(*duration)
+	measuring.Store(false)
+	measured := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	total := stats.NewLatencyHistogram()
+	for _, h := range hists {
+		if err := total.Merge(h); err != nil {
+			return err
+		}
+	}
+	link := c.Link()
+	fmt.Printf("mqload: %d workers, %v measured, mix %s\n", *conns, measured.Round(time.Millisecond), *mixFlag)
+	fmt.Printf("  queries   %d (%.0f qps)\n", total.Count(), float64(total.Count())/measured.Seconds())
+	fmt.Printf("  latency   mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		ms(total.Mean()), ms(total.P(0.50)), ms(total.P(0.95)), ms(total.P(0.99)), ms(total.Max()))
+	fmt.Printf("  errors    %d   retries %d\n", errs.Load(), c.Retries())
+	fmt.Printf("  link      rtt %v, bandwidth %s\n", link.RTT.Round(time.Microsecond), mbps(link.BandwidthBps))
+	return nil
+}
+
+func ms(sec float64) string { return fmt.Sprintf("%.2fms", sec*1e3) }
+
+func mbps(bps float64) string {
+	if bps <= 0 {
+		return "unmeasured"
+	}
+	return fmt.Sprintf("%.1f Mbps", bps/1e6)
+}

@@ -1,0 +1,96 @@
+// Command mqserve runs the networked spatial-query server: the repository's
+// simulated "server" machine made real — a TCP service answering point,
+// range, and NN queries against a shared packed R-tree through the parallel
+// worker pool, and shipping budgeted sub-indexes to memory-limited clients.
+//
+// Usage:
+//
+//	mqserve [flags]
+//
+// Flags:
+//
+//	-addr       listen address (default :7070)
+//	-dataset    pa | nyc (default pa)
+//	-workers    refinement workers (0 = GOMAXPROCS)
+//	-inflight   admission-control cap on concurrent requests (0 = 4x workers)
+//
+// The server reports its throughput counters on SIGINT/SIGTERM and exits
+// after a graceful drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/parallel"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mqserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mqserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":7070", "listen address")
+	dsName := fs.String("dataset", "pa", "dataset: pa | nyc")
+	workers := fs.Int("workers", 0, "refinement workers (0 = GOMAXPROCS)")
+	inflight := fs.Int("inflight", 0, "max concurrent requests (0 = 4x workers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ds *dataset.Dataset
+	switch *dsName {
+	case "pa":
+		ds = dataset.PA()
+	case "nyc":
+		ds = dataset.NYC()
+	default:
+		return fmt.Errorf("unknown dataset %q (want pa or nyc)", *dsName)
+	}
+
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		return err
+	}
+	pool, err := parallel.New(ds, tree, *workers)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{Pool: pool, Master: tree, MaxInFlight: *inflight})
+	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("mqserve: dataset %s (%d segments, %.0fx%.0f km), listening on %s\n",
+		ds.Name, len(ds.Segments), ds.Extent.Width()/1000, ds.Extent.Height()/1000, *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("mqserve: %v, draining...\n", sig)
+	}
+	if err := srv.Shutdown(10 * time.Second); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Printf("mqserve: served %d requests (%d shipments) over %d connections; %d overloads, %d deadline misses, %d errors\n",
+		st.Served, st.Shipments, st.Conns, st.Overloads, st.Deadlines, st.Errors)
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"mobispatial/internal/geom"
 	"mobispatial/internal/index"
 	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
 )
 
 // Pool is a fixed-width worker pool over one dataset and one access method.
@@ -40,6 +41,12 @@ func New(ds *dataset.Dataset, idx index.Index, workers int) (*Pool, error) {
 
 // Workers returns the pool width.
 func (p *Pool) Workers() int { return p.workers }
+
+// Dataset returns the pool's dataset.
+func (p *Pool) Dataset() *dataset.Dataset { return p.ds }
+
+// Index returns the pool's access method.
+func (p *Pool) Index() index.Index { return p.idx }
 
 // forEach runs fn(i) for every i in [0, n) across the pool's workers.
 func (p *Pool) forEach(n int, fn func(i int)) {
@@ -93,16 +100,20 @@ func (p *Pool) rangeOne(w geom.Rect) []uint32 {
 func (p *Pool) PointAll(points []geom.Point, eps float64) [][]uint32 {
 	out := make([][]uint32, len(points))
 	p.forEach(len(points), func(i int) {
-		cands := p.idx.SearchPoint(points[i], ops.Null{})
-		hits := cands[:0:0]
-		for _, id := range cands {
-			if p.ds.Seg(id).ContainsPoint(points[i], eps) {
-				hits = append(hits, id)
-			}
-		}
-		out[i] = hits
+		out[i] = p.pointOne(points[i], eps)
 	})
 	return out
+}
+
+func (p *Pool) pointOne(pt geom.Point, eps float64) []uint32 {
+	cands := p.idx.SearchPoint(pt, ops.Null{})
+	hits := cands[:0:0]
+	for _, id := range cands {
+		if p.ds.Seg(id).ContainsPoint(pt, eps) {
+			hits = append(hits, id)
+		}
+	}
+	return hits
 }
 
 // NearestResult is one NN answer.
@@ -116,11 +127,50 @@ type NearestResult struct {
 func (p *Pool) NearestAll(points []geom.Point) []NearestResult {
 	out := make([]NearestResult, len(points))
 	p.forEach(len(points), func(i int) {
-		pt := points[i]
-		id, d, ok := p.idx.Nearest(pt, func(id uint32) float64 {
-			return p.ds.Seg(id).DistToPoint(pt)
-		}, ops.Null{})
-		out[i] = NearestResult{ID: id, Dist: d, OK: ok}
+		out[i] = p.Nearest(points[i])
 	})
 	return out
+}
+
+// The single-query API. Index traversals are pure reads, so these methods
+// are safe for any number of concurrent callers — this is the interface the
+// networked server (internal/serve) drives, one call per in-flight request,
+// with the pool width acting as the server's natural parallelism.
+
+// Range answers one window query (filter + exact refinement).
+func (p *Pool) Range(w geom.Rect) []uint32 { return p.rangeOne(w) }
+
+// Point answers one point query with the given incidence tolerance.
+func (p *Pool) Point(pt geom.Point, eps float64) []uint32 { return p.pointOne(pt, eps) }
+
+// FilterRange runs only the filtering step of a window query and returns the
+// candidate ids — the server half of the filter-server/refine-client scheme.
+func (p *Pool) FilterRange(w geom.Rect) []uint32 { return p.idx.Search(w, ops.Null{}) }
+
+// FilterPoint runs only the filtering step of a point query.
+func (p *Pool) FilterPoint(pt geom.Point) []uint32 { return p.idx.SearchPoint(pt, ops.Null{}) }
+
+// Nearest answers one nearest-neighbor query.
+func (p *Pool) Nearest(pt geom.Point) NearestResult {
+	id, d, ok := p.idx.Nearest(pt, func(id uint32) float64 {
+		return p.ds.Seg(id).DistToPoint(pt)
+	}, ops.Null{})
+	return NearestResult{ID: id, Dist: d, OK: ok}
+}
+
+// kNearester is satisfied by access methods offering k-NN search.
+type kNearester interface {
+	KNearest(p geom.Point, k int, dist index.DistFunc, rec ops.Recorder) []rtree.Neighbor
+}
+
+// KNearest answers one k-nearest-neighbor query; ok is false when the pool's
+// access method does not support k-NN (e.g. the PMR quadtree).
+func (p *Pool) KNearest(pt geom.Point, k int) (neighbors []rtree.Neighbor, ok bool) {
+	kn, ok := p.idx.(kNearester)
+	if !ok {
+		return nil, false
+	}
+	return kn.KNearest(pt, k, func(id uint32) float64 {
+		return p.ds.Seg(id).DistToPoint(pt)
+	}, ops.Null{}), true
 }

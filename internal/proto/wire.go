@@ -1,0 +1,712 @@
+// wire.go turns the message catalogue that the simulator only *counts*
+// (proto.go: query request, candidate/object id lists, data payloads, index
+// shipments) into a real binary wire format that the networked service
+// (internal/serve) actually marshals. Every message is carried in one frame:
+//
+//	uint32 big-endian payload length | uint8 message type | payload
+//
+// All multi-byte integers are big-endian; floats are IEEE-754 bit patterns.
+// Every message carries a request id so a connection can pipeline requests
+// and match responses arriving out of order.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mobispatial/internal/geom"
+)
+
+// MsgType identifies a wire message.
+type MsgType uint8
+
+// The wire message catalogue — the §4 protocol's messages plus the
+// transport-level error and ping frames a real service needs.
+const (
+	// MsgQuery is a client→server query request (the §4 "query message").
+	MsgQuery MsgType = 1 + iota
+	// MsgIDList carries object or candidate ids only — the data-at-client
+	// reply of §6.1.1 and the candidate list of filter-server schemes.
+	MsgIDList
+	// MsgDataList carries full data records — the data-absent reply.
+	MsgDataList
+	// MsgShipmentReq asks the server for an insufficient-memory shipment
+	// (Fig. 2): data + sub-index covering a window under a byte budget.
+	MsgShipmentReq
+	// MsgShipment is the shipment reply: records plus the coverage
+	// guarantee rectangle (the client rebuilds the sub-index locally).
+	MsgShipment
+	// MsgError is a per-request failure reply.
+	MsgError
+	// MsgPing is an echo frame; clients use it to measure RTT and, with a
+	// large payload, effective bandwidth.
+	MsgPing
+)
+
+var msgTypeNames = map[MsgType]string{
+	MsgQuery:       "query",
+	MsgIDList:      "id-list",
+	MsgDataList:    "data-list",
+	MsgShipmentReq: "shipment-req",
+	MsgShipment:    "shipment",
+	MsgError:       "error",
+	MsgPing:        "ping",
+}
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	if s, ok := msgTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Framing limits.
+const (
+	// FrameHeaderBytes is the length prefix plus the type byte.
+	FrameHeaderBytes = 5
+	// MaxFramePayload bounds one frame's payload; larger frames are a
+	// protocol error (shipments dominate: 64 MB holds ~1.8M records).
+	MaxFramePayload = 64 << 20
+	// MaxErrorText bounds the error message text.
+	MaxErrorText = 1024
+	// MaxPingPayload bounds the ping echo payload.
+	MaxPingPayload = 1 << 20
+)
+
+// Query kinds on the wire (mirrors core.QueryKind; proto cannot import core).
+const (
+	KindPoint uint8 = 0
+	KindRange uint8 = 1
+	KindNN    uint8 = 2
+)
+
+// Mode selects what the server computes and returns for a query.
+type Mode uint8
+
+// The execution modes, mapping Table 1's schemes onto the wire.
+const (
+	// ModeData: the server filters and refines and returns full records —
+	// fully-server with the data absent at the client.
+	ModeData Mode = iota
+	// ModeIDs: the server filters and refines and returns ids only —
+	// fully-server with the data present at the client (§6.1.1).
+	ModeIDs
+	// ModeFilter: the server filters only and returns candidate ids — the
+	// server half of filter-server/refine-client.
+	ModeFilter
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeData:
+		return "data"
+	case ModeIDs:
+		return "ids"
+	case ModeFilter:
+		return "filter"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ErrCode classifies a MsgError reply.
+type ErrCode uint16
+
+// Error codes.
+const (
+	CodeBadRequest ErrCode = 1 + iota
+	// CodeOverload: admission control rejected the request (backpressure).
+	CodeOverload
+	// CodeDeadline: the request missed its deadline.
+	CodeDeadline
+	// CodeShutdown: the server is draining.
+	CodeShutdown
+	// CodeUnsupported: the operation is not available (e.g. no master
+	// index for shipments).
+	CodeUnsupported
+	CodeInternal ErrCode = 100
+)
+
+// String implements fmt.Stringer.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeOverload:
+		return "overload"
+	case CodeDeadline:
+		return "deadline"
+	case CodeShutdown:
+		return "shutdown"
+	case CodeUnsupported:
+		return "unsupported"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("ErrCode(%d)", uint16(c))
+}
+
+// Message is one wire message. Concrete types live in this package only; the
+// encode/decode halves are unexported so the frame format stays closed.
+type Message interface {
+	Type() MsgType
+	// RequestID returns the pipelining correlation id.
+	RequestID() uint32
+	// Validate checks the message is well-formed enough to put on (or
+	// accept from) the wire.
+	Validate() error
+	appendPayload(b []byte) []byte
+	decodePayload(b []byte) error
+}
+
+// Record is one shipped data record: the segment id plus its geometry — the
+// wire form of a TIGER record's spatial part.
+type Record struct {
+	ID  uint32
+	Seg geom.Segment
+}
+
+// WireRecordBytes is the encoded size of one Record.
+const WireRecordBytes = 4 + 4*8
+
+// QueryMsg is a query request.
+type QueryMsg struct {
+	ID   uint32
+	Kind uint8 // KindPoint, KindRange, KindNN
+	Mode Mode
+	// K is the neighbor count for NN queries (0 and 1 both mean single NN).
+	K uint16
+	// Point is the query point (point and NN kinds).
+	Point geom.Point
+	// Window is the query window (range kind).
+	Window geom.Rect
+	// Eps is the point-incidence tolerance in map units; 0 lets the server
+	// pick its default.
+	Eps float64
+	// TimeoutMicros caps the server-side processing time in microseconds;
+	// 0 means the server default.
+	TimeoutMicros uint32
+}
+
+// Type implements Message.
+func (m *QueryMsg) Type() MsgType { return MsgQuery }
+
+// RequestID implements Message.
+func (m *QueryMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *QueryMsg) Validate() error {
+	if m.Kind > KindNN {
+		return fmt.Errorf("proto: bad query kind %d", m.Kind)
+	}
+	if m.Mode > ModeFilter {
+		return fmt.Errorf("proto: bad query mode %d", m.Mode)
+	}
+	if m.Kind == KindNN && m.Mode == ModeFilter {
+		return fmt.Errorf("proto: NN query has no filter-only mode")
+	}
+	if m.Eps < 0 || math.IsNaN(m.Eps) || math.IsInf(m.Eps, 0) {
+		return fmt.Errorf("proto: bad eps %v", m.Eps)
+	}
+	switch m.Kind {
+	case KindRange:
+		if err := checkRect(m.Window); err != nil {
+			return err
+		}
+		if m.Window.IsEmpty() {
+			return fmt.Errorf("proto: empty range window")
+		}
+	default:
+		if err := checkPoint(m.Point); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *QueryMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = append(b, m.Kind, byte(m.Mode))
+	b = appendU16(b, m.K)
+	b = appendPoint(b, m.Point)
+	b = appendRect(b, m.Window)
+	b = appendF64(b, m.Eps)
+	return appendU32(b, m.TimeoutMicros)
+}
+
+func (m *QueryMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	m.Kind = d.u8()
+	m.Mode = Mode(d.u8())
+	m.K = d.u16()
+	m.Point = d.point()
+	m.Window = d.rect()
+	m.Eps = d.f64()
+	m.TimeoutMicros = d.u32()
+	return d.finish("query")
+}
+
+// IDListMsg carries object or candidate ids.
+type IDListMsg struct {
+	ID  uint32
+	IDs []uint32
+}
+
+// Type implements Message.
+func (m *IDListMsg) Type() MsgType { return MsgIDList }
+
+// RequestID implements Message.
+func (m *IDListMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *IDListMsg) Validate() error {
+	if n := len(m.IDs); n > (MaxFramePayload-8)/4 {
+		return fmt.Errorf("proto: id list of %d ids exceeds frame limit", n)
+	}
+	return nil
+}
+
+func (m *IDListMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendU32(b, uint32(len(m.IDs)))
+	for _, id := range m.IDs {
+		b = appendU32(b, id)
+	}
+	return b
+}
+
+func (m *IDListMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	n := int(d.u32())
+	if d.err == nil && n*4 != len(d.b)-d.off {
+		return fmt.Errorf("proto: id list count %d does not match %d payload bytes", n, len(d.b)-d.off)
+	}
+	m.IDs = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		m.IDs = append(m.IDs, d.u32())
+	}
+	return d.finish("id-list")
+}
+
+// DataListMsg carries full data records.
+type DataListMsg struct {
+	ID      uint32
+	Records []Record
+}
+
+// Type implements Message.
+func (m *DataListMsg) Type() MsgType { return MsgDataList }
+
+// RequestID implements Message.
+func (m *DataListMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *DataListMsg) Validate() error { return validateRecords("data list", m.Records) }
+
+func (m *DataListMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	return appendRecords(b, m.Records)
+}
+
+func (m *DataListMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	m.Records = d.records()
+	return d.finish("data-list")
+}
+
+// ShipmentReqMsg asks for a Fig. 2 shipment.
+type ShipmentReqMsg struct {
+	ID uint32
+	// Window is the triggering query window the shipment must cover.
+	Window geom.Rect
+	// BudgetBytes is the client memory available for data + index.
+	BudgetBytes uint32
+	// RecordBytes is the client's record size, so the server can size the
+	// selection (record payloads are larger than the 36-byte wire form:
+	// they include attributes).
+	RecordBytes   uint32
+	TimeoutMicros uint32
+}
+
+// Type implements Message.
+func (m *ShipmentReqMsg) Type() MsgType { return MsgShipmentReq }
+
+// RequestID implements Message.
+func (m *ShipmentReqMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *ShipmentReqMsg) Validate() error {
+	if err := checkRect(m.Window); err != nil {
+		return err
+	}
+	if m.BudgetBytes == 0 {
+		return fmt.Errorf("proto: zero shipment budget")
+	}
+	if m.RecordBytes < 16 {
+		return fmt.Errorf("proto: shipment record size %d < 16", m.RecordBytes)
+	}
+	return nil
+}
+
+func (m *ShipmentReqMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendRect(b, m.Window)
+	b = appendU32(b, m.BudgetBytes)
+	b = appendU32(b, m.RecordBytes)
+	return appendU32(b, m.TimeoutMicros)
+}
+
+func (m *ShipmentReqMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	m.Window = d.rect()
+	m.BudgetBytes = d.u32()
+	m.RecordBytes = d.u32()
+	m.TimeoutMicros = d.u32()
+	return d.finish("shipment-req")
+}
+
+// ShipmentMsg is the shipment reply. An empty Coverage rectangle means the
+// shipment carries no coverage guarantee (the answer alone overflowed the
+// budget — §4's re-request case).
+type ShipmentMsg struct {
+	ID       uint32
+	Coverage geom.Rect
+	Records  []Record
+}
+
+// Type implements Message.
+func (m *ShipmentMsg) Type() MsgType { return MsgShipment }
+
+// RequestID implements Message.
+func (m *ShipmentMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *ShipmentMsg) Validate() error { return validateRecords("shipment", m.Records) }
+
+func (m *ShipmentMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendRect(b, m.Coverage)
+	return appendRecords(b, m.Records)
+}
+
+func (m *ShipmentMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	m.Coverage = d.rect()
+	m.Records = d.records()
+	return d.finish("shipment")
+}
+
+// ErrorMsg is a per-request failure reply.
+type ErrorMsg struct {
+	ID   uint32
+	Code ErrCode
+	Text string
+}
+
+// Type implements Message.
+func (m *ErrorMsg) Type() MsgType { return MsgError }
+
+// RequestID implements Message.
+func (m *ErrorMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *ErrorMsg) Validate() error {
+	if m.Code == 0 {
+		return fmt.Errorf("proto: error message with zero code")
+	}
+	if len(m.Text) > MaxErrorText {
+		return fmt.Errorf("proto: error text %d bytes exceeds %d", len(m.Text), MaxErrorText)
+	}
+	return nil
+}
+
+// Error implements the error interface so servers' MsgError replies can be
+// returned directly by client libraries.
+func (m *ErrorMsg) Error() string {
+	return fmt.Sprintf("server error %v: %s", m.Code, m.Text)
+}
+
+func (m *ErrorMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendU16(b, uint16(m.Code))
+	b = appendU16(b, uint16(len(m.Text)))
+	return append(b, m.Text...)
+}
+
+func (m *ErrorMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	m.Code = ErrCode(d.u16())
+	n := int(d.u16())
+	m.Text = string(d.bytes(n))
+	return d.finish("error")
+}
+
+// PingMsg is echoed verbatim by the server.
+type PingMsg struct {
+	ID      uint32
+	Payload []byte
+}
+
+// Type implements Message.
+func (m *PingMsg) Type() MsgType { return MsgPing }
+
+// RequestID implements Message.
+func (m *PingMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *PingMsg) Validate() error {
+	if len(m.Payload) > MaxPingPayload {
+		return fmt.Errorf("proto: ping payload %d bytes exceeds %d", len(m.Payload), MaxPingPayload)
+	}
+	return nil
+}
+
+func (m *PingMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendU32(b, uint32(len(m.Payload)))
+	return append(b, m.Payload...)
+}
+
+func (m *PingMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	n := int(d.u32())
+	m.Payload = append([]byte(nil), d.bytes(n)...)
+	return d.finish("ping")
+}
+
+// newMessage allocates the empty concrete type for a wire type.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case MsgQuery:
+		return &QueryMsg{}, nil
+	case MsgIDList:
+		return &IDListMsg{}, nil
+	case MsgDataList:
+		return &DataListMsg{}, nil
+	case MsgShipmentReq:
+		return &ShipmentReqMsg{}, nil
+	case MsgShipment:
+		return &ShipmentMsg{}, nil
+	case MsgError:
+		return &ErrorMsg{}, nil
+	case MsgPing:
+		return &PingMsg{}, nil
+	}
+	return nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
+}
+
+// EncodeMessage validates m and returns its complete frame.
+func EncodeMessage(m Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b := make([]byte, FrameHeaderBytes, FrameHeaderBytes+64)
+	b = m.appendPayload(b)
+	payload := len(b) - FrameHeaderBytes
+	if payload > MaxFramePayload {
+		return nil, fmt.Errorf("proto: %v frame payload %d exceeds %d", m.Type(), payload, MaxFramePayload)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+	b[4] = byte(m.Type())
+	return b, nil
+}
+
+// WriteMessage frames and writes m in a single Write call (callers serialize
+// concurrent writers with their own mutex; one call keeps frames intact for
+// any io.Writer that does not split writes).
+func WriteMessage(w io.Writer, m Message) (int, error) {
+	b, err := EncodeMessage(m)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(b)
+}
+
+// ReadMessage reads one frame and decodes and validates it. It returns the
+// message and the total frame size in bytes (header included) — load
+// generators and the client's bandwidth estimator use the size.
+func ReadMessage(r io.Reader) (Message, int, error) {
+	var hdr [FrameHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFramePayload {
+		return nil, 0, fmt.Errorf("proto: frame payload %d exceeds %d", n, MaxFramePayload)
+	}
+	m, err := newMessage(MsgType(hdr[4]))
+	if err != nil {
+		return nil, 0, err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("proto: short %v frame: %w", MsgType(hdr[4]), err)
+	}
+	if err := m.decodePayload(payload); err != nil {
+		return nil, 0, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return m, FrameHeaderBytes + int(n), nil
+}
+
+// ---- encoding helpers ----
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+func appendPoint(b []byte, p geom.Point) []byte { return appendF64(appendF64(b, p.X), p.Y) }
+func appendRect(b []byte, r geom.Rect) []byte   { return appendPoint(appendPoint(b, r.Min), r.Max) }
+
+func appendRecords(b []byte, recs []Record) []byte {
+	b = appendU32(b, uint32(len(recs)))
+	for _, r := range recs {
+		b = appendU32(b, r.ID)
+		b = appendPoint(b, r.Seg.A)
+		b = appendPoint(b, r.Seg.B)
+	}
+	return b
+}
+
+func validateRecords(what string, recs []Record) error {
+	if n := len(recs); n > (MaxFramePayload-24)/WireRecordBytes {
+		return fmt.Errorf("proto: %s of %d records exceeds frame limit", what, n)
+	}
+	for i, r := range recs {
+		if err := checkPoint(r.Seg.A); err != nil {
+			return fmt.Errorf("proto: %s record %d: %w", what, i, err)
+		}
+		if err := checkPoint(r.Seg.B); err != nil {
+			return fmt.Errorf("proto: %s record %d: %w", what, i, err)
+		}
+	}
+	return nil
+}
+
+func checkPoint(p geom.Point) error {
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+		return fmt.Errorf("proto: non-finite coordinate %v", p)
+	}
+	return nil
+}
+
+// checkRect rejects NaN corners but allows the canonical empty rectangle
+// (Min > Max with infinite corners — geom.EmptyRect), which ShipmentMsg uses
+// for "no coverage guarantee".
+func checkRect(r geom.Rect) error {
+	if r.IsEmpty() {
+		return nil
+	}
+	if err := checkPoint(r.Min); err != nil {
+		return err
+	}
+	return checkPoint(r.Max)
+}
+
+// decoder is a bounds-checked big-endian reader over one payload.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.b) {
+		d.err = fmt.Errorf("truncated at byte %d (need %d of %d)", d.off, n, len(d.b))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) point() geom.Point { return geom.Point{X: d.f64(), Y: d.f64()} }
+func (d *decoder) rect() geom.Rect   { return geom.Rect{Min: d.point(), Max: d.point()} }
+
+func (d *decoder) bytes(n int) []byte {
+	if n < 0 || !d.need(n) {
+		if d.err == nil {
+			d.err = fmt.Errorf("negative length %d", n)
+		}
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *decoder) records() []Record {
+	n := int(d.u32())
+	if d.err == nil && n*WireRecordBytes != len(d.b)-d.off {
+		d.err = fmt.Errorf("record count %d does not match %d payload bytes", n, len(d.b)-d.off)
+		return nil
+	}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, Record{
+			ID:  d.u32(),
+			Seg: geom.Segment{A: d.point(), B: d.point()},
+		})
+	}
+	return recs
+}
+
+func (d *decoder) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("proto: bad %s frame: %w", what, d.err)
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("proto: %s frame has %d trailing bytes", what, len(d.b)-d.off)
+	}
+	return nil
+}

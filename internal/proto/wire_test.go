@@ -1,0 +1,229 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"mobispatial/internal/geom"
+)
+
+// allMessages returns one populated instance of every wire message type used
+// by internal/serve.
+func allMessages() []Message {
+	return []Message{
+		&QueryMsg{ID: 7, Kind: KindRange, Mode: ModeIDs,
+			Window:        geom.Rect{Min: geom.Point{X: 1, Y: 2}, Max: geom.Point{X: 30, Y: 40}},
+			Eps:           2.0,
+			TimeoutMicros: 250_000},
+		&QueryMsg{ID: 8, Kind: KindPoint, Mode: ModeData, Point: geom.Point{X: -5.5, Y: 12.25}, Eps: 1},
+		&QueryMsg{ID: 9, Kind: KindNN, Mode: ModeIDs, K: 5, Point: geom.Point{X: 0, Y: 0}},
+		&IDListMsg{ID: 7, IDs: []uint32{1, 2, 3, 0xFFFFFFFF}},
+		&IDListMsg{ID: 10, IDs: nil},
+		&DataListMsg{ID: 11, Records: []Record{
+			{ID: 4, Seg: geom.Segment{A: geom.Point{X: 1, Y: 1}, B: geom.Point{X: 2, Y: 2}}},
+			{ID: 5, Seg: geom.Segment{A: geom.Point{X: -1, Y: 0.5}, B: geom.Point{X: 0, Y: 0}}},
+		}},
+		&DataListMsg{ID: 12},
+		&ShipmentReqMsg{ID: 13,
+			Window:      geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 100, Y: 100}},
+			BudgetBytes: 1 << 20, RecordBytes: 76, TimeoutMicros: 1_000_000},
+		&ShipmentMsg{ID: 13,
+			Coverage: geom.Rect{Min: geom.Point{X: -10, Y: -10}, Max: geom.Point{X: 110, Y: 110}},
+			Records: []Record{
+				{ID: 9, Seg: geom.Segment{A: geom.Point{X: 3, Y: 4}, B: geom.Point{X: 5, Y: 6}}},
+			}},
+		&ShipmentMsg{ID: 14, Coverage: geom.EmptyRect()}, // no-guarantee shipment
+		&ErrorMsg{ID: 15, Code: CodeOverload, Text: "too many in-flight requests"},
+		&PingMsg{ID: 16, Payload: []byte("abcdefgh")},
+		&PingMsg{ID: 17},
+	}
+}
+
+// TestWireRoundTrip encodes and decodes every message type and requires the
+// decoded value to equal the original.
+func TestWireRoundTrip(t *testing.T) {
+	for _, m := range allMessages() {
+		var buf bytes.Buffer
+		n, err := WriteMessage(&buf, m)
+		if err != nil {
+			t.Fatalf("%v: write: %v", m.Type(), err)
+		}
+		if n != buf.Len() {
+			t.Fatalf("%v: WriteMessage reported %d bytes, wrote %d", m.Type(), n, buf.Len())
+		}
+		got, rn, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("%v: read: %v", m.Type(), err)
+		}
+		if rn != n {
+			t.Fatalf("%v: ReadMessage reported %d bytes, frame was %d", m.Type(), rn, n)
+		}
+		if got.Type() != m.Type() || got.RequestID() != m.RequestID() {
+			t.Fatalf("%v: type/id mismatch: got %v id %d", m.Type(), got.Type(), got.RequestID())
+		}
+		if !wireEqual(m, got) {
+			t.Errorf("%v: round trip mismatch:\n sent %+v\n got  %+v", m.Type(), m, got)
+		}
+	}
+}
+
+// wireEqual compares messages, treating nil and empty slices as equal (the
+// wire cannot distinguish them) and empty rectangles as equal regardless of
+// their corner representation.
+func wireEqual(a, b Message) bool {
+	switch x := a.(type) {
+	case *IDListMsg:
+		y := b.(*IDListMsg)
+		return x.ID == y.ID && slicesEqual(x.IDs, y.IDs)
+	case *DataListMsg:
+		y := b.(*DataListMsg)
+		return x.ID == y.ID && recordsEqual(x.Records, y.Records)
+	case *ShipmentMsg:
+		y := b.(*ShipmentMsg)
+		if x.ID != y.ID || !recordsEqual(x.Records, y.Records) {
+			return false
+		}
+		if x.Coverage.IsEmpty() || y.Coverage.IsEmpty() {
+			return x.Coverage.IsEmpty() == y.Coverage.IsEmpty()
+		}
+		return x.Coverage == y.Coverage
+	case *PingMsg:
+		y := b.(*PingMsg)
+		return x.ID == y.ID && bytes.Equal(x.Payload, y.Payload)
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func slicesEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWireSequence streams several frames through one buffer and reads them
+// back in order — the pipelining case.
+func TestWireSequence(t *testing.T) {
+	msgs := allMessages()
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if _, err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write %v: %v", m.Type(), err)
+		}
+	}
+	for i, want := range msgs {
+		got, _, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type() != want.Type() || got.RequestID() != want.RequestID() {
+			t.Fatalf("frame %d: got %v/%d want %v/%d",
+				i, got.Type(), got.RequestID(), want.Type(), want.RequestID())
+		}
+	}
+	if _, _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+// TestWireValidateRejects exercises Validate on malformed messages.
+func TestWireValidateRejects(t *testing.T) {
+	bad := []Message{
+		&QueryMsg{ID: 1, Kind: 9},
+		&QueryMsg{ID: 1, Kind: KindPoint, Mode: 9},
+		&QueryMsg{ID: 1, Kind: KindNN, Mode: ModeFilter, Point: geom.Point{}},
+		&QueryMsg{ID: 1, Kind: KindRange, Window: geom.EmptyRect()},
+		&QueryMsg{ID: 1, Kind: KindPoint, Point: geom.Point{X: math.NaN()}},
+		&QueryMsg{ID: 1, Kind: KindPoint, Eps: math.Inf(1)},
+		&ShipmentReqMsg{ID: 1, BudgetBytes: 0, RecordBytes: 76},
+		&ShipmentReqMsg{ID: 1, BudgetBytes: 4096, RecordBytes: 4},
+		&ErrorMsg{ID: 1, Code: 0},
+		&ErrorMsg{ID: 1, Code: CodeInternal, Text: string(make([]byte, MaxErrorText+1))},
+		&PingMsg{ID: 1, Payload: make([]byte, MaxPingPayload+1)},
+		&DataListMsg{ID: 1, Records: []Record{{Seg: geom.Segment{A: geom.Point{X: math.NaN()}}}}},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%T %+v: Validate accepted malformed message", m, m)
+		}
+		if _, err := EncodeMessage(m); err == nil {
+			t.Errorf("%T: EncodeMessage accepted malformed message", m)
+		}
+	}
+}
+
+// TestWireRejectsCorruptFrames feeds truncated and corrupt frames to
+// ReadMessage.
+func TestWireRejectsCorruptFrames(t *testing.T) {
+	frame, err := EncodeMessage(&IDListMsg{ID: 3, IDs: []uint32{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations at every boundary must error, never panic.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := ReadMessage(bytes.NewReader(frame[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	// Unknown message type.
+	badType := append([]byte(nil), frame...)
+	badType[4] = 0xEE
+	if _, _, err := ReadMessage(bytes.NewReader(badType)); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+
+	// Inner count disagreeing with the payload length.
+	badCount := append([]byte(nil), frame...)
+	badCount[FrameHeaderBytes+7] = 99 // id-list count field
+	if _, _, err := ReadMessage(bytes.NewReader(badCount)); err == nil {
+		t.Fatal("mismatched count accepted")
+	}
+
+	// Oversized frame header.
+	huge := append([]byte(nil), frame...)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := ReadMessage(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestWireFrameLayout pins the frame header layout so independent
+// implementations can interoperate.
+func TestWireFrameLayout(t *testing.T) {
+	frame, err := EncodeMessage(&PingMsg{ID: 0x01020304, Payload: []byte{0xAA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0, 0, 0, 9, // payload length: 4 id + 4 len + 1 byte
+		byte(MsgPing),
+		1, 2, 3, 4, // request id
+		0, 0, 0, 1, // payload length
+		0xAA,
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("frame layout drifted:\n got  %v\n want %v", frame, want)
+	}
+}

@@ -1,0 +1,449 @@
+// Package client is the mobile side of the networked service: a client
+// library for the internal/serve protocol with connection pooling,
+// retry-with-backoff on transient errors, and passive link measurement
+// (RTT and effective bandwidth) feeding the partitioning planner — the
+// live counterpart of the paper's effective-bandwidth parameter B.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/proto"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Conns caps pooled connections (and therefore this client's
+	// outstanding requests); defaults to 4.
+	Conns int
+	// DialTimeout defaults to 2s.
+	DialTimeout time.Duration
+	// RequestTimeout is the end-to-end time budget of one attempt,
+	// defaults to 5s. It is also sent to the server as the per-request
+	// deadline.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a transient failure (connection error,
+	// server overload, server shutdown) is retried; defaults to 3.
+	MaxRetries int
+	// BackoffBase is the first retry delay, doubling per attempt;
+	// defaults to 2ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay; defaults to 250ms.
+	BackoffMax time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.Addr == "" {
+		return fmt.Errorf("client: Config.Addr is required")
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 2 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	return nil
+}
+
+// Client is a pooled connection to one server. It is safe for concurrent
+// use; up to Conns requests proceed in parallel, further callers wait for a
+// connection.
+type Client struct {
+	cfg Config
+	// sem bounds checked-out connections.
+	sem chan struct{}
+
+	mu     sync.Mutex
+	idle   []*wireConn
+	closed bool
+
+	nextID atomic.Uint32
+	link   linkTracker
+
+	// Retries counts transient-failure retries (visible to load tests).
+	retries atomic.Uint64
+}
+
+// wireConn is one pooled TCP connection. A connection carries one
+// outstanding request at a time; pipelining across requests happens by
+// holding several connections.
+type wireConn struct {
+	nc net.Conn
+	br *bufio.Reader
+}
+
+// New builds a Client. No connection is dialed until the first request.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.Conns),
+	}, nil
+}
+
+// Close closes all pooled connections. In-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, wc := range idle {
+		wc.nc.Close()
+	}
+	return nil
+}
+
+// Retries returns the cumulative number of transient-failure retries.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// checkout acquires a pooled connection, dialing a fresh one if the pool has
+// capacity but no idle connection.
+func (c *Client) checkout() (*wireConn, error) {
+	c.sem <- struct{}{}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.sem
+		return nil, fmt.Errorf("client: closed")
+	}
+	var wc *wireConn
+	if n := len(c.idle); n > 0 {
+		wc = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+	}
+	c.mu.Unlock()
+	if wc != nil {
+		return wc, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		<-c.sem
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &wireConn{nc: nc, br: bufio.NewReaderSize(nc, 64<<10)}, nil
+}
+
+// checkin returns a healthy connection to the pool.
+func (c *Client) checkin(wc *wireConn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		wc.nc.Close()
+	} else {
+		c.idle = append(c.idle, wc)
+		c.mu.Unlock()
+	}
+	<-c.sem
+}
+
+// discard drops a broken connection.
+func (c *Client) discard(wc *wireConn) {
+	wc.nc.Close()
+	<-c.sem
+}
+
+// transientCode reports whether a server error invites a retry.
+func transientCode(code proto.ErrCode) bool {
+	return code == proto.CodeOverload || code == proto.CodeShutdown
+}
+
+// do sends req and returns the matching response, retrying transient
+// failures with exponential backoff on a fresh connection.
+func (c *Client) do(req proto.Message) (proto.Message, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTrip(req)
+		if err == nil {
+			if em, ok := resp.(*proto.ErrorMsg); ok && transientCode(em.Code) {
+				lastErr = em
+			} else {
+				return resp, nil
+			}
+		} else {
+			lastErr = err
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return nil, fmt.Errorf("client: %d attempts failed: %w", attempt+1, lastErr)
+		}
+		c.retries.Add(1)
+		backoff := c.cfg.BackoffBase << uint(attempt)
+		if backoff > c.cfg.BackoffMax {
+			backoff = c.cfg.BackoffMax
+		}
+		time.Sleep(backoff)
+	}
+}
+
+// roundTrip performs one attempt on one pooled connection and feeds the link
+// tracker.
+func (c *Client) roundTrip(req proto.Message) (proto.Message, error) {
+	wc, err := c.checkout()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	wc.nc.SetDeadline(deadline)
+
+	start := time.Now()
+	sentBytes, err := proto.WriteMessage(wc.nc, req)
+	if err != nil {
+		c.discard(wc)
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	resp, respBytes, err := c.readResponse(wc, req.RequestID())
+	if err != nil {
+		c.discard(wc)
+		return nil, err
+	}
+	c.link.observe(time.Since(start), sentBytes+respBytes)
+	c.checkin(wc)
+	return resp, nil
+}
+
+// readResponse reads the response for id. With one outstanding request per
+// connection, the next frame must be ours; anything else is a protocol
+// violation and poisons the connection.
+func (c *Client) readResponse(wc *wireConn, id uint32) (proto.Message, int, error) {
+	resp, n, err := proto.ReadMessage(wc.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, 0, fmt.Errorf("client: connection closed by server: %w", err)
+		}
+		return nil, 0, fmt.Errorf("client: read: %w", err)
+	}
+	if resp.RequestID() != id {
+		return nil, 0, fmt.Errorf("client: response id %d for request %d", resp.RequestID(), id)
+	}
+	return resp, n, nil
+}
+
+func (c *Client) id() uint32 { return c.nextID.Add(1) }
+
+func (c *Client) timeoutMicros() uint32 {
+	us := c.cfg.RequestTimeout.Microseconds()
+	if us > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(us)
+}
+
+// query runs one query and decodes the reply for the requested mode.
+func (c *Client) query(q *proto.QueryMsg) ([]uint32, []proto.Record, error) {
+	q.ID = c.id()
+	q.TimeoutMicros = c.timeoutMicros()
+	resp, err := c.do(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch r := resp.(type) {
+	case *proto.IDListMsg:
+		return r.IDs, nil, nil
+	case *proto.DataListMsg:
+		ids := make([]uint32, len(r.Records))
+		for i, rec := range r.Records {
+			ids[i] = rec.ID
+		}
+		return ids, r.Records, nil
+	case *proto.ErrorMsg:
+		return nil, nil, r
+	}
+	return nil, nil, fmt.Errorf("client: unexpected %v reply to query", resp.Type())
+}
+
+// Range answers a window query, returning full records (fully-server, data
+// absent at client).
+func (c *Client) Range(w geom.Rect) ([]proto.Record, error) {
+	_, recs, err := c.query(&proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeData, Window: w})
+	return recs, err
+}
+
+// RangeIDs answers a window query, returning ids only (fully-server, data
+// present at client — §6.1.1).
+func (c *Client) RangeIDs(w geom.Rect) ([]uint32, error) {
+	ids, _, err := c.query(&proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeIDs, Window: w})
+	return ids, err
+}
+
+// FilterRange returns the server's candidate ids for a window — the server
+// half of filter-server/refine-client.
+func (c *Client) FilterRange(w geom.Rect) ([]uint32, error) {
+	ids, _, err := c.query(&proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeFilter, Window: w})
+	return ids, err
+}
+
+// Point answers a point query with tolerance eps (0 = server default),
+// returning full records.
+func (c *Client) Point(p geom.Point, eps float64) ([]proto.Record, error) {
+	_, recs, err := c.query(&proto.QueryMsg{Kind: proto.KindPoint, Mode: proto.ModeData, Point: p, Eps: eps})
+	return recs, err
+}
+
+// PointIDs answers a point query, returning ids only.
+func (c *Client) PointIDs(p geom.Point, eps float64) ([]uint32, error) {
+	ids, _, err := c.query(&proto.QueryMsg{Kind: proto.KindPoint, Mode: proto.ModeIDs, Point: p, Eps: eps})
+	return ids, err
+}
+
+// Nearest answers a nearest-neighbor query, returning the nearest record
+// (nil when the dataset is empty).
+func (c *Client) Nearest(p geom.Point) (*proto.Record, error) {
+	_, recs, err := c.query(&proto.QueryMsg{Kind: proto.KindNN, Mode: proto.ModeData, Point: p})
+	if err != nil || len(recs) == 0 {
+		return nil, err
+	}
+	return &recs[0], nil
+}
+
+// KNearest answers a k-nearest-neighbor query, nearest first.
+func (c *Client) KNearest(p geom.Point, k int) ([]proto.Record, error) {
+	if k > math.MaxUint16 {
+		return nil, fmt.Errorf("client: k=%d exceeds wire limit", k)
+	}
+	_, recs, err := c.query(&proto.QueryMsg{Kind: proto.KindNN, Mode: proto.ModeData, Point: p, K: uint16(k)})
+	return recs, err
+}
+
+// Ping round-trips an echo frame with a payload of the given size and
+// returns the elapsed time. Small payloads sample RTT; payloads of several
+// MSS sample effective bandwidth.
+func (c *Client) Ping(payloadBytes int) (time.Duration, error) {
+	msg := &proto.PingMsg{ID: c.id(), Payload: make([]byte, payloadBytes)}
+	start := time.Now()
+	resp, err := c.do(msg)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := resp.(*proto.PingMsg); !ok {
+		return 0, fmt.Errorf("client: unexpected %v reply to ping", resp.Type())
+	}
+	return time.Since(start), nil
+}
+
+// Probe primes the link estimate with one small and one large ping.
+func (c *Client) Probe() error {
+	if _, err := c.Ping(0); err != nil {
+		return err
+	}
+	_, err := c.Ping(256 << 10)
+	return err
+}
+
+// LinkEstimate is the client's live view of the wireless link — the measured
+// counterpart of the paper's effective bandwidth B.
+type LinkEstimate struct {
+	RTT time.Duration
+	// BandwidthBps is the effective application-level bandwidth in
+	// bits/second; 0 until a large enough transfer has been observed.
+	BandwidthBps float64
+	// Samples is the number of round trips observed.
+	Samples int
+}
+
+// Link returns the current link estimate.
+func (c *Client) Link() LinkEstimate { return c.link.estimate() }
+
+// SetLink overrides the measured link estimate — the hook the liveserver
+// example and the planner tests use to simulate changing channel conditions
+// without shaping real traffic.
+func (c *Client) SetLink(rtt time.Duration, bandwidthBps float64) {
+	c.link.override(rtt, bandwidthBps)
+}
+
+// linkTracker keeps EWMA estimates of RTT and bandwidth from passive
+// round-trip observations.
+type linkTracker struct {
+	mu         sync.Mutex
+	rttSec     float64
+	bwBps      float64
+	samples    int
+	overridden bool
+}
+
+// EWMA weight of a new sample.
+const linkAlpha = 0.25
+
+// bwSampleMinBytes is the least transfer worth a bandwidth sample: smaller
+// exchanges are RTT-dominated.
+const bwSampleMinBytes = 32 << 10
+
+func (l *linkTracker) observe(elapsed time.Duration, bytes int) {
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.overridden {
+		return
+	}
+	l.samples++
+	if bytes < bwSampleMinBytes {
+		// Small exchange: an RTT sample.
+		if l.rttSec == 0 {
+			l.rttSec = sec
+		} else {
+			l.rttSec += linkAlpha * (sec - l.rttSec)
+		}
+		return
+	}
+	// Large exchange: a bandwidth sample net of the current RTT estimate.
+	net := sec - l.rttSec
+	if net <= 0 {
+		net = sec
+	}
+	bw := float64(bytes*8) / net
+	if l.bwBps == 0 {
+		l.bwBps = bw
+	} else {
+		l.bwBps += linkAlpha * (bw - l.bwBps)
+	}
+}
+
+func (l *linkTracker) estimate() LinkEstimate {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LinkEstimate{
+		RTT:          time.Duration(l.rttSec * float64(time.Second)),
+		BandwidthBps: l.bwBps,
+		Samples:      l.samples,
+	}
+}
+
+func (l *linkTracker) override(rtt time.Duration, bwBps float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.overridden = true
+	l.rttSec = rtt.Seconds()
+	l.bwBps = bwBps
+}

@@ -1,0 +1,305 @@
+// planner.go is the live partitioning decision: the §4.1 analytic advisor
+// (core.AnalyticInputs) driven by *measured* link conditions instead of
+// simulated ones, choosing per query between executing fully at the client
+// against a shipped sub-index and offloading to the server — the paper's
+// Table 1 schemes as real execution plans, the way NeuPart-style systems
+// consult an analytical model at request time.
+package client
+
+import (
+	"fmt"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/cpu"
+	"mobispatial/internal/energy"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/nic"
+	"mobispatial/internal/proto"
+)
+
+// Plan is a query execution plan.
+type Plan uint8
+
+// The plans, from most client-side to most server-side.
+const (
+	// PlanLocal answers fully at the client from the shipment (Table 1
+	// fully-client).
+	PlanLocal Plan = iota
+	// PlanServerIDs offloads execution and receives ids only, which the
+	// client materializes from its shipped records — the hybrid plan:
+	// Table 1 fully-server with the data present at the client (§6.1.1).
+	PlanServerIDs
+	// PlanServerData offloads execution and receives full records (Table 1
+	// fully-server, data absent).
+	PlanServerData
+)
+
+// String implements fmt.Stringer.
+func (p Plan) String() string {
+	switch p {
+	case PlanLocal:
+		return "fully-client"
+	case PlanServerIDs:
+		return "server-ids"
+	case PlanServerData:
+		return "fully-server"
+	}
+	return fmt.Sprintf("Plan(%d)", uint8(p))
+}
+
+// Objective selects which §4.1 condition drives the plan choice.
+type Objective uint8
+
+// The objectives.
+const (
+	// Performance minimizes client-observed cycles (the §4.1 performance
+	// condition).
+	Performance Objective = iota
+	// Energy minimizes client energy (the §4.1 energy condition).
+	Energy
+)
+
+// CostModel calibrates the planner's analytic inputs: the per-work cycle
+// prices and the power draws of §4.1, defaulting to the repository's
+// simulated machines (Table 2–4).
+type CostModel struct {
+	// ClientHz and ServerHz are the two clock rates.
+	ClientHz, ServerHz float64
+	// CyclesPerNodeVisit prices one index-node visit of the filtering step
+	// (scan + MBR tests, cache effects folded in).
+	CyclesPerNodeVisit float64
+	// CyclesPerCandidate prices one refinement: record decode + exact
+	// geometry predicate.
+	CyclesPerCandidate float64
+	// CyclesPerResultID prices materializing one answer id locally.
+	CyclesPerResultID float64
+	// CyclesPerProtoPacket and CyclesPerProtoByte price protocol
+	// processing (§5.2).
+	CyclesPerProtoPacket, CyclesPerProtoByte float64
+	// Powers in watts: client compute, NIC transmit/receive/idle/sleep,
+	// and the blocked-core draw.
+	PClient, PTx, PRx, PIdle, PSleep, PBlocked float64
+}
+
+// DefaultCostModel prices work like the simulated Table 3/4 machines: a
+// 125 MHz client against a 1 GHz server at 1 km range.
+func DefaultCostModel() CostModel {
+	e := energy.DefaultParams()
+	return CostModel{
+		ClientHz:             cpu.DefaultClientConfig().ClockHz,
+		ServerHz:             cpu.DefaultServerConfig().ClockHz,
+		CyclesPerNodeVisit:   600,
+		CyclesPerCandidate:   1500,
+		CyclesPerResultID:    40,
+		CyclesPerProtoPacket: 400,
+		CyclesPerProtoByte:   4,
+		PClient:              0.2,
+		PTx:                  nic.TxPower1Km,
+		PRx:                  nic.RxPower,
+		PIdle:                nic.IdlePower,
+		PSleep:               nic.SleepPower,
+		PBlocked:             e.CPUSleepWatts,
+	}
+}
+
+// Planner chooses and executes per-query plans for one client.
+type Planner struct {
+	c     *Client
+	model CostModel
+	obj   Objective
+	eps   float64
+	ship  *Shipment
+}
+
+// NewPlanner builds a planner with the default cost model and the
+// performance objective.
+func NewPlanner(c *Client) *Planner {
+	return &Planner{c: c, model: DefaultCostModel(), eps: core.PointEps}
+}
+
+// SetCostModel replaces the cost calibration.
+func (p *Planner) SetCostModel(m CostModel) { p.model = m }
+
+// SetObjective selects the driving §4.1 condition.
+func (p *Planner) SetObjective(o Objective) { p.obj = o }
+
+// Shipment returns the cached shipment, nil before FetchShipment.
+func (p *Planner) Shipment() *Shipment { return p.ship }
+
+// FetchShipment pulls and caches a shipment covering window under
+// budgetBytes of client memory (see Client.FetchShipment).
+func (p *Planner) FetchShipment(window geom.Rect, budgetBytes, recordBytes int) error {
+	ship, err := p.c.FetchShipment(window, budgetBytes, recordBytes)
+	if err != nil {
+		return err
+	}
+	p.ship = ship
+	return nil
+}
+
+// Result is one planned execution's outcome.
+type Result struct {
+	Plan    Plan
+	Records []proto.Record
+	// Verdict is the advisor's reasoning for covered queries (zero value
+	// when the plan was forced by missing coverage).
+	Verdict core.Verdict
+}
+
+// Plan chooses the execution plan for q. Queries outside the shipment's
+// coverage must go to the server; covered queries consult the §4.1 advisor
+// with measured link conditions.
+func (p *Planner) Plan(q core.Query) (Plan, core.Verdict) {
+	if p.ship == nil || !p.ship.Covers(q) {
+		return PlanServerData, core.Verdict{}
+	}
+	in := p.analyticInputs(q)
+	v := in.Advise()
+	offload := v.SavesCycles
+	if p.obj == Energy {
+		offload = v.SavesEnergy
+	}
+	if offload {
+		return PlanServerIDs, v
+	}
+	return PlanLocal, v
+}
+
+// Execute plans and runs q.
+func (p *Planner) Execute(q core.Query) (Result, error) {
+	plan, v := p.Plan(q)
+	switch plan {
+	case PlanLocal:
+		recs, err := p.ship.Answer(q, p.eps)
+		return Result{Plan: plan, Records: recs, Verdict: v}, err
+	case PlanServerIDs:
+		ids, err := p.serverIDs(q)
+		if err != nil {
+			return Result{Plan: plan}, err
+		}
+		recs := make([]proto.Record, 0, len(ids))
+		for _, id := range ids {
+			if r, ok := p.ship.Record(id); ok {
+				recs = append(recs, r)
+			} else {
+				// The server knows records the shipment lacks (it can
+				// happen only on uncovered queries, which don't take this
+				// plan; kept as a safety net): fall back to full records.
+				full, ferr := p.serverData(q)
+				return Result{Plan: PlanServerData, Records: full, Verdict: v}, ferr
+			}
+		}
+		return Result{Plan: plan, Records: recs, Verdict: v}, nil
+	default:
+		recs, err := p.serverData(q)
+		return Result{Plan: plan, Records: recs, Verdict: v}, err
+	}
+}
+
+func (p *Planner) serverIDs(q core.Query) ([]uint32, error) {
+	switch q.Kind {
+	case core.PointQuery:
+		return p.c.PointIDs(q.Point, p.eps)
+	case core.RangeQuery:
+		return p.c.RangeIDs(q.Window)
+	default:
+		ids, _, err := p.c.query(&proto.QueryMsg{
+			Kind: proto.KindNN, Mode: proto.ModeIDs, Point: q.Point, K: uint16(q.K)})
+		return ids, err
+	}
+}
+
+func (p *Planner) serverData(q core.Query) ([]proto.Record, error) {
+	switch q.Kind {
+	case core.PointQuery:
+		return p.c.Point(q.Point, p.eps)
+	case core.RangeQuery:
+		return p.c.Range(q.Window)
+	default:
+		k := q.K
+		if k < 1 {
+			k = 1
+		}
+		return p.c.KNearest(q.Point, k)
+	}
+}
+
+// estimateWork predicts the filtering/refinement volume of q against the
+// shipment: node visits from the sub-tree shape, candidates from the
+// shipment's spatial density (range) or small constants (point/NN).
+func (p *Planner) estimateWork(q core.Query) (nodeVisits, candidates, hits float64) {
+	t := p.ship.Tree
+	height := float64(t.Height())
+	fanout := float64(t.Fanout())
+	n := float64(t.Len())
+
+	switch q.Kind {
+	case core.RangeQuery:
+		cov := p.ship.Coverage
+		frac := 0.0
+		if a := cov.Area(); a > 0 {
+			frac = q.Window.Intersection(cov).Area() / a
+		}
+		candidates = n * frac
+		if candidates < 1 {
+			candidates = 1
+		}
+		hits = candidates
+	default:
+		k := float64(q.K)
+		if k < 1 {
+			k = 1
+		}
+		// A point stabs a handful of leaf MBRs; NN visits a few more.
+		candidates = 4 + 2*k
+		hits = k
+	}
+	nodeVisits = height + candidates/fanout
+	return nodeVisits, candidates, hits
+}
+
+// analyticInputs builds the §4.1 advisor inputs for "local against the
+// shipment" versus "offload, ids back" under the measured link.
+func (p *Planner) analyticInputs(q core.Query) core.AnalyticInputs {
+	m := p.model
+	link := p.c.Link()
+	bw := link.BandwidthBps
+	if bw <= 0 {
+		// No bandwidth estimate yet: assume the paper's base 2 Mbps.
+		bw = 2e6
+	}
+	nodeVisits, candidates, hits := p.estimateWork(q)
+
+	// Fully-local: filter + refine at the client.
+	cFullyLocal := nodeVisits*m.CyclesPerNodeVisit + candidates*m.CyclesPerCandidate
+
+	// Offloaded: the server does the same logical work at its clock; the
+	// reply carries ids only (the shipment holds the records). The
+	// client-observed wait folds the measured RTT into Cw2.
+	cw2 := nodeVisits*m.CyclesPerNodeVisit + candidates*m.CyclesPerCandidate +
+		link.RTT.Seconds()*m.ServerHz
+
+	tx := proto.Packetize(proto.QueryRequestBytes)
+	rx := proto.Packetize(proto.IDListBytes(int(hits)))
+	cProtocol := float64(tx.Packets+rx.Packets)*m.CyclesPerProtoPacket +
+		float64(tx.PayloadBytes+rx.PayloadBytes)*m.CyclesPerProtoByte
+	cLocal := hits * m.CyclesPerResultID
+
+	return core.AnalyticInputs{
+		BandwidthBps: bw,
+		CFullyLocal:  cFullyLocal,
+		CLocal:       cLocal,
+		CProtocol:    cProtocol,
+		CW2:          cw2,
+		ClientHz:     m.ClientHz,
+		ServerHz:     m.ServerHz,
+		PacketTxBits: float64(tx.WireBytes * 8),
+		PacketRxBits: float64(rx.WireBytes * 8),
+		PClient:      m.PClient,
+		PTx:          m.PTx,
+		PRx:          m.PRx,
+		PIdle:        m.PIdle,
+		PSleep:       m.PSleep,
+		PBlocked:     m.PBlocked,
+	}
+}

@@ -1,0 +1,136 @@
+package client
+
+import (
+	"fmt"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/proto"
+	"mobispatial/internal/rtree"
+)
+
+// Shipment is the client-resident outcome of a Fig. 2 shipment: the shipped
+// records plus a locally rebuilt packed sub-index. Queries whose geometry
+// falls inside Coverage can be answered entirely at the client — the
+// fully-client scheme made real.
+type Shipment struct {
+	// Coverage is the server's guarantee rectangle; empty means no
+	// guarantee (the answer alone overflowed the budget).
+	Coverage geom.Rect
+	// Tree is the packed R-tree rebuilt over the shipped records.
+	Tree *rtree.Tree
+	// segs maps record id → geometry for local refinement.
+	segs map[uint32]geom.Segment
+}
+
+// FetchShipment requests a shipment covering window under budgetBytes of
+// client memory (recordBytes sizes the server's capacity math; use the
+// dataset's record size) and rebuilds the sub-index locally.
+func (c *Client) FetchShipment(window geom.Rect, budgetBytes, recordBytes int) (*Shipment, error) {
+	req := &proto.ShipmentReqMsg{
+		ID:            c.id(),
+		Window:        window,
+		BudgetBytes:   uint32(budgetBytes),
+		RecordBytes:   uint32(recordBytes),
+		TimeoutMicros: c.timeoutMicros(),
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	sm, ok := resp.(*proto.ShipmentMsg)
+	if !ok {
+		if em, isErr := resp.(*proto.ErrorMsg); isErr {
+			return nil, em
+		}
+		return nil, fmt.Errorf("client: unexpected %v reply to shipment request", resp.Type())
+	}
+	return NewShipment(sm)
+}
+
+// NewShipment builds the client-resident shipment from its wire message:
+// the client pays the sub-index rebuild instead of shipping raw node bytes
+// (same structure — the packed build is deterministic).
+func NewShipment(sm *proto.ShipmentMsg) (*Shipment, error) {
+	if len(sm.Records) == 0 {
+		return nil, fmt.Errorf("client: empty shipment")
+	}
+	items := make([]rtree.Item, len(sm.Records))
+	segs := make(map[uint32]geom.Segment, len(sm.Records))
+	for i, r := range sm.Records {
+		items[i] = rtree.Item{MBR: r.Seg.MBR(), ID: r.ID}
+		segs[r.ID] = r.Seg
+	}
+	tree, err := rtree.Build(items, rtree.Config{}, ops.Null{})
+	if err != nil {
+		return nil, fmt.Errorf("client: rebuilding shipped sub-index: %w", err)
+	}
+	return &Shipment{Coverage: sm.Coverage, Tree: tree, segs: segs}, nil
+}
+
+// Len returns the number of shipped records.
+func (s *Shipment) Len() int { return len(s.segs) }
+
+// Covers reports whether the shipment's guarantee extends to q: range
+// windows must be contained in Coverage; point and NN queries need their
+// point inside it (for NN the guarantee is heuristic near the coverage
+// boundary — the true nearest segment could lie just outside; callers
+// wanting exactness shrink the coverage by their tolerance).
+func (s *Shipment) Covers(q core.Query) bool {
+	if s.Coverage.IsEmpty() {
+		return false
+	}
+	if q.Kind == core.RangeQuery {
+		return s.Coverage.ContainsRect(q.Window)
+	}
+	return s.Coverage.ContainsPoint(q.Point)
+}
+
+// Answer executes q fully at the client against the shipped sub-index and
+// records — filtering and refinement, exactly the paper's fully-client
+// scheme. The caller is responsible for checking Covers first.
+func (s *Shipment) Answer(q core.Query, eps float64) ([]proto.Record, error) {
+	if eps <= 0 {
+		eps = core.PointEps
+	}
+	var ids []uint32
+	switch q.Kind {
+	case core.PointQuery:
+		for _, id := range s.Tree.SearchPoint(q.Point, ops.Null{}) {
+			if s.segs[id].ContainsPoint(q.Point, eps) {
+				ids = append(ids, id)
+			}
+		}
+	case core.RangeQuery:
+		for _, id := range s.Tree.Search(q.Window, ops.Null{}) {
+			if s.segs[id].IntersectsRect(q.Window) {
+				ids = append(ids, id)
+			}
+		}
+	case core.NNQuery:
+		dist := func(id uint32) float64 { return s.segs[id].DistToPoint(q.Point) }
+		if q.K > 1 {
+			for _, nb := range s.Tree.KNearest(q.Point, q.K, dist, ops.Null{}) {
+				ids = append(ids, nb.ID)
+			}
+		} else if id, _, ok := s.Tree.Nearest(q.Point, dist, ops.Null{}); ok {
+			ids = append(ids, id)
+		}
+	default:
+		return nil, fmt.Errorf("client: unknown query kind %v", q.Kind)
+	}
+	recs := make([]proto.Record, len(ids))
+	for i, id := range ids {
+		recs[i] = proto.Record{ID: id, Seg: s.segs[id]}
+	}
+	return recs, nil
+}
+
+// Record returns the shipped record for id, ok=false when id was not
+// shipped (e.g. materializing a server id list that strays outside the
+// shipment).
+func (s *Shipment) Record(id uint32) (proto.Record, bool) {
+	seg, ok := s.segs[id]
+	return proto.Record{ID: id, Seg: seg}, ok
+}

@@ -1,0 +1,484 @@
+// Package serve is the real networked counterpart of the paper's simulated
+// server: a concurrent TCP service answering point, range, and (k-)NN
+// queries — and Fig. 2 index shipments — over the length-prefixed binary
+// protocol of internal/proto, against one shared packed R-tree through an
+// internal/parallel pool.
+//
+// Concurrency model:
+//
+//   - one goroutine per connection reads frames;
+//   - each admitted request runs in its own goroutine, so a connection can
+//     pipeline requests (responses carry the request id and may return out
+//     of order);
+//   - admission control bounds the in-flight requests across all
+//     connections: when the server is saturated the reader blocks — TCP
+//     backpressure — for up to AdmitTimeout before failing the request with
+//     CodeOverload;
+//   - each request carries a deadline (client-requested, capped by the
+//     server); work that finishes past it is answered with CodeDeadline;
+//   - Shutdown drains in-flight requests, then closes connections.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/parallel"
+	"mobispatial/internal/proto"
+	"mobispatial/internal/rtree"
+)
+
+// DefaultPointEps mirrors core.PointEps: the point-query incidence tolerance
+// in map units.
+const DefaultPointEps = 2.0
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pool executes the queries; required.
+	Pool *parallel.Pool
+	// Master enables MsgShipmentReq (Fig. 2 subset extraction); nil
+	// disables shipments with CodeUnsupported.
+	Master *rtree.Tree
+	// MaxInFlight bounds concurrently executing requests across all
+	// connections; defaults to 4× the pool width.
+	MaxInFlight int
+	// AdmitTimeout is how long a request may wait for an in-flight slot
+	// before it is refused with CodeOverload; defaults to 100ms.
+	AdmitTimeout time.Duration
+	// RequestTimeout caps one request's server-side time (admission wait
+	// included); clients may ask for less, never more. Defaults to 5s.
+	RequestTimeout time.Duration
+	// WriteTimeout bounds one response write; defaults to 10s.
+	WriteTimeout time.Duration
+	// PointEps is the default point-query tolerance; DefaultPointEps when 0.
+	PointEps float64
+	// MaxKNN caps the k of k-NN queries; defaults to 1024.
+	MaxKNN int
+	// MaxShipmentBudget caps a shipment request's byte budget; defaults to
+	// 64 MB (a larger budget is a protocol error).
+	MaxShipmentBudget int
+
+	// testDelay, when set, stalls every query execution — tests use it to
+	// fill the admission window and overrun deadlines deterministically.
+	testDelay time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.Pool == nil {
+		return fmt.Errorf("serve: Config.Pool is required")
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * c.Pool.Workers()
+	}
+	if c.AdmitTimeout <= 0 {
+		c.AdmitTimeout = 100 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.PointEps <= 0 {
+		c.PointEps = DefaultPointEps
+	}
+	if c.MaxKNN <= 0 {
+		c.MaxKNN = 1024
+	}
+	if c.MaxShipmentBudget <= 0 {
+		c.MaxShipmentBudget = 64 << 20
+	}
+	return nil
+}
+
+// Stats are cumulative server counters, safe to read at any time.
+type Stats struct {
+	// Conns is the number of connections accepted.
+	Conns uint64
+	// Served counts successfully answered requests (pings excluded).
+	Served uint64
+	// Overloads counts requests refused by admission control.
+	Overloads uint64
+	// Deadlines counts requests that finished past their deadline.
+	Deadlines uint64
+	// Errors counts bad requests and internal failures.
+	Errors uint64
+	// Shipments counts served shipment requests (also included in Served).
+	Shipments uint64
+}
+
+// Server is a networked spatial-query server.
+type Server struct {
+	cfg Config
+	// sem holds one token per in-flight request.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	connWG sync.WaitGroup // one per live connection
+
+	nConns, nServed, nOverload, nDeadline, nErrors, nShipments atomic.Uint64
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:     s.nConns.Load(),
+		Served:    s.nServed.Load(),
+		Overloads: s.nOverload.Load(),
+		Deadlines: s.nDeadline.Load(),
+		Errors:    s.nErrors.Load(),
+		Shipments: s.nShipments.Load(),
+	}
+}
+
+// Serve accepts connections on lis until Shutdown or Close. It returns nil
+// after a clean shutdown.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		lis.Close()
+		return fmt.Errorf("serve: server is shut down")
+	}
+	if s.lis != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: Serve called twice")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.shutdown
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.nConns.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// ListenAndServe listens on addr and serves until shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Shutdown gracefully stops the server: no new connections or requests are
+// accepted, in-flight requests drain and their responses are written, then
+// connections close. It returns when everything has drained or timeout (≤ 0
+// means wait forever) has passed.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	s.shutdown = true
+	lis := s.lis
+	// Poke every reader out of its blocking Read so it notices shutdown.
+	for nc := range s.conns {
+		nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		s.closeAllConns()
+		return fmt.Errorf("serve: shutdown timed out after %v", timeout)
+	}
+}
+
+// Close stops the server immediately, dropping in-flight work.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.shutdown = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.closeAllConns()
+	s.connWG.Wait()
+	return nil
+}
+
+func (s *Server) closeAllConns() {
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) inShutdown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdown
+}
+
+// conn is the per-connection state.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	// wmu serializes response writes from the request goroutines.
+	wmu sync.Mutex
+	// pending counts this connection's in-flight request goroutines.
+	pending sync.WaitGroup
+}
+
+// readPollInterval is how often a blocked reader rechecks for shutdown.
+const readPollInterval = time.Second
+
+func (s *Server) serveConn(nc net.Conn) {
+	c := &conn{srv: s, nc: nc}
+	defer func() {
+		c.pending.Wait() // flush in-flight responses before closing
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.connWG.Done()
+	}()
+
+	for {
+		if s.inShutdown() {
+			return
+		}
+		nc.SetReadDeadline(time.Now().Add(readPollInterval))
+		msg, _, err := proto.ReadMessage(nc)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue // poll tick: recheck shutdown
+			}
+			return // EOF, peer reset, or a protocol error: drop the conn
+		}
+		arrived := time.Now()
+
+		switch m := msg.(type) {
+		case *proto.PingMsg:
+			// Pings bypass admission: they measure the link, not the server.
+			c.write(m)
+		case *proto.QueryMsg:
+			c.dispatch(m, arrived, m.TimeoutMicros)
+		case *proto.ShipmentReqMsg:
+			c.dispatch(m, arrived, m.TimeoutMicros)
+		default:
+			s.nErrors.Add(1)
+			c.write(&proto.ErrorMsg{ID: msg.RequestID(), Code: proto.CodeBadRequest,
+				Text: fmt.Sprintf("unexpected %v message", msg.Type())})
+		}
+	}
+}
+
+// dispatch admits req and runs it in its own goroutine — the pipelining
+// point: the reader immediately returns to the next frame.
+func (c *conn) dispatch(req proto.Message, arrived time.Time, timeoutMicros uint32) {
+	s := c.srv
+	timeout := s.cfg.RequestTimeout
+	if t := time.Duration(timeoutMicros) * time.Microsecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	deadline := arrived.Add(timeout)
+
+	// Admission control. Blocking here stalls this connection's reader —
+	// deliberate backpressure — but never past AdmitTimeout.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		admitWait := s.cfg.AdmitTimeout
+		if rest := time.Until(deadline); rest < admitWait {
+			admitWait = rest
+		}
+		timer := time.NewTimer(admitWait)
+		select {
+		case s.sem <- struct{}{}:
+			timer.Stop()
+		case <-timer.C:
+			s.nOverload.Add(1)
+			c.write(&proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeOverload,
+				Text: "admission queue full"})
+			return
+		}
+	}
+
+	c.pending.Add(1)
+	go func() {
+		defer func() {
+			<-s.sem
+			c.pending.Done()
+		}()
+		resp := s.execute(req)
+		if time.Now().After(deadline) {
+			s.nDeadline.Add(1)
+			resp = &proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeDeadline,
+				Text: fmt.Sprintf("request exceeded %v deadline", timeout)}
+		}
+		if _, ok := resp.(*proto.ErrorMsg); ok {
+			if resp.(*proto.ErrorMsg).Code != proto.CodeDeadline {
+				s.nErrors.Add(1)
+			}
+		} else {
+			s.nServed.Add(1)
+		}
+		c.write(resp)
+	}()
+}
+
+// write sends one response frame; write errors drop the connection (the
+// reader will notice on its next poll).
+func (c *conn) write(m proto.Message) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	if _, err := proto.WriteMessage(c.nc, m); err != nil {
+		c.nc.Close()
+	}
+}
+
+// execute runs one admitted request and builds its response message.
+func (s *Server) execute(req proto.Message) proto.Message {
+	if s.cfg.testDelay > 0 {
+		time.Sleep(s.cfg.testDelay)
+	}
+	switch m := req.(type) {
+	case *proto.QueryMsg:
+		return s.executeQuery(m)
+	case *proto.ShipmentReqMsg:
+		return s.executeShipment(m)
+	}
+	return &proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeInternal, Text: "unroutable message"}
+}
+
+func (s *Server) executeQuery(q *proto.QueryMsg) proto.Message {
+	eps := q.Eps
+	if eps <= 0 {
+		eps = s.cfg.PointEps
+	}
+	pool := s.cfg.Pool
+
+	var ids []uint32
+	switch q.Kind {
+	case proto.KindPoint:
+		if q.Mode == proto.ModeFilter {
+			ids = pool.FilterPoint(q.Point)
+		} else {
+			ids = pool.Point(q.Point, eps)
+		}
+	case proto.KindRange:
+		if q.Mode == proto.ModeFilter {
+			ids = pool.FilterRange(q.Window)
+		} else {
+			ids = pool.Range(q.Window)
+		}
+	case proto.KindNN:
+		k := int(q.K)
+		if k > s.cfg.MaxKNN {
+			return &proto.ErrorMsg{ID: q.ID, Code: proto.CodeBadRequest,
+				Text: fmt.Sprintf("k=%d exceeds limit %d", k, s.cfg.MaxKNN)}
+		}
+		if k > 1 {
+			neighbors, ok := pool.KNearest(q.Point, k)
+			if !ok {
+				return &proto.ErrorMsg{ID: q.ID, Code: proto.CodeUnsupported,
+					Text: "access method does not support k-NN"}
+			}
+			for _, nb := range neighbors {
+				ids = append(ids, nb.ID)
+			}
+		} else if nn := pool.Nearest(q.Point); nn.OK {
+			ids = append(ids, nn.ID)
+		}
+	}
+
+	if q.Mode == proto.ModeData {
+		ds := pool.Dataset()
+		recs := make([]proto.Record, len(ids))
+		for i, id := range ids {
+			recs[i] = proto.Record{ID: id, Seg: ds.Seg(id)}
+		}
+		return &proto.DataListMsg{ID: q.ID, Records: recs}
+	}
+	return &proto.IDListMsg{ID: q.ID, IDs: ids}
+}
+
+func (s *Server) executeShipment(m *proto.ShipmentReqMsg) proto.Message {
+	if s.cfg.Master == nil {
+		return &proto.ErrorMsg{ID: m.ID, Code: proto.CodeUnsupported,
+			Text: "server has no master index for shipments"}
+	}
+	if int(m.BudgetBytes) > s.cfg.MaxShipmentBudget {
+		return &proto.ErrorMsg{ID: m.ID, Code: proto.CodeBadRequest,
+			Text: fmt.Sprintf("budget %d exceeds limit %d", m.BudgetBytes, s.cfg.MaxShipmentBudget)}
+	}
+	window := m.Window
+	if window.IsEmpty() {
+		// An empty window centers the shipment on the dataset.
+		c := s.cfg.Master.Bounds().Center()
+		window = geom.Rect{Min: c, Max: c}
+	}
+	ship, err := s.cfg.Master.ExtractSubset(window, rtree.Budget{
+		Bytes:       int(m.BudgetBytes),
+		RecordBytes: int(m.RecordBytes),
+	}, ops.Null{})
+	if err != nil {
+		return &proto.ErrorMsg{ID: m.ID, Code: proto.CodeBadRequest, Text: err.Error()}
+	}
+	ds := s.cfg.Pool.Dataset()
+	recs := make([]proto.Record, len(ship.Items))
+	for i, it := range ship.Items {
+		recs[i] = proto.Record{ID: it.ID, Seg: ds.Seg(it.ID)}
+	}
+	s.nShipments.Add(1)
+	return &proto.ShipmentMsg{ID: m.ID, Coverage: ship.Coverage, Records: recs}
+}

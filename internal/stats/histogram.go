@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a streaming log-bucketed histogram for positive values —
+// latency and size distributions whose samples are too many to keep. Buckets
+// grow geometrically, so quantile estimates carry a bounded *relative* error
+// (half the growth factor) at O(1) memory per recording site. The load
+// generator records per-worker histograms and merges them, so Histogram
+// itself is deliberately not synchronized.
+type Histogram struct {
+	lo     float64 // lower bound of bucket 0
+	growth float64 // bucket width ratio
+	logG   float64 // ln(growth), cached
+	counts []uint64
+	// under/over catch samples outside [lo, lo·growth^len); they count
+	// toward quantiles as the extreme buckets.
+	under, over uint64
+	total       uint64
+	sum         float64
+	min, max    float64
+}
+
+// Default histogram range: 1 µs to ~17 minutes with 2% buckets covers any
+// latency a spatial query service produces.
+const (
+	defaultHistLo     = 1e-6
+	defaultHistHi     = 1e3
+	defaultHistGrowth = 1.02
+)
+
+// NewHistogram builds a histogram with buckets spanning [lo, hi) at the
+// given growth factor (>1). Values outside the span are clamped into the
+// extreme buckets, so quantiles remain defined — just less precise there.
+func NewHistogram(lo, hi, growth float64) (*Histogram, error) {
+	if !(lo > 0) || !(hi > lo) {
+		return nil, fmt.Errorf("stats: bad histogram span [%g, %g)", lo, hi)
+	}
+	if !(growth > 1) {
+		return nil, fmt.Errorf("stats: histogram growth %g must exceed 1", growth)
+	}
+	n := int(math.Ceil(math.Log(hi/lo) / math.Log(growth)))
+	if n < 1 {
+		n = 1
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("stats: histogram would need %d buckets", n)
+	}
+	return &Histogram{
+		lo:     lo,
+		growth: growth,
+		logG:   math.Log(growth),
+		counts: make([]uint64, n),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}, nil
+}
+
+// NewLatencyHistogram builds the default seconds-denominated latency
+// histogram: 1 µs resolution floor, 2% relative error.
+func NewLatencyHistogram() *Histogram {
+	h, err := NewHistogram(defaultHistLo, defaultHistHi, defaultHistGrowth)
+	if err != nil {
+		panic(err) // constants are valid
+	}
+	return h
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.total++
+	h.sum += x
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+	switch {
+	case x < h.lo:
+		h.under++
+	default:
+		i := int(math.Log(x/h.lo) / h.logG)
+		if i >= len(h.counts) {
+			h.over++
+		} else {
+			h.counts[i]++
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return int(h.total) }
+
+// Mean returns the exact mean of all samples (tracked outside the buckets).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the exact minimum sample, 0 for an empty histogram.
+func (h *Histogram) Min() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum sample, 0 for an empty histogram.
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// P returns the q-quantile (q in [0, 1]) estimated from the buckets: the
+// geometric midpoint of the bucket holding the q·N-th sample, clamped to the
+// exact observed [min, max]. P(0.5) is the median, P(0.99) the p99.
+func (h *Histogram) P(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// Rank of the target sample, 1-based.
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var est float64
+	switch cum := h.under; {
+	case rank <= cum:
+		est = h.lo
+	default:
+		est = h.max // falls through when rank lands in the overflow bucket
+		for i, c := range h.counts {
+			cum += c
+			if rank <= cum {
+				// Geometric midpoint of bucket i: lo·growth^(i+0.5).
+				est = h.lo * math.Exp((float64(i)+0.5)*h.logG)
+				break
+			}
+		}
+	}
+	return math.Min(math.Max(est, h.min), h.max)
+}
+
+// Merge adds other's samples into h. The histograms must share a bucket
+// layout (same lo/growth/len), which holds for any two NewLatencyHistogram
+// results.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil || other.total == 0 {
+		return nil
+	}
+	if h.lo != other.lo || h.growth != other.growth || len(h.counts) != len(other.counts) {
+		return fmt.Errorf("stats: merging histograms with different bucket layouts")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.under += other.under
+	h.over += other.over
+	h.total += other.total
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	return nil
+}
+
+// String implements fmt.Stringer with the load-generator's headline numbers.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		h.Count(), h.Mean(), h.P(0.50), h.P(0.95), h.P(0.99), h.Max())
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// relErr returns |got-want|/want.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestHistogramUniform checks quantiles of a uniform distribution on
+// [1ms, 101ms] against their closed forms.
+func TestHistogramUniform(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		h.Record(0.001 + 0.100*rng.Float64())
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.10, 0.001 + 0.100*0.10},
+		{0.50, 0.001 + 0.100*0.50},
+		{0.95, 0.001 + 0.100*0.95},
+		{0.99, 0.001 + 0.100*0.99},
+	} {
+		got := h.P(tc.q)
+		// 2% buckets + sampling noise: accept 3% relative error.
+		if relErr(got, tc.want) > 0.03 {
+			t.Errorf("P(%.2f) = %.6f, want %.6f (rel err %.3f)",
+				tc.q, got, tc.want, relErr(got, tc.want))
+		}
+	}
+	if relErr(h.Mean(), 0.051) > 0.01 {
+		t.Errorf("mean = %.6f, want ~0.051", h.Mean())
+	}
+}
+
+// TestHistogramExponential draws a deterministic exponential sample via the
+// inverse CDF and checks the p50/p95/p99 against the closed forms.
+func TestHistogramExponential(t *testing.T) {
+	h := NewLatencyHistogram()
+	const (
+		n     = 100000
+		scale = 0.004 // 4 ms mean
+	)
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / n
+		h.Record(-math.Log(1-u) * scale)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, -math.Log(0.50) * scale},
+		{0.95, -math.Log(0.05) * scale},
+		{0.99, -math.Log(0.01) * scale},
+	} {
+		if got := h.P(tc.q); relErr(got, tc.want) > 0.03 {
+			t.Errorf("P(%.2f) = %.6f, want %.6f", tc.q, got, tc.want)
+		}
+	}
+	if relErr(h.Mean(), scale) > 0.01 {
+		t.Errorf("mean = %.6f, want ~%.4f", h.Mean(), scale)
+	}
+}
+
+// TestHistogramEdges covers empty histograms, extreme quantiles, and
+// out-of-span samples.
+func TestHistogramEdges(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.P(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+
+	h.Record(5e-9)  // below span: underflow bucket
+	h.Record(0.010) // in span
+	h.Record(5e4)   // above span: overflow bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.P(0); got != 5e-9 {
+		t.Errorf("P(0) = %g, want exact min", got)
+	}
+	if got := h.P(1); got != 5e4 {
+		t.Errorf("P(1) = %g, want exact max", got)
+	}
+	// The median must come from the in-span bucket.
+	if got := h.P(0.5); relErr(got, 0.010) > 0.02 {
+		t.Errorf("P(0.5) = %g, want ~0.010", got)
+	}
+	// Quantile in the overflow region clamps to the observed max.
+	if got := h.P(0.99); got > 5e4 {
+		t.Errorf("P(0.99) = %g exceeds max", got)
+	}
+
+	if _, err := NewHistogram(0, 1, 1.1); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := NewHistogram(1, 2, 1.0); err == nil {
+		t.Error("growth=1 accepted")
+	}
+	if _, err := NewHistogram(2, 1, 1.1); err == nil {
+		t.Error("hi<lo accepted")
+	}
+}
+
+// TestHistogramMerge splits one sample stream across two histograms and
+// requires the merge to match a histogram that saw everything.
+func TestHistogramMerge(t *testing.T) {
+	whole := NewLatencyHistogram()
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		x := 0.0005 * math.Exp(rng.Float64()*3) // log-uniform 0.5ms..10ms
+		whole.Record(x)
+		if i%2 == 0 {
+			a.Record(x)
+		} else {
+			b.Record(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := a.P(q), whole.P(q); got != want {
+			t.Errorf("P(%.2f): merged %g != whole %g", q, got, want)
+		}
+	}
+	// Summation order differs between the split and whole streams, so the
+	// means agree only to float rounding; min/max are exact.
+	if relErr(a.Mean(), whole.Mean()) > 1e-12 {
+		t.Error("merged mean diverged from the whole-stream histogram")
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("merged min/max diverged from the whole-stream histogram")
+	}
+
+	other, err := NewHistogram(1, 10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Record(2)
+	if err := a.Merge(other); err == nil {
+		t.Error("merge across bucket layouts accepted")
+	}
+}
