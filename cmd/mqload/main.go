@@ -9,17 +9,25 @@
 //
 // Flags:
 //
-//	-addr       server address (default 127.0.0.1:7070)
-//	-dataset    pa | nyc — sizes the query area to the server's map (default pa)
-//	-conns      concurrent closed-loop workers / pooled connections (default 32)
-//	-duration   measured run length (default 10s)
-//	-warmup     excluded ramp-up time (default 1s)
-//	-mix        query mix, e.g. point=60,range=25,nn=15
-//	-rangew     half-width in meters of range windows (default 1000)
-//	-seed       workload seed (default 1)
+//	-addr        server address (default 127.0.0.1:7070)
+//	-dataset     pa | nyc — sizes the query area to the server's map (default pa)
+//	-conns       concurrent closed-loop workers / pooled connections (default 32)
+//	-duration    measured run length (default 10s)
+//	-warmup      excluded ramp-up time (default 1s)
+//	-mix         query mix, e.g. point=60,range=25,nn=15
+//	-rangew      half-width in meters of range windows (default 1000)
+//	-seed        workload seed (default 1)
+//	-planner     route queries through the partitioning planner against a
+//	             shipped sub-index instead of always offloading
+//	-shipw       planner mode: half-width in meters of the shipment window
+//	             (default 5000)
+//	-shipbudget  planner mode: shipment memory budget in bytes (default 4MB)
+//	-serverstats pull and print the server's metrics snapshot at the end
 //
 // Output: total queries, QPS, mean and p50/p95/p99 latency from a merged
-// streaming histogram (internal/stats), plus error and retry counts.
+// streaming histogram (internal/stats), plus error and retry counts. In
+// planner mode the report breaks down per scheme (fully-client, server-ids,
+// fully-server) with the predicted-vs-actual §4.1 cost ratios.
 package main
 
 import (
@@ -27,14 +35,17 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mobispatial/internal/core"
 	"mobispatial/internal/dataset"
 	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
 	"mobispatial/internal/serve/client"
 	"mobispatial/internal/stats"
 )
@@ -99,16 +110,21 @@ func run(args []string) error {
 	mixFlag := fs.String("mix", "point=60,range=25,nn=15", "query mix")
 	rangeW := fs.Float64("rangew", 1000, "half-width of range windows (m)")
 	seed := fs.Int64("seed", 1, "workload seed")
+	planner := fs.Bool("planner", false, "route queries through the partitioning planner")
+	shipW := fs.Float64("shipw", 5000, "planner: half-width of the shipment window (m)")
+	shipBudget := fs.Int("shipbudget", 4<<20, "planner: shipment memory budget (bytes)")
+	serverStats := fs.Bool("serverstats", false, "print the server's metrics snapshot at the end")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var extent geom.Rect
+	var recordBytes int
 	switch *dsName {
 	case "pa":
-		extent = dataset.PAConfig().Extent
+		extent, recordBytes = dataset.PAConfig().Extent, dataset.PAConfig().RecordBytes
 	case "nyc":
-		extent = dataset.NYCConfig().Extent
+		extent, recordBytes = dataset.NYCConfig().Extent, dataset.NYCConfig().RecordBytes
 	default:
 		return fmt.Errorf("unknown dataset %q (want pa or nyc)", *dsName)
 	}
@@ -117,13 +133,35 @@ func run(args []string) error {
 		return err
 	}
 
-	c, err := client.New(client.Config{Addr: *addr, Conns: *conns})
+	hub := obs.NewHub()
+	c, err := client.New(client.Config{Addr: *addr, Conns: *conns, Obs: hub})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	if err := c.Probe(); err != nil {
 		return fmt.Errorf("server unreachable: %w", err)
+	}
+
+	// Planner mode: ship a sub-index around the map center, then confine the
+	// workload to the covered window so the §4.1 advisor — not missing
+	// coverage — decides each query's scheme. One planner is shared by all
+	// workers: the shipment is read-only after the fetch.
+	var pl *client.Planner
+	if *planner {
+		pl = client.NewPlanner(c)
+		center := extent.Center()
+		window := geom.Rect{
+			Min: geom.Point{X: center.X - *shipW, Y: center.Y - *shipW},
+			Max: geom.Point{X: center.X + *shipW, Y: center.Y + *shipW},
+		}
+		if err := pl.FetchShipment(window, *shipBudget, recordBytes); err != nil {
+			return fmt.Errorf("shipment: %w", err)
+		}
+		cov := pl.Shipment().Coverage
+		fmt.Printf("mqload: planner mode, shipment covers %.1fx%.1f km (%d records)\n",
+			cov.Width()/1000, cov.Height()/1000, pl.Shipment().Len())
+		extent = cov
 	}
 
 	var (
@@ -149,14 +187,29 @@ func run(args []string) error {
 				start := time.Now()
 				switch qmix.pick(rng) {
 				case "point":
-					_, qerr = c.PointIDs(pt, 0)
+					if pl != nil {
+						_, qerr = pl.Execute(core.Point(pt))
+					} else {
+						_, qerr = c.PointIDs(pt, 0)
+					}
 				case "range":
-					_, qerr = c.RangeIDs(geom.Rect{
+					w := geom.Rect{
 						Min: geom.Point{X: pt.X - *rangeW, Y: pt.Y - *rangeW},
 						Max: geom.Point{X: pt.X + *rangeW, Y: pt.Y + *rangeW},
-					})
+					}
+					if pl != nil {
+						// Keep the window inside coverage so the advisor,
+						// not the coverage check, picks the scheme.
+						_, qerr = pl.Execute(core.Range(w.Intersection(extent)))
+					} else {
+						_, qerr = c.RangeIDs(w)
+					}
 				case "nn":
-					_, qerr = c.Nearest(pt)
+					if pl != nil {
+						_, qerr = pl.Execute(core.Nearest(pt))
+					} else {
+						_, qerr = c.Nearest(pt)
+					}
 				}
 				elapsed := time.Since(start)
 				if !measuring.Load() {
@@ -193,7 +246,66 @@ func run(args []string) error {
 		ms(total.Mean()), ms(total.P(0.50)), ms(total.P(0.95)), ms(total.P(0.99)), ms(total.Max()))
 	fmt.Printf("  errors    %d   retries %d\n", errs.Load(), c.Retries())
 	fmt.Printf("  link      rtt %v, bandwidth %s\n", link.RTT.Round(time.Microsecond), mbps(link.BandwidthBps))
+
+	if pl != nil {
+		printSchemeReport(hub.Reg.Snapshot())
+	}
+	if *serverStats {
+		msg, err := c.StatsSnapshot()
+		if err != nil {
+			return fmt.Errorf("server stats: %w", err)
+		}
+		printServerStats(obs.SnapshotFromMsg(msg), msg.UptimeMicros)
+	}
 	return nil
+}
+
+// printSchemeReport breaks the run down per partitioning scheme: volume,
+// latency, modeled energy, and the §4.1 predicted-vs-actual cost ratios.
+func printSchemeReport(snap obs.Snapshot) {
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	hists := map[string]obs.HistValue{}
+	for _, h := range snap.Hists {
+		hists[h.Name] = h
+	}
+	fmt.Println("  scheme breakdown (predicted/actual: 1.0 = the model priced it perfectly)")
+	for _, scheme := range []string{"fully-client", "server-ids", "fully-server"} {
+		n := counters[obs.Name("client_plans_total", "scheme", scheme)]
+		if n == 0 {
+			continue
+		}
+		eh := hists[obs.Name("client_exec_seconds", "scheme", scheme)]
+		cr := hists[obs.Name("client_plan_cycle_ratio", "scheme", scheme)]
+		er := hists[obs.Name("client_plan_energy_ratio", "scheme", scheme)]
+		fmt.Printf("    %-12s %7d queries  mean %s p95 %s  %.3f J  pred/act cycles %.2f energy %.2f\n",
+			scheme, n, ms(eh.Mean), ms(eh.P95),
+			gauges[obs.Name("client_energy_joules_total", "scheme", scheme)],
+			cr.Mean, er.Mean)
+	}
+}
+
+// printServerStats renders the server's in-protocol snapshot.
+func printServerStats(snap obs.Snapshot, uptimeMicros uint64) {
+	fmt.Printf("  server stats (uptime %v)\n",
+		(time.Duration(uptimeMicros) * time.Microsecond).Round(time.Second))
+	for _, c := range snap.Counters {
+		fmt.Printf("    %-48s %d\n", c.Name, c.Value)
+	}
+	sort.Slice(snap.Hists, func(i, j int) bool { return snap.Hists[i].Name < snap.Hists[j].Name })
+	for _, h := range snap.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("    %-48s n=%d mean %s p95 %s p99 %s\n",
+			h.Name, h.Count, ms(h.Mean), ms(h.P95), ms(h.P99))
+	}
 }
 
 func ms(sec float64) string { return fmt.Sprintf("%.2fms", sec*1e3) }

@@ -13,20 +13,25 @@
 //	-dataset    pa | nyc (default pa)
 //	-workers    refinement workers (0 = GOMAXPROCS)
 //	-inflight   admission-control cap on concurrent requests (0 = 4x workers)
+//	-obs        observability HTTP address serving /metrics (Prometheus),
+//	            /traces (JSON spans), and /debug/pprof ("" = disabled)
 //
-// The server reports its throughput counters on SIGINT/SIGTERM and exits
-// after a graceful drain.
+// Metrics, spans, and the in-protocol MsgStats snapshot are always on; -obs
+// only controls the HTTP export. The server reports its throughput counters
+// on SIGINT/SIGTERM and exits after a graceful drain.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"mobispatial/internal/dataset"
+	"mobispatial/internal/obs"
 	"mobispatial/internal/ops"
 	"mobispatial/internal/parallel"
 	"mobispatial/internal/rtree"
@@ -46,6 +51,7 @@ func run(args []string) error {
 	dsName := fs.String("dataset", "pa", "dataset: pa | nyc")
 	workers := fs.Int("workers", 0, "refinement workers (0 = GOMAXPROCS)")
 	inflight := fs.Int("inflight", 0, "max concurrent requests (0 = 4x workers)")
+	obsAddr := fs.String("obs", "", "observability HTTP address (\"\" = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,9 +74,21 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(serve.Config{Pool: pool, Master: tree, MaxInFlight: *inflight})
+	hub := obs.NewHub()
+	srv, err := serve.New(serve.Config{Pool: pool, Master: tree, MaxInFlight: *inflight, Obs: hub})
 	if err != nil {
 		return err
+	}
+
+	if *obsAddr != "" {
+		obsSrv := &http.Server{Addr: *obsAddr, Handler: obs.Handler(hub)}
+		go func() {
+			if err := obsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "mqserve: obs http:", err)
+			}
+		}()
+		defer obsSrv.Close()
+		fmt.Printf("mqserve: observability on http://%s/metrics /traces /debug/pprof\n", *obsAddr)
 	}
 
 	errc := make(chan error, 1)

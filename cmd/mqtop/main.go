@@ -1,0 +1,147 @@
+// Command mqtop is a live terminal view of a running mqserve: it polls the
+// server's metrics over the query protocol itself (MsgStatsReq/MsgStats on
+// a plain client connection — no HTTP endpoint required) and renders
+// counters, rates, and latency histograms top-style.
+//
+// Usage:
+//
+//	mqtop [flags]
+//
+// Flags:
+//
+//	-addr      server address (default 127.0.0.1:7070)
+//	-interval  refresh interval (default 2s)
+//	-n         number of refreshes, 0 = until interrupted (default 0)
+//
+// Rates (qps, bytes/s) are deltas between consecutive snapshots; the first
+// frame shows totals only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"mobispatial/internal/obs"
+	"mobispatial/internal/serve/client"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mqtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mqtop", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	count := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := client.New(client.Config{Addr: *addr, Conns: 1})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	var prev obs.Snapshot
+	var prevAt time.Time
+	for i := 0; ; i++ {
+		msg, err := c.StatsSnapshot()
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		snap := obs.SnapshotFromMsg(msg)
+		if *count != 1 {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(os.Stdout, *addr, msg.UptimeMicros, snap, prev, now.Sub(prevAt), i > 0)
+		prev, prevAt = snap, now
+
+		if *count > 0 && i+1 >= *count {
+			return nil
+		}
+		select {
+		case <-ticker.C:
+		case <-sigc:
+			return nil
+		}
+	}
+}
+
+// render draws one frame. haveDelta enables the rate column once a previous
+// snapshot exists.
+func render(w *os.File, addr string, uptimeMicros uint64, snap, prev obs.Snapshot, dt time.Duration, haveDelta bool) {
+	fmt.Fprintf(w, "mqtop — %s  up %v  %s\n\n", addr,
+		(time.Duration(uptimeMicros) * time.Microsecond).Round(time.Second),
+		time.Now().Format("15:04:05"))
+
+	prevCounters := map[string]uint64{}
+	for _, c := range prev.Counters {
+		prevCounters[c.Name] = c.Value
+	}
+	fmt.Fprintf(w, "%-44s %14s %12s\n", "counter", "total", "per second")
+	for _, c := range snap.Counters {
+		rate := "-"
+		if haveDelta && dt > 0 {
+			rate = fmt.Sprintf("%.1f", float64(c.Value-prevCounters[c.Name])/dt.Seconds())
+		}
+		fmt.Fprintf(w, "%-44s %14d %12s\n", c.Name, c.Value, rate)
+	}
+
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintf(w, "\n%-44s %14s\n", "gauge", "value")
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(w, "%-44s %14.4g\n", g.Name, g.Value)
+		}
+	}
+
+	hists := append([]obs.HistValue(nil), snap.Hists...)
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	header := false
+	for _, h := range hists {
+		if h.Count == 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "\n%-44s %10s %9s %9s %9s %9s\n",
+				"histogram", "count", "mean", "p50", "p95", "p99")
+			header = true
+		}
+		fmt.Fprintf(w, "%-44s %10d %9s %9s %9s %9s\n",
+			trimName(h.Name), h.Count, ms(h.Mean), ms(h.P50), ms(h.P95), ms(h.P99))
+	}
+}
+
+// trimName shortens long labeled names to keep the table aligned.
+func trimName(name string) string {
+	if len(name) <= 44 {
+		return name
+	}
+	return name[:41] + "..."
+}
+
+func ms(sec float64) string {
+	switch {
+	case sec >= 1:
+		return fmt.Sprintf("%.2fs", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	}
+}

@@ -1,0 +1,71 @@
+// energy.go: the attribution model that prices span stages in Joules and
+// client-clock cycles. It reuses the paper's published constants — the
+// Table 2 NIC state powers (internal/nic), the SimplePower-era client CPU
+// draw (internal/energy), and the Table 3 clock rates (internal/cpu) — so a
+// live trace decomposes exactly like the simulator's Figures: compute at
+// (PClient + PSleep), transmit at PTx + the blocked core, receive at PRx +
+// the blocked core, server wait at NIC idle + the blocked core.
+package obs
+
+import (
+	"mobispatial/internal/cpu"
+	"mobispatial/internal/energy"
+	"mobispatial/internal/nic"
+)
+
+// EnergyModel prices wall-clock stage time into modeled client Joules and
+// cycles.
+type EnergyModel struct {
+	// ClientHz converts client-side stage seconds into cycles.
+	ClientHz float64
+	// PClient is the client compute draw; PTx/PRx/PIdle/PSleep the NIC
+	// state powers; PBlocked the core's draw while blocked on the NIC.
+	PClient, PTx, PRx, PIdle, PSleep, PBlocked float64
+}
+
+// DefaultEnergyModel prices like the simulated Table 2–4 machines at 1 km
+// range: the same constants client/planner.DefaultCostModel calibrates its
+// predictions with, so predicted and measured Joules are commensurable.
+func DefaultEnergyModel() EnergyModel {
+	e := energy.DefaultParams()
+	return EnergyModel{
+		ClientHz: cpu.DefaultClientConfig().ClockHz,
+		PClient:  0.2,
+		PTx:      nic.TxPower1Km,
+		PRx:      nic.RxPower,
+		PIdle:    nic.IdlePower,
+		PSleep:   nic.SleepPower,
+		PBlocked: e.CPUSleepWatts,
+	}
+}
+
+// Compute prices sec seconds of client computation with the NIC asleep —
+// the fully-local stages (plan, index-walk, reply materialization).
+func (m EnergyModel) Compute(sec float64) (joules, cycles float64) {
+	return (m.PClient + m.PSleep) * sec, sec * m.ClientHz
+}
+
+// TxSeconds models the radio transmit time of a payload at the measured
+// effective bandwidth (bits/s); 0 when the bandwidth is unknown.
+func (m EnergyModel) TxSeconds(bytes int, bwBps float64) float64 {
+	if bwBps <= 0 {
+		return 0
+	}
+	return float64(bytes*8) / bwBps
+}
+
+// Tx prices transmit seconds: the amplifier plus the blocked core.
+func (m EnergyModel) Tx(sec float64) (joules, cycles float64) {
+	return (m.PTx + m.PBlocked) * sec, sec * m.ClientHz
+}
+
+// Rx prices receive seconds.
+func (m EnergyModel) Rx(sec float64) (joules, cycles float64) {
+	return (m.PRx + m.PBlocked) * sec, sec * m.ClientHz
+}
+
+// Wait prices seconds blocked on the server: NIC in carrier-sense idle, the
+// core in its low-power blocked mode (§5.2).
+func (m EnergyModel) Wait(sec float64) (joules, cycles float64) {
+	return (m.PIdle + m.PBlocked) * sec, sec * m.ClientHz
+}

@@ -1,0 +1,129 @@
+// export.go: the two serialized faces of a Snapshot — Prometheus exposition
+// text for /metrics scrapes, and the internal/proto stats message for
+// in-protocol pulls over an existing query connection (cmd/mqtop, the
+// client's StatsSnapshot).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mobispatial/internal/proto"
+)
+
+// sanitize maps NaN to 0: the wire snapshot rejects NaN (proto validation)
+// and Prometheus text would parse it but poison downstream rate() math.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// baseName strips the label block from a composed metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withLabel splices an extra label into a composed metric name:
+// withLabel(`x{a="b"}`, `quantile="0.5"`) → `x{a="b",quantile="0.5"}`.
+func withLabel(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// WritePrometheus renders the snapshot in Prometheus exposition format.
+// Histograms export as summaries: quantile series plus _sum and _count.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	typed := make(map[string]bool)
+	emitType := func(name, kind string) {
+		if base := baseName(name); !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, c := range snap.Counters {
+		emitType(c.Name, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		emitType(g.Name, "gauge")
+		fmt.Fprintf(w, "%s %g\n", g.Name, sanitize(g.Value))
+	}
+	for _, h := range snap.Hists {
+		emitType(h.Name, "summary")
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{
+			{`quantile="0.5"`, h.P50},
+			{`quantile="0.95"`, h.P95},
+			{`quantile="0.99"`, h.P99},
+		} {
+			fmt.Fprintf(w, "%s %g\n", withLabel(h.Name, q.label), sanitize(q.v))
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", h.Name, sanitize(h.Mean)*float64(h.Count))
+		fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
+	}
+	return nil
+}
+
+// capEntries truncates a snapshot section to the wire limit.
+func capEntries[T any](s []T) []T {
+	if len(s) > proto.MaxStatsEntries {
+		return s[:proto.MaxStatsEntries]
+	}
+	return s
+}
+
+// ToStatsMsg converts a snapshot into the in-protocol stats message.
+// Sections beyond the wire's entry cap are truncated (names sort
+// deterministically, so truncation is stable scrape to scrape).
+func ToStatsMsg(id uint32, uptimeMicros uint64, snap Snapshot) *proto.StatsMsg {
+	m := &proto.StatsMsg{ID: id, UptimeMicros: uptimeMicros}
+	for _, c := range capEntries(snap.Counters) {
+		m.Counters = append(m.Counters, proto.StatCounter{Name: c.Name, Value: c.Value})
+	}
+	for _, g := range capEntries(snap.Gauges) {
+		m.Gauges = append(m.Gauges, proto.StatGauge{Name: g.Name, Value: sanitize(g.Value)})
+	}
+	for _, h := range capEntries(snap.Hists) {
+		m.Hists = append(m.Hists, proto.StatHist{
+			Name:  h.Name,
+			Count: h.Count,
+			Mean:  sanitize(h.Mean),
+			Min:   sanitize(h.Min),
+			Max:   sanitize(h.Max),
+			P50:   sanitize(h.P50),
+			P95:   sanitize(h.P95),
+			P99:   sanitize(h.P99),
+		})
+	}
+	return m
+}
+
+// SnapshotFromMsg converts a wire stats message back into snapshot rows —
+// the consumer side (mqtop, mqload's end-of-run report).
+func SnapshotFromMsg(m *proto.StatsMsg) Snapshot {
+	var snap Snapshot
+	for _, c := range m.Counters {
+		snap.Counters = append(snap.Counters, CounterValue{Name: c.Name, Value: c.Value})
+	}
+	for _, g := range m.Gauges {
+		snap.Gauges = append(snap.Gauges, GaugeValue{Name: g.Name, Value: g.Value})
+	}
+	for _, h := range m.Hists {
+		snap.Hists = append(snap.Hists, HistValue{Name: h.Name, HistSummary: HistSummary{
+			Count: h.Count, Mean: h.Mean, Min: h.Min, Max: h.Max,
+			P50: h.P50, P95: h.P95, P99: h.P99,
+		}})
+	}
+	return snap
+}

@@ -1,0 +1,33 @@
+// http.go: the HTTP export surface mounted by cmd/mqserve's -obs flag:
+// /metrics (Prometheus text), /traces (JSON span snapshot), and the
+// standard /debug/pprof profiling endpoints — registered on a private mux,
+// not http.DefaultServeMux, so importing this package never leaks handlers
+// into other servers in the process.
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves /metrics, /traces, and /debug/pprof for a hub.
+func Handler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, h.Reg.Snapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h.Trace.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

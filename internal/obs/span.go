@@ -1,0 +1,337 @@
+// span.go: lightweight per-query spans. A span decomposes one query into the
+// paper's segments — parse → plan → index-walk → serialize → wire →
+// server-exec → reply — and carries, per stage, measured wall-clock seconds
+// plus modeled Joules and client-clock cycles (energy.go). Finished spans
+// land in a fixed ring buffer with 1-in-K sampling, and the slowest span per
+// (scheme, kind) is always retained as an exemplar, so /traces shows both
+// the typical and the pathological query even at high QPS.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one segment of a query's lifecycle.
+type Stage uint8
+
+// The span stages, in execution order.
+const (
+	// StageParse is request decoding (server side).
+	StageParse Stage = iota
+	// StagePlan is the partitioning decision (client side): the §4.1
+	// advisor run against measured link conditions.
+	StagePlan
+	// StageIndexWalk is index filtering + refinement, wherever it runs.
+	StageIndexWalk
+	// StageSerialize is response/request encoding and the response write.
+	StageSerialize
+	// StageWire is time attributed to the radio: modeled tx + rx transfer.
+	StageWire
+	// StageServerExec is the wait for the server's answer (client side) or
+	// the admitted execution (server side).
+	StageServerExec
+	// StageReply is answer materialization at the client.
+	StageReply
+	// NumStages bounds the stage array.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"parse", "plan", "index-walk", "serialize", "wire", "server-exec", "reply",
+}
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage(?)"
+}
+
+// StageLap is one stage's accounting: measured seconds plus modeled energy
+// and client-clock cycles.
+type StageLap struct {
+	Seconds float64
+	Joules  float64
+	Cycles  float64
+}
+
+// Span is one query's trace. A span is owned by a single goroutine until
+// Finish; all methods are nil-safe so disabled observability needs no
+// branches at call sites.
+type Span struct {
+	Kind   string
+	Scheme string
+	Start  time.Time
+	End    time.Time
+	Err    bool
+	Laps   [NumStages]StageLap
+
+	cur   Stage
+	curAt time.Time
+	open  bool
+	tr    *Tracer
+}
+
+// Begin closes any open stage and opens st.
+func (s *Span) Begin(st Stage) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closeStage(now)
+	s.cur, s.curAt, s.open = st, now, true
+}
+
+// EndStage closes the open stage, if any.
+func (s *Span) EndStage() {
+	if s == nil {
+		return
+	}
+	s.closeStage(time.Now())
+}
+
+func (s *Span) closeStage(now time.Time) {
+	if s.open {
+		s.Laps[s.cur].Seconds += now.Sub(s.curAt).Seconds()
+		s.open = false
+	}
+}
+
+// Lap adds already-measured seconds to st without clocking.
+func (s *Span) Lap(st Stage, seconds float64) {
+	if s == nil || seconds <= 0 {
+		return
+	}
+	s.Laps[st].Seconds += seconds
+}
+
+// Attribute adds modeled energy and cycles to st.
+func (s *Span) Attribute(st Stage, joules, cycles float64) {
+	if s == nil {
+		return
+	}
+	s.Laps[st].Joules += joules
+	s.Laps[st].Cycles += cycles
+}
+
+// SetScheme labels the span with its partitioning scheme.
+func (s *Span) SetScheme(scheme string) {
+	if s != nil {
+		s.Scheme = scheme
+	}
+}
+
+// SetErr marks the span failed.
+func (s *Span) SetErr() {
+	if s != nil {
+		s.Err = true
+	}
+}
+
+// TotalSeconds returns the span's wall-clock duration (End-Start once
+// finished; summed stage laps before that).
+func (s *Span) TotalSeconds() float64 {
+	if s == nil {
+		return 0
+	}
+	if !s.End.IsZero() {
+		return s.End.Sub(s.Start).Seconds()
+	}
+	var sum float64
+	for _, l := range s.Laps {
+		sum += l.Seconds
+	}
+	return sum
+}
+
+// TotalJoules returns the span's modeled energy.
+func (s *Span) TotalJoules() float64 {
+	if s == nil {
+		return 0
+	}
+	var sum float64
+	for _, l := range s.Laps {
+		sum += l.Joules
+	}
+	return sum
+}
+
+// Finish closes the span and hands it to its tracer for retention.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.closeStage(now)
+	s.End = now
+	if s.tr != nil {
+		s.tr.retain(s)
+	}
+}
+
+// maxExemplars bounds the slowest-span table (schemes × kinds is small; the
+// cap only guards against label explosions).
+const maxExemplars = 64
+
+// Tracer retains finished spans: a ring buffer of every Kth span plus the
+// slowest span per (scheme, kind) exemplar.
+type Tracer struct {
+	sampleEvery uint64
+	started     atomic.Uint64
+
+	mu        sync.Mutex
+	ring      []*Span
+	next      int
+	finished  uint64
+	exemplars map[string]*Span
+
+	pool sync.Pool
+}
+
+// NewTracer builds a tracer with the given ring capacity and 1-in-K
+// sampling rate (values < 1 default to 256 and 16).
+func NewTracer(capacity, sampleEvery int) *Tracer {
+	if capacity < 1 {
+		capacity = 256
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 16
+	}
+	t := &Tracer{
+		sampleEvery: uint64(sampleEvery),
+		ring:        make([]*Span, 0, capacity),
+		exemplars:   make(map[string]*Span),
+	}
+	t.pool.New = func() any { return &Span{} }
+	return t
+}
+
+// Start opens a span for one query. Nil-safe: a nil tracer returns a nil
+// span, and every span method on nil is a no-op.
+func (t *Tracer) Start(kind string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := t.pool.Get().(*Span)
+	*s = Span{Kind: kind, Start: time.Now(), tr: t}
+	t.started.Add(1)
+	return s
+}
+
+// Started returns the number of spans started.
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load()
+}
+
+// retain decides what survives of a finished span: ring retention for every
+// Kth span, exemplar retention for per-(scheme, kind) maxima, and the pool
+// for everything else.
+func (t *Tracer) retain(s *Span) {
+	n := t.started.Load()
+	keepRing := t.sampleEvery == 1 || n%t.sampleEvery == 0
+
+	t.mu.Lock()
+	t.finished++
+	key := s.Scheme + "|" + s.Kind
+	ex := t.exemplars[key]
+	keepExemplar := ex == nil && len(t.exemplars) < maxExemplars ||
+		ex != nil && s.TotalSeconds() > ex.TotalSeconds()
+	if keepExemplar {
+		t.exemplars[key] = s
+	}
+	if keepRing {
+		if len(t.ring) < cap(t.ring) {
+			t.ring = append(t.ring, s)
+		} else {
+			t.ring[t.next] = s
+			t.next = (t.next + 1) % cap(t.ring)
+		}
+	}
+	t.mu.Unlock()
+
+	if !keepRing && !keepExemplar {
+		// Evicted ring/exemplar spans are left to the GC (they may be
+		// referenced from both tables); only never-retained spans recycle.
+		t.pool.Put(s)
+	}
+}
+
+// StageView is one stage of a span snapshot (zero stages omitted).
+type StageView struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+	Joules  float64 `json:"joules,omitempty"`
+	Cycles  float64 `json:"cycles,omitempty"`
+}
+
+// SpanView is an immutable copy of a retained span, for /traces.
+type SpanView struct {
+	Kind        string      `json:"kind"`
+	Scheme      string      `json:"scheme,omitempty"`
+	StartUnixNs int64       `json:"start_unix_ns"`
+	Seconds     float64     `json:"seconds"`
+	Joules      float64     `json:"joules"`
+	Err         bool        `json:"err,omitempty"`
+	Exemplar    bool        `json:"exemplar,omitempty"`
+	Stages      []StageView `json:"stages"`
+}
+
+func viewOf(s *Span, exemplar bool) SpanView {
+	v := SpanView{
+		Kind:        s.Kind,
+		Scheme:      s.Scheme,
+		StartUnixNs: s.Start.UnixNano(),
+		Seconds:     s.TotalSeconds(),
+		Joules:      s.TotalJoules(),
+		Err:         s.Err,
+		Exemplar:    exemplar,
+	}
+	for st, lap := range s.Laps {
+		if lap == (StageLap{}) {
+			continue
+		}
+		v.Stages = append(v.Stages, StageView{
+			Stage:   Stage(st).String(),
+			Seconds: lap.Seconds,
+			Joules:  lap.Joules,
+			Cycles:  lap.Cycles,
+		})
+	}
+	return v
+}
+
+// TraceSnapshot is the tracer's exported state.
+type TraceSnapshot struct {
+	Started  uint64     `json:"started"`
+	Finished uint64     `json:"finished"`
+	Sampled  []SpanView `json:"sampled"`
+	Slowest  []SpanView `json:"slowest"`
+}
+
+// Snapshot copies the retained spans, newest ring entries last.
+func (t *Tracer) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TraceSnapshot{Started: t.started.Load(), Finished: t.finished}
+	// Ring in insertion order: oldest surviving entry first.
+	for i := 0; i < len(t.ring); i++ {
+		idx := i
+		if len(t.ring) == cap(t.ring) {
+			idx = (t.next + i) % len(t.ring)
+		}
+		snap.Sampled = append(snap.Sampled, viewOf(t.ring[idx], false))
+	}
+	for _, s := range t.exemplars {
+		snap.Slowest = append(snap.Slowest, viewOf(s, true))
+	}
+	return snap
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanStagesAndAttribution(t *testing.T) {
+	tr := NewTracer(8, 1)
+	sp := tr.Start("range")
+	sp.SetScheme("fully-client")
+	sp.Begin(StagePlan)
+	time.Sleep(time.Millisecond)
+	sp.Begin(StageIndexWalk) // closes plan, opens index-walk
+	time.Sleep(time.Millisecond)
+	sp.EndStage()
+	sp.Lap(StageWire, 0.5)
+	sp.Attribute(StageWire, 2.0, 1e6)
+	sp.Finish()
+
+	if sp.Laps[StagePlan].Seconds <= 0 || sp.Laps[StageIndexWalk].Seconds <= 0 {
+		t.Errorf("clocked stages not recorded: %+v", sp.Laps)
+	}
+	if sp.Laps[StageWire].Seconds != 0.5 || sp.Laps[StageWire].Joules != 2.0 {
+		t.Errorf("wire lap = %+v", sp.Laps[StageWire])
+	}
+	if sp.TotalJoules() != 2.0 {
+		t.Errorf("total joules = %g, want 2", sp.TotalJoules())
+	}
+	if sp.End.IsZero() || sp.TotalSeconds() <= 0 {
+		t.Error("finish did not close the span")
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(100, 4) // every 4th span kept
+	for i := 0; i < 40; i++ {
+		sp := tr.Start("k")
+		sp.SetScheme("s")
+		sp.Finish()
+	}
+	snap := tr.Snapshot()
+	if snap.Started != 40 || snap.Finished != 40 {
+		t.Errorf("started=%d finished=%d, want 40", snap.Started, snap.Finished)
+	}
+	if len(snap.Sampled) != 10 {
+		t.Errorf("sampled %d spans at 1-in-4 of 40, want 10", len(snap.Sampled))
+	}
+	if len(snap.Slowest) != 1 || !snap.Slowest[0].Exemplar {
+		t.Errorf("slowest = %+v, want one exemplar", snap.Slowest)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4, 1)
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("k")
+		sp.Lap(StagePlan, float64(i+1))
+		sp.Finish()
+	}
+	snap := tr.Snapshot()
+	if len(snap.Sampled) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(snap.Sampled))
+	}
+	// Oldest surviving first: spans 7,8,9,10 by plan seconds.
+	for i, want := range []float64{7, 8, 9, 10} {
+		if got := snap.Sampled[i].Stages[0].Seconds; got != want {
+			t.Errorf("ring[%d] plan seconds = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestTracerExemplarKeepsSlowest(t *testing.T) {
+	tr := NewTracer(4, 1000000) // ring effectively never samples
+	for _, sec := range []float64{0.1, 3.0, 0.2} {
+		sp := tr.Start("range")
+		sp.SetScheme("server-ids")
+		// Backdate the start so the finished wall time is sec.
+		sp.Start = time.Now().Add(-time.Duration(sec * float64(time.Second)))
+		sp.Finish()
+	}
+	snap := tr.Snapshot()
+	if len(snap.Slowest) != 1 {
+		t.Fatalf("exemplars = %d, want 1", len(snap.Slowest))
+	}
+	if got := snap.Slowest[0].Seconds; got < 2.9 {
+		t.Errorf("exemplar seconds = %g, want the slowest (~3.0)", got)
+	}
+}
+
+func TestDefaultEnergyModel(t *testing.T) {
+	em := DefaultEnergyModel()
+	if em.ClientHz <= 0 {
+		t.Fatal("client clock not set")
+	}
+	// One second of compute burns more than one second of blocked wait,
+	// and transmit is the most expensive state (the paper's Table 2 order).
+	cj, cc := em.Compute(1)
+	wj, _ := em.Wait(1)
+	tj, _ := em.Tx(1)
+	rj, _ := em.Rx(1)
+	if !(tj > cj && cj > rj && rj > wj && wj > 0) {
+		t.Errorf("power ordering tx=%g compute=%g rx=%g wait=%g violates Table 2", tj, cj, rj, wj)
+	}
+	if cc != em.ClientHz {
+		t.Errorf("compute cycles = %g, want ClientHz", cc)
+	}
+	if sec := em.TxSeconds(1000, 8000); sec != 1.0 {
+		t.Errorf("TxSeconds(1000B, 8kbps) = %g, want 1", sec)
+	}
+	if sec := em.TxSeconds(1000, 0); sec != 0 {
+		t.Errorf("TxSeconds with unknown bandwidth = %g, want 0", sec)
+	}
+}

@@ -43,6 +43,10 @@ const (
 	// MsgPing is an echo frame; clients use it to measure RTT and, with a
 	// large payload, effective bandwidth.
 	MsgPing
+	// MsgStatsReq asks the server for its metrics snapshot (stats.go).
+	MsgStatsReq
+	// MsgStats is the snapshot reply: counters, gauges, histogram summaries.
+	MsgStats
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -53,6 +57,8 @@ var msgTypeNames = map[MsgType]string{
 	MsgShipment:    "shipment",
 	MsgError:       "error",
 	MsgPing:        "ping",
+	MsgStatsReq:    "stats-req",
+	MsgStats:       "stats",
 }
 
 // String implements fmt.Stringer.
@@ -211,18 +217,17 @@ func (m *QueryMsg) Validate() error {
 	if m.Eps < 0 || math.IsNaN(m.Eps) || math.IsInf(m.Eps, 0) {
 		return fmt.Errorf("proto: bad eps %v", m.Eps)
 	}
-	switch m.Kind {
-	case KindRange:
-		if err := checkRect(m.Window); err != nil {
-			return err
-		}
-		if m.Window.IsEmpty() {
-			return fmt.Errorf("proto: empty range window")
-		}
-	default:
-		if err := checkPoint(m.Point); err != nil {
-			return err
-		}
+	// Both geometry fields are validated regardless of kind — a don't-care
+	// field must still be well-formed or malformed frames survive re-encoding
+	// (found by fuzzing).
+	if err := checkRect(m.Window); err != nil {
+		return err
+	}
+	if err := checkPoint(m.Point); err != nil {
+		return err
+	}
+	if m.Kind == KindRange && m.Window.IsEmpty() {
+		return fmt.Errorf("proto: empty range window")
 	}
 	return nil
 }
@@ -388,7 +393,12 @@ func (m *ShipmentMsg) Type() MsgType { return MsgShipment }
 func (m *ShipmentMsg) RequestID() uint32 { return m.ID }
 
 // Validate implements Message.
-func (m *ShipmentMsg) Validate() error { return validateRecords("shipment", m.Records) }
+func (m *ShipmentMsg) Validate() error {
+	if err := checkRect(m.Coverage); err != nil {
+		return err
+	}
+	return validateRecords("shipment", m.Records)
+}
 
 func (m *ShipmentMsg) appendPayload(b []byte) []byte {
 	b = appendU32(b, m.ID)
@@ -501,6 +511,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &ErrorMsg{}, nil
 	case MsgPing:
 		return &PingMsg{}, nil
+	case MsgStatsReq:
+		return &StatsReqMsg{}, nil
+	case MsgStats:
+		return &StatsMsg{}, nil
 	}
 	return nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
 }
@@ -548,8 +562,8 @@ func ReadMessage(r io.Reader) (Message, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readPayload(r, int(n))
+	if err != nil {
 		return nil, 0, fmt.Errorf("proto: short %v frame: %w", MsgType(hdr[4]), err)
 	}
 	if err := m.decodePayload(payload); err != nil {
@@ -561,10 +575,38 @@ func ReadMessage(r io.Reader) (Message, int, error) {
 	return m, FrameHeaderBytes + int(n), nil
 }
 
+// payloadChunk is the allocation granularity for incoming frame payloads:
+// the buffer grows as bytes actually arrive, so a lying length prefix on a
+// short connection costs one chunk, not a MaxFramePayload allocation.
+const payloadChunk = 64 << 10
+
+// readPayload reads exactly n payload bytes, growing the buffer chunkwise.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= payloadChunk {
+		b := make([]byte, n)
+		_, err := io.ReadFull(r, b)
+		return b, err
+	}
+	b := make([]byte, 0, payloadChunk)
+	for len(b) < n {
+		m := n - len(b)
+		if m > payloadChunk {
+			m = payloadChunk
+		}
+		off := len(b)
+		b = append(b, make([]byte, m)...)
+		if _, err := io.ReadFull(r, b[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
 // ---- encoding helpers ----
 
-func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
-func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU16(b []byte, v uint16) []byte       { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte       { return binary.BigEndian.AppendUint32(b, v) }
+func binaryAppendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 func appendF64(b []byte, v float64) []byte {
 	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
 }
@@ -605,8 +647,15 @@ func checkPoint(p geom.Point) error {
 
 // checkRect rejects NaN corners but allows the canonical empty rectangle
 // (Min > Max with infinite corners — geom.EmptyRect), which ShipmentMsg uses
-// for "no coverage guarantee".
+// for "no coverage guarantee". NaN is rejected even in empty rectangles:
+// IsEmpty is true when either axis is inverted, so a rect empty on one axis
+// could otherwise smuggle NaN through on the other (found by fuzzing).
 func checkRect(r geom.Rect) error {
+	for _, v := range [...]float64{r.Min.X, r.Min.Y, r.Max.X, r.Max.Y} {
+		if math.IsNaN(v) {
+			return fmt.Errorf("proto: NaN rectangle corner %v", r)
+		}
+	}
 	if r.IsEmpty() {
 		return nil
 	}
@@ -658,6 +707,15 @@ func (d *decoder) u32() uint32 {
 	}
 	v := binary.BigEndian.Uint32(d.b[d.off:])
 	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
 	return v
 }
 

@@ -39,6 +39,19 @@ func allMessages() []Message {
 		&ErrorMsg{ID: 15, Code: CodeOverload, Text: "too many in-flight requests"},
 		&PingMsg{ID: 16, Payload: []byte("abcdefgh")},
 		&PingMsg{ID: 17},
+		&StatsReqMsg{ID: 18},
+		&StatsMsg{ID: 18, UptimeMicros: 12_345_678,
+			Counters: []StatCounter{
+				{Name: "serve_requests_total", Value: 42},
+				{Name: `serve_queries_total{kind="range",mode="ids"}`, Value: 7},
+			},
+			Gauges: []StatGauge{{Name: "client_link_bandwidth_bps", Value: 2e6}},
+			Hists: []StatHist{{
+				Name: `serve_exec_seconds{kind="point"}`, Count: 42,
+				Mean: 0.002, Min: 0.0001, Max: 0.5, P50: 0.0015, P95: 0.02, P99: 0.3,
+			}},
+		},
+		&StatsMsg{ID: 19}, // an empty snapshot is legal
 	}
 }
 
@@ -161,6 +174,11 @@ func TestWireValidateRejects(t *testing.T) {
 		&ErrorMsg{ID: 1, Code: CodeInternal, Text: string(make([]byte, MaxErrorText+1))},
 		&PingMsg{ID: 1, Payload: make([]byte, MaxPingPayload+1)},
 		&DataListMsg{ID: 1, Records: []Record{{Seg: geom.Segment{A: geom.Point{X: math.NaN()}}}}},
+		&StatsMsg{ID: 1, Counters: []StatCounter{{Name: "", Value: 1}}},
+		&StatsMsg{ID: 1, Gauges: []StatGauge{{Name: "g", Value: math.NaN()}}},
+		&StatsMsg{ID: 1, Hists: []StatHist{{Name: "h", Mean: math.NaN()}}},
+		&StatsMsg{ID: 1, Counters: []StatCounter{{Name: string(make([]byte, MaxStatName+1))}}},
+		&StatsMsg{ID: 1, Counters: make([]StatCounter, MaxStatsEntries+1)},
 	}
 	for _, m := range bad {
 		if err := m.Validate(); err == nil {

@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
+)
+
+// benchServe measures end-to-end point queries over loopback with and
+// without the obs hub — the <5% overhead claim in DESIGN.md §10 comes from
+// comparing these two.
+func benchServe(b *testing.B, hub *obs.Hub) {
+	ds, _, _, addr := testWorld(b, func(cfg *Config) { cfg.Obs = hub })
+	c := newClient(b, addr, 4)
+	center := ds.Extent.Center()
+	w := geom.Rect{
+		Min: geom.Point{X: center.X - 400, Y: center.Y - 400},
+		Max: geom.Point{X: center.X + 400, Y: center.Y + 400},
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.RangeIDs(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkServeRangeObsOff(b *testing.B) { benchServe(b, nil) }
+
+func BenchmarkServeRangeObsOn(b *testing.B) { benchServe(b, obs.NewHub()) }

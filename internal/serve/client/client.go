@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
 	"mobispatial/internal/proto"
 )
 
@@ -41,6 +42,10 @@ type Config struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the retry delay; defaults to 250ms.
 	BackoffMax time.Duration
+	// Obs enables client-side observability: round-trip histograms, link
+	// gauges, and the planner's per-scheme and predicted-vs-actual metrics
+	// and spans all land in this hub. Nil disables instrumentation.
+	Obs *obs.Hub
 }
 
 func (c *Config) fill() error {
@@ -87,6 +92,9 @@ type Client struct {
 
 	// Retries counts transient-failure retries (visible to load tests).
 	retries atomic.Uint64
+
+	hub     *obs.Hub
+	metrics clientMetrics
 }
 
 // wireConn is one pooled TCP connection. A connection carries one
@@ -103,8 +111,10 @@ func New(cfg Config) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.Conns),
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Conns),
+		hub:     cfg.Obs,
+		metrics: newClientMetrics(cfg.Obs),
 	}, nil
 }
 
@@ -197,6 +207,7 @@ func (c *Client) do(req proto.Message) (proto.Message, error) {
 			return nil, fmt.Errorf("client: %d attempts failed: %w", attempt+1, lastErr)
 		}
 		c.retries.Add(1)
+		c.metrics.retries.Inc()
 		backoff := c.cfg.BackoffBase << uint(attempt)
 		if backoff > c.cfg.BackoffMax {
 			backoff = c.cfg.BackoffMax
@@ -226,8 +237,17 @@ func (c *Client) roundTrip(req proto.Message) (proto.Message, error) {
 		c.discard(wc)
 		return nil, err
 	}
-	c.link.observe(time.Since(start), sentBytes+respBytes)
+	elapsed := time.Since(start)
+	c.link.observe(elapsed, sentBytes+respBytes)
 	c.checkin(wc)
+	if c.hub != nil {
+		c.metrics.rtHist.Observe(elapsed.Seconds())
+		c.metrics.txBytes.Add(uint64(sentBytes))
+		c.metrics.rxBytes.Add(uint64(respBytes))
+		est := c.link.estimate()
+		c.metrics.rttG.Set(est.RTT.Seconds())
+		c.metrics.bwG.Set(est.BandwidthBps)
+	}
 	return resp, nil
 }
 
@@ -348,6 +368,23 @@ func (c *Client) Ping(payloadBytes int) (time.Duration, error) {
 		return 0, fmt.Errorf("client: unexpected %v reply to ping", resp.Type())
 	}
 	return time.Since(start), nil
+}
+
+// StatsSnapshot pulls the server's metrics snapshot over the query
+// connection — the in-protocol observability surface (no HTTP endpoint
+// needed; mqtop and mqload's end-of-run report use it).
+func (c *Client) StatsSnapshot() (*proto.StatsMsg, error) {
+	resp, err := c.do(&proto.StatsReqMsg{ID: c.id()})
+	if err != nil {
+		return nil, err
+	}
+	switch m := resp.(type) {
+	case *proto.StatsMsg:
+		return m, nil
+	case *proto.ErrorMsg:
+		return nil, m
+	}
+	return nil, fmt.Errorf("client: unexpected %v reply to stats request", resp.Type())
 }
 
 // Probe primes the link estimate with one small and one large ping.

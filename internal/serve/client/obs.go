@@ -1,0 +1,106 @@
+// obs.go: the client half of the observability wiring. The client measures
+// what the paper's model predicts — round-trip latency, link estimates, and
+// per-scheme execution outcomes — and the planner closes the loop by
+// recording its §4.1 predictions against the measured result of every
+// executed query (the predicted-vs-actual partitioning error).
+package client
+
+import (
+	"mobispatial/internal/core"
+	"mobispatial/internal/obs"
+)
+
+// clientMetrics holds the transport-level handles, resolved once at New.
+// All handles are nil (no-op) when Config.Obs is nil.
+type clientMetrics struct {
+	rtHist  *obs.Histogram // client_roundtrip_seconds
+	rttG    *obs.Gauge     // client_link_rtt_seconds
+	bwG     *obs.Gauge     // client_link_bandwidth_bps
+	retries *obs.Counter   // client_retries_total
+	txBytes *obs.Counter   // client_tx_bytes_total
+	rxBytes *obs.Counter   // client_rx_bytes_total
+}
+
+func newClientMetrics(h *obs.Hub) clientMetrics {
+	var m clientMetrics
+	if h == nil {
+		return m
+	}
+	m.rtHist = h.Reg.Histogram("client_roundtrip_seconds")
+	m.rttG = h.Reg.Gauge("client_link_rtt_seconds")
+	m.bwG = h.Reg.Gauge("client_link_bandwidth_bps")
+	m.retries = h.Reg.Counter("client_retries_total")
+	m.txBytes = h.Reg.Counter("client_tx_bytes_total")
+	m.rxBytes = h.Reg.Counter("client_rx_bytes_total")
+	return m
+}
+
+// plannerMetrics holds the per-scheme handles, indexed by Plan.
+type plannerMetrics struct {
+	// plans counts executions per scheme; execHist is end-to-end planned
+	// execution time; joules accumulates modeled client energy.
+	plans    [3]*obs.Counter
+	execHist [3]*obs.Histogram
+	joules   [3]*obs.Gauge
+	// cycleRatio and energyRatio are the predicted-vs-actual partitioning
+	// error: the advisor's predicted seconds (Joules) over the measured
+	// seconds (modeled Joules) of the execution it chose. 1.0 = the §4.1
+	// model priced this query perfectly.
+	cycleRatio  [3]*obs.Histogram
+	energyRatio [3]*obs.Histogram
+}
+
+func newPlannerMetrics(h *obs.Hub) plannerMetrics {
+	var m plannerMetrics
+	if h == nil {
+		return m
+	}
+	for pl := PlanLocal; pl <= PlanServerData; pl++ {
+		scheme := pl.String()
+		m.plans[pl] = h.Reg.Counter(obs.Name("client_plans_total", "scheme", scheme))
+		m.execHist[pl] = h.Reg.Histogram(obs.Name("client_exec_seconds", "scheme", scheme))
+		m.joules[pl] = h.Reg.Gauge(obs.Name("client_energy_joules_total", "scheme", scheme))
+		m.cycleRatio[pl] = h.Reg.Histogram(obs.Name("client_plan_cycle_ratio", "scheme", scheme))
+		m.energyRatio[pl] = h.Reg.Histogram(obs.Name("client_plan_energy_ratio", "scheme", scheme))
+	}
+	return m
+}
+
+// queryKindName labels a core query for spans.
+func queryKindName(k core.QueryKind) string {
+	switch k {
+	case core.PointQuery:
+		return "point"
+	case core.RangeQuery:
+		return "range"
+	}
+	return "nn"
+}
+
+// attributeWire decomposes one network call's measured wall time into the
+// modeled radio transfer (StageWire) and the residual server wait
+// (StageServerExec), pricing each with the hub's energy model. With no
+// bandwidth estimate the whole wall time is attributed as wait.
+func attributeWire(sp *obs.Span, em obs.EnergyModel, wallSec float64, txBytes, rxBytes int, bwBps float64) {
+	if sp == nil || wallSec <= 0 {
+		return
+	}
+	txSec := em.TxSeconds(txBytes, bwBps)
+	rxSec := em.TxSeconds(rxBytes, bwBps)
+	if wire := txSec + rxSec; wire > wallSec {
+		// The modeled transfer can exceed the measured wall time when the
+		// bandwidth estimate is stale; scale it into the budget.
+		scale := wallSec / wire
+		txSec *= scale
+		rxSec *= scale
+	}
+	waitSec := wallSec - txSec - rxSec
+	sp.Lap(obs.StageWire, txSec+rxSec)
+	j, cy := em.Tx(txSec)
+	sp.Attribute(obs.StageWire, j, cy)
+	j, cy = em.Rx(rxSec)
+	sp.Attribute(obs.StageWire, j, cy)
+	sp.Lap(obs.StageServerExec, waitSec)
+	j, cy = em.Wait(waitSec)
+	sp.Attribute(obs.StageServerExec, j, cy)
+}

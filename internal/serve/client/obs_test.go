@@ -1,0 +1,198 @@
+package client_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/parallel"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/serve"
+	"mobispatial/internal/serve/client"
+)
+
+// obsWorld is plannerWorld with client-side observability enabled and spans
+// sampled 1-in-1.
+func obsWorld(t *testing.T) (*dataset.Dataset, *client.Client, *client.Planner, *obs.Hub) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Name:           "obs-test",
+		NumSegments:    4000,
+		RecordBytes:    76,
+		Extent:         geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 50000, Y: 50000}},
+		Clusters:       4,
+		ClusterStdFrac: 0.08,
+		UniformFrac:    0.25,
+		StreetSegs:     [2]int{2, 8},
+		SegLen:         [2]float64{40, 160},
+		GridBias:       0.6,
+		Seed:           31,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	pool, err := parallel.New(ds, tree, 0)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	srv, err := serve.New(serve.Config{Pool: pool, Master: tree})
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+
+	hub := obs.NewHub()
+	hub.Trace = obs.NewTracer(128, 1)
+	c, err := client.New(client.Config{Addr: lis.Addr().String(), Conns: 4, Obs: hub})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	p := client.NewPlanner(c)
+	if err := p.FetchShipment(ds.Extent, 4000*(ds.RecordBytes+rtree.EntryBytes)+1<<20, ds.RecordBytes); err != nil {
+		t.Fatalf("shipment: %v", err)
+	}
+	return ds, c, p, hub
+}
+
+func snapCounter(snap obs.Snapshot, name string) (uint64, bool) {
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+func snapHist(snap obs.Snapshot, name string) (obs.HistValue, bool) {
+	for _, h := range snap.Hists {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return obs.HistValue{}, false
+}
+
+// TestPlannerRecordsSchemesAndPredictionError drives both advisor-chosen
+// schemes through Execute and checks the per-scheme metrics, the modeled
+// energy accumulation, and the predicted-vs-actual partitioning-error
+// histograms.
+func TestPlannerRecordsSchemesAndPredictionError(t *testing.T) {
+	ds, c, p, hub := obsWorld(t)
+	center := ds.Extent.Center()
+
+	// Fast link: point queries stay local, a huge range offloads (ids back).
+	c.SetLink(500*time.Microsecond, 1e9)
+
+	for i := 0; i < 4; i++ {
+		res, err := p.Execute(core.Point(center))
+		if err != nil {
+			t.Fatalf("point execute: %v", err)
+		}
+		if res.Plan != client.PlanLocal {
+			t.Fatalf("point plan = %v, want fully-client", res.Plan)
+		}
+	}
+	bigW := geom.Rect{
+		Min: geom.Point{X: center.X - 20000, Y: center.Y - 20000},
+		Max: geom.Point{X: center.X + 20000, Y: center.Y + 20000},
+	}
+	res, err := p.Execute(core.Range(bigW))
+	if err != nil {
+		t.Fatalf("range execute: %v", err)
+	}
+	if res.Plan != client.PlanServerIDs {
+		t.Fatalf("big range plan = %v, want server-ids", res.Plan)
+	}
+
+	snap := hub.Reg.Snapshot()
+	for scheme, want := range map[string]uint64{"fully-client": 4, "server-ids": 1} {
+		name := obs.Name("client_plans_total", "scheme", scheme)
+		if got, ok := snapCounter(snap, name); !ok || got != want {
+			t.Errorf("%s = %d (present=%v), want %d", name, got, ok, want)
+		}
+		hname := obs.Name("client_exec_seconds", "scheme", scheme)
+		if h, ok := snapHist(snap, hname); !ok || h.Count != want {
+			t.Errorf("%s count = %d (present=%v), want %d", hname, h.Count, ok, want)
+		}
+		rname := obs.Name("client_plan_cycle_ratio", "scheme", scheme)
+		if h, ok := snapHist(snap, rname); !ok || h.Count != want || h.Mean <= 0 {
+			t.Errorf("%s count=%d mean=%g (present=%v), want count %d, mean > 0",
+				rname, h.Count, h.Mean, ok, want)
+		}
+	}
+	var joules float64
+	for _, g := range snap.Gauges {
+		if strings.HasPrefix(g.Name, "client_energy_joules_total") {
+			joules += g.Value
+		}
+	}
+	if joules <= 0 {
+		t.Errorf("accumulated modeled energy = %g, want > 0", joules)
+	}
+	// Transport metrics from the offloaded query and the shipment fetch.
+	if h, ok := snapHist(snap, "client_roundtrip_seconds"); !ok || h.Count == 0 {
+		t.Error("client_roundtrip_seconds missing or empty")
+	}
+}
+
+// TestPlannerSpansCarryEnergy: an offloaded execution's span must decompose
+// into plan, wire, and server-exec stages with nonzero Joules attribution.
+func TestPlannerSpansCarryEnergy(t *testing.T) {
+	ds, c, p, hub := obsWorld(t)
+	center := ds.Extent.Center()
+	c.SetLink(500*time.Microsecond, 1e9)
+
+	bigW := geom.Rect{
+		Min: geom.Point{X: center.X - 20000, Y: center.Y - 20000},
+		Max: geom.Point{X: center.X + 20000, Y: center.Y + 20000},
+	}
+	if _, err := p.Execute(core.Range(bigW)); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+
+	snap := hub.Trace.Snapshot()
+	var offloaded *obs.SpanView
+	for i := range snap.Sampled {
+		if snap.Sampled[i].Scheme == "server-ids" {
+			offloaded = &snap.Sampled[i]
+		}
+	}
+	if offloaded == nil {
+		t.Fatal("no server-ids span retained")
+	}
+	if offloaded.Joules <= 0 {
+		t.Errorf("span joules = %g, want > 0", offloaded.Joules)
+	}
+	stages := map[string]obs.StageView{}
+	for _, st := range offloaded.Stages {
+		stages[st.Stage] = st
+	}
+	for _, want := range []string{"plan", "server-exec"} {
+		st, ok := stages[want]
+		if !ok || st.Seconds <= 0 || st.Joules <= 0 {
+			t.Errorf("stage %q: present=%v seconds=%g joules=%g, want all > 0",
+				want, ok, st.Seconds, st.Joules)
+		}
+	}
+	// The wire stage exists whenever a bandwidth estimate is available.
+	if st, ok := stages["wire"]; !ok || st.Joules <= 0 {
+		t.Errorf("wire stage: present=%v joules=%g, want > 0", ok, st.Joules)
+	}
+}

@@ -8,12 +8,14 @@ package client
 
 import (
 	"fmt"
+	"time"
 
 	"mobispatial/internal/core"
 	"mobispatial/internal/cpu"
 	"mobispatial/internal/energy"
 	"mobispatial/internal/geom"
 	"mobispatial/internal/nic"
+	"mobispatial/internal/obs"
 	"mobispatial/internal/proto"
 )
 
@@ -104,17 +106,21 @@ func DefaultCostModel() CostModel {
 
 // Planner chooses and executes per-query plans for one client.
 type Planner struct {
-	c     *Client
-	model CostModel
-	obj   Objective
-	eps   float64
-	ship  *Shipment
+	c       *Client
+	model   CostModel
+	obj     Objective
+	eps     float64
+	ship    *Shipment
+	metrics plannerMetrics
 }
 
 // NewPlanner builds a planner with the default cost model and the
-// performance objective.
+// performance objective. Observability follows the client: with Config.Obs
+// set, every Execute records per-scheme metrics, a sampled span, and the
+// predicted-vs-actual partitioning error.
 func NewPlanner(c *Client) *Planner {
-	return &Planner{c: c, model: DefaultCostModel(), eps: core.PointEps}
+	return &Planner{c: c, model: DefaultCostModel(), eps: core.PointEps,
+		metrics: newPlannerMetrics(c.hub)}
 }
 
 // SetCostModel replaces the cost calibration.
@@ -150,33 +156,103 @@ type Result struct {
 // coverage must go to the server; covered queries consult the §4.1 advisor
 // with measured link conditions.
 func (p *Planner) Plan(q core.Query) (Plan, core.Verdict) {
+	plan, v, _, _ := p.plan(q)
+	return plan, v
+}
+
+// plan is Plan plus the advisor inputs it decided with — the prediction the
+// observability layer scores against the measured execution. advised is
+// false when coverage forced the plan and no prediction exists.
+func (p *Planner) plan(q core.Query) (plan Plan, v core.Verdict, in core.AnalyticInputs, advised bool) {
 	if p.ship == nil || !p.ship.Covers(q) {
-		return PlanServerData, core.Verdict{}
+		return PlanServerData, core.Verdict{}, core.AnalyticInputs{}, false
 	}
-	in := p.analyticInputs(q)
-	v := in.Advise()
+	in = p.analyticInputs(q)
+	v = in.Advise()
 	offload := v.SavesCycles
 	if p.obj == Energy {
 		offload = v.SavesEnergy
 	}
 	if offload {
-		return PlanServerIDs, v
+		return PlanServerIDs, v, in, true
 	}
-	return PlanLocal, v
+	return PlanLocal, v, in, true
 }
 
-// Execute plans and runs q.
+// Execute plans and runs q, recording the execution as a span and scoring
+// the advisor's prediction against the measured outcome when obs is enabled.
 func (p *Planner) Execute(q core.Query) (Result, error) {
-	plan, v := p.Plan(q)
+	var (
+		sp *obs.Span
+		em obs.EnergyModel
+	)
+	if hub := p.c.hub; hub != nil {
+		sp = hub.Trace.Start(queryKindName(q.Kind))
+		em = hub.Energy
+	}
+
+	planStart := time.Now()
+	plan, v, in, advised := p.plan(q)
+	planSec := time.Since(planStart).Seconds()
+	sp.SetScheme(plan.String())
+	sp.Lap(obs.StagePlan, planSec)
+	j, cy := em.Compute(planSec)
+	sp.Attribute(obs.StagePlan, j, cy)
+
+	execStart := time.Now()
+	res, err := p.runPlan(plan, v, q, sp, em)
+	totalSec := planSec + time.Since(execStart).Seconds()
+	if err != nil {
+		sp.SetErr()
+	}
+
+	// Score and record before Finish: a finished span may be recycled.
+	actualJoules := sp.TotalJoules()
+	m := &p.metrics
+	m.plans[res.Plan].Inc()
+	m.execHist[res.Plan].Observe(totalSec)
+	m.joules[res.Plan].Add(actualJoules)
+	if advised && res.Plan == plan && err == nil {
+		predSec := in.FullyLocalCycles() / in.ClientHz
+		predJoules := in.FullyLocalJoules()
+		if plan == PlanServerIDs {
+			predSec = in.PartitionedCycles() / in.ClientHz
+			predJoules = in.PartitionedJoules()
+		}
+		if totalSec > 0 {
+			m.cycleRatio[plan].Observe(predSec / totalSec)
+		}
+		if actualJoules > 0 {
+			m.energyRatio[plan].Observe(predJoules / actualJoules)
+		}
+	}
+	sp.Finish()
+	return res, err
+}
+
+// runPlan executes one chosen plan, clocking the span stages and pricing
+// them with the energy model.
+func (p *Planner) runPlan(plan Plan, v core.Verdict, q core.Query, sp *obs.Span, em obs.EnergyModel) (Result, error) {
+	bw := p.c.Link().BandwidthBps
 	switch plan {
 	case PlanLocal:
+		start := time.Now()
 		recs, err := p.ship.Answer(q, p.eps)
+		sec := time.Since(start).Seconds()
+		sp.Lap(obs.StageIndexWalk, sec)
+		j, cy := em.Compute(sec)
+		sp.Attribute(obs.StageIndexWalk, j, cy)
 		return Result{Plan: plan, Records: recs, Verdict: v}, err
 	case PlanServerIDs:
+		start := time.Now()
 		ids, err := p.serverIDs(q)
+		netSec := time.Since(start).Seconds()
+		attributeWire(sp, em, netSec,
+			proto.QueryRequestBytes, proto.IDListBytes(len(ids)), bw)
 		if err != nil {
 			return Result{Plan: plan}, err
 		}
+		replyStart := time.Now()
 		recs := make([]proto.Record, 0, len(ids))
 		for _, id := range ids {
 			if r, ok := p.ship.Record(id); ok {
@@ -185,13 +261,26 @@ func (p *Planner) Execute(q core.Query) (Result, error) {
 				// The server knows records the shipment lacks (it can
 				// happen only on uncovered queries, which don't take this
 				// plan; kept as a safety net): fall back to full records.
+				sp.SetScheme(PlanServerData.String())
+				fullStart := time.Now()
 				full, ferr := p.serverData(q)
+				attributeWire(sp, em, time.Since(fullStart).Seconds(),
+					proto.QueryRequestBytes,
+					proto.DataListBytes(len(full), proto.WireRecordBytes), bw)
 				return Result{Plan: PlanServerData, Records: full, Verdict: v}, ferr
 			}
 		}
+		replySec := time.Since(replyStart).Seconds()
+		sp.Lap(obs.StageReply, replySec)
+		j, cy := em.Compute(replySec)
+		sp.Attribute(obs.StageReply, j, cy)
 		return Result{Plan: plan, Records: recs, Verdict: v}, nil
 	default:
+		start := time.Now()
 		recs, err := p.serverData(q)
+		attributeWire(sp, em, time.Since(start).Seconds(),
+			proto.QueryRequestBytes,
+			proto.DataListBytes(len(recs), proto.WireRecordBytes), bw)
 		return Result{Plan: plan, Records: recs, Verdict: v}, err
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
 	"mobispatial/internal/ops"
 	"mobispatial/internal/parallel"
 	"mobispatial/internal/proto"
@@ -63,6 +64,11 @@ type Config struct {
 	// MaxShipmentBudget caps a shipment request's byte budget; defaults to
 	// 64 MB (a larger budget is a protocol error).
 	MaxShipmentBudget int
+	// Obs enables observability: per-kind execution histograms, sampled
+	// spans, and the MsgStatsReq snapshot carry this hub's metrics. Nil
+	// disables instrumentation (the snapshot then carries only the core
+	// counters).
+	Obs *obs.Hub
 
 	// testDelay, when set, stalls every query execution — tests use it to
 	// fill the admission window and overrun deadlines deterministically.
@@ -115,7 +121,8 @@ type Stats struct {
 
 // Server is a networked spatial-query server.
 type Server struct {
-	cfg Config
+	cfg   Config
+	start time.Time
 	// sem holds one token per in-flight request.
 	sem chan struct{}
 
@@ -127,6 +134,53 @@ type Server struct {
 	connWG sync.WaitGroup // one per live connection
 
 	nConns, nServed, nOverload, nDeadline, nErrors, nShipments atomic.Uint64
+
+	metrics serveMetrics
+}
+
+// serveMetrics holds the obs handles the hot path uses, resolved once at New
+// so request goroutines never touch the registry maps. All handles are
+// nil (no-op) when Config.Obs is nil.
+type serveMetrics struct {
+	// execHist[kind][mode] is the execution-time histogram of one query
+	// shape; shipHist covers shipments, admitHist the admission wait,
+	// writeHist the response serialization + write.
+	execHist  [3][3]*obs.Histogram
+	shipHist  *obs.Histogram
+	admitHist *obs.Histogram
+	writeHist *obs.Histogram
+	rxBytes   *obs.Counter
+	txBytes   *obs.Counter
+	// Registry mirrors of the core Stats counters, so /metrics sees them
+	// without reaching into the Server.
+	conns, served, overloads, deadlines, errors, shipments *obs.Counter
+}
+
+var kindNames = [3]string{"point", "range", "nn"}
+
+func newServeMetrics(h *obs.Hub) serveMetrics {
+	var m serveMetrics
+	if h == nil {
+		return m
+	}
+	for k, kindName := range kindNames {
+		for mo, mode := range [3]proto.Mode{proto.ModeData, proto.ModeIDs, proto.ModeFilter} {
+			m.execHist[k][mo] = h.Reg.Histogram(
+				obs.Name("serve_exec_seconds", "kind", kindName, "mode", mode.String()))
+		}
+	}
+	m.shipHist = h.Reg.Histogram("serve_shipment_seconds")
+	m.admitHist = h.Reg.Histogram("serve_admit_wait_seconds")
+	m.writeHist = h.Reg.Histogram("serve_write_seconds")
+	m.rxBytes = h.Reg.Counter("serve_rx_bytes_total")
+	m.txBytes = h.Reg.Counter("serve_tx_bytes_total")
+	m.conns = h.Reg.Counter("serve_conns_total")
+	m.served = h.Reg.Counter("serve_served_total")
+	m.overloads = h.Reg.Counter("serve_overloads_total")
+	m.deadlines = h.Reg.Counter("serve_deadlines_total")
+	m.errors = h.Reg.Counter("serve_errors_total")
+	m.shipments = h.Reg.Counter("serve_shipments_total")
+	return m
 }
 
 // New builds a Server.
@@ -135,9 +189,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return &Server{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		conns: make(map[net.Conn]struct{}),
+		cfg:     cfg,
+		start:   time.Now(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		conns:   make(map[net.Conn]struct{}),
+		metrics: newServeMetrics(cfg.Obs),
 	}, nil
 }
 
@@ -190,6 +246,7 @@ func (s *Server) Serve(lis net.Listener) error {
 		s.connWG.Add(1)
 		s.mu.Unlock()
 		s.nConns.Add(1)
+		s.metrics.conns.Inc()
 		go s.serveConn(nc)
 	}
 }
@@ -291,11 +348,16 @@ func (s *Server) serveConn(nc net.Conn) {
 	}()
 
 	for {
+		// The deadline is armed before the shutdown check: if Shutdown's
+		// poke (SetReadDeadline(now)) lands between the check and a
+		// later arm, this ordering guarantees the poke wins and the read
+		// returns immediately — otherwise an idle connection could stall
+		// the drain for a full readPollInterval.
+		nc.SetReadDeadline(time.Now().Add(readPollInterval))
 		if s.inShutdown() {
 			return
 		}
-		nc.SetReadDeadline(time.Now().Add(readPollInterval))
-		msg, _, err := proto.ReadMessage(nc)
+		msg, n, err := proto.ReadMessage(nc)
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
@@ -304,17 +366,23 @@ func (s *Server) serveConn(nc net.Conn) {
 			return // EOF, peer reset, or a protocol error: drop the conn
 		}
 		arrived := time.Now()
+		s.metrics.rxBytes.Add(uint64(n))
 
 		switch m := msg.(type) {
 		case *proto.PingMsg:
 			// Pings bypass admission: they measure the link, not the server.
 			c.write(m)
+		case *proto.StatsReqMsg:
+			// Snapshots bypass admission too: observability must stay
+			// available when the server is saturated.
+			c.write(s.statsSnapshot(m.ID))
 		case *proto.QueryMsg:
 			c.dispatch(m, arrived, m.TimeoutMicros)
 		case *proto.ShipmentReqMsg:
 			c.dispatch(m, arrived, m.TimeoutMicros)
 		default:
 			s.nErrors.Add(1)
+			s.metrics.errors.Inc()
 			c.write(&proto.ErrorMsg{ID: msg.RequestID(), Code: proto.CodeBadRequest,
 				Text: fmt.Sprintf("unexpected %v message", msg.Type())})
 		}
@@ -346,11 +414,14 @@ func (c *conn) dispatch(req proto.Message, arrived time.Time, timeoutMicros uint
 			timer.Stop()
 		case <-timer.C:
 			s.nOverload.Add(1)
+			s.metrics.overloads.Inc()
 			c.write(&proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeOverload,
 				Text: "admission queue full"})
 			return
 		}
 	}
+	admitted := time.Now()
+	s.metrics.admitHist.Observe(admitted.Sub(arrived).Seconds())
 
 	c.pending.Add(1)
 	go func() {
@@ -358,21 +429,63 @@ func (c *conn) dispatch(req proto.Message, arrived time.Time, timeoutMicros uint
 			<-s.sem
 			c.pending.Done()
 		}()
+		var sp *obs.Span
+		if h := s.cfg.Obs; h != nil {
+			sp = h.Trace.Start(reqKind(req))
+		}
+		sp.Lap(obs.StageParse, admitted.Sub(arrived).Seconds())
+		sp.Begin(obs.StageIndexWalk)
+		execStart := time.Now()
 		resp := s.execute(req)
+		execSec := time.Since(execStart).Seconds()
+		s.observeExec(req, execSec)
 		if time.Now().After(deadline) {
 			s.nDeadline.Add(1)
+			s.metrics.deadlines.Inc()
 			resp = &proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeDeadline,
 				Text: fmt.Sprintf("request exceeded %v deadline", timeout)}
 		}
 		if _, ok := resp.(*proto.ErrorMsg); ok {
 			if resp.(*proto.ErrorMsg).Code != proto.CodeDeadline {
 				s.nErrors.Add(1)
+				s.metrics.errors.Inc()
 			}
+			sp.SetErr()
 		} else {
 			s.nServed.Add(1)
+			s.metrics.served.Inc()
 		}
+		sp.Begin(obs.StageSerialize)
+		writeStart := time.Now()
 		c.write(resp)
+		s.metrics.writeHist.Observe(time.Since(writeStart).Seconds())
+		sp.Finish()
 	}()
+}
+
+// reqKind labels a request for spans and histograms.
+func reqKind(req proto.Message) string {
+	switch m := req.(type) {
+	case *proto.QueryMsg:
+		if int(m.Kind) < len(kindNames) {
+			return kindNames[m.Kind]
+		}
+	case *proto.ShipmentReqMsg:
+		return "shipment"
+	}
+	return "other"
+}
+
+// observeExec records one execution time into the matching histogram.
+func (s *Server) observeExec(req proto.Message, sec float64) {
+	switch m := req.(type) {
+	case *proto.QueryMsg:
+		if int(m.Kind) < 3 && int(m.Mode) < 3 {
+			s.metrics.execHist[m.Kind][m.Mode].Observe(sec)
+		}
+	case *proto.ShipmentReqMsg:
+		s.metrics.shipHist.Observe(sec)
+	}
 }
 
 // write sends one response frame; write errors drop the connection (the
@@ -381,9 +494,31 @@ func (c *conn) write(m proto.Message) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-	if _, err := proto.WriteMessage(c.nc, m); err != nil {
+	n, err := proto.WriteMessage(c.nc, m)
+	c.srv.metrics.txBytes.Add(uint64(n))
+	if err != nil {
 		c.nc.Close()
 	}
+}
+
+// statsSnapshot builds the in-protocol stats reply. With obs enabled the
+// registry snapshot already mirrors the core counters; with obs disabled the
+// core counters are synthesized from the Server's atomics, so the snapshot
+// is never empty.
+func (s *Server) statsSnapshot(id uint32) *proto.StatsMsg {
+	uptime := uint64(time.Since(s.start).Microseconds())
+	if h := s.cfg.Obs; h != nil {
+		return obs.ToStatsMsg(id, uptime, h.Reg.Snapshot())
+	}
+	st := s.Stats()
+	return obs.ToStatsMsg(id, uptime, obs.Snapshot{Counters: []obs.CounterValue{
+		{Name: "serve_conns_total", Value: st.Conns},
+		{Name: "serve_deadlines_total", Value: st.Deadlines},
+		{Name: "serve_errors_total", Value: st.Errors},
+		{Name: "serve_overloads_total", Value: st.Overloads},
+		{Name: "serve_served_total", Value: st.Served},
+		{Name: "serve_shipments_total", Value: st.Shipments},
+	}})
 }
 
 // execute runs one admitted request and builds its response message.
@@ -480,5 +615,6 @@ func (s *Server) executeShipment(m *proto.ShipmentReqMsg) proto.Message {
 		recs[i] = proto.Record{ID: it.ID, Seg: ds.Seg(it.ID)}
 	}
 	s.nShipments.Add(1)
+	s.metrics.shipments.Inc()
 	return &proto.ShipmentMsg{ID: m.ID, Coverage: ship.Coverage, Records: recs}
 }

@@ -85,8 +85,15 @@ func (h *Histogram) Record(x float64) {
 	switch {
 	case x < h.lo:
 		h.under++
+	case math.IsInf(x, 1):
+		// int(+Inf) is implementation-defined (negative on amd64), so +Inf
+		// must be routed to the overflow bucket before the index math.
+		h.over++
 	default:
 		i := int(math.Log(x/h.lo) / h.logG)
+		if i < 0 {
+			i = 0 // x==lo can round log(x/lo) to a tiny negative
+		}
 		if i >= len(h.counts) {
 			h.over++
 		} else {

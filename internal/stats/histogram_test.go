@@ -154,3 +154,136 @@ func TestHistogramMerge(t *testing.T) {
 		t.Error("merge across bucket layouts accepted")
 	}
 }
+
+// TestHistogramMergeEmpty covers the degenerate merge directions: empty into
+// empty, empty into populated (a no-op), and populated into empty (a copy).
+func TestHistogramMergeEmpty(t *testing.T) {
+	empty := NewLatencyHistogram()
+	if err := empty.Merge(NewLatencyHistogram()); err != nil {
+		t.Fatalf("empty+empty: %v", err)
+	}
+	if err := empty.Merge(nil); err != nil {
+		t.Fatalf("merge nil: %v", err)
+	}
+	if empty.Count() != 0 || empty.Mean() != 0 || empty.Min() != 0 || empty.Max() != 0 || empty.P(0.5) != 0 {
+		t.Fatal("merging empties must leave an empty histogram")
+	}
+
+	full := NewLatencyHistogram()
+	for _, x := range []float64{0.001, 0.002, 0.004} {
+		full.Record(x)
+	}
+	before := *full
+	if err := full.Merge(NewLatencyHistogram()); err != nil {
+		t.Fatalf("full+empty: %v", err)
+	}
+	if full.Count() != 3 || full.Min() != before.min || full.Max() != before.max || full.Mean() != before.sum/3 {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+
+	into := NewLatencyHistogram()
+	if err := into.Merge(full); err != nil {
+		t.Fatalf("empty+full: %v", err)
+	}
+	if into.Count() != 3 || into.Min() != 0.001 || into.Max() != 0.004 {
+		t.Fatalf("empty receiver did not adopt the donor: n=%d min=%g max=%g",
+			into.Count(), into.Min(), into.Max())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got, want := into.P(q), full.P(q); got != want {
+			t.Errorf("P(%g): copied-by-merge %g != donor %g", q, got, want)
+		}
+	}
+}
+
+// TestHistogramMergeOneSided merges histograms whose samples live entirely in
+// the underflow or entirely in the overflow bucket — the extreme buckets must
+// survive the merge and still drive quantiles.
+func TestHistogramMergeOneSided(t *testing.T) {
+	under := NewLatencyHistogram()
+	under.Record(1e-9)
+	under.Record(2e-9)
+	over := NewLatencyHistogram()
+	over.Record(5e3)
+	over.Record(6e3)
+
+	if err := under.Merge(over); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if under.Count() != 4 {
+		t.Fatalf("count = %d", under.Count())
+	}
+	if got := under.P(0); got != 1e-9 {
+		t.Errorf("P(0) = %g, want exact min 1e-9", got)
+	}
+	if got := under.P(1); got != 6e3 {
+		t.Errorf("P(1) = %g, want exact max 6e3", got)
+	}
+	// Rank 2 of 4 sits in the underflow bucket, whose estimate is lo,
+	// clamped up to the observed min region; rank 3 falls in overflow.
+	if got := under.P(0.5); got > defaultHistLo {
+		t.Errorf("P(0.5) = %g, want an underflow-bucket estimate ≤ lo", got)
+	}
+	if got := under.P(0.75); got != 6e3 {
+		t.Errorf("P(0.75) = %g, want the overflow estimate clamped to max", got)
+	}
+}
+
+// TestHistogramQuantileEdges pins q=0, q=1, and the single-bucket layout.
+func TestHistogramQuantileEdges(t *testing.T) {
+	// A span smaller than one growth step collapses to a single bucket.
+	h, err := NewHistogram(1, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Record(1.2)
+	for _, q := range []float64{0, 0.5, 1} {
+		// One sample: every quantile must clamp to the only observation.
+		if got := h.P(q); got != 1.2 {
+			t.Errorf("single-bucket P(%g) = %g, want 1.2", q, got)
+		}
+	}
+	h.Record(1.1)
+	h.Record(1.4)
+	if got := h.P(0); got != 1.1 {
+		t.Errorf("P(0) = %g, want min 1.1", got)
+	}
+	if got := h.P(1); got != 1.4 {
+		t.Errorf("P(1) = %g, want max 1.4", got)
+	}
+	if got := h.P(0.5); got < 1.1 || got > 1.4 {
+		t.Errorf("P(0.5) = %g outside observed [1.1, 1.4]", got)
+	}
+	// Negative q behaves like 0, q>1 like 1 (both are clamped).
+	if h.P(-1) != h.P(0) || h.P(2) != h.P(1) {
+		t.Error("out-of-range q not clamped")
+	}
+}
+
+// TestHistogramNonFinite is the regression test for the +Inf crash:
+// int(+Inf) is implementation-defined (negative on amd64) and used to index
+// the bucket slice directly, panicking. +Inf must land in the overflow
+// bucket; NaN stays ignored.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(math.NaN())
+	if h.Count() != 0 {
+		t.Fatal("NaN sample recorded")
+	}
+	h.Record(math.Inf(1)) // must not panic
+	h.Record(0.010)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.P(1); !math.IsInf(got, 1) {
+		t.Errorf("P(1) = %g, want the observed +Inf max", got)
+	}
+	if got := h.P(0.25); relErr(got, 0.010) > 0.02 {
+		t.Errorf("P(0.25) = %g, want ~0.010", got)
+	}
+	h2 := NewLatencyHistogram()
+	h2.Record(math.Inf(-1)) // negative infinity: the underflow bucket
+	if got := h2.P(0.5); !math.IsInf(got, -1) {
+		t.Errorf("P(0.5) = %g, want the observed -Inf min", got)
+	}
+}
