@@ -17,6 +17,9 @@
 //	-mix         query mix, e.g. point=60,range=25,nn=15
 //	-rangew      half-width in meters of range windows (default 1000)
 //	-seed        workload seed (default 1)
+//	-batch       micro-batch size: each worker packs N queries into one
+//	             QueryBatch wire exchange (default 1 = one frame per query;
+//	             incompatible with -planner)
 //	-planner     route queries through the partitioning planner against a
 //	             shipped sub-index instead of always offloading
 //	-shipw       planner mode: half-width in meters of the shipment window
@@ -25,9 +28,12 @@
 //	-serverstats pull and print the server's metrics snapshot at the end
 //
 // Output: total queries, QPS, mean and p50/p95/p99 latency from a merged
-// streaming histogram (internal/stats), plus error and retry counts. In
-// planner mode the report breaks down per scheme (fully-client, server-ids,
-// fully-server) with the predicted-vs-actual §4.1 cost ratios.
+// streaming histogram (internal/stats), plus error and retry counts, and a
+// wire line — frames, bytes, and modeled NIC energy per query from the
+// client's wire counters. With -batch > 1 the report adds a modeled
+// batched-vs-unbatched NIC energy comparison. In planner mode the report
+// breaks down per scheme (fully-client, server-ids, fully-server) with the
+// predicted-vs-actual §4.1 cost ratios.
 package main
 
 import (
@@ -46,6 +52,7 @@ import (
 	"mobispatial/internal/dataset"
 	"mobispatial/internal/geom"
 	"mobispatial/internal/obs"
+	"mobispatial/internal/proto"
 	"mobispatial/internal/serve/client"
 	"mobispatial/internal/stats"
 )
@@ -110,6 +117,7 @@ func run(args []string) error {
 	mixFlag := fs.String("mix", "point=60,range=25,nn=15", "query mix")
 	rangeW := fs.Float64("rangew", 1000, "half-width of range windows (m)")
 	seed := fs.Int64("seed", 1, "workload seed")
+	batch := fs.Int("batch", 1, "queries per wire exchange (QueryBatch micro-batching)")
 	planner := fs.Bool("planner", false, "route queries through the partitioning planner")
 	shipW := fs.Float64("shipw", 5000, "planner: half-width of the shipment window (m)")
 	shipBudget := fs.Int("shipbudget", 4<<20, "planner: shipment memory budget (bytes)")
@@ -131,6 +139,13 @@ func run(args []string) error {
 	qmix, err := parseMix(*mixFlag)
 	if err != nil {
 		return err
+	}
+	if *batch < 1 || *batch > proto.MaxBatchQueries {
+		return fmt.Errorf("-batch must be in [1, %d]", proto.MaxBatchQueries)
+	}
+	if *batch > 1 && *planner {
+		return fmt.Errorf("-batch and -planner are mutually exclusive: the planner " +
+			"decides per query where it runs, batching always offloads")
 	}
 
 	hub := obs.NewHub()
@@ -178,7 +193,49 @@ func run(args []string) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			h := hists[w]
+			qs := make([]proto.QueryMsg, 0, *batch)
 			for !stop.Load() {
+				if *batch > 1 {
+					// Micro-batched path: pack the mix into one QueryBatch
+					// exchange. Every query in the batch experienced the
+					// batch's round trip, so each records the full latency.
+					qs = qs[:0]
+					for len(qs) < *batch {
+						pt := geom.Point{
+							X: extent.Min.X + rng.Float64()*extent.Width(),
+							Y: extent.Min.Y + rng.Float64()*extent.Height(),
+						}
+						switch qmix.pick(rng) {
+						case "point":
+							qs = append(qs, proto.QueryMsg{Kind: proto.KindPoint, Mode: proto.ModeIDs, Point: pt})
+						case "range":
+							qs = append(qs, proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeIDs, Window: geom.Rect{
+								Min: geom.Point{X: pt.X - *rangeW, Y: pt.Y - *rangeW},
+								Max: geom.Point{X: pt.X + *rangeW, Y: pt.Y + *rangeW},
+							}})
+						case "nn":
+							qs = append(qs, proto.QueryMsg{Kind: proto.KindNN, Mode: proto.ModeData, Point: pt})
+						}
+					}
+					start := time.Now()
+					rs, qerr := c.QueryBatch(qs)
+					elapsed := time.Since(start)
+					if !measuring.Load() {
+						continue
+					}
+					if qerr != nil {
+						errs.Add(uint64(len(qs)))
+						continue
+					}
+					for _, r := range rs {
+						if r.Err != nil {
+							errs.Add(1)
+						} else {
+							h.Record(elapsed.Seconds())
+						}
+					}
+					continue
+				}
 				pt := geom.Point{
 					X: extent.Min.X + rng.Float64()*extent.Width(),
 					Y: extent.Min.Y + rng.Float64()*extent.Height(),
@@ -246,6 +303,7 @@ func run(args []string) error {
 		ms(total.Mean()), ms(total.P(0.50)), ms(total.P(0.95)), ms(total.P(0.99)), ms(total.Max()))
 	fmt.Printf("  errors    %d   retries %d\n", errs.Load(), c.Retries())
 	fmt.Printf("  link      rtt %v, bandwidth %s\n", link.RTT.Round(time.Microsecond), mbps(link.BandwidthBps))
+	printWireReport(c.WireStats(), link.BandwidthBps, *batch)
 
 	if pl != nil {
 		printSchemeReport(hub.Reg.Snapshot())
@@ -258,6 +316,35 @@ func run(args []string) error {
 		printServerStats(obs.SnapshotFromMsg(msg), msg.UptimeMicros)
 	}
 	return nil
+}
+
+// printWireReport prices the run's measured wire traffic with the Table 2
+// NIC model: per-query frames, bytes, and modeled Joules (transfer at the
+// measured bandwidth plus one sleep-exit wakeup per exchange). With batching
+// it adds the counterfactual — the same bytes priced at one exchange per
+// query — so the report shows exactly what the amortized wakeups bought.
+func printWireReport(ws client.WireStats, bwBps float64, batch int) {
+	if ws.Queries == 0 {
+		return
+	}
+	if bwBps <= 0 {
+		bwBps = 2e6 // the paper's base bandwidth when unmeasured
+	}
+	em := obs.DefaultEnergyModel()
+	q := float64(ws.Queries)
+	nicJ := em.NICExchangeJoules(int(ws.BytesTx), int(ws.BytesRx), int(ws.Exchanges), bwBps)
+	fmt.Printf("  wire      %.2f frames/query, %.0f B/query, modeled NIC %.4f mJ/query (%d exchanges / %d queries)\n",
+		float64(ws.FramesTx+ws.FramesRx)/q, float64(ws.BytesTx+ws.BytesRx)/q,
+		nicJ/q*1e3, ws.Exchanges, ws.Queries)
+	if batch > 1 {
+		unbatched := em.NICExchangeJoules(int(ws.BytesTx), int(ws.BytesRx), int(ws.Queries), bwBps)
+		saved := 0.0
+		if unbatched > 0 {
+			saved = (1 - nicJ/unbatched) * 100
+		}
+		fmt.Printf("  batching  %d queries/exchange: modeled NIC %.4f mJ/query vs %.4f unbatched (%.1f%% saved on wakeups)\n",
+			batch, nicJ/q*1e3, unbatched/q*1e3, saved)
+	}
 }
 
 // printSchemeReport breaks the run down per partitioning scheme: volume,

@@ -69,3 +69,25 @@ func (m EnergyModel) Rx(sec float64) (joules, cycles float64) {
 func (m EnergyModel) Wait(sec float64) (joules, cycles float64) {
 	return (m.PIdle + m.PBlocked) * sec, sec * m.ClientHz
 }
+
+// WakeupJoules prices one NIC sleep-to-active transition: SleepExitLatency
+// spent at idle power before the radio can move a bit (internal/nic models
+// the same charge on the simulated device). This is the fixed per-exchange
+// cost that batching amortizes — it is paid per wire exchange, not per
+// query.
+func (m EnergyModel) WakeupJoules() float64 {
+	return m.PIdle * nic.SleepExitLatency
+}
+
+// NICExchangeJoules prices a traffic aggregate the way the NIC experiences
+// it: transmit and receive time at the measured bandwidth, plus one wakeup
+// transition per exchange. With batching, exchanges < queries, so the same
+// bytes cost fewer transitions — the observable counterpart of the paper's
+// energy argument for coarse work partitioning. Returns 0 transfer cost when
+// the bandwidth is unknown (the wakeups are still charged).
+func (m EnergyModel) NICExchangeJoules(txBytes, rxBytes, exchanges int, bwBps float64) float64 {
+	j := float64(exchanges) * m.WakeupJoules()
+	j += m.PTx * m.TxSeconds(txBytes, bwBps)
+	j += m.PRx * m.TxSeconds(rxBytes, bwBps)
+	return j
+}

@@ -112,3 +112,24 @@ func TestDefaultEnergyModel(t *testing.T) {
 		t.Errorf("TxSeconds with unknown bandwidth = %g, want 0", sec)
 	}
 }
+
+func TestNICExchangeJoules(t *testing.T) {
+	em := DefaultEnergyModel()
+	if em.WakeupJoules() <= 0 {
+		t.Fatal("wakeup transition should cost energy")
+	}
+	// The same bytes in one exchange must cost less than in sixteen: the
+	// transfer term is identical, only the wakeups differ.
+	const bw = 2e6
+	one := em.NICExchangeJoules(16*100, 16*400, 1, bw)
+	sixteen := em.NICExchangeJoules(16*100, 16*400, 16, bw)
+	if diff := sixteen - one; diff <= 0 {
+		t.Fatalf("batched exchange not cheaper: %g vs %g", one, sixteen)
+	} else if want := 15 * em.WakeupJoules(); diff < want*0.999 || diff > want*1.001 {
+		t.Fatalf("exchange delta %g, want 15 wakeups = %g", diff, want)
+	}
+	// Unknown bandwidth: wakeups still charged, transfer free.
+	if got, want := em.NICExchangeJoules(1000, 1000, 3, 0), 3*em.WakeupJoules(); got != want {
+		t.Fatalf("no-bandwidth pricing = %g, want %g", got, want)
+	}
+}

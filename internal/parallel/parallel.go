@@ -85,16 +85,7 @@ func (p *Pool) RangeAll(windows []geom.Rect) [][]uint32 {
 	return out
 }
 
-func (p *Pool) rangeOne(w geom.Rect) []uint32 {
-	cands := p.idx.Search(w, ops.Null{})
-	hits := cands[:0:0]
-	for _, id := range cands {
-		if p.ds.Seg(id).IntersectsRect(w) {
-			hits = append(hits, id)
-		}
-	}
-	return hits
-}
+func (p *Pool) rangeOne(w geom.Rect) []uint32 { return p.RangeAppend(nil, w) }
 
 // PointAll answers every point query with the given incidence tolerance.
 func (p *Pool) PointAll(points []geom.Point, eps float64) [][]uint32 {
@@ -105,16 +96,7 @@ func (p *Pool) PointAll(points []geom.Point, eps float64) [][]uint32 {
 	return out
 }
 
-func (p *Pool) pointOne(pt geom.Point, eps float64) []uint32 {
-	cands := p.idx.SearchPoint(pt, ops.Null{})
-	hits := cands[:0:0]
-	for _, id := range cands {
-		if p.ds.Seg(id).ContainsPoint(pt, eps) {
-			hits = append(hits, id)
-		}
-	}
-	return hits
-}
+func (p *Pool) pointOne(pt geom.Point, eps float64) []uint32 { return p.PointAppend(nil, pt, eps) }
 
 // NearestResult is one NN answer.
 type NearestResult struct {
@@ -173,4 +155,129 @@ func (p *Pool) KNearest(pt geom.Point, k int) (neighbors []rtree.Neighbor, ok bo
 	return kn.KNearest(pt, k, func(id uint32) float64 {
 		return p.ds.Seg(id).DistToPoint(pt)
 	}, ops.Null{}), true
+}
+
+// The append API. Each method writes its answer into dst's spare capacity
+// and returns the extended slice, so a caller that reuses its result buffers
+// (the networked server's per-request scratch) pays no allocation on a warm
+// query. Answers are bit-identical to the allocating methods above — the
+// scratch variants share one traversal implementation with them.
+
+// appendSearcher is satisfied by access methods whose filter step can write
+// into a caller-provided slice (the packed R-tree). Other indexes fall back
+// to copy-through, which stays correct but allocates inside the index.
+type appendSearcher interface {
+	AppendSearch(dst []uint32, w geom.Rect, rec ops.Recorder) []uint32
+	AppendSearchPoint(dst []uint32, p geom.Point, rec ops.Recorder) []uint32
+}
+
+// Scratch is per-caller query state for the append API: the index traversal
+// buffers plus a reusable distance closure. A DistFunc built fresh per query
+// captures the query point and escapes into the index's interface call — one
+// hidden heap allocation per NN query. The scratch instead keeps one closure
+// alive over its own mutable fields, so moving the query point is a field
+// store, not an allocation. Not safe for concurrent use; keep one per
+// goroutine (or per connection, as internal/serve does).
+type Scratch struct {
+	NN   rtree.NNScratch
+	pt   geom.Point
+	pool *Pool
+	df   index.DistFunc
+}
+
+// dist points the scratch's closure at pt and returns it.
+func (sc *Scratch) dist(p *Pool, pt geom.Point) index.DistFunc {
+	sc.pt = pt
+	if sc.df == nil || sc.pool != p {
+		sc.pool = p
+		sc.df = func(id uint32) float64 { return sc.pool.ds.Seg(id).DistToPoint(sc.pt) }
+	}
+	return sc.df
+}
+
+// scratchNearester is satisfied by access methods whose NN search can reuse
+// caller-owned traversal scratch.
+type scratchNearester interface {
+	NearestWith(p geom.Point, dist index.DistFunc, rec ops.Recorder, sc *rtree.NNScratch) (uint32, float64, bool)
+}
+
+// scratchKNearester is the scratch-reusing k-NN counterpart of kNearester.
+type scratchKNearester interface {
+	KNearestAppend(dst []rtree.Neighbor, p geom.Point, k int, dist index.DistFunc, rec ops.Recorder, sc *rtree.NNScratch) []rtree.Neighbor
+}
+
+// FilterRangeAppend appends the candidate ids of a window query to dst.
+func (p *Pool) FilterRangeAppend(dst []uint32, w geom.Rect) []uint32 {
+	if as, ok := p.idx.(appendSearcher); ok {
+		return as.AppendSearch(dst, w, ops.Null{})
+	}
+	return append(dst, p.idx.Search(w, ops.Null{})...)
+}
+
+// FilterPointAppend appends the candidate ids of a point query to dst.
+func (p *Pool) FilterPointAppend(dst []uint32, pt geom.Point) []uint32 {
+	if as, ok := p.idx.(appendSearcher); ok {
+		return as.AppendSearchPoint(dst, pt, ops.Null{})
+	}
+	return append(dst, p.idx.SearchPoint(pt, ops.Null{})...)
+}
+
+// RangeAppend appends the exact answer of a window query to dst. The
+// refinement step compacts candidates in place: hits are written back over
+// the candidate region, so no second buffer is needed.
+func (p *Pool) RangeAppend(dst []uint32, w geom.Rect) []uint32 {
+	base := len(dst)
+	dst = p.FilterRangeAppend(dst, w)
+	hits := dst[:base]
+	for _, id := range dst[base:] {
+		if p.ds.Seg(id).IntersectsRect(w) {
+			hits = append(hits, id)
+		}
+	}
+	return hits
+}
+
+// PointAppend appends the exact answer of a point query to dst.
+func (p *Pool) PointAppend(dst []uint32, pt geom.Point, eps float64) []uint32 {
+	base := len(dst)
+	dst = p.FilterPointAppend(dst, pt)
+	hits := dst[:base]
+	for _, id := range dst[base:] {
+		if p.ds.Seg(id).ContainsPoint(pt, eps) {
+			hits = append(hits, id)
+		}
+	}
+	return hits
+}
+
+// NearestWith answers one nearest-neighbor query reusing sc's traversal
+// buffers; sc may be nil, and indexes without scratch support ignore it.
+func (p *Pool) NearestWith(pt geom.Point, sc *Scratch) NearestResult {
+	df, nnsc := p.scratchArgs(pt, sc)
+	if sn, ok := p.idx.(scratchNearester); ok {
+		id, d, found := sn.NearestWith(pt, df, ops.Null{}, nnsc)
+		return NearestResult{ID: id, Dist: d, OK: found}
+	}
+	id, d, found := p.idx.Nearest(pt, df, ops.Null{})
+	return NearestResult{ID: id, Dist: d, OK: found}
+}
+
+// KNearestAppend appends one k-NN answer to dst reusing sc; ok is false when
+// the access method supports no k-NN at all.
+func (p *Pool) KNearestAppend(dst []rtree.Neighbor, pt geom.Point, k int, sc *Scratch) ([]rtree.Neighbor, bool) {
+	df, nnsc := p.scratchArgs(pt, sc)
+	if skn, ok := p.idx.(scratchKNearester); ok {
+		return skn.KNearestAppend(dst, pt, k, df, ops.Null{}, nnsc), true
+	}
+	if kn, ok := p.idx.(kNearester); ok {
+		return append(dst, kn.KNearest(pt, k, df, ops.Null{})...), true
+	}
+	return dst, false
+}
+
+func (p *Pool) scratchArgs(pt geom.Point, sc *Scratch) (index.DistFunc, *rtree.NNScratch) {
+	if sc == nil {
+		return func(id uint32) float64 { return p.ds.Seg(id).DistToPoint(pt) }, nil
+	}
+	return sc.dist(p, pt), &sc.NN
 }

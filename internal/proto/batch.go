@@ -1,0 +1,223 @@
+// batch.go: the micro-batching wire messages. §4.1's protocol cost has a
+// fixed per-exchange part (frame headers, packet headers, the NIC's
+// sleep→active transition) and a per-result part; batching N queries into
+// one frame exchange amortizes the fixed part over N. One BatchQueryMsg
+// carries N independent queries; the BatchReplyMsg answers all of them in
+// order, each sub-answer succeeding or failing independently.
+package proto
+
+import "fmt"
+
+// The batch message types extend the catalogue of wire.go.
+const (
+	// MsgBatchQuery carries N query requests in one frame.
+	MsgBatchQuery MsgType = 10
+	// MsgBatchReply answers a batch: one item per query, in request order.
+	MsgBatchReply MsgType = 11
+)
+
+// MaxBatchQueries bounds one batch's sub-queries.
+const MaxBatchQueries = 1024
+
+// wireQueryBytes is the fixed encoded size of one QueryMsg payload:
+// id(4) + kind(1) + mode(1) + k(2) + point(16) + window(32) + eps(8) +
+// timeout(4).
+const wireQueryBytes = 68
+
+// BatchQueryMsg is N queries in one frame. The per-query TimeoutMicros
+// fields are ignored; the batch-level timeout governs the whole exchange.
+type BatchQueryMsg struct {
+	ID            uint32
+	TimeoutMicros uint32
+	Queries       []QueryMsg
+}
+
+// Type implements Message.
+func (m *BatchQueryMsg) Type() MsgType { return MsgBatchQuery }
+
+// RequestID implements Message.
+func (m *BatchQueryMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *BatchQueryMsg) Validate() error {
+	if len(m.Queries) == 0 {
+		return fmt.Errorf("proto: empty batch")
+	}
+	if len(m.Queries) > MaxBatchQueries {
+		return fmt.Errorf("proto: batch of %d queries exceeds %d", len(m.Queries), MaxBatchQueries)
+	}
+	for i := range m.Queries {
+		if err := m.Queries[i].Validate(); err != nil {
+			return fmt.Errorf("proto: batch query %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (m *BatchQueryMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendU32(b, m.TimeoutMicros)
+	b = appendU16(b, uint16(len(m.Queries)))
+	for i := range m.Queries {
+		b = m.Queries[i].appendPayload(b)
+	}
+	return b
+}
+
+func (m *BatchQueryMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	m.TimeoutMicros = d.u32()
+	n := int(d.u16())
+	if d.err == nil && n*wireQueryBytes != len(d.b)-d.off {
+		return fmt.Errorf("proto: batch count %d does not match %d payload bytes", n, len(d.b)-d.off)
+	}
+	qs := m.Queries[:0]
+	for i := 0; i < n; i++ {
+		qb := d.bytes(wireQueryBytes)
+		if d.err != nil {
+			break
+		}
+		qs = append(qs, QueryMsg{})
+		if err := qs[i].decodePayload(qb); err != nil {
+			m.Queries = qs
+			return err
+		}
+	}
+	m.Queries = qs
+	return d.finish("batch-query")
+}
+
+// BatchItem is one sub-answer of a batch reply. Exactly one of the three
+// shapes is meaningful: an error (Err != 0), records (data-mode answers), or
+// ids (everything else — an empty answer is an empty id list).
+type BatchItem struct {
+	IDs  []uint32
+	Recs []Record
+	Err  ErrCode
+	Text string
+}
+
+// Batch item payload tags.
+const (
+	batchTagIDs  = 0
+	batchTagRecs = 1
+	batchTagErr  = 2
+)
+
+// tag picks the deterministic wire shape of an item from its contents, so
+// decode→encode is a fixed point.
+func (it *BatchItem) tag() uint8 {
+	switch {
+	case it.Err != 0:
+		return batchTagErr
+	case len(it.Recs) > 0:
+		return batchTagRecs
+	default:
+		return batchTagIDs
+	}
+}
+
+// BatchReplyMsg answers a BatchQueryMsg: Items[i] answers Queries[i].
+type BatchReplyMsg struct {
+	ID    uint32
+	Items []BatchItem
+}
+
+// Type implements Message.
+func (m *BatchReplyMsg) Type() MsgType { return MsgBatchReply }
+
+// RequestID implements Message.
+func (m *BatchReplyMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *BatchReplyMsg) Validate() error {
+	if len(m.Items) == 0 {
+		return fmt.Errorf("proto: empty batch reply")
+	}
+	if len(m.Items) > MaxBatchQueries {
+		return fmt.Errorf("proto: batch reply of %d items exceeds %d", len(m.Items), MaxBatchQueries)
+	}
+	for i := range m.Items {
+		it := &m.Items[i]
+		if len(it.IDs) > 0 && len(it.Recs) > 0 {
+			return fmt.Errorf("proto: batch item %d has both ids and records", i)
+		}
+		if it.Err != 0 && (len(it.IDs) > 0 || len(it.Recs) > 0) {
+			return fmt.Errorf("proto: batch item %d has both an error and results", i)
+		}
+		if len(it.Text) > MaxErrorText {
+			return fmt.Errorf("proto: batch item %d error text %d bytes exceeds %d", i, len(it.Text), MaxErrorText)
+		}
+		if it.Err == 0 && it.Text != "" {
+			return fmt.Errorf("proto: batch item %d has error text without a code", i)
+		}
+		if err := validateRecords("batch item", it.Recs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *BatchReplyMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendU16(b, uint16(len(m.Items)))
+	for i := range m.Items {
+		it := &m.Items[i]
+		t := it.tag()
+		b = append(b, t)
+		switch t {
+		case batchTagErr:
+			b = appendU16(b, uint16(it.Err))
+			b = appendU16(b, uint16(len(it.Text)))
+			b = append(b, it.Text...)
+		case batchTagRecs:
+			b = appendRecords(b, it.Recs)
+		default:
+			b = appendU32(b, uint32(len(it.IDs)))
+			for _, id := range it.IDs {
+				b = appendU32(b, id)
+			}
+		}
+	}
+	return b
+}
+
+func (m *BatchReplyMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	n := int(d.u16())
+	if n > MaxBatchQueries {
+		return fmt.Errorf("proto: batch reply count %d exceeds %d", n, MaxBatchQueries)
+	}
+	items := m.Items[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		if cap(items) > i {
+			items = items[:i+1]
+		} else {
+			items = append(items, BatchItem{})
+		}
+		it := &items[i]
+		it.IDs = it.IDs[:0]
+		it.Recs = it.Recs[:0]
+		it.Err = 0
+		it.Text = ""
+		switch tag := d.u8(); tag {
+		case batchTagErr:
+			it.Err = ErrCode(d.u16())
+			tn := int(d.u16())
+			it.Text = string(d.bytes(tn))
+			if d.err == nil && it.Err == 0 {
+				return fmt.Errorf("proto: batch item %d error with zero code", i)
+			}
+		case batchTagRecs:
+			it.Recs = d.appendRecordsN(it.Recs, int(d.u32()))
+		case batchTagIDs:
+			it.IDs = d.appendIDsN(it.IDs, int(d.u32()))
+		default:
+			return fmt.Errorf("proto: batch item %d has unknown tag %d", i, tag)
+		}
+	}
+	m.Items = items
+	return d.finish("batch-reply")
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package proto
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// assertions are skipped under -race because instrumentation adds
+// allocations the production build does not have.
+const raceEnabled = false

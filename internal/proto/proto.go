@@ -101,6 +101,18 @@ func IDListBytes(n int) int { return ListHeaderBytes + n*ObjectIDBytes }
 // client).
 func DataListBytes(n, recordBytes int) int { return ListHeaderBytes + n*recordBytes }
 
+// BatchQueryBytes returns the payload size of a request carrying n query
+// descriptors in one message — micro-batching shares one list header across
+// the batch.
+func BatchQueryBytes(n int) int { return ListHeaderBytes + n*QueryRequestBytes }
+
+// BatchIDListBytes returns the payload size of a reply answering n queries
+// with totalIDs object ids overall: one shared list header plus a small
+// per-item header (count + status) plus the ids.
+func BatchIDListBytes(n, totalIDs int) int {
+	return ListHeaderBytes + n*8 + totalIDs*ObjectIDBytes
+}
+
 // ShipmentBytes returns the payload size of an insufficient-memory shipment:
 // data records plus the serialized sub-index.
 func ShipmentBytes(items, recordBytes, indexBytes int) int {

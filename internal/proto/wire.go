@@ -59,6 +59,8 @@ var msgTypeNames = map[MsgType]string{
 	MsgPing:        "ping",
 	MsgStatsReq:    "stats-req",
 	MsgStats:       "stats",
+	MsgBatchQuery:  "batch-query",
+	MsgBatchReply:  "batch-reply",
 }
 
 // String implements fmt.Stringer.
@@ -291,10 +293,7 @@ func (m *IDListMsg) decodePayload(b []byte) error {
 	if d.err == nil && n*4 != len(d.b)-d.off {
 		return fmt.Errorf("proto: id list count %d does not match %d payload bytes", n, len(d.b)-d.off)
 	}
-	m.IDs = make([]uint32, 0, n)
-	for i := 0; i < n; i++ {
-		m.IDs = append(m.IDs, d.u32())
-	}
+	m.IDs = d.appendIDsN(m.IDs[:0], n)
 	return d.finish("id-list")
 }
 
@@ -321,7 +320,11 @@ func (m *DataListMsg) appendPayload(b []byte) []byte {
 func (m *DataListMsg) decodePayload(b []byte) error {
 	d := decoder{b: b}
 	m.ID = d.u32()
-	m.Records = d.records()
+	n := int(d.u32())
+	if d.err == nil && n*WireRecordBytes != len(d.b)-d.off {
+		d.err = fmt.Errorf("record count %d does not match %d payload bytes", n, len(d.b)-d.off)
+	}
+	m.Records = d.appendRecordsN(m.Records[:0], n)
 	return d.finish("data-list")
 }
 
@@ -490,103 +493,150 @@ func (m *PingMsg) decodePayload(b []byte) error {
 	d := decoder{b: b}
 	m.ID = d.u32()
 	n := int(d.u32())
-	m.Payload = append([]byte(nil), d.bytes(n)...)
+	m.Payload = append(m.Payload[:0], d.bytes(n)...)
 	return d.finish("ping")
 }
 
-// newMessage allocates the empty concrete type for a wire type.
+// newMessage returns the empty concrete type for a wire type, drawing
+// hot-path types from their pools (their decodePayload methods reset every
+// field, reusing slice capacity).
 func newMessage(t MsgType) (Message, error) {
 	switch t {
 	case MsgQuery:
-		return &QueryMsg{}, nil
+		return queryPool.Get().(*QueryMsg), nil
 	case MsgIDList:
-		return &IDListMsg{}, nil
+		return idListPool.Get().(*IDListMsg), nil
 	case MsgDataList:
-		return &DataListMsg{}, nil
+		return dataListPool.Get().(*DataListMsg), nil
 	case MsgShipmentReq:
-		return &ShipmentReqMsg{}, nil
+		return shipReqPool.Get().(*ShipmentReqMsg), nil
 	case MsgShipment:
 		return &ShipmentMsg{}, nil
 	case MsgError:
 		return &ErrorMsg{}, nil
 	case MsgPing:
-		return &PingMsg{}, nil
+		return pingPool.Get().(*PingMsg), nil
 	case MsgStatsReq:
 		return &StatsReqMsg{}, nil
 	case MsgStats:
 		return &StatsMsg{}, nil
+	case MsgBatchQuery:
+		return batchQueryPool.Get().(*BatchQueryMsg), nil
+	case MsgBatchReply:
+		return batchReplyPool.Get().(*BatchReplyMsg), nil
 	}
 	return nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
 }
 
-// EncodeMessage validates m and returns its complete frame.
-func EncodeMessage(m Message) ([]byte, error) {
+// AppendFrame validates m and appends its complete frame to dst, growing it
+// as needed — the allocation-free encode path for callers that own a
+// reusable buffer.
+func AppendFrame(dst []byte, m Message) ([]byte, error) {
 	if err := m.Validate(); err != nil {
+		return dst, err
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(m.Type()))
+	dst = m.appendPayload(dst)
+	payload := len(dst) - start - FrameHeaderBytes
+	if payload > MaxFramePayload {
+		return dst[:start], fmt.Errorf("proto: %v frame payload %d exceeds %d", m.Type(), payload, MaxFramePayload)
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(payload))
+	return dst, nil
+}
+
+// EncodeMessage validates m and returns its complete frame in a fresh
+// buffer.
+func EncodeMessage(m Message) ([]byte, error) {
+	b, err := AppendFrame(make([]byte, 0, FrameHeaderBytes+64), m)
+	if err != nil {
 		return nil, err
 	}
-	b := make([]byte, FrameHeaderBytes, FrameHeaderBytes+64)
-	b = m.appendPayload(b)
-	payload := len(b) - FrameHeaderBytes
-	if payload > MaxFramePayload {
-		return nil, fmt.Errorf("proto: %v frame payload %d exceeds %d", m.Type(), payload, MaxFramePayload)
-	}
-	binary.BigEndian.PutUint32(b[:4], uint32(payload))
-	b[4] = byte(m.Type())
 	return b, nil
 }
 
 // WriteMessage frames and writes m in a single Write call (callers serialize
 // concurrent writers with their own mutex; one call keeps frames intact for
-// any io.Writer that does not split writes).
+// any io.Writer that does not split writes). The encode buffer is pooled, so
+// a warm write allocates nothing.
 func WriteMessage(w io.Writer, m Message) (int, error) {
-	b, err := EncodeMessage(m)
+	pb := getBuf()
+	b, err := AppendFrame((*pb)[:0], m)
 	if err != nil {
+		putBuf(pb)
 		return 0, err
 	}
-	return w.Write(b)
+	n, err := w.Write(b)
+	*pb = b
+	putBuf(pb)
+	return n, err
 }
 
 // ReadMessage reads one frame and decodes and validates it. It returns the
 // message and the total frame size in bytes (header included) — load
 // generators and the client's bandwidth estimator use the size.
+//
+// The returned message is pooled: callers that finish with it (and with
+// every slice it carries) should pass it to ReleaseMessage so the next
+// decode reuses it; callers that keep any part of it just don't release.
 func ReadMessage(r io.Reader) (Message, int, error) {
-	var hdr [FrameHeaderBytes]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	pb := getBuf()
+	defer putBuf(pb)
+	buf := *pb
+	if cap(buf) < FrameHeaderBytes {
+		buf = make([]byte, 0, 4096)
+	}
+	hdr := buf[:FrameHeaderBytes]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > MaxFramePayload {
 		return nil, 0, fmt.Errorf("proto: frame payload %d exceeds %d", n, MaxFramePayload)
 	}
-	m, err := newMessage(MsgType(hdr[4]))
+	t := MsgType(hdr[4])
+	m, err := newMessage(t)
 	if err != nil {
 		return nil, 0, err
 	}
-	payload, err := readPayload(r, int(n))
+	var payload []byte
+	if int(n) <= payloadChunk || int(n) <= cap(buf) {
+		// Small (or already-fitting) payload: read into the pooled buffer.
+		if cap(buf) < int(n) {
+			buf = make([]byte, 0, int(n))
+		}
+		*pb = buf
+		payload = buf[:n]
+		_, err = io.ReadFull(r, payload)
+	} else {
+		// Big frame: grow chunkwise as bytes actually arrive, so a lying
+		// length prefix costs one chunk, not a MaxFramePayload allocation.
+		payload, err = readPayloadChunked(r, int(n))
+	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("proto: short %v frame: %w", MsgType(hdr[4]), err)
+		ReleaseMessage(m)
+		return nil, 0, fmt.Errorf("proto: short %v frame: %w", t, err)
 	}
 	if err := m.decodePayload(payload); err != nil {
+		ReleaseMessage(m)
 		return nil, 0, err
 	}
 	if err := m.Validate(); err != nil {
+		ReleaseMessage(m)
 		return nil, 0, err
 	}
 	return m, FrameHeaderBytes + int(n), nil
 }
 
-// payloadChunk is the allocation granularity for incoming frame payloads:
-// the buffer grows as bytes actually arrive, so a lying length prefix on a
-// short connection costs one chunk, not a MaxFramePayload allocation.
+// payloadChunk is the allocation granularity for big incoming frame
+// payloads, and the ceiling on what the direct pooled-buffer read path will
+// allocate upfront on the word of a length prefix.
 const payloadChunk = 64 << 10
 
-// readPayload reads exactly n payload bytes, growing the buffer chunkwise.
-func readPayload(r io.Reader, n int) ([]byte, error) {
-	if n <= payloadChunk {
-		b := make([]byte, n)
-		_, err := io.ReadFull(r, b)
-		return b, err
-	}
+// readPayloadChunked reads exactly n payload bytes, growing the buffer
+// chunkwise.
+func readPayloadChunked(r io.Reader, n int) ([]byte, error) {
 	b := make([]byte, 0, payloadChunk)
 	for len(b) < n {
 		m := n - len(b)
@@ -757,6 +807,47 @@ func (d *decoder) records() []Record {
 		})
 	}
 	return recs
+}
+
+// appendIDsN appends n decoded ids to dst, reusing its capacity. The count
+// is bounds-checked against the remaining payload before dst grows, so a
+// hostile count cannot force a huge allocation.
+func (d *decoder) appendIDsN(dst []uint32, n int) []uint32 {
+	if d.err != nil || n <= 0 {
+		if n < 0 && d.err == nil {
+			d.err = fmt.Errorf("negative id count %d", n)
+		}
+		return dst
+	}
+	if !d.need(n * 4) {
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, binary.BigEndian.Uint32(d.b[d.off:]))
+		d.off += 4
+	}
+	return dst
+}
+
+// appendRecordsN appends n decoded records to dst, reusing its capacity,
+// with the same bounds discipline as appendIDsN.
+func (d *decoder) appendRecordsN(dst []Record, n int) []Record {
+	if d.err != nil || n <= 0 {
+		if n < 0 && d.err == nil {
+			d.err = fmt.Errorf("negative record count %d", n)
+		}
+		return dst
+	}
+	if !d.need(n * WireRecordBytes) {
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, Record{
+			ID:  d.u32(),
+			Seg: geom.Segment{A: d.point(), B: d.point()},
+		})
+	}
+	return dst
 }
 
 func (d *decoder) finish(what string) error {

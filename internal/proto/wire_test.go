@@ -52,6 +52,18 @@ func allMessages() []Message {
 			}},
 		},
 		&StatsMsg{ID: 19}, // an empty snapshot is legal
+		&BatchQueryMsg{ID: 20, TimeoutMicros: 500_000, Queries: []QueryMsg{
+			{ID: 1, Kind: KindRange, Mode: ModeIDs,
+				Window: geom.Rect{Min: geom.Point{X: 1, Y: 2}, Max: geom.Point{X: 3, Y: 4}}},
+			{ID: 2, Kind: KindPoint, Mode: ModeData, Point: geom.Point{X: 9, Y: 9}, Eps: 0.5},
+			{ID: 3, Kind: KindNN, Mode: ModeIDs, K: 3, Point: geom.Point{X: -1, Y: -2}},
+		}},
+		&BatchReplyMsg{ID: 20, Items: []BatchItem{
+			{IDs: []uint32{5, 6, 7}},
+			{Recs: []Record{{ID: 8, Seg: geom.Segment{A: geom.Point{X: 1, Y: 1}, B: geom.Point{X: 2, Y: 2}}}}},
+			{Err: CodeBadRequest, Text: "k too large"},
+			{}, // an empty answer is an empty id list
+		}},
 	}
 }
 
@@ -106,6 +118,30 @@ func wireEqual(a, b Message) bool {
 	case *PingMsg:
 		y := b.(*PingMsg)
 		return x.ID == y.ID && bytes.Equal(x.Payload, y.Payload)
+	case *BatchReplyMsg:
+		y := b.(*BatchReplyMsg)
+		if x.ID != y.ID || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			xi, yi := &x.Items[i], &y.Items[i]
+			if xi.Err != yi.Err || xi.Text != yi.Text ||
+				!slicesEqual(xi.IDs, yi.IDs) || !recordsEqual(xi.Recs, yi.Recs) {
+				return false
+			}
+		}
+		return true
+	case *BatchQueryMsg:
+		y := b.(*BatchQueryMsg)
+		if x.ID != y.ID || x.TimeoutMicros != y.TimeoutMicros || len(x.Queries) != len(y.Queries) {
+			return false
+		}
+		for i := range x.Queries {
+			if x.Queries[i] != y.Queries[i] {
+				return false
+			}
+		}
+		return true
 	}
 	return reflect.DeepEqual(a, b)
 }
@@ -179,6 +215,15 @@ func TestWireValidateRejects(t *testing.T) {
 		&StatsMsg{ID: 1, Hists: []StatHist{{Name: "h", Mean: math.NaN()}}},
 		&StatsMsg{ID: 1, Counters: []StatCounter{{Name: string(make([]byte, MaxStatName+1))}}},
 		&StatsMsg{ID: 1, Counters: make([]StatCounter, MaxStatsEntries+1)},
+		&BatchQueryMsg{ID: 1},
+		&BatchQueryMsg{ID: 1, Queries: make([]QueryMsg, MaxBatchQueries+1)},
+		&BatchQueryMsg{ID: 1, Queries: []QueryMsg{{Kind: 9}}},
+		&BatchReplyMsg{ID: 1},
+		&BatchReplyMsg{ID: 1, Items: []BatchItem{{IDs: []uint32{1}, Recs: []Record{{ID: 2}}}}},
+		&BatchReplyMsg{ID: 1, Items: []BatchItem{{Err: CodeInternal, IDs: []uint32{1}}}},
+		&BatchReplyMsg{ID: 1, Items: []BatchItem{{Text: "orphan text"}}},
+		&BatchReplyMsg{ID: 1, Items: []BatchItem{
+			{Recs: []Record{{Seg: geom.Segment{A: geom.Point{X: math.NaN()}}}}}}},
 	}
 	for _, m := range bad {
 		if err := m.Validate(); err == nil {

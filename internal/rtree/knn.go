@@ -1,9 +1,7 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
-	"sort"
 
 	"mobispatial/internal/geom"
 	"mobispatial/internal/ops"
@@ -21,19 +19,56 @@ type Neighbor struct {
 }
 
 // neighborHeap is a max-heap on distance (the worst of the current best-k
-// sits on top).
+// sits on top). The sift routines are the container/heap algorithm on the
+// concrete type — heap.Push boxes every Neighbor into an interface{}, which
+// would put an allocation in the middle of the zero-alloc query path.
 type neighborHeap []Neighbor
 
-func (h neighborHeap) Len() int            { return len(h) }
-func (h neighborHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *neighborHeap) Pop() interface{} {
+func (h neighborHeap) less(i, j int) bool { return h[i].Dist > h[j].Dist }
+
+func (h *neighborHeap) push(nb Neighbor) {
+	*h = append(*h, nb)
+	h.up(len(*h) - 1)
+}
+
+func (h *neighborHeap) pop() Neighbor {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	nb := old[n]
+	*h = old[:n]
+	return nb
+}
+
+func (h neighborHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h neighborHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // KNearest returns the k items nearest to p in ascending distance order
@@ -43,25 +78,45 @@ func (t *Tree) KNearest(p geom.Point, k int, dist DistFunc, rec ops.Recorder) []
 	if t.root < 0 || k <= 0 {
 		return nil
 	}
-	best := &neighborHeap{}
-	t.knn(&t.nodes[t.root], p, k, dist, rec, best)
-	out := make([]Neighbor, best.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(best).(Neighbor)
+	return t.KNearestAppend(nil, p, k, dist, rec, nil)
+}
+
+// KNearestAppend is KNearest appending into dst with an optional
+// caller-owned scratch — the allocation-free k-NN path. The traversal is
+// shared with KNearest, so answers (ties included) are identical.
+func (t *Tree) KNearestAppend(dst []Neighbor, p geom.Point, k int, dist DistFunc, rec ops.Recorder, sc *NNScratch) []Neighbor {
+	if t.root < 0 || k <= 0 {
+		return dst
 	}
-	return out
+	var best neighborHeap
+	if sc != nil {
+		best = sc.heap[:0]
+	}
+	t.knn(&t.nodes[t.root], p, k, dist, rec, sc, &best)
+	start := len(dst)
+	n := len(best)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Neighbor{})
+	}
+	for i := start + n - 1; i >= start; i-- {
+		dst[i] = best.pop()
+	}
+	if sc != nil {
+		sc.heap = best[:0]
+	}
+	return dst
 }
 
 // bound returns the pruning distance: the k-th best so far, or +Inf while
 // fewer than k neighbors are known.
 func knnBound(best *neighborHeap, k int) float64 {
-	if best.Len() < k {
+	if len(*best) < k {
 		return math.Inf(1)
 	}
 	return (*best)[0].Dist
 }
 
-func (t *Tree) knn(n *node, p geom.Point, k int, dist DistFunc, rec ops.Recorder, best *neighborHeap) {
+func (t *Tree) knn(n *node, p geom.Point, k int, dist DistFunc, rec ops.Recorder, sc *NNScratch, best *neighborHeap) {
 	t.visitNode(n, rec)
 	if n.level == 0 {
 		for i := range n.entries {
@@ -72,28 +127,36 @@ func (t *Tree) knn(n *node, p geom.Point, k int, dist DistFunc, rec ops.Recorder
 			}
 			d := dist(n.entries[i].ptr)
 			if d < knnBound(best, k) {
-				heap.Push(best, Neighbor{ID: n.entries[i].ptr, Dist: d})
+				best.push(Neighbor{ID: n.entries[i].ptr, Dist: d})
 				rec.Op(ops.OpHeapOp, 1)
-				if best.Len() > k {
-					heap.Pop(best)
+				if len(*best) > k {
+					best.pop()
 					rec.Op(ops.OpHeapOp, 1)
 				}
 			}
 		}
 		return
 	}
-	branches := make([]branch, 0, len(n.entries))
+	var branches []branch
+	if sc != nil {
+		branches = sc.level(n.level)
+	} else {
+		branches = make([]branch, 0, len(n.entries))
+	}
 	for i := range n.entries {
 		t.scanEntry(n, i, rec)
 		rec.Op(ops.OpDistCalc, 1)
 		branches = append(branches, branch{minDist: n.entries[i].mbr.MinDist(p), idx: i})
 	}
-	sort.Slice(branches, func(a, b int) bool { return branches[a].minDist < branches[b].minDist })
+	if sc != nil {
+		sc.keep(n.level, branches)
+	}
+	sortBranches(branches)
 	rec.Op(ops.OpHeapOp, len(branches))
 	for _, br := range branches {
 		if br.minDist > knnBound(best, k) {
 			break // MINDIST-ordered: all later branches prune too
 		}
-		t.knn(&t.nodes[n.entries[br.idx].ptr], p, k, dist, rec, best)
+		t.knn(&t.nodes[n.entries[br.idx].ptr], p, k, dist, rec, sc, best)
 	}
 }

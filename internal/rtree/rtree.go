@@ -283,12 +283,17 @@ func (t *Tree) scanEntry(n *node, i int, rec ops.Recorder) {
 // refinement step (exact segment–window tests) is the caller's job because
 // it needs the actual data records.
 func (t *Tree) Search(window geom.Rect, rec ops.Recorder) []uint32 {
-	var out []uint32
+	return t.AppendSearch(nil, window, rec)
+}
+
+// AppendSearch is Search appending into dst — the allocation-free filtering
+// path for callers that own a reusable result buffer.
+func (t *Tree) AppendSearch(dst []uint32, window geom.Rect, rec ops.Recorder) []uint32 {
 	if t.root < 0 {
-		return out
+		return dst
 	}
-	t.search(&t.nodes[t.root], window, rec, &out)
-	return out
+	t.search(&t.nodes[t.root], window, rec, &dst)
+	return dst
 }
 
 func (t *Tree) search(n *node, window geom.Rect, rec ops.Recorder, out *[]uint32) {
@@ -314,6 +319,11 @@ func (t *Tree) SearchPoint(p geom.Point, rec ops.Recorder) []uint32 {
 	return t.Search(geom.Rect{Min: p, Max: p}, rec)
 }
 
+// AppendSearchPoint is SearchPoint appending into dst.
+func (t *Tree) AppendSearchPoint(dst []uint32, p geom.Point, rec ops.Recorder) []uint32 {
+	return t.AppendSearch(dst, geom.Rect{Min: p, Max: p}, rec)
+}
+
 // DistFunc returns the exact distance from the query point to the data item
 // with the given id, used by the nearest-neighbor search for refinement of
 // leaf entries. Implementations must charge their own refinement cost
@@ -334,13 +344,21 @@ var _ index.Index = (*Tree)(nil)
 // As in the paper, the NN query has no separate filtering/refinement phases:
 // exact item distances are computed during the traversal via dist.
 func (t *Tree) Nearest(p geom.Point, dist DistFunc, rec ops.Recorder) (id uint32, d float64, ok bool) {
+	return t.NearestWith(p, dist, rec, nil)
+}
+
+// NearestWith is Nearest with an optional caller-owned scratch; a nil
+// scratch allocates per call exactly as Nearest always has. Both entry
+// points share one traversal, so scratch reuse cannot change which of two
+// equidistant items wins.
+func (t *Tree) NearestWith(p geom.Point, dist DistFunc, rec ops.Recorder, sc *NNScratch) (id uint32, d float64, ok bool) {
 	if t.root < 0 {
 		return 0, 0, false
 	}
 	best := math.Inf(1)
 	bestID := uint32(0)
 	found := false
-	t.nearest(&t.nodes[t.root], p, dist, rec, &best, &bestID, &found)
+	t.nearest(&t.nodes[t.root], p, dist, rec, sc, &best, &bestID, &found)
 	return bestID, best, found
 }
 
@@ -350,8 +368,43 @@ type branch struct {
 	idx     int // entry index within the node
 }
 
+// NNScratch holds reusable traversal state for the nearest-neighbor
+// searches: one branch buffer per tree level (the descent reuses a level's
+// buffer sequentially — siblings are visited one after another, children use
+// lower levels) and the k-NN result heap. A scratch belongs to one search at
+// a time; zero value is ready to use.
+type NNScratch struct {
+	levels [][]branch
+	heap   neighborHeap
+}
+
+// level returns the (emptied) branch buffer for tree level l.
+func (sc *NNScratch) level(l int16) []branch {
+	for len(sc.levels) <= int(l) {
+		sc.levels = append(sc.levels, nil)
+	}
+	return sc.levels[l][:0]
+}
+
+// keep stores a grown buffer back so its capacity is reused.
+func (sc *NNScratch) keep(l int16, br []branch) {
+	sc.levels[l] = br
+}
+
+// sortBranches orders branches by ascending MINDIST. Insertion sort: node
+// fanouts are small (tens of entries), it allocates nothing, and — unlike
+// sort.Slice — it is deterministic on ties, so every NN entry point
+// traverses identically.
+func sortBranches(br []branch) {
+	for i := 1; i < len(br); i++ {
+		for j := i; j > 0 && br[j].minDist < br[j-1].minDist; j-- {
+			br[j], br[j-1] = br[j-1], br[j]
+		}
+	}
+}
+
 func (t *Tree) nearest(n *node, p geom.Point, dist DistFunc, rec ops.Recorder,
-	best *float64, bestID *uint32, found *bool) {
+	sc *NNScratch, best *float64, bestID *uint32, found *bool) {
 
 	t.visitNode(n, rec)
 	if n.level == 0 {
@@ -372,7 +425,12 @@ func (t *Tree) nearest(n *node, p geom.Point, dist DistFunc, rec ops.Recorder,
 	}
 
 	// Order children by MINDIST; prune with MINMAXDIST and best-so-far.
-	branches := make([]branch, 0, len(n.entries))
+	var branches []branch
+	if sc != nil {
+		branches = sc.level(n.level)
+	} else {
+		branches = make([]branch, 0, len(n.entries))
+	}
 	minMaxBound := math.Inf(1)
 	for i := range n.entries {
 		t.scanEntry(n, i, rec)
@@ -384,7 +442,10 @@ func (t *Tree) nearest(n *node, p geom.Point, dist DistFunc, rec ops.Recorder,
 		}
 		branches = append(branches, branch{minDist: md, idx: i})
 	}
-	sort.Slice(branches, func(a, b int) bool { return branches[a].minDist < branches[b].minDist })
+	if sc != nil {
+		sc.keep(n.level, branches)
+	}
+	sortBranches(branches)
 	rec.Op(ops.OpHeapOp, len(branches))
 
 	for _, br := range branches {
@@ -394,7 +455,7 @@ func (t *Tree) nearest(n *node, p geom.Point, dist DistFunc, rec ops.Recorder,
 		if br.minDist > *best || br.minDist > minMaxBound {
 			continue
 		}
-		t.nearest(&t.nodes[n.entries[br.idx].ptr], p, dist, rec, best, bestID, found)
+		t.nearest(&t.nodes[n.entries[br.idx].ptr], p, dist, rec, sc, best, bestID, found)
 	}
 }
 

@@ -92,6 +92,7 @@ type Client struct {
 
 	// Retries counts transient-failure retries (visible to load tests).
 	retries atomic.Uint64
+	wire    wireCounters
 
 	hub     *obs.Hub
 	metrics clientMetrics
@@ -133,6 +134,35 @@ func (c *Client) Close() error {
 
 // Retries returns the cumulative number of transient-failure retries.
 func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// wireCounters tracks the physical cost of the client's traffic.
+type wireCounters struct {
+	framesTx, framesRx, bytesTx, bytesRx, exchanges, queries atomic.Uint64
+}
+
+// WireStats is a snapshot of the client's cumulative wire-level counters:
+// frames and bytes in each direction, round-trip exchanges (every request
+// kind, pings included), and the logical queries those exchanges carried.
+// Queries/Exchanges > 1 means batching is amortizing the per-exchange cost —
+// the quantity the paper's energy model prices as a NIC wakeup.
+type WireStats struct {
+	FramesTx, FramesRx uint64
+	BytesTx, BytesRx   uint64
+	Exchanges          uint64
+	Queries            uint64
+}
+
+// WireStats returns the client's cumulative wire counters.
+func (c *Client) WireStats() WireStats {
+	return WireStats{
+		FramesTx:  c.wire.framesTx.Load(),
+		FramesRx:  c.wire.framesRx.Load(),
+		BytesTx:   c.wire.bytesTx.Load(),
+		BytesRx:   c.wire.bytesRx.Load(),
+		Exchanges: c.wire.exchanges.Load(),
+		Queries:   c.wire.queries.Load(),
+	}
+}
 
 // checkout acquires a pooled connection, dialing a fresh one if the pool has
 // capacity but no idle connection.
@@ -240,6 +270,11 @@ func (c *Client) roundTrip(req proto.Message) (proto.Message, error) {
 	elapsed := time.Since(start)
 	c.link.observe(elapsed, sentBytes+respBytes)
 	c.checkin(wc)
+	c.wire.framesTx.Add(1)
+	c.wire.framesRx.Add(1)
+	c.wire.bytesTx.Add(uint64(sentBytes))
+	c.wire.bytesRx.Add(uint64(respBytes))
+	c.wire.exchanges.Add(1)
 	if c.hub != nil {
 		c.metrics.rtHist.Observe(elapsed.Seconds())
 		c.metrics.txBytes.Add(uint64(sentBytes))
@@ -278,11 +313,17 @@ func (c *Client) timeoutMicros() uint32 {
 	return uint32(us)
 }
 
-// query runs one query and decodes the reply for the requested mode.
+// query runs one query and decodes the reply for the requested mode. It
+// owns q: the pooled request message is released after the exchange, so the
+// steady-state request path reuses one QueryMsg and one encode buffer per
+// connection instead of allocating them. Replies are NOT released — their
+// slices are handed to the caller.
 func (c *Client) query(q *proto.QueryMsg) ([]uint32, []proto.Record, error) {
 	q.ID = c.id()
 	q.TimeoutMicros = c.timeoutMicros()
 	resp, err := c.do(q)
+	proto.ReleaseMessage(q)
+	c.wire.queries.Add(1)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -304,41 +345,53 @@ func (c *Client) query(q *proto.QueryMsg) ([]uint32, []proto.Record, error) {
 // Range answers a window query, returning full records (fully-server, data
 // absent at client).
 func (c *Client) Range(w geom.Rect) ([]proto.Record, error) {
-	_, recs, err := c.query(&proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeData, Window: w})
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Window = proto.KindRange, proto.ModeData, w
+	_, recs, err := c.query(q)
 	return recs, err
 }
 
 // RangeIDs answers a window query, returning ids only (fully-server, data
 // present at client — §6.1.1).
 func (c *Client) RangeIDs(w geom.Rect) ([]uint32, error) {
-	ids, _, err := c.query(&proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeIDs, Window: w})
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Window = proto.KindRange, proto.ModeIDs, w
+	ids, _, err := c.query(q)
 	return ids, err
 }
 
 // FilterRange returns the server's candidate ids for a window — the server
 // half of filter-server/refine-client.
 func (c *Client) FilterRange(w geom.Rect) ([]uint32, error) {
-	ids, _, err := c.query(&proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeFilter, Window: w})
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Window = proto.KindRange, proto.ModeFilter, w
+	ids, _, err := c.query(q)
 	return ids, err
 }
 
 // Point answers a point query with tolerance eps (0 = server default),
 // returning full records.
 func (c *Client) Point(p geom.Point, eps float64) ([]proto.Record, error) {
-	_, recs, err := c.query(&proto.QueryMsg{Kind: proto.KindPoint, Mode: proto.ModeData, Point: p, Eps: eps})
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Point, q.Eps = proto.KindPoint, proto.ModeData, p, eps
+	_, recs, err := c.query(q)
 	return recs, err
 }
 
 // PointIDs answers a point query, returning ids only.
 func (c *Client) PointIDs(p geom.Point, eps float64) ([]uint32, error) {
-	ids, _, err := c.query(&proto.QueryMsg{Kind: proto.KindPoint, Mode: proto.ModeIDs, Point: p, Eps: eps})
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Point, q.Eps = proto.KindPoint, proto.ModeIDs, p, eps
+	ids, _, err := c.query(q)
 	return ids, err
 }
 
 // Nearest answers a nearest-neighbor query, returning the nearest record
 // (nil when the dataset is empty).
 func (c *Client) Nearest(p geom.Point) (*proto.Record, error) {
-	_, recs, err := c.query(&proto.QueryMsg{Kind: proto.KindNN, Mode: proto.ModeData, Point: p})
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Point = proto.KindNN, proto.ModeData, p
+	_, recs, err := c.query(q)
 	if err != nil || len(recs) == 0 {
 		return nil, err
 	}
@@ -350,8 +403,66 @@ func (c *Client) KNearest(p geom.Point, k int) ([]proto.Record, error) {
 	if k > math.MaxUint16 {
 		return nil, fmt.Errorf("client: k=%d exceeds wire limit", k)
 	}
-	_, recs, err := c.query(&proto.QueryMsg{Kind: proto.KindNN, Mode: proto.ModeData, Point: p, K: uint16(k)})
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Point, q.K = proto.KindNN, proto.ModeData, p, uint16(k)
+	_, recs, err := c.query(q)
 	return recs, err
+}
+
+// BatchResult is one query's answer within a batch: IDs for id/filter modes,
+// Records for data mode, or Err when the server failed that query.
+type BatchResult struct {
+	IDs     []uint32
+	Records []proto.Record
+	Err     error
+}
+
+// QueryBatch answers up to proto.MaxBatchQueries queries in ONE wire
+// exchange: one request frame out, one reply frame back, so N queries cost
+// one frame-header pair, one syscall pair, and — in the paper's energy
+// terms — one NIC wakeup instead of N. The ID and TimeoutMicros fields of
+// the given queries are managed by the client; the deadline governs the
+// whole batch. Transient failures retry the whole batch. Per-query failures
+// (e.g. an over-limit k) come back as per-item Errs, not an exchange error.
+func (c *Client) QueryBatch(qs []proto.QueryMsg) ([]BatchResult, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("client: empty batch")
+	}
+	if len(qs) > proto.MaxBatchQueries {
+		return nil, fmt.Errorf("client: batch of %d exceeds wire limit %d", len(qs), proto.MaxBatchQueries)
+	}
+	req := proto.AcquireBatchQuery()
+	req.ID = c.id()
+	req.TimeoutMicros = c.timeoutMicros()
+	req.Queries = append(req.Queries[:0], qs...)
+	resp, err := c.do(req)
+	proto.ReleaseMessage(req)
+	c.wire.queries.Add(uint64(len(qs)))
+	c.metrics.batches.Inc()
+	c.metrics.batchQueries.Add(uint64(len(qs)))
+	if err != nil {
+		return nil, err
+	}
+	switch r := resp.(type) {
+	case *proto.BatchReplyMsg:
+		if len(r.Items) != len(qs) {
+			return nil, fmt.Errorf("client: batch reply has %d items for %d queries", len(r.Items), len(qs))
+		}
+		out := make([]BatchResult, len(r.Items))
+		for i := range r.Items {
+			it := &r.Items[i]
+			if it.Err != 0 {
+				out[i].Err = &proto.ErrorMsg{ID: r.ID, Code: it.Err, Text: it.Text}
+				continue
+			}
+			out[i].IDs = it.IDs
+			out[i].Records = it.Recs
+		}
+		return out, nil
+	case *proto.ErrorMsg:
+		return nil, r
+	}
+	return nil, fmt.Errorf("client: unexpected %v reply to batch", resp.Type())
 }
 
 // Ping round-trips an echo frame with a payload of the given size and
@@ -361,13 +472,18 @@ func (c *Client) Ping(payloadBytes int) (time.Duration, error) {
 	msg := &proto.PingMsg{ID: c.id(), Payload: make([]byte, payloadBytes)}
 	start := time.Now()
 	resp, err := c.do(msg)
+	proto.ReleaseMessage(msg)
 	if err != nil {
 		return 0, err
 	}
 	if _, ok := resp.(*proto.PingMsg); !ok {
 		return 0, fmt.Errorf("client: unexpected %v reply to ping", resp.Type())
 	}
-	return time.Since(start), nil
+	elapsed := time.Since(start)
+	// The echo payload is not handed to the caller, so the reply can go
+	// straight back to the message pool.
+	proto.ReleaseMessage(resp)
+	return elapsed, nil
 }
 
 // StatsSnapshot pulls the server's metrics snapshot over the query

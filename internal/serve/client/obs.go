@@ -19,6 +19,9 @@ type clientMetrics struct {
 	retries *obs.Counter   // client_retries_total
 	txBytes *obs.Counter   // client_tx_bytes_total
 	rxBytes *obs.Counter   // client_rx_bytes_total
+	// batches counts QueryBatch exchanges; batchQueries the queries carried.
+	batches      *obs.Counter // client_batches_total
+	batchQueries *obs.Counter // client_batch_queries_total
 }
 
 func newClientMetrics(h *obs.Hub) clientMetrics {
@@ -32,6 +35,8 @@ func newClientMetrics(h *obs.Hub) clientMetrics {
 	m.retries = h.Reg.Counter("client_retries_total")
 	m.txBytes = h.Reg.Counter("client_tx_bytes_total")
 	m.rxBytes = h.Reg.Counter("client_rx_bytes_total")
+	m.batches = h.Reg.Counter("client_batches_total")
+	m.batchQueries = h.Reg.Counter("client_batch_queries_total")
 	return m
 }
 

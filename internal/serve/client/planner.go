@@ -110,6 +110,7 @@ type Planner struct {
 	model   CostModel
 	obj     Objective
 	eps     float64
+	batch   int
 	ship    *Shipment
 	metrics plannerMetrics
 }
@@ -128,6 +129,17 @@ func (p *Planner) SetCostModel(m CostModel) { p.model = m }
 
 // SetObjective selects the driving §4.1 condition.
 func (p *Planner) SetObjective(o Objective) { p.obj = o }
+
+// SetBatch declares that offloaded queries travel in batches of n (the
+// QueryBatch wire message), so the advisor prices the per-exchange costs —
+// frame and packet headers, protocol cycles, the NIC wakeup — at 1/n per
+// query. n <= 1 restores unbatched pricing.
+func (p *Planner) SetBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.batch = n
+}
 
 // Shipment returns the cached shipment, nil before FetchShipment.
 func (p *Planner) Shipment() *Shipment { return p.ship }
@@ -368,10 +380,26 @@ func (p *Planner) analyticInputs(q core.Query) core.AnalyticInputs {
 	cw2 := nodeVisits*m.CyclesPerNodeVisit + candidates*m.CyclesPerCandidate +
 		link.RTT.Seconds()*m.ServerHz
 
-	tx := proto.Packetize(proto.QueryRequestBytes)
-	rx := proto.Packetize(proto.IDListBytes(int(hits)))
-	cProtocol := float64(tx.Packets+rx.Packets)*m.CyclesPerProtoPacket +
-		float64(tx.PayloadBytes+rx.PayloadBytes)*m.CyclesPerProtoByte
+	// Wire pricing. Unbatched, one query pays a full request frame and a
+	// full reply frame. Batched (SetBatch), B queries share one
+	// request/reply exchange, so the per-query bits and protocol cycles are
+	// the batch totals over B — the §4.1 model's per-exchange terms
+	// amortized exactly the way MsgBatchQuery amortizes them on the wire.
+	batch := p.batch
+	if batch < 1 {
+		batch = 1
+	}
+	var tx, rx proto.Transfer
+	if batch > 1 {
+		tx = proto.Packetize(proto.BatchQueryBytes(batch))
+		rx = proto.Packetize(proto.BatchIDListBytes(batch, batch*int(hits)))
+	} else {
+		tx = proto.Packetize(proto.QueryRequestBytes)
+		rx = proto.Packetize(proto.IDListBytes(int(hits)))
+	}
+	b := float64(batch)
+	cProtocol := (float64(tx.Packets+rx.Packets)*m.CyclesPerProtoPacket +
+		float64(tx.PayloadBytes+rx.PayloadBytes)*m.CyclesPerProtoByte) / b
 	cLocal := hits * m.CyclesPerResultID
 
 	return core.AnalyticInputs{
@@ -382,8 +410,8 @@ func (p *Planner) analyticInputs(q core.Query) core.AnalyticInputs {
 		CW2:          cw2,
 		ClientHz:     m.ClientHz,
 		ServerHz:     m.ServerHz,
-		PacketTxBits: float64(tx.WireBytes * 8),
-		PacketRxBits: float64(rx.WireBytes * 8),
+		PacketTxBits: float64(tx.WireBytes*8) / b,
+		PacketRxBits: float64(rx.WireBytes*8) / b,
 		PClient:      m.PClient,
 		PTx:          m.PTx,
 		PRx:          m.PRx,

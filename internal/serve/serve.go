@@ -117,6 +117,11 @@ type Stats struct {
 	Errors uint64
 	// Shipments counts served shipment requests (also included in Served).
 	Shipments uint64
+	// Batches counts served batch requests (each also counts once in
+	// Served); BatchQueries counts the sub-queries they carried.
+	Batches uint64
+	// BatchQueries counts the queries answered inside batch requests.
+	BatchQueries uint64
 }
 
 // Server is a networked spatial-query server.
@@ -134,8 +139,50 @@ type Server struct {
 	connWG sync.WaitGroup // one per live connection
 
 	nConns, nServed, nOverload, nDeadline, nErrors, nShipments atomic.Uint64
+	nBatches, nBatchQueries                                    atomic.Uint64
+
+	// scratch pools per-request query state (result slices, traversal
+	// buffers, response message shells) so a warm request allocates nothing.
+	scratch sync.Pool
 
 	metrics serveMetrics
+}
+
+// reqScratch is the per-request reusable state. Response messages built from
+// it alias its slices, which is safe because conn.write serializes the frame
+// before returning — the scratch goes back in the pool only after the
+// response bytes are in the connection's write buffer.
+type reqScratch struct {
+	ids     []uint32
+	nbs     []rtree.Neighbor
+	psc     parallel.Scratch
+	idMsg   proto.IDListMsg
+	dataMsg proto.DataListMsg
+	batch   proto.BatchReplyMsg
+}
+
+// Retention caps for pooled scratch, mirroring internal/proto's: a scratch
+// that served an outsized answer is dropped instead of pinning the memory.
+const (
+	maxScratchIDs     = 64 << 10
+	maxScratchRecords = 16 << 10
+)
+
+func (s *Server) getScratch() *reqScratch {
+	return s.scratch.Get().(*reqScratch)
+}
+
+func (s *Server) putScratch(sc *reqScratch) {
+	if cap(sc.ids) > maxScratchIDs || cap(sc.dataMsg.Records) > maxScratchRecords {
+		return
+	}
+	items := sc.batch.Items[:cap(sc.batch.Items)]
+	for i := range items {
+		if cap(items[i].IDs) > maxScratchIDs || cap(items[i].Recs) > maxScratchRecords {
+			return
+		}
+	}
+	s.scratch.Put(sc)
 }
 
 // serveMetrics holds the obs handles the hot path uses, resolved once at New
@@ -151,9 +198,14 @@ type serveMetrics struct {
 	writeHist *obs.Histogram
 	rxBytes   *obs.Counter
 	txBytes   *obs.Counter
+	// writes counts physical connection writes, writeFrames the response
+	// frames they carried — their ratio is the flush-coalescing factor.
+	writes      *obs.Counter
+	writeFrames *obs.Counter
 	// Registry mirrors of the core Stats counters, so /metrics sees them
 	// without reaching into the Server.
 	conns, served, overloads, deadlines, errors, shipments *obs.Counter
+	batches, batchQueries                                  *obs.Counter
 }
 
 var kindNames = [3]string{"point", "range", "nn"}
@@ -180,6 +232,10 @@ func newServeMetrics(h *obs.Hub) serveMetrics {
 	m.deadlines = h.Reg.Counter("serve_deadlines_total")
 	m.errors = h.Reg.Counter("serve_errors_total")
 	m.shipments = h.Reg.Counter("serve_shipments_total")
+	m.batches = h.Reg.Counter("serve_batches_total")
+	m.batchQueries = h.Reg.Counter("serve_batch_queries_total")
+	m.writes = h.Reg.Counter("serve_writes_total")
+	m.writeFrames = h.Reg.Counter("serve_write_frames_total")
 	return m
 }
 
@@ -188,24 +244,28 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		conns:   make(map[net.Conn]struct{}),
 		metrics: newServeMetrics(cfg.Obs),
-	}, nil
+	}
+	s.scratch.New = func() any { return &reqScratch{} }
+	return s, nil
 }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Conns:     s.nConns.Load(),
-		Served:    s.nServed.Load(),
-		Overloads: s.nOverload.Load(),
-		Deadlines: s.nDeadline.Load(),
-		Errors:    s.nErrors.Load(),
-		Shipments: s.nShipments.Load(),
+		Conns:        s.nConns.Load(),
+		Served:       s.nServed.Load(),
+		Overloads:    s.nOverload.Load(),
+		Deadlines:    s.nDeadline.Load(),
+		Errors:       s.nErrors.Load(),
+		Shipments:    s.nShipments.Load(),
+		Batches:      s.nBatches.Load(),
+		BatchQueries: s.nBatchQueries.Load(),
 	}
 }
 
@@ -327,8 +387,14 @@ func (s *Server) inShutdown() bool {
 type conn struct {
 	srv *Server
 	nc  net.Conn
-	// wmu serializes response writes from the request goroutines.
-	wmu sync.Mutex
+	// wmu guards the write state below. Responses are encoded into wbuf
+	// under wmu and flushed by whichever goroutine finds no flusher active —
+	// so concurrent pipelined responses coalesce into one syscall.
+	wmu     sync.Mutex
+	wbuf    []byte // frames appended, awaiting flush
+	wspare  []byte // retained buffer of the last flush, reused for wbuf
+	writing bool   // a flusher is draining wbuf
+	wclosed bool   // a write failed; the connection is dead
 	// pending counts this connection's in-flight request goroutines.
 	pending sync.WaitGroup
 }
@@ -352,8 +418,12 @@ func (s *Server) serveConn(nc net.Conn) {
 		// poke (SetReadDeadline(now)) lands between the check and a
 		// later arm, this ordering guarantees the poke wins and the read
 		// returns immediately — otherwise an idle connection could stall
-		// the drain for a full readPollInterval.
-		nc.SetReadDeadline(time.Now().Add(readPollInterval))
+		// the drain for a full readPollInterval. A SetReadDeadline error
+		// means the socket is already torn down: drop the connection
+		// rather than risk a read that can never be interrupted.
+		if err := nc.SetReadDeadline(time.Now().Add(readPollInterval)); err != nil {
+			return
+		}
 		if s.inShutdown() {
 			return
 		}
@@ -371,12 +441,17 @@ func (s *Server) serveConn(nc net.Conn) {
 		switch m := msg.(type) {
 		case *proto.PingMsg:
 			// Pings bypass admission: they measure the link, not the server.
+			// write serializes the echo before returning, so releasing the
+			// pooled message afterwards is safe.
 			c.write(m)
+			proto.ReleaseMessage(m)
 		case *proto.StatsReqMsg:
 			// Snapshots bypass admission too: observability must stay
 			// available when the server is saturated.
 			c.write(s.statsSnapshot(m.ID))
 		case *proto.QueryMsg:
+			c.dispatch(m, arrived, m.TimeoutMicros)
+		case *proto.BatchQueryMsg:
 			c.dispatch(m, arrived, m.TimeoutMicros)
 		case *proto.ShipmentReqMsg:
 			c.dispatch(m, arrived, m.TimeoutMicros)
@@ -385,6 +460,7 @@ func (s *Server) serveConn(nc net.Conn) {
 			s.metrics.errors.Inc()
 			c.write(&proto.ErrorMsg{ID: msg.RequestID(), Code: proto.CodeBadRequest,
 				Text: fmt.Sprintf("unexpected %v message", msg.Type())})
+			proto.ReleaseMessage(msg)
 		}
 	}
 }
@@ -417,6 +493,7 @@ func (c *conn) dispatch(req proto.Message, arrived time.Time, timeoutMicros uint
 			s.metrics.overloads.Inc()
 			c.write(&proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeOverload,
 				Text: "admission queue full"})
+			proto.ReleaseMessage(req)
 			return
 		}
 	}
@@ -435,8 +512,9 @@ func (c *conn) dispatch(req proto.Message, arrived time.Time, timeoutMicros uint
 		}
 		sp.Lap(obs.StageParse, admitted.Sub(arrived).Seconds())
 		sp.Begin(obs.StageIndexWalk)
+		sc := s.getScratch()
 		execStart := time.Now()
-		resp := s.execute(req)
+		resp := s.execute(req, sc)
 		execSec := time.Since(execStart).Seconds()
 		s.observeExec(req, execSec)
 		if time.Now().After(deadline) {
@@ -457,8 +535,12 @@ func (c *conn) dispatch(req proto.Message, arrived time.Time, timeoutMicros uint
 		}
 		sp.Begin(obs.StageSerialize)
 		writeStart := time.Now()
+		// write serializes resp before returning, so the scratch the
+		// response aliases can be pooled again immediately after.
 		c.write(resp)
 		s.metrics.writeHist.Observe(time.Since(writeStart).Seconds())
+		s.putScratch(sc)
+		proto.ReleaseMessage(req)
 		sp.Finish()
 	}()
 }
@@ -470,35 +552,86 @@ func reqKind(req proto.Message) string {
 		if int(m.Kind) < len(kindNames) {
 			return kindNames[m.Kind]
 		}
+	case *proto.BatchQueryMsg:
+		return "batch"
 	case *proto.ShipmentReqMsg:
 		return "shipment"
 	}
 	return "other"
 }
 
-// observeExec records one execution time into the matching histogram.
+// observeExec records one execution time into the matching histogram. Batch
+// requests are recorded per sub-query inside executeBatch instead, so the
+// per-kind histograms stay comparable between batched and single traffic.
 func (s *Server) observeExec(req proto.Message, sec float64) {
 	switch m := req.(type) {
 	case *proto.QueryMsg:
-		if int(m.Kind) < 3 && int(m.Mode) < 3 {
-			s.metrics.execHist[m.Kind][m.Mode].Observe(sec)
-		}
+		s.observeExecQuery(m, sec)
 	case *proto.ShipmentReqMsg:
 		s.metrics.shipHist.Observe(sec)
 	}
 }
 
-// write sends one response frame; write errors drop the connection (the
-// reader will notice on its next poll).
-func (c *conn) write(m proto.Message) {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-	n, err := proto.WriteMessage(c.nc, m)
-	c.srv.metrics.txBytes.Add(uint64(n))
-	if err != nil {
-		c.nc.Close()
+func (s *Server) observeExecQuery(q *proto.QueryMsg, sec float64) {
+	if int(q.Kind) < 3 && int(q.Mode) < 3 {
+		s.metrics.execHist[q.Kind][q.Mode].Observe(sec)
 	}
+}
+
+// maxRetainedWriteBuf caps the flush buffer kept per connection; a burst
+// that grew it past this is released back to the heap rather than pinned.
+const maxRetainedWriteBuf = 1 << 20
+
+// write enqueues one response frame and flushes the connection's write
+// buffer. The frame is serialized under wmu — after write returns, m (and
+// any scratch it aliases) may be reused. If another goroutine is already
+// flushing, the frame is left for it to pick up: pipelined responses that
+// land while a write syscall is in progress all go out in the next write,
+// which is how N batched or pipelined responses cost O(1) syscalls. Write
+// errors drop the connection (the reader will notice on its next poll).
+func (c *conn) write(m proto.Message) {
+	s := c.srv
+	c.wmu.Lock()
+	if c.wclosed {
+		c.wmu.Unlock()
+		return
+	}
+	var err error
+	if c.wbuf, err = proto.AppendFrame(c.wbuf, m); err != nil {
+		// Server-built replies always validate; this is defensive.
+		c.wmu.Unlock()
+		s.nErrors.Add(1)
+		s.metrics.errors.Inc()
+		return
+	}
+	s.metrics.writeFrames.Inc()
+	if c.writing {
+		c.wmu.Unlock()
+		return
+	}
+	c.writing = true
+	for len(c.wbuf) > 0 && !c.wclosed {
+		buf := c.wbuf
+		c.wbuf = c.wspare[:0]
+		c.wspare = nil
+		c.wmu.Unlock()
+
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		n, werr := c.nc.Write(buf)
+		s.metrics.txBytes.Add(uint64(n))
+		s.metrics.writes.Inc()
+
+		c.wmu.Lock()
+		if cap(buf) <= maxRetainedWriteBuf {
+			c.wspare = buf[:0]
+		}
+		if werr != nil {
+			c.wclosed = true
+			c.nc.Close()
+		}
+	}
+	c.writing = false
+	c.wmu.Unlock()
 }
 
 // statsSnapshot builds the in-protocol stats reply. With obs enabled the
@@ -518,73 +651,137 @@ func (s *Server) statsSnapshot(id uint32) *proto.StatsMsg {
 		{Name: "serve_overloads_total", Value: st.Overloads},
 		{Name: "serve_served_total", Value: st.Served},
 		{Name: "serve_shipments_total", Value: st.Shipments},
+		{Name: "serve_batches_total", Value: st.Batches},
+		{Name: "serve_batch_queries_total", Value: st.BatchQueries},
 	}})
 }
 
-// execute runs one admitted request and builds its response message.
-func (s *Server) execute(req proto.Message) proto.Message {
+// execute runs one admitted request and builds its response message. The
+// response may alias sc's buffers; it must be serialized (conn.write does
+// this before returning) before sc is reused.
+func (s *Server) execute(req proto.Message, sc *reqScratch) proto.Message {
 	if s.cfg.testDelay > 0 {
 		time.Sleep(s.cfg.testDelay)
 	}
 	switch m := req.(type) {
 	case *proto.QueryMsg:
-		return s.executeQuery(m)
+		return s.executeQuery(m, sc)
+	case *proto.BatchQueryMsg:
+		return s.executeBatch(m, sc)
 	case *proto.ShipmentReqMsg:
 		return s.executeShipment(m)
 	}
 	return &proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeInternal, Text: "unroutable message"}
 }
 
-func (s *Server) executeQuery(q *proto.QueryMsg) proto.Message {
+// runQuery answers one query, appending the matching ids to dst. On error
+// it returns dst untouched plus the error code and text. This is the single
+// traversal entry both the single-query and batch paths share.
+func (s *Server) runQuery(q *proto.QueryMsg, sc *reqScratch, dst []uint32) ([]uint32, proto.ErrCode, string) {
 	eps := q.Eps
 	if eps <= 0 {
 		eps = s.cfg.PointEps
 	}
 	pool := s.cfg.Pool
-
-	var ids []uint32
 	switch q.Kind {
 	case proto.KindPoint:
 		if q.Mode == proto.ModeFilter {
-			ids = pool.FilterPoint(q.Point)
-		} else {
-			ids = pool.Point(q.Point, eps)
+			return pool.FilterPointAppend(dst, q.Point), 0, ""
 		}
+		return pool.PointAppend(dst, q.Point, eps), 0, ""
 	case proto.KindRange:
 		if q.Mode == proto.ModeFilter {
-			ids = pool.FilterRange(q.Window)
-		} else {
-			ids = pool.Range(q.Window)
+			return pool.FilterRangeAppend(dst, q.Window), 0, ""
 		}
+		return pool.RangeAppend(dst, q.Window), 0, ""
 	case proto.KindNN:
 		k := int(q.K)
 		if k > s.cfg.MaxKNN {
-			return &proto.ErrorMsg{ID: q.ID, Code: proto.CodeBadRequest,
-				Text: fmt.Sprintf("k=%d exceeds limit %d", k, s.cfg.MaxKNN)}
+			return dst, proto.CodeBadRequest, fmt.Sprintf("k=%d exceeds limit %d", k, s.cfg.MaxKNN)
 		}
 		if k > 1 {
-			neighbors, ok := pool.KNearest(q.Point, k)
+			nbs, ok := pool.KNearestAppend(sc.nbs[:0], q.Point, k, &sc.psc)
+			sc.nbs = nbs
 			if !ok {
-				return &proto.ErrorMsg{ID: q.ID, Code: proto.CodeUnsupported,
-					Text: "access method does not support k-NN"}
+				return dst, proto.CodeUnsupported, "access method does not support k-NN"
 			}
-			for _, nb := range neighbors {
-				ids = append(ids, nb.ID)
+			for _, nb := range nbs {
+				dst = append(dst, nb.ID)
 			}
-		} else if nn := pool.Nearest(q.Point); nn.OK {
-			ids = append(ids, nn.ID)
+			return dst, 0, ""
 		}
+		if nn := pool.NearestWith(q.Point, &sc.psc); nn.OK {
+			dst = append(dst, nn.ID)
+		}
+		return dst, 0, ""
 	}
+	return dst, proto.CodeBadRequest, "unknown query kind"
+}
 
-	if q.Mode == proto.ModeData {
-		ds := pool.Dataset()
-		recs := make([]proto.Record, len(ids))
-		for i, id := range ids {
-			recs[i] = proto.Record{ID: id, Seg: ds.Seg(id)}
-		}
-		return &proto.DataListMsg{ID: q.ID, Records: recs}
+func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch) proto.Message {
+	ids, code, text := s.runQuery(q, sc, sc.ids[:0])
+	sc.ids = ids
+	if code != 0 {
+		return &proto.ErrorMsg{ID: q.ID, Code: code, Text: text}
 	}
-	return &proto.IDListMsg{ID: q.ID, IDs: ids}
+	if q.Mode == proto.ModeData {
+		ds := s.cfg.Pool.Dataset()
+		recs := sc.dataMsg.Records[:0]
+		for _, id := range ids {
+			recs = append(recs, proto.Record{ID: id, Seg: ds.Seg(id)})
+		}
+		sc.dataMsg = proto.DataListMsg{ID: q.ID, Records: recs}
+		return &sc.dataMsg
+	}
+	sc.idMsg = proto.IDListMsg{ID: q.ID, IDs: ids}
+	return &sc.idMsg
+}
+
+// executeBatch answers every query of a batch into one reply message. Item
+// slices are reused from the scratch's previous batch, so a warm batch of
+// already-seen shape allocates nothing. Per-item failures (e.g. an over-limit
+// k mid-batch) become per-item errors; the rest of the batch still answers.
+func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch) proto.Message {
+	items := sc.batch.Items[:0]
+	for i := range m.Queries {
+		if i < cap(items) {
+			items = items[:i+1]
+		} else {
+			items = append(items, proto.BatchItem{})
+		}
+		it := &items[i]
+		it.IDs, it.Recs, it.Err, it.Text = it.IDs[:0], it.Recs[:0], 0, ""
+
+		q := &m.Queries[i]
+		start := time.Now()
+		if q.Mode == proto.ModeData {
+			ids, code, text := s.runQuery(q, sc, sc.ids[:0])
+			sc.ids = ids
+			if code != 0 {
+				it.Err, it.Text = code, text
+			} else {
+				ds := s.cfg.Pool.Dataset()
+				for _, id := range ids {
+					it.Recs = append(it.Recs, proto.Record{ID: id, Seg: ds.Seg(id)})
+				}
+			}
+		} else {
+			ids, code, text := s.runQuery(q, sc, it.IDs)
+			if code != 0 {
+				it.Err, it.Text = code, text
+			} else {
+				it.IDs = ids
+			}
+		}
+		s.observeExecQuery(q, time.Since(start).Seconds())
+	}
+	sc.batch.ID = m.ID
+	sc.batch.Items = items
+	s.nBatches.Add(1)
+	s.nBatchQueries.Add(uint64(len(m.Queries)))
+	s.metrics.batches.Inc()
+	s.metrics.batchQueries.Add(uint64(len(m.Queries)))
+	return &sc.batch
 }
 
 func (s *Server) executeShipment(m *proto.ShipmentReqMsg) proto.Message {

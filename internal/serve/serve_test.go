@@ -59,6 +59,18 @@ func testWorld(t testing.TB, mutate func(*Config)) (*dataset.Dataset, *parallel.
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(lis) }()
+	// Wait for Serve to register the listener: a test finishing instantly
+	// would otherwise Close before Serve starts and get a spurious
+	// "shut down" error.
+	for i := 0; i < 2000; i++ {
+		srv.mu.Lock()
+		started := srv.lis != nil
+		srv.mu.Unlock()
+		if started {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 	t.Cleanup(func() {
 		srv.Close()
 		if err := <-serveErr; err != nil {
