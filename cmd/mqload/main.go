@@ -25,6 +25,12 @@
 //	-shipw       planner mode: half-width in meters of the shipment window
 //	             (default 5000)
 //	-shipbudget  planner mode: shipment memory budget in bytes (default 4MB)
+//	-fault       fault-injection profile applied to every connection: a
+//	             preset (lossy, slow, stall, outage, flaky), a key=value
+//	             list, or both — "lossy,drop=0.1" (see internal/faultlink)
+//	-fallback    arm the circuit breaker and a full local index: when the
+//	             link fails, queries are answered at the client (the paper's
+//	             all-client scheme as a degraded mode)
 //	-serverstats pull and print the server's metrics snapshot at the end
 //
 // Output: total queries, QPS, mean and p50/p95/p99 latency from a merged
@@ -50,9 +56,13 @@ import (
 
 	"mobispatial/internal/core"
 	"mobispatial/internal/dataset"
+	"mobispatial/internal/faultlink"
 	"mobispatial/internal/geom"
 	"mobispatial/internal/obs"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/parallel"
 	"mobispatial/internal/proto"
+	"mobispatial/internal/rtree"
 	"mobispatial/internal/serve/client"
 	"mobispatial/internal/stats"
 )
@@ -121,6 +131,8 @@ func run(args []string) error {
 	planner := fs.Bool("planner", false, "route queries through the partitioning planner")
 	shipW := fs.Float64("shipw", 5000, "planner: half-width of the shipment window (m)")
 	shipBudget := fs.Int("shipbudget", 4<<20, "planner: shipment memory budget (bytes)")
+	faultSpec := fs.String("fault", "", "fault-injection profile (preset and/or key=value list)")
+	fallback := fs.Bool("fallback", false, "arm the breaker and answer queries locally when the link fails")
 	serverStats := fs.Bool("serverstats", false, "print the server's metrics snapshot at the end")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,13 +161,57 @@ func run(args []string) error {
 	}
 
 	hub := obs.NewHub()
-	c, err := client.New(client.Config{Addr: *addr, Conns: *conns, Obs: hub})
+	cfg := client.Config{Addr: *addr, Conns: *conns, Obs: hub}
+
+	// Fault injection: every connection this client dials goes through the
+	// injector, so the measured run experiences the profile's drops, stalls,
+	// resets, and outage windows.
+	var inj *faultlink.Injector
+	if *faultSpec != "" {
+		prof, err := faultlink.ParseProfile(*faultSpec)
+		if err != nil {
+			return err
+		}
+		inj = faultlink.New(prof)
+		cfg.Dial = inj.DialFunc(nil)
+		fmt.Printf("mqload: fault injection on: %s\n", prof)
+	}
+
+	// Local fallback: rebuild the server's deterministic dataset and index at
+	// the client (data present at client), arm the breaker, and degrade to
+	// the all-client scheme whenever the link fails.
+	if *fallback {
+		var ds *dataset.Dataset
+		if *dsName == "pa" {
+			ds = dataset.PA()
+		} else {
+			ds = dataset.NYC()
+		}
+		tree, err := rtree.Build(ds.Items(), rtree.Config{}, ops.Null{})
+		if err != nil {
+			return fmt.Errorf("fallback index: %w", err)
+		}
+		pool, err := parallel.New(ds, tree, 0)
+		if err != nil {
+			return fmt.Errorf("fallback pool: %w", err)
+		}
+		cfg.Fallback = client.NewPoolFallback(pool)
+		cfg.Breaker = client.BreakerConfig{Enabled: true}
+		fmt.Printf("mqload: local fallback armed (%d records indexed, breaker on)\n", ds.Len())
+	}
+
+	c, err := client.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	if err := c.Probe(); err != nil {
-		return fmt.Errorf("server unreachable: %w", err)
+		if inj == nil && !*fallback {
+			return fmt.Errorf("server unreachable: %w", err)
+		}
+		// A faulted or fallback-armed run tolerates an unreachable server —
+		// demonstrating that is the point.
+		fmt.Printf("mqload: probe failed (%v) — continuing degraded\n", err)
 	}
 
 	// Planner mode: ship a sub-index around the map center, then confine the
@@ -185,6 +241,11 @@ func run(args []string) error {
 		errs      atomic.Uint64
 		wg        sync.WaitGroup
 	)
+	if inj != nil {
+		// Scripted outage windows are relative to the start of the workload,
+		// not process start (probing and index builds above take real time).
+		inj.ResetClock()
+	}
 	hists := make([]*stats.Histogram, *conns)
 	for w := 0; w < *conns; w++ {
 		hists[w] = stats.NewLatencyHistogram()
@@ -304,6 +365,9 @@ func run(args []string) error {
 	fmt.Printf("  errors    %d   retries %d\n", errs.Load(), c.Retries())
 	fmt.Printf("  link      rtt %v, bandwidth %s\n", link.RTT.Round(time.Microsecond), mbps(link.BandwidthBps))
 	printWireReport(c.WireStats(), link.BandwidthBps, *batch)
+	if inj != nil || *fallback {
+		printDegradedReport(c.Degraded(), inj)
+	}
 
 	if pl != nil {
 		printSchemeReport(hub.Reg.Snapshot())
@@ -344,6 +408,23 @@ func printWireReport(ws client.WireStats, bwBps float64, batch int) {
 		}
 		fmt.Printf("  batching  %d queries/exchange: modeled NIC %.4f mJ/query vs %.4f unbatched (%.1f%% saved on wakeups)\n",
 			batch, nicJ/q*1e3, unbatched/q*1e3, saved)
+	}
+}
+
+// printDegradedReport renders the disconnection-tolerance accounting: the
+// breaker's history, how many queries the local fallback absorbed, and the
+// energy split — modeled client CPU Joules spent answering locally against
+// modeled NIC Joules spent on remote exchanges — plus the injector's fault
+// counts when a -fault profile was active.
+func printDegradedReport(d client.DegradedStats, inj *faultlink.Injector) {
+	fmt.Printf("  breaker   %s: %d trips, %d probes (%d failed)\n",
+		d.Breaker, d.Trips, d.Probes, d.ProbeFailures)
+	fmt.Printf("  fallback  %d queries answered locally (%d local failures), energy %.4f mJ local CPU vs %.4f mJ remote NIC\n",
+		d.Fallbacks, d.FallbackErrors, d.FallbackJoules*1e3, d.RemoteNICJoules*1e3)
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Printf("  faults    %d drops, %d resets, %d stalls, %d outage failures, %d dials\n",
+			st.Drops, st.Resets, st.Stalls, st.OutageFailures, st.Dials)
 	}
 }
 

@@ -14,7 +14,9 @@
 //	-n         number of refreshes, 0 = until interrupted (default 0)
 //
 // Rates (qps, bytes/s) are deltas between consecutive snapshots; the first
-// frame shows totals only.
+// frame shows totals only. A failed poll does not exit: mqtop's own client
+// runs a circuit breaker, the header flips to UNREACHABLE with the breaker
+// state, and polling resumes when the server comes back.
 package main
 
 import (
@@ -46,7 +48,12 @@ func run(args []string) error {
 		return err
 	}
 
-	c, err := client.New(client.Config{Addr: *addr, Conns: 1})
+	// mqtop's own connection rides the breaker so a dead server costs one
+	// fast failure per refresh, not a full retry storm; polling continues and
+	// the header reports the link state until the server returns.
+	c, err := client.New(client.Config{Addr: *addr, Conns: 1,
+		RequestTimeout: 2 * time.Second, MaxRetries: 1,
+		Breaker: client.BreakerConfig{Enabled: true, ProbeInterval: *interval}})
 	if err != nil {
 		return err
 	}
@@ -61,16 +68,18 @@ func run(args []string) error {
 	var prevAt time.Time
 	for i := 0; ; i++ {
 		msg, err := c.StatsSnapshot()
-		if err != nil {
-			return err
-		}
-		now := time.Now()
-		snap := obs.SnapshotFromMsg(msg)
 		if *count != 1 {
 			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
 		}
-		render(os.Stdout, *addr, msg.UptimeMicros, snap, prev, now.Sub(prevAt), i > 0)
-		prev, prevAt = snap, now
+		if err != nil {
+			fmt.Printf("mqtop — %s  UNREACHABLE (breaker %s)  %s\n  %v\n",
+				*addr, c.BreakerState(), time.Now().Format("15:04:05"), err)
+		} else {
+			now := time.Now()
+			snap := obs.SnapshotFromMsg(msg)
+			render(os.Stdout, *addr, c, msg.UptimeMicros, snap, prev, now.Sub(prevAt), i > 0)
+			prev, prevAt = snap, now
+		}
 
 		if *count > 0 && i+1 >= *count {
 			return nil
@@ -85,9 +94,11 @@ func run(args []string) error {
 
 // render draws one frame. haveDelta enables the rate column once a previous
 // snapshot exists.
-func render(w *os.File, addr string, uptimeMicros uint64, snap, prev obs.Snapshot, dt time.Duration, haveDelta bool) {
-	fmt.Fprintf(w, "mqtop — %s  up %v  %s\n\n", addr,
+func render(w *os.File, addr string, c *client.Client, uptimeMicros uint64, snap, prev obs.Snapshot, dt time.Duration, haveDelta bool) {
+	link := c.Link()
+	fmt.Fprintf(w, "mqtop — %s  up %v  breaker %s  rtt %v  %s\n\n", addr,
 		(time.Duration(uptimeMicros) * time.Microsecond).Round(time.Second),
+		c.BreakerState(), link.RTT.Round(time.Microsecond),
 		time.Now().Format("15:04:05"))
 
 	prevCounters := map[string]uint64{}

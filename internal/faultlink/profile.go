@@ -1,0 +1,171 @@
+// profile.go: named fault profiles and the textual form mqload's -fault
+// flag accepts. A spec is a preset name, a comma-separated key=value list,
+// or a preset refined by overrides: "lossy,seed=7,drop=0.1".
+package faultlink
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Presets returns the named profiles, keyed by name.
+//
+//	lossy   5% dropped frames, 2% mid-frame resets, 10ms±5ms latency
+//	slow    2 Mbps throttle with 40ms±10ms latency (the paper's base link)
+//	stall   10% of operations freeze for 250ms
+//	outage  a clean link that dies completely for 2s out of every 10s
+//	flaky   everything at once, gently
+func Presets() map[string]Profile {
+	return map[string]Profile{
+		"lossy": {
+			DropProb: 0.05, ResetProb: 0.02,
+			Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond,
+		},
+		"slow": {
+			BandwidthBps: 2e6,
+			Latency:      40 * time.Millisecond, Jitter: 10 * time.Millisecond,
+		},
+		"stall": {
+			StallProb: 0.10, StallFor: 250 * time.Millisecond,
+		},
+		"outage": {
+			Outages: []Outage{
+				{Start: 2 * time.Second, End: 4 * time.Second},
+				{Start: 12 * time.Second, End: 14 * time.Second},
+				{Start: 22 * time.Second, End: 24 * time.Second},
+			},
+		},
+		"flaky": {
+			DropProb: 0.02, ResetProb: 0.01, StallProb: 0.02,
+			StallFor: 100 * time.Millisecond,
+			Latency:  5 * time.Millisecond, Jitter: 5 * time.Millisecond,
+			Outages: []Outage{{Start: 5 * time.Second, End: 6 * time.Second}},
+		},
+	}
+}
+
+// ParseProfile parses a -fault spec. Keys:
+//
+//	seed=N          PRNG seed (default 1)
+//	drop=P          per-write drop probability in [0,1]
+//	reset=P         per-op mid-frame reset probability
+//	stall=P         per-op stall probability
+//	stallfor=DUR    stall hold time (default 200ms)
+//	latency=DUR     added one-way latency
+//	jitter=DUR      uniform extra latency in [0, jitter)
+//	bw=BPS          bandwidth throttle in bits/second (plain float)
+//	outage=AT+LEN   total-loss window starting AT after the run begins,
+//	                lasting LEN; repeatable
+func ParseProfile(spec string) (Profile, error) {
+	var prof Profile
+	parts := strings.Split(spec, ",")
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasEq := strings.Cut(part, "=")
+		if !hasEq {
+			if i != 0 {
+				return prof, fmt.Errorf("faultlink: preset name %q must come first in %q", part, spec)
+			}
+			preset, ok := Presets()[part]
+			if !ok {
+				return prof, fmt.Errorf("faultlink: unknown preset %q (have lossy, slow, stall, outage, flaky)", part)
+			}
+			prof = preset
+			continue
+		}
+		if err := applyKey(&prof, key, val); err != nil {
+			return prof, err
+		}
+	}
+	return prof, nil
+}
+
+func applyKey(prof *Profile, key, val string) error {
+	switch key {
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("faultlink: bad seed %q", val)
+		}
+		prof.Seed = n
+	case "drop", "reset", "stall":
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return fmt.Errorf("faultlink: %s=%q is not a probability in [0,1]", key, val)
+		}
+		switch key {
+		case "drop":
+			prof.DropProb = p
+		case "reset":
+			prof.ResetProb = p
+		case "stall":
+			prof.StallProb = p
+		}
+	case "stallfor", "latency", "jitter":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("faultlink: bad duration %s=%q", key, val)
+		}
+		switch key {
+		case "stallfor":
+			prof.StallFor = d
+		case "latency":
+			prof.Latency = d
+		case "jitter":
+			prof.Jitter = d
+		}
+	case "bw":
+		b, err := strconv.ParseFloat(val, 64)
+		if err != nil || b < 0 {
+			return fmt.Errorf("faultlink: bad bandwidth bw=%q (bits/second)", val)
+		}
+		prof.BandwidthBps = b
+	case "outage":
+		at, length, ok := strings.Cut(val, "+")
+		if !ok {
+			return fmt.Errorf("faultlink: outage=%q wants AT+LEN (e.g. outage=5s+2s)", val)
+		}
+		start, err1 := time.ParseDuration(at)
+		dur, err2 := time.ParseDuration(length)
+		if err1 != nil || err2 != nil || start < 0 || dur <= 0 {
+			return fmt.Errorf("faultlink: bad outage window %q", val)
+		}
+		prof.Outages = append(prof.Outages, Outage{Start: start, End: start + dur})
+	default:
+		return fmt.Errorf("faultlink: unknown key %q", key)
+	}
+	return nil
+}
+
+// String renders the profile compactly for run banners.
+func (p Profile) String() string {
+	var parts []string
+	add := func(format string, args ...any) { parts = append(parts, fmt.Sprintf(format, args...)) }
+	if p.DropProb > 0 {
+		add("drop=%.3g", p.DropProb)
+	}
+	if p.ResetProb > 0 {
+		add("reset=%.3g", p.ResetProb)
+	}
+	if p.StallProb > 0 {
+		add("stall=%.3g:%v", p.StallProb, p.StallFor)
+	}
+	if p.Latency > 0 || p.Jitter > 0 {
+		add("latency=%v±%v", p.Latency, p.Jitter)
+	}
+	if p.BandwidthBps > 0 {
+		add("bw=%.3gMbps", p.BandwidthBps/1e6)
+	}
+	for _, w := range p.Outages {
+		add("outage=%v+%v", w.Start, w.End-w.Start)
+	}
+	if len(parts) == 0 {
+		return "clean"
+	}
+	return strings.Join(parts, ",")
+}

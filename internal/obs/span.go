@@ -34,12 +34,16 @@ const (
 	StageServerExec
 	// StageReply is answer materialization at the client.
 	StageReply
+	// StageFallback is degraded-mode local execution at the client: the
+	// breaker is open and the query is answered from the local index
+	// instead of the link.
+	StageFallback
 	// NumStages bounds the stage array.
 	NumStages
 )
 
 var stageNames = [NumStages]string{
-	"parse", "plan", "index-walk", "serialize", "wire", "server-exec", "reply",
+	"parse", "plan", "index-walk", "serialize", "wire", "server-exec", "reply", "fallback",
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,140 @@
+// backoff_test.go: package-internal tests for the retry backoff computation
+// and the circuit-breaker state machine.
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayNoOverflow is the regression test for the retry-path
+// overflow bug: the old `base << uint(attempt)` went negative once the shift
+// passed ~40 with millisecond bases, turning the retry sleep into a hot
+// loop. Attempt counts far past 64 must keep yielding sleeps in [0, max].
+func TestBackoffDelayNoOverflow(t *testing.T) {
+	const base, max = 2 * time.Millisecond, 250 * time.Millisecond
+	for attempt := 0; attempt <= 200; attempt++ {
+		for _, u := range []float64{0, 0.5, 0.999999} {
+			d := backoffDelay(base, max, attempt, u)
+			if d < 0 {
+				t.Fatalf("attempt %d u=%v: negative delay %v", attempt, u, d)
+			}
+			if d >= max {
+				t.Fatalf("attempt %d u=%v: delay %v >= max %v", attempt, u, d, max)
+			}
+		}
+	}
+	// Deep attempts with u near 1 must sit just under the cap, not at zero:
+	// the exponential ceiling saturates at max instead of wrapping.
+	if d := backoffDelay(base, max, 100, 0.999999); d < max/2 {
+		t.Fatalf("attempt 100 delay %v collapsed; want ~%v", d, max)
+	}
+}
+
+// TestBackoffDelayFullJitter verifies the delay is uniform-in-[0, ceiling):
+// u scales the exponential ceiling directly, so u=0 sleeps zero (that is
+// what de-synchronizes retry herds) and u≈1 sleeps the whole ceiling.
+func TestBackoffDelayFullJitter(t *testing.T) {
+	const base, max = 4 * time.Millisecond, 256 * time.Millisecond
+	if d := backoffDelay(base, max, 3, 0); d != 0 {
+		t.Fatalf("u=0 slept %v, want 0", d)
+	}
+	// attempt 3 → ceiling base*8 = 32ms; u=0.5 → 16ms.
+	if d := backoffDelay(base, max, 3, 0.5); d != 16*time.Millisecond {
+		t.Fatalf("u=0.5 attempt 3 slept %v, want 16ms", d)
+	}
+	// Ceiling growth: attempt 0 is bounded by base.
+	if d := backoffDelay(base, max, 0, 0.999); d >= base {
+		t.Fatalf("attempt 0 slept %v, want < %v", d, base)
+	}
+	if backoffDelay(0, max, 5, 0.5) != 0 || backoffDelay(base, 0, 5, 0.5) != 0 {
+		t.Fatal("degenerate base/max must sleep 0")
+	}
+}
+
+// TestBreakerTripAndProbe walks the state machine: threshold consecutive
+// failures trip Closed→Open, requests fail fast while open, the first
+// caller past ProbeInterval wins the half-open probe slot, and the probe's
+// outcome decides between Closed and another Open interval.
+func TestBreakerTripAndProbe(t *testing.T) {
+	b := newBreaker(BreakerConfig{Enabled: true, FailureThreshold: 3, ProbeInterval: time.Hour})
+	now := time.Now()
+
+	if ok, probe := b.allow(now); !ok || probe {
+		t.Fatalf("closed breaker: allow = %v, %v", ok, probe)
+	}
+	if b.onFailure(now) || b.onFailure(now) {
+		t.Fatal("tripped before threshold")
+	}
+	if !b.onFailure(now) {
+		t.Fatal("third failure did not trip")
+	}
+	if st, trips, _, _ := b.snapshot(); st != BreakerOpen || trips != 1 {
+		t.Fatalf("after trip: state=%v trips=%d", st, trips)
+	}
+	if ok, _ := b.allow(now); ok {
+		t.Fatal("open breaker allowed a request before ProbeInterval")
+	}
+
+	// Past the interval: exactly one caller wins the probe slot.
+	later := now.Add(2 * time.Hour)
+	ok, probe := b.allow(later)
+	if !ok || !probe {
+		t.Fatalf("first caller past interval: allow = %v, %v", ok, probe)
+	}
+	if ok, _ := b.allow(later); ok {
+		t.Fatal("second caller raced into the half-open slot")
+	}
+
+	// Failed probe re-opens for another interval.
+	b.probeResult(false, later)
+	if st, _, _, fails := b.snapshot(); st != BreakerOpen || fails != 1 {
+		t.Fatalf("after failed probe: state=%v probeFails=%d", st, fails)
+	}
+
+	// Successful probe re-closes and resets the failure count.
+	evenLater := later.Add(2 * time.Hour)
+	if ok, probe := b.allow(evenLater); !ok || !probe {
+		t.Fatal("no probe slot after failed probe interval")
+	}
+	b.probeResult(true, evenLater)
+	if st, _, probes, _ := b.snapshot(); st != BreakerClosed || probes != 2 {
+		t.Fatalf("after successful probe: state=%v probes=%d", st, probes)
+	}
+	// A fresh failure streak is needed to trip again.
+	if b.onFailure(evenLater) || b.onFailure(evenLater) {
+		t.Fatal("stale failure count survived re-close")
+	}
+}
+
+// TestBreakerSuccessResetsStreak verifies intermittent failures never trip:
+// any success while closed zeroes the consecutive-failure count.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(BreakerConfig{Enabled: true, FailureThreshold: 2, ProbeInterval: time.Hour})
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		if b.onFailure(now) {
+			t.Fatalf("iteration %d: single failure tripped threshold-2 breaker", i)
+		}
+		b.onSuccess()
+	}
+	if st, _, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+// TestBreakerDisabled verifies the zero-config breaker is transparent: every
+// request allowed, no state transitions, nil-safe.
+func TestBreakerDisabled(t *testing.T) {
+	for _, b := range []*breaker{nil, newBreaker(BreakerConfig{})} {
+		now := time.Now()
+		for i := 0; i < 20; i++ {
+			if b.onFailure(now) {
+				t.Fatal("disabled breaker tripped")
+			}
+		}
+		if ok, probe := b.allow(now); !ok || probe {
+			t.Fatalf("disabled breaker: allow = %v, %v", ok, probe)
+		}
+	}
+}

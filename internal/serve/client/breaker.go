@@ -1,0 +1,180 @@
+// breaker.go: the client's circuit breaker — the mechanism that turns the
+// planner's partitioning scheme choice into something that survives the
+// link actually failing. Consecutive transient failures (connection errors,
+// overload/shutdown replies, deadline timeouts) trip the breaker OPEN;
+// while open, requests fail fast with ErrBreakerOpen — no dial, no NIC
+// wakeup, no RequestTimeout burned per query — and callers with a Fallback
+// degrade to local execution. After ProbeInterval the breaker HALF-OPENs:
+// exactly one caller wins the right to probe the link with a ping; success
+// re-CLOSEs the breaker, failure re-opens it for another interval. The
+// paper's energy model is why fail-fast matters: every wasted wakeup and
+// every timeout spent waiting on a dead radio is Joules the client cannot
+// recover.
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (possibly wrapped) when the circuit breaker is
+// open and the request was not attempted on the wire.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+// The breaker states.
+const (
+	// BreakerClosed: the link is healthy, requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive transient failures exceeded the threshold;
+	// requests fail fast (or fall back locally) without touching the wire.
+	BreakerOpen
+	// BreakerHalfOpen: a probe is in flight; its outcome decides between
+	// Closed and another Open interval.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "breaker(?)"
+}
+
+// BreakerConfig parameterizes the client's circuit breaker.
+type BreakerConfig struct {
+	// Enabled turns the breaker on. Off (the default), every request rides
+	// the full retry/backoff path no matter how dead the link is.
+	Enabled bool
+	// FailureThreshold is how many consecutive transient failures trip the
+	// breaker; defaults to 5.
+	FailureThreshold int
+	// ProbeInterval is how long the breaker stays open before half-opening
+	// with a probe ping; defaults to 500ms.
+	ProbeInterval time.Duration
+}
+
+func (c *BreakerConfig) fill() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+}
+
+// breaker is the state machine. All transitions happen under mu; the
+// metrics handles are nil-safe no-ops when obs is disabled.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int       // consecutive transient failures while closed
+	nextProbe time.Time // earliest half-open time while open
+
+	trips, probes, probeFails uint64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg.fill()
+	return &breaker{cfg: cfg}
+}
+
+// allow gates one request attempt. Returns (true, false) to proceed
+// normally, (true, true) when the caller won the half-open probe slot and
+// must report the probe's outcome via probeResult, and (false, false) to
+// fail fast with ErrBreakerOpen.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
+	if b == nil || !b.cfg.Enabled {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if now.Before(b.nextProbe) {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probes++
+		return true, true
+	default: // BreakerHalfOpen: someone is already probing
+		return false, false
+	}
+}
+
+// probeResult resolves a half-open probe.
+func (b *breaker) probeResult(success bool, now time.Time) {
+	if b == nil || !b.cfg.Enabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	if success {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	b.probeFails++
+	b.state = BreakerOpen
+	b.nextProbe = now.Add(b.cfg.ProbeInterval)
+}
+
+// onSuccess records a healthy exchange (any well-formed reply, errors
+// included — a BadRequest still proves the link works).
+func (b *breaker) onSuccess() {
+	if b == nil || !b.cfg.Enabled {
+		return
+	}
+	b.mu.Lock()
+	if b.state == BreakerClosed {
+		b.fails = 0
+	}
+	b.mu.Unlock()
+}
+
+// onFailure records one transient failure; crossing the threshold while
+// closed trips the breaker open. It reports whether this failure tripped it.
+func (b *breaker) onFailure(now time.Time) bool {
+	if b == nil || !b.cfg.Enabled {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		return false
+	}
+	b.fails++
+	if b.fails < b.cfg.FailureThreshold {
+		return false
+	}
+	b.state = BreakerOpen
+	b.nextProbe = now.Add(b.cfg.ProbeInterval)
+	b.trips++
+	return true
+}
+
+// snapshot returns the current state and counters.
+func (b *breaker) snapshot() (state BreakerState, trips, probes, probeFails uint64) {
+	if b == nil {
+		return BreakerClosed, 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips, b.probes, b.probeFails
+}

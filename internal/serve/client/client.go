@@ -1,8 +1,10 @@
 // Package client is the mobile side of the networked service: a client
 // library for the internal/serve protocol with connection pooling,
-// retry-with-backoff on transient errors, and passive link measurement
-// (RTT and effective bandwidth) feeding the partitioning planner — the
-// live counterpart of the paper's effective-bandwidth parameter B.
+// retry-with-backoff on transient errors, passive link measurement (RTT and
+// effective bandwidth) feeding the partitioning planner — the live
+// counterpart of the paper's effective-bandwidth parameter B — and
+// disconnection tolerance: a circuit breaker (breaker.go) that fails fast
+// on a dead link and degrades gracefully to local execution (fallback.go).
 package client
 
 import (
@@ -11,11 +13,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mobispatial/internal/core"
 	"mobispatial/internal/geom"
 	"mobispatial/internal/obs"
 	"mobispatial/internal/proto"
@@ -46,6 +50,19 @@ type Config struct {
 	// gauges, and the planner's per-scheme and predicted-vs-actual metrics
 	// and spans all land in this hub. Nil disables instrumentation.
 	Obs *obs.Hub
+	// Breaker configures the circuit breaker (off by default): consecutive
+	// transient failures trip it open, open requests fail fast with
+	// ErrBreakerOpen, and probe pings re-close it when the link returns.
+	Breaker BreakerConfig
+	// Fallback, when set, answers point/range/NN queries locally whenever
+	// the breaker is open or a request exhausts its retries — graceful
+	// degradation to the paper's all-client scheme. Nil keeps failures
+	// as errors.
+	Fallback Fallback
+	// Dial overrides the transport dialer. Tests and cmd/mqload use it to
+	// slot an internal/faultlink injector under the client. Nil dials
+	// plain TCP.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (c *Config) fill() error {
@@ -94,6 +111,19 @@ type Client struct {
 	retries atomic.Uint64
 	wire    wireCounters
 
+	// brk gates requests when the link is failing; fallback answers them
+	// locally while it is open. Degraded-mode accounting lives in the
+	// atomic counters and CAS-accumulating gauges below.
+	brk            *breaker
+	fallback       Fallback
+	fallbacks      atomic.Uint64
+	fallbackErrs   atomic.Uint64
+	fallbackJ      obs.Gauge // modeled Joules of local fallback execution
+	remoteNICJ     obs.Gauge // modeled NIC Joules of remote exchanges
+	energy         obs.EnergyModel
+	backoffRng     func() float64 // uniform [0,1) for full-jitter backoff
+	backoffRngLock sync.Mutex
+
 	hub     *obs.Hub
 	metrics clientMetrics
 }
@@ -111,12 +141,26 @@ func New(cfg Config) (*Client, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	return &Client{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.Conns),
-		hub:     cfg.Obs,
-		metrics: newClientMetrics(cfg.Obs),
-	}, nil
+	em := obs.DefaultEnergyModel()
+	if cfg.Obs != nil {
+		em = cfg.Obs.Energy
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	c := &Client{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Conns),
+		brk:      newBreaker(cfg.Breaker),
+		fallback: cfg.Fallback,
+		energy:   em,
+		hub:      cfg.Obs,
+		metrics:  newClientMetrics(cfg.Obs),
+	}
+	c.backoffRng = func() float64 {
+		c.backoffRngLock.Lock()
+		defer c.backoffRngLock.Unlock()
+		return rng.Float64()
+	}
+	return c, nil
 }
 
 // Close closes all pooled connections. In-flight requests fail.
@@ -134,6 +178,46 @@ func (c *Client) Close() error {
 
 // Retries returns the cumulative number of transient-failure retries.
 func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// BreakerState returns the circuit breaker's position (BreakerClosed when
+// the breaker is disabled).
+func (c *Client) BreakerState() BreakerState {
+	state, _, _, _ := c.brk.snapshot()
+	return state
+}
+
+// DegradedStats is the client's disconnection-tolerance accounting: the
+// breaker's position and history plus the local-fallback counters and the
+// fallback-vs-remote energy attribution.
+type DegradedStats struct {
+	Breaker        BreakerState
+	Trips          uint64 // closed→open transitions
+	Probes         uint64 // half-open probe pings sent
+	ProbeFailures  uint64 // probes that re-opened the breaker
+	Fallbacks      uint64 // queries answered by the local fallback
+	FallbackErrors uint64 // local fallback executions that failed
+	// FallbackJoules is the modeled client CPU energy spent answering
+	// queries locally; RemoteNICJoules the modeled NIC energy of every
+	// remote exchange. Together they price degraded operation the way the
+	// paper prices partitioning: compute Joules against radio Joules.
+	FallbackJoules  float64
+	RemoteNICJoules float64
+}
+
+// Degraded returns the degraded-mode accounting snapshot.
+func (c *Client) Degraded() DegradedStats {
+	state, trips, probes, probeFails := c.brk.snapshot()
+	return DegradedStats{
+		Breaker:         state,
+		Trips:           trips,
+		Probes:          probes,
+		ProbeFailures:   probeFails,
+		Fallbacks:       c.fallbacks.Load(),
+		FallbackErrors:  c.fallbackErrs.Load(),
+		FallbackJoules:  c.fallbackJ.Value(),
+		RemoteNICJoules: c.remoteNICJ.Value(),
+	}
+}
 
 // wireCounters tracks the physical cost of the client's traffic.
 type wireCounters struct {
@@ -183,7 +267,13 @@ func (c *Client) checkout() (*wireConn, error) {
 	if wc != nil {
 		return wc, nil
 	}
-	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	dial := c.cfg.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		<-c.sem
 		return nil, err
@@ -219,31 +309,103 @@ func transientCode(code proto.ErrCode) bool {
 }
 
 // do sends req and returns the matching response, retrying transient
-// failures with exponential backoff on a fresh connection.
+// failures with full-jitter exponential backoff on a fresh connection. With
+// the breaker enabled, attempts are gated: an open breaker fails fast with
+// ErrBreakerOpen (no wire traffic), and the caller that wins the half-open
+// slot pays one probe ping before its request proceeds.
 func (c *Client) do(req proto.Message) (proto.Message, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		ok, probe := c.brk.allow(time.Now())
+		if !ok {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last transient failure: %v)", ErrBreakerOpen, lastErr)
+			}
+			return nil, ErrBreakerOpen
+		}
+		if probe {
+			c.metrics.breakerProbes.Inc()
+			if perr := c.probeLink(); perr != nil {
+				c.brk.probeResult(false, time.Now())
+				c.observeBreaker()
+				return nil, fmt.Errorf("%w (probe failed: %v)", ErrBreakerOpen, perr)
+			}
+			c.brk.probeResult(true, time.Now())
+			c.observeBreaker()
+		}
 		resp, err := c.roundTrip(req)
 		if err == nil {
 			if em, ok := resp.(*proto.ErrorMsg); ok && transientCode(em.Code) {
 				lastErr = em
+				c.recordFailure()
 			} else {
+				c.brk.onSuccess()
 				return resp, nil
 			}
 		} else {
 			lastErr = err
+			c.recordFailure()
 		}
 		if attempt >= c.cfg.MaxRetries {
 			return nil, fmt.Errorf("client: %d attempts failed: %w", attempt+1, lastErr)
 		}
 		c.retries.Add(1)
 		c.metrics.retries.Inc()
-		backoff := c.cfg.BackoffBase << uint(attempt)
-		if backoff > c.cfg.BackoffMax {
-			backoff = c.cfg.BackoffMax
-		}
-		time.Sleep(backoff)
+		time.Sleep(backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt, c.backoffRng()))
 	}
+}
+
+// recordFailure feeds one transient failure to the breaker and mirrors a
+// trip into the metrics.
+func (c *Client) recordFailure() {
+	if c.brk.onFailure(time.Now()) {
+		c.metrics.breakerTrips.Inc()
+	}
+	c.observeBreaker()
+}
+
+// observeBreaker mirrors the breaker position into its gauge.
+func (c *Client) observeBreaker() {
+	state, _, _, _ := c.brk.snapshot()
+	c.metrics.breakerState.Set(float64(state))
+}
+
+// probeLink round-trips one empty ping in a single attempt — the half-open
+// breaker's link test. It bypasses do so a probe can never recurse into
+// another probe.
+func (c *Client) probeLink() error {
+	msg := &proto.PingMsg{ID: c.id()}
+	resp, err := c.roundTrip(msg)
+	if err != nil {
+		return err
+	}
+	proto.ReleaseMessage(resp)
+	return nil
+}
+
+// backoffDelay computes the attempt-th retry sleep: exponential growth from
+// base capped at max, with full jitter (uniform in [0, capped)) so a fleet
+// of clients released by one server overload does not retry in lockstep —
+// synchronized retry herds waste exactly the NIC wakeups the paper's energy
+// model charges for. The doubling is computed without a shift so attempt
+// counts far past 63 can never overflow into a negative (hot-looping) sleep;
+// u is the caller's uniform sample in [0, 1).
+func backoffDelay(base, max time.Duration, attempt int, u float64) time.Duration {
+	if base <= 0 || max <= 0 {
+		return 0
+	}
+	capped := base
+	for i := 0; i < attempt && capped < max; i++ {
+		capped *= 2
+		if capped <= 0 { // overflow guard: doubling wrapped negative
+			capped = max
+			break
+		}
+	}
+	if capped > max {
+		capped = max
+	}
+	return time.Duration(u * float64(capped))
 }
 
 // roundTrip performs one attempt on one pooled connection and feeds the link
@@ -254,7 +416,13 @@ func (c *Client) roundTrip(req proto.Message) (proto.Message, error) {
 		return nil, err
 	}
 	deadline := time.Now().Add(c.cfg.RequestTimeout)
-	wc.nc.SetDeadline(deadline)
+	if err := wc.nc.SetDeadline(deadline); err != nil {
+		// The socket is already torn down (mirrors the server-side
+		// SetReadDeadline handling): a request on it could block past its
+		// budget, so the connection is discarded, not pooled.
+		c.discard(wc)
+		return nil, fmt.Errorf("client: arming deadline: %w", err)
+	}
 
 	start := time.Now()
 	sentBytes, err := proto.WriteMessage(wc.nc, req)
@@ -275,6 +443,13 @@ func (c *Client) roundTrip(req proto.Message) (proto.Message, error) {
 	c.wire.bytesTx.Add(uint64(sentBytes))
 	c.wire.bytesRx.Add(uint64(respBytes))
 	c.wire.exchanges.Add(1)
+	bw := c.link.estimate().BandwidthBps
+	if bw <= 0 {
+		bw = 2e6 // the paper's base bandwidth when unmeasured
+	}
+	remoteJ := c.energy.NICExchangeJoules(sentBytes, respBytes, 1, bw)
+	c.remoteNICJ.Add(remoteJ)
+	c.metrics.remoteJoules.Add(remoteJ)
 	if c.hub != nil {
 		c.metrics.rtHist.Observe(elapsed.Seconds())
 		c.metrics.txBytes.Add(uint64(sentBytes))
@@ -342,12 +517,79 @@ func (c *Client) query(q *proto.QueryMsg) ([]uint32, []proto.Record, error) {
 	return nil, nil, fmt.Errorf("client: unexpected %v reply to query", resp.Type())
 }
 
+// queryWithFallback runs q remotely, degrading to local execution when the
+// error is transient (breaker open, retries exhausted, overload/shutdown)
+// and the configured Fallback covers the query. Like query, it owns q.
+func (c *Client) queryWithFallback(q *proto.QueryMsg) ([]uint32, []proto.Record, error) {
+	var (
+		cq       core.Query
+		canLocal bool
+	)
+	if c.fallback != nil {
+		cq, canLocal = coreQuery(q) // capture before query releases q
+	}
+	ids, recs, err := c.query(q)
+	if err == nil || !canLocal || !fallbackEligible(err) || !c.fallback.Covers(cq) {
+		return ids, recs, err
+	}
+	frecs, ferr := c.runFallback(cq)
+	if ferr != nil {
+		return nil, nil, fmt.Errorf("client: remote failed (%v); local fallback failed: %w", err, ferr)
+	}
+	fids := make([]uint32, len(frecs))
+	for i := range frecs {
+		fids[i] = frecs[i].ID
+	}
+	return fids, frecs, nil
+}
+
+// fallbackEligible reports whether a query failure invites local fallback:
+// anything except a definitive non-transient server verdict (bad request,
+// unsupported) — those would fail identically anywhere.
+func fallbackEligible(err error) bool {
+	var em *proto.ErrorMsg
+	if errors.As(err, &em) {
+		return transientCode(em.Code)
+	}
+	return true
+}
+
+// runFallback executes cq against the local fallback with degraded-mode
+// accounting: a span staged as StageFallback, modeled local-compute Joules,
+// and the fallback counters.
+func (c *Client) runFallback(cq core.Query) ([]proto.Record, error) {
+	var sp *obs.Span
+	if c.hub != nil {
+		sp = c.hub.Trace.Start(queryKindName(cq.Kind))
+		sp.SetScheme("fallback-local")
+	}
+	start := time.Now()
+	recs, err := c.fallback.Answer(cq, 0)
+	sec := time.Since(start).Seconds()
+	sp.Lap(obs.StageFallback, sec)
+	j, cy := c.energy.Compute(sec)
+	sp.Attribute(obs.StageFallback, j, cy)
+	if err != nil {
+		c.fallbackErrs.Add(1)
+		sp.SetErr()
+		sp.Finish()
+		return nil, err
+	}
+	c.fallbacks.Add(1)
+	c.fallbackJ.Add(j)
+	c.metrics.fallbacks.Inc()
+	c.metrics.fallbackHist.Observe(sec)
+	c.metrics.fallbackJoules.Add(j)
+	sp.Finish()
+	return recs, nil
+}
+
 // Range answers a window query, returning full records (fully-server, data
 // absent at client).
 func (c *Client) Range(w geom.Rect) ([]proto.Record, error) {
 	q := proto.AcquireQuery()
 	q.Kind, q.Mode, q.Window = proto.KindRange, proto.ModeData, w
-	_, recs, err := c.query(q)
+	_, recs, err := c.queryWithFallback(q)
 	return recs, err
 }
 
@@ -356,7 +598,7 @@ func (c *Client) Range(w geom.Rect) ([]proto.Record, error) {
 func (c *Client) RangeIDs(w geom.Rect) ([]uint32, error) {
 	q := proto.AcquireQuery()
 	q.Kind, q.Mode, q.Window = proto.KindRange, proto.ModeIDs, w
-	ids, _, err := c.query(q)
+	ids, _, err := c.queryWithFallback(q)
 	return ids, err
 }
 
@@ -374,7 +616,7 @@ func (c *Client) FilterRange(w geom.Rect) ([]uint32, error) {
 func (c *Client) Point(p geom.Point, eps float64) ([]proto.Record, error) {
 	q := proto.AcquireQuery()
 	q.Kind, q.Mode, q.Point, q.Eps = proto.KindPoint, proto.ModeData, p, eps
-	_, recs, err := c.query(q)
+	_, recs, err := c.queryWithFallback(q)
 	return recs, err
 }
 
@@ -382,7 +624,7 @@ func (c *Client) Point(p geom.Point, eps float64) ([]proto.Record, error) {
 func (c *Client) PointIDs(p geom.Point, eps float64) ([]uint32, error) {
 	q := proto.AcquireQuery()
 	q.Kind, q.Mode, q.Point, q.Eps = proto.KindPoint, proto.ModeIDs, p, eps
-	ids, _, err := c.query(q)
+	ids, _, err := c.queryWithFallback(q)
 	return ids, err
 }
 
@@ -391,7 +633,7 @@ func (c *Client) PointIDs(p geom.Point, eps float64) ([]uint32, error) {
 func (c *Client) Nearest(p geom.Point) (*proto.Record, error) {
 	q := proto.AcquireQuery()
 	q.Kind, q.Mode, q.Point = proto.KindNN, proto.ModeData, p
-	_, recs, err := c.query(q)
+	_, recs, err := c.queryWithFallback(q)
 	if err != nil || len(recs) == 0 {
 		return nil, err
 	}
@@ -405,7 +647,7 @@ func (c *Client) KNearest(p geom.Point, k int) ([]proto.Record, error) {
 	}
 	q := proto.AcquireQuery()
 	q.Kind, q.Mode, q.Point, q.K = proto.KindNN, proto.ModeData, p, uint16(k)
-	_, recs, err := c.query(q)
+	_, recs, err := c.queryWithFallback(q)
 	return recs, err
 }
 
@@ -422,8 +664,15 @@ type BatchResult struct {
 // one frame-header pair, one syscall pair, and — in the paper's energy
 // terms — one NIC wakeup instead of N. The ID and TimeoutMicros fields of
 // the given queries are managed by the client; the deadline governs the
-// whole batch. Transient failures retry the whole batch. Per-query failures
-// (e.g. an over-limit k) come back as per-item Errs, not an exchange error.
+// whole batch. Transient failures retry the whole batch; if the exchange
+// still fails and a Fallback is configured, each covered query is answered
+// locally. Per-query failures (e.g. an over-limit k) come back as per-item
+// Errs, not an exchange error.
+//
+// Ownership rule: the returned IDs and Records are copies owned by the
+// caller. The pooled BatchReplyMsg is released before QueryBatch returns, so
+// results stay valid across later exchanges (pooled reply slices would be
+// overwritten by the next decode).
 func (c *Client) QueryBatch(qs []proto.QueryMsg) ([]BatchResult, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("client: empty batch")
@@ -441,12 +690,17 @@ func (c *Client) QueryBatch(qs []proto.QueryMsg) ([]BatchResult, error) {
 	c.metrics.batches.Inc()
 	c.metrics.batchQueries.Add(uint64(len(qs)))
 	if err != nil {
+		if out, ok := c.batchFallback(qs, err); ok {
+			return out, nil
+		}
 		return nil, err
 	}
 	switch r := resp.(type) {
 	case *proto.BatchReplyMsg:
 		if len(r.Items) != len(qs) {
-			return nil, fmt.Errorf("client: batch reply has %d items for %d queries", len(r.Items), len(qs))
+			n := len(r.Items)
+			proto.ReleaseMessage(r)
+			return nil, fmt.Errorf("client: batch reply has %d items for %d queries", n, len(qs))
 		}
 		out := make([]BatchResult, len(r.Items))
 		for i := range r.Items {
@@ -455,14 +709,54 @@ func (c *Client) QueryBatch(qs []proto.QueryMsg) ([]BatchResult, error) {
 				out[i].Err = &proto.ErrorMsg{ID: r.ID, Code: it.Err, Text: it.Text}
 				continue
 			}
-			out[i].IDs = it.IDs
-			out[i].Records = it.Recs
+			// Copy out of the pooled reply: it.IDs and it.Recs alias
+			// r's backing arrays, which the next decode will overwrite.
+			if len(it.IDs) > 0 {
+				out[i].IDs = append([]uint32(nil), it.IDs...)
+			}
+			if len(it.Recs) > 0 {
+				out[i].Records = append([]proto.Record(nil), it.Recs...)
+			}
 		}
+		proto.ReleaseMessage(r)
 		return out, nil
 	case *proto.ErrorMsg:
 		return nil, r
 	}
 	return nil, fmt.Errorf("client: unexpected %v reply to batch", resp.Type())
+}
+
+// batchFallback answers a failed batch locally, query by query. ok is false
+// when no fallback is configured or the exchange failure was not transient;
+// otherwise every query gets a result (uncovered ones carry per-item Errs),
+// matching the batch contract.
+func (c *Client) batchFallback(qs []proto.QueryMsg, cause error) ([]BatchResult, bool) {
+	if c.fallback == nil || !fallbackEligible(cause) {
+		return nil, false
+	}
+	out := make([]BatchResult, len(qs))
+	for i := range qs {
+		cq, ok := coreQuery(&qs[i])
+		if !ok || !c.fallback.Covers(cq) {
+			out[i].Err = fmt.Errorf("client: not covered by local fallback: %w", cause)
+			continue
+		}
+		recs, err := c.runFallback(cq)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		if qs[i].Mode == proto.ModeData {
+			out[i].Records = recs
+		} else {
+			ids := make([]uint32, len(recs))
+			for j := range recs {
+				ids[j] = recs[j].ID
+			}
+			out[i].IDs = ids
+		}
+	}
+	return out, true
 }
 
 // Ping round-trips an echo frame with a payload of the given size and

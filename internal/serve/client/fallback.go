@@ -1,0 +1,104 @@
+// fallback.go: graceful degradation to local execution. When the circuit
+// breaker is open (or a request exhausts its retries), a client configured
+// with a Fallback answers point, range, and NN queries from an index it
+// holds locally — the paper's all-client partitioning scheme, reused as the
+// disconnected-operation path instead of a planner-chosen optimum. Two
+// implementations ship: a *Shipment (the budgeted sub-index of Fig. 2,
+// partial coverage) and PoolFallback (a full local internal/parallel pool —
+// data present at client, total coverage).
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/parallel"
+	"mobispatial/internal/proto"
+)
+
+// Fallback answers queries locally when the server is unreachable. Covers
+// reports whether q can be answered from local state; Answer executes it.
+// Implementations must be safe for concurrent use and must return slices
+// that do not alias any pooled protocol message.
+type Fallback interface {
+	Covers(q core.Query) bool
+	Answer(q core.Query, eps float64) ([]proto.Record, error)
+}
+
+// Shipment already satisfies Fallback (Covers + Answer); assert it.
+var _ Fallback = (*Shipment)(nil)
+
+// PoolFallback answers every query from a full local worker pool — the
+// all-client scheme: the whole dataset and index resident at the client, so
+// coverage is total and degraded-mode answers are exact.
+type PoolFallback struct {
+	pool *parallel.Pool
+	// scratch pools per-goroutine traversal state so concurrent degraded
+	// queries don't contend or allocate NN heaps.
+	scratch sync.Pool
+}
+
+// NewPoolFallback wraps pool as a Fallback.
+func NewPoolFallback(pool *parallel.Pool) *PoolFallback {
+	f := &PoolFallback{pool: pool}
+	f.scratch.New = func() any { return &parallel.Scratch{} }
+	return f
+}
+
+// Covers implements Fallback: a full local pool answers anything.
+func (f *PoolFallback) Covers(core.Query) bool { return true }
+
+// Answer implements Fallback, executing q through the local pool exactly as
+// the server would.
+func (f *PoolFallback) Answer(q core.Query, eps float64) ([]proto.Record, error) {
+	if eps <= 0 {
+		eps = core.PointEps
+	}
+	sc := f.scratch.Get().(*parallel.Scratch)
+	defer f.scratch.Put(sc)
+	var ids []uint32
+	switch q.Kind {
+	case core.PointQuery:
+		ids = f.pool.PointAppend(nil, q.Point, eps)
+	case core.RangeQuery:
+		ids = f.pool.RangeAppend(nil, q.Window)
+	case core.NNQuery:
+		if q.K > 1 {
+			nbs, ok := f.pool.KNearestAppend(nil, q.Point, q.K, sc)
+			if !ok {
+				return nil, fmt.Errorf("client: local index does not support k-NN")
+			}
+			for _, nb := range nbs {
+				ids = append(ids, nb.ID)
+			}
+		} else if nn := f.pool.NearestWith(q.Point, sc); nn.OK {
+			ids = append(ids, nn.ID)
+		}
+	default:
+		return nil, fmt.Errorf("client: unknown query kind %v", q.Kind)
+	}
+	ds := f.pool.Dataset()
+	recs := make([]proto.Record, len(ids))
+	for i, id := range ids {
+		recs[i] = proto.Record{ID: id, Seg: ds.Seg(id)}
+	}
+	return recs, nil
+}
+
+// coreQuery converts a wire query to the planner-level form the Fallback
+// interface takes. ok is false for modes local execution cannot honor.
+func coreQuery(q *proto.QueryMsg) (core.Query, bool) {
+	switch q.Kind {
+	case proto.KindPoint:
+		return core.Point(q.Point), true
+	case proto.KindRange:
+		return core.Range(q.Window), true
+	case proto.KindNN:
+		if q.K > 1 {
+			return core.KNearest(q.Point, int(q.K)), true
+		}
+		return core.Nearest(q.Point), true
+	}
+	return core.Query{}, false
+}

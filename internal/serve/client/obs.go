@@ -22,6 +22,16 @@ type clientMetrics struct {
 	// batches counts QueryBatch exchanges; batchQueries the queries carried.
 	batches      *obs.Counter // client_batches_total
 	batchQueries *obs.Counter // client_batch_queries_total
+	// Degraded-mode handles: the breaker position (0=closed, 1=open,
+	// 2=half-open), its trips and probes, local fallback executions, and the
+	// fallback-vs-remote energy attribution.
+	breakerState   *obs.Gauge     // client_breaker_state
+	breakerTrips   *obs.Counter   // client_breaker_trips_total
+	breakerProbes  *obs.Counter   // client_breaker_probes_total
+	fallbacks      *obs.Counter   // client_fallback_total
+	fallbackHist   *obs.Histogram // client_fallback_seconds
+	fallbackJoules *obs.Gauge     // client_fallback_joules_total
+	remoteJoules   *obs.Gauge     // client_remote_nic_joules_total
 }
 
 func newClientMetrics(h *obs.Hub) clientMetrics {
@@ -37,6 +47,13 @@ func newClientMetrics(h *obs.Hub) clientMetrics {
 	m.rxBytes = h.Reg.Counter("client_rx_bytes_total")
 	m.batches = h.Reg.Counter("client_batches_total")
 	m.batchQueries = h.Reg.Counter("client_batch_queries_total")
+	m.breakerState = h.Reg.Gauge("client_breaker_state")
+	m.breakerTrips = h.Reg.Counter("client_breaker_trips_total")
+	m.breakerProbes = h.Reg.Counter("client_breaker_probes_total")
+	m.fallbacks = h.Reg.Counter("client_fallback_total")
+	m.fallbackHist = h.Reg.Histogram("client_fallback_seconds")
+	m.fallbackJoules = h.Reg.Gauge("client_fallback_joules_total")
+	m.remoteJoules = h.Reg.Gauge("client_remote_nic_joules_total")
 	return m
 }
 

@@ -179,6 +179,12 @@ func (p *Planner) plan(q core.Query) (plan Plan, v core.Verdict, in core.Analyti
 	if p.ship == nil || !p.ship.Covers(q) {
 		return PlanServerData, core.Verdict{}, core.AnalyticInputs{}, false
 	}
+	if p.c.BreakerState() != BreakerClosed {
+		// The link is tripped: a covered query runs locally regardless of
+		// what the advisor would price — no NIC wakeup, no fail-fast error,
+		// just the fully-client scheme the breaker degrades to.
+		return PlanLocal, core.Verdict{}, core.AnalyticInputs{}, false
+	}
 	in = p.analyticInputs(q)
 	v = in.Advise()
 	offload := v.SavesCycles

@@ -616,10 +616,16 @@ func (c *conn) write(m proto.Message) {
 		c.wspare = nil
 		c.wmu.Unlock()
 
-		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		n, werr := c.nc.Write(buf)
-		s.metrics.txBytes.Add(uint64(n))
-		s.metrics.writes.Inc()
+		// An unarmed write deadline would let a stalled peer pin this
+		// writer forever; if arming fails the socket is already broken, so
+		// skip the write and tear the connection down below.
+		werr := c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if werr == nil {
+			var n int
+			n, werr = c.nc.Write(buf)
+			s.metrics.txBytes.Add(uint64(n))
+			s.metrics.writes.Inc()
+		}
 
 		c.wmu.Lock()
 		if cap(buf) <= maxRetainedWriteBuf {
