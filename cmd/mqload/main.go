@@ -31,7 +31,9 @@
 //	-fallback    arm the circuit breaker and a full local index: when the
 //	             link fails, queries are answered at the client (the paper's
 //	             all-client scheme as a degraded mode)
-//	-serverstats pull and print the server's metrics snapshot at the end
+//	-serverstats pull and print the server's metrics snapshot at the end;
+//	             against a sharded server this adds the per-run shard report
+//	             (mean fan-out, scatter fraction, NN shards visited/pruned)
 //
 // Output: total queries, QPS, mean and p50/p95/p99 latency from a merged
 // streaming histogram (internal/stats), plus error and retry counts, and a
@@ -343,6 +345,14 @@ func run(args []string) error {
 	}
 
 	time.Sleep(*warmup)
+	// Pre-run server snapshot: the shard report prices only this run's
+	// queries, so it needs the counter baseline before measurement starts.
+	var preShard obs.Snapshot
+	if *serverStats {
+		if msg, err := c.StatsSnapshot(); err == nil {
+			preShard = obs.SnapshotFromMsg(msg)
+		}
+	}
 	measuring.Store(true)
 	start := time.Now()
 	time.Sleep(*duration)
@@ -377,7 +387,9 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("server stats: %w", err)
 		}
-		printServerStats(obs.SnapshotFromMsg(msg), msg.UptimeMicros)
+		snap := obs.SnapshotFromMsg(msg)
+		printShardReport(preShard, snap)
+		printServerStats(snap, msg.UptimeMicros)
 	}
 	return nil
 }
@@ -459,6 +471,62 @@ func printSchemeReport(snap obs.Snapshot) {
 	}
 }
 
+// printShardReport summarizes the server's scatter-gather behavior over this
+// run — counter deltas between the pre-measurement and final snapshots — when
+// the server runs a sharded pool (shard_count gauge present). Fan-out is the
+// mean number of shards a range/point query touched after MBR pruning;
+// visited/pruned are the best-first NN scheduling outcomes.
+func printShardReport(pre, post obs.Snapshot) {
+	shards := gaugeValue(post, "shard_count")
+	if shards <= 0 {
+		return
+	}
+	scatter := counterDelta(pre, post, "shard_scatter_total")
+	inline := counterDelta(pre, post, "shard_inline_total")
+	fanout := counterDelta(pre, post, "shard_fanout_shards_total")
+	nn := counterDelta(pre, post, "shard_nn_total")
+	visited := counterDelta(pre, post, "shard_nn_shards_visited_total")
+	pruned := counterDelta(pre, post, "shard_nn_shards_pruned_total")
+
+	fmt.Printf("  shards    %.0f shards, %.0f scatter lanes\n",
+		shards, gaugeValue(post, "shard_workers"))
+	if q := scatter + inline; q > 0 {
+		fmt.Printf("            range/point: %.0f queries, mean fan-out %.2f shards, %.1f%% scattered\n",
+			q, fanout/q, 100*scatter/q)
+	}
+	if nn > 0 {
+		fmt.Printf("            nn/k-nn:     %.0f queries, mean %.2f shards visited, %.2f pruned\n",
+			nn, visited/nn, pruned/nn)
+	}
+}
+
+func gaugeValue(snap obs.Snapshot, name string) float64 {
+	for _, g := range snap.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+func counterDelta(pre, post obs.Snapshot, name string) float64 {
+	var a, b uint64
+	for _, c := range pre.Counters {
+		if c.Name == name {
+			a = c.Value
+		}
+	}
+	for _, c := range post.Counters {
+		if c.Name == name {
+			b = c.Value
+		}
+	}
+	if b < a {
+		return 0
+	}
+	return float64(b - a)
+}
+
 // printServerStats renders the server's in-protocol snapshot.
 func printServerStats(snap obs.Snapshot, uptimeMicros uint64) {
 	fmt.Printf("  server stats (uptime %v)\n",
@@ -471,8 +539,14 @@ func printServerStats(snap obs.Snapshot, uptimeMicros uint64) {
 		if h.Count == 0 {
 			continue
 		}
-		fmt.Printf("    %-48s n=%d mean %s p95 %s p99 %s\n",
-			h.Name, h.Count, ms(h.Mean), ms(h.P95), ms(h.P99))
+		if strings.HasSuffix(h.Name, "_seconds") {
+			fmt.Printf("    %-48s n=%d mean %s p95 %s p99 %s\n",
+				h.Name, h.Count, ms(h.Mean), ms(h.P95), ms(h.P99))
+		} else {
+			// Count-valued histograms (e.g. shard_fanout): plain numbers.
+			fmt.Printf("    %-48s n=%d mean %.2f p95 %.2f p99 %.2f\n",
+				h.Name, h.Count, h.Mean, h.P95, h.P99)
+		}
 	}
 }
 

@@ -12,6 +12,9 @@
 //	-addr       listen address (default :7070)
 //	-dataset    pa | nyc (default pa)
 //	-workers    refinement workers (0 = GOMAXPROCS)
+//	-shards     spatial shards for scatter-gather execution (0 = monolithic
+//	            single tree; N > 0 = Hilbert-sharded pool, one packed R-tree
+//	            per shard, each query fanned across the worker lanes)
 //	-inflight   admission-control cap on concurrent requests (0 = 4x workers)
 //	-obs        observability HTTP address serving /metrics (Prometheus),
 //	            /traces (JSON spans), and /debug/pprof ("" = disabled)
@@ -36,6 +39,7 @@ import (
 	"mobispatial/internal/parallel"
 	"mobispatial/internal/rtree"
 	"mobispatial/internal/serve"
+	"mobispatial/internal/shard"
 )
 
 func main() {
@@ -50,6 +54,7 @@ func run(args []string) error {
 	addr := fs.String("addr", ":7070", "listen address")
 	dsName := fs.String("dataset", "pa", "dataset: pa | nyc")
 	workers := fs.Int("workers", 0, "refinement workers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "spatial shards (0 = monolithic)")
 	inflight := fs.Int("inflight", 0, "max concurrent requests (0 = 4x workers)")
 	obsAddr := fs.String("obs", "", "observability HTTP address (\"\" = disabled)")
 	if err := fs.Parse(args); err != nil {
@@ -70,11 +75,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	pool, err := parallel.New(ds, tree, *workers)
-	if err != nil {
-		return err
-	}
 	hub := obs.NewHub()
+
+	// The master tree always stays monolithic — shipments carve sub-indexes
+	// from it — but query execution is either the monolithic parallel pool
+	// or the Hilbert-sharded scatter-gather pool.
+	var pool serve.Executor
+	if *shards > 0 {
+		sp, err := shard.New(ds, shard.Config{Shards: *shards, Workers: *workers, Obs: hub.Reg})
+		if err != nil {
+			return err
+		}
+		defer sp.Close()
+		fmt.Printf("mqserve: %d shards x ~%d segments, %d scatter lanes\n",
+			sp.Shards(), (sp.Len()+sp.Shards()-1)/sp.Shards(), sp.Workers())
+		pool = sp
+	} else {
+		mp, err := parallel.New(ds, tree, *workers)
+		if err != nil {
+			return err
+		}
+		pool = mp
+	}
 	srv, err := serve.New(serve.Config{Pool: pool, Master: tree, MaxInFlight: *inflight, Obs: hub})
 	if err != nil {
 		return err

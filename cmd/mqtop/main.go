@@ -96,9 +96,18 @@ func run(args []string) error {
 // snapshot exists.
 func render(w *os.File, addr string, c *client.Client, uptimeMicros uint64, snap, prev obs.Snapshot, dt time.Duration, haveDelta bool) {
 	link := c.Link()
-	fmt.Fprintf(w, "mqtop — %s  up %v  breaker %s  rtt %v  %s\n\n", addr,
+	// A sharded server exports the shard_count gauge; surface it in the
+	// header so one glance says which execution mode is running.
+	sharding := ""
+	for _, g := range snap.Gauges {
+		if g.Name == "shard_count" && g.Value > 0 {
+			sharding = fmt.Sprintf("  shards %.0f", g.Value)
+			break
+		}
+	}
+	fmt.Fprintf(w, "mqtop — %s  up %v  breaker %s  rtt %v%s  %s\n\n", addr,
 		(time.Duration(uptimeMicros) * time.Microsecond).Round(time.Second),
-		c.BreakerState(), link.RTT.Round(time.Microsecond),
+		c.BreakerState(), link.RTT.Round(time.Microsecond), sharding,
 		time.Now().Format("15:04:05"))
 
 	prevCounters := map[string]uint64{}

@@ -1,0 +1,42 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachWidthInvariant pins forEach's contract: every index in [0,n)
+// is visited exactly once regardless of how n relates to the pool width,
+// n == 0 does no work, and n < 0 (a caller bug — a width mismatch between
+// the pool and the structure being swept) panics instead of deadlocking.
+func TestForEachWidthInvariant(t *testing.T) {
+	ds, tree := fixture(t)
+	p, err := New(ds, tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{0, 1, 3, 4, 5, 64} { // below, at, and above width
+		var calls atomic.Int64
+		seen := make([]atomic.Int32, n+1)
+		p.forEach(n, func(i int) {
+			calls.Add(1)
+			seen[i].Add(1)
+		})
+		if got := calls.Load(); got != int64(n) {
+			t.Errorf("forEach(%d): %d calls, want %d", n, got, n)
+		}
+		for i := 0; i < n; i++ {
+			if c := seen[i].Load(); c != 1 {
+				t.Errorf("forEach(%d): index %d visited %d times", n, i, c)
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("forEach(-1) did not panic")
+		}
+	}()
+	p.forEach(-1, func(int) {})
+}

@@ -49,7 +49,19 @@ func (p *Pool) Dataset() *dataset.Dataset { return p.ds }
 func (p *Pool) Index() index.Index { return p.idx }
 
 // forEach runs fn(i) for every i in [0, n) across the pool's workers.
+//
+// Width invariant: the number of goroutines spawned is min(p.workers, n) —
+// never more workers than items (a worker with no item would park on the
+// channel until close, pure overhead) and never more than the pool width
+// (the pool's concurrency promise to its caller: internal/serve sizes its
+// admission window as a multiple of Workers(), and internal/shard sizes its
+// scatter lanes to the same bound). n < 0 is a caller bug and panics via
+// the explicit check rather than silently spawning p.workers goroutines
+// that then race to receive from a channel nothing ever feeds.
 func (p *Pool) forEach(n int, fn func(i int)) {
+	if n < 0 {
+		panic(fmt.Sprintf("parallel: forEach over negative item count %d", n))
+	}
 	if n == 0 {
 		return
 	}
@@ -179,18 +191,22 @@ type appendSearcher interface {
 // store, not an allocation. Not safe for concurrent use; keep one per
 // goroutine (or per connection, as internal/serve does).
 type Scratch struct {
-	NN   rtree.NNScratch
-	pt   geom.Point
-	pool *Pool
-	df   index.DistFunc
+	NN rtree.NNScratch
+	pt geom.Point
+	ds *dataset.Dataset
+	df index.DistFunc
 }
 
-// dist points the scratch's closure at pt and returns it.
-func (sc *Scratch) dist(p *Pool, pt geom.Point) index.DistFunc {
+// DistTo points the scratch's reusable closure at pt over ds's records and
+// returns it. The closure is rebuilt only when the dataset changes, so a
+// warm caller — this pool's NN path, or a sharded executor folding several
+// per-shard trees over one dataset — pays a field store per query, never an
+// allocation.
+func (sc *Scratch) DistTo(ds *dataset.Dataset, pt geom.Point) index.DistFunc {
 	sc.pt = pt
-	if sc.df == nil || sc.pool != p {
-		sc.pool = p
-		sc.df = func(id uint32) float64 { return sc.pool.ds.Seg(id).DistToPoint(sc.pt) }
+	if sc.df == nil || sc.ds != ds {
+		sc.ds = ds
+		sc.df = func(id uint32) float64 { return sc.ds.Seg(id).DistToPoint(sc.pt) }
 	}
 	return sc.df
 }
@@ -279,5 +295,5 @@ func (p *Pool) scratchArgs(pt geom.Point, sc *Scratch) (index.DistFunc, *rtree.N
 	if sc == nil {
 		return func(id uint32) float64 { return p.ds.Seg(id).DistToPoint(pt) }, nil
 	}
-	return sc.dist(p, pt), &sc.NN
+	return sc.DistTo(p.ds, pt), &sc.NN
 }

@@ -107,6 +107,51 @@ func (t *Tree) KNearestAppend(dst []Neighbor, p geom.Point, k int, dist DistFunc
 	return dst
 }
 
+// The running-accumulator API. A sharded index answers one k-NN query by
+// folding several per-shard trees into one scratch-held heap: the k-th best
+// distance travels from shard to shard, pruning inside every later tree.
+// KNearestAppend is exactly ResetKNN + one KNearestCollect + DrainKNNAppend,
+// so single-tree and cross-tree answers share one traversal.
+
+// ResetKNN empties sc's running k-NN accumulator. Call once before a
+// sequence of KNearestCollect folds.
+func (sc *NNScratch) ResetKNN() { sc.heap = sc.heap[:0] }
+
+// KNNLen returns the number of neighbors currently accumulated.
+func (sc *NNScratch) KNNLen() int { return len(sc.heap) }
+
+// KNNBound returns the accumulator's pruning distance: the k-th best so
+// far, or +Inf while fewer than k neighbors are known. A subtree — or a
+// whole shard — whose lower bound exceeds it cannot contribute.
+func (sc *NNScratch) KNNBound(k int) float64 { return knnBound(&sc.heap, k) }
+
+// DrainKNNAppend appends the accumulated neighbors to dst in ascending
+// distance order and empties the accumulator.
+func (sc *NNScratch) DrainKNNAppend(dst []Neighbor) []Neighbor {
+	start := len(dst)
+	n := len(sc.heap)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Neighbor{})
+	}
+	for i := start + n - 1; i >= start; i-- {
+		dst[i] = sc.heap.pop()
+	}
+	sc.heap = sc.heap[:0]
+	return dst
+}
+
+// KNearestCollect folds this tree's k nearest neighbors into sc's running
+// accumulator, pruning against the bound the accumulator already carries.
+// sc must be non-nil; results accumulate across calls until DrainKNNAppend.
+func (t *Tree) KNearestCollect(p geom.Point, k int, dist DistFunc, rec ops.Recorder, sc *NNScratch) {
+	if t.root < 0 || k <= 0 {
+		return
+	}
+	heap := sc.heap
+	t.knn(&t.nodes[t.root], p, k, dist, rec, sc, &heap)
+	sc.heap = heap
+}
+
 // bound returns the pruning distance: the k-th best so far, or +Inf while
 // fewer than k neighbors are known.
 func knnBound(best *neighborHeap, k int) float64 {

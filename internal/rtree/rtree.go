@@ -352,10 +352,21 @@ func (t *Tree) Nearest(p geom.Point, dist DistFunc, rec ops.Recorder) (id uint32
 // points share one traversal, so scratch reuse cannot change which of two
 // equidistant items wins.
 func (t *Tree) NearestWith(p geom.Point, dist DistFunc, rec ops.Recorder, sc *NNScratch) (id uint32, d float64, ok bool) {
+	return t.NearestWithin(p, math.Inf(1), dist, rec, sc)
+}
+
+// NearestWithin is NearestWith with an initial upper bound: only items
+// strictly closer than bound are considered, and subtrees whose MINDIST
+// exceeds it are pruned from the start. ok is false when no item beats the
+// bound. This is the cross-shard entry point: a sharded index carries the
+// best distance found in earlier shards into each later shard's traversal,
+// so the running bound prunes inside the trees, not just between them.
+// With bound = +Inf it is exactly NearestWith.
+func (t *Tree) NearestWithin(p geom.Point, bound float64, dist DistFunc, rec ops.Recorder, sc *NNScratch) (id uint32, d float64, ok bool) {
 	if t.root < 0 {
 		return 0, 0, false
 	}
-	best := math.Inf(1)
+	best := bound
 	bestID := uint32(0)
 	found := false
 	t.nearest(&t.nodes[t.root], p, dist, rec, sc, &best, &bestID, &found)
@@ -414,8 +425,12 @@ func (t *Tree) nearest(n *node, p geom.Point, dist DistFunc, rec ops.Recorder,
 			if n.entries[i].mbr.MinDist(p) > *best {
 				continue
 			}
+			// Strictly-closer acceptance keeps NearestWithin's bound
+			// semantics exact: an item at exactly the bound is not "within"
+			// it. For the unbounded entry points best starts at +Inf, so
+			// every finite distance is accepted on first sight as before.
 			d := dist(n.entries[i].ptr)
-			if d < *best || !*found {
+			if d < *best {
 				*best = d
 				*bestID = n.entries[i].ptr
 				*found = true

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobispatial/internal/dataset"
 	"mobispatial/internal/geom"
 	"mobispatial/internal/obs"
 	"mobispatial/internal/ops"
@@ -39,10 +40,30 @@ import (
 // in map units.
 const DefaultPointEps = 2.0
 
+// Executor is the query-execution engine a Server drives: the append-first
+// query surface shared by *parallel.Pool (one monolithic index, parallelism
+// across requests only) and *shard.Pool (Hilbert-sharded scatter-gather,
+// parallelism inside each request too). Every method must be safe for any
+// number of concurrent callers, and the append methods must honor the
+// zero-allocation contract: write into dst's spare capacity, return the
+// extended slice. Workers is the engine's concurrency width — the server
+// sizes its admission window as a multiple of it.
+type Executor interface {
+	Workers() int
+	Dataset() *dataset.Dataset
+	FilterRangeAppend(dst []uint32, w geom.Rect) []uint32
+	FilterPointAppend(dst []uint32, pt geom.Point) []uint32
+	RangeAppend(dst []uint32, w geom.Rect) []uint32
+	PointAppend(dst []uint32, pt geom.Point, eps float64) []uint32
+	NearestWith(pt geom.Point, sc *parallel.Scratch) parallel.NearestResult
+	KNearestAppend(dst []rtree.Neighbor, pt geom.Point, k int, sc *parallel.Scratch) ([]rtree.Neighbor, bool)
+}
+
 // Config parameterizes a Server.
 type Config struct {
-	// Pool executes the queries; required.
-	Pool *parallel.Pool
+	// Pool executes the queries; required. *parallel.Pool serves one
+	// monolithic index; *shard.Pool scatter-gathers across spatial shards.
+	Pool Executor
 	// Master enables MsgShipmentReq (Fig. 2 subset extraction); nil
 	// disables shipments with CodeUnsupported.
 	Master *rtree.Tree

@@ -16,10 +16,11 @@ import (
 	"mobispatial/internal/proto"
 	"mobispatial/internal/rtree"
 	"mobispatial/internal/serve/client"
+	"mobispatial/internal/shard"
 )
 
-// testWorld builds a dataset, pool, and running server on an ephemeral port.
-func testWorld(t testing.TB, mutate func(*Config)) (*dataset.Dataset, *parallel.Pool, *Server, string) {
+// testDataset builds the shared 8000-segment world and its master tree.
+func testDataset(t testing.TB) (*dataset.Dataset, *rtree.Tree) {
 	t.Helper()
 	ds, err := dataset.Generate(dataset.GenConfig{
 		Name:           "serve-test",
@@ -41,14 +42,13 @@ func testWorld(t testing.TB, mutate func(*Config)) (*dataset.Dataset, *parallel.
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
-	pool, err := parallel.New(ds, tree, 0)
-	if err != nil {
-		t.Fatalf("pool: %v", err)
-	}
-	cfg := Config{Pool: pool, Master: tree}
-	if mutate != nil {
-		mutate(&cfg)
-	}
+	return ds, tree
+}
+
+// startServer wires a configured server to an ephemeral listener and waits
+// for Serve to register it.
+func startServer(t testing.TB, cfg Config) (*Server, string) {
+	t.Helper()
 	srv, err := New(cfg)
 	if err != nil {
 		t.Fatalf("server: %v", err)
@@ -77,7 +77,42 @@ func testWorld(t testing.TB, mutate func(*Config)) (*dataset.Dataset, *parallel.
 			t.Errorf("Serve returned %v", err)
 		}
 	})
-	return ds, pool, srv, lis.Addr().String()
+	return srv, lis.Addr().String()
+}
+
+// testWorld builds a dataset, monolithic pool, and running server on an
+// ephemeral port.
+func testWorld(t testing.TB, mutate func(*Config)) (*dataset.Dataset, *parallel.Pool, *Server, string) {
+	t.Helper()
+	ds, tree := testDataset(t)
+	pool, err := parallel.New(ds, tree, 0)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	cfg := Config{Pool: pool, Master: tree}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, addr := startServer(t, cfg)
+	return ds, pool, srv, addr
+}
+
+// testWorldSharded is testWorld with a shard.Pool executor: the same dataset
+// and master tree, served through the scatter-gather path.
+func testWorldSharded(t testing.TB, shards int, mutate func(*Config)) (*dataset.Dataset, *shard.Pool, *Server, string) {
+	t.Helper()
+	ds, tree := testDataset(t)
+	pool, err := shard.New(ds, shard.Config{Shards: shards, Workers: 4})
+	if err != nil {
+		t.Fatalf("shard pool: %v", err)
+	}
+	t.Cleanup(pool.Close)
+	cfg := Config{Pool: pool, Master: tree}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, addr := startServer(t, cfg)
+	return ds, pool, srv, addr
 }
 
 func newClient(t testing.TB, addr string, conns int) *client.Client {

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/parallel"
+	"mobispatial/internal/rtree"
+)
+
+// The scaling benchmark: one caller issuing wide window queries, monolithic
+// single-tree execution vs the sharded scatter-gather pool. Run with
+//
+//	go test ./internal/shard -bench ShardScaling -cpu 1,2,4
+//
+// The monolithic path executes a query on one goroutine regardless of -cpu;
+// the sharded path fans each query across min(GOMAXPROCS, shards touched)
+// lanes, so its per-query latency should drop as -cpu grows. Results are
+// recorded in results/BENCH_shard.json.
+
+var (
+	benchOnce sync.Once
+	benchDS   *dataset.Dataset
+	benchTree *rtree.Tree
+)
+
+func benchFixture(b *testing.B) (*dataset.Dataset, *rtree.Tree) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDS = dataset.PA()
+		t, err := rtree.Build(benchDS.Items(), rtree.Config{}, ops.Null{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTree = t
+	})
+	return benchDS, benchTree
+}
+
+// benchWindows builds wide windows (~12 km half-width on PA's 100x80 km
+// extent) centered on random segments — each one crosses many Hilbert shards
+// and returns thousands of ids, which is the regime scatter-gather targets.
+func benchWindows(ds *dataset.Dataset, n int) []geom.Rect {
+	rng := rand.New(rand.NewSource(77))
+	const half = 12_000.0
+	ws := make([]geom.Rect, n)
+	for i := range ws {
+		c := ds.Seg(uint32(rng.Intn(ds.Len()))).A
+		ws[i] = geom.Rect{
+			Min: geom.Point{X: c.X - half, Y: c.Y - half},
+			Max: geom.Point{X: c.X + half, Y: c.Y + half},
+		}
+	}
+	return ws
+}
+
+func BenchmarkShardScaling(b *testing.B) {
+	ds, tree := benchFixture(b)
+	windows := benchWindows(ds, 64)
+
+	b.Run("monolithic", func(b *testing.B) {
+		mono, err := parallel.New(ds, tree, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]uint32, 0, 1<<18)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = mono.RangeAppend(dst[:0], windows[i%len(windows)])
+		}
+		reportQPS(b)
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		p, err := New(ds, Config{Shards: 32, Workers: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		dst := make([]uint32, 0, 1<<18)
+		for _, w := range windows { // warm the pooled gather buffers
+			dst = p.RangeAppend(dst[:0], w)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = p.RangeAppend(dst[:0], windows[i%len(windows)])
+		}
+		reportQPS(b)
+	})
+}
+
+// BenchmarkShardKNN pins the best-first NN scheduling cost: k-NN across
+// shards should stay close to the monolithic tree because the first shard's
+// answer prunes nearly all the rest.
+func BenchmarkShardKNN(b *testing.B) {
+	ds, tree := benchFixture(b)
+	points := dataset.NNQueries(ds, 64, 78)
+
+	b.Run("monolithic", func(b *testing.B) {
+		mono, err := parallel.New(ds, tree, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sc parallel.Scratch
+		nbs := make([]rtree.Neighbor, 0, 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nbs, _ = mono.KNearestAppend(nbs[:0], points[i%len(points)], 8, &sc)
+		}
+		reportQPS(b)
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		p, err := New(ds, Config{Shards: 32, Workers: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		var sc parallel.Scratch
+		nbs := make([]rtree.Neighbor, 0, 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nbs, _ = p.KNearestAppend(nbs[:0], points[i%len(points)], 8, &sc)
+		}
+		reportQPS(b)
+	})
+}
+
+func reportQPS(b *testing.B) {
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	}
+}

@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"math"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/index"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/parallel"
+	"mobispatial/internal/rtree"
+)
+
+// Nearest-neighbor queries are not scattered: they run best-first *across*
+// shards on the caller's goroutine. Shards are visited in ascending order
+// of MBR min-distance to the query point; the best distance found so far is
+// carried into every later shard's traversal (rtree.NearestWithin /
+// KNearestCollect), and the visit loop stops the moment the next shard's
+// lower bound cannot beat the running bound — every remaining shard is
+// pruned without touching a node. Hilbert-coherent shards make this
+// scheduling sharp: the shard containing the query point is almost always
+// visited first and its answer prunes the rest.
+
+// shardDist is one shard's lower bound during the best-first visit.
+type shardDist struct {
+	d  float64
+	si int32
+}
+
+// nnState is the pooled per-query NN scratch: the visit order buffer plus a
+// fallback parallel.Scratch for callers that passed none.
+type nnState struct {
+	order []shardDist
+	psc   parallel.Scratch
+}
+
+func (p *Pool) getNNState() *nnState   { return p.nnStates.Get().(*nnState) }
+func (p *Pool) putNNState(ns *nnState) { p.nnStates.Put(ns) }
+
+// orderShards fills ns.order with every shard's MBR min-distance to pt,
+// ascending. Insertion sort: shard counts are small, it allocates nothing,
+// and it is deterministic on ties (stable in shard index order), so equal
+// runs always visit identically.
+func (p *Pool) orderShards(ns *nnState, pt geom.Point) {
+	ns.order = ns.order[:0]
+	for i := range p.shards {
+		ns.order = append(ns.order, shardDist{d: p.shards[i].mbr.MinDist(pt), si: int32(i)})
+	}
+	or := ns.order
+	for i := 1; i < len(or); i++ {
+		for j := i; j > 0 && or[j].d < or[j-1].d; j-- {
+			or[j], or[j-1] = or[j-1], or[j]
+		}
+	}
+}
+
+// nnArgs resolves the distance closure and traversal scratch for one NN
+// query: the caller's scratch when present, the pooled state's otherwise.
+func (p *Pool) nnArgs(ns *nnState, pt geom.Point, sc *parallel.Scratch) (index.DistFunc, *rtree.NNScratch) {
+	if sc == nil {
+		sc = &ns.psc
+	}
+	return sc.DistTo(p.ds, pt), &sc.NN
+}
+
+// Nearest answers one nearest-neighbor query.
+func (p *Pool) Nearest(pt geom.Point) parallel.NearestResult {
+	return p.NearestWith(pt, nil)
+}
+
+// NearestWith answers one nearest-neighbor query reusing sc's traversal
+// buffers; sc may be nil.
+func (p *Pool) NearestWith(pt geom.Point, sc *parallel.Scratch) parallel.NearestResult {
+	ns := p.getNNState()
+	df, nnsc := p.nnArgs(ns, pt, sc)
+	p.orderShards(ns, pt)
+
+	var res parallel.NearestResult
+	visited := 0
+	for _, sd := range ns.order {
+		if res.OK && sd.d > res.Dist {
+			break
+		}
+		visited++
+		if id, d, ok := p.shards[sd.si].tree.NearestWithin(pt, nnBound(res), df, ops.Null{}, nnsc); ok {
+			res = parallel.NearestResult{ID: id, Dist: d, OK: true}
+		}
+	}
+	p.observeNN(visited, len(ns.order)-visited)
+	p.putNNState(ns)
+	return res
+}
+
+// nnBound is the running cross-shard bound: the best exact distance so far,
+// +Inf before the first hit.
+func nnBound(res parallel.NearestResult) float64 {
+	if res.OK {
+		return res.Dist
+	}
+	return math.Inf(1)
+}
+
+// KNearest answers one k-nearest-neighbor query.
+func (p *Pool) KNearest(pt geom.Point, k int) ([]rtree.Neighbor, bool) {
+	return p.KNearestAppend(nil, pt, k, nil)
+}
+
+// KNearestAppend appends one k-NN answer to dst in ascending distance
+// order, reusing sc when non-nil. The bool mirrors parallel.Pool's
+// "access method supports k-NN" result and is always true here: every
+// shard is a packed R-tree.
+func (p *Pool) KNearestAppend(dst []rtree.Neighbor, pt geom.Point, k int, sc *parallel.Scratch) ([]rtree.Neighbor, bool) {
+	if k <= 0 {
+		return dst, true
+	}
+	ns := p.getNNState()
+	df, nnsc := p.nnArgs(ns, pt, sc)
+	p.orderShards(ns, pt)
+
+	nnsc.ResetKNN()
+	visited := 0
+	for _, sd := range ns.order {
+		// The prune: once k neighbors are known, a shard whose MBR
+		// min-distance exceeds the current k-th best cannot contribute, and
+		// neither can any later shard (the order is ascending).
+		if sd.d > nnsc.KNNBound(k) {
+			break
+		}
+		visited++
+		p.shards[sd.si].tree.KNearestCollect(pt, k, df, ops.Null{}, nnsc)
+	}
+	p.observeNN(visited, len(ns.order)-visited)
+	dst = nnsc.DrainKNNAppend(dst)
+	p.putNNState(ns)
+	return dst, true
+}

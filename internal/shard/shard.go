@@ -1,0 +1,266 @@
+// Package shard is the sharded counterpart of internal/parallel: the
+// dataset's segments are Hilbert-ordered (the same linearization the packed
+// R-tree bulk loader uses) and cut into S contiguous runs, each bulk-loaded
+// into its own packed R-tree with a precomputed shard MBR summary. Because
+// Hilbert order is spatially coherent, every shard is a compact blob of the
+// map, so the summaries prune aggressively: a point query usually touches
+// one shard, a window query only the shards its rectangle crosses, and a
+// (k-)NN query visits shards best-first by MBR min-distance and stops once
+// the running k-th-neighbor bound beats the next shard's lower bound.
+//
+// Queries that touch several shards are scattered across a fixed set of
+// resident worker goroutines — parallelism *within* one query, where
+// internal/parallel only parallelizes across queries — and gathered into the
+// caller's dst slice. The executor preserves the serve path's
+// zero-allocation discipline: per-query gather state (participant lists,
+// per-shard result buffers, NN scratch) is pooled, task handoff is a
+// pointer send on a pre-sized channel, and the warm scatter path performs
+// no heap allocation (see alloc_test.go).
+//
+// Pool implements the same append-first query surface as parallel.Pool, so
+// internal/serve drives either through one Executor interface.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/hilbert"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+)
+
+// DefaultShards is the shard count when Config.Shards is unset: small
+// enough that per-shard trees stay several levels deep on the paper's
+// datasets, large enough that wide window queries fan out past any
+// realistic core count.
+const DefaultShards = 16
+
+// maxWorkers caps the scatter lane count; the shard→worker assignment uses
+// a 64-bit lane mask, and machines past 64 cores gain nothing from more
+// lanes per query anyway.
+const maxWorkers = 64
+
+// shardRegionBytes is the simulated-address stride between per-shard tree
+// regions: each shard's nodes are laid out in their own slice of the index
+// address space so the ops/energy machinery sees distinct, non-overlapping
+// node addresses per shard.
+const shardRegionBytes = 1 << 26
+
+// Config parameterizes a sharded pool.
+type Config struct {
+	// Shards is the number of spatial partitions; DefaultShards when <= 0.
+	// Clamped to the item count so every shard holds at least one item.
+	Shards int
+	// Workers is the scatter lane count — resident goroutines that execute
+	// per-shard sub-queries; GOMAXPROCS when <= 0, capped at 64.
+	Workers int
+	// Tree is the per-shard packed R-tree layout; each shard overrides
+	// BaseAddr with its own address region.
+	Tree rtree.Config
+	// Obs receives the shard metrics (fan-out and pruning histograms,
+	// scatter/inline counters, shard_count gauge); nil disables them.
+	Obs *obs.Registry
+}
+
+// shardT is one spatial partition: a packed R-tree over a contiguous
+// Hilbert run of items, plus its MBR summary for participant selection.
+type shardT struct {
+	tree *rtree.Tree
+	mbr  geom.Rect
+}
+
+// Pool is a sharded, scatter-gather query executor over one dataset. All
+// query methods are safe for any number of concurrent callers; the resident
+// workers are shared across callers and never issue queries themselves
+// (re-entrant scatter would deadlock the lanes, and is therefore forbidden
+// by construction — nothing inside this package queries the pool).
+type Pool struct {
+	ds      *dataset.Dataset
+	shards  []shardT
+	bounds  geom.Rect
+	workers int
+
+	// work[w] feeds resident worker w. Shard i is statically owned by lane
+	// i%workers, so adjacent Hilbert runs — the shards one window query
+	// touches — land on distinct lanes. Each participating lane receives
+	// the query's gather exactly once and marks Done per shard it ran, so
+	// no stale gather reference can outlive its query.
+	work []chan *gather
+
+	gathers  sync.Pool // *gather
+	nnStates sync.Pool // *nnState
+
+	metrics metrics
+
+	closeOnce sync.Once
+}
+
+// New Hilbert-orders the dataset's items, builds one packed R-tree per
+// shard, and starts the resident scatter workers. Callers that create
+// short-lived pools (tests) should Close them to release the workers.
+func New(ds *dataset.Dataset, cfg Config) (*Pool, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("shard: nil dataset")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > maxWorkers {
+		cfg.Workers = maxWorkers
+	}
+
+	items := ds.Items()
+	nShards := cfg.Shards
+	if nShards > len(items) {
+		nShards = len(items)
+	}
+
+	p := &Pool{
+		ds:      ds,
+		workers: cfg.Workers,
+		bounds:  geom.EmptyRect(),
+		metrics: newMetrics(cfg.Obs),
+	}
+
+	if nShards > 0 {
+		for _, it := range items {
+			p.bounds = p.bounds.Union(it.MBR)
+		}
+		hilbertSort(items, p.bounds, cfg.Tree.HilbertOrder)
+
+		// Cut the Hilbert order into nShards contiguous runs of near-equal
+		// size. Ceiling division keeps every run non-empty: run r covers
+		// [r*chunk, (r+1)*chunk) and the last run absorbs the remainder.
+		chunk := (len(items) + nShards - 1) / nShards
+		for lo := 0; lo < len(items); lo += chunk {
+			hi := lo + chunk
+			if hi > len(items) {
+				hi = len(items)
+			}
+			tcfg := cfg.Tree
+			tcfg.BaseAddr = ops.IndexBase + uint64(len(p.shards))*shardRegionBytes
+			tree, err := rtree.Build(items[lo:hi], tcfg, ops.Null{})
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", len(p.shards), err)
+			}
+			p.shards = append(p.shards, shardT{tree: tree, mbr: tree.Bounds()})
+		}
+	}
+
+	nS := len(p.shards)
+	p.gathers.New = func() any {
+		return &gather{
+			parts:        make([][]uint32, nS),
+			participants: make([]int32, 0, nS),
+		}
+	}
+	p.nnStates.New = func() any {
+		return &nnState{order: make([]shardDist, 0, nS)}
+	}
+
+	p.work = make([]chan *gather, p.workers)
+	for w := range p.work {
+		p.work[w] = make(chan *gather, workQueueDepth)
+		go p.worker(w)
+	}
+
+	p.metrics.shardCount.Set(float64(nS))
+	p.metrics.shardWorkers.Set(float64(p.workers))
+	return p, nil
+}
+
+// hilbertSort orders items by the Hilbert value of their MBR centroid over
+// bounds — the same linearization rtree.Build uses, applied once globally so
+// the shard cuts partition one curve.
+func hilbertSort(items []rtree.Item, bounds geom.Rect, order uint) {
+	if order == 0 {
+		order = hilbert.Order
+	}
+	q := hilbert.NewQuantizer(order, bounds.Min.X, bounds.Min.Y, bounds.Max.X, bounds.Max.Y)
+	keys := make([]uint64, len(items))
+	for i, it := range items {
+		c := it.MBR.Center()
+		keys[i] = q.Value(c.X, c.Y)
+	}
+	sort.Sort(&byKey{items: items, keys: keys})
+}
+
+type byKey struct {
+	items []rtree.Item
+	keys  []uint64
+}
+
+func (b *byKey) Len() int           { return len(b.items) }
+func (b *byKey) Less(i, j int) bool { return b.keys[i] < b.keys[j] }
+func (b *byKey) Swap(i, j int) {
+	b.items[i], b.items[j] = b.items[j], b.items[i]
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+}
+
+// Close stops the resident workers. The pool must be idle: no query may be
+// in flight or issued afterwards.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		for _, ch := range p.work {
+			close(ch)
+		}
+	})
+}
+
+// Workers returns the scatter lane count — the pool's concurrency width,
+// mirroring parallel.Pool.Workers for the server's admission sizing.
+func (p *Pool) Workers() int { return p.workers }
+
+// Dataset returns the pool's dataset.
+func (p *Pool) Dataset() *dataset.Dataset { return p.ds }
+
+// Shards returns the shard count.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Bounds returns the MBR of all indexed items.
+func (p *Pool) Bounds() geom.Rect { return p.bounds }
+
+// Len returns the number of indexed items across all shards.
+func (p *Pool) Len() int {
+	n := 0
+	for i := range p.shards {
+		n += p.shards[i].tree.Len()
+	}
+	return n
+}
+
+// IndexBytes returns the total byte size of all per-shard trees.
+func (p *Pool) IndexBytes() int {
+	n := 0
+	for i := range p.shards {
+		n += p.shards[i].tree.IndexBytes()
+	}
+	return n
+}
+
+// ShardStats describes one shard for reporting and tests.
+type ShardStats struct {
+	Items      int
+	Height     int
+	IndexBytes int
+	MBR        geom.Rect
+}
+
+// PerShard returns per-shard structural statistics.
+func (p *Pool) PerShard() []ShardStats {
+	out := make([]ShardStats, len(p.shards))
+	for i := range p.shards {
+		st := p.shards[i].tree.TreeStats()
+		out[i] = ShardStats{Items: st.Items, Height: st.Height, IndexBytes: st.IndexBytes, MBR: p.shards[i].mbr}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
+)
+
+func fixture(t testing.TB, n int) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.NYCConfig()
+	cfg.NumSegments = n
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	ds := fixture(t, 2000)
+	p, err := New(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Shards() != DefaultShards {
+		t.Errorf("Shards() = %d, want %d", p.Shards(), DefaultShards)
+	}
+	if p.Workers() < 1 {
+		t.Error("no workers")
+	}
+	if p.Dataset() != ds {
+		t.Error("Dataset() mismatch")
+	}
+}
+
+// TestPartitionComplete: the shards partition the item set — every id appears
+// in exactly one shard, and the totals line up.
+func TestPartitionComplete(t *testing.T) {
+	ds := fixture(t, 3000)
+	p, err := New(ds, Config{Shards: 7, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if p.Len() != ds.Len() {
+		t.Fatalf("Len() = %d, want %d", p.Len(), ds.Len())
+	}
+	stats := p.PerShard()
+	if len(stats) != 7 {
+		t.Fatalf("PerShard() = %d shards, want 7", len(stats))
+	}
+	total := 0
+	for i, st := range stats {
+		if st.Items == 0 {
+			t.Errorf("shard %d is empty", i)
+		}
+		if st.IndexBytes <= 0 || st.Height < 1 {
+			t.Errorf("shard %d: bad stats %+v", i, st)
+		}
+		total += st.Items
+	}
+	if total != ds.Len() {
+		t.Fatalf("per-shard items sum to %d, want %d", total, ds.Len())
+	}
+
+	// Every id retrievable: a whole-extent range filter returns each id once.
+	ids := p.FilterRangeAppend(nil, p.Bounds())
+	if len(ids) != ds.Len() {
+		t.Fatalf("whole-extent filter returned %d ids, want %d", len(ids), ds.Len())
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if id != uint32(i) {
+			t.Fatalf("ids[%d] = %d: duplicate or missing id", i, id)
+		}
+	}
+}
+
+// TestShardClamp: more shards than items clamps to one item per shard.
+func TestShardClamp(t *testing.T) {
+	ds := fixture(t, 5)
+	p, err := New(ds, Config{Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Shards() != 5 {
+		t.Fatalf("Shards() = %d, want 5 (clamped to item count)", p.Shards())
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", p.Len())
+	}
+}
+
+// TestEmptyDataset: a dataset with no segments yields a working zero-shard
+// pool whose queries all come back empty.
+func TestEmptyDataset(t *testing.T) {
+	ds := &dataset.Dataset{Name: "empty", RecordBytes: 32}
+	p, err := New(ds, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Shards() != 0 || p.Len() != 0 {
+		t.Fatalf("Shards() = %d Len() = %d, want 0, 0", p.Shards(), p.Len())
+	}
+	if got := p.Range(p.Bounds()); len(got) != 0 {
+		t.Errorf("Range on empty pool returned %d ids", len(got))
+	}
+	if res := p.Nearest(geom.Point{}); res.OK {
+		t.Error("Nearest on empty pool reported a hit")
+	}
+	if nbs, ok := p.KNearest(geom.Point{}, 3); !ok || len(nbs) != 0 {
+		t.Errorf("KNearest on empty pool = %d, %v", len(nbs), ok)
+	}
+}
+
+// TestMetrics: the fan-out/pruning counters move and the gauges describe the
+// pool.
+func TestMetrics(t *testing.T) {
+	ds := fixture(t, 4000)
+	reg := obs.NewRegistry()
+	p, err := New(ds, Config{Shards: 8, Workers: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.Range(p.Bounds())        // fans out to all 8 shards
+	p.Point(ds.Seg(0).A, 2.0)  // usually 1 shard: inline
+	p.Nearest(ds.Seg(1).A)     // NN visit
+	p.KNearest(ds.Seg(2).B, 4) // k-NN visit
+	snap := reg.Snapshot()
+
+	got := map[string]float64{}
+	for _, c := range snap.Counters {
+		got[c.Name] = float64(c.Value)
+	}
+	for _, g := range snap.Gauges {
+		got[g.Name] = g.Value
+	}
+	for _, name := range []string{
+		"shard_count", "shard_workers", "shard_fanout_shards_total", "shard_nn_total",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("metric %q missing from snapshot", name)
+		}
+	}
+	if got["shard_count"] != 8 {
+		t.Errorf("shard_count = %v, want 8", got["shard_count"])
+	}
+	if got["shard_workers"] != 4 {
+		t.Errorf("shard_workers = %v, want 4", got["shard_workers"])
+	}
+	if got["shard_fanout_shards_total"] < 8 {
+		t.Errorf("shard_fanout_shards_total = %v, want >= 8 after whole-extent query", got["shard_fanout_shards_total"])
+	}
+	if got["shard_nn_total"] != 2 {
+		t.Errorf("shard_nn_total = %v, want 2", got["shard_nn_total"])
+	}
+	if got["shard_scatter_total"]+got["shard_inline_total"] != 2 {
+		t.Errorf("scatter %v + inline %v != 2 range/point queries",
+			got["shard_scatter_total"], got["shard_inline_total"])
+	}
+	if v := got["shard_nn_shards_visited_total"] + got["shard_nn_shards_pruned_total"]; v != 16 {
+		t.Errorf("nn visited+pruned = %v, want 2 queries x 8 shards = 16", v)
+	}
+}
+
+// TestInlineSingleLane: a one-worker pool answers everything inline and
+// still matches the scattered answers of a wide pool.
+func TestInlineSingleLane(t *testing.T) {
+	ds := fixture(t, 3000)
+	regNarrow, regWide := obs.NewRegistry(), obs.NewRegistry()
+	narrow, err := New(ds, Config{Shards: 6, Workers: 1, Obs: regNarrow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer narrow.Close()
+	wide, err := New(ds, Config{Shards: 6, Workers: 4, Obs: regWide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wide.Close()
+
+	for _, w := range dataset.RangeQueries(ds, 20, 3) {
+		a, b := narrow.Range(w), wide.Range(w)
+		if !sameIDSet(a, b) {
+			t.Fatalf("window %v: narrow %d ids, wide %d ids", w, len(a), len(b))
+		}
+	}
+	if v := counterValue(t, regNarrow, "shard_scatter_total"); v != 0 {
+		t.Errorf("1-worker pool scattered %v queries; want all inline", v)
+	}
+	if v := counterValue(t, regWide, "shard_scatter_total"); v == 0 {
+		t.Error("4-worker pool never scattered across 20 windows")
+	}
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			return float64(c.Value)
+		}
+	}
+	t.Fatalf("counter %q not found", name)
+	return 0
+}
+
+func sameIDSet(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]uint32(nil), a...)
+	bs := append([]uint32(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
