@@ -34,6 +34,9 @@
 //	-serverstats pull and print the server's metrics snapshot at the end;
 //	             against a sharded server this adds the per-run shard report
 //	             (mean fan-out, scatter fraction, NN shards visited/pruned)
+//	-router      the target is an mqrouter coordinator: append its fan-out,
+//	             failover, and per-backend leg report (the workload itself
+//	             is unchanged — the router speaks the same protocol)
 //
 // Output: total queries, QPS, mean and p50/p95/p99 latency from a merged
 // streaming histogram (internal/stats), plus error and retry counts, and a
@@ -136,6 +139,7 @@ func run(args []string) error {
 	faultSpec := fs.String("fault", "", "fault-injection profile (preset and/or key=value list)")
 	fallback := fs.Bool("fallback", false, "arm the breaker and answer queries locally when the link fails")
 	serverStats := fs.Bool("serverstats", false, "print the server's metrics snapshot at the end")
+	routerMode := fs.Bool("router", false, "target is an mqrouter: print its fan-out/failover report at the end")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -348,7 +352,7 @@ func run(args []string) error {
 	// Pre-run server snapshot: the shard report prices only this run's
 	// queries, so it needs the counter baseline before measurement starts.
 	var preShard obs.Snapshot
-	if *serverStats {
+	if *serverStats || *routerMode {
 		if msg, err := c.StatsSnapshot(); err == nil {
 			preShard = obs.SnapshotFromMsg(msg)
 		}
@@ -382,16 +386,68 @@ func run(args []string) error {
 	if pl != nil {
 		printSchemeReport(hub.Reg.Snapshot())
 	}
-	if *serverStats {
+	if *serverStats || *routerMode {
 		msg, err := c.StatsSnapshot()
 		if err != nil {
 			return fmt.Errorf("server stats: %w", err)
 		}
 		snap := obs.SnapshotFromMsg(msg)
-		printShardReport(preShard, snap)
-		printServerStats(snap, msg.UptimeMicros)
+		if *routerMode {
+			printRouterReport(preShard, snap)
+		}
+		if *serverStats {
+			printShardReport(preShard, snap)
+			printServerStats(snap, msg.UptimeMicros)
+		}
 	}
 	return nil
+}
+
+// printRouterReport summarizes the coordinator's behavior over this run —
+// counter deltas of the router_* metrics — when the target is an mqrouter
+// (router_backends gauge present in its snapshot). The per-backend leg split
+// is the read-spreading and failover evidence: during an outage the dead
+// backend's legs stop while its replicas absorb the range.
+func printRouterReport(pre, post obs.Snapshot) {
+	backends := gaugeValue(post, "router_backends")
+	if backends <= 0 {
+		fmt.Println("  router    no router_* metrics in the snapshot (is the target an mqrouter?)")
+		return
+	}
+	legErrs := counterDelta(pre, post, "router_leg_errors_total")
+	failovers := counterDelta(pre, post, "router_failover_total")
+	unroutable := counterDelta(pre, post, "router_unroutable_total")
+	visited := counterDelta(pre, post, "router_nn_backends_visited_total")
+	pruned := counterDelta(pre, post, "router_nn_backends_pruned_total")
+	fmt.Printf("  router    %.0f backends, %.0f ranges; %.0f leg errors, %.0f failovers, %.0f unroutable\n",
+		backends, gaugeValue(post, "router_ranges"), legErrs, failovers, unroutable)
+	if visited+pruned > 0 {
+		fmt.Printf("            nn legs: %.0f visited, %.0f pruned by the running bound\n", visited, pruned)
+	}
+	for _, c := range post.Counters {
+		name, label, ok := splitLabeled(c.Name, "router_backend_legs_total")
+		if !ok {
+			continue
+		}
+		errsName := obs.Name("router_backend_leg_errors_total", "backend", label)
+		fmt.Printf("            backend %-24s %.0f legs, %.0f errors, healthy=%.0f\n",
+			label, counterDelta(pre, post, name), counterDelta(pre, post, errsName),
+			gaugeValue(post, obs.Name("router_backend_healthy", "backend", label)))
+	}
+}
+
+// splitLabeled matches a labeled metric name of the form
+// base{backend="label"} and returns its full name and label.
+func splitLabeled(name, base string) (full, label string, ok bool) {
+	rest, found := strings.CutPrefix(name, base+"{backend=\"")
+	if !found {
+		return "", "", false
+	}
+	label, found = strings.CutSuffix(rest, "\"}")
+	if !found {
+		return "", "", false
+	}
+	return name, label, true
 }
 
 // printWireReport prices the run's measured wire traffic with the Table 2

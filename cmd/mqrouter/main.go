@@ -1,0 +1,142 @@
+// Command mqrouter runs the distributed serving tier's coordinator: a
+// process that speaks the same framed protocol as mqserve toward mobile
+// clients, but answers by fanning each query across the backend shard
+// servers that own the touched Hilbert key ranges, merging their replies,
+// and failing over to replicas when a backend dies mid-run.
+//
+// Usage:
+//
+//	mqrouter -backends host:port,host:port,... [flags]
+//
+// Flags:
+//
+//	-addr        listen address for clients (default :7171)
+//	-backends    comma-separated backend addresses (required); the order
+//	             must match the backends' -partition indices
+//	-dataset     pa | nyc (default pa) — the shared deterministic dataset,
+//	             used to resolve record payloads locally
+//	-conns       pooled connections per backend (default 4)
+//	-leg-timeout one backend leg's budget (default 1s)
+//	-register    registration timeout while polling backend summaries
+//	             (default 30s; backends may still be starting)
+//	-obs         observability HTTP address ("" = disabled)
+//
+// The router registers by polling every backend for its MsgSummary (held
+// ranges, item counts, MBRs), builds the assignment table, and serves until
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/router"
+	"mobispatial/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mqrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mqrouter", flag.ContinueOnError)
+	addr := fs.String("addr", ":7171", "client listen address")
+	backends := fs.String("backends", "", "comma-separated backend addresses (required)")
+	dsName := fs.String("dataset", "pa", "dataset: pa | nyc")
+	conns := fs.Int("conns", 4, "pooled connections per backend")
+	legTimeout := fs.Duration("leg-timeout", time.Second, "one backend leg's budget")
+	register := fs.Duration("register", 30*time.Second, "registration timeout")
+	obsAddr := fs.String("obs", "", "observability HTTP address (\"\" = disabled)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *backends == "" {
+		return fmt.Errorf("-backends is required")
+	}
+
+	var ds *dataset.Dataset
+	switch *dsName {
+	case "pa":
+		ds = dataset.PA()
+	case "nyc":
+		ds = dataset.NYC()
+	default:
+		return fmt.Errorf("unknown dataset %q (want pa or nyc)", *dsName)
+	}
+
+	hub := obs.NewHub()
+	r, err := router.New(router.Config{
+		Backends:        strings.Split(*backends, ","),
+		Dataset:         ds,
+		ConnsPerBackend: *conns,
+		LegTimeout:      *legTimeout,
+		RegisterTimeout: *register,
+		Obs:             hub,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	fmt.Printf("mqrouter: registered %d backends, %d ranges\n", len(strings.Split(*backends, ",")), r.NumRanges())
+
+	// The router IS the server's pool: clients connect with the unchanged
+	// protocol and every query fans out behind the same framed surface.
+	// Shipments need the master tree, which lives on the backends, so the
+	// router leaves them unsupported.
+	srv, err := serve.New(serve.Config{Pool: r, Obs: hub})
+	if err != nil {
+		return err
+	}
+
+	if *obsAddr != "" {
+		obsSrv := &http.Server{Addr: *obsAddr, Handler: obs.Handler(hub)}
+		go func() {
+			if err := obsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "mqrouter: obs http:", err)
+			}
+		}()
+		defer obsSrv.Close()
+		fmt.Printf("mqrouter: observability on http://%s/metrics\n", *obsAddr)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("mqrouter: dataset %s, listening on %s\n", ds.Name, *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("mqrouter: %v, draining...\n", sig)
+	}
+	if err := srv.Shutdown(10 * time.Second); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	snap := hub.Reg.Snapshot()
+	var failovers, unroutable uint64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "router_failover_total":
+			failovers = c.Value
+		case "router_unroutable_total":
+			unroutable = c.Value
+		}
+	}
+	fmt.Printf("mqrouter: served %d requests over %d connections; %d errors, %d failovers, %d unroutable\n",
+		st.Served, st.Conns, st.Errors, failovers, unroutable)
+	return nil
+}

@@ -18,6 +18,13 @@
 //	-inflight   admission-control cap on concurrent requests (0 = 4x workers)
 //	-obs        observability HTTP address serving /metrics (Prometheus),
 //	            /traces (JSON spans), and /debug/pprof ("" = disabled)
+//	-partition  i/N: run as cluster backend i of N, indexing only the
+//	            Hilbert key ranges it holds (every backend derives the
+//	            identical partition from the shared deterministic dataset)
+//	-replicas   R-way replication under rotation placement (with
+//	            -partition; backend i also holds ranges i-1..i-R+1 mod N)
+//	-fault      faultlink profile injected on the listener (e.g.
+//	            "outage=30s+10s" or a preset name; "" = no faults)
 //
 // Metrics, spans, and the in-protocol MsgStats snapshot are always on; -obs
 // only controls the HTTP export. The server reports its throughput counters
@@ -27,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,9 +42,11 @@ import (
 	"time"
 
 	"mobispatial/internal/dataset"
+	"mobispatial/internal/faultlink"
 	"mobispatial/internal/obs"
 	"mobispatial/internal/ops"
 	"mobispatial/internal/parallel"
+	"mobispatial/internal/proto"
 	"mobispatial/internal/rtree"
 	"mobispatial/internal/serve"
 	"mobispatial/internal/shard"
@@ -57,6 +67,9 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "spatial shards (0 = monolithic)")
 	inflight := fs.Int("inflight", 0, "max concurrent requests (0 = 4x workers)")
 	obsAddr := fs.String("obs", "", "observability HTTP address (\"\" = disabled)")
+	partition := fs.String("partition", "", "i/N: cluster backend i of N Hilbert ranges (\"\" = whole dataset)")
+	replicas := fs.Int("replicas", 1, "R-way replication under rotation placement (with -partition)")
+	fault := fs.String("fault", "", "faultlink profile injected on the listener (\"\" = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,10 +91,19 @@ func run(args []string) error {
 	hub := obs.NewHub()
 
 	// The master tree always stays monolithic — shipments carve sub-indexes
-	// from it — but query execution is either the monolithic parallel pool
-	// or the Hilbert-sharded scatter-gather pool.
+	// from it — but query execution is either the monolithic parallel pool,
+	// the Hilbert-sharded scatter-gather pool, or (with -partition) a
+	// sharded pool over only the cluster ranges this backend holds.
 	var pool serve.Executor
-	if *shards > 0 {
+	var held []proto.RangeInfo
+	numRanges := 0
+	if *partition != "" {
+		var err error
+		held, numRanges, pool, err = partitionPool(ds, *partition, *replicas, *shards, *workers, hub)
+		if err != nil {
+			return err
+		}
+	} else if *shards > 0 {
 		sp, err := shard.New(ds, shard.Config{Shards: *shards, Workers: *workers, Obs: hub.Reg})
 		if err != nil {
 			return err
@@ -97,7 +119,10 @@ func run(args []string) error {
 		}
 		pool = mp
 	}
-	srv, err := serve.New(serve.Config{Pool: pool, Master: tree, MaxInFlight: *inflight, Obs: hub})
+	srv, err := serve.New(serve.Config{
+		Pool: pool, Master: tree, MaxInFlight: *inflight, Obs: hub,
+		Ranges: held, NumRanges: numRanges,
+	})
 	if err != nil {
 		return err
 	}
@@ -113,8 +138,20 @@ func run(args []string) error {
 		fmt.Printf("mqserve: observability on http://%s/metrics /traces /debug/pprof\n", *obsAddr)
 	}
 
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *fault != "" {
+		prof, err := faultlink.ParseProfile(*fault)
+		if err != nil {
+			return err
+		}
+		lis = faultlink.New(prof).Listen(lis)
+		fmt.Printf("mqserve: fault profile %v on listener\n", prof)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe(*addr) }()
+	go func() { errc <- srv.Serve(lis) }()
 	fmt.Printf("mqserve: dataset %s (%d segments, %.0fx%.0f km), listening on %s\n",
 		ds.Name, len(ds.Segments), ds.Extent.Width()/1000, ds.Extent.Height()/1000, *addr)
 
@@ -133,4 +170,43 @@ func run(args []string) error {
 	fmt.Printf("mqserve: served %d requests (%d shipments) over %d connections; %d overloads, %d deadline misses, %d errors\n",
 		st.Served, st.Shipments, st.Conns, st.Overloads, st.Deadlines, st.Errors)
 	return nil
+}
+
+// partitionPool builds the sharded pool of cluster backend i of n: the
+// deterministic dataset is partitioned into n contiguous Hilbert ranges
+// (bit-identical in every process), and this backend indexes the ranges
+// rotation placement assigns it. Item ids stay cluster-global.
+func partitionPool(ds *dataset.Dataset, spec string, replicas, shards, workers int, hub *obs.Hub) ([]proto.RangeInfo, int, serve.Executor, error) {
+	var idx, n int
+	if c, err := fmt.Sscanf(spec, "%d/%d", &idx, &n); err != nil || c != 2 {
+		return nil, 0, nil, fmt.Errorf("bad -partition %q (want i/N)", spec)
+	}
+	ranges, _ := shard.PartitionHilbert(ds.Items(), n, 0)
+	if len(ranges) != n {
+		return nil, 0, nil, fmt.Errorf("-partition %q: dataset yields only %d ranges", spec, len(ranges))
+	}
+	idxs, err := shard.ReplicaRanges(idx, n, replicas)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	var sub []rtree.Item
+	var held []proto.RangeInfo
+	for _, ri := range idxs {
+		rg := ranges[ri]
+		sub = append(sub, rg.Items...)
+		held = append(held, proto.RangeInfo{
+			Index: uint32(rg.Index),
+			Items: uint32(len(rg.Items)),
+			Lo:    rg.Lo,
+			Hi:    rg.Hi,
+			MBR:   rg.MBR,
+		})
+	}
+	sp, err := shard.New(ds, shard.Config{Shards: shards, Workers: workers, Items: sub, Obs: hub.Reg})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	fmt.Printf("mqserve: backend %d/%d holds %d of %d ranges (%d segments, R=%d)\n",
+		idx, n, len(held), n, len(sub), replicas)
+	return held, n, sp, nil
 }

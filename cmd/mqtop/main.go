@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -96,13 +97,19 @@ func run(args []string) error {
 // snapshot exists.
 func render(w *os.File, addr string, c *client.Client, uptimeMicros uint64, snap, prev obs.Snapshot, dt time.Duration, haveDelta bool) {
 	link := c.Link()
-	// A sharded server exports the shard_count gauge; surface it in the
-	// header so one glance says which execution mode is running.
+	// A sharded server exports the shard_count gauge and a router exports
+	// router_backends; surface whichever is present in the header so one
+	// glance says which tier and execution mode is running. Unknown metric
+	// names — a newer server's snapshot — still render generically below.
 	sharding := ""
 	for _, g := range snap.Gauges {
-		if g.Name == "shard_count" && g.Value > 0 {
-			sharding = fmt.Sprintf("  shards %.0f", g.Value)
-			break
+		switch {
+		case g.Name == "shard_count" && g.Value > 0:
+			sharding += fmt.Sprintf("  shards %.0f", g.Value)
+		case g.Name == "router_backends" && g.Value > 0:
+			sharding += fmt.Sprintf("  router %.0f backends", g.Value)
+		case g.Name == "router_ranges" && g.Value > 0:
+			sharding += fmt.Sprintf("/%.0f ranges", g.Value)
 		}
 	}
 	fmt.Fprintf(w, "mqtop — %s  up %v  breaker %s  rtt %v%s  %s\n\n", addr,
@@ -143,8 +150,20 @@ func render(w *os.File, addr string, c *client.Client, uptimeMicros uint64, snap
 			header = true
 		}
 		fmt.Fprintf(w, "%-44s %10d %9s %9s %9s %9s\n",
-			trimName(h.Name), h.Count, ms(h.Mean), ms(h.P50), ms(h.P95), ms(h.P99))
+			trimName(h.Name), h.Count, histVal(h.Name, h.Mean), histVal(h.Name, h.P50),
+			histVal(h.Name, h.P95), histVal(h.Name, h.P99))
 	}
+}
+
+// histVal formats one histogram summary cell. Only names ending in _seconds
+// are durations; anything else — shard fan-out, router legs per query, and
+// whatever future servers export — renders as a plain number instead of
+// being misread as a latency.
+func histVal(name string, v float64) string {
+	if strings.HasSuffix(name, "_seconds") {
+		return ms(v)
+	}
+	return fmt.Sprintf("%.2f", v)
 }
 
 // trimName shortens long labeled names to keep the table aligned.

@@ -48,6 +48,24 @@ func (p *Pool) Dataset() *dataset.Dataset { return p.ds }
 // Index returns the pool's access method.
 func (p *Pool) Index() index.Index { return p.idx }
 
+// Len returns the number of indexed items — the serve summary's item count.
+func (p *Pool) Len() int { return p.idx.Len() }
+
+// Bounds returns the MBR of all indexed items: straight from the access
+// method when it exposes one (rtree.Tree does), otherwise the union of the
+// dataset's item MBRs. The serve layer reports it in the partition summary
+// the distributed tier's router prunes NN visits with.
+func (p *Pool) Bounds() geom.Rect {
+	if b, ok := p.idx.(interface{ Bounds() geom.Rect }); ok {
+		return b.Bounds()
+	}
+	r := geom.EmptyRect()
+	for _, it := range p.ds.Items() {
+		r = r.Union(it.MBR)
+	}
+	return r
+}
+
 // forEach runs fn(i) for every i in [0, n) across the pool's workers.
 //
 // Width invariant: the number of goroutines spawned is min(p.workers, n) —

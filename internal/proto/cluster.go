@@ -1,0 +1,275 @@
+// cluster.go extends the wire catalogue with the distributed serving tier's
+// messages: the router↔backend handshake and the cross-server nearest-
+// neighbor leg. A coordinator (internal/router) fetches each backend's
+// summary — its dataset bounds plus the Hilbert key ranges it holds — at
+// registration, then fans client queries to the owning backends. Range and
+// point legs ride the existing MsgQuery; NN legs use MsgNNQuery/MsgNeighbors
+// because the cross-server best-first visit needs two things MsgQuery cannot
+// carry: the running k-th-neighbor bound (so a later server prunes against
+// earlier servers' answers) and exact per-neighbor distances in the reply
+// (so the router merges legs without re-deriving geometry).
+package proto
+
+import (
+	"fmt"
+	"math"
+
+	"mobispatial/internal/geom"
+)
+
+// The cluster message types, continuing the catalogue in wire.go.
+const (
+	// MsgNNQuery is a router→backend (k-)NN leg carrying the running bound.
+	MsgNNQuery MsgType = 12
+	// MsgNeighbors is the NN leg reply: neighbor ids with exact distances.
+	MsgNeighbors MsgType = 13
+	// MsgSummaryReq asks a backend for its partition summary.
+	MsgSummaryReq MsgType = 14
+	// MsgSummary is the summary reply: bounds, item count, and the Hilbert
+	// key ranges the backend holds.
+	MsgSummary MsgType = 15
+)
+
+// CodeUnavailable: no healthy replica covers part of the query — the
+// distributed tier's "try again later" (transient, like overload).
+const CodeUnavailable ErrCode = 6
+
+// MaxSummaryRanges bounds the ranges one summary may carry.
+const MaxSummaryRanges = 4096
+
+// Neighbor is one (k-)NN answer on the wire: the object id and its exact
+// distance to the query point. The wire form of rtree.Neighbor.
+type Neighbor struct {
+	ID   uint32
+	Dist float64
+}
+
+// wireNeighborBytes is the encoded size of one Neighbor.
+const wireNeighborBytes = 4 + 8
+
+// NNQueryMsg is one cross-server nearest-neighbor leg.
+type NNQueryMsg struct {
+	ID    uint32
+	Point geom.Point
+	// K is the neighbor count (0 and 1 both mean single NN).
+	K uint16
+	// Bound is the router's running k-th-neighbor distance: the backend may
+	// prune any subtree whose lower bound exceeds it. +Inf (or 0) means
+	// unbounded. It is a pruning hint only — a reply may legally include
+	// neighbors farther than Bound; the router's merge discards them.
+	Bound float64
+	// TimeoutMicros caps the backend-side processing time; 0 means the
+	// backend default.
+	TimeoutMicros uint32
+}
+
+// Type implements Message.
+func (m *NNQueryMsg) Type() MsgType { return MsgNNQuery }
+
+// RequestID implements Message.
+func (m *NNQueryMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *NNQueryMsg) Validate() error {
+	if err := checkPoint(m.Point); err != nil {
+		return err
+	}
+	if math.IsNaN(m.Bound) || m.Bound < 0 || math.IsInf(m.Bound, -1) {
+		return fmt.Errorf("proto: bad NN bound %v", m.Bound)
+	}
+	return nil
+}
+
+func (m *NNQueryMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendPoint(b, m.Point)
+	b = appendU16(b, m.K)
+	b = appendF64(b, m.Bound)
+	return appendU32(b, m.TimeoutMicros)
+}
+
+func (m *NNQueryMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	m.Point = d.point()
+	m.K = d.u16()
+	m.Bound = d.f64()
+	m.TimeoutMicros = d.u32()
+	return d.finish("nn-query")
+}
+
+// NeighborsMsg is the NN leg reply, neighbors ascending by distance.
+type NeighborsMsg struct {
+	ID        uint32
+	Neighbors []Neighbor
+}
+
+// Type implements Message.
+func (m *NeighborsMsg) Type() MsgType { return MsgNeighbors }
+
+// RequestID implements Message.
+func (m *NeighborsMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *NeighborsMsg) Validate() error {
+	if n := len(m.Neighbors); n > (MaxFramePayload-8)/wireNeighborBytes {
+		return fmt.Errorf("proto: neighbor list of %d exceeds frame limit", n)
+	}
+	for i, nb := range m.Neighbors {
+		if math.IsNaN(nb.Dist) || nb.Dist < 0 {
+			return fmt.Errorf("proto: neighbor %d has bad distance %v", i, nb.Dist)
+		}
+	}
+	return nil
+}
+
+func (m *NeighborsMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendU32(b, uint32(len(m.Neighbors)))
+	for _, nb := range m.Neighbors {
+		b = appendU32(b, nb.ID)
+		b = appendF64(b, nb.Dist)
+	}
+	return b
+}
+
+func (m *NeighborsMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	n := int(d.u32())
+	if d.err == nil && n*wireNeighborBytes != len(d.b)-d.off {
+		return fmt.Errorf("proto: neighbor count %d does not match %d payload bytes", n, len(d.b)-d.off)
+	}
+	m.Neighbors = m.Neighbors[:0]
+	if d.err == nil && d.need(n*wireNeighborBytes) {
+		for i := 0; i < n; i++ {
+			m.Neighbors = append(m.Neighbors, Neighbor{ID: d.u32(), Dist: d.f64()})
+		}
+	}
+	return d.finish("neighbors")
+}
+
+// SummaryReqMsg asks a backend for its partition summary. Servers answer it
+// like a stats request — bypassing admission control — so a router can
+// register against a saturated backend.
+type SummaryReqMsg struct {
+	ID uint32
+}
+
+// Type implements Message.
+func (m *SummaryReqMsg) Type() MsgType { return MsgSummaryReq }
+
+// RequestID implements Message.
+func (m *SummaryReqMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *SummaryReqMsg) Validate() error { return nil }
+
+func (m *SummaryReqMsg) appendPayload(b []byte) []byte { return appendU32(b, m.ID) }
+
+func (m *SummaryReqMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	return d.finish("summary-req")
+}
+
+// RangeInfo describes one contiguous Hilbert key range a backend holds: its
+// index in the cluster-wide assignment, the inclusive key interval, the item
+// count, and the MBR of the items — the router's routing and NN-pruning
+// metadata.
+type RangeInfo struct {
+	Index uint32
+	Items uint32
+	// Lo and Hi are the inclusive Hilbert key interval of the range's items
+	// under the partitioning quantizer.
+	Lo, Hi uint64
+	MBR    geom.Rect
+}
+
+// SummaryMsg is a backend's partition summary. A monolithic (unpartitioned)
+// server reports NumRanges=1 with a single range covering everything.
+type SummaryMsg struct {
+	ID uint32
+	// NumRanges is the cluster-wide total range count the backend was
+	// configured with; every backend of one cluster must agree on it.
+	NumRanges uint32
+	// Items is the backend's total indexed item count.
+	Items uint64
+	// Bounds is the MBR of every item the backend holds.
+	Bounds geom.Rect
+	// Ranges lists the ranges this backend holds (primary and replica alike).
+	Ranges []RangeInfo
+}
+
+// Type implements Message.
+func (m *SummaryMsg) Type() MsgType { return MsgSummary }
+
+// RequestID implements Message.
+func (m *SummaryMsg) RequestID() uint32 { return m.ID }
+
+// Validate implements Message.
+func (m *SummaryMsg) Validate() error {
+	if len(m.Ranges) > MaxSummaryRanges {
+		return fmt.Errorf("proto: summary with %d ranges exceeds %d", len(m.Ranges), MaxSummaryRanges)
+	}
+	if m.NumRanges == 0 && len(m.Ranges) > 0 {
+		return fmt.Errorf("proto: summary holds %d ranges of a zero-range cluster", len(m.Ranges))
+	}
+	if err := checkRect(m.Bounds); err != nil {
+		return err
+	}
+	for i, r := range m.Ranges {
+		if r.Index >= m.NumRanges {
+			return fmt.Errorf("proto: summary range %d has index %d >= %d", i, r.Index, m.NumRanges)
+		}
+		if r.Lo > r.Hi {
+			return fmt.Errorf("proto: summary range %d has inverted keys [%d, %d]", i, r.Lo, r.Hi)
+		}
+		if err := checkRect(r.MBR); err != nil {
+			return fmt.Errorf("proto: summary range %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (m *SummaryMsg) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.ID)
+	b = appendU32(b, m.NumRanges)
+	b = binaryAppendU64(b, m.Items)
+	b = appendRect(b, m.Bounds)
+	b = appendU32(b, uint32(len(m.Ranges)))
+	for _, r := range m.Ranges {
+		b = appendU32(b, r.Index)
+		b = appendU32(b, r.Items)
+		b = binaryAppendU64(b, r.Lo)
+		b = binaryAppendU64(b, r.Hi)
+		b = appendRect(b, r.MBR)
+	}
+	return b
+}
+
+func (m *SummaryMsg) decodePayload(b []byte) error {
+	d := decoder{b: b}
+	m.ID = d.u32()
+	m.NumRanges = d.u32()
+	m.Items = d.u64()
+	m.Bounds = d.rect()
+	n := int(d.u32())
+	const rangeBytes = 4 + 4 + 8 + 8 + 32
+	if d.err == nil && n*rangeBytes != len(d.b)-d.off {
+		return fmt.Errorf("proto: summary range count %d does not match %d payload bytes", n, len(d.b)-d.off)
+	}
+	m.Ranges = m.Ranges[:0]
+	if d.err == nil && d.need(n*rangeBytes) {
+		for i := 0; i < n; i++ {
+			m.Ranges = append(m.Ranges, RangeInfo{
+				Index: d.u32(),
+				Items: d.u32(),
+				Lo:    d.u64(),
+				Hi:    d.u64(),
+				MBR:   d.rect(),
+			})
+		}
+	}
+	return d.finish("summary")
+}

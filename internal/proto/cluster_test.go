@@ -1,0 +1,96 @@
+package proto
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mobispatial/internal/geom"
+)
+
+// TestStatsSkipsUnknownExtensions pins the snapshot's forward-compatibility
+// contract: a stats frame carrying trailing extension sections this decoder
+// does not know must still decode — the known sections intact, the unknown
+// tail skipped. This is what lets an old mqtop read a newer router's
+// snapshot instead of erroring on "trailing bytes".
+func TestStatsSkipsUnknownExtensions(t *testing.T) {
+	m := &StatsMsg{ID: 3, UptimeMicros: 99,
+		Counters: []StatCounter{{Name: "router_fanout_total", Value: 12}},
+		Gauges:   []StatGauge{{Name: "router_backends", Value: 3}},
+	}
+	payload := m.appendPayload(nil)
+
+	// Append two extension sections a future snapshot shape might carry:
+	// tag byte + u32 length + opaque payload.
+	payload = append(payload, 0xAA)
+	payload = appendU32(payload, 5)
+	payload = append(payload, "hello"...)
+	payload = append(payload, 0xBB)
+	payload = appendU32(payload, 0)
+
+	var got StatsMsg
+	if err := got.decodePayload(payload); err != nil {
+		t.Fatalf("decode with extensions: %v", err)
+	}
+	if got.ID != m.ID || got.UptimeMicros != m.UptimeMicros {
+		t.Fatalf("header mismatch: got %+v", got)
+	}
+	if len(got.Counters) != 1 || got.Counters[0] != m.Counters[0] {
+		t.Fatalf("counters mismatch: got %+v", got.Counters)
+	}
+	if len(got.Gauges) != 1 || got.Gauges[0] != m.Gauges[0] {
+		t.Fatalf("gauges mismatch: got %+v", got.Gauges)
+	}
+
+	// Malformed framing — a section length past the payload end — must
+	// still be an error, not a silent truncation.
+	bad := m.appendPayload(nil)
+	bad = append(bad, 0xCC)
+	bad = appendU32(bad, 1000)
+	if err := new(StatsMsg).decodePayload(bad); err == nil {
+		t.Fatal("decode accepted extension length past payload end")
+	}
+}
+
+// TestNNQueryReleaseReuse pins the pooled NN leg cycle: acquire, send,
+// release, and the reply's neighbor slice capacity survives a release.
+func TestNNQueryReleaseReuse(t *testing.T) {
+	q := AcquireNNQuery()
+	q.ID, q.Point, q.K, q.Bound = 5, geom.Point{X: 1, Y: 2}, 3, math.Inf(1)
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, q); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ReleaseMessage(q)
+	got, _, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	gq, ok := got.(*NNQueryMsg)
+	if !ok {
+		t.Fatalf("got %T", got)
+	}
+	if gq.ID != 5 || gq.K != 3 || !math.IsInf(gq.Bound, 1) {
+		t.Fatalf("decoded %+v", gq)
+	}
+	ReleaseMessage(gq)
+
+	r := &NeighborsMsg{ID: 5, Neighbors: []Neighbor{{ID: 1, Dist: 2}}}
+	ReleaseMessage(r)
+	r2 := neighborsPool.Get().(*NeighborsMsg)
+	if r2.ID != 0 || len(r2.Neighbors) != 0 {
+		t.Fatalf("release left state behind: %+v", r2)
+	}
+	neighborsPool.Put(r2)
+}
+
+// TestSummaryDecodeRejectsBadCount guards the length-vs-count cross-check.
+func TestSummaryDecodeRejectsBadCount(t *testing.T) {
+	m := &SummaryMsg{ID: 1, NumRanges: 1, Bounds: geom.EmptyRect(),
+		Ranges: []RangeInfo{{Index: 0, Lo: 0, Hi: 10}}}
+	payload := m.appendPayload(nil)
+	payload = append(payload, 0xEE) // stray byte breaks count*size == remaining
+	if err := new(SummaryMsg).decodePayload(payload); err == nil {
+		t.Fatal("decode accepted summary with trailing garbage")
+	}
+}

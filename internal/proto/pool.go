@@ -52,6 +52,8 @@ var (
 	shipReqPool    = sync.Pool{New: func() any { return new(ShipmentReqMsg) }}
 	batchQueryPool = sync.Pool{New: func() any { return new(BatchQueryMsg) }}
 	batchReplyPool = sync.Pool{New: func() any { return new(BatchReplyMsg) }}
+	nnQueryPool    = sync.Pool{New: func() any { return new(NNQueryMsg) }}
+	neighborsPool  = sync.Pool{New: func() any { return new(NeighborsMsg) }}
 )
 
 // AcquireQuery returns a zeroed *QueryMsg from the pool. Pass it to a
@@ -62,6 +64,10 @@ func AcquireQuery() *QueryMsg { return queryPool.Get().(*QueryMsg) }
 // AcquireBatchQuery returns a *BatchQueryMsg from the pool with zero scalar
 // fields and an empty (capacity-preserving) Queries slice.
 func AcquireBatchQuery() *BatchQueryMsg { return batchQueryPool.Get().(*BatchQueryMsg) }
+
+// AcquireNNQuery returns a zeroed *NNQueryMsg from the pool — the router's
+// per-leg NN request, reused across legs like AcquireQuery.
+func AcquireNNQuery() *NNQueryMsg { return nnQueryPool.Get().(*NNQueryMsg) }
 
 // ReleaseMessage returns m to its type's pool, keeping slice capacity for
 // reuse. Releasing an unpooled type is a no-op. The caller must not touch m —
@@ -100,6 +106,16 @@ func ReleaseMessage(m Message) {
 		v.TimeoutMicros = 0
 		v.Queries = v.Queries[:0]
 		batchQueryPool.Put(v)
+	case *NNQueryMsg:
+		*v = NNQueryMsg{}
+		nnQueryPool.Put(v)
+	case *NeighborsMsg:
+		if cap(v.Neighbors) > maxPooledIDs {
+			return
+		}
+		v.ID = 0
+		v.Neighbors = v.Neighbors[:0]
+		neighborsPool.Put(v)
 	case *BatchReplyMsg:
 		// Trim the full capacity region: items beyond len keep reusable
 		// slices from earlier decodes.

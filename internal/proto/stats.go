@@ -190,5 +190,15 @@ func (m *StatsMsg) decodePayload(b []byte) error {
 			})
 		}
 	}
+	// Forward compatibility: trailing extension sections. A newer server may
+	// append sections this decoder does not know — each framed as a tag byte
+	// plus a u32 payload length — and an old reader (mqtop against a newer
+	// router, say) must skip them instead of failing the whole snapshot on
+	// "trailing bytes". Only malformed framing (a length past the payload
+	// end) is still an error.
+	for d.err == nil && d.off < len(d.b) {
+		_ = d.u8() // extension tag: unknown sections are skipped
+		d.bytes(int(d.u32()))
+	}
 	return d.finish("stats")
 }

@@ -61,6 +61,10 @@ var msgTypeNames = map[MsgType]string{
 	MsgStats:       "stats",
 	MsgBatchQuery:  "batch-query",
 	MsgBatchReply:  "batch-reply",
+	MsgNNQuery:     "nn-query",
+	MsgNeighbors:   "neighbors",
+	MsgSummaryReq:  "summary-req",
+	MsgSummary:     "summary",
 }
 
 // String implements fmt.Stringer.
@@ -151,6 +155,8 @@ func (c ErrCode) String() string {
 		return "shutdown"
 	case CodeUnsupported:
 		return "unsupported"
+	case CodeUnavailable:
+		return "unavailable"
 	case CodeInternal:
 		return "internal"
 	}
@@ -524,6 +530,14 @@ func newMessage(t MsgType) (Message, error) {
 		return batchQueryPool.Get().(*BatchQueryMsg), nil
 	case MsgBatchReply:
 		return batchReplyPool.Get().(*BatchReplyMsg), nil
+	case MsgNNQuery:
+		return nnQueryPool.Get().(*NNQueryMsg), nil
+	case MsgNeighbors:
+		return neighborsPool.Get().(*NeighborsMsg), nil
+	case MsgSummaryReq:
+		return &SummaryReqMsg{}, nil
+	case MsgSummary:
+		return &SummaryMsg{}, nil
 	}
 	return nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
 }

@@ -64,6 +64,20 @@ func allMessages() []Message {
 			{Err: CodeBadRequest, Text: "k too large"},
 			{}, // an empty answer is an empty id list
 		}},
+		&NNQueryMsg{ID: 21, Point: geom.Point{X: 3.5, Y: -7}, K: 8, Bound: 123.25, TimeoutMicros: 100_000},
+		&NNQueryMsg{ID: 22, Point: geom.Point{X: 0, Y: 0}, Bound: math.Inf(1)}, // unbounded leg
+		&NeighborsMsg{ID: 21, Neighbors: []Neighbor{{ID: 4, Dist: 0}, {ID: 9, Dist: 12.5}}},
+		&NeighborsMsg{ID: 23}, // empty answer
+		&SummaryReqMsg{ID: 24},
+		&SummaryMsg{ID: 24, NumRanges: 3, Items: 1000,
+			Bounds: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 90, Y: 90}},
+			Ranges: []RangeInfo{
+				{Index: 0, Items: 400, Lo: 0, Hi: 99,
+					MBR: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 50, Y: 40}}},
+				{Index: 2, Items: 600, Lo: 200, Hi: 1 << 40,
+					MBR: geom.Rect{Min: geom.Point{X: 30, Y: 20}, Max: geom.Point{X: 90, Y: 90}}},
+			}},
+		&SummaryMsg{ID: 25, Bounds: geom.EmptyRect()}, // an empty backend is legal
 	}
 }
 
@@ -224,6 +238,17 @@ func TestWireValidateRejects(t *testing.T) {
 		&BatchReplyMsg{ID: 1, Items: []BatchItem{{Text: "orphan text"}}},
 		&BatchReplyMsg{ID: 1, Items: []BatchItem{
 			{Recs: []Record{{Seg: geom.Segment{A: geom.Point{X: math.NaN()}}}}}}},
+		&NNQueryMsg{ID: 1, Point: geom.Point{X: math.NaN()}},
+		&NNQueryMsg{ID: 1, Bound: math.NaN()},
+		&NNQueryMsg{ID: 1, Bound: -1},
+		&NeighborsMsg{ID: 1, Neighbors: []Neighbor{{ID: 2, Dist: math.NaN()}}},
+		&NeighborsMsg{ID: 1, Neighbors: []Neighbor{{ID: 2, Dist: -0.5}}},
+		&SummaryMsg{ID: 1, NumRanges: 2, Ranges: []RangeInfo{{Index: 2}}},
+		&SummaryMsg{ID: 1, NumRanges: 1, Ranges: []RangeInfo{{Index: 0, Lo: 9, Hi: 3}}},
+		&SummaryMsg{ID: 1, NumRanges: 1, Ranges: []RangeInfo{
+			{Index: 0, MBR: geom.Rect{Min: geom.Point{X: math.NaN()}}}}},
+		&SummaryMsg{ID: 1, Ranges: []RangeInfo{{Index: 0}}}, // zero-range cluster
+		&SummaryMsg{ID: 1, NumRanges: MaxSummaryRanges + 1, Ranges: make([]RangeInfo, MaxSummaryRanges+1)},
 	}
 	for _, m := range bad {
 		if err := m.Validate(); err == nil {

@@ -1,0 +1,60 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/parallel"
+	"mobispatial/internal/rtree"
+)
+
+// BenchmarkRouterFanout measures one routed window query end to end across
+// a 3-backend R=2 in-process cluster: relevance, cover, concurrent legs over
+// real TCP loopback, and the sorted dedup merge.
+func BenchmarkRouterFanout(b *testing.B) {
+	ds := clusterDataset(b)
+	tc := startCluster(b, ds, 3, 2)
+	r := newRouter(b, tc, nil)
+
+	rng := rand.New(rand.NewSource(12))
+	extent := geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 40000, Y: 40000}}
+	windows := make([]geom.Rect, 64)
+	for i := range windows {
+		windows[i] = randWindow(rng, extent, 0.05)
+	}
+	var dst []uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = r.RangeAppendUntil(dst[:0], windows[i%len(windows)], time.Time{})
+		if err != nil {
+			b.Fatalf("query: %v", err)
+		}
+	}
+}
+
+// BenchmarkRouterKNN measures one routed 8-NN query: best-first backend
+// visit, bound-carrying legs, and the bounded merge.
+func BenchmarkRouterKNN(b *testing.B) {
+	ds := clusterDataset(b)
+	tc := startCluster(b, ds, 3, 2)
+	r := newRouter(b, tc, nil)
+
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]geom.Point, 64)
+	for i := range pts {
+		pts[i] = geom.Point{X: 40000 * rng.Float64(), Y: 40000 * rng.Float64()}
+	}
+	sc := &parallel.Scratch{}
+	var nbrs []rtree.Neighbor
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		nbrs, err = r.KNearestAppendUntil(nbrs[:0], pts[i%len(pts)], 8, sc, time.Time{})
+		if err != nil {
+			b.Fatalf("knn: %v", err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package router
+
+import (
+	"time"
+
+	"mobispatial/internal/obs"
+)
+
+// routerMetrics holds the obs handles the fan-out paths touch, resolved
+// once at New. Every handle is nil (no-op) when Config.Obs is nil — the
+// same discipline as internal/serve and internal/shard.
+//
+// Exported metric names:
+//
+//	router_backends                 gauge: registered backends
+//	router_ranges                   gauge: cluster Hilbert ranges
+//	router_fanout                   histogram: backend legs per query
+//	router_leg_seconds              histogram: one backend leg's duration
+//	router_leg_errors_total         counter: failed backend legs
+//	router_failover_total           counter: queries that lost a leg and
+//	                                re-covered its ranges from replicas
+//	router_unroutable_total         counter: queries failed CodeUnavailable
+//	                                (a needed range had no healthy replica)
+//	router_nn_backends_visited_total counter: NN legs actually sent
+//	router_nn_backends_pruned_total  counter: backends skipped by the bound
+//	router_backend_healthy{backend} gauge: 1 while the backend's breaker
+//	                                admits traffic, 0 after a leg failure
+//	router_backend_legs_total{backend}       counter: legs per backend —
+//	                                the read-spreading evidence
+//	router_backend_leg_errors_total{backend} counter: failures per backend
+type routerMetrics struct {
+	backends *obs.Gauge
+	ranges   *obs.Gauge
+
+	fanout     *obs.Histogram
+	legHist    *obs.Histogram
+	legErrors  *obs.Counter
+	failovers  *obs.Counter
+	unroutable *obs.Counter
+	nnVisited  *obs.Counter
+	nnPruned   *obs.Counter
+
+	beHealthy []*obs.Gauge
+	beLegs    []*obs.Counter
+	beLegErrs []*obs.Counter
+}
+
+func newRouterMetrics(h *obs.Hub, backends []string) routerMetrics {
+	var m routerMetrics
+	if h == nil {
+		m.beHealthy = make([]*obs.Gauge, len(backends))
+		m.beLegs = make([]*obs.Counter, len(backends))
+		m.beLegErrs = make([]*obs.Counter, len(backends))
+		return m
+	}
+	m.backends = h.Reg.Gauge("router_backends")
+	m.ranges = h.Reg.Gauge("router_ranges")
+	m.fanout = h.Reg.Histogram("router_fanout")
+	m.legHist = h.Reg.Histogram("router_leg_seconds")
+	m.legErrors = h.Reg.Counter("router_leg_errors_total")
+	m.failovers = h.Reg.Counter("router_failover_total")
+	m.unroutable = h.Reg.Counter("router_unroutable_total")
+	m.nnVisited = h.Reg.Counter("router_nn_backends_visited_total")
+	m.nnPruned = h.Reg.Counter("router_nn_backends_pruned_total")
+	for _, addr := range backends {
+		g := h.Reg.Gauge(obs.Name("router_backend_healthy", "backend", addr))
+		g.Set(1)
+		m.beHealthy = append(m.beHealthy, g)
+		m.beLegs = append(m.beLegs, h.Reg.Counter(obs.Name("router_backend_legs_total", "backend", addr)))
+		m.beLegErrs = append(m.beLegErrs, h.Reg.Counter(obs.Name("router_backend_leg_errors_total", "backend", addr)))
+	}
+	return m
+}
+
+// observeLeg records one backend leg's outcome and mirrors the backend's
+// breaker position into its health gauge.
+func (r *Router) observeLeg(b int, elapsed time.Duration, err error) {
+	r.metrics.legHist.Observe(elapsed.Seconds())
+	r.metrics.beLegs[b].Inc()
+	if err != nil {
+		r.metrics.legErrors.Inc()
+		r.metrics.beLegErrs[b].Inc()
+	}
+	healthy := 0.0
+	if r.BackendHealthy(b) {
+		healthy = 1
+	}
+	r.metrics.beHealthy[b].Set(healthy)
+}

@@ -1,0 +1,339 @@
+// Package router is the coordinator of the distributed serving tier: one
+// process holding a shard→server assignment table of contiguous Hilbert key
+// ranges with R-way replication, fanning each client query out to the
+// backends that own the touched ranges and merging their replies.
+//
+// The router speaks the same framed protocol on both sides. Client-facing,
+// it IS a serve.Server: Router implements serve.Executor and
+// serve.DeadlineExecutor, so cmd/mqrouter wires it as the server's pool and
+// existing clients (mqload, the planner, the soak tests) work unchanged.
+// Backend-facing, it drives pooled serve/client connections — inheriting
+// their retry, backoff, and per-backend circuit breakers.
+//
+// Routing metadata comes from the backends themselves at registration: each
+// answers MsgSummaryReq with the Hilbert key ranges it holds, per-range item
+// counts and MBRs, and its overall bounds. The table derived from the
+// summaries drives three decisions:
+//
+//   - relevance: a range is fanned to only when its MBR can contain a match
+//     (window intersection, eps-expanded point containment);
+//   - replica spreading: among the backends holding a range, reads rotate
+//     round-robin, with backends whose breaker is open skipped;
+//   - NN scheduling: backends are visited best-first by MINDIST of their
+//     bounds, carrying the running k-th-neighbor bound so later backends
+//     prune whole shards (shard.Pool's KNearestBoundedAppend) and backends
+//     whose bounds cannot beat the bound are never contacted at all.
+//
+// Failures fail over, not fail: a leg that errors marks its backend failed
+// for the query, its ranges are re-covered from surviving replicas, and the
+// query completes as long as every touched range keeps one healthy holder.
+// Only when a needed range has no healthy replica does the router answer
+// CodeUnavailable (transient, retried by clients like overload).
+package router
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/proto"
+	"mobispatial/internal/serve/client"
+	"mobispatial/internal/shard"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Backends are the shard servers' addresses; the slice index is the
+	// backend id everywhere in this package. Required, at least one.
+	Backends []string
+	// Dataset is the full deterministic dataset (ids are cluster-global, so
+	// the router resolves record geometry locally instead of shipping it
+	// from backends). Required.
+	Dataset *dataset.Dataset
+	// ConnsPerBackend caps pooled connections (and outstanding legs) per
+	// backend; defaults to 4.
+	ConnsPerBackend int
+	// LegTimeout is one backend leg's time budget; defaults to 1s. It is
+	// deliberately below the serve default 5s query deadline so a failed
+	// leg leaves room to fail over within the client's deadline.
+	LegTimeout time.Duration
+	// QueryTimeout is the whole-query budget used when the caller supplies
+	// no deadline; defaults to 5s.
+	QueryTimeout time.Duration
+	// RegisterTimeout bounds the registration handshake — backends are
+	// polled until they all answer their summary; defaults to 10s.
+	RegisterTimeout time.Duration
+	// PointEps is the tolerance used to route point queries whose eps is
+	// unset; it must be at least the backends' own default (it only selects
+	// which ranges are relevant, the backends apply the exact predicate).
+	// Defaults to 2.0, mirroring serve.DefaultPointEps.
+	PointEps float64
+	// MaxKNN caps k on NN legs; defaults to 1024.
+	MaxKNN int
+	// Breaker is the per-backend circuit breaker; enabled by default with a
+	// threshold of 3 failures and a 500ms probe interval.
+	Breaker client.BreakerConfig
+	// Obs receives the router metrics; nil disables them.
+	Obs *obs.Hub
+	// Dial overrides the backend transport (tests slot faultlink here).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (c *Config) fill() error {
+	if len(c.Backends) == 0 {
+		return fmt.Errorf("router: Config.Backends is required")
+	}
+	if c.Dataset == nil {
+		return fmt.Errorf("router: Config.Dataset is required")
+	}
+	if c.ConnsPerBackend <= 0 {
+		c.ConnsPerBackend = 4
+	}
+	if c.LegTimeout <= 0 {
+		c.LegTimeout = time.Second
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 5 * time.Second
+	}
+	if c.RegisterTimeout <= 0 {
+		c.RegisterTimeout = 10 * time.Second
+	}
+	if c.PointEps <= 0 {
+		c.PointEps = 2.0
+	}
+	if c.MaxKNN <= 0 {
+		c.MaxKNN = 1024
+	}
+	if !c.Breaker.Enabled {
+		c.Breaker = client.BreakerConfig{
+			Enabled:          true,
+			FailureThreshold: 3,
+			ProbeInterval:    500 * time.Millisecond,
+		}
+	}
+	return nil
+}
+
+// Router is the coordinator. It is safe for any number of concurrent
+// callers; per-query state lives in a pooled fanScratch.
+type Router struct {
+	cfg     Config
+	ds      *dataset.Dataset
+	clients []*client.Client // one pooled client per backend
+	table   table
+	// rr rotates replica choice across queries — the read-spreading
+	// counter.
+	rr      atomic.Uint64
+	scratch sync.Pool // *fanScratch
+	metrics routerMetrics
+
+	stopc     chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New dials nothing, registers against every backend (polling until
+// RegisterTimeout), builds the assignment table, and returns a ready
+// Router.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:     cfg,
+		ds:      cfg.Dataset,
+		metrics: newRouterMetrics(cfg.Obs, cfg.Backends),
+		stopc:   make(chan struct{}),
+	}
+	for _, addr := range cfg.Backends {
+		// Backend clients keep retries at 1: the router's own failover is
+		// the retry policy, a leg that fails should move to a replica, not
+		// hammer the same backend. Obs stays nil — all backend clients
+		// would share one metric namespace; the router's own metrics carry
+		// the per-backend labels instead.
+		cc, err := client.New(client.Config{
+			Addr:           addr,
+			Conns:          cfg.ConnsPerBackend,
+			RequestTimeout: cfg.LegTimeout,
+			MaxRetries:     1,
+			Breaker:        cfg.Breaker,
+			Dial:           cfg.Dial,
+		})
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("router: backend %s: %w", addr, err)
+		}
+		r.clients = append(r.clients, cc)
+	}
+	if err := r.register(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	r.scratch.New = func() any { return &fanScratch{} }
+	r.metrics.backends.Set(float64(len(r.clients)))
+	r.metrics.ranges.Set(float64(r.table.numRanges))
+	r.probeWG.Add(1)
+	go r.probeLoop()
+	return r, nil
+}
+
+// probeLoop re-admits tripped backends. The cover and the NN visit skip a
+// backend whose breaker is open, so no query ever reaches it again — which
+// means the breaker's own half-open probe (triggered by traffic) would never
+// fire and an outage would eject the backend permanently. This loop is the
+// missing traffic: it pings every open-breaker backend each probe interval,
+// letting the breaker run its half-open protocol and close when the backend
+// is back.
+func (r *Router) probeLoop() {
+	defer r.probeWG.Done()
+	interval := r.cfg.Breaker.ProbeInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-tick.C:
+		}
+		for b, cc := range r.clients {
+			if cc.BreakerState() != client.BreakerOpen {
+				continue
+			}
+			// The ping flows through the breaker gate, so it IS the
+			// half-open probe; its failure keeps the breaker open.
+			_, err := cc.Ping(0)
+			healthy := 0.0
+			if err == nil && r.BackendHealthy(b) {
+				healthy = 1
+			}
+			r.metrics.beHealthy[b].Set(healthy)
+		}
+	}
+}
+
+// register polls every backend for its summary until all have answered or
+// RegisterTimeout passes, then builds the assignment table.
+func (r *Router) register() error {
+	deadline := time.Now().Add(r.cfg.RegisterTimeout)
+	summaries := make([]*proto.SummaryMsg, len(r.clients))
+	for {
+		missing := 0
+		var lastErr error
+		for i, cc := range r.clients {
+			if summaries[i] != nil {
+				continue
+			}
+			sm, err := cc.Summary()
+			if err != nil {
+				missing++
+				lastErr = fmt.Errorf("backend %s: %w", r.cfg.Backends[i], err)
+				continue
+			}
+			summaries[i] = sm
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("router: registration timed out, %d backends unreachable: %v", missing, lastErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	tbl, err := buildTable(summaries)
+	if err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	r.table = tbl
+	return nil
+}
+
+// Close stops the probe loop and closes every backend client.
+func (r *Router) Close() error {
+	r.closeOnce.Do(func() { close(r.stopc) })
+	r.probeWG.Wait()
+	for _, cc := range r.clients {
+		if cc != nil {
+			cc.Close()
+		}
+	}
+	return nil
+}
+
+// Workers reports the router's concurrency width — the serve layer sizes
+// its admission window from it. Legs are bounded by the per-backend
+// connection pools, so the product is the honest fan-out capacity.
+func (r *Router) Workers() int { return r.cfg.ConnsPerBackend * len(r.clients) }
+
+// Dataset returns the cluster's dataset (for ModeData record resolution).
+func (r *Router) Dataset() *dataset.Dataset { return r.ds }
+
+// NumRanges returns the cluster-wide Hilbert range count.
+func (r *Router) NumRanges() int { return r.table.numRanges }
+
+// BackendHealthy reports whether backend b's circuit breaker admits
+// traffic.
+func (r *Router) BackendHealthy(b int) bool {
+	return r.clients[b].BreakerState() != client.BreakerOpen
+}
+
+// routerError is a fan-out failure carrying its wire code; the serve layer
+// surfaces it via the ErrCode method (serve.errToCode).
+type routerError struct {
+	code proto.ErrCode
+	msg  string
+}
+
+func (e *routerError) Error() string          { return e.msg }
+func (e *routerError) ErrCode() proto.ErrCode { return e.code }
+
+// errUnavailable builds the no-healthy-replica failure for one range.
+func errUnavailable(rangeIdx int) error {
+	return &routerError{
+		code: proto.CodeUnavailable,
+		msg:  fmt.Sprintf("router: no healthy replica for range %d", rangeIdx),
+	}
+}
+
+// fanScratch is the pooled per-query fan-out state.
+type fanScratch struct {
+	needed  []int32           // relevant range indices
+	covered []int32           // mirrors needed: backend covering it, -1 = uncovered
+	sel     []int32           // backends selected this round
+	failed  []bool            // backend id -> failed during this query
+	status  []legStatus       // per-backend NN visit status
+	legIDs  [][]uint32        // per-leg result buffers (range/point merge)
+	merged  []uint32          // merge accumulator
+	order   []shard.IndexDist // NN visit order (ascending MINDIST)
+	nbrBuf  []proto.Neighbor  // NN leg reply buffer
+	nbrTmp  []proto.Neighbor  // NN merge temp
+	acc     []proto.Neighbor  // NN running best-k
+	errs    []error           // per-backend errors of one round
+}
+
+func (r *Router) getScratch() *fanScratch {
+	sc := r.scratch.Get().(*fanScratch)
+	n := len(r.clients)
+	if cap(sc.failed) < n {
+		sc.failed = make([]bool, n)
+		sc.status = make([]legStatus, n)
+		sc.errs = make([]error, n)
+	}
+	sc.failed = sc.failed[:n]
+	sc.status = sc.status[:n]
+	sc.errs = sc.errs[:n]
+	for i := range sc.failed {
+		sc.failed[i] = false
+		sc.status[i] = legUntouched
+		sc.errs[i] = nil
+	}
+	return sc
+}
+
+func (r *Router) putScratch(sc *fanScratch) { r.scratch.Put(sc) }

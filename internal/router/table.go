@@ -1,0 +1,94 @@
+package router
+
+import (
+	"fmt"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/proto"
+)
+
+// table is the shard→server assignment derived from the backends' summaries
+// at registration: which backends hold each Hilbert range, each range's MBR
+// (the routing predicate), and each backend's overall bounds (the NN visit
+// order). Immutable after New; health is tracked by the per-backend
+// breakers, not here.
+type table struct {
+	numRanges int
+	// holders[r] lists the backends holding range r, ascending.
+	holders [][]int32
+	// rangeMBR[r] is the MBR of range r's items (geom.EmptyRect for a
+	// range no backend reported items in).
+	rangeMBR []geom.Rect
+	// holds[b][r] reports whether backend b holds range r.
+	holds [][]bool
+	// beBounds[b] is backend b's overall data bounds.
+	beBounds []geom.Rect
+	// items is the cluster item count implied by the primary copies.
+	items uint64
+}
+
+// buildTable validates the summaries agree and derives the assignment. Every
+// backend must report the same cluster range count, and every range must
+// have at least one holder — a cluster missing a range entirely could
+// silently answer with holes, which is worse than failing registration.
+func buildTable(summaries []*proto.SummaryMsg) (table, error) {
+	if len(summaries) == 0 {
+		return table{}, fmt.Errorf("no summaries")
+	}
+	n := int(summaries[0].NumRanges)
+	if n <= 0 {
+		return table{}, fmt.Errorf("backend 0 reports %d ranges", n)
+	}
+	t := table{
+		numRanges: n,
+		holders:   make([][]int32, n),
+		rangeMBR:  make([]geom.Rect, n),
+		holds:     make([][]bool, len(summaries)),
+		beBounds:  make([]geom.Rect, len(summaries)),
+	}
+	for i := range t.rangeMBR {
+		t.rangeMBR[i] = geom.EmptyRect()
+	}
+	seen := make([]bool, n) // range seen with items, for the count
+	for b, sm := range summaries {
+		if int(sm.NumRanges) != n {
+			return table{}, fmt.Errorf("backend %d reports %d ranges, backend 0 reports %d", b, sm.NumRanges, n)
+		}
+		t.holds[b] = make([]bool, n)
+		t.beBounds[b] = sm.Bounds
+		for _, ri := range sm.Ranges {
+			idx := int(ri.Index)
+			if idx >= n {
+				return table{}, fmt.Errorf("backend %d holds out-of-range index %d", b, idx)
+			}
+			if t.holds[b][idx] {
+				return table{}, fmt.Errorf("backend %d reports range %d twice", b, idx)
+			}
+			t.holds[b][idx] = true
+			t.holders[idx] = append(t.holders[idx], int32(b))
+			t.rangeMBR[idx] = t.rangeMBR[idx].Union(ri.MBR)
+			if !seen[idx] {
+				seen[idx] = true
+				t.items += uint64(ri.Items)
+			}
+		}
+	}
+	for idx, hs := range t.holders {
+		if len(hs) == 0 {
+			return table{}, fmt.Errorf("range %d has no holder among %d backends", idx, len(summaries))
+		}
+	}
+	return t, nil
+}
+
+// neededRanges appends the indices of ranges whose MBR intersects w —
+// the complete candidate set: any item matching a query inside w lies in
+// some range, and that range's MBR necessarily intersects w.
+func (t *table) neededRanges(dst []int32, w geom.Rect) []int32 {
+	for idx, mbr := range t.rangeMBR {
+		if mbr.Intersects(w) {
+			dst = append(dst, int32(idx))
+		}
+	}
+	return dst
+}

@@ -305,7 +305,7 @@ func (c *Client) discard(wc *wireConn) {
 
 // transientCode reports whether a server error invites a retry.
 func transientCode(code proto.ErrCode) bool {
-	return code == proto.CodeOverload || code == proto.CodeShutdown
+	return code == proto.CodeOverload || code == proto.CodeShutdown || code == proto.CodeUnavailable
 }
 
 // do sends req and returns the matching response, retrying transient
@@ -314,8 +314,20 @@ func transientCode(code proto.ErrCode) bool {
 // ErrBreakerOpen (no wire traffic), and the caller that wins the half-open
 // slot pays one probe ping before its request proceeds.
 func (c *Client) do(req proto.Message) (proto.Message, error) {
+	return c.exchange(req, time.Time{})
+}
+
+// exchange is do with an optional absolute deadline capping the whole retry
+// loop — attempts and backoff sleeps included. A zero deadline keeps do's
+// classic budget (every attempt gets RequestTimeout). The router passes the
+// query's deadline here so it caps the slowest backend leg end to end
+// instead of being re-applied per attempt or per hop.
+func (c *Client) exchange(req proto.Message, deadline time.Time) (proto.Message, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, deadlineError(lastErr)
+		}
 		ok, probe := c.brk.allow(time.Now())
 		if !ok {
 			if lastErr != nil {
@@ -333,7 +345,7 @@ func (c *Client) do(req proto.Message) (proto.Message, error) {
 			c.brk.probeResult(true, time.Now())
 			c.observeBreaker()
 		}
-		resp, err := c.roundTrip(req)
+		resp, err := c.roundTrip(req, deadline)
 		if err == nil {
 			if em, ok := resp.(*proto.ErrorMsg); ok && transientCode(em.Code) {
 				lastErr = em
@@ -349,10 +361,25 @@ func (c *Client) do(req proto.Message) (proto.Message, error) {
 		if attempt >= c.cfg.MaxRetries {
 			return nil, fmt.Errorf("client: %d attempts failed: %w", attempt+1, lastErr)
 		}
+		delay := backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt, c.backoffRng())
+		if !deadline.IsZero() && time.Until(deadline) <= delay {
+			// The next attempt could not finish inside the deadline anyway;
+			// fail now instead of sleeping through it.
+			return nil, deadlineError(lastErr)
+		}
 		c.retries.Add(1)
 		c.metrics.retries.Inc()
-		time.Sleep(backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt, c.backoffRng()))
+		time.Sleep(delay)
 	}
+}
+
+// deadlineError is the exchange-deadline failure, carrying the last
+// transient failure when one was seen.
+func deadlineError(lastErr error) error {
+	if lastErr != nil {
+		return fmt.Errorf("client: deadline exceeded (last failure: %w)", lastErr)
+	}
+	return fmt.Errorf("client: deadline exceeded")
 }
 
 // recordFailure feeds one transient failure to the breaker and mirrors a
@@ -375,7 +402,7 @@ func (c *Client) observeBreaker() {
 // another probe.
 func (c *Client) probeLink() error {
 	msg := &proto.PingMsg{ID: c.id()}
-	resp, err := c.roundTrip(msg)
+	resp, err := c.roundTrip(msg, time.Time{})
 	if err != nil {
 		return err
 	}
@@ -409,14 +436,18 @@ func backoffDelay(base, max time.Duration, attempt int, u float64) time.Duration
 }
 
 // roundTrip performs one attempt on one pooled connection and feeds the link
-// tracker.
-func (c *Client) roundTrip(req proto.Message) (proto.Message, error) {
+// tracker. A non-zero deadline tightens the attempt's socket deadline below
+// the RequestTimeout default.
+func (c *Client) roundTrip(req proto.Message, deadline time.Time) (proto.Message, error) {
 	wc, err := c.checkout()
 	if err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(c.cfg.RequestTimeout)
-	if err := wc.nc.SetDeadline(deadline); err != nil {
+	attemptDeadline := time.Now().Add(c.cfg.RequestTimeout)
+	if !deadline.IsZero() && deadline.Before(attemptDeadline) {
+		attemptDeadline = deadline
+	}
+	if err := wc.nc.SetDeadline(attemptDeadline); err != nil {
 		// The socket is already torn down (mirrors the server-side
 		// SetReadDeadline handling): a request on it could block past its
 		// budget, so the connection is discarded, not pooled.

@@ -1,0 +1,124 @@
+// cluster.go is the router-facing side of the client: deadline-capped,
+// append-first query calls the coordinator (internal/router) drives its
+// backend legs through. Unlike the mobile-facing calls (Range, KNearest,
+// ...), these copy replies into caller-owned buffers and release the pooled
+// reply message before returning, so a router serving thousands of fan-outs
+// per second recycles every message shell. None of them consult the local
+// Fallback — a router leg that fails must surface the failure so the router
+// can fail over to a replica, not answer from a stale local index.
+package client
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/proto"
+)
+
+// microsUntil converts an absolute deadline into the wire's timeout field:
+// the remaining time in microseconds, clamped to [1, MaxUint32]. A zero
+// deadline falls back to the client's RequestTimeout.
+func (c *Client) microsUntil(deadline time.Time) uint32 {
+	if deadline.IsZero() {
+		return c.timeoutMicros()
+	}
+	us := time.Until(deadline).Microseconds()
+	if us <= 0 {
+		return 1
+	}
+	if us > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(us)
+}
+
+// queryAppendUntil runs one id-mode query leg: send, append the reply's ids
+// to dst, release the pooled reply.
+func (c *Client) queryAppendUntil(q *proto.QueryMsg, dst []uint32, deadline time.Time) ([]uint32, error) {
+	q.ID = c.id()
+	q.TimeoutMicros = c.microsUntil(deadline)
+	resp, err := c.exchange(q, deadline)
+	proto.ReleaseMessage(q)
+	c.wire.queries.Add(1)
+	if err != nil {
+		return dst, err
+	}
+	switch r := resp.(type) {
+	case *proto.IDListMsg:
+		dst = append(dst, r.IDs...)
+		proto.ReleaseMessage(r)
+		return dst, nil
+	case *proto.ErrorMsg:
+		return dst, r
+	}
+	return dst, fmt.Errorf("client: unexpected %v reply to query leg", resp.Type())
+}
+
+// RangeAppendUntil answers a window query leg in the given mode (ModeIDs or
+// ModeFilter), appending matching ids to dst, honoring deadline across the
+// whole retry loop.
+func (c *Client) RangeAppendUntil(dst []uint32, w geom.Rect, mode proto.Mode, deadline time.Time) ([]uint32, error) {
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Window = proto.KindRange, mode, w
+	return c.queryAppendUntil(q, dst, deadline)
+}
+
+// PointAppendUntil answers a point query leg (eps 0 = server default;
+// ModeFilter requests the unrefined candidate set).
+func (c *Client) PointAppendUntil(dst []uint32, pt geom.Point, eps float64, mode proto.Mode, deadline time.Time) ([]uint32, error) {
+	q := proto.AcquireQuery()
+	q.Kind, q.Mode, q.Point, q.Eps = proto.KindPoint, mode, pt, eps
+	return c.queryAppendUntil(q, dst, deadline)
+}
+
+// KNearestNeighborsAppendUntil answers one cross-server NN leg (MsgNNQuery):
+// k neighbors with exact distances, ascending, appended to dst. bound is the
+// router's running k-th-neighbor distance — a pruning hint the backend may
+// use to skip shards (+Inf or 0 disables it). The reply is copied into dst
+// and released, per the router's zero-alloc merge discipline.
+func (c *Client) KNearestNeighborsAppendUntil(dst []proto.Neighbor, pt geom.Point, k int, bound float64, deadline time.Time) ([]proto.Neighbor, error) {
+	if k > math.MaxUint16 {
+		return dst, fmt.Errorf("client: k=%d exceeds wire limit", k)
+	}
+	if math.IsInf(bound, 1) {
+		bound = 0 // the wire encodes "unbounded" as 0
+	}
+	q := proto.AcquireNNQuery()
+	q.ID = c.id()
+	q.Point, q.K, q.Bound = pt, uint16(k), bound
+	q.TimeoutMicros = c.microsUntil(deadline)
+	resp, err := c.exchange(q, deadline)
+	proto.ReleaseMessage(q)
+	c.wire.queries.Add(1)
+	if err != nil {
+		return dst, err
+	}
+	switch r := resp.(type) {
+	case *proto.NeighborsMsg:
+		dst = append(dst, r.Neighbors...)
+		proto.ReleaseMessage(r)
+		return dst, nil
+	case *proto.ErrorMsg:
+		return dst, r
+	}
+	return dst, fmt.Errorf("client: unexpected %v reply to nn leg", resp.Type())
+}
+
+// Summary fetches the backend's partition summary — the router's
+// registration handshake. The reply is caller-owned (summaries are not
+// pooled; registration is rare).
+func (c *Client) Summary() (*proto.SummaryMsg, error) {
+	resp, err := c.do(&proto.SummaryReqMsg{ID: c.id()})
+	if err != nil {
+		return nil, err
+	}
+	switch m := resp.(type) {
+	case *proto.SummaryMsg:
+		return m, nil
+	case *proto.ErrorMsg:
+		return nil, m
+	}
+	return nil, fmt.Errorf("client: unexpected %v reply to summary request", resp.Type())
+}

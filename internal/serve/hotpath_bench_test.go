@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"mobispatial/internal/geom"
 	"mobispatial/internal/proto"
@@ -35,7 +36,7 @@ func BenchmarkServeHotPath(b *testing.B) {
 		if rerr != nil {
 			b.Fatal(rerr)
 		}
-		resp := srv.execute(msg, sc)
+		resp := srv.execute(msg, sc, time.Time{})
 		if out, rerr = proto.AppendFrame(out[:0], resp); rerr != nil {
 			b.Fatal(rerr)
 		}

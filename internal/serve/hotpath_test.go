@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"mobispatial/internal/geom"
 	"mobispatial/internal/proto"
@@ -32,7 +33,7 @@ func TestExecuteQueryZeroAlloc(t *testing.T) {
 	sc := srv.getScratch()
 	if n := testing.AllocsPerRun(200, func() {
 		for _, q := range queries {
-			if _, ok := srv.executeQuery(q, sc).(*proto.ErrorMsg); ok {
+			if _, ok := srv.executeQuery(q, sc, time.Time{}).(*proto.ErrorMsg); ok {
 				t.Fatal("query failed")
 			}
 		}
@@ -59,7 +60,7 @@ func TestExecuteBatchZeroAlloc(t *testing.T) {
 	}
 	sc := srv.getScratch()
 	if n := testing.AllocsPerRun(100, func() {
-		if _, ok := srv.executeBatch(batch, sc).(*proto.ErrorMsg); ok {
+		if _, ok := srv.executeBatch(batch, sc, time.Time{}).(*proto.ErrorMsg); ok {
 			t.Fatal("batch failed")
 		}
 	}); n != 0 {
@@ -95,7 +96,7 @@ func TestServeHotPathLoopZeroAlloc(t *testing.T) {
 		if rerr != nil {
 			t.Fatal(rerr)
 		}
-		resp := srv.execute(msg, sc)
+		resp := srv.execute(msg, sc, time.Time{})
 		out, rerr = proto.AppendFrame(out[:0], resp)
 		if rerr != nil {
 			t.Fatal(rerr)

@@ -22,6 +22,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,34 @@ type Executor interface {
 	KNearestAppend(dst []rtree.Neighbor, pt geom.Point, k int, sc *parallel.Scratch) ([]rtree.Neighbor, bool)
 }
 
+// DeadlineExecutor is the optional fallible query surface a distributed
+// executor (internal/router) adds to Executor. Local pools never fail and
+// never block on a peer, so Executor's methods return no errors and take no
+// deadlines; a pool that fans out over the network can do both — a leg can
+// find no healthy replica, and the request deadline must cap the slowest
+// backend leg rather than being re-applied per hop. When the configured
+// Pool implements DeadlineExecutor the server threads each request's
+// deadline into these variants and maps returned errors onto wire codes
+// (via the ErrCode() method when the error carries one).
+type DeadlineExecutor interface {
+	FilterRangeAppendUntil(dst []uint32, w geom.Rect, deadline time.Time) ([]uint32, error)
+	FilterPointAppendUntil(dst []uint32, pt geom.Point, deadline time.Time) ([]uint32, error)
+	RangeAppendUntil(dst []uint32, w geom.Rect, deadline time.Time) ([]uint32, error)
+	PointAppendUntil(dst []uint32, pt geom.Point, eps float64, deadline time.Time) ([]uint32, error)
+	NearestUntil(pt geom.Point, sc *parallel.Scratch, deadline time.Time) (parallel.NearestResult, error)
+	KNearestAppendUntil(dst []rtree.Neighbor, pt geom.Point, k int, sc *parallel.Scratch, deadline time.Time) ([]rtree.Neighbor, error)
+}
+
+// BoundedNN is the optional bounded k-NN surface behind MsgNNQuery: the
+// distributed tier's cross-server NN leg carries the router's running
+// k-th-neighbor bound, and a pool that can prune with it (shard.Pool skips
+// whole shards) implements this. Pools without it still answer NN legs via
+// the unbounded path — the bound is an optimization, never a correctness
+// requirement.
+type BoundedNN interface {
+	KNearestBoundedAppend(dst []rtree.Neighbor, pt geom.Point, k int, bound float64, sc *parallel.Scratch) ([]rtree.Neighbor, bool)
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// Pool executes the queries; required. *parallel.Pool serves one
@@ -90,6 +119,13 @@ type Config struct {
 	// disables instrumentation (the snapshot then carries only the core
 	// counters).
 	Obs *obs.Hub
+	// Ranges declares the Hilbert key ranges this server holds, reported to
+	// routers via MsgSummaryReq. Empty means a monolithic deployment: the
+	// server reports one synthetic range covering the whole key space.
+	Ranges []proto.RangeInfo
+	// NumRanges is the cluster-wide total range count; required when Ranges
+	// is set (every backend of one cluster must report the same value).
+	NumRanges int
 
 	// testDelay, when set, stalls every query execution — tests use it to
 	// fill the admission window and overrun deadlines deterministically.
@@ -121,6 +157,9 @@ func (c *Config) fill() error {
 	if c.MaxShipmentBudget <= 0 {
 		c.MaxShipmentBudget = 64 << 20
 	}
+	if len(c.Ranges) > 0 && c.NumRanges <= 0 {
+		return fmt.Errorf("serve: Config.Ranges set without Config.NumRanges")
+	}
 	return nil
 }
 
@@ -149,6 +188,15 @@ type Stats struct {
 type Server struct {
 	cfg   Config
 	start time.Time
+	// dx and bnn are the optional executor surfaces, asserted once at New so
+	// the per-request path never repeats the type assertion. Either may be
+	// nil: dx enables deadline threading and fallible queries (the router),
+	// bnn enables bound-carrying NN legs (the sharded pool).
+	dx  DeadlineExecutor
+	bnn BoundedNN
+	// summary is the precomputed MsgSummaryReq reply (ID filled per request;
+	// Ranges shared read-only across replies).
+	summary proto.SummaryMsg
 	// sem holds one token per in-flight request.
 	sem chan struct{}
 
@@ -180,6 +228,7 @@ type reqScratch struct {
 	idMsg   proto.IDListMsg
 	dataMsg proto.DataListMsg
 	batch   proto.BatchReplyMsg
+	nbrMsg  proto.NeighborsMsg
 }
 
 // Retention caps for pooled scratch, mirroring internal/proto's: a scratch
@@ -194,7 +243,8 @@ func (s *Server) getScratch() *reqScratch {
 }
 
 func (s *Server) putScratch(sc *reqScratch) {
-	if cap(sc.ids) > maxScratchIDs || cap(sc.dataMsg.Records) > maxScratchRecords {
+	if cap(sc.ids) > maxScratchIDs || cap(sc.dataMsg.Records) > maxScratchRecords ||
+		cap(sc.nbrMsg.Neighbors) > maxScratchRecords {
 		return
 	}
 	items := sc.batch.Items[:cap(sc.batch.Items)]
@@ -227,6 +277,9 @@ type serveMetrics struct {
 	// without reaching into the Server.
 	conns, served, overloads, deadlines, errors, shipments *obs.Counter
 	batches, batchQueries                                  *obs.Counter
+	// nnLegHist covers MsgNNQuery legs, kept apart from execHist so the
+	// per-kind client-query histograms stay comparable across deployments.
+	nnLegHist *obs.Histogram
 }
 
 var kindNames = [3]string{"point", "range", "nn"}
@@ -257,6 +310,7 @@ func newServeMetrics(h *obs.Hub) serveMetrics {
 	m.batchQueries = h.Reg.Counter("serve_batch_queries_total")
 	m.writes = h.Reg.Counter("serve_writes_total")
 	m.writeFrames = h.Reg.Counter("serve_write_frames_total")
+	m.nnLegHist = h.Reg.Histogram("serve_nnleg_seconds")
 	return m
 }
 
@@ -272,8 +326,55 @@ func New(cfg Config) (*Server, error) {
 		conns:   make(map[net.Conn]struct{}),
 		metrics: newServeMetrics(cfg.Obs),
 	}
+	s.dx, _ = cfg.Pool.(DeadlineExecutor)
+	s.bnn, _ = cfg.Pool.(BoundedNN)
+	summary, err := buildSummary(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.summary = summary
 	s.scratch.New = func() any { return &reqScratch{} }
 	return s, nil
+}
+
+// buildSummary precomputes the MsgSummaryReq reply: the Hilbert key ranges
+// this server holds, its item count, and its data bounds. A server without
+// explicit ranges (a monolithic deployment) reports one synthetic range
+// covering the whole key space, so a router can register it like any
+// partitioned backend.
+func buildSummary(cfg *Config) (proto.SummaryMsg, error) {
+	var items uint64
+	if l, ok := cfg.Pool.(interface{ Len() int }); ok {
+		items = uint64(l.Len())
+	}
+	bounds := geom.EmptyRect()
+	if b, ok := cfg.Pool.(interface{ Bounds() geom.Rect }); ok {
+		bounds = b.Bounds()
+	}
+	ranges := cfg.Ranges
+	numRanges := uint32(cfg.NumRanges)
+	if len(ranges) == 0 && cfg.NumRanges <= 0 {
+		numRanges = 1
+		rangeItems := uint32(math.MaxUint32)
+		if items < math.MaxUint32 {
+			rangeItems = uint32(items)
+		}
+		ranges = []proto.RangeInfo{{Index: 0, Items: rangeItems, Lo: 0, Hi: math.MaxUint64, MBR: bounds}}
+	}
+	m := proto.SummaryMsg{NumRanges: numRanges, Items: items, Bounds: bounds, Ranges: ranges}
+	if err := m.Validate(); err != nil {
+		return proto.SummaryMsg{}, fmt.Errorf("serve: invalid range summary: %w", err)
+	}
+	return m, nil
+}
+
+// summaryReply builds one MsgSummary response: a shallow copy of the
+// precomputed summary with the request id filled in. The Ranges slice is
+// shared read-only across replies.
+func (s *Server) summaryReply(id uint32) *proto.SummaryMsg {
+	m := s.summary
+	m.ID = id
+	return &m
 }
 
 // Stats returns a snapshot of the server counters.
@@ -470,9 +571,15 @@ func (s *Server) serveConn(nc net.Conn) {
 			// Snapshots bypass admission too: observability must stay
 			// available when the server is saturated.
 			c.write(s.statsSnapshot(m.ID))
+		case *proto.SummaryReqMsg:
+			// Summaries bypass admission like stats: a router must be able
+			// to (re-)register against a saturated backend.
+			c.write(s.summaryReply(m.ID))
 		case *proto.QueryMsg:
 			c.dispatch(m, arrived, m.TimeoutMicros)
 		case *proto.BatchQueryMsg:
+			c.dispatch(m, arrived, m.TimeoutMicros)
+		case *proto.NNQueryMsg:
 			c.dispatch(m, arrived, m.TimeoutMicros)
 		case *proto.ShipmentReqMsg:
 			c.dispatch(m, arrived, m.TimeoutMicros)
@@ -535,7 +642,7 @@ func (c *conn) dispatch(req proto.Message, arrived time.Time, timeoutMicros uint
 		sp.Begin(obs.StageIndexWalk)
 		sc := s.getScratch()
 		execStart := time.Now()
-		resp := s.execute(req, sc)
+		resp, panicked := s.safeExecute(req, sc, deadline)
 		execSec := time.Since(execStart).Seconds()
 		s.observeExec(req, execSec)
 		if time.Now().After(deadline) {
@@ -560,7 +667,12 @@ func (c *conn) dispatch(req proto.Message, arrived time.Time, timeoutMicros uint
 		// response aliases can be pooled again immediately after.
 		c.write(resp)
 		s.metrics.writeHist.Observe(time.Since(writeStart).Seconds())
-		s.putScratch(sc)
+		if !panicked {
+			// A panicking execution may have left the scratch in an
+			// inconsistent state (e.g. a half-built pooled slice); drop it
+			// rather than recycle it.
+			s.putScratch(sc)
+		}
 		proto.ReleaseMessage(req)
 		sp.Finish()
 	}()
@@ -575,6 +687,8 @@ func reqKind(req proto.Message) string {
 		}
 	case *proto.BatchQueryMsg:
 		return "batch"
+	case *proto.NNQueryMsg:
+		return "nn-leg"
 	case *proto.ShipmentReqMsg:
 		return "shipment"
 	}
@@ -588,6 +702,8 @@ func (s *Server) observeExec(req proto.Message, sec float64) {
 	switch m := req.(type) {
 	case *proto.QueryMsg:
 		s.observeExecQuery(m, sec)
+	case *proto.NNQueryMsg:
+		s.metrics.nnLegHist.Observe(sec)
 	case *proto.ShipmentReqMsg:
 		s.metrics.shipHist.Observe(sec)
 	}
@@ -683,18 +799,53 @@ func (s *Server) statsSnapshot(id uint32) *proto.StatsMsg {
 	}})
 }
 
+// safeExecute runs execute with panic containment: a panicking query
+// answers CodeInternal instead of crashing the whole server, and reports
+// panicked=true so the caller drops (rather than recycles) the scratch the
+// panicking execution may have corrupted.
+func (s *Server) safeExecute(req proto.Message, sc *reqScratch, deadline time.Time) (resp proto.Message, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			resp = &proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeInternal,
+				Text: truncText(fmt.Sprintf("panic in query execution: %v", r))}
+		}
+	}()
+	return s.execute(req, sc, deadline), false
+}
+
+// truncText clamps s to the wire protocol's error-text limit.
+func truncText(s string) string {
+	if len(s) > proto.MaxErrorText {
+		return s[:proto.MaxErrorText]
+	}
+	return s
+}
+
+// errToCode maps an executor error onto a wire code: errors that carry one
+// (router errors) keep it, anything else is internal.
+func errToCode(err error) (proto.ErrCode, string) {
+	var ec interface{ ErrCode() proto.ErrCode }
+	if errors.As(err, &ec) {
+		return ec.ErrCode(), truncText(err.Error())
+	}
+	return proto.CodeInternal, truncText(err.Error())
+}
+
 // execute runs one admitted request and builds its response message. The
 // response may alias sc's buffers; it must be serialized (conn.write does
 // this before returning) before sc is reused.
-func (s *Server) execute(req proto.Message, sc *reqScratch) proto.Message {
+func (s *Server) execute(req proto.Message, sc *reqScratch, deadline time.Time) proto.Message {
 	if s.cfg.testDelay > 0 {
 		time.Sleep(s.cfg.testDelay)
 	}
 	switch m := req.(type) {
 	case *proto.QueryMsg:
-		return s.executeQuery(m, sc)
+		return s.executeQuery(m, sc, deadline)
 	case *proto.BatchQueryMsg:
-		return s.executeBatch(m, sc)
+		return s.executeBatch(m, sc, deadline)
+	case *proto.NNQueryMsg:
+		return s.executeNN(m, sc, deadline)
 	case *proto.ShipmentReqMsg:
 		return s.executeShipment(m)
 	}
@@ -703,11 +854,16 @@ func (s *Server) execute(req proto.Message, sc *reqScratch) proto.Message {
 
 // runQuery answers one query, appending the matching ids to dst. On error
 // it returns dst untouched plus the error code and text. This is the single
-// traversal entry both the single-query and batch paths share.
-func (s *Server) runQuery(q *proto.QueryMsg, sc *reqScratch, dst []uint32) ([]uint32, proto.ErrCode, string) {
+// traversal entry both the single-query and batch paths share. When the
+// pool is a DeadlineExecutor the request deadline is threaded into the
+// traversal so a fanned-out query caps its slowest leg.
+func (s *Server) runQuery(q *proto.QueryMsg, sc *reqScratch, dst []uint32, deadline time.Time) ([]uint32, proto.ErrCode, string) {
 	eps := q.Eps
 	if eps <= 0 {
 		eps = s.cfg.PointEps
+	}
+	if s.dx != nil {
+		return s.runQueryUntil(q, sc, dst, eps, deadline)
 	}
 	pool := s.cfg.Pool
 	switch q.Kind {
@@ -745,8 +901,103 @@ func (s *Server) runQuery(q *proto.QueryMsg, sc *reqScratch, dst []uint32) ([]ui
 	return dst, proto.CodeBadRequest, "unknown query kind"
 }
 
-func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch) proto.Message {
-	ids, code, text := s.runQuery(q, sc, sc.ids[:0])
+// runQueryUntil is runQuery over the DeadlineExecutor surface.
+func (s *Server) runQueryUntil(q *proto.QueryMsg, sc *reqScratch, dst []uint32, eps float64, deadline time.Time) ([]uint32, proto.ErrCode, string) {
+	var err error
+	switch q.Kind {
+	case proto.KindPoint:
+		if q.Mode == proto.ModeFilter {
+			dst, err = s.dx.FilterPointAppendUntil(dst, q.Point, deadline)
+		} else {
+			dst, err = s.dx.PointAppendUntil(dst, q.Point, eps, deadline)
+		}
+	case proto.KindRange:
+		if q.Mode == proto.ModeFilter {
+			dst, err = s.dx.FilterRangeAppendUntil(dst, q.Window, deadline)
+		} else {
+			dst, err = s.dx.RangeAppendUntil(dst, q.Window, deadline)
+		}
+	case proto.KindNN:
+		k := int(q.K)
+		if k > s.cfg.MaxKNN {
+			return dst, proto.CodeBadRequest, fmt.Sprintf("k=%d exceeds limit %d", k, s.cfg.MaxKNN)
+		}
+		if k > 1 {
+			var nbs []rtree.Neighbor
+			nbs, err = s.dx.KNearestAppendUntil(sc.nbs[:0], q.Point, k, &sc.psc, deadline)
+			sc.nbs = nbs
+			if err == nil {
+				for _, nb := range nbs {
+					dst = append(dst, nb.ID)
+				}
+			}
+		} else {
+			var nn parallel.NearestResult
+			nn, err = s.dx.NearestUntil(q.Point, &sc.psc, deadline)
+			if err == nil && nn.OK {
+				dst = append(dst, nn.ID)
+			}
+		}
+	default:
+		return dst, proto.CodeBadRequest, "unknown query kind"
+	}
+	if err != nil {
+		code, text := errToCode(err)
+		return dst, code, text
+	}
+	return dst, 0, ""
+}
+
+// executeNN answers one router NN leg (MsgNNQuery): a k-NN query carrying
+// the router's running k-th-neighbor bound, answered with exact distances.
+// Preference order: the bound-aware surface when the pool has one, the
+// deadline surface when the pool is distributed (the bound is only a hint,
+// dropping it never costs correctness), the plain unbounded path otherwise.
+func (s *Server) executeNN(m *proto.NNQueryMsg, sc *reqScratch, deadline time.Time) proto.Message {
+	k := int(m.K)
+	if k <= 0 {
+		k = 1
+	}
+	if k > s.cfg.MaxKNN {
+		return &proto.ErrorMsg{ID: m.ID, Code: proto.CodeBadRequest,
+			Text: fmt.Sprintf("k=%d exceeds limit %d", k, s.cfg.MaxKNN)}
+	}
+	bound := m.Bound
+	if bound <= 0 {
+		bound = math.Inf(1)
+	}
+	var (
+		nbs []rtree.Neighbor
+		ok  = true
+		err error
+	)
+	switch {
+	case s.bnn != nil:
+		nbs, ok = s.bnn.KNearestBoundedAppend(sc.nbs[:0], m.Point, k, bound, &sc.psc)
+	case s.dx != nil:
+		nbs, err = s.dx.KNearestAppendUntil(sc.nbs[:0], m.Point, k, &sc.psc, deadline)
+	default:
+		nbs, ok = s.cfg.Pool.KNearestAppend(sc.nbs[:0], m.Point, k, &sc.psc)
+	}
+	sc.nbs = nbs
+	if err != nil {
+		code, text := errToCode(err)
+		return &proto.ErrorMsg{ID: m.ID, Code: code, Text: text}
+	}
+	if !ok {
+		return &proto.ErrorMsg{ID: m.ID, Code: proto.CodeUnsupported,
+			Text: "access method does not support k-NN"}
+	}
+	out := sc.nbrMsg.Neighbors[:0]
+	for _, nb := range nbs {
+		out = append(out, proto.Neighbor{ID: nb.ID, Dist: nb.Dist})
+	}
+	sc.nbrMsg = proto.NeighborsMsg{ID: m.ID, Neighbors: out}
+	return &sc.nbrMsg
+}
+
+func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch, deadline time.Time) proto.Message {
+	ids, code, text := s.runQuery(q, sc, sc.ids[:0], deadline)
 	sc.ids = ids
 	if code != 0 {
 		return &proto.ErrorMsg{ID: q.ID, Code: code, Text: text}
@@ -768,7 +1019,7 @@ func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch) proto.Message {
 // slices are reused from the scratch's previous batch, so a warm batch of
 // already-seen shape allocates nothing. Per-item failures (e.g. an over-limit
 // k mid-batch) become per-item errors; the rest of the batch still answers.
-func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch) proto.Message {
+func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch, deadline time.Time) proto.Message {
 	items := sc.batch.Items[:0]
 	for i := range m.Queries {
 		if i < cap(items) {
@@ -782,7 +1033,7 @@ func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch) proto.Mess
 		q := &m.Queries[i]
 		start := time.Now()
 		if q.Mode == proto.ModeData {
-			ids, code, text := s.runQuery(q, sc, sc.ids[:0])
+			ids, code, text := s.runQuery(q, sc, sc.ids[:0], deadline)
 			sc.ids = ids
 			if code != 0 {
 				it.Err, it.Text = code, text
@@ -793,7 +1044,7 @@ func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch) proto.Mess
 				}
 			}
 		} else {
-			ids, code, text := s.runQuery(q, sc, it.IDs)
+			ids, code, text := s.runQuery(q, sc, it.IDs, deadline)
 			if code != 0 {
 				it.Err, it.Text = code, text
 			} else {

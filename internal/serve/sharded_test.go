@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"mobispatial/internal/geom"
 	"mobispatial/internal/ops"
@@ -94,7 +95,7 @@ func TestShardedExecuteQueryZeroAlloc(t *testing.T) {
 	sc := srv.getScratch()
 	if n := testing.AllocsPerRun(200, func() {
 		for _, q := range queries {
-			if _, ok := srv.executeQuery(q, sc).(*proto.ErrorMsg); ok {
+			if _, ok := srv.executeQuery(q, sc, time.Time{}).(*proto.ErrorMsg); ok {
 				t.Fatal("query failed")
 			}
 		}

@@ -20,16 +20,10 @@ import (
 // scheduling sharp: the shard containing the query point is almost always
 // visited first and its answer prunes the rest.
 
-// shardDist is one shard's lower bound during the best-first visit.
-type shardDist struct {
-	d  float64
-	si int32
-}
-
 // nnState is the pooled per-query NN scratch: the visit order buffer plus a
 // fallback parallel.Scratch for callers that passed none.
 type nnState struct {
-	order []shardDist
+	order []IndexDist
 	psc   parallel.Scratch
 }
 
@@ -37,20 +31,10 @@ func (p *Pool) getNNState() *nnState   { return p.nnStates.Get().(*nnState) }
 func (p *Pool) putNNState(ns *nnState) { p.nnStates.Put(ns) }
 
 // orderShards fills ns.order with every shard's MBR min-distance to pt,
-// ascending. Insertion sort: shard counts are small, it allocates nothing,
-// and it is deterministic on ties (stable in shard index order), so equal
-// runs always visit identically.
+// ascending, via the exported OrderByMinDist helper (partition.go) — the
+// same scheduling the router applies across servers.
 func (p *Pool) orderShards(ns *nnState, pt geom.Point) {
-	ns.order = ns.order[:0]
-	for i := range p.shards {
-		ns.order = append(ns.order, shardDist{d: p.shards[i].mbr.MinDist(pt), si: int32(i)})
-	}
-	or := ns.order
-	for i := 1; i < len(or); i++ {
-		for j := i; j > 0 && or[j].d < or[j-1].d; j-- {
-			or[j], or[j-1] = or[j-1], or[j]
-		}
-	}
+	ns.order = OrderByMinDist(ns.order[:0], p.mbrs, pt)
 }
 
 // nnArgs resolves the distance closure and traversal scratch for one NN
@@ -77,11 +61,11 @@ func (p *Pool) NearestWith(pt geom.Point, sc *parallel.Scratch) parallel.Nearest
 	var res parallel.NearestResult
 	visited := 0
 	for _, sd := range ns.order {
-		if res.OK && sd.d > res.Dist {
+		if res.OK && sd.Dist > res.Dist {
 			break
 		}
 		visited++
-		if id, d, ok := p.shards[sd.si].tree.NearestWithin(pt, nnBound(res), df, ops.Null{}, nnsc); ok {
+		if id, d, ok := p.shards[sd.Index].tree.NearestWithin(pt, nnBound(res), df, ops.Null{}, nnsc); ok {
 			res = parallel.NearestResult{ID: id, Dist: d, OK: true}
 		}
 	}
@@ -109,8 +93,23 @@ func (p *Pool) KNearest(pt geom.Point, k int) ([]rtree.Neighbor, bool) {
 // "access method supports k-NN" result and is always true here: every
 // shard is a packed R-tree.
 func (p *Pool) KNearestAppend(dst []rtree.Neighbor, pt geom.Point, k int, sc *parallel.Scratch) ([]rtree.Neighbor, bool) {
+	return p.KNearestBoundedAppend(dst, pt, k, math.Inf(1), sc)
+}
+
+// KNearestBoundedAppend is KNearestAppend seeded with an external pruning
+// bound — the distributed tier's NN leg: the router carries the running
+// k-th-neighbor distance from earlier servers into this one, so shards that
+// cannot beat what other servers already found are pruned without a visit.
+// The bound is a hint, not a filter: the answer may include neighbors
+// farther than bound (the caller's merge discards them), but it always
+// includes every indexed neighbor closer than bound, up to k. +Inf (or any
+// non-positive bound) disables the extra pruning.
+func (p *Pool) KNearestBoundedAppend(dst []rtree.Neighbor, pt geom.Point, k int, bound float64, sc *parallel.Scratch) ([]rtree.Neighbor, bool) {
 	if k <= 0 {
 		return dst, true
+	}
+	if bound <= 0 {
+		bound = math.Inf(1)
 	}
 	ns := p.getNNState()
 	df, nnsc := p.nnArgs(ns, pt, sc)
@@ -121,12 +120,17 @@ func (p *Pool) KNearestAppend(dst []rtree.Neighbor, pt geom.Point, k int, sc *pa
 	for _, sd := range ns.order {
 		// The prune: once k neighbors are known, a shard whose MBR
 		// min-distance exceeds the current k-th best cannot contribute, and
-		// neither can any later shard (the order is ascending).
-		if sd.d > nnsc.KNNBound(k) {
+		// neither can any later shard (the order is ascending). The external
+		// bound prunes the same way from the first shard on.
+		b := nnsc.KNNBound(k)
+		if bound < b {
+			b = bound
+		}
+		if sd.Dist > b {
 			break
 		}
 		visited++
-		p.shards[sd.si].tree.KNearestCollect(pt, k, df, ops.Null{}, nnsc)
+		p.shards[sd.Index].tree.KNearestCollect(pt, k, df, ops.Null{}, nnsc)
 	}
 	p.observeNN(visited, len(ns.order)-visited)
 	dst = nnsc.DrainKNNAppend(dst)

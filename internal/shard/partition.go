@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/hilbert"
+	"mobispatial/internal/rtree"
+)
+
+// This file exports the pieces of the sharding scheme the distributed tier
+// reuses at cluster scope: the Hilbert-order partitioner (so every process
+// derives the same contiguous key ranges from the same deterministic
+// dataset, with no coordination) and the MINDIST visit-ordering helper the
+// cross-shard NN loop schedules with (so the router's cross-*server* NN
+// visit is the same algorithm one level up).
+
+// Range is one contiguous Hilbert run of a partitioned item set — the unit
+// of assignment in the distributed tier's shard→server table.
+type Range struct {
+	// Index is the range's position in the cluster-wide assignment.
+	Index int
+	// Lo and Hi are the inclusive Hilbert keys of the range's first and
+	// last item under the partitioning quantizer.
+	Lo, Hi uint64
+	// Items is the range's item run — a subslice of the partitioned slice.
+	Items []rtree.Item
+	// MBR bounds the range's items.
+	MBR geom.Rect
+}
+
+// PartitionHilbert sorts items in place by the Hilbert value of their MBR
+// centroid (the same linearization shard.New and the packed R-tree bulk
+// loader use) and cuts the order into n contiguous, near-equal runs. The
+// cut formula matches shard.New's, so every process partitioning the same
+// item slice — mqserve backends and the router's equivalence tests build
+// from the same deterministic dataset — derives bit-identical ranges.
+// order 0 means the default Hilbert order. n is clamped to the item count;
+// an empty input yields no ranges.
+func PartitionHilbert(items []rtree.Item, n int, order uint) ([]Range, geom.Rect) {
+	bounds := geom.EmptyRect()
+	for _, it := range items {
+		bounds = bounds.Union(it.MBR)
+	}
+	if n > len(items) {
+		n = len(items)
+	}
+	if n <= 0 || len(items) == 0 {
+		return nil, bounds
+	}
+	if order == 0 {
+		order = hilbert.Order
+	}
+	q := hilbert.NewQuantizer(order, bounds.Min.X, bounds.Min.Y, bounds.Max.X, bounds.Max.Y)
+	keys := make([]uint64, len(items))
+	for i, it := range items {
+		c := it.MBR.Center()
+		keys[i] = q.Value(c.X, c.Y)
+	}
+	sort.Sort(&byKey{items: items, keys: keys})
+
+	ranges := make([]Range, 0, n)
+	chunk := (len(items) + n - 1) / n
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		mbr := geom.EmptyRect()
+		for _, it := range items[lo:hi] {
+			mbr = mbr.Union(it.MBR)
+		}
+		ranges = append(ranges, Range{
+			Index: len(ranges),
+			Lo:    keys[lo],
+			Hi:    keys[hi-1],
+			Items: items[lo:hi],
+			MBR:   mbr,
+		})
+	}
+	return ranges, bounds
+}
+
+// ReplicaRanges returns the range indices backend holds in an N-range
+// cluster with R-way replication under the rotation placement: range r
+// lives on backends r, r+1, …, r+R-1 (mod N), so backend b holds ranges
+// b, b-1, …, b-R+1 (mod N) — its primary first. R is clamped to [1, N].
+func ReplicaRanges(backend, nRanges, replicas int) ([]int, error) {
+	if nRanges <= 0 {
+		return nil, fmt.Errorf("shard: %d ranges", nRanges)
+	}
+	if backend < 0 || backend >= nRanges {
+		return nil, fmt.Errorf("shard: backend %d outside [0, %d)", backend, nRanges)
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > nRanges {
+		replicas = nRanges
+	}
+	out := make([]int, 0, replicas)
+	for j := 0; j < replicas; j++ {
+		out = append(out, ((backend-j)%nRanges+nRanges)%nRanges)
+	}
+	return out, nil
+}
+
+// IndexDist is one candidate in a best-first MINDIST visit: the lower bound
+// Dist of candidate Index.
+type IndexDist struct {
+	Dist  float64
+	Index int32
+}
+
+// OrderByMinDist appends one entry per rect — its MBR min-distance to pt —
+// to dst and returns it sorted ascending by distance. Insertion sort:
+// candidate counts (shards within a pool, servers within a cluster) are
+// small, it allocates nothing, and it is deterministic on ties (stable in
+// index order), so equal runs always visit identically. This ordering plus
+// the running k-th-neighbor bound is the whole cross-shard NN schedule; the
+// router applies it unchanged across servers.
+func OrderByMinDist(dst []IndexDist, rects []geom.Rect, pt geom.Point) []IndexDist {
+	for i := range rects {
+		dst = append(dst, IndexDist{Dist: rects[i].MinDist(pt), Index: int32(i)})
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].Dist < dst[j-1].Dist; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
+}

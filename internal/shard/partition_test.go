@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/rtree"
+)
+
+// TestPartitionHilbertCoversExactly checks the partition is a partition:
+// every item lands in exactly one range, ranges are contiguous and ordered
+// by Hilbert key, and the per-range MBRs contain their items.
+func TestPartitionHilbertCoversExactly(t *testing.T) {
+	ds := dataset.PA()
+	items := ds.Items()
+	const n = 7
+	ranges, bounds := PartitionHilbert(items, n, 0)
+	if len(ranges) != n {
+		t.Fatalf("got %d ranges, want %d", len(ranges), n)
+	}
+	if bounds.IsEmpty() {
+		t.Fatal("empty bounds for a non-empty dataset")
+	}
+	seen := make(map[uint32]int)
+	total := 0
+	var prevHi uint64
+	for i, r := range ranges {
+		if r.Index != i {
+			t.Fatalf("range %d has index %d", i, r.Index)
+		}
+		if len(r.Items) == 0 {
+			t.Fatalf("range %d is empty", i)
+		}
+		if r.Lo > r.Hi {
+			t.Fatalf("range %d inverted keys [%d, %d]", i, r.Lo, r.Hi)
+		}
+		if i > 0 && r.Lo < prevHi {
+			t.Fatalf("range %d lo %d < previous hi %d", i, r.Lo, prevHi)
+		}
+		prevHi = r.Hi
+		for _, it := range r.Items {
+			if prev, dup := seen[it.ID]; dup {
+				t.Fatalf("item %d in ranges %d and %d", it.ID, prev, i)
+			}
+			seen[it.ID] = i
+			if !r.MBR.ContainsRect(it.MBR) {
+				t.Fatalf("range %d MBR %v misses item %d MBR %v", i, r.MBR, it.ID, it.MBR)
+			}
+		}
+		total += len(r.Items)
+	}
+	if total != len(items) {
+		t.Fatalf("partition covers %d of %d items", total, len(items))
+	}
+}
+
+// TestPartitionHilbertDeterministic pins the cross-process contract: two
+// independent partitions of the same dataset produce identical ranges.
+func TestPartitionHilbertDeterministic(t *testing.T) {
+	ds := dataset.PA()
+	a, _ := PartitionHilbert(ds.Items(), 5, 0)
+	b, _ := PartitionHilbert(ds.Items(), 5, 0)
+	for i := range a {
+		if a[i].Lo != b[i].Lo || a[i].Hi != b[i].Hi || len(a[i].Items) != len(b[i].Items) || a[i].MBR != b[i].MBR {
+			t.Fatalf("range %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].Items {
+			if a[i].Items[j].ID != b[i].Items[j].ID {
+				t.Fatalf("range %d item %d differs: %d vs %d", i, j, a[i].Items[j].ID, b[i].Items[j].ID)
+			}
+		}
+	}
+}
+
+// TestReplicaRangesPlacement checks the rotation placement's two views
+// agree: backend b holds range r iff r's replica set contains b.
+func TestReplicaRangesPlacement(t *testing.T) {
+	const n, r = 5, 2
+	holds := make([][]int, n)
+	for b := 0; b < n; b++ {
+		rs, err := ReplicaRanges(b, n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != r {
+			t.Fatalf("backend %d holds %d ranges, want %d", b, len(rs), r)
+		}
+		if rs[0] != b {
+			t.Fatalf("backend %d primary is %d", b, rs[0])
+		}
+		holds[b] = rs
+	}
+	// Every range must appear on exactly r backends: b and b+1 mod n.
+	for rg := 0; rg < n; rg++ {
+		count := 0
+		for b := 0; b < n; b++ {
+			for _, h := range holds[b] {
+				if h == rg {
+					count++
+					if b != rg && b != (rg+1)%n {
+						t.Fatalf("range %d on unexpected backend %d", rg, b)
+					}
+				}
+			}
+		}
+		if count != r {
+			t.Fatalf("range %d on %d backends, want %d", rg, count, r)
+		}
+	}
+	if _, err := ReplicaRanges(7, 5, 2); err == nil {
+		t.Fatal("accepted backend index past range count")
+	}
+}
+
+// TestOrderByMinDist checks the exported visit ordering: ascending by
+// MINDIST, stable on ties.
+func TestOrderByMinDist(t *testing.T) {
+	rects := []geom.Rect{
+		{Min: geom.Point{X: 10, Y: 0}, Max: geom.Point{X: 20, Y: 10}},  // dist 10
+		{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 5, Y: 5}},     // dist 0
+		{Min: geom.Point{X: -20, Y: 0}, Max: geom.Point{X: -10, Y: 5}}, // dist 10 (tie)
+	}
+	got := OrderByMinDist(nil, rects, geom.Point{X: 0, Y: 0})
+	want := []int32{1, 0, 2} // tie between 0 and 2 keeps index order
+	for i, sd := range got {
+		if sd.Index != want[i] {
+			t.Fatalf("position %d: got index %d want %d (order %+v)", i, sd.Index, want[i], got)
+		}
+	}
+	if got[0].Dist != 0 || got[1].Dist != 10 || got[2].Dist != 10 {
+		t.Fatalf("distances wrong: %+v", got)
+	}
+}
+
+// TestKNearestBoundedAppend checks the external bound never costs recall:
+// with any bound at least the true k-th distance, the bounded answer equals
+// the unbounded one; with bound +Inf they are identical by construction.
+func TestKNearestBoundedAppend(t *testing.T) {
+	ds := dataset.PA()
+	p, err := New(ds, Config{Shards: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	b := ds.Items()
+	_ = b
+	bounds := p.Bounds()
+	for trial := 0; trial < 50; trial++ {
+		pt := geom.Point{
+			X: bounds.Min.X + rng.Float64()*bounds.Width(),
+			Y: bounds.Min.Y + rng.Float64()*bounds.Height(),
+		}
+		k := 1 + rng.Intn(8)
+		want, _ := p.KNearestAppend(nil, pt, k, nil)
+		got, _ := p.KNearestBoundedAppend(nil, pt, k, math.Inf(1), nil)
+		if !neighborsEqual(want, got) {
+			t.Fatalf("bound=+Inf differs: want %v got %v", want, got)
+		}
+		if len(want) == 0 {
+			continue
+		}
+		kth := want[len(want)-1].Dist
+		got, _ = p.KNearestBoundedAppend(nil, pt, k, kth+1e-9, nil)
+		// A finite bound >= the k-th distance must preserve every true
+		// neighbor at distance < bound (farther entries may legally appear
+		// or not — the bound is a hint). Check the prefix below the bound.
+		for i, nb := range want {
+			if nb.Dist >= kth {
+				break
+			}
+			if i >= len(got) || got[i].ID != nb.ID || got[i].Dist != nb.Dist {
+				t.Fatalf("bounded answer lost neighbor %v: got %v want %v", nb, got, want)
+			}
+		}
+	}
+}
+
+func neighborsEqual(a, b []rtree.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

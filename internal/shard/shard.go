@@ -66,6 +66,12 @@ type Config struct {
 	// Obs receives the shard metrics (fan-out and pruning histograms,
 	// scatter/inline counters, shard_count gauge); nil disables them.
 	Obs *obs.Registry
+	// Items, when non-nil, is the item subset to index instead of the full
+	// ds.Items() — how a partitioned backend (cmd/mqserve -partition)
+	// builds its pool over only the Hilbert ranges it holds. Every item id
+	// must be valid in ds (ids stay cluster-global so record lookups and NN
+	// refinement work unchanged on a subset). The slice is sorted in place.
+	Items []rtree.Item
 }
 
 // shardT is one spatial partition: a packed R-tree over a contiguous
@@ -81,8 +87,11 @@ type shardT struct {
 // (re-entrant scatter would deadlock the lanes, and is therefore forbidden
 // by construction — nothing inside this package queries the pool).
 type Pool struct {
-	ds      *dataset.Dataset
-	shards  []shardT
+	ds     *dataset.Dataset
+	shards []shardT
+	// mbrs mirrors the per-shard MBR summaries as a flat slice for the
+	// exported MINDIST ordering helper (partition.go).
+	mbrs    []geom.Rect
 	bounds  geom.Rect
 	workers int
 
@@ -118,7 +127,10 @@ func New(ds *dataset.Dataset, cfg Config) (*Pool, error) {
 		cfg.Workers = maxWorkers
 	}
 
-	items := ds.Items()
+	items := cfg.Items
+	if items == nil {
+		items = ds.Items()
+	}
 	nShards := cfg.Shards
 	if nShards > len(items) {
 		nShards = len(items)
@@ -153,6 +165,7 @@ func New(ds *dataset.Dataset, cfg Config) (*Pool, error) {
 				return nil, fmt.Errorf("shard %d: %w", len(p.shards), err)
 			}
 			p.shards = append(p.shards, shardT{tree: tree, mbr: tree.Bounds()})
+			p.mbrs = append(p.mbrs, tree.Bounds())
 		}
 	}
 
@@ -164,7 +177,7 @@ func New(ds *dataset.Dataset, cfg Config) (*Pool, error) {
 		}
 	}
 	p.nnStates.New = func() any {
-		return &nnState{order: make([]shardDist, 0, nS)}
+		return &nnState{order: make([]IndexDist, 0, nS)}
 	}
 
 	p.work = make([]chan *gather, p.workers)

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — multi-process distributed-tier smoke: 3 partitioned
+# mqserve backends (R=2 rotation placement) + the mqrouter coordinator, with
+# a faultlink-scripted total outage of backend 2 in the middle of a
+# closed-loop mqload run through the router.
+#
+# Passes when the run completes with 0 client-visible errors, the breaker-
+# driven failover is visible in the router counters (failovers > 0), and no
+# query was unroutable. Build flags come from $RACE (default -race), so CI
+# exercises the whole fan-out path under the race detector.
+#
+# The outage window is relative to the backend's *listen* time (mqserve
+# builds its dataset and index before arming the injector), so the schedule
+# below holds regardless of how slow the -race build of the index is.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# RACE may be set empty for a quick non-race run; unset means -race.
+RACE=${RACE--race}
+CONNS=${CONNS:-32}
+DURATION=${DURATION:-30s}
+OUTAGE=${OUTAGE:-10s+8s}
+
+BIN=$(mktemp -d)
+LOG=$(mktemp -d)
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+  echo "logs in $LOG"
+}
+trap cleanup EXIT
+
+echo "== build ($RACE)"
+go build $RACE -o "$BIN" ./cmd/mqserve ./cmd/mqrouter ./cmd/mqload
+
+P0=7081 P1=7082 P2=7083 RP=7171
+
+echo "== start 3 backends (R=2; backend 2 scheduled outage $OUTAGE after listen)"
+"$BIN/mqserve" -addr 127.0.0.1:$P0 -partition 0/3 -replicas 2 >"$LOG/be0.log" 2>&1 &
+"$BIN/mqserve" -addr 127.0.0.1:$P1 -partition 1/3 -replicas 2 >"$LOG/be1.log" 2>&1 &
+"$BIN/mqserve" -addr 127.0.0.1:$P2 -partition 2/3 -replicas 2 -fault "outage=$OUTAGE" >"$LOG/be2.log" 2>&1 &
+
+wait_for() { # wait_for <logfile> <what>
+  for _ in $(seq 1 180); do
+    grep -q "listening" "$1" 2>/dev/null && return 0
+    sleep 1
+  done
+  echo "FAIL: $2 did not start"; cat "$1" 2>/dev/null; exit 1
+}
+wait_for "$LOG/be0.log" "backend 0"
+wait_for "$LOG/be1.log" "backend 1"
+wait_for "$LOG/be2.log" "backend 2"
+
+echo "== start router"
+"$BIN/mqrouter" -addr 127.0.0.1:$RP \
+  -backends 127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2 >"$LOG/router.log" 2>&1 &
+wait_for "$LOG/router.log" "router"
+
+echo "== mqload through the router ($CONNS workers, $DURATION, outage mid-run)"
+"$BIN/mqload" -addr 127.0.0.1:$RP -conns "$CONNS" -duration "$DURATION" \
+  -warmup 1s -router | tee "$LOG/load.log"
+
+queries=$(awk '$1 == "queries" {print $2; exit}' "$LOG/load.log")
+errors=$(awk '$1 == "errors" {print $2; exit}' "$LOG/load.log")
+failovers=$(sed -n 's/.* \([0-9]*\) failovers.*/\1/p' "$LOG/load.log" | head -1)
+unroutable=$(sed -n 's/.* \([0-9]*\) unroutable.*/\1/p' "$LOG/load.log" | head -1)
+
+echo "== verdict: queries=$queries errors=$errors failovers=$failovers unroutable=$unroutable"
+fail=0
+[ -n "$queries" ] && [ "$queries" -gt 0 ] || { echo "FAIL: no queries completed"; fail=1; }
+[ "$errors" = "0" ] || { echo "FAIL: $errors client-visible errors (want 0: R=2 must cover the outage)"; fail=1; }
+[ -n "$failovers" ] && [ "$failovers" -gt 0 ] || { echo "FAIL: no failovers recorded — the outage never hit the run"; fail=1; }
+[ "$unroutable" = "0" ] || { echo "FAIL: $unroutable queries unroutable"; fail=1; }
+if [ "$fail" -ne 0 ]; then
+  echo "-- backend 2 log tail --"; tail -5 "$LOG/be2.log"
+  echo "-- router log tail --"; tail -5 "$LOG/router.log"
+  exit 1
+fi
+echo "PASS: outage covered by replicas with zero client-visible errors"
