@@ -37,6 +37,19 @@
 //	-router      the target is an mqrouter coordinator: append its fan-out,
 //	             failover, and per-backend leg report (the workload itself
 //	             is unchanged — the router speaks the same protocol)
+//	-moving      moving-objects workload: vehicles drive shortest-path
+//	             routes on the road network derived from the dataset,
+//	             each step a MsgMove write, interleaved with reads near
+//	             the vehicle (requires a server started with -mutable;
+//	             incompatible with -planner and -batch)
+//	-vehicles    moving mode: vehicle count (default 64)
+//	-readfrac    moving mode: mean reads issued per move (default 1.0)
+//
+// In moving mode the report splits writes from reads — write qps and
+// latency, read latency, ack'd ownership — and adds the staleness evidence:
+// how many writes fold into each epoch swap (from the acks' epoch
+// progression) plus the server's own mutable_* gauges when -serverstats is
+// set.
 //
 // Output: total queries, QPS, mean and p50/p95/p99 latency from a merged
 // streaming histogram (internal/stats), plus error and retry counts, and a
@@ -140,8 +153,14 @@ func run(args []string) error {
 	fallback := fs.Bool("fallback", false, "arm the breaker and answer queries locally when the link fails")
 	serverStats := fs.Bool("serverstats", false, "print the server's metrics snapshot at the end")
 	routerMode := fs.Bool("router", false, "target is an mqrouter: print its fan-out/failover report at the end")
+	moving := fs.Bool("moving", false, "moving-objects workload against a -mutable server")
+	vehicles := fs.Int("vehicles", 64, "moving mode: vehicle count")
+	readFrac := fs.Float64("readfrac", 1.0, "moving mode: mean reads per move")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *moving && (*planner || *batch > 1) {
+		return fmt.Errorf("-moving is incompatible with -planner and -batch")
 	}
 
 	var extent geom.Rect
@@ -218,6 +237,22 @@ func run(args []string) error {
 		// A faulted or fallback-armed run tolerates an unreachable server —
 		// demonstrating that is the point.
 		fmt.Printf("mqload: probe failed (%v) — continuing degraded\n", err)
+	}
+
+	if *moving {
+		return runMoving(c, movingOpts{
+			dsName:      *dsName,
+			conns:       *conns,
+			vehicles:    *vehicles,
+			duration:    *duration,
+			warmup:      *warmup,
+			rangeW:      *rangeW,
+			seed:        *seed,
+			readFrac:    *readFrac,
+			qmix:        qmix,
+			serverStats: *serverStats,
+			routerMode:  *routerMode,
+		})
 	}
 
 	// Planner mode: ship a sub-index around the map center, then confine the

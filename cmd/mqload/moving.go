@@ -1,0 +1,320 @@
+// moving.go is the moving-objects workload: vehicles drive shortest-path
+// routes on the road network derived from the deterministic dataset, every
+// step a MsgMove write of the vehicle's fresh geometry, interleaved with
+// range/point/NN reads near the vehicle — the paper's mobile client doing
+// both halves of the work at once. The server must run an updatable pool
+// (mqserve -mutable, or an mqrouter over mutable backends).
+//
+// Staleness is measured from the acks themselves: each ack carries the
+// owning shard's base epoch, so a vehicle whose consecutive moves ack at the
+// same epoch is watching its writes pile up in the overlay; the epoch bump
+// rate is writes-folded-per-compaction as the client observes it.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/roadnet"
+	"mobispatial/internal/serve/client"
+	"mobispatial/internal/stats"
+)
+
+type movingOpts struct {
+	dsName      string
+	conns       int
+	vehicles    int
+	duration    time.Duration
+	warmup      time.Duration
+	rangeW      float64
+	seed        int64
+	readFrac    float64
+	qmix        mix
+	serverStats bool
+	routerMode  bool
+}
+
+// vehicle is one moving object: its wire id (above the base dataset, so it
+// never collides with a static segment), the road node it is heading to, and
+// the remaining segment ids of its current route.
+type vehicle struct {
+	id        uint32
+	node      int32
+	route     []uint32
+	lastEpoch uint64
+	acked     bool
+}
+
+// advance steps the vehicle one road segment, routing to a fresh random
+// destination in the connected component whenever the current route runs
+// out, and returns the segment geometry the vehicle now occupies.
+func (v *vehicle) advance(g *roadnet.Graph, comp []int32, ds *dataset.Dataset, rng *rand.Rand) geom.Segment {
+	for len(v.route) == 0 {
+		dst := comp[rng.Intn(len(comp))]
+		if dst == v.node {
+			continue
+		}
+		rt, ok := g.RouteBetweenNodes(v.node, dst, ops.Null{})
+		if !ok || len(rt.SegIDs) == 0 {
+			continue
+		}
+		v.route = rt.SegIDs
+		v.node = dst
+	}
+	segID := v.route[0]
+	v.route = v.route[1:]
+	return ds.Seg(segID)
+}
+
+func runMoving(c *client.Client, o movingOpts) error {
+	var ds *dataset.Dataset
+	if o.dsName == "pa" {
+		ds = dataset.PA()
+	} else {
+		ds = dataset.NYC()
+	}
+	g, err := roadnet.Build(ds, 50, ops.Null{})
+	if err != nil {
+		return fmt.Errorf("road network: %w", err)
+	}
+	comp := g.LargestComponentNodes()
+	if len(comp) < 2 {
+		return fmt.Errorf("road network has no routable component")
+	}
+	fmt.Printf("mqload: moving-objects workload, %d vehicles on %d nodes / %d edges (component %d)\n",
+		o.vehicles, g.Nodes(), g.Edges(), len(comp))
+
+	// Place every vehicle: one step along a route, then an insert. The
+	// first write proves the server is updatable before the clock starts.
+	rng := rand.New(rand.NewSource(o.seed))
+	vehs := make([]*vehicle, o.vehicles)
+	for i := range vehs {
+		v := &vehicle{id: uint32(ds.Len() + i), node: comp[rng.Intn(len(comp))]}
+		seg := v.advance(g, comp, ds, rng)
+		ack, err := c.Insert(v.id, seg)
+		if err != nil {
+			return fmt.Errorf("placing vehicle %d (is the server running -mutable?): %w", v.id, err)
+		}
+		v.lastEpoch, v.acked = ack.Epoch, true
+		vehs[i] = v
+	}
+
+	var (
+		measuring  atomic.Bool
+		stop       atomic.Bool
+		writeErrs  atomic.Uint64
+		readErrs   atomic.Uint64
+		notOwned   atomic.Uint64
+		epochBumps atomic.Uint64
+		wg         sync.WaitGroup
+	)
+	writeHists := make([]*stats.Histogram, o.conns)
+	readHists := make([]*stats.Histogram, o.conns)
+	for w := 0; w < o.conns; w++ {
+		writeHists[w] = stats.NewLatencyHistogram()
+		readHists[w] = stats.NewLatencyHistogram()
+		// Worker w drives vehicles w, w+conns, w+2*conns, ...
+		var mine []*vehicle
+		for i := w; i < len(vehs); i += o.conns {
+			mine = append(mine, vehs[i])
+		}
+		wg.Add(1)
+		go func(w int, mine []*vehicle) {
+			defer wg.Done()
+			if len(mine) == 0 {
+				return
+			}
+			wrng := rand.New(rand.NewSource(o.seed + 1000 + int64(w)))
+			wh, rh := writeHists[w], readHists[w]
+			for k := 0; !stop.Load(); k++ {
+				v := mine[k%len(mine)]
+				seg := v.advance(g, comp, ds, wrng)
+				start := time.Now()
+				ack, err := c.Move(v.id, seg)
+				elapsed := time.Since(start)
+				if measuring.Load() {
+					if err != nil {
+						writeErrs.Add(1)
+					} else {
+						wh.Record(elapsed.Seconds())
+						if !ack.Owned {
+							notOwned.Add(1)
+						}
+						if v.acked && ack.Epoch > v.lastEpoch {
+							epochBumps.Add(1)
+						}
+					}
+				}
+				if err == nil {
+					v.lastEpoch, v.acked = ack.Epoch, true
+				}
+
+				if wrng.Float64() >= o.readFrac {
+					continue
+				}
+				pt := seg.MBR().Center()
+				var rerr error
+				start = time.Now()
+				switch o.qmix.pick(wrng) {
+				case "point":
+					_, rerr = c.PointIDs(pt, 0)
+				case "range":
+					_, rerr = c.RangeIDs(geom.Rect{
+						Min: geom.Point{X: pt.X - o.rangeW, Y: pt.Y - o.rangeW},
+						Max: geom.Point{X: pt.X + o.rangeW, Y: pt.Y + o.rangeW},
+					})
+				case "nn":
+					_, rerr = c.Nearest(pt)
+				}
+				elapsed = time.Since(start)
+				if measuring.Load() {
+					if rerr != nil {
+						readErrs.Add(1)
+					} else {
+						rh.Record(elapsed.Seconds())
+					}
+				}
+			}
+		}(w, mine)
+	}
+
+	time.Sleep(o.warmup)
+	var pre obs.Snapshot
+	if o.serverStats || o.routerMode {
+		if msg, err := c.StatsSnapshot(); err == nil {
+			pre = obs.SnapshotFromMsg(msg)
+		}
+	}
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(o.duration)
+	measuring.Store(false)
+	measured := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	writes := stats.NewLatencyHistogram()
+	reads := stats.NewLatencyHistogram()
+	for w := 0; w < o.conns; w++ {
+		if err := writes.Merge(writeHists[w]); err != nil {
+			return err
+		}
+		if err := reads.Merge(readHists[w]); err != nil {
+			return err
+		}
+	}
+
+	link := c.Link()
+	fmt.Printf("mqload: %d workers, %v measured\n", o.conns, measured.Round(time.Millisecond))
+	fmt.Printf("  writes    %d moves (%.0f qps), latency mean %s  p50 %s  p95 %s  p99 %s\n",
+		writes.Count(), float64(writes.Count())/measured.Seconds(),
+		ms(writes.Mean()), ms(writes.P(0.50)), ms(writes.P(0.95)), ms(writes.P(0.99)))
+	fmt.Printf("  reads     %d (%.0f qps), latency mean %s  p50 %s  p95 %s  p99 %s\n",
+		reads.Count(), float64(reads.Count())/measured.Seconds(),
+		ms(reads.Mean()), ms(reads.P(0.50)), ms(reads.P(0.95)), ms(reads.P(0.99)))
+	fmt.Printf("  errors    %d write, %d read, %d retries; %d acks not-owned\n",
+		writeErrs.Load(), readErrs.Load(), c.Retries(), notOwned.Load())
+	if bumps := epochBumps.Load(); bumps > 0 {
+		fmt.Printf("  staleness %d epoch swaps observed in acks — a write waits ~%.0f writes in the overlay before folding into the packed base\n",
+			bumps, float64(writes.Count())/float64(bumps))
+	} else {
+		fmt.Printf("  staleness no epoch swaps observed in acks (compactor idle or disabled)\n")
+	}
+	fmt.Printf("  link      rtt %v, bandwidth %s\n", link.RTT.Round(time.Microsecond), mbps(link.BandwidthBps))
+	printWireReport(c.WireStats(), link.BandwidthBps, 1)
+
+	if o.serverStats || o.routerMode {
+		msg, err := c.StatsSnapshot()
+		if err != nil {
+			return fmt.Errorf("server stats: %w", err)
+		}
+		snap := obs.SnapshotFromMsg(msg)
+		if o.routerMode {
+			printRouterReport(pre, snap)
+			printRouterWriteReport(pre, snap)
+		}
+		if o.serverStats {
+			printMutableReport(pre, snap)
+			printServerStats(snap, msg.UptimeMicros)
+		}
+	}
+	return nil
+}
+
+// printMutableReport summarizes the server's update subsystem over this run:
+// write volume by kind, compactions, and the per-shard epoch/pending/
+// staleness gauges aggregated to their extremes. Degrades to a notice when
+// the snapshot has no mutable_* metrics (server not started with -mutable).
+func printMutableReport(pre, post obs.Snapshot) {
+	inserts := counterDelta(pre, post, "mutable_inserts_total")
+	deletes := counterDelta(pre, post, "mutable_deletes_total")
+	moves := counterDelta(pre, post, "mutable_moves_total")
+	compactions := counterDelta(pre, post, "mutable_compactions_total")
+	shards, maxEpoch, pending, maxStale := mutableGauges(post)
+	if shards == 0 {
+		fmt.Println("  mutable   no mutable_* metrics in the snapshot (server not started with -mutable?)")
+		return
+	}
+	fmt.Printf("  mutable   %d updatable shards; this run applied %.0f inserts, %.0f deletes, %.0f moves over %.0f compactions\n",
+		shards, inserts, deletes, moves, compactions)
+	fmt.Printf("            max epoch %.0f, %.0f updates pending in overlays, max staleness %.3fs\n",
+		maxEpoch, pending, maxStale)
+}
+
+// mutableGauges folds the per-shard mutable_* gauges: shard count, maximum
+// epoch, total pending overlay entries, and maximum staleness.
+func mutableGauges(snap obs.Snapshot) (shards int, maxEpoch, pending, maxStale float64) {
+	for _, g := range snap.Gauges {
+		if _, _, ok := splitShardLabeled(g.Name, "mutable_epoch"); ok {
+			shards++
+			if g.Value > maxEpoch {
+				maxEpoch = g.Value
+			}
+		}
+		if _, _, ok := splitShardLabeled(g.Name, "mutable_pending"); ok {
+			pending += g.Value
+		}
+		if _, _, ok := splitShardLabeled(g.Name, "mutable_staleness_seconds"); ok {
+			if g.Value > maxStale {
+				maxStale = g.Value
+			}
+		}
+	}
+	return shards, maxEpoch, pending, maxStale
+}
+
+// splitShardLabeled matches base{shard="label"} like splitLabeled does for
+// backend labels.
+func splitShardLabeled(name, base string) (full, label string, ok bool) {
+	rest, found := strings.CutPrefix(name, base+"{shard=\"")
+	if !found {
+		return "", "", false
+	}
+	label, found = strings.CutSuffix(rest, "\"}")
+	if !found {
+		return "", "", false
+	}
+	return name, label, true
+}
+
+// printRouterWriteReport appends the coordinator's write-replication
+// counters when the target router routed any writes this run.
+func printRouterWriteReport(pre, post obs.Snapshot) {
+	writes := counterDelta(pre, post, "router_writes_total")
+	if writes == 0 {
+		return
+	}
+	fmt.Printf("            writes: %.0f routed over %.0f legs; %.0f leg errors, %.0f diverged, %.0f unroutable\n",
+		writes, counterDelta(pre, post, "router_write_legs_total"),
+		counterDelta(pre, post, "router_write_leg_errors_total"),
+		counterDelta(pre, post, "router_write_divergence_total"),
+		counterDelta(pre, post, "router_write_unroutable_total"))
+}

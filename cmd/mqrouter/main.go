@@ -23,7 +23,10 @@
 //
 // The router registers by polling every backend for its MsgSummary (held
 // ranges, item counts, MBRs), builds the assignment table, and serves until
-// SIGINT/SIGTERM.
+// SIGINT/SIGTERM. When the backends run -mutable, live writes route too:
+// inserts go to every holder of the owning Hilbert range, moves and deletes
+// broadcast (evicting stale copies), and the end-of-run report counts routed
+// writes and replica divergence.
 package main
 
 import (
@@ -127,16 +130,26 @@ func run(args []string) error {
 	}
 	st := srv.Stats()
 	snap := hub.Reg.Snapshot()
-	var failovers, unroutable uint64
+	var failovers, unroutable, writes, writeDiverged, writeUnroutable uint64
 	for _, c := range snap.Counters {
 		switch c.Name {
 		case "router_failover_total":
 			failovers = c.Value
 		case "router_unroutable_total":
 			unroutable = c.Value
+		case "router_writes_total":
+			writes = c.Value
+		case "router_write_divergence_total":
+			writeDiverged = c.Value
+		case "router_write_unroutable_total":
+			writeUnroutable = c.Value
 		}
 	}
 	fmt.Printf("mqrouter: served %d requests over %d connections; %d errors, %d failovers, %d unroutable\n",
 		st.Served, st.Conns, st.Errors, failovers, unroutable)
+	if writes > 0 {
+		fmt.Printf("mqrouter: routed %d writes to replicas; %d diverged, %d unroutable\n",
+			writes, writeDiverged, writeUnroutable)
+	}
 	return nil
 }

@@ -23,6 +23,10 @@
 //	            identical partition from the shared deterministic dataset)
 //	-replicas   R-way replication under rotation placement (with
 //	            -partition; backend i also holds ranges i-1..i-R+1 mod N)
+//	-mutable    updatable pool: accepts live MsgInsert/MsgDelete/MsgMove,
+//	            overlaying a delta tree on the packed base and folding it
+//	            in with epoch-swapped compactions (monolithic or with
+//	            -partition; -shards sets the monolithic shard count)
 //	-fault      faultlink profile injected on the listener (e.g.
 //	            "outage=30s+10s" or a preset name; "" = no faults)
 //
@@ -43,6 +47,7 @@ import (
 
 	"mobispatial/internal/dataset"
 	"mobispatial/internal/faultlink"
+	"mobispatial/internal/mutable"
 	"mobispatial/internal/obs"
 	"mobispatial/internal/ops"
 	"mobispatial/internal/parallel"
@@ -69,6 +74,7 @@ func run(args []string) error {
 	obsAddr := fs.String("obs", "", "observability HTTP address (\"\" = disabled)")
 	partition := fs.String("partition", "", "i/N: cluster backend i of N Hilbert ranges (\"\" = whole dataset)")
 	replicas := fs.Int("replicas", 1, "R-way replication under rotation placement (with -partition)")
+	mut := fs.Bool("mutable", false, "updatable pool accepting live inserts/deletes/moves")
 	fault := fs.String("fault", "", "faultlink profile injected on the listener (\"\" = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,10 +105,22 @@ func run(args []string) error {
 	numRanges := 0
 	if *partition != "" {
 		var err error
-		held, numRanges, pool, err = partitionPool(ds, *partition, *replicas, *shards, *workers, hub)
+		held, numRanges, pool, err = partitionPool(ds, *partition, *replicas, *shards, *workers, *mut, hub)
 		if err != nil {
 			return err
 		}
+	} else if *mut {
+		n := *shards
+		if n <= 0 {
+			n = 4
+		}
+		mp, err := mutable.NewFromDataset(ds, n, mutable.Config{Workers: *workers, Obs: hub})
+		if err != nil {
+			return err
+		}
+		defer mp.Close()
+		fmt.Printf("mqserve: mutable pool, %d updatable shards over %d segments\n", mp.NumShards(), mp.Len())
+		pool = mp
 	} else if *shards > 0 {
 		sp, err := shard.New(ds, shard.Config{Shards: *shards, Workers: *workers, Obs: hub.Reg})
 		if err != nil {
@@ -176,12 +194,12 @@ func run(args []string) error {
 // deterministic dataset is partitioned into n contiguous Hilbert ranges
 // (bit-identical in every process), and this backend indexes the ranges
 // rotation placement assigns it. Item ids stay cluster-global.
-func partitionPool(ds *dataset.Dataset, spec string, replicas, shards, workers int, hub *obs.Hub) ([]proto.RangeInfo, int, serve.Executor, error) {
+func partitionPool(ds *dataset.Dataset, spec string, replicas, shards, workers int, mut bool, hub *obs.Hub) ([]proto.RangeInfo, int, serve.Executor, error) {
 	var idx, n int
 	if c, err := fmt.Sscanf(spec, "%d/%d", &idx, &n); err != nil || c != 2 {
 		return nil, 0, nil, fmt.Errorf("bad -partition %q (want i/N)", spec)
 	}
-	ranges, _ := shard.PartitionHilbert(ds.Items(), n, 0)
+	ranges, bounds := shard.PartitionHilbert(ds.Items(), n, 0)
 	if len(ranges) != n {
 		return nil, 0, nil, fmt.Errorf("-partition %q: dataset yields only %d ranges", spec, len(ranges))
 	}
@@ -191,9 +209,11 @@ func partitionPool(ds *dataset.Dataset, spec string, replicas, shards, workers i
 	}
 	var sub []rtree.Item
 	var held []proto.RangeInfo
+	var heldRanges []shard.Range
 	for _, ri := range idxs {
 		rg := ranges[ri]
 		sub = append(sub, rg.Items...)
+		heldRanges = append(heldRanges, rg)
 		held = append(held, proto.RangeInfo{
 			Index: uint32(rg.Index),
 			Items: uint32(len(rg.Items)),
@@ -202,11 +222,30 @@ func partitionPool(ds *dataset.Dataset, spec string, replicas, shards, workers i
 			MBR:   rg.MBR,
 		})
 	}
-	sp, err := shard.New(ds, shard.Config{Shards: shards, Workers: workers, Items: sub, Obs: hub.Reg})
-	if err != nil {
-		return nil, 0, nil, err
+	var pool serve.Executor
+	if mut {
+		// One updatable shard per held range, keyed by the cluster-wide
+		// cuts so every backend agrees on write ownership.
+		cuts := make([]uint64, len(ranges))
+		for i, rg := range ranges {
+			cuts[i] = rg.Lo
+		}
+		mp, err := mutable.New(mutable.Config{
+			Dataset: ds, Ranges: heldRanges, Cuts: cuts, GlobalIndex: idxs,
+			Bounds: bounds, Workers: workers, Obs: hub,
+		})
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		pool = mp
+	} else {
+		sp, err := shard.New(ds, shard.Config{Shards: shards, Workers: workers, Items: sub, Obs: hub.Reg})
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		pool = sp
 	}
-	fmt.Printf("mqserve: backend %d/%d holds %d of %d ranges (%d segments, R=%d)\n",
-		idx, n, len(held), n, len(sub), replicas)
-	return held, n, sp, nil
+	fmt.Printf("mqserve: backend %d/%d holds %d of %d ranges (%d segments, R=%d, mutable=%v)\n",
+		idx, n, len(held), n, len(sub), replicas, mut)
+	return held, n, pool, nil
 }

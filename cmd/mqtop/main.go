@@ -112,10 +112,17 @@ func render(w *os.File, addr string, c *client.Client, uptimeMicros uint64, snap
 			sharding += fmt.Sprintf("/%.0f ranges", g.Value)
 		}
 	}
-	fmt.Fprintf(w, "mqtop — %s  up %v  breaker %s  rtt %v%s  %s\n\n", addr,
+	fmt.Fprintf(w, "mqtop — %s  up %v  breaker %s  rtt %v%s  %s\n", addr,
 		(time.Duration(uptimeMicros) * time.Microsecond).Round(time.Second),
 		c.BreakerState(), link.RTT.Round(time.Microsecond), sharding,
 		time.Now().Format("15:04:05"))
+	// An updatable server exports per-shard mutable_* gauges; aggregate
+	// them into one update-subsystem line. Older servers export none and
+	// the line is simply absent — no version negotiation needed.
+	if line := mutableLine(snap); line != "" {
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintln(w)
 
 	prevCounters := map[string]uint64{}
 	for _, c := range prev.Counters {
@@ -153,6 +160,40 @@ func render(w *os.File, addr string, c *client.Client, uptimeMicros uint64, snap
 			trimName(h.Name), h.Count, histVal(h.Name, h.Mean), histVal(h.Name, h.P50),
 			histVal(h.Name, h.P95), histVal(h.Name, h.P99))
 	}
+}
+
+// mutableLine folds the per-shard mutable_epoch / mutable_pending /
+// mutable_staleness_seconds gauges into one summary line, or "" when the
+// server exports none (not updatable, or predates the update subsystem).
+func mutableLine(snap obs.Snapshot) string {
+	shards := 0
+	var maxEpoch, pending, maxStale float64
+	for _, g := range snap.Gauges {
+		switch {
+		case shardLabeled(g.Name, "mutable_epoch"):
+			shards++
+			if g.Value > maxEpoch {
+				maxEpoch = g.Value
+			}
+		case shardLabeled(g.Name, "mutable_pending"):
+			pending += g.Value
+		case shardLabeled(g.Name, "mutable_staleness_seconds"):
+			if g.Value > maxStale {
+				maxStale = g.Value
+			}
+		}
+	}
+	if shards == 0 {
+		return ""
+	}
+	return fmt.Sprintf("mutable — %d shards  max epoch %.0f  pending %.0f  max staleness %s",
+		shards, maxEpoch, pending, ms(maxStale))
+}
+
+// shardLabeled reports whether name is base{shard="..."}.
+func shardLabeled(name, base string) bool {
+	rest, ok := strings.CutPrefix(name, base+"{shard=\"")
+	return ok && strings.HasSuffix(rest, "\"}")
 }
 
 // histVal formats one histogram summary cell. Only names ending in _seconds

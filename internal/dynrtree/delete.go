@@ -1,0 +1,189 @@
+package dynrtree
+
+import (
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+)
+
+// This file adds deletion (Guttman's Delete / FindLeaf / CondenseTree) to the
+// dynamic R-tree, turning the insert-only baseline into a structure usable as
+// the delta tree of an updatable shard (internal/mutable): live inserts and
+// moves land here while the packed base stays immutable, so Delete must keep
+// every invariant CheckInvariants verifies — occupancy bounds, exact parent
+// MBRs, balanced leaf depth, each item stored exactly once.
+//
+// One deliberate simplification over the 1984 paper: orphaned subtrees from
+// condensing are flattened to items and re-inserted one by one instead of
+// being re-attached at their original level. Item-level reinsertion preserves
+// the balanced-leaf-depth invariant by construction and the delta trees this
+// powers are small (they are rebuilt into the packed base at every
+// compaction), so the extra insert work is noise next to the simplicity win.
+
+// Delete removes the item with the given id whose stored MBR intersects mbr,
+// condensing underfull nodes and shrinking the root as needed. It reports
+// whether the item was found. Callers that recorded the exact MBR used at
+// insertion time should pass it back here — the MBR only prunes the leaf
+// search, the match itself is by id.
+func (t *Tree) Delete(mbr geom.Rect, id uint32, rec ops.Recorder) bool {
+	leaf := t.findLeaf(t.root, mbr, id, rec)
+	if leaf < 0 {
+		return false
+	}
+	n := &t.nodes[leaf]
+	for i := range n.entries {
+		if n.entries[i].ptr == id {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			break
+		}
+	}
+	rec.Store(n.addr, HeaderBytes+len(n.entries)*EntryBytes)
+	t.nitems--
+	t.condenseTree(leaf, rec)
+	t.shrinkRoot()
+	return true
+}
+
+// findLeaf locates the leaf holding id, descending only into subtrees whose
+// entry MBR intersects the item's (Guttman's FindLeaf).
+func (t *Tree) findLeaf(ni int32, mbr geom.Rect, id uint32, rec ops.Recorder) int32 {
+	n := &t.nodes[ni]
+	rec.Op(ops.OpNodeVisit, 1)
+	rec.Load(n.addr, HeaderBytes)
+	for i := range n.entries {
+		rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+		rec.Op(ops.OpMBRTest, 1)
+		if n.leaf {
+			if n.entries[i].ptr == id {
+				return ni
+			}
+			continue
+		}
+		if !n.entries[i].mbr.Intersects(mbr) {
+			continue
+		}
+		if f := t.findLeaf(int32(n.entries[i].ptr), mbr, id, rec); f >= 0 {
+			return f
+		}
+	}
+	return -1
+}
+
+// condenseTree walks from a shrunken leaf to the root. Underfull non-root
+// nodes are unlinked from their parent and their items collected; surviving
+// ancestors get their entry MBR recomputed exactly (deletion shrinks, so a
+// union-style adjust would leave stale fat rectangles). Collected orphans are
+// re-inserted at the end.
+func (t *Tree) condenseTree(ni int32, rec ops.Recorder) {
+	var orphans []Item
+	for {
+		parent := t.nodes[ni].parent
+		if parent < 0 {
+			break
+		}
+		p := &t.nodes[parent]
+		if len(t.nodes[ni].entries) < t.minEnt {
+			for i := range p.entries {
+				if int32(p.entries[i].ptr) == ni {
+					p.entries = append(p.entries[:i], p.entries[i+1:]...)
+					break
+				}
+			}
+			rec.Store(p.addr, HeaderBytes+len(p.entries)*EntryBytes)
+			t.collectItems(ni, &orphans)
+			t.nodes[ni].entries = t.nodes[ni].entries[:0]
+		} else {
+			mbr := t.nodeMBR(ni)
+			for i := range p.entries {
+				if int32(p.entries[i].ptr) == ni {
+					p.entries[i].mbr = mbr
+					rec.Store(p.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+					break
+				}
+			}
+		}
+		ni = parent
+	}
+	// Re-insert the orphans. Insert increments nitems, so account for the
+	// collected items first — they were never logically removed.
+	t.nitems -= len(orphans)
+	for _, it := range orphans {
+		t.Insert(it.MBR, it.ID, rec)
+	}
+}
+
+// collectItems appends every item stored under ni to out.
+func (t *Tree) collectItems(ni int32, out *[]Item) {
+	n := &t.nodes[ni]
+	if n.leaf {
+		for _, e := range n.entries {
+			*out = append(*out, Item{MBR: e.mbr, ID: e.ptr})
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.collectItems(int32(e.ptr), out)
+	}
+}
+
+// shrinkRoot collapses single-child internal roots left behind by
+// condensing, the inverse of the root split.
+func (t *Tree) shrinkRoot() {
+	for {
+		r := &t.nodes[t.root]
+		if r.leaf || len(r.entries) != 1 {
+			return
+		}
+		child := int32(r.entries[0].ptr)
+		r.entries = r.entries[:0]
+		t.nodes[child].parent = -1
+		t.root = child
+		t.height--
+	}
+}
+
+// AppendItems appends every indexed item to dst and returns the extended
+// slice — the compactor's enumeration when folding a delta tree back into a
+// packed base.
+func (t *Tree) AppendItems(dst []Item) []Item {
+	if t.nitems == 0 {
+		return dst
+	}
+	t.collectItems(t.root, &dst)
+	return dst
+}
+
+// AppendSearch appends the ids of all items whose MBR intersects the window
+// to dst and returns the extended slice. Unlike Search it allocates nothing
+// beyond dst's own growth, which keeps the updatable shard's delta overlay
+// allocation-free on a warm read path.
+func (t *Tree) AppendSearch(dst []uint32, window geom.Rect, rec ops.Recorder) []uint32 {
+	if t.nitems == 0 {
+		return dst
+	}
+	return t.appendSearch(t.root, dst, window, rec)
+}
+
+func (t *Tree) appendSearch(ni int32, dst []uint32, window geom.Rect, rec ops.Recorder) []uint32 {
+	n := &t.nodes[ni]
+	rec.Op(ops.OpNodeVisit, 1)
+	rec.Load(n.addr, HeaderBytes)
+	for i := range n.entries {
+		rec.Load(n.addr+HeaderBytes+uint64(i)*EntryBytes, EntryBytes)
+		rec.Op(ops.OpMBRTest, 1)
+		if !window.Intersects(n.entries[i].mbr) {
+			continue
+		}
+		if n.leaf {
+			rec.Op(ops.OpResultAppend, 1)
+			dst = append(dst, n.entries[i].ptr)
+		} else {
+			dst = t.appendSearch(int32(n.entries[i].ptr), dst, window, rec)
+		}
+	}
+	return dst
+}
+
+// AppendSearchPoint appends the ids of all items whose MBR contains p.
+func (t *Tree) AppendSearchPoint(dst []uint32, p geom.Point, rec ops.Recorder) []uint32 {
+	return t.AppendSearch(dst, geom.Rect{Min: p, Max: p}, rec)
+}

@@ -1,0 +1,202 @@
+package dynrtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+)
+
+func TestDeleteAll(t *testing.T) {
+	items, _ := randItems(800, 11)
+	tr, err := BuildByInsertion(items, Config{NodeBytes: 128}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	order := rng.Perm(len(items))
+	for i, oi := range order {
+		it := items[oi]
+		if !tr.Delete(it.MBR, it.ID, ops.Null{}) {
+			t.Fatalf("item %d not found", it.ID)
+		}
+		if tr.Len() != len(items)-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+		if i%53 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Search(geom.Rect{Min: geom.Point{X: -1e9, Y: -1e9}, Max: geom.Point{X: 1e9, Y: 1e9}}, ops.Null{}); len(got) != 0 {
+		t.Fatalf("empty tree answered %d ids", len(got))
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	items, _ := randItems(100, 13)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delete(items[0].MBR, 9999, ops.Null{}) {
+		t.Error("deleted an id that was never inserted")
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len changed to %d on a missing delete", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteShrinksRoot(t *testing.T) {
+	items, _ := randItems(600, 14)
+	tr, err := BuildByInsertion(items, Config{NodeBytes: 128}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("test wants a tall tree, got height %d", tr.Height())
+	}
+	// Delete down to a handful of items: the root must collapse back toward
+	// a single leaf rather than keeping a chain of single-child internals.
+	for _, it := range items[:len(items)-3] {
+		if !tr.Delete(it.MBR, it.ID, ops.Null{}) {
+			t.Fatalf("item %d not found", it.ID)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("3 items left in height-%d tree", tr.Height())
+	}
+}
+
+// TestInterleavedInsertDeleteSearch drives random insert/delete traffic — the
+// delta-tree workload — checking invariants and brute-force search equality
+// throughout.
+func TestInterleavedInsertDeleteSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tr, err := New(Config{NodeBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[uint32]geom.Rect{}
+	nextID := uint32(0)
+	for step := 0; step < 4000; step++ {
+		if len(live) == 0 || rng.Intn(100) < 60 {
+			a := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			mbr := geom.Segment{A: a, B: geom.Point{X: a.X + rng.Float64()*20 - 10, Y: a.Y + rng.Float64()*20 - 10}}.MBR()
+			tr.Insert(mbr, nextID, ops.Null{})
+			live[nextID] = mbr
+			nextID++
+		} else {
+			var id uint32
+			for id = range live {
+				break
+			}
+			if !tr.Delete(live[id], id, ops.Null{}) {
+				t.Fatalf("step %d: live item %d not found", step, id)
+			}
+			delete(live, id)
+		}
+		if step%211 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, live = %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	w := geom.Rect{Min: geom.Point{X: 200, Y: 200}, Max: geom.Point{X: 700, Y: 700}}
+	got := tr.Search(w, ops.Null{})
+	var want []uint32
+	for id, mbr := range live {
+		if w.Intersects(mbr) {
+			want = append(want, id)
+		}
+	}
+	sortU32(got)
+	sortU32(want)
+	if len(got) != len(want) {
+		t.Fatalf("search: got %d ids, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("search mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendSearchMatchesSearch(t *testing.T) {
+	items, _ := randItems(2000, 16)
+	tr, err := BuildByInsertion(items, Config{}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	buf := make([]uint32, 0, 256)
+	for q := 0; q < 50; q++ {
+		lo := geom.Point{X: rng.Float64() * 900, Y: rng.Float64() * 900}
+		w := geom.Rect{Min: lo, Max: geom.Point{X: lo.X + 120, Y: lo.Y + 120}}
+		want := tr.Search(w, ops.Null{})
+		buf = tr.AppendSearch(buf[:0], w, ops.Null{})
+		if len(buf) != len(want) {
+			t.Fatalf("query %d: AppendSearch %d ids, Search %d", q, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("query %d: id %d vs %d at %d", q, buf[i], want[i], i)
+			}
+		}
+		pt := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		wantP := tr.SearchPoint(pt, ops.Null{})
+		gotP := tr.AppendSearchPoint(nil, pt, ops.Null{})
+		if len(gotP) != len(wantP) {
+			t.Fatalf("point query %d: %d vs %d ids", q, len(gotP), len(wantP))
+		}
+	}
+}
+
+func TestAppendItemsRoundTrip(t *testing.T) {
+	items, _ := randItems(500, 18)
+	tr, err := BuildByInsertion(items, Config{NodeBytes: 128}, ops.Null{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[:200] {
+		if !tr.Delete(it.MBR, it.ID, ops.Null{}) {
+			t.Fatalf("item %d not found", it.ID)
+		}
+	}
+	got := tr.AppendItems(nil)
+	if len(got) != 300 {
+		t.Fatalf("AppendItems returned %d items, want 300", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+	for i, it := range got {
+		want := items[200+i]
+		if it.ID != want.ID || it.MBR != want.MBR {
+			t.Fatalf("item %d: got {%d %v}, want {%d %v}", i, it.ID, it.MBR, want.ID, want.MBR)
+		}
+	}
+}
+
+func sortU32(s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,313 @@
+// Package mutable makes the spatial serving tier updatable: each shard pairs
+// the zero-alloc packed R-tree base the whole repo is built around with a
+// small dynamic delta tree (internal/dynrtree) and a tombstone set, so live
+// inserts, deletes, and moves apply in microseconds without disturbing the
+// packed structure. Reads overlay base+delta — an id's newest version wins,
+// tombstones win over everything — and a background compactor periodically
+// rebuilds the packed base from the merged state and atomically epoch-swaps
+// it in, returning the shard to the pure packed fast path.
+//
+// The paper's energy argument is about keeping per-query work small and
+// predictable on the mobile side; the delta/epoch-swap design extends that
+// to a mutable world: the warm read path stays allocation-free (a shard with
+// no pending updates is byte-for-byte the packed-tree path; a shard with an
+// overlay adds only map lookups and a bounded delta-tree walk), and all
+// rebuild cost is batched into the compactor where it amortizes across
+// CompactThreshold updates.
+//
+// Consistency model: a Pool is linearizable per object id (writes to one id
+// are serialized by the pool's owner table; a read observes every write
+// acknowledged before the read began, because writers publish under the
+// shard write lock that readers with a non-empty overlay take in read mode,
+// and the empty-overlay fast path is only reachable after a compaction that
+// folded every acknowledged write). Epochs count compactions: an update ack
+// carries the owning shard's current base epoch E, meaning the write lives
+// in the overlay above base E and will be folded into base E+1 or later —
+// the distance between a replica's acked epoch and its current epoch is the
+// staleness the stats surface reports.
+package mutable
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/hilbert"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/shard"
+)
+
+// Config configures an updatable pool.
+type Config struct {
+	// Dataset supplies the canonical geometry of ids below Dataset.Len().
+	// Required.
+	Dataset *dataset.Dataset
+
+	// Ranges are the Hilbert ranges this pool holds, one updatable shard
+	// per range (a monolithic server holds all of them; a cluster backend
+	// holds its replica subset). Each range's Items seed the shard's
+	// packed base. Required and non-empty.
+	Ranges []shard.Range
+
+	// Cuts are the Lo keys of every range in the *cluster-wide*
+	// partitioning, ascending — the gap-free write-ownership table
+	// (shard.RangeForKey). For a monolithic pool this is just the Lo of
+	// every local range. Required and non-empty.
+	Cuts []uint64
+
+	// GlobalIndex maps Ranges[i] to its cluster-wide range index (the
+	// index into Cuts-space that shard.RangeForKey returns). Nil means
+	// identity: Ranges[i] is global range i, the monolithic case.
+	GlobalIndex []int
+
+	// Bounds is the partitioning extent the cluster quantized over —
+	// shard.BoundsOf of the full item set. Writes are keyed with
+	// shard.WriteKey under a quantizer over these bounds, so every
+	// process must use the same value. Required and non-empty.
+	Bounds geom.Rect
+
+	// Order is the Hilbert order of the partitioning quantizer; 0 means
+	// the default.
+	Order uint
+
+	// Workers sizes the admission width the serving layer derives from
+	// the executor; defaults to GOMAXPROCS.
+	Workers int
+
+	// NodeBytes sizes packed base nodes (rtree.Config.NodeBytes);
+	// 0 means the rtree default.
+	NodeBytes int
+
+	// DeltaNodeBytes sizes delta-tree nodes (dynrtree.Config.NodeBytes);
+	// 0 means the dynrtree default.
+	DeltaNodeBytes int
+
+	// CompactThreshold is the overlay size (pending inserts+moves+
+	// tombstones) at which the compactor rebuilds a shard's base.
+	// Defaults to 256.
+	CompactThreshold int
+
+	// CompactInterval is the compactor's poll period. 0 means 100ms;
+	// negative disables the background compactor (tests drive
+	// ForceCompact directly).
+	CompactInterval time.Duration
+
+	// CompactMaxAge bounds staleness: a shard whose overlay is non-empty
+	// and older than this is compacted even below CompactThreshold. A
+	// hot working set that keeps re-writing the same few objects never
+	// grows its overlay past the object count, so a size trigger alone
+	// would let those writes age in the overlay forever. Defaults to 1s;
+	// negative disables the age trigger.
+	CompactMaxAge time.Duration
+
+	// Obs receives mutable_* metrics; nil disables them.
+	Obs *obs.Hub
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = 256
+	}
+	if c.CompactInterval == 0 {
+		c.CompactInterval = 100 * time.Millisecond
+	}
+	if c.CompactMaxAge == 0 {
+		c.CompactMaxAge = time.Second
+	}
+}
+
+// Pool is an updatable sharded spatial index. It implements the serving
+// tier's executor surface (range/point/NN queries), its Updatable surface
+// (ApplyInsert/ApplyDelete/ApplyMove), and SegOf for data-mode responses
+// over ids the base dataset has never heard of.
+type Pool struct {
+	cfg Config
+	ds  *dataset.Dataset
+	q   *hilbert.Quantizer
+
+	cuts   []uint64
+	local  map[int]int // cluster-wide range index -> shards index
+	shards []*mshard
+
+	// omu guards ownerOf and serializes the ownership decision of every
+	// write (the shard locks a write needs are acquired, in ascending
+	// shard order, before omu is released — so shard contents can never
+	// disagree with the owner table).
+	omu     sync.Mutex
+	ownerOf map[uint32]int32 // live object id -> shards index
+
+	nnPool sync.Pool // *nnState
+
+	m poolMetrics
+
+	stopc     chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds an updatable pool over cfg.Ranges. The range Items slices seed
+// the packed bases (they are copied; the caller's slices are not retained).
+func New(cfg Config) (*Pool, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("mutable: nil dataset")
+	}
+	if len(cfg.Ranges) == 0 {
+		return nil, fmt.Errorf("mutable: no ranges")
+	}
+	if len(cfg.Cuts) == 0 {
+		return nil, fmt.Errorf("mutable: no cuts")
+	}
+	for i := 1; i < len(cfg.Cuts); i++ {
+		if cfg.Cuts[i] < cfg.Cuts[i-1] {
+			return nil, fmt.Errorf("mutable: cuts not ascending at %d", i)
+		}
+	}
+	if cfg.Bounds.IsEmpty() {
+		return nil, fmt.Errorf("mutable: empty partition bounds")
+	}
+	cfg.fill()
+
+	p := &Pool{
+		cfg:     cfg,
+		ds:      cfg.Dataset,
+		q:       shard.QuantizerFor(cfg.Bounds, cfg.Order),
+		cuts:    cfg.Cuts,
+		local:   make(map[int]int, len(cfg.Ranges)),
+		ownerOf: make(map[uint32]int32),
+		stopc:   make(chan struct{}),
+	}
+	p.nnPool.New = func() any { return newNNState(p) }
+	p.m = newPoolMetrics(cfg.Obs, len(cfg.Ranges))
+
+	for i, r := range cfg.Ranges {
+		g := i
+		if cfg.GlobalIndex != nil {
+			if i >= len(cfg.GlobalIndex) {
+				return nil, fmt.Errorf("mutable: GlobalIndex shorter than Ranges")
+			}
+			g = cfg.GlobalIndex[i]
+		}
+		if g < 0 || g >= len(cfg.Cuts) {
+			return nil, fmt.Errorf("mutable: range %d has global index %d outside cuts", i, g)
+		}
+		if _, dup := p.local[g]; dup {
+			return nil, fmt.Errorf("mutable: global range %d held twice", g)
+		}
+		p.local[g] = i
+		s, err := newMShard(p, i, r.Items)
+		if err != nil {
+			return nil, err
+		}
+		p.shards = append(p.shards, s)
+		for _, it := range r.Items {
+			p.ownerOf[it.ID] = int32(i)
+		}
+	}
+
+	if cfg.CompactInterval > 0 {
+		p.wg.Add(1)
+		go p.compactLoop()
+	}
+	return p, nil
+}
+
+// NewFromDataset builds a monolithic updatable pool: the dataset is
+// Hilbert-partitioned into nShards local ranges, each owning its own key
+// run, and every write is owned locally.
+func NewFromDataset(ds *dataset.Dataset, nShards int, cfg Config) (*Pool, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("mutable: nil dataset")
+	}
+	items := ds.Items()
+	ranges, bounds := shard.PartitionHilbert(items, nShards, cfg.Order)
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("mutable: dataset partitioned into zero ranges")
+	}
+	cuts := make([]uint64, len(ranges))
+	for i, r := range ranges {
+		cuts[i] = r.Lo
+	}
+	cfg.Dataset = ds
+	cfg.Ranges = ranges
+	cfg.Cuts = cuts
+	cfg.GlobalIndex = nil
+	cfg.Bounds = bounds
+	return New(cfg)
+}
+
+// Close stops the background compactor. Idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.stopc)
+		p.wg.Wait()
+	})
+}
+
+// Workers reports the configured admission width.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// Dataset returns the base dataset (canonical geometry of original ids).
+func (p *Pool) Dataset() *dataset.Dataset { return p.ds }
+
+// NumShards returns the local shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Len returns the number of live objects the pool currently holds.
+func (p *Pool) Len() int {
+	p.omu.Lock()
+	n := len(p.ownerOf)
+	p.omu.Unlock()
+	return n
+}
+
+// Bounds returns the union of the shards' base bounds and any overlay
+// geometry — the extent a registration summary should advertise.
+func (p *Pool) Bounds() geom.Rect {
+	out := geom.EmptyRect()
+	for _, s := range p.shards {
+		out = out.Union(s.boundsNow())
+	}
+	return out
+}
+
+// Epoch returns shard i's base epoch (number of compactions folded in).
+func (p *Pool) Epoch(i int) uint64 { return p.shards[i].epoch.Load() }
+
+// Pending returns shard i's overlay size (unfolded updates + tombstones).
+func (p *Pool) Pending(i int) int { return int(p.shards[i].pend.Load()) }
+
+// SegOf returns the live geometry of id, falling back to the base dataset
+// for original ids the pool no longer tracks and to the zero Segment for
+// unknown ids. This is the serving tier's data-mode resolver: inserted ids
+// sit at or above Dataset.Len(), where Dataset.Seg would be out of range.
+func (p *Pool) SegOf(id uint32) geom.Segment {
+	p.omu.Lock()
+	li, ok := p.ownerOf[id]
+	p.omu.Unlock()
+	if !ok {
+		if int(id) < p.ds.Len() {
+			return p.ds.Seg(id)
+		}
+		return geom.Segment{}
+	}
+	s := p.shards[li]
+	if s.pend.Load() == 0 {
+		bv := s.base.Load()
+		if seg, ok := bv.over[id]; ok {
+			return seg
+		}
+		if int(id) < p.ds.Len() {
+			return p.ds.Seg(id)
+		}
+		return geom.Segment{}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.segAnyLocked(s.base.Load(), id)
+}

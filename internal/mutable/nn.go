@@ -1,0 +1,152 @@
+package mutable
+
+import (
+	"math"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/index"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/parallel"
+	"mobispatial/internal/rtree"
+)
+
+// Nearest-neighbor queries fold the shards sequentially, carrying the best
+// (or k-th best) distance from shard to shard as a pruning bound, exactly
+// like the read-only sharded pool's cross-shard schedule. Per shard, the
+// packed base is searched with the branch-and-bound traversal under a
+// distance function that reports +Inf for masked (stale) ids, and the
+// overlay layers — bounded by CompactThreshold — are scanned directly and
+// offered through the accumulator's admit rule, so the merged answer is
+// what one tree over the union would have produced.
+//
+// nnState is pooled so the warm path allocates nothing: the masked distance
+// closure is built once per state and re-aimed at the current shard through
+// the state's fields.
+type nnState struct {
+	p      *Pool
+	sh     *mshard
+	bv     *baseView
+	pt     geom.Point
+	masked bool
+	df     index.DistFunc
+}
+
+func newNNState(p *Pool) *nnState {
+	st := &nnState{p: p}
+	st.df = func(id uint32) float64 {
+		if st.masked && st.sh.maskBase(id) {
+			return math.Inf(1)
+		}
+		return st.bv.seg(st.p.ds, id).DistToPoint(st.pt)
+	}
+	return st
+}
+
+func (st *nnState) clear() {
+	st.sh = nil
+	st.bv = nil
+	st.masked = false
+}
+
+// NearestWith answers one nearest-neighbor query reusing sc's traversal
+// buffers; sc may be nil.
+func (p *Pool) NearestWith(pt geom.Point, sc *parallel.Scratch) parallel.NearestResult {
+	st := p.nnPool.Get().(*nnState)
+	st.pt = pt
+	var nnsc *rtree.NNScratch
+	if sc != nil {
+		nnsc = &sc.NN
+	}
+	best := math.Inf(1)
+	var bestID uint32
+	found := false
+	for _, s := range p.shards {
+		s.nearestInto(st, nnsc, pt, &best, &bestID, &found)
+	}
+	st.clear()
+	p.nnPool.Put(st)
+	if !found {
+		return parallel.NearestResult{}
+	}
+	return parallel.NearestResult{ID: bestID, Dist: best, OK: true}
+}
+
+func (s *mshard) nearestInto(st *nnState, nnsc *rtree.NNScratch, pt geom.Point, best *float64, bestID *uint32, found *bool) {
+	if s.pend.Load() == 0 {
+		bv := s.base.Load()
+		st.sh, st.bv, st.masked = s, bv, false
+		if id, d, ok := bv.tree.NearestWithin(pt, *best, st.df, ops.Null{}, nnsc); ok {
+			*best, *bestID, *found = d, id, true
+		}
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bv := s.base.Load()
+	st.sh, st.bv, st.masked = s, bv, true
+	if id, d, ok := bv.tree.NearestWithin(pt, *best, st.df, ops.Null{}, nnsc); ok {
+		*best, *bestID, *found = d, id, true
+	}
+	if f := s.frozen; f != nil {
+		for id, seg := range f.overSeg {
+			if s.maskFrozen(id) {
+				continue
+			}
+			if d := seg.DistToPoint(pt); d < *best {
+				*best, *bestID, *found = d, id, true
+			}
+		}
+	}
+	for id, seg := range s.overSeg {
+		if d := seg.DistToPoint(pt); d < *best {
+			*best, *bestID, *found = d, id, true
+		}
+	}
+}
+
+// KNearestAppend appends one k-NN answer (ascending distance) to dst
+// reusing sc; the bool mirrors the executor contract and is always true.
+func (p *Pool) KNearestAppend(dst []rtree.Neighbor, pt geom.Point, k int, sc *parallel.Scratch) ([]rtree.Neighbor, bool) {
+	if k <= 0 {
+		return dst, true
+	}
+	st := p.nnPool.Get().(*nnState)
+	st.pt = pt
+	var local rtree.NNScratch
+	nnsc := &local
+	if sc != nil {
+		nnsc = &sc.NN
+	}
+	nnsc.ResetKNN()
+	for _, s := range p.shards {
+		s.knnInto(st, nnsc, pt, k)
+	}
+	st.clear()
+	p.nnPool.Put(st)
+	return nnsc.DrainKNNAppend(dst), true
+}
+
+func (s *mshard) knnInto(st *nnState, nnsc *rtree.NNScratch, pt geom.Point, k int) {
+	if s.pend.Load() == 0 {
+		bv := s.base.Load()
+		st.sh, st.bv, st.masked = s, bv, false
+		bv.tree.KNearestCollect(pt, k, st.df, ops.Null{}, nnsc)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bv := s.base.Load()
+	st.sh, st.bv, st.masked = s, bv, true
+	bv.tree.KNearestCollect(pt, k, st.df, ops.Null{}, nnsc)
+	if f := s.frozen; f != nil {
+		for id, seg := range f.overSeg {
+			if s.maskFrozen(id) {
+				continue
+			}
+			nnsc.KNNOffer(k, rtree.Neighbor{ID: id, Dist: seg.DistToPoint(pt)})
+		}
+	}
+	for id, seg := range s.overSeg {
+		nnsc.KNNOffer(k, rtree.Neighbor{ID: id, Dist: seg.DistToPoint(pt)})
+	}
+}

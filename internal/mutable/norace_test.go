@@ -1,0 +1,7 @@
+//go:build !race
+
+package mutable
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// tests skip under it because instrumentation allocates.
+const raceEnabled = false

@@ -1,0 +1,166 @@
+package mutable
+
+import (
+	"mobispatial/internal/geom"
+	"mobispatial/internal/ops"
+)
+
+// Query surface. A shard with an empty overlay (pend == 0) answers on the
+// packed base through a lock-free atomic load — the identical zero-alloc
+// path a read-only pool runs. A shard with pending updates takes its read
+// lock and merges three layers: the base filtered through maskBase, the
+// frozen delta (if a compaction is in flight) filtered through maskFrozen,
+// and the live delta, which is never masked. The merge allocates nothing
+// beyond the caller's dst growth: masks are map lookups and candidates are
+// compacted in place.
+
+// FilterRangeAppend appends the MBR-filter (candidate) answer of a window
+// query to dst.
+func (p *Pool) FilterRangeAppend(dst []uint32, w geom.Rect) []uint32 {
+	for _, s := range p.shards {
+		s := s
+		if s.pend.Load() == 0 {
+			dst = s.base.Load().tree.AppendSearch(dst, w, ops.Null{})
+			continue
+		}
+		s.mu.RLock()
+		dst = s.overlayRangeLocked(dst, w)
+		s.mu.RUnlock()
+	}
+	return dst
+}
+
+// FilterPointAppend appends the MBR-filter answer of a point query to dst.
+func (p *Pool) FilterPointAppend(dst []uint32, pt geom.Point) []uint32 {
+	for _, s := range p.shards {
+		s := s
+		if s.pend.Load() == 0 {
+			dst = s.base.Load().tree.AppendSearchPoint(dst, pt, ops.Null{})
+			continue
+		}
+		s.mu.RLock()
+		dst = s.overlayPointLocked(dst, pt)
+		s.mu.RUnlock()
+	}
+	return dst
+}
+
+// RangeAppend appends the exact answer of a window query to dst: the
+// candidate set refined against live geometry, hits compacted in place over
+// the candidate region as in the read-only pool.
+func (p *Pool) RangeAppend(dst []uint32, w geom.Rect) []uint32 {
+	for _, s := range p.shards {
+		s := s
+		if s.pend.Load() == 0 {
+			bv := s.base.Load()
+			base := len(dst)
+			dst = bv.tree.AppendSearch(dst, w, ops.Null{})
+			hits := dst[:base]
+			for _, id := range dst[base:] {
+				if bv.seg(p.ds, id).IntersectsRect(w) {
+					hits = append(hits, id)
+				}
+			}
+			dst = hits
+			continue
+		}
+		s.mu.RLock()
+		bv := s.base.Load()
+		base := len(dst)
+		dst = s.overlayRangeLocked(dst, w)
+		hits := dst[:base]
+		for _, id := range dst[base:] {
+			if s.segAnyLocked(bv, id).IntersectsRect(w) {
+				hits = append(hits, id)
+			}
+		}
+		dst = hits
+		s.mu.RUnlock()
+	}
+	return dst
+}
+
+// PointAppend appends the exact answer of a point query to dst.
+func (p *Pool) PointAppend(dst []uint32, pt geom.Point, eps float64) []uint32 {
+	for _, s := range p.shards {
+		s := s
+		if s.pend.Load() == 0 {
+			bv := s.base.Load()
+			base := len(dst)
+			dst = bv.tree.AppendSearchPoint(dst, pt, ops.Null{})
+			hits := dst[:base]
+			for _, id := range dst[base:] {
+				if bv.seg(p.ds, id).ContainsPoint(pt, eps) {
+					hits = append(hits, id)
+				}
+			}
+			dst = hits
+			continue
+		}
+		s.mu.RLock()
+		bv := s.base.Load()
+		base := len(dst)
+		dst = s.overlayPointLocked(dst, pt)
+		hits := dst[:base]
+		for _, id := range dst[base:] {
+			if s.segAnyLocked(bv, id).ContainsPoint(pt, eps) {
+				hits = append(hits, id)
+			}
+		}
+		dst = hits
+		s.mu.RUnlock()
+	}
+	return dst
+}
+
+// overlayRangeLocked merges the three layers' window candidates into dst.
+// Masked ids are filtered by compacting survivors in place over the region
+// each layer appended (the write index never passes the read index, so the
+// in-place overwrite is safe).
+func (s *mshard) overlayRangeLocked(dst []uint32, w geom.Rect) []uint32 {
+	n := len(dst)
+	dst = s.base.Load().tree.AppendSearch(dst, w, ops.Null{})
+	kept := dst[:n]
+	for _, id := range dst[n:] {
+		if !s.maskBase(id) {
+			kept = append(kept, id)
+		}
+	}
+	dst = kept
+	if f := s.frozen; f != nil {
+		n = len(dst)
+		dst = f.delta.AppendSearch(dst, w, ops.Null{})
+		kept = dst[:n]
+		for _, id := range dst[n:] {
+			if !s.maskFrozen(id) {
+				kept = append(kept, id)
+			}
+		}
+		dst = kept
+	}
+	return s.delta.AppendSearch(dst, w, ops.Null{})
+}
+
+func (s *mshard) overlayPointLocked(dst []uint32, pt geom.Point) []uint32 {
+	n := len(dst)
+	dst = s.base.Load().tree.AppendSearchPoint(dst, pt, ops.Null{})
+	kept := dst[:n]
+	for _, id := range dst[n:] {
+		if !s.maskBase(id) {
+			kept = append(kept, id)
+		}
+	}
+	dst = kept
+	if f := s.frozen; f != nil {
+		n = len(dst)
+		dst = f.delta.AppendSearchPoint(dst, pt, ops.Null{})
+		kept = dst[:n]
+		for _, id := range dst[n:] {
+			if !s.maskFrozen(id) {
+				kept = append(kept, id)
+			}
+		}
+		dst = kept
+	}
+	return s.delta.AppendSearchPoint(dst, pt, ops.Null{})
+}

@@ -1,0 +1,411 @@
+package mutable
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobispatial/internal/dynrtree"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/ops"
+	"mobispatial/internal/rtree"
+	"mobispatial/internal/shard"
+)
+
+// baseView is one immutable generation of a shard's packed base. Readers
+// load it through an atomic pointer; the compactor publishes a fresh one and
+// never mutates a published view, so the empty-overlay fast path needs no
+// lock at all.
+type baseView struct {
+	tree  *rtree.Tree
+	items []rtree.Item
+	// has is the base's membership set (ids packed into tree).
+	has map[uint32]struct{}
+	// over carries geometry for base ids whose segment differs from the
+	// base dataset — inserted ids and moved originals folded by earlier
+	// compactions. Ids absent here resolve through Dataset.Seg.
+	over   map[uint32]geom.Segment
+	bounds geom.Rect
+}
+
+func (bv *baseView) seg(ds segDataset, id uint32) geom.Segment {
+	if seg, ok := bv.over[id]; ok {
+		return seg
+	}
+	return ds.Seg(id)
+}
+
+type segDataset interface {
+	Seg(id uint32) geom.Segment
+	Len() int
+}
+
+// frozenView is the overlay detached at the start of a compaction: the
+// compactor folds it into the next base while fresh writes keep landing in
+// the live overlay above it. It is immutable once published.
+type frozenView struct {
+	delta   *dynrtree.Tree
+	overSeg map[uint32]geom.Segment
+	tombs   map[uint32]struct{}
+}
+
+func (f *frozenView) size() int { return len(f.overSeg) + len(f.tombs) }
+
+func newDelta(nodeBytes int) (*dynrtree.Tree, error) {
+	return dynrtree.New(dynrtree.Config{NodeBytes: nodeBytes})
+}
+
+// mshard is one updatable shard: packed base + live delta overlay +
+// optional frozen overlay mid-compaction.
+//
+// Layering invariant: a live id resolves in exactly one layer — live delta
+// (overSeg), else frozen delta, else base — and the mask sets (overSeg keys
+// and tombs at each layer) hide every stale lower copy. overSeg and tombs
+// are disjoint at each layer.
+type mshard struct {
+	pl *Pool
+	li int // index into pl.shards
+
+	epoch atomic.Uint64
+	base  atomic.Pointer[baseView]
+	// pend is the total overlay size (live + frozen). Zero is the
+	// lock-free fast-path ticket: it only transitions 0→nonzero under
+	// the write lock, and back to zero when a compaction folds the last
+	// overlay entry.
+	pend atomic.Int64
+	// pendSince is the unix-nano arrival of the oldest unfolded write
+	// (approximate across a compaction swap); 0 when the overlay is
+	// empty. Staleness gauges derive from it.
+	pendSince atomic.Int64
+
+	mu      sync.RWMutex
+	delta   *dynrtree.Tree
+	overSeg map[uint32]geom.Segment
+	tombs   map[uint32]struct{}
+	frozen  *frozenView
+}
+
+func newMShard(p *Pool, li int, items []rtree.Item) (*mshard, error) {
+	own := make([]rtree.Item, len(items))
+	copy(own, items)
+	tree, err := rtree.Build(own, rtree.Config{NodeBytes: p.cfg.NodeBytes}, ops.Null{})
+	if err != nil {
+		return nil, fmt.Errorf("mutable: shard %d base: %w", li, err)
+	}
+	has := make(map[uint32]struct{}, len(own))
+	for _, it := range own {
+		has[it.ID] = struct{}{}
+	}
+	s := &mshard{pl: p, li: li}
+	s.base.Store(&baseView{
+		tree:   tree,
+		items:  own,
+		has:    has,
+		over:   map[uint32]geom.Segment{},
+		bounds: tree.Bounds(),
+	})
+	s.delta, err = newDelta(p.cfg.DeltaNodeBytes)
+	if err != nil {
+		return nil, fmt.Errorf("mutable: shard %d delta: %w", li, err)
+	}
+	s.overSeg = map[uint32]geom.Segment{}
+	s.tombs = map[uint32]struct{}{}
+	return s, nil
+}
+
+// ---- overlay mutation (s.mu held in write mode) ----
+
+// beneathVisibleLocked reports whether id is visible in the layers below
+// the live overlay (frozen, then base).
+func (s *mshard) beneathVisibleLocked(id uint32) bool {
+	if f := s.frozen; f != nil {
+		if _, ok := f.overSeg[id]; ok {
+			return true
+		}
+		if _, ok := f.tombs[id]; ok {
+			return false
+		}
+	}
+	_, ok := s.base.Load().has[id]
+	return ok
+}
+
+// upsertLocked installs seg as id's live geometry and reports whether the
+// shard previously held a visible id.
+func (s *mshard) upsertLocked(id uint32, seg geom.Segment) bool {
+	existed := false
+	if old, ok := s.overSeg[id]; ok {
+		s.delta.Delete(old.MBR(), id, ops.Null{})
+		existed = true
+	} else if _, dead := s.tombs[id]; dead {
+		delete(s.tombs, id)
+	} else {
+		existed = s.beneathVisibleLocked(id)
+	}
+	s.delta.Insert(seg.MBR(), id, ops.Null{})
+	s.overSeg[id] = seg
+	s.pendChangedLocked()
+	return existed
+}
+
+// removeLocked deletes id from the shard and reports whether it was
+// visible. Idempotent: deleting an absent id is a no-op returning false.
+func (s *mshard) removeLocked(id uint32) bool {
+	existed := false
+	if seg, ok := s.overSeg[id]; ok {
+		s.delta.Delete(seg.MBR(), id, ops.Null{})
+		delete(s.overSeg, id)
+		existed = true
+	}
+	if _, dead := s.tombs[id]; !dead && s.beneathVisibleLocked(id) {
+		s.tombs[id] = struct{}{}
+		existed = true
+	}
+	s.pendChangedLocked()
+	return existed
+}
+
+func (s *mshard) pendChangedLocked() {
+	n := len(s.overSeg) + len(s.tombs)
+	if f := s.frozen; f != nil {
+		n += f.size()
+	}
+	s.pend.Store(int64(n))
+	if n == 0 {
+		s.pendSince.Store(0)
+	} else if s.pendSince.Load() == 0 {
+		s.pendSince.Store(time.Now().UnixNano())
+	}
+}
+
+// ---- read-side masks and geometry (s.mu held, read mode suffices) ----
+
+// maskBase reports whether a base entry for id is stale: some overlay layer
+// above the base owns a newer version or a tombstone.
+func (s *mshard) maskBase(id uint32) bool {
+	if _, ok := s.overSeg[id]; ok {
+		return true
+	}
+	if _, ok := s.tombs[id]; ok {
+		return true
+	}
+	if f := s.frozen; f != nil {
+		if _, ok := f.overSeg[id]; ok {
+			return true
+		}
+		if _, ok := f.tombs[id]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// maskFrozen reports whether a frozen-delta entry for id is shadowed by the
+// live overlay.
+func (s *mshard) maskFrozen(id uint32) bool {
+	if _, ok := s.overSeg[id]; ok {
+		return true
+	}
+	_, ok := s.tombs[id]
+	return ok
+}
+
+// segAnyLocked resolves the live geometry of an id visible in this shard,
+// newest layer first.
+func (s *mshard) segAnyLocked(bv *baseView, id uint32) geom.Segment {
+	if seg, ok := s.overSeg[id]; ok {
+		return seg
+	}
+	if f := s.frozen; f != nil {
+		if seg, ok := f.overSeg[id]; ok {
+			return seg
+		}
+	}
+	if seg, ok := bv.over[id]; ok {
+		return seg
+	}
+	if int(id) < s.pl.ds.Len() {
+		return s.pl.ds.Seg(id)
+	}
+	return geom.Segment{}
+}
+
+// boundsNow returns the shard's current extent: base bounds plus any
+// overlay geometry.
+func (s *mshard) boundsNow() geom.Rect {
+	if s.pend.Load() == 0 {
+		return s.base.Load().bounds
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := s.base.Load().bounds
+	if f := s.frozen; f != nil {
+		for _, seg := range f.overSeg {
+			out = out.Union(seg.MBR())
+		}
+	}
+	for _, seg := range s.overSeg {
+		out = out.Union(seg.MBR())
+	}
+	return out
+}
+
+// ---- pool-level write application ----
+
+func checkWriteSeg(seg geom.Segment) error {
+	for _, v := range [4]float64{seg.A.X, seg.A.Y, seg.B.X, seg.B.Y} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("mutable: non-finite segment coordinate")
+		}
+	}
+	return nil
+}
+
+// ApplyInsert upserts id at seg. It returns the owning shard's base epoch,
+// whether a previous version of id was visible, and whether this pool owns
+// the object's position (a pool that does not own it instead drops any
+// stale local copy and acks owned=false, which is exactly what a replica
+// must do when an object moves off its ranges).
+func (p *Pool) ApplyInsert(id uint32, seg geom.Segment) (epoch uint64, existed, owned bool, err error) {
+	epoch, existed, owned, err = p.applyUpsert(id, seg)
+	if err == nil {
+		p.m.inserts.Inc()
+	}
+	return epoch, existed, owned, err
+}
+
+// ApplyMove is ApplyInsert under update semantics: the moving-object
+// workload's hot write. Kept distinct so the serving tier can meter moves
+// separately from first-time inserts.
+func (p *Pool) ApplyMove(id uint32, seg geom.Segment) (epoch uint64, existed, owned bool, err error) {
+	epoch, existed, owned, err = p.applyUpsert(id, seg)
+	if err == nil {
+		p.m.moves.Inc()
+	}
+	return epoch, existed, owned, err
+}
+
+func (p *Pool) applyUpsert(id uint32, seg geom.Segment) (uint64, bool, bool, error) {
+	if err := checkWriteSeg(seg); err != nil {
+		return 0, false, false, err
+	}
+	key := shard.WriteKey(p.q, seg.MBR())
+	li, ownedHere := p.local[shard.RangeForKey(p.cuts, key)]
+
+	p.omu.Lock()
+	old, hadOld := p.ownerOf[id]
+
+	if !ownedHere {
+		// The object's new position belongs to some other backend's
+		// ranges: all this pool must do is forget its stale copy.
+		if !hadOld {
+			p.omu.Unlock()
+			p.m.notOwned.Inc()
+			return 0, false, false, nil
+		}
+		delete(p.ownerOf, id)
+		sh := p.shards[old]
+		sh.mu.Lock()
+		p.omu.Unlock()
+		existed := sh.removeLocked(id)
+		epoch := sh.epoch.Load()
+		sh.mu.Unlock()
+		p.m.notOwned.Inc()
+		return epoch, existed, false, nil
+	}
+
+	target := p.shards[li]
+	p.ownerOf[id] = int32(li)
+
+	if hadOld && int(old) != li {
+		// Cross-shard move: drop the old copy and install the new one
+		// under both locks, acquired in ascending shard order while omu
+		// still serializes us against every other write of any id.
+		oldSh := p.shards[old]
+		a, b := oldSh, target
+		if a.li > b.li {
+			a, b = b, a
+		}
+		a.mu.Lock()
+		b.mu.Lock()
+		p.omu.Unlock()
+		existed := oldSh.removeLocked(id)
+		if target.upsertLocked(id, seg) {
+			existed = true
+		}
+		epoch := target.epoch.Load()
+		b.mu.Unlock()
+		a.mu.Unlock()
+		return epoch, existed, true, nil
+	}
+
+	target.mu.Lock()
+	p.omu.Unlock()
+	existed := target.upsertLocked(id, seg)
+	epoch := target.epoch.Load()
+	target.mu.Unlock()
+	return epoch, existed, true, nil
+}
+
+// ApplyDelete removes id wherever it lives. The object's position is not on
+// the wire, so every replica applies deletes locally; owned reports whether
+// this pool actually held the object. Idempotent: deleting an unknown id
+// succeeds with existed=false.
+func (p *Pool) ApplyDelete(id uint32) (epoch uint64, existed, owned bool, err error) {
+	p.omu.Lock()
+	li, ok := p.ownerOf[id]
+	if !ok {
+		p.omu.Unlock()
+		p.m.deletes.Inc()
+		return 0, false, false, nil
+	}
+	delete(p.ownerOf, id)
+	sh := p.shards[li]
+	sh.mu.Lock()
+	p.omu.Unlock()
+	existed = sh.removeLocked(id)
+	epoch = sh.epoch.Load()
+	sh.mu.Unlock()
+	p.m.deletes.Inc()
+	return epoch, existed, true, nil
+}
+
+// ---- metrics ----
+
+type poolMetrics struct {
+	inserts     *obs.Counter
+	deletes     *obs.Counter
+	moves       *obs.Counter
+	notOwned    *obs.Counter
+	compactions *obs.Counter
+	compactErrs *obs.Counter
+	epochG      []*obs.Gauge
+	pendG       []*obs.Gauge
+	staleG      []*obs.Gauge
+}
+
+func newPoolMetrics(h *obs.Hub, nShards int) poolMetrics {
+	var m poolMetrics
+	m.epochG = make([]*obs.Gauge, nShards)
+	m.pendG = make([]*obs.Gauge, nShards)
+	m.staleG = make([]*obs.Gauge, nShards)
+	if h == nil || h.Reg == nil {
+		return m // nil handles are no-ops
+	}
+	m.inserts = h.Reg.Counter("mutable_inserts_total")
+	m.deletes = h.Reg.Counter("mutable_deletes_total")
+	m.moves = h.Reg.Counter("mutable_moves_total")
+	m.notOwned = h.Reg.Counter("mutable_not_owned_total")
+	m.compactions = h.Reg.Counter("mutable_compactions_total")
+	m.compactErrs = h.Reg.Counter("mutable_compact_errors_total")
+	for i := 0; i < nShards; i++ {
+		lbl := fmt.Sprintf("%d", i)
+		m.epochG[i] = h.Reg.Gauge(obs.Name("mutable_epoch", "shard", lbl))
+		m.pendG[i] = h.Reg.Gauge(obs.Name("mutable_pending", "shard", lbl))
+		m.staleG[i] = h.Reg.Gauge(obs.Name("mutable_staleness_seconds", "shard", lbl))
+	}
+	return m
+}

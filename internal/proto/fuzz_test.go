@@ -23,6 +23,19 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})
 	f.Add([]byte{0, 0, 0, 0, 0xEE})
 	f.Add([]byte{0, 0, 0, 9, byte(MsgPing), 1, 2, 3})
+	// Update-path seeds: an insert whose segment smuggles NaN coordinate bits
+	// (must be rejected by Validate after decode, not crash), and an ack with
+	// unknown flag bits set (must be rejected so re-encoding stays canonical).
+	if nan, err := EncodeMessage(&InsertMsg{ID: 1, ObjID: 2}); err == nil {
+		for i := FrameHeaderBytes + 8; i < FrameHeaderBytes+16; i++ {
+			nan[i] = 0xFF
+		}
+		f.Add(nan)
+	}
+	if ack, err := EncodeMessage(&UpdateAckMsg{ID: 1, ObjID: 2, Epoch: 3}); err == nil {
+		ack[len(ack)-1] = 0xF0 // unknown flag bits
+		f.Add(ack)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Refuse declared payloads beyond 1 MB up front: the decoder handles

@@ -54,6 +54,10 @@ var (
 	batchReplyPool = sync.Pool{New: func() any { return new(BatchReplyMsg) }}
 	nnQueryPool    = sync.Pool{New: func() any { return new(NNQueryMsg) }}
 	neighborsPool  = sync.Pool{New: func() any { return new(NeighborsMsg) }}
+	insertPool     = sync.Pool{New: func() any { return new(InsertMsg) }}
+	deletePool     = sync.Pool{New: func() any { return new(DeleteMsg) }}
+	movePool       = sync.Pool{New: func() any { return new(MoveMsg) }}
+	updateAckPool  = sync.Pool{New: func() any { return new(UpdateAckMsg) }}
 )
 
 // AcquireQuery returns a zeroed *QueryMsg from the pool. Pass it to a
@@ -68,6 +72,17 @@ func AcquireBatchQuery() *BatchQueryMsg { return batchQueryPool.Get().(*BatchQue
 // AcquireNNQuery returns a zeroed *NNQueryMsg from the pool — the router's
 // per-leg NN request, reused across legs like AcquireQuery.
 func AcquireNNQuery() *NNQueryMsg { return nnQueryPool.Get().(*NNQueryMsg) }
+
+// AcquireInsert returns a zeroed *InsertMsg from the pool; the moving-object
+// workload issues these at write-path rates, so they pool like queries.
+func AcquireInsert() *InsertMsg { return insertPool.Get().(*InsertMsg) }
+
+// AcquireDelete returns a zeroed *DeleteMsg from the pool.
+func AcquireDelete() *DeleteMsg { return deletePool.Get().(*DeleteMsg) }
+
+// AcquireMove returns a zeroed *MoveMsg from the pool — the hottest update
+// type under the moving-object workload.
+func AcquireMove() *MoveMsg { return movePool.Get().(*MoveMsg) }
 
 // ReleaseMessage returns m to its type's pool, keeping slice capacity for
 // reuse. Releasing an unpooled type is a no-op. The caller must not touch m —
@@ -116,6 +131,18 @@ func ReleaseMessage(m Message) {
 		v.ID = 0
 		v.Neighbors = v.Neighbors[:0]
 		neighborsPool.Put(v)
+	case *InsertMsg:
+		*v = InsertMsg{}
+		insertPool.Put(v)
+	case *DeleteMsg:
+		*v = DeleteMsg{}
+		deletePool.Put(v)
+	case *MoveMsg:
+		*v = MoveMsg{}
+		movePool.Put(v)
+	case *UpdateAckMsg:
+		*v = UpdateAckMsg{}
+		updateAckPool.Put(v)
 	case *BatchReplyMsg:
 		// Trim the full capacity region: items beyond len keep reusable
 		// slices from earlier decodes.

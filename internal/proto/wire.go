@@ -65,6 +65,10 @@ var msgTypeNames = map[MsgType]string{
 	MsgNeighbors:   "neighbors",
 	MsgSummaryReq:  "summary-req",
 	MsgSummary:     "summary",
+	MsgInsert:      "insert",
+	MsgDelete:      "delete",
+	MsgMove:        "move",
+	MsgUpdateAck:   "update-ack",
 }
 
 // String implements fmt.Stringer.
@@ -538,6 +542,14 @@ func newMessage(t MsgType) (Message, error) {
 		return &SummaryReqMsg{}, nil
 	case MsgSummary:
 		return &SummaryMsg{}, nil
+	case MsgInsert:
+		return insertPool.Get().(*InsertMsg), nil
+	case MsgDelete:
+		return deletePool.Get().(*DeleteMsg), nil
+	case MsgMove:
+		return movePool.Get().(*MoveMsg), nil
+	case MsgUpdateAck:
+		return updateAckPool.Get().(*UpdateAckMsg), nil
 	}
 	return nil, fmt.Errorf("proto: unknown message type %d", uint8(t))
 }

@@ -78,6 +78,15 @@ func allMessages() []Message {
 					MBR: geom.Rect{Min: geom.Point{X: 30, Y: 20}, Max: geom.Point{X: 90, Y: 90}}},
 			}},
 		&SummaryMsg{ID: 25, Bounds: geom.EmptyRect()}, // an empty backend is legal
+		&InsertMsg{ID: 26, ObjID: 150_000,
+			Seg:           geom.Segment{A: geom.Point{X: 10, Y: 20}, B: geom.Point{X: 11, Y: 21}},
+			TimeoutMicros: 100_000},
+		&InsertMsg{ID: 27, ObjID: 0, Seg: geom.Segment{}}, // zero-area point object
+		&DeleteMsg{ID: 28, ObjID: 150_000, TimeoutMicros: 50_000},
+		&MoveMsg{ID: 29, ObjID: 150_001,
+			Seg: geom.Segment{A: geom.Point{X: -3.5, Y: 7}, B: geom.Point{X: -3.5, Y: 7}}},
+		&UpdateAckMsg{ID: 29, ObjID: 150_001, Epoch: 42, Existed: true, Owned: true},
+		&UpdateAckMsg{ID: 30, ObjID: 5, Epoch: 0}, // miss on a non-owning server
 	}
 }
 
@@ -249,6 +258,10 @@ func TestWireValidateRejects(t *testing.T) {
 			{Index: 0, MBR: geom.Rect{Min: geom.Point{X: math.NaN()}}}}},
 		&SummaryMsg{ID: 1, Ranges: []RangeInfo{{Index: 0}}}, // zero-range cluster
 		&SummaryMsg{ID: 1, NumRanges: MaxSummaryRanges + 1, Ranges: make([]RangeInfo, MaxSummaryRanges+1)},
+		&InsertMsg{ID: 1, Seg: geom.Segment{A: geom.Point{X: math.NaN()}}},
+		&InsertMsg{ID: 1, Seg: geom.Segment{B: geom.Point{Y: math.Inf(1)}}},
+		&MoveMsg{ID: 1, Seg: geom.Segment{A: geom.Point{Y: math.NaN()}}},
+		&MoveMsg{ID: 1, Seg: geom.Segment{B: geom.Point{X: math.Inf(-1)}}},
 	}
 	for _, m := range bad {
 		if err := m.Validate(); err == nil {

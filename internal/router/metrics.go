@@ -23,6 +23,14 @@ import (
 //	                                (a needed range had no healthy replica)
 //	router_nn_backends_visited_total counter: NN legs actually sent
 //	router_nn_backends_pruned_total  counter: backends skipped by the bound
+//	router_writes_total             counter: write requests routed
+//	router_write_legs_total         counter: write legs sent to backends
+//	router_write_leg_errors_total   counter: failed write legs
+//	router_write_divergence_total   counter: writes some replicas applied
+//	                                and others missed — the copies disagree
+//	                                until the missing replicas recover
+//	router_write_unroutable_total   counter: writes no backend accepted
+//	                                (answered CodeUnavailable)
 //	router_backend_healthy{backend} gauge: 1 while the backend's breaker
 //	                                admits traffic, 0 after a leg failure
 //	router_backend_legs_total{backend}       counter: legs per backend —
@@ -39,6 +47,12 @@ type routerMetrics struct {
 	unroutable *obs.Counter
 	nnVisited  *obs.Counter
 	nnPruned   *obs.Counter
+
+	writes          *obs.Counter
+	writeLegs       *obs.Counter
+	writeLegErrs    *obs.Counter
+	writeDivergence *obs.Counter
+	writeUnroutable *obs.Counter
 
 	beHealthy []*obs.Gauge
 	beLegs    []*obs.Counter
@@ -62,6 +76,11 @@ func newRouterMetrics(h *obs.Hub, backends []string) routerMetrics {
 	m.unroutable = h.Reg.Counter("router_unroutable_total")
 	m.nnVisited = h.Reg.Counter("router_nn_backends_visited_total")
 	m.nnPruned = h.Reg.Counter("router_nn_backends_pruned_total")
+	m.writes = h.Reg.Counter("router_writes_total")
+	m.writeLegs = h.Reg.Counter("router_write_legs_total")
+	m.writeLegErrs = h.Reg.Counter("router_write_leg_errors_total")
+	m.writeDivergence = h.Reg.Counter("router_write_divergence_total")
+	m.writeUnroutable = h.Reg.Counter("router_write_unroutable_total")
 	for _, addr := range backends {
 		g := h.Reg.Gauge(obs.Name("router_backend_healthy", "backend", addr))
 		g.Set(1)

@@ -39,6 +39,8 @@ import (
 	"time"
 
 	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/hilbert"
 	"mobispatial/internal/obs"
 	"mobispatial/internal/proto"
 	"mobispatial/internal/serve/client"
@@ -131,6 +133,20 @@ type Router struct {
 	scratch sync.Pool // *fanScratch
 	metrics routerMetrics
 
+	// wq is the cluster's write-routing quantizer — the exact recipe
+	// (shard.WriteKey over shard.BoundsOf of the deterministic item set)
+	// the backends partitioned under, so router and backends agree on
+	// every object's owning range.
+	wq *hilbert.Quantizer
+	// all lists every backend id — the broadcast target of moves and
+	// deletes.
+	all []int32
+	// liveMu guards live, the geometry of objects written through this
+	// router — how data-mode responses resolve records the base dataset
+	// has never heard of (or whose position has moved).
+	liveMu sync.RWMutex
+	live   map[uint32]geom.Segment
+
 	stopc     chan struct{}
 	probeWG   sync.WaitGroup
 	closeOnce sync.Once
@@ -148,6 +164,11 @@ func New(cfg Config) (*Router, error) {
 		ds:      cfg.Dataset,
 		metrics: newRouterMetrics(cfg.Obs, cfg.Backends),
 		stopc:   make(chan struct{}),
+		wq:      shard.QuantizerFor(shard.BoundsOf(cfg.Dataset.Items()), 0),
+		live:    make(map[uint32]geom.Segment),
+	}
+	for b := range cfg.Backends {
+		r.all = append(r.all, int32(b))
 	}
 	for _, addr := range cfg.Backends {
 		// Backend clients keep retries at 1: the router's own failover is

@@ -5,6 +5,7 @@ import (
 
 	"mobispatial/internal/geom"
 	"mobispatial/internal/proto"
+	"mobispatial/internal/shard"
 )
 
 // table is the shard→server assignment derived from the backends' summaries
@@ -23,6 +24,12 @@ type table struct {
 	holds [][]bool
 	// beBounds[b] is backend b's overall data bounds.
 	beBounds []geom.Rect
+	// keyLo[r] is range r's Lo Hilbert key — the gap-free write-ownership
+	// cuts (shard.RangeForKey). Every holder of a range must report the
+	// same Lo: the cuts come from the deterministic cluster-wide
+	// partition, so disagreement means the backends were partitioned
+	// differently and no write routing is safe.
+	keyLo []uint64
 	// items is the cluster item count implied by the primary copies.
 	items uint64
 }
@@ -45,6 +52,7 @@ func buildTable(summaries []*proto.SummaryMsg) (table, error) {
 		rangeMBR:  make([]geom.Rect, n),
 		holds:     make([][]bool, len(summaries)),
 		beBounds:  make([]geom.Rect, len(summaries)),
+		keyLo:     make([]uint64, n),
 	}
 	for i := range t.rangeMBR {
 		t.rangeMBR[i] = geom.EmptyRect()
@@ -65,6 +73,12 @@ func buildTable(summaries []*proto.SummaryMsg) (table, error) {
 				return table{}, fmt.Errorf("backend %d reports range %d twice", b, idx)
 			}
 			t.holds[b][idx] = true
+			if len(t.holders[idx]) == 0 {
+				t.keyLo[idx] = ri.Lo
+			} else if t.keyLo[idx] != ri.Lo {
+				return table{}, fmt.Errorf("backend %d reports range %d with Lo key %d, earlier holder reported %d",
+					b, idx, ri.Lo, t.keyLo[idx])
+			}
 			t.holders[idx] = append(t.holders[idx], int32(b))
 			t.rangeMBR[idx] = t.rangeMBR[idx].Union(ri.MBR)
 			if !seen[idx] {
@@ -77,8 +91,18 @@ func buildTable(summaries []*proto.SummaryMsg) (table, error) {
 		if len(hs) == 0 {
 			return table{}, fmt.Errorf("range %d has no holder among %d backends", idx, len(summaries))
 		}
+		if idx > 0 && t.keyLo[idx] < t.keyLo[idx-1] {
+			return table{}, fmt.Errorf("range %d has Lo key %d below range %d's %d — key cuts must ascend",
+				idx, t.keyLo[idx], idx-1, t.keyLo[idx-1])
+		}
 	}
 	return t, nil
+}
+
+// rangeForKey returns the index of the range owning a write key under the
+// cluster's gap-free ownership rule.
+func (t *table) rangeForKey(key uint64) int {
+	return shard.RangeForKey(t.keyLo, key)
 }
 
 // neededRanges appends the indices of ranges whose MBR intersects w —

@@ -1,0 +1,161 @@
+// write.go is the router's write path: live inserts, deletes, and moves
+// fanned to every replica that must observe them. Reads pick ONE healthy
+// holder per range; writes are the dual — they go to ALL holders of the
+// owning range (an insert routed by the object's Hilbert key) or to every
+// backend outright (moves and deletes, which must also evict stale copies
+// from backends the object is leaving). Replication is synchronous and
+// best-effort: the write succeeds if at least one replica applied it, and a
+// replica that missed it (tripped breaker, timeout) is counted as
+// divergence — the copies disagree until that backend is rebuilt or the
+// object is written again.
+//
+// The merged ack is the most conservative view across replicas: Epoch is the
+// MINIMUM base epoch among owning replicas (the most-behind copy — staleness
+// measured against it never understates), Existed is true if any replica had
+// a previous version, Owned is true if any replica accepted ownership.
+package router
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/proto"
+	"mobispatial/internal/serve/client"
+	"mobispatial/internal/shard"
+)
+
+// Router implements serve.Updatable and serve.SegResolver, so cmd/mqrouter's
+// serve.Server accepts update messages and resolves live geometry in
+// data-mode responses without any extra wiring.
+
+// ApplyInsert routes an upsert to every holder of the owning range. Insert
+// is the fresh-object path: it does not hunt down copies of id elsewhere in
+// the cluster — relocating a live object is Move's job.
+func (r *Router) ApplyInsert(id uint32, seg geom.Segment) (uint64, bool, bool, error) {
+	rg := r.table.rangeForKey(shard.WriteKey(r.wq, seg.MBR()))
+	epoch, existed, owned, err := r.fanWrite(r.table.holders[rg], func(cc *client.Client) (client.UpdateAck, error) {
+		return cc.Insert(id, seg)
+	})
+	if err == nil {
+		r.liveSet(id, seg)
+	}
+	return epoch, existed, owned, err
+}
+
+// ApplyMove broadcasts the relocation to every backend: holders of the
+// target range upsert the new geometry, every other backend drops any stale
+// copy it still holds (acking Owned=false), so a vehicle crossing a range
+// boundary never answers queries from two places.
+func (r *Router) ApplyMove(id uint32, seg geom.Segment) (uint64, bool, bool, error) {
+	epoch, existed, owned, err := r.fanWrite(r.all, func(cc *client.Client) (client.UpdateAck, error) {
+		return cc.Move(id, seg)
+	})
+	if err == nil {
+		r.liveSet(id, seg)
+	}
+	return epoch, existed, owned, err
+}
+
+// ApplyDelete broadcasts the delete: only the backend holding id knows it,
+// and the router does not track where id lives, so everyone is told.
+// Deleting an id nobody holds succeeds with Existed=false.
+func (r *Router) ApplyDelete(id uint32) (uint64, bool, bool, error) {
+	epoch, existed, owned, err := r.fanWrite(r.all, func(cc *client.Client) (client.UpdateAck, error) {
+		return cc.Delete(id)
+	})
+	if err == nil {
+		r.liveMu.Lock()
+		delete(r.live, id)
+		r.liveMu.Unlock()
+	}
+	return epoch, existed, owned, err
+}
+
+// SegOf implements serve.SegResolver: live-written geometry wins over the
+// base dataset; an unknown id beyond the dataset resolves to the zero
+// segment rather than a panic.
+func (r *Router) SegOf(id uint32) geom.Segment {
+	r.liveMu.RLock()
+	seg, ok := r.live[id]
+	r.liveMu.RUnlock()
+	if ok {
+		return seg
+	}
+	if int(id) < r.ds.Len() {
+		return r.ds.Seg(id)
+	}
+	return geom.Segment{}
+}
+
+func (r *Router) liveSet(id uint32, seg geom.Segment) {
+	r.liveMu.Lock()
+	r.live[id] = seg
+	r.liveMu.Unlock()
+}
+
+// writeLeg is one backend's share of a write.
+type writeLeg func(cc *client.Client) (client.UpdateAck, error)
+
+// fanWrite sends the write to every target concurrently (first leg on the
+// calling goroutine, like the read fan-out) and merges the acks. Unlike
+// reads there is no failover — the targets ARE the replica set; a failed
+// leg has nowhere else to go and is recorded as divergence instead.
+func (r *Router) fanWrite(targets []int32, leg writeLeg) (uint64, bool, bool, error) {
+	r.metrics.writes.Inc()
+	acks := make([]client.UpdateAck, len(targets))
+	errs := make([]error, len(targets))
+	run := func(i int, b int32) {
+		start := time.Now()
+		acks[i], errs[i] = leg(r.clients[b])
+		r.observeLeg(int(b), time.Since(start), errs[i])
+		r.metrics.writeLegs.Inc()
+		if errs[i] != nil {
+			r.metrics.writeLegErrs.Inc()
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < len(targets); i++ {
+		wg.Add(1)
+		go func(i int, b int32) {
+			defer wg.Done()
+			run(i, b)
+		}(i, targets[i])
+	}
+	if len(targets) > 0 {
+		run(0, targets[0])
+	}
+	wg.Wait()
+
+	ok := 0
+	var epoch uint64
+	existed, owned := false, false
+	var lastErr error
+	for i := range targets {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		ok++
+		a := acks[i]
+		existed = existed || a.Existed
+		if a.Owned {
+			if !owned || a.Epoch < epoch {
+				epoch = a.Epoch
+			}
+			owned = true
+		}
+	}
+	if ok == 0 {
+		r.metrics.writeUnroutable.Inc()
+		return 0, false, false, &routerError{
+			code: proto.CodeUnavailable,
+			msg:  fmt.Sprintf("router: write reached none of %d replicas: %v", len(targets), lastErr),
+		}
+	}
+	if ok < len(targets) {
+		r.metrics.writeDivergence.Inc()
+	}
+	return epoch, existed, owned, nil
+}

@@ -140,6 +140,21 @@ func (sc *NNScratch) DrainKNNAppend(dst []Neighbor) []Neighbor {
 	return dst
 }
 
+// KNNOffer folds one externally-computed candidate into sc's running
+// accumulator, applying the same admit/evict rule the tree traversal uses.
+// An updatable shard answers k-NN by collecting from its packed base, then
+// offering the handful of delta-tree items (and skipping tombstoned ids) —
+// the merged answer is what one tree over the union would have produced.
+func (sc *NNScratch) KNNOffer(k int, nb Neighbor) {
+	if k <= 0 || nb.Dist >= knnBound(&sc.heap, k) {
+		return
+	}
+	sc.heap.push(nb)
+	if len(sc.heap) > k {
+		sc.heap.pop()
+	}
+}
+
 // KNearestCollect folds this tree's k nearest neighbors into sc's running
 // accumulator, pruning against the bound the accumulator already carries.
 // sc must be non-nil; results accumulate across calls until DrainKNNAppend.

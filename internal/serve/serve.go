@@ -88,6 +88,29 @@ type BoundedNN interface {
 	KNearestBoundedAppend(dst []rtree.Neighbor, pt geom.Point, k int, bound float64, sc *parallel.Scratch) ([]rtree.Neighbor, bool)
 }
 
+// Updatable is the optional live-update surface behind MsgInsert, MsgDelete,
+// and MsgMove (mutable.Pool implements it; the router re-implements it as
+// replicated fan-out). Each call applies one idempotent write and returns
+// the owning shard's base epoch at apply time (the ack's staleness anchor:
+// the write folds into base epoch+1 or later), whether a previous version of
+// the object was visible, and whether the executor owns the object's
+// position (false when a replicated write merely cleared a stale copy). A
+// pool without this surface answers update messages with CodeUnsupported.
+type Updatable interface {
+	ApplyInsert(id uint32, seg geom.Segment) (epoch uint64, existed, owned bool, err error)
+	ApplyDelete(id uint32) (epoch uint64, existed, owned bool, err error)
+	ApplyMove(id uint32, seg geom.Segment) (epoch uint64, existed, owned bool, err error)
+}
+
+// SegResolver is the optional geometry surface an updatable executor adds:
+// data-mode responses need segments for ids the base dataset has never
+// heard of (inserted objects sit at or above Dataset().Len(), where
+// Dataset().Seg would be out of range) and current geometry for moved ones.
+// Executors without it resolve records through the dataset as before.
+type SegResolver interface {
+	SegOf(id uint32) geom.Segment
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// Pool executes the queries; required. *parallel.Pool serves one
@@ -182,6 +205,9 @@ type Stats struct {
 	Batches uint64
 	// BatchQueries counts the queries answered inside batch requests.
 	BatchQueries uint64
+	// Updates counts served insert/delete/move requests (also included in
+	// Served).
+	Updates uint64
 }
 
 // Server is a networked spatial-query server.
@@ -194,6 +220,11 @@ type Server struct {
 	// bnn enables bound-carrying NN legs (the sharded pool).
 	dx  DeadlineExecutor
 	bnn BoundedNN
+	// upd and sr are the optional update surfaces: upd serves the live
+	// write path (nil answers CodeUnsupported), sr resolves data-mode
+	// geometry for ids the base dataset does not cover.
+	upd Updatable
+	sr  SegResolver
 	// summary is the precomputed MsgSummaryReq reply (ID filled per request;
 	// Ranges shared read-only across replies).
 	summary proto.SummaryMsg
@@ -208,7 +239,7 @@ type Server struct {
 	connWG sync.WaitGroup // one per live connection
 
 	nConns, nServed, nOverload, nDeadline, nErrors, nShipments atomic.Uint64
-	nBatches, nBatchQueries                                    atomic.Uint64
+	nBatches, nBatchQueries, nUpdates                          atomic.Uint64
 
 	// scratch pools per-request query state (result slices, traversal
 	// buffers, response message shells) so a warm request allocates nothing.
@@ -229,6 +260,7 @@ type reqScratch struct {
 	dataMsg proto.DataListMsg
 	batch   proto.BatchReplyMsg
 	nbrMsg  proto.NeighborsMsg
+	ackMsg  proto.UpdateAckMsg
 }
 
 // Retention caps for pooled scratch, mirroring internal/proto's: a scratch
@@ -280,6 +312,10 @@ type serveMetrics struct {
 	// nnLegHist covers MsgNNQuery legs, kept apart from execHist so the
 	// per-kind client-query histograms stay comparable across deployments.
 	nnLegHist *obs.Histogram
+	// updateHist[kind] is the execution-time histogram of one update shape
+	// (insert, delete, move); updates mirrors Stats.Updates.
+	updateHist [3]*obs.Histogram
+	updates    *obs.Counter
 }
 
 var kindNames = [3]string{"point", "range", "nn"}
@@ -311,8 +347,14 @@ func newServeMetrics(h *obs.Hub) serveMetrics {
 	m.writes = h.Reg.Counter("serve_writes_total")
 	m.writeFrames = h.Reg.Counter("serve_write_frames_total")
 	m.nnLegHist = h.Reg.Histogram("serve_nnleg_seconds")
+	for k, kindName := range updateKindNames {
+		m.updateHist[k] = h.Reg.Histogram(obs.Name("serve_update_seconds", "kind", kindName))
+	}
+	m.updates = h.Reg.Counter("serve_updates_total")
 	return m
 }
+
+var updateKindNames = [3]string{"insert", "delete", "move"}
 
 // New builds a Server.
 func New(cfg Config) (*Server, error) {
@@ -328,6 +370,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.dx, _ = cfg.Pool.(DeadlineExecutor)
 	s.bnn, _ = cfg.Pool.(BoundedNN)
+	s.upd, _ = cfg.Pool.(Updatable)
+	s.sr, _ = cfg.Pool.(SegResolver)
 	summary, err := buildSummary(&cfg)
 	if err != nil {
 		return nil, err
@@ -388,6 +432,7 @@ func (s *Server) Stats() Stats {
 		Shipments:    s.nShipments.Load(),
 		Batches:      s.nBatches.Load(),
 		BatchQueries: s.nBatchQueries.Load(),
+		Updates:      s.nUpdates.Load(),
 	}
 }
 
@@ -583,6 +628,12 @@ func (s *Server) serveConn(nc net.Conn) {
 			c.dispatch(m, arrived, m.TimeoutMicros)
 		case *proto.ShipmentReqMsg:
 			c.dispatch(m, arrived, m.TimeoutMicros)
+		case *proto.InsertMsg:
+			c.dispatch(m, arrived, m.TimeoutMicros)
+		case *proto.DeleteMsg:
+			c.dispatch(m, arrived, m.TimeoutMicros)
+		case *proto.MoveMsg:
+			c.dispatch(m, arrived, m.TimeoutMicros)
 		default:
 			s.nErrors.Add(1)
 			s.metrics.errors.Inc()
@@ -691,6 +742,12 @@ func reqKind(req proto.Message) string {
 		return "nn-leg"
 	case *proto.ShipmentReqMsg:
 		return "shipment"
+	case *proto.InsertMsg:
+		return "insert"
+	case *proto.DeleteMsg:
+		return "delete"
+	case *proto.MoveMsg:
+		return "move"
 	}
 	return "other"
 }
@@ -706,6 +763,12 @@ func (s *Server) observeExec(req proto.Message, sec float64) {
 		s.metrics.nnLegHist.Observe(sec)
 	case *proto.ShipmentReqMsg:
 		s.metrics.shipHist.Observe(sec)
+	case *proto.InsertMsg:
+		s.metrics.updateHist[0].Observe(sec)
+	case *proto.DeleteMsg:
+		s.metrics.updateHist[1].Observe(sec)
+	case *proto.MoveMsg:
+		s.metrics.updateHist[2].Observe(sec)
 	}
 }
 
@@ -796,6 +859,7 @@ func (s *Server) statsSnapshot(id uint32) *proto.StatsMsg {
 		{Name: "serve_shipments_total", Value: st.Shipments},
 		{Name: "serve_batches_total", Value: st.Batches},
 		{Name: "serve_batch_queries_total", Value: st.BatchQueries},
+		{Name: "serve_updates_total", Value: st.Updates},
 	}})
 }
 
@@ -848,8 +912,44 @@ func (s *Server) execute(req proto.Message, sc *reqScratch, deadline time.Time) 
 		return s.executeNN(m, sc, deadline)
 	case *proto.ShipmentReqMsg:
 		return s.executeShipment(m)
+	case *proto.InsertMsg, *proto.DeleteMsg, *proto.MoveMsg:
+		return s.executeUpdate(req, sc)
 	}
 	return &proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeInternal, Text: "unroutable message"}
+}
+
+// executeUpdate applies one write through the Updatable surface and builds
+// its epoch-carrying ack into the scratch.
+func (s *Server) executeUpdate(req proto.Message, sc *reqScratch) proto.Message {
+	if s.upd == nil {
+		return &proto.ErrorMsg{ID: req.RequestID(), Code: proto.CodeUnsupported,
+			Text: "this server's pool is not updatable"}
+	}
+	var (
+		reqID, objID   uint32
+		epoch          uint64
+		existed, owned bool
+		err            error
+	)
+	switch m := req.(type) {
+	case *proto.InsertMsg:
+		reqID, objID = m.ID, m.ObjID
+		epoch, existed, owned, err = s.upd.ApplyInsert(m.ObjID, m.Seg)
+	case *proto.DeleteMsg:
+		reqID, objID = m.ID, m.ObjID
+		epoch, existed, owned, err = s.upd.ApplyDelete(m.ObjID)
+	case *proto.MoveMsg:
+		reqID, objID = m.ID, m.ObjID
+		epoch, existed, owned, err = s.upd.ApplyMove(m.ObjID, m.Seg)
+	}
+	if err != nil {
+		code, text := errToCode(err)
+		return &proto.ErrorMsg{ID: reqID, Code: code, Text: text}
+	}
+	s.nUpdates.Add(1)
+	s.metrics.updates.Inc()
+	sc.ackMsg = proto.UpdateAckMsg{ID: reqID, ObjID: objID, Epoch: epoch, Existed: existed, Owned: owned}
+	return &sc.ackMsg
 }
 
 // runQuery answers one query, appending the matching ids to dst. On error
@@ -996,6 +1096,15 @@ func (s *Server) executeNN(m *proto.NNQueryMsg, sc *reqScratch, deadline time.Ti
 	return &sc.nbrMsg
 }
 
+// segOf resolves one record's geometry: through the pool's SegResolver when
+// it has one (live geometry, inserted ids included), else the base dataset.
+func (s *Server) segOf(ds *dataset.Dataset, id uint32) geom.Segment {
+	if s.sr != nil {
+		return s.sr.SegOf(id)
+	}
+	return ds.Seg(id)
+}
+
 func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch, deadline time.Time) proto.Message {
 	ids, code, text := s.runQuery(q, sc, sc.ids[:0], deadline)
 	sc.ids = ids
@@ -1006,7 +1115,7 @@ func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch, deadline time.T
 		ds := s.cfg.Pool.Dataset()
 		recs := sc.dataMsg.Records[:0]
 		for _, id := range ids {
-			recs = append(recs, proto.Record{ID: id, Seg: ds.Seg(id)})
+			recs = append(recs, proto.Record{ID: id, Seg: s.segOf(ds, id)})
 		}
 		sc.dataMsg = proto.DataListMsg{ID: q.ID, Records: recs}
 		return &sc.dataMsg
@@ -1040,7 +1149,7 @@ func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch, deadline t
 			} else {
 				ds := s.cfg.Pool.Dataset()
 				for _, id := range ids {
-					it.Recs = append(it.Recs, proto.Record{ID: id, Seg: ds.Seg(id)})
+					it.Recs = append(it.Recs, proto.Record{ID: id, Seg: s.segOf(ds, id)})
 				}
 			}
 		} else {

@@ -82,6 +82,54 @@ func PartitionHilbert(items []rtree.Item, n int, order uint) ([]Range, geom.Rect
 	return ranges, bounds
 }
 
+// WriteKey returns the Hilbert routing key of an object MBR under the
+// cluster's quantizer: the key of the MBR centroid, exactly as
+// PartitionHilbert computes item keys. Everything that routes a live write —
+// the router picking the owning range, a mutable pool picking the owning
+// shard, a backend deciding whether a moved object still belongs to it —
+// must use this one recipe over the same bounds, or the same object would
+// land in different places on different hops. Out-of-bounds centroids clamp
+// to the boundary cell (hilbert.Quantizer's contract), so a vehicle that
+// drives off the map edge still has a deterministic owner.
+func WriteKey(q *hilbert.Quantizer, mbr geom.Rect) uint64 {
+	c := mbr.Center()
+	return q.Value(c.X, c.Y)
+}
+
+// QuantizerFor builds the partitioning quantizer over bounds — the shared
+// half of the WriteKey recipe. order 0 means the default Hilbert order.
+func QuantizerFor(bounds geom.Rect, order uint) *hilbert.Quantizer {
+	if order == 0 {
+		order = hilbert.Order
+	}
+	return hilbert.NewQuantizer(order, bounds.Min.X, bounds.Min.Y, bounds.Max.X, bounds.Max.Y)
+}
+
+// BoundsOf returns the union of the items' MBRs — the bounds PartitionHilbert
+// quantizes over, exposed so write routers derive the identical quantizer
+// from the identical deterministic item set.
+func BoundsOf(items []rtree.Item) geom.Rect {
+	bounds := geom.EmptyRect()
+	for _, it := range items {
+		bounds = bounds.Union(it.MBR)
+	}
+	return bounds
+}
+
+// RangeForKey returns the index of the range owning key under the gap-free
+// ownership rule: range i owns keys in [cuts[i], cuts[i+1]) where cuts[i] is
+// range i's Lo, the last range owns through the top of the key space, and
+// keys below cuts[0] (possible for positions outside the original data
+// extent) belong to range 0. cuts must be ascending and non-empty.
+func RangeForKey(cuts []uint64, key uint64) int {
+	// The first cut whose Lo exceeds key ends the owning range.
+	i := sort.Search(len(cuts), func(i int) bool { return cuts[i] > key })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
 // ReplicaRanges returns the range indices backend holds in an N-range
 // cluster with R-way replication under the rotation placement: range r
 // lives on backends r, r+1, …, r+R-1 (mod N), so backend b holds ranges
