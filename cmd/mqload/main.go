@@ -16,6 +16,11 @@
 //	-warmup      excluded ramp-up time (default 1s)
 //	-mix         query mix, e.g. point=60,range=25,nn=15
 //	-rangew      half-width in meters of range windows (default 1000)
+//	-zipf        Zipf skew s (> 1): queries cluster around -hotspots centers
+//	             sampled from the dataset's segments, rank-weighted k^-s —
+//	             the workload the server's result cache (-qcache) is built
+//	             for (0 = uniform; incompatible with -planner and -moving)
+//	-hotspots    zipf mode: number of hotspot centers (default 64)
 //	-seed        workload seed (default 1)
 //	-batch       micro-batch size: each worker packs N queries into one
 //	             QueryBatch wire exchange (default 1 = one frame per query;
@@ -144,6 +149,8 @@ func run(args []string) error {
 	warmup := fs.Duration("warmup", time.Second, "excluded ramp-up time")
 	mixFlag := fs.String("mix", "point=60,range=25,nn=15", "query mix")
 	rangeW := fs.Float64("rangew", 1000, "half-width of range windows (m)")
+	zipfS := fs.Float64("zipf", 0, "Zipf skew s > 1 for hotspot reads (0 = uniform)")
+	hotspotN := fs.Int("hotspots", 64, "zipf mode: hotspot count")
 	seed := fs.Int64("seed", 1, "workload seed")
 	batch := fs.Int("batch", 1, "queries per wire exchange (QueryBatch micro-batching)")
 	planner := fs.Bool("planner", false, "route queries through the partitioning planner")
@@ -161,6 +168,17 @@ func run(args []string) error {
 	}
 	if *moving && (*planner || *batch > 1) {
 		return fmt.Errorf("-moving is incompatible with -planner and -batch")
+	}
+	if *zipfS != 0 {
+		if *zipfS <= 1 {
+			return fmt.Errorf("-zipf needs s > 1 (got %v)", *zipfS)
+		}
+		if *hotspotN < 1 {
+			return fmt.Errorf("-hotspots must be >= 1")
+		}
+		if *moving || *planner {
+			return fmt.Errorf("-zipf is incompatible with -moving and -planner")
+		}
 	}
 
 	var extent geom.Rect
@@ -276,6 +294,27 @@ func run(args []string) error {
 		extent = cov
 	}
 
+	// Zipf hotspot mode: centers are sampled from the dataset's segment
+	// midpoints (density-biased, like real junctions), and every query lands
+	// near a rank-k^-s-weighted center with a small jitter — many clients
+	// asking nearly the same question, the shape the server's result cache
+	// turns into hits.
+	var hotspots []geom.Point
+	if *zipfS != 0 {
+		var ds *dataset.Dataset
+		if *dsName == "pa" {
+			ds = dataset.PA()
+		} else {
+			ds = dataset.NYC()
+		}
+		hrng := rand.New(rand.NewSource(*seed))
+		hotspots = make([]geom.Point, *hotspotN)
+		for i := range hotspots {
+			hotspots[i] = ds.Segments[hrng.Intn(ds.Len())].Midpoint()
+		}
+		fmt.Printf("mqload: zipf hotspot workload, s=%.2f over %d centers\n", *zipfS, *hotspotN)
+	}
+
 	var (
 		measuring atomic.Bool
 		stop      atomic.Bool
@@ -295,6 +334,26 @@ func run(args []string) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			h := hists[w]
+			// hotJitter keeps a hotspot's queries inside a handful of the
+			// cache's snapping cells (default pitch 512 map units).
+			const hotJitter = 64.0
+			var zipf *rand.Zipf
+			if hotspots != nil {
+				zipf = rand.NewZipf(rng, *zipfS, 1, uint64(len(hotspots)-1))
+			}
+			samplePt := func() geom.Point {
+				if zipf == nil {
+					return geom.Point{
+						X: extent.Min.X + rng.Float64()*extent.Width(),
+						Y: extent.Min.Y + rng.Float64()*extent.Height(),
+					}
+				}
+				c := hotspots[zipf.Uint64()]
+				return geom.Point{
+					X: c.X + (rng.Float64()-0.5)*2*hotJitter,
+					Y: c.Y + (rng.Float64()-0.5)*2*hotJitter,
+				}
+			}
 			qs := make([]proto.QueryMsg, 0, *batch)
 			for !stop.Load() {
 				if *batch > 1 {
@@ -303,10 +362,7 @@ func run(args []string) error {
 					// batch's round trip, so each records the full latency.
 					qs = qs[:0]
 					for len(qs) < *batch {
-						pt := geom.Point{
-							X: extent.Min.X + rng.Float64()*extent.Width(),
-							Y: extent.Min.Y + rng.Float64()*extent.Height(),
-						}
+						pt := samplePt()
 						switch qmix.pick(rng) {
 						case "point":
 							qs = append(qs, proto.QueryMsg{Kind: proto.KindPoint, Mode: proto.ModeIDs, Point: pt})
@@ -338,10 +394,7 @@ func run(args []string) error {
 					}
 					continue
 				}
-				pt := geom.Point{
-					X: extent.Min.X + rng.Float64()*extent.Width(),
-					Y: extent.Min.Y + rng.Float64()*extent.Height(),
-				}
+				pt := samplePt()
 				var qerr error
 				start := time.Now()
 				switch qmix.pick(rng) {
@@ -432,6 +485,7 @@ func run(args []string) error {
 		}
 		if *serverStats {
 			printShardReport(preShard, snap)
+			printCacheReport(preShard, snap)
 			printServerStats(snap, msg.UptimeMicros)
 		}
 	}
@@ -589,6 +643,22 @@ func printShardReport(pre, post obs.Snapshot) {
 		fmt.Printf("            nn/k-nn:     %.0f queries, mean %.2f shards visited, %.2f pruned\n",
 			nn, visited/nn, pruned/nn)
 	}
+}
+
+// printCacheReport summarizes the server's result cache over this run —
+// counter deltas of the qcache_* metrics — when the server was started with
+// -qcache. A silent return means the cache is off or saw no traffic.
+func printCacheReport(pre, post obs.Snapshot) {
+	hits := counterDelta(pre, post, "qcache_hits_total")
+	misses := counterDelta(pre, post, "qcache_misses_total")
+	if hits+misses == 0 {
+		return
+	}
+	fmt.Printf("  qcache    %.0f hits / %.0f misses (%.1f%% hit rate), %.0f invalidations, %.0f bypasses, %.2f J server compute saved\n",
+		hits, misses, 100*hits/(hits+misses),
+		counterDelta(pre, post, "qcache_invalidations_total"),
+		counterDelta(pre, post, "qcache_bypass_total"),
+		gaugeValue(post, "qcache_saved_joules"))
 }
 
 func gaugeValue(snap obs.Snapshot, name string) float64 {

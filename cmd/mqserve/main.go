@@ -27,6 +27,12 @@
 //	            overlaying a delta tree on the packed base and folding it
 //	            in with epoch-swapped compactions (monolithic or with
 //	            -partition; -shards sets the monolithic shard count)
+//	-qcache     result-cache budget in MB (0 = caching off): hotspot query
+//	            results are cached under cell-snapped keys and invalidated
+//	            by shard version, so repeated nearby queries skip the index
+//	            walk entirely (ignored with -partition — a cluster backend
+//	            has no whole-index validity view)
+//	-qcell      result-cache snapping grid pitch in map units (with -qcache)
 //	-fault      faultlink profile injected on the listener (e.g.
 //	            "outage=30s+10s" or a preset name; "" = no faults)
 //
@@ -52,6 +58,7 @@ import (
 	"mobispatial/internal/ops"
 	"mobispatial/internal/parallel"
 	"mobispatial/internal/proto"
+	"mobispatial/internal/qcache"
 	"mobispatial/internal/rtree"
 	"mobispatial/internal/serve"
 	"mobispatial/internal/shard"
@@ -75,6 +82,8 @@ func run(args []string) error {
 	partition := fs.String("partition", "", "i/N: cluster backend i of N Hilbert ranges (\"\" = whole dataset)")
 	replicas := fs.Int("replicas", 1, "R-way replication under rotation placement (with -partition)")
 	mut := fs.Bool("mutable", false, "updatable pool accepting live inserts/deletes/moves")
+	qcacheMB := fs.Int("qcache", 0, "result-cache budget in MB (0 = off)")
+	qcell := fs.Float64("qcell", qcache.DefaultCellSize, "result-cache snapping grid pitch in map units")
 	fault := fs.String("fault", "", "faultlink profile injected on the listener (\"\" = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,9 +146,14 @@ func run(args []string) error {
 		}
 		pool = mp
 	}
+	var qc *qcache.Cache
+	if *qcacheMB > 0 {
+		qc = qcache.New(qcache.Config{MaxBytes: *qcacheMB << 20, CellSize: *qcell, Obs: hub})
+		fmt.Printf("mqserve: result cache %d MB, %.0f-unit cells\n", *qcacheMB, *qcell)
+	}
 	srv, err := serve.New(serve.Config{
 		Pool: pool, Master: tree, MaxInFlight: *inflight, Obs: hub,
-		Ranges: held, NumRanges: numRanges,
+		Ranges: held, NumRanges: numRanges, Cache: qc,
 	})
 	if err != nil {
 		return err
@@ -187,6 +201,11 @@ func run(args []string) error {
 	st := srv.Stats()
 	fmt.Printf("mqserve: served %d requests (%d shipments) over %d connections; %d overloads, %d deadline misses, %d errors\n",
 		st.Served, st.Shipments, st.Conns, st.Overloads, st.Deadlines, st.Errors)
+	if qc != nil {
+		cst := srv.CacheStats()
+		fmt.Printf("mqserve: cache %d hits / %d misses (%.1f%% hit rate), %d invalidations, %d entries, %.2f J saved\n",
+			cst.Hits, cst.Misses, cst.HitRate()*100, cst.Invalidations, cst.Entries, srv.CacheSavedJoules())
+	}
 	return nil
 }
 

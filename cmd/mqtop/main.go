@@ -122,6 +122,11 @@ func render(w *os.File, addr string, c *client.Client, uptimeMicros uint64, snap
 	if line := mutableLine(snap); line != "" {
 		fmt.Fprintln(w, line)
 	}
+	// A caching server exports qcache_* counters; older servers (or -qcache
+	// off) export none and the line is absent — same graceful degradation.
+	if line := cacheLine(snap, prev, dt, haveDelta); line != "" {
+		fmt.Fprintln(w, line)
+	}
 	fmt.Fprintln(w)
 
 	prevCounters := map[string]uint64{}
@@ -188,6 +193,46 @@ func mutableLine(snap obs.Snapshot) string {
 	}
 	return fmt.Sprintf("mutable — %d shards  max epoch %.0f  pending %.0f  max staleness %s",
 		shards, maxEpoch, pending, ms(maxStale))
+}
+
+// cacheLine folds the qcache_* counters into one result-cache summary line —
+// hits, misses, hit rate, and invalidations over the last refresh interval —
+// or "" when the server exports none (cache off, or a server predating the
+// result cache). The first frame has no baseline and shows run totals.
+func cacheLine(snap, prev obs.Snapshot, dt time.Duration, haveDelta bool) string {
+	cur := map[string]uint64{}
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "qcache_") {
+			cur[c.Name] = c.Value
+		}
+	}
+	if len(cur) == 0 {
+		return ""
+	}
+	old := map[string]uint64{}
+	if haveDelta {
+		for _, c := range prev.Counters {
+			old[c.Name] = c.Value
+		}
+	}
+	delta := func(name string) uint64 {
+		v := cur[name]
+		if o := old[name]; haveDelta && o <= v {
+			return v - o
+		}
+		return v
+	}
+	hits, misses := delta("qcache_hits_total"), delta("qcache_misses_total")
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * float64(hits) / float64(hits+misses)
+	}
+	window := "total"
+	if haveDelta {
+		window = "last " + dt.Round(time.Second).String()
+	}
+	return fmt.Sprintf("qcache — %d hits  %d misses  %.1f%% hit rate  %d invalidations  (%s)",
+		hits, misses, rate, delta("qcache_invalidations_total"), window)
 }
 
 // shardLabeled reports whether name is base{shard="..."}.

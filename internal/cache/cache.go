@@ -1,8 +1,12 @@
-// Package cache implements a set-associative LRU cache simulator. It is the
-// common building block for the client's split L1 caches (Table 3 of the
-// paper: 16 KB 4-way I-cache, 8 KB 4-way D-cache, 32-byte lines) and the
-// server's two-level hierarchy (Table 4: 32 KB 2-way L1s with 64-byte lines,
-// 1 MB 2-way unified L2 with 128-byte lines).
+// Package cache implements a set-associative LRU hardware-cache simulator.
+// It is the common building block for the client's split L1 caches (Table 3
+// of the paper: 16 KB 4-way I-cache, 8 KB 4-way D-cache, 32-byte lines) and
+// the server's two-level hierarchy (Table 4: 32 KB 2-way L1s with 64-byte
+// lines, 1 MB 2-way unified L2 with 128-byte lines).
+//
+// This is a model of CPU memory hierarchies for the simulator's cycle
+// accounting — not to be confused with internal/qcache, the serving tier's
+// epoch-invalidated query-result cache.
 //
 // The simulator tracks only tags — no data — because the machine models need
 // hit/miss behavior and access counts, not contents. Accesses are split at

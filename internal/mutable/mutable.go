@@ -282,6 +282,16 @@ func (p *Pool) Epoch(i int) uint64 { return p.shards[i].epoch.Load() }
 // Pending returns shard i's overlay size (unfolded updates + tombstones).
 func (p *Pool) Pending(i int) int { return int(p.shards[i].pend.Load()) }
 
+// Version returns shard i's monotone write-version counter — the result
+// cache's validity signal (qcache.Source). It advances under the shard
+// write lock, before the write is acknowledged, on every overlay mutation
+// and on every compaction epoch swap.
+func (p *Pool) Version(i int) uint64 { return p.shards[i].version.Load() }
+
+// ShardBounds returns shard i's current extent (qcache.Source): base bounds
+// plus any overlay geometry, empty for a shard holding nothing.
+func (p *Pool) ShardBounds(i int) geom.Rect { return p.shards[i].boundsNow() }
+
 // SegOf returns the live geometry of id, falling back to the base dataset
 // for original ids the pool no longer tracks and to the zero Segment for
 // unknown ids. This is the serving tier's data-mode resolver: inserted ids

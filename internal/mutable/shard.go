@@ -70,7 +70,15 @@ type mshard struct {
 	li int // index into pl.shards
 
 	epoch atomic.Uint64
-	base  atomic.Pointer[baseView]
+	// version counts every visible-state change: it advances (under the
+	// write lock, before the write's ack) on every overlay mutation and on
+	// every compaction epoch swap. The result cache (internal/qcache) keys
+	// entry validity on it: equal version ⇒ identical visible contents.
+	// Epoch alone would not do — an insert+delete pair can return the
+	// overlay to empty with the epoch unchanged, and a result computed
+	// mid-pair must not be served afterwards.
+	version atomic.Uint64
+	base    atomic.Pointer[baseView]
 	// pend is the total overlay size (live + frozen). Zero is the
 	// lock-free fast-path ticket: it only transitions 0→nonzero under
 	// the write lock, and back to zero when a compaction folds the last
@@ -169,6 +177,7 @@ func (s *mshard) removeLocked(id uint32) bool {
 }
 
 func (s *mshard) pendChangedLocked() {
+	s.version.Add(1)
 	n := len(s.overSeg) + len(s.tombs)
 	if f := s.frozen; f != nil {
 		n += f.size()

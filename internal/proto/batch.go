@@ -120,7 +120,10 @@ func (it *BatchItem) tag() uint8 {
 
 // BatchReplyMsg answers a BatchQueryMsg: Items[i] answers Queries[i].
 type BatchReplyMsg struct {
-	ID    uint32
+	ID uint32
+	// Epoch is the index-state fingerprint at answer time (see
+	// IDListMsg.Epoch); 0 = no epoch information.
+	Epoch uint64
 	Items []BatchItem
 }
 
@@ -161,6 +164,7 @@ func (m *BatchReplyMsg) Validate() error {
 
 func (m *BatchReplyMsg) appendPayload(b []byte) []byte {
 	b = appendU32(b, m.ID)
+	b = binaryAppendU64(b, m.Epoch)
 	b = appendU16(b, uint16(len(m.Items)))
 	for i := range m.Items {
 		it := &m.Items[i]
@@ -186,6 +190,7 @@ func (m *BatchReplyMsg) appendPayload(b []byte) []byte {
 func (m *BatchReplyMsg) decodePayload(b []byte) error {
 	d := decoder{b: b}
 	m.ID = d.u32()
+	m.Epoch = d.u64()
 	n := int(d.u16())
 	if n > MaxBatchQueries {
 		return fmt.Errorf("proto: batch reply count %d exceeds %d", n, MaxBatchQueries)

@@ -121,13 +121,13 @@ func TestBatchRejectsCorruptFrames(t *testing.T) {
 	}
 	// Unknown item tag.
 	badTag := append([]byte(nil), reply...)
-	badTag[FrameHeaderBytes+6] = 0x7F
+	badTag[FrameHeaderBytes+14] = 0x7F // first item tag (after id u32 + epoch u64 + count u16)
 	if _, _, err := ReadMessage(bytes.NewReader(badTag)); err == nil {
 		t.Fatal("unknown batch item tag accepted")
 	}
 	// Hostile id count inside an item must error, not allocate wildly.
 	badN := append([]byte(nil), reply...)
-	badN[FrameHeaderBytes+7] = 0xFF
+	badN[FrameHeaderBytes+15] = 0xFF // first item id-count low bytes
 	if _, _, err := ReadMessage(bytes.NewReader(badN)); err == nil {
 		t.Fatal("hostile batch item id count accepted")
 	}

@@ -97,6 +97,7 @@ func ReleaseMessage(m Message) {
 			return
 		}
 		v.ID = 0
+		v.Epoch = 0
 		v.IDs = v.IDs[:0]
 		idListPool.Put(v)
 	case *DataListMsg:
@@ -104,6 +105,7 @@ func ReleaseMessage(m Message) {
 			return
 		}
 		v.ID = 0
+		v.Epoch = 0
 		v.Records = v.Records[:0]
 		dataListPool.Put(v)
 	case *PingMsg:
@@ -150,6 +152,7 @@ func ReleaseMessage(m Message) {
 			return
 		}
 		v.ID = 0
+		v.Epoch = 0
 		v.Items = v.Items[:0]
 		batchReplyPool.Put(v)
 	}

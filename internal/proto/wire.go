@@ -269,8 +269,13 @@ func (m *QueryMsg) decodePayload(b []byte) error {
 
 // IDListMsg carries object or candidate ids.
 type IDListMsg struct {
-	ID  uint32
-	IDs []uint32
+	ID uint32
+	// Epoch is the server's index-state fingerprint at answer time (the
+	// qcache hint: any acknowledged write changes it). Zero means the
+	// server offers no epoch information — older servers and routers.
+	// Clients use it to validate semantically cached shipments.
+	Epoch uint64
+	IDs   []uint32
 }
 
 // Type implements Message.
@@ -289,6 +294,7 @@ func (m *IDListMsg) Validate() error {
 
 func (m *IDListMsg) appendPayload(b []byte) []byte {
 	b = appendU32(b, m.ID)
+	b = binaryAppendU64(b, m.Epoch)
 	b = appendU32(b, uint32(len(m.IDs)))
 	for _, id := range m.IDs {
 		b = appendU32(b, id)
@@ -299,6 +305,7 @@ func (m *IDListMsg) appendPayload(b []byte) []byte {
 func (m *IDListMsg) decodePayload(b []byte) error {
 	d := decoder{b: b}
 	m.ID = d.u32()
+	m.Epoch = d.u64()
 	n := int(d.u32())
 	if d.err == nil && n*4 != len(d.b)-d.off {
 		return fmt.Errorf("proto: id list count %d does not match %d payload bytes", n, len(d.b)-d.off)
@@ -309,7 +316,9 @@ func (m *IDListMsg) decodePayload(b []byte) error {
 
 // DataListMsg carries full data records.
 type DataListMsg struct {
-	ID      uint32
+	ID uint32
+	// Epoch is the index-state fingerprint, as on IDListMsg; 0 = none.
+	Epoch   uint64
 	Records []Record
 }
 
@@ -324,12 +333,14 @@ func (m *DataListMsg) Validate() error { return validateRecords("data list", m.R
 
 func (m *DataListMsg) appendPayload(b []byte) []byte {
 	b = appendU32(b, m.ID)
+	b = binaryAppendU64(b, m.Epoch)
 	return appendRecords(b, m.Records)
 }
 
 func (m *DataListMsg) decodePayload(b []byte) error {
 	d := decoder{b: b}
 	m.ID = d.u32()
+	m.Epoch = d.u64()
 	n := int(d.u32())
 	if d.err == nil && n*WireRecordBytes != len(d.b)-d.off {
 		d.err = fmt.Errorf("record count %d does not match %d payload bytes", n, len(d.b)-d.off)
@@ -394,7 +405,13 @@ func (m *ShipmentReqMsg) decodePayload(b []byte) error {
 // shipment carries no coverage guarantee (the answer alone overflowed the
 // budget — §4's re-request case).
 type ShipmentMsg struct {
-	ID       uint32
+	ID uint32
+	// Epoch is the index-state fingerprint the shipment was cut under; a
+	// client may answer covered queries locally while later replies carry
+	// the same non-zero hint. Zero means the shipment carries no currency
+	// claim (older servers, or an index that has diverged from the master
+	// tree shipments are cut from).
+	Epoch    uint64
 	Coverage geom.Rect
 	Records  []Record
 }
@@ -415,6 +432,7 @@ func (m *ShipmentMsg) Validate() error {
 
 func (m *ShipmentMsg) appendPayload(b []byte) []byte {
 	b = appendU32(b, m.ID)
+	b = binaryAppendU64(b, m.Epoch)
 	b = appendRect(b, m.Coverage)
 	return appendRecords(b, m.Records)
 }
@@ -422,6 +440,7 @@ func (m *ShipmentMsg) appendPayload(b []byte) []byte {
 func (m *ShipmentMsg) decodePayload(b []byte) error {
 	d := decoder{b: b}
 	m.ID = d.u32()
+	m.Epoch = d.u64()
 	m.Coverage = d.rect()
 	m.Records = d.records()
 	return d.finish("shipment")

@@ -297,7 +297,7 @@ func TestWireRejectsCorruptFrames(t *testing.T) {
 
 	// Inner count disagreeing with the payload length.
 	badCount := append([]byte(nil), frame...)
-	badCount[FrameHeaderBytes+7] = 99 // id-list count field
+	badCount[FrameHeaderBytes+15] = 99 // id-list count field (after id u32 + epoch u64)
 	if _, _, err := ReadMessage(bytes.NewReader(badCount)); err == nil {
 		t.Fatal("mismatched count accepted")
 	}

@@ -59,6 +59,17 @@ type Config struct {
 	// degradation to the paper's all-client scheme. Nil keeps failures
 	// as errors.
 	Fallback Fallback
+	// SemanticCache additionally uses Fallback on the HAPPY path: a query
+	// covered by the local state is answered without touching the radio as
+	// long as the state's epoch matches the server's latest reply hint
+	// (see semantic.go). Requires Fallback to implement EpochFallback
+	// (*Shipment does).
+	SemanticCache bool
+	// SemanticMaxAge bounds how long the semantic cache may trust the last
+	// epoch hint without hearing from the server; defaults to 1s. Older
+	// hints force one wire exchange, whose reply renews freshness when the
+	// epoch is unchanged.
+	SemanticMaxAge time.Duration
 	// Dial overrides the transport dialer. Tests and cmd/mqload use it to
 	// slot an internal/faultlink injector under the client. Nil dials
 	// plain TCP.
@@ -88,6 +99,9 @@ func (c *Config) fill() error {
 	}
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 250 * time.Millisecond
+	}
+	if c.SemanticMaxAge <= 0 {
+		c.SemanticMaxAge = time.Second
 	}
 	return nil
 }
@@ -124,6 +138,16 @@ type Client struct {
 	backoffRng     func() float64 // uniform [0,1) for full-jitter backoff
 	backoffRngLock sync.Mutex
 
+	// Semantic-cache state (semantic.go): the epoch-aware fallback, the
+	// freshest server epoch hint with its arrival time, and the hit
+	// accounting.
+	semFallback EpochFallback
+	lastHint    atomic.Uint64
+	lastHintAt  atomic.Int64 // unix nanos of the latest hint
+	semHits     atomic.Uint64
+	semLocalJ   obs.Gauge // modeled Joules of semantic local answers
+	semSavedJ   obs.Gauge // modeled NIC Joules the avoided exchanges cost
+
 	hub     *obs.Hub
 	metrics clientMetrics
 }
@@ -159,6 +183,13 @@ func New(cfg Config) (*Client, error) {
 		c.backoffRngLock.Lock()
 		defer c.backoffRngLock.Unlock()
 		return rng.Float64()
+	}
+	if cfg.SemanticCache {
+		ef, ok := cfg.Fallback.(EpochFallback)
+		if !ok {
+			return nil, fmt.Errorf("client: SemanticCache requires a Fallback with an epoch hint (e.g. *Shipment)")
+		}
+		c.semFallback = ef
 	}
 	return c, nil
 }
@@ -535,8 +566,10 @@ func (c *Client) query(q *proto.QueryMsg) ([]uint32, []proto.Record, error) {
 	}
 	switch r := resp.(type) {
 	case *proto.IDListMsg:
+		c.noteHint(r.Epoch)
 		return r.IDs, nil, nil
 	case *proto.DataListMsg:
+		c.noteHint(r.Epoch)
 		ids := make([]uint32, len(r.Records))
 		for i, rec := range r.Records {
 			ids[i] = rec.ID
@@ -551,7 +584,12 @@ func (c *Client) query(q *proto.QueryMsg) ([]uint32, []proto.Record, error) {
 // queryWithFallback runs q remotely, degrading to local execution when the
 // error is transient (breaker open, retries exhausted, overload/shutdown)
 // and the configured Fallback covers the query. Like query, it owns q.
+// With the semantic cache enabled and provably fresh for q, the exchange is
+// skipped entirely and the answer comes from the local sub-index.
 func (c *Client) queryWithFallback(q *proto.QueryMsg) ([]uint32, []proto.Record, error) {
+	if ids, recs, ok := c.trySemantic(q); ok {
+		return ids, recs, nil
+	}
 	var (
 		cq       core.Query
 		canLocal bool
@@ -585,25 +623,35 @@ func fallbackEligible(err error) bool {
 	return true
 }
 
-// runFallback executes cq against the local fallback with degraded-mode
-// accounting: a span staged as StageFallback, modeled local-compute Joules,
-// and the fallback counters.
-func (c *Client) runFallback(cq core.Query) ([]proto.Record, error) {
+// runLocal executes cq against a local index with a span under the given
+// scheme and the modeled compute cost attributed — the shared engine of the
+// degraded-mode fallback and the semantic cache's happy-path hits.
+func (c *Client) runLocal(f Fallback, cq core.Query, scheme string) (recs []proto.Record, sec, joules float64, err error) {
 	var sp *obs.Span
 	if c.hub != nil {
 		sp = c.hub.Trace.Start(queryKindName(cq.Kind))
-		sp.SetScheme("fallback-local")
+		sp.SetScheme(scheme)
 	}
 	start := time.Now()
-	recs, err := c.fallback.Answer(cq, 0)
-	sec := time.Since(start).Seconds()
+	recs, err = f.Answer(cq, 0)
+	sec = time.Since(start).Seconds()
 	sp.Lap(obs.StageFallback, sec)
 	j, cy := c.energy.Compute(sec)
 	sp.Attribute(obs.StageFallback, j, cy)
 	if err != nil {
-		c.fallbackErrs.Add(1)
 		sp.SetErr()
-		sp.Finish()
+	}
+	sp.Finish()
+	return recs, sec, j, err
+}
+
+// runFallback executes cq against the local fallback with degraded-mode
+// accounting: a span staged as StageFallback, modeled local-compute Joules,
+// and the fallback counters.
+func (c *Client) runFallback(cq core.Query) ([]proto.Record, error) {
+	recs, sec, j, err := c.runLocal(c.fallback, cq, "fallback-local")
+	if err != nil {
+		c.fallbackErrs.Add(1)
 		return nil, err
 	}
 	c.fallbacks.Add(1)
@@ -611,7 +659,6 @@ func (c *Client) runFallback(cq core.Query) ([]proto.Record, error) {
 	c.metrics.fallbacks.Inc()
 	c.metrics.fallbackHist.Observe(sec)
 	c.metrics.fallbackJoules.Add(j)
-	sp.Finish()
 	return recs, nil
 }
 
@@ -728,6 +775,7 @@ func (c *Client) QueryBatch(qs []proto.QueryMsg) ([]BatchResult, error) {
 	}
 	switch r := resp.(type) {
 	case *proto.BatchReplyMsg:
+		c.noteHint(r.Epoch)
 		if len(r.Items) != len(qs) {
 			n := len(r.Items)
 			proto.ReleaseMessage(r)

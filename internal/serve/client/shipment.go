@@ -18,6 +18,11 @@ type Shipment struct {
 	// Coverage is the server's guarantee rectangle; empty means no
 	// guarantee (the answer alone overflowed the budget).
 	Coverage geom.Rect
+	// Epoch is the server's index epoch hint at shipment time; 0 when the
+	// server gave none (distributed pools, or an index already written
+	// to). The semantic cache compares it against the latest reply hint
+	// to prove the shipment still reflects the live index.
+	Epoch uint64
 	// Tree is the packed R-tree rebuilt over the shipped records.
 	Tree *rtree.Tree
 	// segs maps record id → geometry for local refinement.
@@ -46,6 +51,7 @@ func (c *Client) FetchShipment(window geom.Rect, budgetBytes, recordBytes int) (
 		}
 		return nil, fmt.Errorf("client: unexpected %v reply to shipment request", resp.Type())
 	}
+	c.noteHint(sm.Epoch)
 	return NewShipment(sm)
 }
 
@@ -66,11 +72,14 @@ func NewShipment(sm *proto.ShipmentMsg) (*Shipment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: rebuilding shipped sub-index: %w", err)
 	}
-	return &Shipment{Coverage: sm.Coverage, Tree: tree, segs: segs}, nil
+	return &Shipment{Coverage: sm.Coverage, Epoch: sm.Epoch, Tree: tree, segs: segs}, nil
 }
 
 // Len returns the number of shipped records.
 func (s *Shipment) Len() int { return len(s.segs) }
+
+// EpochHint implements EpochFallback for the semantic cache.
+func (s *Shipment) EpochHint() uint64 { return s.Epoch }
 
 // Covers reports whether the shipment's guarantee extends to q: range
 // windows must be contained in Coverage; point and NN queries need their

@@ -34,6 +34,7 @@ import (
 	"mobispatial/internal/ops"
 	"mobispatial/internal/parallel"
 	"mobispatial/internal/proto"
+	"mobispatial/internal/qcache"
 	"mobispatial/internal/rtree"
 )
 
@@ -149,6 +150,11 @@ type Config struct {
 	// NumRanges is the cluster-wide total range count; required when Ranges
 	// is set (every backend of one cluster must report the same value).
 	NumRanges int
+	// Cache enables the server-side query-result cache (internal/qcache);
+	// nil disables it. It is ignored when Pool is a DeadlineExecutor — a
+	// pool that fans out over the network has no local validity view to
+	// invalidate against. See cache.go for the hit/refine path.
+	Cache *qcache.Cache
 
 	// testDelay, when set, stalls every query execution — tests use it to
 	// fill the admission window and overrun deadlines deterministically.
@@ -228,6 +234,19 @@ type Server struct {
 	// summary is the precomputed MsgSummaryReq reply (ID filled per request;
 	// Ranges shared read-only across replies).
 	summary proto.SummaryMsg
+	// qc is the result cache (nil = caching off) and qsrc the validity view
+	// its entries are checked against. qsrc is resolved even without a
+	// cache: it also feeds the epoch hints stamped on replies, which the
+	// client's semantic cache validates shipped sub-indexes with. Both are
+	// nil for DeadlineExecutor pools.
+	qc   *qcache.Cache
+	qsrc qcache.Source
+	// em prices cache hits: a hit saves roughly one mean miss execution,
+	// accumulated in savedNanos from the missNanos/missCount running mean.
+	em         obs.EnergyModel
+	missNanos  atomic.Int64
+	missCount  atomic.Int64
+	savedNanos atomic.Int64
 	// sem holds one token per in-flight request.
 	sem chan struct{}
 
@@ -261,6 +280,13 @@ type reqScratch struct {
 	batch   proto.BatchReplyMsg
 	nbrMsg  proto.NeighborsMsg
 	ackMsg  proto.UpdateAckMsg
+	// Cache-path state: the pre/post validity views and the superset
+	// payload buffers (ids + geometry + NN distances) the cache copies out
+	// into on a hit and the miss path executes into before storing.
+	pre, post qcache.View
+	cids      []uint32
+	csegs     []geom.Segment
+	cdists    []float64
 }
 
 // Retention caps for pooled scratch, mirroring internal/proto's: a scratch
@@ -277,6 +303,9 @@ func (s *Server) getScratch() *reqScratch {
 func (s *Server) putScratch(sc *reqScratch) {
 	if cap(sc.ids) > maxScratchIDs || cap(sc.dataMsg.Records) > maxScratchRecords ||
 		cap(sc.nbrMsg.Neighbors) > maxScratchRecords {
+		return
+	}
+	if cap(sc.cids) > maxScratchIDs || cap(sc.csegs) > maxScratchIDs || cap(sc.cdists) > maxScratchIDs {
 		return
 	}
 	items := sc.batch.Items[:cap(sc.batch.Items)]
@@ -316,6 +345,9 @@ type serveMetrics struct {
 	// (insert, delete, move); updates mirrors Stats.Updates.
 	updateHist [3]*obs.Histogram
 	updates    *obs.Counter
+	// cacheSavedJ is the modeled server-compute Joules the result cache has
+	// saved: each hit is priced as one mean miss execution.
+	cacheSavedJ *obs.Gauge
 }
 
 var kindNames = [3]string{"point", "range", "nn"}
@@ -351,6 +383,7 @@ func newServeMetrics(h *obs.Hub) serveMetrics {
 		m.updateHist[k] = h.Reg.Histogram(obs.Name("serve_update_seconds", "kind", kindName))
 	}
 	m.updates = h.Reg.Counter("serve_updates_total")
+	m.cacheSavedJ = h.Reg.Gauge("qcache_saved_joules")
 	return m
 }
 
@@ -372,6 +405,30 @@ func New(cfg Config) (*Server, error) {
 	s.bnn, _ = cfg.Pool.(BoundedNN)
 	s.upd, _ = cfg.Pool.(Updatable)
 	s.sr, _ = cfg.Pool.(SegResolver)
+	s.em = obs.DefaultEnergyModel()
+	if cfg.Obs != nil {
+		s.em = cfg.Obs.Energy
+	}
+	if s.dx == nil {
+		// A local pool has a validity view: its own shard versions when it
+		// is mutable, or a single frozen pseudo-shard when it is not. A
+		// distributed pool (router) gets neither a cache nor epoch hints.
+		if src, ok := cfg.Pool.(qcache.Source); ok {
+			s.qsrc = src
+		} else {
+			rect := geom.Rect{
+				Min: geom.Point{X: math.Inf(-1), Y: math.Inf(-1)},
+				Max: geom.Point{X: math.Inf(1), Y: math.Inf(1)},
+			}
+			if b, ok := cfg.Pool.(interface{ Bounds() geom.Rect }); ok {
+				if bb := b.Bounds(); !bb.IsEmpty() {
+					rect = bb
+				}
+			}
+			s.qsrc = qcache.Static{Rect: rect}
+		}
+		s.qc = cfg.Cache
+	}
 	summary, err := buildSummary(&cfg)
 	if err != nil {
 		return nil, err
@@ -850,7 +907,7 @@ func (s *Server) statsSnapshot(id uint32) *proto.StatsMsg {
 		return obs.ToStatsMsg(id, uptime, h.Reg.Snapshot())
 	}
 	st := s.Stats()
-	return obs.ToStatsMsg(id, uptime, obs.Snapshot{Counters: []obs.CounterValue{
+	counters := []obs.CounterValue{
 		{Name: "serve_conns_total", Value: st.Conns},
 		{Name: "serve_deadlines_total", Value: st.Deadlines},
 		{Name: "serve_errors_total", Value: st.Errors},
@@ -860,7 +917,21 @@ func (s *Server) statsSnapshot(id uint32) *proto.StatsMsg {
 		{Name: "serve_batches_total", Value: st.Batches},
 		{Name: "serve_batch_queries_total", Value: st.BatchQueries},
 		{Name: "serve_updates_total", Value: st.Updates},
-	}})
+	}
+	if s.qc != nil {
+		// With obs enabled the registry snapshot above already carries the
+		// qcache_* series; synthesize them here so an obs-less server still
+		// reports its cache to mqtop.
+		cs := s.qc.Stats()
+		counters = append(counters,
+			obs.CounterValue{Name: "qcache_hits_total", Value: cs.Hits},
+			obs.CounterValue{Name: "qcache_misses_total", Value: cs.Misses},
+			obs.CounterValue{Name: "qcache_invalidations_total", Value: cs.Invalidations},
+			obs.CounterValue{Name: "qcache_stores_total", Value: cs.Stores},
+			obs.CounterValue{Name: "qcache_bypass_total", Value: cs.Bypasses},
+		)
+	}
+	return obs.ToStatsMsg(id, uptime, obs.Snapshot{Counters: counters})
 }
 
 // safeExecute runs execute with panic containment: a panicking query
@@ -1066,6 +1137,27 @@ func (s *Server) executeNN(m *proto.NNQueryMsg, sc *reqScratch, deadline time.Ti
 	if bound <= 0 {
 		bound = math.Inf(1)
 	}
+	if s.qc != nil {
+		if math.IsInf(bound, 1) {
+			// Only unbounded legs are cacheable: the router's running bound
+			// is not part of the key space, and a bounded answer is a
+			// truncation no later query could safely refine from.
+			ids, dists, code, text, handled := s.cachedNN(m.Point, k, sc)
+			if handled {
+				if code != 0 {
+					return &proto.ErrorMsg{ID: m.ID, Code: code, Text: text}
+				}
+				out := sc.nbrMsg.Neighbors[:0]
+				for i, id := range ids {
+					out = append(out, proto.Neighbor{ID: id, Dist: dists[i]})
+				}
+				sc.nbrMsg = proto.NeighborsMsg{ID: m.ID, Neighbors: out}
+				return &sc.nbrMsg
+			}
+		} else {
+			s.qc.Bypass()
+		}
+	}
 	var (
 		nbs []rtree.Neighbor
 		ok  = true
@@ -1106,21 +1198,47 @@ func (s *Server) segOf(ds *dataset.Dataset, id uint32) geom.Segment {
 }
 
 func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch, deadline time.Time) proto.Message {
-	ids, code, text := s.runQuery(q, sc, sc.ids[:0], deadline)
-	sc.ids = ids
-	if code != 0 {
-		return &proto.ErrorMsg{ID: q.ID, Code: code, Text: text}
+	var (
+		ids       []uint32
+		segs      []geom.Segment // aligned with ids when fromCache
+		fromCache bool
+	)
+	if s.qc != nil {
+		cids, csegs, code, text, handled := s.runQueryCached(q, sc)
+		if handled {
+			if code != 0 {
+				return &proto.ErrorMsg{ID: q.ID, Code: code, Text: text}
+			}
+			ids, segs, fromCache = cids, csegs, true
+		}
+	}
+	if !fromCache {
+		var code proto.ErrCode
+		var text string
+		ids, code, text = s.runQuery(q, sc, sc.ids[:0], deadline)
+		sc.ids = ids
+		if code != 0 {
+			return &proto.ErrorMsg{ID: q.ID, Code: code, Text: text}
+		}
 	}
 	if q.Mode == proto.ModeData {
-		ds := s.cfg.Pool.Dataset()
 		recs := sc.dataMsg.Records[:0]
-		for _, id := range ids {
-			recs = append(recs, proto.Record{ID: id, Seg: s.segOf(ds, id)})
+		if fromCache {
+			// The cached entry carries its geometry: no per-id SegOf (and no
+			// pool-level owner-table lock) on the hit path.
+			for i, id := range ids {
+				recs = append(recs, proto.Record{ID: id, Seg: segs[i]})
+			}
+		} else {
+			ds := s.cfg.Pool.Dataset()
+			for _, id := range ids {
+				recs = append(recs, proto.Record{ID: id, Seg: s.segOf(ds, id)})
+			}
 		}
-		sc.dataMsg = proto.DataListMsg{ID: q.ID, Records: recs}
+		sc.dataMsg = proto.DataListMsg{ID: q.ID, Epoch: s.epochHint(), Records: recs}
 		return &sc.dataMsg
 	}
-	sc.idMsg = proto.IDListMsg{ID: q.ID, IDs: ids}
+	sc.idMsg = proto.IDListMsg{ID: q.ID, Epoch: s.epochHint(), IDs: ids}
 	return &sc.idMsg
 }
 
@@ -1141,28 +1259,50 @@ func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch, deadline t
 
 		q := &m.Queries[i]
 		start := time.Now()
-		if q.Mode == proto.ModeData {
-			ids, code, text := s.runQuery(q, sc, sc.ids[:0], deadline)
-			sc.ids = ids
-			if code != 0 {
-				it.Err, it.Text = code, text
-			} else {
-				ds := s.cfg.Pool.Dataset()
-				for _, id := range ids {
-					it.Recs = append(it.Recs, proto.Record{ID: id, Seg: s.segOf(ds, id)})
+		handled := false
+		if s.qc != nil {
+			var cids []uint32
+			var csegs []geom.Segment
+			var code proto.ErrCode
+			var text string
+			if cids, csegs, code, text, handled = s.runQueryCached(q, sc); handled {
+				switch {
+				case code != 0:
+					it.Err, it.Text = code, text
+				case q.Mode == proto.ModeData:
+					for j, id := range cids {
+						it.Recs = append(it.Recs, proto.Record{ID: id, Seg: csegs[j]})
+					}
+				default:
+					it.IDs = append(it.IDs, cids...)
 				}
 			}
-		} else {
-			ids, code, text := s.runQuery(q, sc, it.IDs, deadline)
-			if code != 0 {
-				it.Err, it.Text = code, text
+		}
+		if !handled {
+			if q.Mode == proto.ModeData {
+				ids, code, text := s.runQuery(q, sc, sc.ids[:0], deadline)
+				sc.ids = ids
+				if code != 0 {
+					it.Err, it.Text = code, text
+				} else {
+					ds := s.cfg.Pool.Dataset()
+					for _, id := range ids {
+						it.Recs = append(it.Recs, proto.Record{ID: id, Seg: s.segOf(ds, id)})
+					}
+				}
 			} else {
-				it.IDs = ids
+				ids, code, text := s.runQuery(q, sc, it.IDs, deadline)
+				if code != 0 {
+					it.Err, it.Text = code, text
+				} else {
+					it.IDs = ids
+				}
 			}
 		}
 		s.observeExecQuery(q, time.Since(start).Seconds())
 	}
 	sc.batch.ID = m.ID
+	sc.batch.Epoch = s.epochHint()
 	sc.batch.Items = items
 	s.nBatches.Add(1)
 	s.nBatchQueries.Add(uint64(len(m.Queries)))
@@ -1200,5 +1340,13 @@ func (s *Server) executeShipment(m *proto.ShipmentReqMsg) proto.Message {
 	}
 	s.nShipments.Add(1)
 	s.metrics.shipments.Inc()
-	return &proto.ShipmentMsg{ID: m.ID, Coverage: ship.Coverage, Records: recs}
+	// A shipment is cut from the master tree — the frozen seed state. It may
+	// claim currency (carry a non-zero epoch hint the client's semantic cache
+	// can validate against) only while the live index has never been written:
+	// after the first write the master no longer reflects the live index.
+	var epoch uint64
+	if s.qsrc != nil && qcache.Unwritten(s.qsrc) {
+		epoch = qcache.HintOf(s.qsrc)
+	}
+	return &proto.ShipmentMsg{ID: m.ID, Epoch: epoch, Coverage: ship.Coverage, Records: recs}
 }
