@@ -49,6 +49,10 @@
 //	             incompatible with -planner and -batch)
 //	-vehicles    moving mode: vehicle count (default 64)
 //	-readfrac    moving mode: mean reads issued per move (default 1.0)
+//	-readback    moving mode: after every acked move, immediately range-read
+//	             the vehicle's own position and count acked writes a read
+//	             fails to return — the freshness check that catches a serving
+//	             tier whose routing or caching lags its writes
 //
 // In moving mode the report splits writes from reads — write qps and
 // latency, read latency, ack'd ownership — and adds the staleness evidence:
@@ -163,6 +167,7 @@ func run(args []string) error {
 	moving := fs.Bool("moving", false, "moving-objects workload against a -mutable server")
 	vehicles := fs.Int("vehicles", 64, "moving mode: vehicle count")
 	readFrac := fs.Float64("readfrac", 1.0, "moving mode: mean reads per move")
+	readback := fs.Bool("readback", false, "moving mode: read own position back after every acked move and count misses")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -267,6 +272,7 @@ func run(args []string) error {
 			rangeW:      *rangeW,
 			seed:        *seed,
 			readFrac:    *readFrac,
+			readback:    *readback,
 			qmix:        qmix,
 			serverStats: *serverStats,
 			routerMode:  *routerMode,

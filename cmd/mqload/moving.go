@@ -37,6 +37,7 @@ type movingOpts struct {
 	rangeW      float64
 	seed        int64
 	readFrac    float64
+	readback    bool
 	qmix        mix
 	serverStats bool
 	routerMode  bool
@@ -114,6 +115,8 @@ func runMoving(c *client.Client, o movingOpts) error {
 		readErrs   atomic.Uint64
 		notOwned   atomic.Uint64
 		epochBumps atomic.Uint64
+		rbChecked  atomic.Uint64
+		rbMissed   atomic.Uint64
 		wg         sync.WaitGroup
 	)
 	writeHists := make([]*stats.Histogram, o.conns)
@@ -155,6 +158,30 @@ func runMoving(c *client.Client, o movingOpts) error {
 				}
 				if err == nil {
 					v.lastEpoch, v.acked = ack.Epoch, true
+				}
+
+				// Read-your-writes check: the move was acked, so a range
+				// read over the fresh geometry must return this vehicle —
+				// a miss means the serving tier's routing or caching lags
+				// its writes. Counted for the whole run, warmup included:
+				// freshness is a correctness property, not a latency one.
+				if o.readback && err == nil {
+					ids, rerr := c.RangeIDs(seg.MBR())
+					if rerr != nil {
+						readErrs.Add(1)
+					} else {
+						rbChecked.Add(1)
+						found := false
+						for _, got := range ids {
+							if got == v.id {
+								found = true
+								break
+							}
+						}
+						if !found {
+							rbMissed.Add(1)
+						}
+					}
 				}
 
 				if wrng.Float64() >= o.readFrac {
@@ -222,6 +249,10 @@ func runMoving(c *client.Client, o movingOpts) error {
 		ms(reads.Mean()), ms(reads.P(0.50)), ms(reads.P(0.95)), ms(reads.P(0.99)))
 	fmt.Printf("  errors    %d write, %d read, %d retries; %d acks not-owned\n",
 		writeErrs.Load(), readErrs.Load(), c.Retries(), notOwned.Load())
+	if o.readback {
+		fmt.Printf("  readback  %d acked moves read back, %d missed\n",
+			rbChecked.Load(), rbMissed.Load())
+	}
 	if bumps := epochBumps.Load(); bumps > 0 {
 		fmt.Printf("  staleness %d epoch swaps observed in acks — a write waits ~%.0f writes in the overlay before folding into the packed base\n",
 			bumps, float64(writes.Count())/float64(bumps))

@@ -19,14 +19,27 @@
 //	-leg-timeout one backend leg's budget (default 1s)
 //	-register    registration timeout while polling backend summaries
 //	             (default 30s; backends may still be starting)
+//	-refresh     routing-table refresh period — how often backend summaries
+//	             are re-polled so writes applied elsewhere become routable
+//	             (default 250ms; negative freezes the table at registration)
+//	-qcache      router-tier result-cache budget in MB (0 = off): hotspot
+//	             fan-out results are cached under cell-snapped keys and
+//	             invalidated by the cluster's per-range version vector, so
+//	             a repeated nearby query skips the whole fan-out
+//	-qcell       result-cache snapping grid pitch in map units (with -qcache)
 //	-obs         observability HTTP address ("" = disabled)
 //
 // The router registers by polling every backend for its MsgSummary (held
-// ranges, item counts, MBRs), builds the assignment table, and serves until
-// SIGINT/SIGTERM. When the backends run -mutable, live writes route too:
-// inserts go to every holder of the owning Hilbert range, moves and deletes
-// broadcast (evicting stale copies), and the end-of-run report counts routed
-// writes and replica divergence.
+// ranges, item counts, MBRs, write versions), builds the assignment table,
+// and serves until SIGINT/SIGTERM. The table is refreshed live: a background
+// loop re-polls summaries and epoch-swaps the routing snapshot, and every
+// write routed through this router widens the routing predicates
+// immediately — so objects inserted or moved outside their range's
+// registered MBR stay visible to range, point, and NN queries. When the
+// backends run -mutable, live writes route too: inserts go to every holder
+// of the owning Hilbert range, moves and deletes broadcast (evicting stale
+// copies), and the end-of-run report counts routed writes and replica
+// divergence.
 package main
 
 import (
@@ -41,6 +54,7 @@ import (
 
 	"mobispatial/internal/dataset"
 	"mobispatial/internal/obs"
+	"mobispatial/internal/qcache"
 	"mobispatial/internal/router"
 	"mobispatial/internal/serve"
 )
@@ -60,6 +74,9 @@ func run(args []string) error {
 	conns := fs.Int("conns", 4, "pooled connections per backend")
 	legTimeout := fs.Duration("leg-timeout", time.Second, "one backend leg's budget")
 	register := fs.Duration("register", 30*time.Second, "registration timeout")
+	refresh := fs.Duration("refresh", 250*time.Millisecond, "routing-table refresh period (negative = frozen at registration)")
+	qcacheMB := fs.Int("qcache", 0, "router result-cache budget in MB (0 = off)")
+	qcell := fs.Float64("qcell", qcache.DefaultCellSize, "result-cache snapping grid pitch in map units")
 	obsAddr := fs.String("obs", "", "observability HTTP address (\"\" = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +102,7 @@ func run(args []string) error {
 		ConnsPerBackend: *conns,
 		LegTimeout:      *legTimeout,
 		RegisterTimeout: *register,
+		RefreshInterval: *refresh,
 		Obs:             hub,
 	})
 	if err != nil {
@@ -96,8 +114,16 @@ func run(args []string) error {
 	// The router IS the server's pool: clients connect with the unchanged
 	// protocol and every query fans out behind the same framed surface.
 	// Shipments need the master tree, which lives on the backends, so the
-	// router leaves them unsupported.
-	srv, err := serve.New(serve.Config{Pool: r, Obs: hub})
+	// router leaves them unsupported. The router doubles as the cluster's
+	// validity view (qcache.Source over the per-range version vector), so
+	// the same result cache mqserve runs locally works one tier up — a hit
+	// skips the whole fan-out.
+	var qc *qcache.Cache
+	if *qcacheMB > 0 {
+		qc = qcache.New(qcache.Config{MaxBytes: *qcacheMB << 20, CellSize: *qcell, Obs: hub})
+		fmt.Printf("mqrouter: result cache %d MB, %.0f-unit cells\n", *qcacheMB, *qcell)
+	}
+	srv, err := serve.New(serve.Config{Pool: r, Obs: hub, Cache: qc})
 	if err != nil {
 		return err
 	}
@@ -150,6 +176,11 @@ func run(args []string) error {
 	if writes > 0 {
 		fmt.Printf("mqrouter: routed %d writes to replicas; %d diverged, %d unroutable\n",
 			writes, writeDiverged, writeUnroutable)
+	}
+	if qc != nil {
+		cst := srv.CacheStats()
+		fmt.Printf("mqrouter: cache %d hits / %d misses (%.1f%% hit rate), %d invalidations, %d entries, %.2f J saved\n",
+			cst.Hits, cst.Misses, cst.HitRate()*100, cst.Invalidations, cst.Entries, srv.CacheSavedJoules())
 	}
 	return nil
 }

@@ -30,8 +30,10 @@
 //	-qcache     result-cache budget in MB (0 = caching off): hotspot query
 //	            results are cached under cell-snapped keys and invalidated
 //	            by shard version, so repeated nearby queries skip the index
-//	            walk entirely (ignored with -partition — a cluster backend
-//	            has no whole-index validity view)
+//	            walk entirely (works with -partition too: a mutable cluster
+//	            backend invalidates by per-shard write version, a frozen
+//	            one caches against a static view; the server refuses the
+//	            flag only for a pool with no validity view at all)
 //	-qcell      result-cache snapping grid pitch in map units (with -qcache)
 //	-fault      faultlink profile injected on the listener (e.g.
 //	            "outage=30s+10s" or a preset name; "" = no faults)

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobispatial/internal/dataset"
@@ -141,6 +142,10 @@ type Pool struct {
 	// disagree with the owner table).
 	omu     sync.Mutex
 	ownerOf map[uint32]int32 // live object id -> shards index
+	// counts[i] is the number of live objects shard i owns — the per-range
+	// item count live registration summaries report. Mutated only under
+	// omu (at the same sites ownerOf changes), read lock-free.
+	counts []atomic.Int64
 
 	nnPool sync.Pool // *nnState
 
@@ -208,6 +213,10 @@ func New(cfg Config) (*Pool, error) {
 		for _, it := range r.Items {
 			p.ownerOf[it.ID] = int32(i)
 		}
+	}
+	p.counts = make([]atomic.Int64, len(p.shards))
+	for _, li := range p.ownerOf {
+		p.counts[li].Add(1)
 	}
 
 	if cfg.CompactInterval > 0 {
@@ -291,6 +300,21 @@ func (p *Pool) Version(i int) uint64 { return p.shards[i].version.Load() }
 // ShardBounds returns shard i's current extent (qcache.Source): base bounds
 // plus any overlay geometry, empty for a shard holding nothing.
 func (p *Pool) ShardBounds(i int) geom.Rect { return p.shards[i].boundsNow() }
+
+// ShardItems returns the number of live objects shard i currently owns —
+// the per-range item count a live registration summary reports.
+func (p *Pool) ShardItems(i int) int { return int(p.counts[i].Load()) }
+
+// LocalShard maps a cluster-wide range index to this pool's local shard
+// index, or -1 when the pool does not hold that range. The inverse of
+// Config.GlobalIndex, for callers (the serving layer's summary builder)
+// that enumerate ranges in cluster terms.
+func (p *Pool) LocalShard(global int) int {
+	if li, ok := p.local[global]; ok {
+		return li
+	}
+	return -1
+}
 
 // SegOf returns the live geometry of id, falling back to the base dataset
 // for original ids the pool no longer tracks and to the zero Segment for

@@ -316,6 +316,7 @@ func (p *Pool) applyUpsert(id uint32, seg geom.Segment) (uint64, bool, bool, err
 			return 0, false, false, nil
 		}
 		delete(p.ownerOf, id)
+		p.counts[old].Add(-1)
 		sh := p.shards[old]
 		sh.mu.Lock()
 		p.omu.Unlock()
@@ -328,6 +329,12 @@ func (p *Pool) applyUpsert(id uint32, seg geom.Segment) (uint64, bool, bool, err
 
 	target := p.shards[li]
 	p.ownerOf[id] = int32(li)
+	if !hadOld {
+		p.counts[li].Add(1)
+	} else if int(old) != li {
+		p.counts[old].Add(-1)
+		p.counts[li].Add(1)
+	}
 
 	if hadOld && int(old) != li {
 		// Cross-shard move: drop the old copy and install the new one
@@ -372,6 +379,7 @@ func (p *Pool) ApplyDelete(id uint32) (epoch uint64, existed, owned bool, err er
 		return 0, false, false, nil
 	}
 	delete(p.ownerOf, id)
+	p.counts[li].Add(-1)
 	sh := p.shards[li]
 	sh.mu.Lock()
 	p.omu.Unlock()

@@ -183,7 +183,12 @@ type RangeInfo struct {
 	// Lo and Hi are the inclusive Hilbert key interval of the range's items
 	// under the partitioning quantizer.
 	Lo, Hi uint64
-	MBR    geom.Rect
+	// Version is the holder's monotone write-version counter for this
+	// range's shard at summary time — the freshness signal the router's
+	// refresh loop and cluster-wide result-cache validity are built on.
+	// 0 means the backend has no per-range version (a frozen pool).
+	Version uint64
+	MBR     geom.Rect
 }
 
 // SummaryMsg is a backend's partition summary. A monolithic (unpartitioned)
@@ -243,6 +248,7 @@ func (m *SummaryMsg) appendPayload(b []byte) []byte {
 		b = appendU32(b, r.Items)
 		b = binaryAppendU64(b, r.Lo)
 		b = binaryAppendU64(b, r.Hi)
+		b = binaryAppendU64(b, r.Version)
 		b = appendRect(b, r.MBR)
 	}
 	return b
@@ -255,7 +261,7 @@ func (m *SummaryMsg) decodePayload(b []byte) error {
 	m.Items = d.u64()
 	m.Bounds = d.rect()
 	n := int(d.u32())
-	const rangeBytes = 4 + 4 + 8 + 8 + 32
+	const rangeBytes = 4 + 4 + 8 + 8 + 8 + 32
 	if d.err == nil && n*rangeBytes != len(d.b)-d.off {
 		return fmt.Errorf("proto: summary range count %d does not match %d payload bytes", n, len(d.b)-d.off)
 	}
@@ -263,11 +269,12 @@ func (m *SummaryMsg) decodePayload(b []byte) error {
 	if d.err == nil && d.need(n*rangeBytes) {
 		for i := 0; i < n; i++ {
 			m.Ranges = append(m.Ranges, RangeInfo{
-				Index: d.u32(),
-				Items: d.u32(),
-				Lo:    d.u64(),
-				Hi:    d.u64(),
-				MBR:   d.rect(),
+				Index:   d.u32(),
+				Items:   d.u32(),
+				Lo:      d.u64(),
+				Hi:      d.u64(),
+				Version: d.u64(),
+				MBR:     d.rect(),
 			})
 		}
 	}

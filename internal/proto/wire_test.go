@@ -72,9 +72,9 @@ func allMessages() []Message {
 		&SummaryMsg{ID: 24, NumRanges: 3, Items: 1000,
 			Bounds: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 90, Y: 90}},
 			Ranges: []RangeInfo{
-				{Index: 0, Items: 400, Lo: 0, Hi: 99,
+				{Index: 0, Items: 400, Lo: 0, Hi: 99, Version: 7,
 					MBR: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 50, Y: 40}}},
-				{Index: 2, Items: 600, Lo: 200, Hi: 1 << 40,
+				{Index: 2, Items: 600, Lo: 200, Hi: 1 << 40, Version: 1 << 50,
 					MBR: geom.Rect{Min: geom.Point{X: 30, Y: 20}, Max: geom.Point{X: 90, Y: 90}}},
 			}},
 		&SummaryMsg{ID: 25, Bounds: geom.EmptyRect()}, // an empty backend is legal

@@ -50,7 +50,12 @@ func (r *Router) fanIDs(dst []uint32, w geom.Rect, deadline time.Time, leg legFu
 	sc := r.getScratch()
 	defer r.putScratch(sc)
 
-	sc.needed = r.table.neededRanges(sc.needed[:0], w)
+	// One snapshot + growth overlay for the whole query: every routing
+	// decision below sees a consistent assignment even if a refresh swaps
+	// the table mid-flight.
+	t := r.snap()
+	grow := r.growth.Load()
+	sc.needed = t.neededRanges(sc.needed[:0], w, grow.rect)
 	if len(sc.needed) == 0 {
 		return dst, nil
 	}
@@ -62,7 +67,7 @@ func (r *Router) fanIDs(dst []uint32, w geom.Rect, deadline time.Time, leg legFu
 
 	nLegs := 0
 	for {
-		if err := r.cover(sc); err != nil {
+		if err := r.cover(t, sc); err != nil {
 			r.metrics.unroutable.Inc()
 			return dst, err
 		}
@@ -132,14 +137,14 @@ func (r *Router) fanIDs(dst []uint32, w geom.Rect, deadline time.Time, leg legFu
 // collects the distinct backends into sc.sel. Holders already selected for
 // another range are preferred (one leg answers all of a backend's ranges);
 // otherwise the choice rotates across replicas — the read spreading.
-func (r *Router) cover(sc *fanScratch) error {
+func (r *Router) cover(t *table, sc *fanScratch) error {
 	sc.sel = sc.sel[:0]
 	rot := int(r.rr.Add(1))
 	for j, rg := range sc.needed {
 		if sc.covered[j] >= 0 {
 			continue
 		}
-		hs := r.table.holders[rg]
+		hs := t.holders[rg]
 		pick := int32(-1)
 		for _, b := range hs {
 			if !sc.failed[b] && r.BackendHealthy(int(b)) && containsBackend(sc.sel, b) {
@@ -166,7 +171,7 @@ func (r *Router) cover(sc *fanScratch) error {
 		// The picked backend answers every range it holds in the same leg;
 		// claim its other uncovered ranges too.
 		for j2 := j + 1; j2 < len(sc.needed); j2++ {
-			if sc.covered[j2] < 0 && r.table.holds[pick][sc.needed[j2]] {
+			if sc.covered[j2] < 0 && t.holds[pick][sc.needed[j2]] {
 				sc.covered[j2] = pick
 			}
 		}

@@ -31,6 +31,16 @@ import (
 //	                                until the missing replicas recover
 //	router_write_unroutable_total   counter: writes no backend accepted
 //	                                (answered CodeUnavailable)
+//	router_refresh_total            counter: routing-table refreshes swapped
+//	router_refresh_errors_total     counter: refresh polls that failed (an
+//	                                unreachable backend, an inconsistent
+//	                                summary set) — the table keeps serving
+//	                                its previous snapshot
+//	router_ranges_divergent         gauge: ranges whose holders disagreed on
+//	                                version or item count at the last
+//	                                refresh — replication lag in flight;
+//	                                these route unconditionally until the
+//	                                copies reconverge
 //	router_backend_healthy{backend} gauge: 1 while the backend's breaker
 //	                                admits traffic, 0 after a leg failure
 //	router_backend_legs_total{backend}       counter: legs per backend —
@@ -53,6 +63,10 @@ type routerMetrics struct {
 	writeLegErrs    *obs.Counter
 	writeDivergence *obs.Counter
 	writeUnroutable *obs.Counter
+
+	refreshes       *obs.Counter
+	refreshErrors   *obs.Counter
+	divergentRanges *obs.Gauge
 
 	beHealthy []*obs.Gauge
 	beLegs    []*obs.Counter
@@ -81,6 +95,9 @@ func newRouterMetrics(h *obs.Hub, backends []string) routerMetrics {
 	m.writeLegErrs = h.Reg.Counter("router_write_leg_errors_total")
 	m.writeDivergence = h.Reg.Counter("router_write_divergence_total")
 	m.writeUnroutable = h.Reg.Counter("router_write_unroutable_total")
+	m.refreshes = h.Reg.Counter("router_refresh_total")
+	m.refreshErrors = h.Reg.Counter("router_refresh_errors_total")
+	m.divergentRanges = h.Reg.Gauge("router_ranges_divergent")
 	for _, addr := range backends {
 		g := h.Reg.Gauge(obs.Name("router_backend_healthy", "backend", addr))
 		g.Set(1)

@@ -43,7 +43,28 @@ func (r *Router) KNearestAppendUntil(dst []rtree.Neighbor, pt geom.Point, k int,
 	fs := r.getScratch()
 	defer r.putScratch(fs)
 
-	fs.order = shard.OrderByMinDist(fs.order[:0], r.table.beBounds, pt)
+	// Effective backend bounds: the snapshot's registered bounds widened by
+	// the growth of writes routed since. Without the widening, a backend
+	// that registered empty reports an empty rect — MINDIST +Inf — and is
+	// pruned the moment any bound is set, permanently hiding objects later
+	// written into it. A backend holding a divergent range gets unbounded
+	// effective bounds (MINDIST 0): its summary cannot be trusted to bound
+	// its data, so it is always visited rather than risk a silent miss.
+	t := r.snap()
+	grow := r.growth.Load()
+	fs.beEff = fs.beEff[:0]
+	for b, bb := range t.beBounds {
+		fs.beEff = append(fs.beEff, bb.Union(grow.be[b]))
+	}
+	for rg, d := range t.divergent {
+		if !d {
+			continue
+		}
+		for _, b := range t.holders[rg] {
+			fs.beEff[b] = everythingRect
+		}
+	}
+	fs.order = shard.OrderByMinDist(fs.order[:0], fs.beEff, pt)
 	fs.acc = fs.acc[:0]
 	visited := 0
 	for _, sd := range fs.order {
@@ -89,7 +110,7 @@ func (r *Router) KNearestAppendUntil(dst []rtree.Neighbor, pt geom.Point, k int,
 
 	// Coverage: every range needs one holder whose answer (or pruning)
 	// accounts for its items.
-	for rg, hs := range r.table.holders {
+	for rg, hs := range t.holders {
 		ok := false
 		for _, b := range hs {
 			if st := fs.status[b]; st == legVisited || st == legPruned {

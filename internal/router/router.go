@@ -29,10 +29,35 @@
 // query completes as long as every touched range keeps one healthy holder.
 // Only when a needed range has no healthy replica does the router answer
 // CodeUnavailable (transient, retried by clients like overload).
+//
+// The routing table is a live snapshot, not a registration-time constant.
+// The world is mutable (internal/mutable): objects insert and move after the
+// backends reported their summaries, so MBRs captured at registration go
+// stale — an object written outside its range's registered MBR (or into a
+// range that registered empty) would be invisible to range/point routing and
+// could be mis-pruned by the NN visit order. Two mechanisms close the gap:
+//
+//   - refresh: a background loop re-polls backend summaries every
+//     RefreshInterval and atomically swaps in a freshly built table
+//     (epoch-swap discipline: build aside, swap a pointer, never mutate a
+//     table readers may hold);
+//   - growth: between refreshes, every write acked through this router
+//     widens an overlay rect for its target range (and the holders' backend
+//     bounds) immediately, before the write is acknowledged to the client —
+//     so read-your-writes holds at the routing layer without waiting for
+//     the next poll.
+//
+// The same plumbing makes the cluster cacheable: Router implements
+// qcache.Source — each range is a pseudo-shard whose version is the minimum
+// write-version its holders reported plus the count of writes this router
+// has routed into it since — so a serve.Server wrapping a Router can run
+// the epoch-invalidated result cache (-qcache) and stamp replies with
+// cluster-wide epoch hints for the client semantic cache.
 package router
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -69,6 +94,12 @@ type Config struct {
 	// RegisterTimeout bounds the registration handshake — backends are
 	// polled until they all answer their summary; defaults to 10s.
 	RegisterTimeout time.Duration
+	// RefreshInterval is the summary re-poll period of the routing-table
+	// refresh loop; defaults to 250ms. Negative disables refresh (the
+	// table then stays frozen at registration, softened only by this
+	// router's own write growth — appropriate for read-only clusters and
+	// allocation-sensitive benchmarks).
+	RefreshInterval time.Duration
 	// PointEps is the tolerance used to route point queries whose eps is
 	// unset; it must be at least the backends' own default (it only selects
 	// which ranges are relevant, the backends apply the exact predicate).
@@ -104,6 +135,9 @@ func (c *Config) fill() error {
 	if c.RegisterTimeout <= 0 {
 		c.RegisterTimeout = 10 * time.Second
 	}
+	if c.RefreshInterval == 0 {
+		c.RefreshInterval = 250 * time.Millisecond
+	}
 	if c.PointEps <= 0 {
 		c.PointEps = 2.0
 	}
@@ -126,7 +160,29 @@ type Router struct {
 	cfg     Config
 	ds      *dataset.Dataset
 	clients []*client.Client // one pooled client per backend
-	table   table
+	// tbl is the current routing snapshot. Readers load it once per query
+	// and work against an immutable table; the refresh loop swaps in a
+	// replacement built from re-polled summaries.
+	tbl atomic.Pointer[table]
+	// summaries holds the latest summary per backend — the refresh loop's
+	// working set (touched only by register and the refresh goroutine; an
+	// unreachable backend keeps its last answer so the rest of the cluster
+	// still refreshes).
+	summaries []*proto.SummaryMsg
+	// wmu orders the freshness plane's writers: growth copy-on-write,
+	// wseq bumps, and the refresh swap all happen under it, so a reader
+	// that observes a bumped sequence also observes the widened predicate.
+	wmu sync.Mutex
+	// growth widens the snapshot's routing predicates with the MBRs of
+	// writes routed since the snapshot's summaries — read-your-writes for
+	// routing, cleared per range by the refresh loop once a newer summary
+	// provably covers the writes.
+	growth atomic.Pointer[growthState]
+	// wseq[r] counts writes this router has routed into range r — the
+	// cumulative half of the cluster version vector (never reset; the
+	// summary-reported half catches up across refreshes and the sum stays
+	// monotone).
+	wseq []atomic.Uint64
 	// rr rotates replica choice across queries — the read-spreading
 	// counter.
 	rr      atomic.Uint64
@@ -150,6 +206,29 @@ type Router struct {
 	stopc     chan struct{}
 	probeWG   sync.WaitGroup
 	closeOnce sync.Once
+}
+
+// growthState is the write-growth overlay over one routing snapshot:
+// per-range and per-backend rects unioned from the MBRs of writes routed
+// since the snapshot's summaries were taken. Immutable once published —
+// noteWrite replaces it copy-on-write under wmu.
+type growthState struct {
+	rect []geom.Rect // per range: growth beyond the snapshot's rangeMBR
+	be   []geom.Rect // per backend: growth beyond the snapshot's beBounds
+}
+
+func emptyGrowth(numRanges, numBackends int) *growthState {
+	g := &growthState{
+		rect: make([]geom.Rect, numRanges),
+		be:   make([]geom.Rect, numBackends),
+	}
+	for i := range g.rect {
+		g.rect[i] = geom.EmptyRect()
+	}
+	for i := range g.be {
+		g.be[i] = geom.EmptyRect()
+	}
+	return g
 }
 
 // New dials nothing, registers against every backend (polling until
@@ -196,9 +275,13 @@ func New(cfg Config) (*Router, error) {
 	}
 	r.scratch.New = func() any { return &fanScratch{} }
 	r.metrics.backends.Set(float64(len(r.clients)))
-	r.metrics.ranges.Set(float64(r.table.numRanges))
+	r.metrics.ranges.Set(float64(r.tbl.Load().numRanges))
 	r.probeWG.Add(1)
 	go r.probeLoop()
+	if cfg.RefreshInterval > 0 {
+		r.probeWG.Add(1)
+		go r.refreshLoop()
+	}
 	return r, nil
 }
 
@@ -240,7 +323,8 @@ func (r *Router) probeLoop() {
 }
 
 // register polls every backend for its summary until all have answered or
-// RegisterTimeout passes, then builds the assignment table.
+// RegisterTimeout passes, then builds the assignment table and seeds the
+// freshness plane (empty growth, zero write sequences).
 func (r *Router) register() error {
 	deadline := time.Now().Add(r.cfg.RegisterTimeout)
 	summaries := make([]*proto.SummaryMsg, len(r.clients))
@@ -271,8 +355,189 @@ func (r *Router) register() error {
 	if err != nil {
 		return fmt.Errorf("router: %w", err)
 	}
-	r.table = tbl
+	r.summaries = summaries
+	r.tbl.Store(&tbl)
+	r.wseq = make([]atomic.Uint64, tbl.numRanges)
+	r.growth.Store(emptyGrowth(tbl.numRanges, len(r.clients)))
 	return nil
+}
+
+// refreshLoop re-polls backend summaries and swaps the routing snapshot —
+// how writes applied by OTHER routers (or directly at a backend) become
+// visible to this router's routing predicates, and how the write-growth
+// overlay drains back to exact backend-reported MBRs.
+func (r *Router) refreshLoop() {
+	defer r.probeWG.Done()
+	tick := time.NewTicker(r.cfg.RefreshInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-tick.C:
+		}
+		r.refreshOnce()
+	}
+}
+
+// refreshOnce polls one summary round and, if anything answered, swaps in a
+// rebuilt table. Correctness of the growth clearing: a range's growth rect
+// may be dropped only when the new summaries provably cover every write
+// behind it. wseq[rg] is captured BEFORE the first poll; a write acked
+// before the capture was applied at its backends before the capture, so any
+// summary polled after the capture reflects it. If wseq[rg] moved during
+// the poll, a write may have landed after some backend answered — the rect
+// is kept for the next round (conservative: a too-wide predicate only costs
+// an extra leg, a too-narrow one loses objects).
+func (r *Router) refreshOnce() {
+	before := make([]uint64, len(r.wseq))
+	for i := range r.wseq {
+		before[i] = r.wseq[i].Load()
+	}
+	polled := false
+	for i, cc := range r.clients {
+		if cc.BreakerState() == client.BreakerOpen {
+			continue // keep the last summary; probeLoop re-admits it
+		}
+		sm, err := cc.Summary()
+		if err != nil {
+			r.metrics.refreshErrors.Inc()
+			continue
+		}
+		r.summaries[i] = sm
+		polled = true
+	}
+	if !polled {
+		return
+	}
+	tbl, err := buildTable(r.summaries)
+	if err != nil {
+		r.metrics.refreshErrors.Inc()
+		return
+	}
+	old := r.tbl.Load()
+	if tbl.numRanges != old.numRanges {
+		// A repartitioned cluster invalidates the write sequences and the
+		// growth overlay wholesale; re-registration is the only safe path.
+		r.metrics.refreshErrors.Inc()
+		return
+	}
+	// Per-range versions must never go backwards (a cache entry stored
+	// under a higher version would resurrect if they did). A returning
+	// replica that lagged can drag the min-across-holders down; clamp to
+	// the previous snapshot.
+	for i := range tbl.version {
+		if tbl.version[i] < old.version[i] {
+			tbl.version[i] = old.version[i]
+		}
+	}
+	r.wmu.Lock()
+	r.tbl.Store(&tbl)
+	g := r.growth.Load()
+	ng := emptyGrowth(tbl.numRanges, len(r.clients))
+	for rg := range ng.rect {
+		if r.wseq[rg].Load() != before[rg] {
+			ng.rect[rg] = g.rect[rg]
+		}
+	}
+	for rg, rect := range ng.rect {
+		if rect.IsEmpty() {
+			continue
+		}
+		for _, b := range tbl.holders[rg] {
+			ng.be[b] = ng.be[b].Union(rect)
+		}
+	}
+	r.growth.Store(ng)
+	r.wmu.Unlock()
+	r.metrics.refreshes.Inc()
+	divergent := 0
+	for _, d := range tbl.divergent {
+		if d {
+			divergent++
+		}
+	}
+	r.metrics.divergentRanges.Set(float64(divergent))
+}
+
+// snap returns the current routing snapshot. The returned table is
+// immutable; callers load it once and use it for the whole query so every
+// decision within the query sees one consistent assignment.
+func (r *Router) snap() *table { return r.tbl.Load() }
+
+// Router is the cluster's qcache.Source: each Hilbert range is a
+// pseudo-shard of the validity view, so a serve.Server wrapping a Router
+// can run the epoch-invalidated result cache over the whole cluster.
+
+// NumShards implements qcache.Source — one pseudo-shard per range.
+func (r *Router) NumShards() int { return r.snap().numRanges }
+
+// Version implements qcache.Source. The version of range i is the minimum
+// write-version its holders reported at the last refresh plus the writes
+// this router has routed into it since. Both halves are monotone (the
+// summary half is clamped at refresh, wseq never resets), so the sum never
+// goes backwards; it advances on every local write immediately (bumped
+// before the write acks) and on every refresh that observed remote writes.
+// Spurious advances (a refresh catching up to writes wseq already counted)
+// only cost cache misses, never staleness.
+func (r *Router) Version(i int) uint64 {
+	return r.snap().version[i] + r.wseq[i].Load()
+}
+
+// ShardBounds implements qcache.Source: the range's summary MBR widened by
+// its write growth. A divergent range reports unbounded extent — a lagging
+// replica's items are not bounded by the merged MBR, so every cached region
+// must treat the range as a participant.
+func (r *Router) ShardBounds(i int) geom.Rect {
+	t := r.snap()
+	if t.divergent[i] {
+		return everythingRect
+	}
+	return t.rangeMBR[i].Union(r.growth.Load().rect[i])
+}
+
+// everythingRect is the all-covering routing predicate used where a range's
+// true extent cannot be trusted.
+var everythingRect = geom.Rect{
+	Min: geom.Point{X: math.Inf(-1), Y: math.Inf(-1)},
+	Max: geom.Point{X: math.Inf(1), Y: math.Inf(1)},
+}
+
+// noteWrite publishes one successfully acked write into the freshness
+// plane. target is the range that received the object's geometry (-1 for
+// deletes, which add none); bumps lists every range whose cached results
+// the write invalidates. The growth rects widen before the sequences bump,
+// both under wmu — a reader that observes the new version also observes
+// the widened predicate, so a cache rebuilt after the bump routes to the
+// written object.
+func (r *Router) noteWrite(t *table, mbr geom.Rect, target int, bumps ...int) {
+	r.wmu.Lock()
+	if target >= 0 {
+		old := r.growth.Load()
+		ng := &growthState{
+			rect: append([]geom.Rect(nil), old.rect...),
+			be:   append([]geom.Rect(nil), old.be...),
+		}
+		ng.rect[target] = ng.rect[target].Union(mbr)
+		for _, b := range t.holders[target] {
+			ng.be[b] = ng.be[b].Union(mbr)
+		}
+		r.growth.Store(ng)
+	}
+	for _, rg := range bumps {
+		r.wseq[rg].Add(1)
+	}
+	r.wmu.Unlock()
+}
+
+// bumpAllRanges invalidates every range — the fallback when a write's old
+// position is unknown and the ranges it touched cannot be narrowed down.
+func (r *Router) bumpAllRanges() {
+	r.wmu.Lock()
+	for i := range r.wseq {
+		r.wseq[i].Add(1)
+	}
+	r.wmu.Unlock()
 }
 
 // Close stops the probe loop and closes every backend client.
@@ -296,7 +561,7 @@ func (r *Router) Workers() int { return r.cfg.ConnsPerBackend * len(r.clients) }
 func (r *Router) Dataset() *dataset.Dataset { return r.ds }
 
 // NumRanges returns the cluster-wide Hilbert range count.
-func (r *Router) NumRanges() int { return r.table.numRanges }
+func (r *Router) NumRanges() int { return r.snap().numRanges }
 
 // BackendHealthy reports whether backend b's circuit breaker admits
 // traffic.
@@ -332,6 +597,7 @@ type fanScratch struct {
 	legIDs  [][]uint32        // per-leg result buffers (range/point merge)
 	merged  []uint32          // merge accumulator
 	order   []shard.IndexDist // NN visit order (ascending MINDIST)
+	beEff   []geom.Rect       // NN effective backend bounds (snapshot ∪ growth)
 	nbrBuf  []proto.Neighbor  // NN leg reply buffer
 	nbrTmp  []proto.Neighbor  // NN merge temp
 	acc     []proto.Neighbor  // NN running best-k

@@ -628,6 +628,32 @@ func TestBuildTableValidation(t *testing.T) {
 		t.Fatalf("table misbuilt: %+v", tbl)
 	}
 	if tbl.items != 2 {
-		t.Fatalf("items = %d, want 2 (primary copies only)", tbl.items)
+		t.Fatalf("items = %d, want 2 (each range counted once)", tbl.items)
+	}
+	if tbl.divergent[0] || tbl.divergent[1] {
+		t.Fatalf("agreeing holders flagged divergent: %v", tbl.divergent)
+	}
+
+	// Disagreeing holders — replication lag in flight: items take the max
+	// per range (the copy that has seen every write), versions the min (the
+	// most conservative cache validity), and the range is flagged divergent.
+	ri := func(idx uint32, items uint32, version uint64) proto.RangeInfo {
+		return proto.RangeInfo{Index: idx, Items: items, Version: version, MBR: mbr}
+	}
+	tbl, err = buildTable([]*proto.SummaryMsg{
+		sum(2, ri(0, 5, 9), ri(1, 1, 4)),
+		sum(2, ri(0, 7, 6), ri(1, 1, 4)),
+	})
+	if err != nil {
+		t.Fatalf("lagging summaries rejected: %v", err)
+	}
+	if tbl.items != 8 {
+		t.Fatalf("items = %d, want 8 (max across holders per range: 7+1)", tbl.items)
+	}
+	if tbl.version[0] != 6 || tbl.version[1] != 4 {
+		t.Fatalf("versions = %v, want min across holders [6 4]", tbl.version)
+	}
+	if !tbl.divergent[0] || tbl.divergent[1] {
+		t.Fatalf("divergence misdetected: %v, want [true false]", tbl.divergent)
 	}
 }

@@ -8,11 +8,13 @@ import (
 	"mobispatial/internal/shard"
 )
 
-// table is the shard→server assignment derived from the backends' summaries
-// at registration: which backends hold each Hilbert range, each range's MBR
-// (the routing predicate), and each backend's overall bounds (the NN visit
-// order). Immutable after New; health is tracked by the per-backend
-// breakers, not here.
+// table is the shard→server assignment derived from the backends' summaries:
+// which backends hold each Hilbert range, each range's MBR (the routing
+// predicate), and each backend's overall bounds (the NN visit order). A
+// table value is immutable once built — the router refreshes routing by
+// building a fresh table from re-polled summaries and atomically swapping
+// the snapshot pointer, never by mutating one in place. Health is tracked
+// by the per-backend breakers, not here.
 type table struct {
 	numRanges int
 	// holders[r] lists the backends holding range r, ascending.
@@ -30,7 +32,19 @@ type table struct {
 	// partition, so disagreement means the backends were partitioned
 	// differently and no write routing is safe.
 	keyLo []uint64
-	// items is the cluster item count implied by the primary copies.
+	// version[r] is the MINIMUM write-version any holder reported for
+	// range r. The minimum is the conservative choice for cache validity:
+	// a replica still catching up keeps the cluster-wide version (and so
+	// every cache entry over the range) pinned until all copies agree.
+	version []uint64
+	// divergent[r] reports that r's holders disagreed on version or item
+	// count at summary time — replication lag was in flight. A divergent
+	// range's MBR may under-report (a lagging replica may be selected for
+	// reads), so routing treats it as covering everything.
+	divergent []bool
+	// items is the cluster item count; per range the MAX across holders
+	// (replicas of one range should agree, and when they transiently do
+	// not, the largest count is the one that has seen every write).
 	items uint64
 }
 
@@ -53,11 +67,13 @@ func buildTable(summaries []*proto.SummaryMsg) (table, error) {
 		holds:     make([][]bool, len(summaries)),
 		beBounds:  make([]geom.Rect, len(summaries)),
 		keyLo:     make([]uint64, n),
+		version:   make([]uint64, n),
+		divergent: make([]bool, n),
 	}
 	for i := range t.rangeMBR {
 		t.rangeMBR[i] = geom.EmptyRect()
 	}
-	seen := make([]bool, n) // range seen with items, for the count
+	maxItems := make([]uint32, n)
 	for b, sm := range summaries {
 		if int(sm.NumRanges) != n {
 			return table{}, fmt.Errorf("backend %d reports %d ranges, backend 0 reports %d", b, sm.NumRanges, n)
@@ -75,16 +91,25 @@ func buildTable(summaries []*proto.SummaryMsg) (table, error) {
 			t.holds[b][idx] = true
 			if len(t.holders[idx]) == 0 {
 				t.keyLo[idx] = ri.Lo
-			} else if t.keyLo[idx] != ri.Lo {
-				return table{}, fmt.Errorf("backend %d reports range %d with Lo key %d, earlier holder reported %d",
-					b, idx, ri.Lo, t.keyLo[idx])
+				t.version[idx] = ri.Version
+				maxItems[idx] = ri.Items
+			} else {
+				if t.keyLo[idx] != ri.Lo {
+					return table{}, fmt.Errorf("backend %d reports range %d with Lo key %d, earlier holder reported %d",
+						b, idx, ri.Lo, t.keyLo[idx])
+				}
+				if t.version[idx] != ri.Version || maxItems[idx] != ri.Items {
+					t.divergent[idx] = true
+				}
+				if ri.Version < t.version[idx] {
+					t.version[idx] = ri.Version
+				}
+				if ri.Items > maxItems[idx] {
+					maxItems[idx] = ri.Items
+				}
 			}
 			t.holders[idx] = append(t.holders[idx], int32(b))
 			t.rangeMBR[idx] = t.rangeMBR[idx].Union(ri.MBR)
-			if !seen[idx] {
-				seen[idx] = true
-				t.items += uint64(ri.Items)
-			}
 		}
 	}
 	for idx, hs := range t.holders {
@@ -95,6 +120,7 @@ func buildTable(summaries []*proto.SummaryMsg) (table, error) {
 			return table{}, fmt.Errorf("range %d has Lo key %d below range %d's %d — key cuts must ascend",
 				idx, t.keyLo[idx], idx-1, t.keyLo[idx-1])
 		}
+		t.items += uint64(maxItems[idx])
 	}
 	return t, nil
 }
@@ -105,12 +131,15 @@ func (t *table) rangeForKey(key uint64) int {
 	return shard.RangeForKey(t.keyLo, key)
 }
 
-// neededRanges appends the indices of ranges whose MBR intersects w —
-// the complete candidate set: any item matching a query inside w lies in
-// some range, and that range's MBR necessarily intersects w.
-func (t *table) neededRanges(dst []int32, w geom.Rect) []int32 {
+// neededRanges appends the indices of ranges that may hold items matching a
+// query inside w. A range participates when its summary MBR, widened by any
+// growth rect accumulated from writes routed since the summary (grow may be
+// nil), intersects w — or unconditionally when its holders diverged at
+// summary time, because a lagging replica's items are not bounded by the
+// merged MBR.
+func (t *table) neededRanges(dst []int32, w geom.Rect, grow []geom.Rect) []int32 {
 	for idx, mbr := range t.rangeMBR {
-		if mbr.Intersects(w) {
+		if t.divergent[idx] || mbr.Intersects(w) || (grow != nil && grow[idx].Intersects(w)) {
 			dst = append(dst, int32(idx))
 		}
 	}

@@ -32,14 +32,20 @@ import (
 
 // ApplyInsert routes an upsert to every holder of the owning range. Insert
 // is the fresh-object path: it does not hunt down copies of id elsewhere in
-// the cluster — relocating a live object is Move's job.
+// the cluster — relocating a live object is Move's job. On success the
+// write enters the freshness plane (noteWrite) before the ack returns, so
+// a read issued after the ack routes to the object even if it landed
+// outside the range's summary MBR.
 func (r *Router) ApplyInsert(id uint32, seg geom.Segment) (uint64, bool, bool, error) {
-	rg := r.table.rangeForKey(shard.WriteKey(r.wq, seg.MBR()))
-	epoch, existed, owned, err := r.fanWrite(r.table.holders[rg], func(cc *client.Client) (client.UpdateAck, error) {
+	t := r.snap()
+	mbr := seg.MBR()
+	rg := t.rangeForKey(shard.WriteKey(r.wq, mbr))
+	epoch, existed, owned, err := r.fanWrite(t.holders[rg], func(cc *client.Client) (client.UpdateAck, error) {
 		return cc.Insert(id, seg)
 	})
 	if err == nil {
 		r.liveSet(id, seg)
+		r.noteWrite(t, mbr, rg, rg)
 	}
 	return epoch, existed, owned, err
 }
@@ -47,21 +53,45 @@ func (r *Router) ApplyInsert(id uint32, seg geom.Segment) (uint64, bool, bool, e
 // ApplyMove broadcasts the relocation to every backend: holders of the
 // target range upsert the new geometry, every other backend drops any stale
 // copy it still holds (acking Owned=false), so a vehicle crossing a range
-// boundary never answers queries from two places.
+// boundary never answers queries from two places. Both the old and the new
+// position's ranges invalidate: a cached result over the old position must
+// stop reporting the object there. The old position comes from the router's
+// live map (or the base dataset); an id neither knows moved through some
+// other door, so every range is invalidated rather than guess.
 func (r *Router) ApplyMove(id uint32, seg geom.Segment) (uint64, bool, bool, error) {
+	t := r.snap()
+	mbr := seg.MBR()
+	newRg := t.rangeForKey(shard.WriteKey(r.wq, mbr))
+	oldRg := -1
+	if oldSeg, ok := r.segKnown(id); ok {
+		oldRg = t.rangeForKey(shard.WriteKey(r.wq, oldSeg.MBR()))
+	}
 	epoch, existed, owned, err := r.fanWrite(r.all, func(cc *client.Client) (client.UpdateAck, error) {
 		return cc.Move(id, seg)
 	})
 	if err == nil {
 		r.liveSet(id, seg)
+		if oldRg >= 0 {
+			r.noteWrite(t, mbr, newRg, newRg, oldRg)
+		} else {
+			r.noteWrite(t, mbr, newRg)
+			r.bumpAllRanges()
+		}
 	}
 	return epoch, existed, owned, err
 }
 
 // ApplyDelete broadcasts the delete: only the backend holding id knows it,
 // and the router does not track where id lives, so everyone is told.
-// Deleting an id nobody holds succeeds with Existed=false.
+// Deleting an id nobody holds succeeds with Existed=false. The range of the
+// object's last known position invalidates (the object must vanish from
+// cached results there); no growth is added — a delete never widens extent.
 func (r *Router) ApplyDelete(id uint32) (uint64, bool, bool, error) {
+	t := r.snap()
+	oldRg := -1
+	if oldSeg, ok := r.segKnown(id); ok {
+		oldRg = t.rangeForKey(shard.WriteKey(r.wq, oldSeg.MBR()))
+	}
 	epoch, existed, owned, err := r.fanWrite(r.all, func(cc *client.Client) (client.UpdateAck, error) {
 		return cc.Delete(id)
 	})
@@ -69,6 +99,13 @@ func (r *Router) ApplyDelete(id uint32) (uint64, bool, bool, error) {
 		r.liveMu.Lock()
 		delete(r.live, id)
 		r.liveMu.Unlock()
+		if existed {
+			if oldRg >= 0 {
+				r.noteWrite(t, geom.EmptyRect(), -1, oldRg)
+			} else {
+				r.bumpAllRanges()
+			}
+		}
 	}
 	return epoch, existed, owned, err
 }
@@ -77,16 +114,25 @@ func (r *Router) ApplyDelete(id uint32) (uint64, bool, bool, error) {
 // base dataset; an unknown id beyond the dataset resolves to the zero
 // segment rather than a panic.
 func (r *Router) SegOf(id uint32) geom.Segment {
+	seg, _ := r.segKnown(id)
+	return seg
+}
+
+// segKnown resolves id's last geometry this router can vouch for, and
+// whether it could: live-written geometry wins over the base dataset; an
+// id beyond both is unknown (ok=false), which write invalidation treats as
+// "could be anywhere".
+func (r *Router) segKnown(id uint32) (geom.Segment, bool) {
 	r.liveMu.RLock()
 	seg, ok := r.live[id]
 	r.liveMu.RUnlock()
 	if ok {
-		return seg
+		return seg, true
 	}
 	if int(id) < r.ds.Len() {
-		return r.ds.Seg(id)
+		return r.ds.Seg(id), true
 	}
-	return geom.Segment{}
+	return geom.Segment{}, false
 }
 
 func (r *Router) liveSet(id uint32, seg geom.Segment) {

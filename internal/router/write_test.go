@@ -137,7 +137,7 @@ func TestRouterWriteReplication(t *testing.T) {
 		t.Fatalf("inserted id on %d backends %v, want the 2 holders of range %d", len(hs), hs, rgA)
 	}
 	for _, b := range hs {
-		if !r.table.holds[b][rgA] {
+		if !r.snap().holds[b][rgA] {
 			t.Fatalf("backend %d holds the inserted id but not range %d", b, rgA)
 		}
 	}
@@ -164,7 +164,7 @@ func TestRouterWriteReplication(t *testing.T) {
 		t.Fatalf("moved id on %d backends %v, want the 2 holders of range %d", len(hs), hs, rgB)
 	}
 	for b, p := range pools {
-		if !r.table.holds[b][rgB] && p.SegOf(id) != (geom.Segment{}) {
+		if !r.snap().holds[b][rgB] && p.SegOf(id) != (geom.Segment{}) {
 			t.Fatalf("backend %d kept a stale copy after the move out of its ranges", b)
 		}
 	}
@@ -205,7 +205,7 @@ func TestRouterWriteDivergence(t *testing.T) {
 
 	tc.servers[0].Close()
 
-	seg := segInRange(t, ds, cuts, func(rg int) bool { return r.table.holds[0][rg] })
+	seg := segInRange(t, ds, cuts, func(rg int) bool { return r.snap().holds[0][rg] })
 	id := uint32(ds.Len() + 11)
 	_, _, owned, err := r.ApplyInsert(id, seg)
 	if err != nil || !owned {

@@ -37,8 +37,10 @@ import (
 	"time"
 
 	"mobispatial/internal/geom"
+	"mobispatial/internal/parallel"
 	"mobispatial/internal/proto"
 	"mobispatial/internal/qcache"
+	"mobispatial/internal/rtree"
 )
 
 // nnRegion is the validity region of a nearest-neighbor query: NN searches
@@ -96,7 +98,7 @@ func (s *Server) noteHit() {
 // path); otherwise ids (and the aligned segs) are the exact refined answer,
 // or code/text the error. Returned slices alias sc's cache buffers and are
 // valid until the scratch is reused.
-func (s *Server) runQueryCached(q *proto.QueryMsg, sc *reqScratch) (ids []uint32, segs []geom.Segment, code proto.ErrCode, text string, handled bool) {
+func (s *Server) runQueryCached(q *proto.QueryMsg, sc *reqScratch, deadline time.Time) (ids []uint32, segs []geom.Segment, code proto.ErrCode, text string, handled bool) {
 	var (
 		key   qcache.Key
 		super geom.Rect
@@ -127,7 +129,7 @@ func (s *Server) runQueryCached(q *proto.QueryMsg, sc *reqScratch) (ids []uint32
 		s.qc.Bypass()
 		return nil, nil, 0, "", false
 	}
-	if code, text, ok := s.lookupOrFill(key, super, q.Point, k, sc); !ok {
+	if code, text, ok := s.lookupOrFill(key, super, q.Point, k, sc, deadline); !ok {
 		return nil, nil, code, text, code != 0
 	}
 	eps := q.Eps
@@ -141,13 +143,13 @@ func (s *Server) runQueryCached(q *proto.QueryMsg, sc *reqScratch) (ids []uint32
 // cachedNN answers one router NN leg (unbounded only) through the cache,
 // sharing the KindNN key space with single-query NN traffic. The returned
 // slices alias sc's cache buffers.
-func (s *Server) cachedNN(pt geom.Point, k int, sc *reqScratch) (ids []uint32, dists []float64, code proto.ErrCode, text string, handled bool) {
+func (s *Server) cachedNN(pt geom.Point, k int, sc *reqScratch, deadline time.Time) (ids []uint32, dists []float64, code proto.ErrCode, text string, handled bool) {
 	key, ok := qcache.NNKey(pt, k)
 	if !ok {
 		s.qc.Bypass()
 		return nil, nil, 0, "", false
 	}
-	if code, text, ok := s.lookupOrFill(key, nnRegion, pt, k, sc); !ok {
+	if code, text, ok := s.lookupOrFill(key, nnRegion, pt, k, sc, deadline); !ok {
 		return nil, nil, code, text, code != 0
 	}
 	return sc.cids, sc.cdists, 0, "", true
@@ -158,7 +160,7 @@ func (s *Server) cachedNN(pt geom.Point, k int, sc *reqScratch) (ids []uint32, d
 // return with ok=true, sc.cids/csegs/cdists hold the superset payload.
 // ok=false with code=0 means the superset execution was declined (fall
 // through to the uncached path); with code!=0, a hard error.
-func (s *Server) lookupOrFill(key qcache.Key, region geom.Rect, pt geom.Point, k int, sc *reqScratch) (code proto.ErrCode, text string, ok bool) {
+func (s *Server) lookupOrFill(key qcache.Key, region geom.Rect, pt geom.Point, k int, sc *reqScratch, deadline time.Time) (code proto.ErrCode, text string, ok bool) {
 	qcache.BuildView(s.qsrc, region, &sc.pre)
 	var hit bool
 	sc.cids, sc.csegs, sc.cdists, hit = s.qc.Get(key, &sc.pre, sc.cids[:0], sc.csegs[:0], sc.cdists[:0])
@@ -167,7 +169,7 @@ func (s *Server) lookupOrFill(key qcache.Key, region geom.Rect, pt geom.Point, k
 		return 0, "", true
 	}
 	start := time.Now()
-	if code, text, ok = s.runSuperset(key, region, pt, k, sc); !ok || code != 0 {
+	if code, text, ok = s.runSuperset(key, region, pt, k, sc, deadline); !ok || code != 0 {
 		return code, text, false
 	}
 	s.noteMiss(time.Since(start))
@@ -177,17 +179,39 @@ func (s *Server) lookupOrFill(key qcache.Key, region geom.Rect, pt geom.Point, k
 }
 
 // runSuperset executes the snapped superset query into sc.cids/csegs/cdists.
-// ok=false (with code=0) means the pool declined the shape.
-func (s *Server) runSuperset(key qcache.Key, super geom.Rect, pt geom.Point, k int, sc *reqScratch) (code proto.ErrCode, text string, ok bool) {
+// ok=false (with code=0) means the pool declined the shape. A deadline-
+// capable pool (the router) runs through its fallible surface: a fan-out
+// error fails the fill instead of silently storing a partial answer — a
+// cache poisoned with a degraded result would keep serving it after the
+// cluster recovered.
+func (s *Server) runSuperset(key qcache.Key, super geom.Rect, pt geom.Point, k int, sc *reqScratch, deadline time.Time) (code proto.ErrCode, text string, ok bool) {
 	pool := s.cfg.Pool
 	sc.cids, sc.csegs, sc.cdists = sc.cids[:0], sc.csegs[:0], sc.cdists[:0]
+	var err error
 	switch key.Kind() {
 	case qcache.KindRange:
-		sc.cids = pool.RangeAppend(sc.cids, super)
+		if s.dx != nil {
+			sc.cids, err = s.dx.RangeAppendUntil(sc.cids, super, deadline)
+		} else {
+			sc.cids = pool.RangeAppend(sc.cids, super)
+		}
 	case qcache.KindRangeFilter, qcache.KindCell:
-		sc.cids = pool.FilterRangeAppend(sc.cids, super)
+		if s.dx != nil {
+			sc.cids, err = s.dx.FilterRangeAppendUntil(sc.cids, super, deadline)
+		} else {
+			sc.cids = pool.FilterRangeAppend(sc.cids, super)
+		}
 	case qcache.KindNN:
-		if k > 1 {
+		switch {
+		case k > 1 && s.dx != nil:
+			var nbs []rtree.Neighbor
+			nbs, err = s.dx.KNearestAppendUntil(sc.nbs[:0], pt, k, &sc.psc, deadline)
+			sc.nbs = nbs
+			for _, nb := range nbs {
+				sc.cids = append(sc.cids, nb.ID)
+				sc.cdists = append(sc.cdists, nb.Dist)
+			}
+		case k > 1:
 			nbs, kok := pool.KNearestAppend(sc.nbs[:0], pt, k, &sc.psc)
 			sc.nbs = nbs
 			if !kok {
@@ -197,10 +221,23 @@ func (s *Server) runSuperset(key qcache.Key, super geom.Rect, pt geom.Point, k i
 				sc.cids = append(sc.cids, nb.ID)
 				sc.cdists = append(sc.cdists, nb.Dist)
 			}
-		} else if nn := pool.NearestWith(pt, &sc.psc); nn.OK {
-			sc.cids = append(sc.cids, nn.ID)
-			sc.cdists = append(sc.cdists, nn.Dist)
+		case s.dx != nil:
+			var nn parallel.NearestResult
+			nn, err = s.dx.NearestUntil(pt, &sc.psc, deadline)
+			if err == nil && nn.OK {
+				sc.cids = append(sc.cids, nn.ID)
+				sc.cdists = append(sc.cdists, nn.Dist)
+			}
+		default:
+			if nn := pool.NearestWith(pt, &sc.psc); nn.OK {
+				sc.cids = append(sc.cids, nn.ID)
+				sc.cdists = append(sc.cdists, nn.Dist)
+			}
 		}
+	}
+	if err != nil {
+		code, text = errToCode(err)
+		return code, text, false
 	}
 	ds := pool.Dataset()
 	for _, id := range sc.cids {

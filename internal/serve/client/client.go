@@ -144,7 +144,14 @@ type Client struct {
 	semFallback EpochFallback
 	lastHint    atomic.Uint64
 	lastHintAt  atomic.Int64 // unix nanos of the latest hint
-	semHits     atomic.Uint64
+	// semRetired latches once any reply's hint disagrees with the
+	// fallback's build epoch — proof of a server-side write. Sticky:
+	// epoch hints are fingerprints, not ordered, so a delayed reply that
+	// still carries the old hint cannot prove the write un-happened and
+	// must not resurrect the local answers. The fallback is fixed at
+	// construction, so there is no reset path.
+	semRetired atomic.Bool
+	semHits    atomic.Uint64
 	semLocalJ   obs.Gauge // modeled Joules of semantic local answers
 	semSavedJ   obs.Gauge // modeled NIC Joules the avoided exchanges cost
 

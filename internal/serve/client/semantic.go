@@ -42,9 +42,18 @@ type EpochFallback interface {
 const wireRecordBytes = 36
 
 // noteHint records the freshest server epoch hint; 0 carries no
-// information and is ignored.
+// information and is ignored. A hint that disagrees with the fallback's
+// build epoch retires the semantic cache permanently instead of being
+// stored: replies are not ordered (retries, pooled connections), so a
+// delayed reply still carrying the shipment's epoch may arrive AFTER the
+// hint that proved a write — storing it unconditionally would resurrect
+// semanticFresh and serve pre-write answers as current.
 func (c *Client) noteHint(epoch uint64) {
 	if epoch == 0 || c.semFallback == nil {
+		return
+	}
+	if epoch != c.semFallback.EpochHint() {
+		c.semRetired.Store(true)
 		return
 	}
 	c.lastHint.Store(epoch)
@@ -52,9 +61,15 @@ func (c *Client) noteHint(epoch uint64) {
 }
 
 // semanticFresh reports whether the local shipment may answer cq right now:
-// covered, epoch equal to the server's latest hint, and the hint younger
-// than SemanticMaxAge.
+// not retired, covered, epoch equal to the server's latest hint, and the
+// hint younger than SemanticMaxAge. The retirement check is separate from
+// the hint comparison so it holds under racing replies: whatever a stale
+// reply managed to store into lastHint, the latch set by the newer hint
+// wins.
 func (c *Client) semanticFresh(cq core.Query) bool {
+	if c.semRetired.Load() {
+		return false
+	}
 	e := c.semFallback.EpochHint()
 	if e == 0 || e != c.lastHint.Load() {
 		return false

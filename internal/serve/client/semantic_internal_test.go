@@ -1,0 +1,100 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"mobispatial/internal/core"
+	"mobispatial/internal/proto"
+)
+
+// fakeEpochFallback is an EpochFallback with a fixed build epoch that covers
+// everything — just enough surface to drive the freshness protocol directly.
+type fakeEpochFallback struct{ epoch uint64 }
+
+func (f *fakeEpochFallback) Covers(core.Query) bool { return true }
+func (f *fakeEpochFallback) Answer(core.Query, float64) ([]proto.Record, error) {
+	return nil, nil
+}
+func (f *fakeEpochFallback) EpochHint() uint64 { return f.epoch }
+
+func semClient(t *testing.T, epoch uint64) *Client {
+	t.Helper()
+	c, err := New(Config{
+		Addr: "127.0.0.1:1", Conns: 1,
+		Fallback:       &fakeEpochFallback{epoch: epoch},
+		SemanticCache:  true,
+		SemanticMaxAge: time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestNoteHintOutOfOrderCannotResurrect pins the retirement protocol against
+// reply reordering. Replies arrive out of order (retries, several pooled
+// connections), so after a hint proves a server-side write, a DELAYED reply
+// still carrying the shipment's build epoch may arrive — it must not bring
+// semanticFresh back: the write it predates still happened.
+func TestNoteHintOutOfOrderCannotResurrect(t *testing.T) {
+	const buildEpoch = 0x1111
+	const postWrite = 0x2222
+	c := semClient(t, buildEpoch)
+	q := core.Query{}
+
+	if c.semanticFresh(q) {
+		t.Fatal("fresh before any hint arrived")
+	}
+	c.noteHint(buildEpoch)
+	if !c.semanticFresh(q) {
+		t.Fatal("not fresh after the matching hint primed it")
+	}
+	c.noteHint(postWrite)
+	if c.semanticFresh(q) {
+		t.Fatal("fresh after a hint proved a server-side write")
+	}
+	// The delayed pre-write reply lands last.
+	c.noteHint(buildEpoch)
+	if c.semanticFresh(q) {
+		t.Fatal("delayed old-epoch reply resurrected a retired shipment")
+	}
+	if !c.semRetired.Load() {
+		t.Fatal("retirement latch not set")
+	}
+}
+
+// TestNoteHintRetirementBeforePriming covers the other interleaving: the
+// write-proving hint arrives before any matching hint ever primed the cache.
+// The later matching hint (a delayed pre-write reply) must not prime it.
+func TestNoteHintRetirementBeforePriming(t *testing.T) {
+	const buildEpoch = 0x1111
+	const postWrite = 0x2222
+	c := semClient(t, buildEpoch)
+	q := core.Query{}
+
+	c.noteHint(postWrite)
+	c.noteHint(buildEpoch)
+	if c.semanticFresh(q) {
+		t.Fatal("retired-before-primed shipment answered locally")
+	}
+}
+
+// TestNoteHintZeroIgnored: a 0 hint carries no information — it neither
+// primes nor retires.
+func TestNoteHintZeroIgnored(t *testing.T) {
+	const buildEpoch = 0x1111
+	c := semClient(t, buildEpoch)
+	q := core.Query{}
+
+	c.noteHint(0)
+	if c.semRetired.Load() {
+		t.Fatal("zero hint retired the shipment")
+	}
+	c.noteHint(buildEpoch)
+	c.noteHint(0)
+	if !c.semanticFresh(q) {
+		t.Fatal("zero hint disturbed a primed shipment")
+	}
+}

@@ -112,6 +112,26 @@ type SegResolver interface {
 	SegOf(id uint32) geom.Segment
 }
 
+// RangeReporter is the optional live-summary surface a mutable pool adds
+// (mutable.Pool implements it): per-shard version counters and current
+// bounds (the qcache.Source half), plus live item counts and the cluster
+// range → local shard mapping. A server whose pool reports ranges rebuilds
+// its MsgSummary reply from the live state on every request, so a router
+// polling summaries sees writes move the per-range (version, MBR, items)
+// instead of the frozen registration snapshot. Pools without it keep the
+// precomputed static summary.
+type RangeReporter interface {
+	qcache.Source
+	// LocalShard maps a cluster-wide range index to the pool's local shard
+	// index (-1 when the range is not held).
+	LocalShard(global int) int
+	// ShardItems returns the live object count of local shard i.
+	ShardItems(i int) int
+	// Len and Bounds are the pool-wide totals the summary header carries.
+	Len() int
+	Bounds() geom.Rect
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// Pool executes the queries; required. *parallel.Pool serves one
@@ -151,9 +171,13 @@ type Config struct {
 	// is set (every backend of one cluster must report the same value).
 	NumRanges int
 	// Cache enables the server-side query-result cache (internal/qcache);
-	// nil disables it. It is ignored when Pool is a DeadlineExecutor — a
-	// pool that fans out over the network has no local validity view to
-	// invalidate against. See cache.go for the hit/refine path.
+	// nil disables it. The pool must expose a validity view: a local pool
+	// always has one (its own shard versions when mutable, a frozen
+	// pseudo-shard otherwise), and a distributed pool (internal/router)
+	// qualifies by implementing qcache.Source over its cluster-wide
+	// per-range version vector. Setting Cache on a pool with no view is a
+	// configuration error New rejects — a cache that cannot be invalidated
+	// would serve stale answers silently. See cache.go for the hit path.
 	Cache *qcache.Cache
 
 	// testDelay, when set, stalls every query execution — tests use it to
@@ -231,14 +255,20 @@ type Server struct {
 	// geometry for ids the base dataset does not cover.
 	upd Updatable
 	sr  SegResolver
+	// rr is the optional live-summary surface: when the pool reports
+	// per-range state, MsgSummary replies are rebuilt live instead of
+	// served from the frozen registration snapshot.
+	rr RangeReporter
 	// summary is the precomputed MsgSummaryReq reply (ID filled per request;
-	// Ranges shared read-only across replies).
+	// Ranges shared read-only across replies, and used as the template the
+	// live rebuild fills when rr is set).
 	summary proto.SummaryMsg
 	// qc is the result cache (nil = caching off) and qsrc the validity view
 	// its entries are checked against. qsrc is resolved even without a
 	// cache: it also feeds the epoch hints stamped on replies, which the
-	// client's semantic cache validates shipped sub-indexes with. Both are
-	// nil for DeadlineExecutor pools.
+	// client's semantic cache validates shipped sub-indexes with. A
+	// DeadlineExecutor pool gets them only by implementing qcache.Source
+	// itself (the router's cluster version vector).
 	qc   *qcache.Cache
 	qsrc qcache.Source
 	// em prices cache hits: a hit saves roughly one mean miss execution,
@@ -405,27 +435,34 @@ func New(cfg Config) (*Server, error) {
 	s.bnn, _ = cfg.Pool.(BoundedNN)
 	s.upd, _ = cfg.Pool.(Updatable)
 	s.sr, _ = cfg.Pool.(SegResolver)
+	s.rr, _ = cfg.Pool.(RangeReporter)
 	s.em = obs.DefaultEnergyModel()
 	if cfg.Obs != nil {
 		s.em = cfg.Obs.Energy
 	}
-	if s.dx == nil {
-		// A local pool has a validity view: its own shard versions when it
-		// is mutable, or a single frozen pseudo-shard when it is not. A
-		// distributed pool (router) gets neither a cache nor epoch hints.
-		if src, ok := cfg.Pool.(qcache.Source); ok {
-			s.qsrc = src
-		} else {
-			rect := geom.Rect{
-				Min: geom.Point{X: math.Inf(-1), Y: math.Inf(-1)},
-				Max: geom.Point{X: math.Inf(1), Y: math.Inf(1)},
+	// Resolve the validity view. A pool that is its own qcache.Source (a
+	// mutable pool's shard versions, or the router's cluster-wide per-range
+	// version vector) supplies it directly; any other local pool gets a
+	// single frozen pseudo-shard. A distributed pool without a Source has
+	// no view at all — it can neither cache nor stamp epoch hints.
+	if src, ok := cfg.Pool.(qcache.Source); ok {
+		s.qsrc = src
+	} else if s.dx == nil {
+		rect := geom.Rect{
+			Min: geom.Point{X: math.Inf(-1), Y: math.Inf(-1)},
+			Max: geom.Point{X: math.Inf(1), Y: math.Inf(1)},
+		}
+		if b, ok := cfg.Pool.(interface{ Bounds() geom.Rect }); ok {
+			if bb := b.Bounds(); !bb.IsEmpty() {
+				rect = bb
 			}
-			if b, ok := cfg.Pool.(interface{ Bounds() geom.Rect }); ok {
-				if bb := b.Bounds(); !bb.IsEmpty() {
-					rect = bb
-				}
-			}
-			s.qsrc = qcache.Static{Rect: rect}
+		}
+		s.qsrc = qcache.Static{Rect: rect}
+	}
+	if cfg.Cache != nil {
+		if s.qsrc == nil {
+			return nil, fmt.Errorf(
+				"serve: Config.Cache set but pool %T has no validity view (qcache.Source) to invalidate against", cfg.Pool)
 		}
 		s.qc = cfg.Cache
 	}
@@ -469,13 +506,69 @@ func buildSummary(cfg *Config) (proto.SummaryMsg, error) {
 	return m, nil
 }
 
-// summaryReply builds one MsgSummary response: a shallow copy of the
-// precomputed summary with the request id filled in. The Ranges slice is
-// shared read-only across replies.
+// summaryReply builds one MsgSummary response. For a frozen pool it is a
+// shallow copy of the precomputed summary with the request id filled in (the
+// Ranges slice shared read-only across replies). When the pool reports live
+// range state, the reply is rebuilt from it — per-range version counters,
+// current MBRs, and live item counts — so a router's refresh poll observes
+// writes instead of the registration-time snapshot. The rebuild allocates a
+// fresh Ranges slice per request, which is fine: summaries flow only at
+// registration and on the refresh poll, a few per second at most.
 func (s *Server) summaryReply(id uint32) *proto.SummaryMsg {
 	m := s.summary
 	m.ID = id
+	if s.rr == nil {
+		return &m
+	}
+	ranges := make([]proto.RangeInfo, len(s.summary.Ranges))
+	copy(ranges, s.summary.Ranges)
+	if len(s.cfg.Ranges) == 0 {
+		// Monolithic deployment: one synthetic range covering the whole key
+		// space. Its version is the sum of the shard versions — monotone,
+		// and it advances exactly when any shard's visible state changes.
+		var ver uint64
+		for i := 0; i < s.rr.NumShards(); i++ {
+			ver += s.rr.Version(i)
+		}
+		n := s.rr.Len()
+		b := s.rr.Bounds()
+		ranges[0].Items = clampItems(n)
+		ranges[0].Version = ver
+		ranges[0].MBR = b
+		m.Items = uint64(n)
+		m.Bounds = b
+	} else {
+		bounds := geom.EmptyRect()
+		var total uint64
+		for i := range ranges {
+			li := s.rr.LocalShard(int(ranges[i].Index))
+			if li < 0 {
+				continue
+			}
+			n := s.rr.ShardItems(li)
+			mbr := s.rr.ShardBounds(li)
+			ranges[i].Items = clampItems(n)
+			ranges[i].Version = s.rr.Version(li)
+			ranges[i].MBR = mbr
+			total += uint64(n)
+			bounds = bounds.Union(mbr)
+		}
+		m.Items = total
+		m.Bounds = bounds
+	}
+	m.Ranges = ranges
 	return &m
+}
+
+// clampItems clamps a live item count into the wire's uint32 field.
+func clampItems(n int) uint32 {
+	if n < 0 {
+		return 0
+	}
+	if n > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(n)
 }
 
 // Stats returns a snapshot of the server counters.
@@ -1142,7 +1235,7 @@ func (s *Server) executeNN(m *proto.NNQueryMsg, sc *reqScratch, deadline time.Ti
 			// Only unbounded legs are cacheable: the router's running bound
 			// is not part of the key space, and a bounded answer is a
 			// truncation no later query could safely refine from.
-			ids, dists, code, text, handled := s.cachedNN(m.Point, k, sc)
+			ids, dists, code, text, handled := s.cachedNN(m.Point, k, sc, deadline)
 			if handled {
 				if code != 0 {
 					return &proto.ErrorMsg{ID: m.ID, Code: code, Text: text}
@@ -1204,7 +1297,7 @@ func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch, deadline time.T
 		fromCache bool
 	)
 	if s.qc != nil {
-		cids, csegs, code, text, handled := s.runQueryCached(q, sc)
+		cids, csegs, code, text, handled := s.runQueryCached(q, sc, deadline)
 		if handled {
 			if code != 0 {
 				return &proto.ErrorMsg{ID: q.ID, Code: code, Text: text}
@@ -1265,7 +1358,7 @@ func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch, deadline t
 			var csegs []geom.Segment
 			var code proto.ErrCode
 			var text string
-			if cids, csegs, code, text, handled = s.runQueryCached(q, sc); handled {
+			if cids, csegs, code, text, handled = s.runQueryCached(q, sc, deadline); handled {
 				switch {
 				case code != 0:
 					it.Err, it.Text = code, text

@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# cluster_smoke.sh — multi-process distributed-tier smoke: 3 partitioned
-# mqserve backends (R=2 rotation placement) + the mqrouter coordinator, with
-# a faultlink-scripted total outage of backend 2 in the middle of a
-# closed-loop mqload run through the router.
+# cluster_smoke.sh — multi-process distributed-tier smoke in two phases.
 #
-# Passes when the run completes with 0 client-visible errors, the breaker-
-# driven failover is visible in the router counters (failovers > 0), and no
-# query was unroutable. Build flags come from $RACE (default -race), so CI
-# exercises the whole fan-out path under the race detector.
+# Phase 1 (availability): 3 partitioned mqserve backends (R=2 rotation
+# placement) + the mqrouter coordinator, with a faultlink-scripted total
+# outage of backend 2 in the middle of a closed-loop mqload run through the
+# router. Passes when the run completes with 0 client-visible errors, the
+# breaker-driven failover is visible in the router counters (failovers > 0),
+# and no query was unroutable.
+#
+# Phase 2 (freshness): 3 MUTABLE backends + a router with live routing-table
+# refresh and the router-tier result cache, driven by the moving-vehicles
+# workload with -readback: every acked move is immediately read back through
+# the router, so vehicles crossing Hilbert range boundaries prove that
+# cluster reads see fresh writes. Passes when the run checks > 0 moves and
+# misses exactly 0 of them.
+#
+# Build flags come from $RACE (default -race), so CI exercises the whole
+# fan-out path under the race detector.
 #
 # The outage window is relative to the backend's *listen* time (mqserve
 # builds its dataset and index before arming the injector), so the schedule
@@ -20,6 +29,7 @@ RACE=${RACE--race}
 CONNS=${CONNS:-32}
 DURATION=${DURATION:-30s}
 OUTAGE=${OUTAGE:-10s+8s}
+MOVE_DURATION=${MOVE_DURATION:-10s}
 
 BIN=$(mktemp -d)
 LOG=$(mktemp -d)
@@ -78,3 +88,40 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "PASS: outage covered by replicas with zero client-visible errors"
+
+kill $(jobs -p) 2>/dev/null || true
+wait 2>/dev/null || true
+
+M0=7084 M1=7085 M2=7086 MR=7172
+
+echo "== phase 2: start 3 mutable backends (R=2)"
+"$BIN/mqserve" -addr 127.0.0.1:$M0 -partition 0/3 -replicas 2 -mutable >"$LOG/mbe0.log" 2>&1 &
+"$BIN/mqserve" -addr 127.0.0.1:$M1 -partition 1/3 -replicas 2 -mutable >"$LOG/mbe1.log" 2>&1 &
+"$BIN/mqserve" -addr 127.0.0.1:$M2 -partition 2/3 -replicas 2 -mutable >"$LOG/mbe2.log" 2>&1 &
+wait_for "$LOG/mbe0.log" "mutable backend 0"
+wait_for "$LOG/mbe1.log" "mutable backend 1"
+wait_for "$LOG/mbe2.log" "mutable backend 2"
+
+echo "== start router (live refresh + result cache)"
+"$BIN/mqrouter" -addr 127.0.0.1:$MR -refresh 50ms -qcache 32 \
+  -backends 127.0.0.1:$M0,127.0.0.1:$M1,127.0.0.1:$M2 >"$LOG/mrouter.log" 2>&1 &
+wait_for "$LOG/mrouter.log" "mutable-tier router"
+
+echo "== moving vehicles through the router with read-back ($MOVE_DURATION)"
+"$BIN/mqload" -addr 127.0.0.1:$MR -moving -readback -vehicles 16 -conns 8 \
+  -duration "$MOVE_DURATION" -warmup 1s -router | tee "$LOG/moving.log"
+
+checked=$(awk '$1 == "readback" {print $2; exit}' "$LOG/moving.log")
+missed=$(sed -n 's/.*read back, \([0-9]*\) missed.*/\1/p' "$LOG/moving.log" | head -1)
+werrs=$(awk '$1 == "errors" {print $2; exit}' "$LOG/moving.log")
+
+echo "== verdict: readback checked=$checked missed=$missed write-errors=$werrs"
+fail=0
+[ -n "$checked" ] && [ "$checked" -gt 0 ] || { echo "FAIL: no acked moves were read back"; fail=1; }
+[ "$missed" = "0" ] || { echo "FAIL: $missed acked moves invisible to reads (want 0: routing must track writes)"; fail=1; }
+[ "$werrs" = "0" ] || { echo "FAIL: $werrs write errors"; fail=1; }
+if [ "$fail" -ne 0 ]; then
+  echo "-- mutable router log tail --"; tail -5 "$LOG/mrouter.log"
+  exit 1
+fi
+echo "PASS: every acked move across the cluster was immediately readable"
