@@ -1,0 +1,235 @@
+// drift.go is the migrating-hotspot workload (-drift): the Zipf hotspot
+// cluster jumps to a new region of the map at every phase boundary, the
+// access pattern an adaptive server (-mqserve -adaptive) is built to chase.
+// Against a static partition the hot shard stays hot and its queue grows;
+// an adaptive backend splits the hot shard within a half-life or two and
+// the per-phase tail latency recovers. The report prints p50/p99 per phase
+// plus the server's repartition events (mutable_splits_total /
+// mutable_merges_total deltas) observed during each phase, so the
+// follow-the-heat behavior is visible directly in the run output.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobispatial/internal/dataset"
+	"mobispatial/internal/geom"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/serve/client"
+	"mobispatial/internal/shard"
+	"mobispatial/internal/stats"
+)
+
+type driftOpts struct {
+	dsName      string
+	conns       int
+	duration    time.Duration
+	warmup      time.Duration
+	qmix        mix
+	rangeW      float64
+	zipfS       float64
+	hotspots    int
+	phases      int
+	seed        int64
+	serverStats bool
+	routerMode  bool
+}
+
+// runDrift drives the phased workload: closed-loop workers sample query
+// points from the CURRENT phase's hotspot centers; the main goroutine
+// advances the phase on a fixed schedule and snapshots the server's
+// counters at every boundary.
+func runDrift(c *client.Client, o driftOpts) error {
+	var ds *dataset.Dataset
+	if o.dsName == "pa" {
+		ds = dataset.PA()
+	} else {
+		ds = dataset.NYC()
+	}
+
+	// Phase anchors sit at evenly spaced ranks of the Hilbert-ordered
+	// segment midpoints: each phase's centers are one spatially compact
+	// cluster (Hilbert locality), and consecutive phases land far apart in
+	// the exact key space the adaptive backend partitions on — so the heat
+	// provably moves between shards, not within one.
+	type keyed struct {
+		key uint64
+		pt  geom.Point
+	}
+	quant := shard.QuantizerFor(shard.BoundsOf(ds.Items()), 0)
+	pts := make([]keyed, ds.Len())
+	for i := range pts {
+		mid := ds.Segments[i].Midpoint()
+		pts[i] = keyed{quant.Value(mid.X, mid.Y), mid}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].key < pts[j].key })
+	centers := make([][]geom.Point, o.phases)
+	for p := range centers {
+		lo := (2*p+1)*len(pts)/(2*o.phases) - o.hotspots/2
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lo + o.hotspots
+		if hi > len(pts) {
+			hi = len(pts)
+			if lo = hi - o.hotspots; lo < 0 {
+				lo = 0
+			}
+		}
+		cs := make([]geom.Point, 0, hi-lo)
+		for _, kp := range pts[lo:hi] {
+			cs = append(cs, kp.pt)
+		}
+		centers[p] = cs
+	}
+
+	var (
+		phase     atomic.Int64
+		measuring atomic.Bool
+		stop      atomic.Bool
+		errs      atomic.Uint64
+		wg        sync.WaitGroup
+	)
+	// hists[w*phases+p] is worker w's latency record for phase p.
+	hists := make([]*stats.Histogram, o.conns*o.phases)
+	for i := range hists {
+		hists[i] = stats.NewLatencyHistogram()
+	}
+	const hotJitter = 64.0
+	for w := 0; w < o.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(w)))
+			zipf := rand.NewZipf(rng, o.zipfS, 1, uint64(o.hotspots-1))
+			for !stop.Load() {
+				ph := int(phase.Load())
+				cs := centers[ph]
+				k := int(zipf.Uint64())
+				if k >= len(cs) {
+					k = len(cs) - 1
+				}
+				pt := geom.Point{
+					X: cs[k].X + (rng.Float64()-0.5)*2*hotJitter,
+					Y: cs[k].Y + (rng.Float64()-0.5)*2*hotJitter,
+				}
+				var qerr error
+				start := time.Now()
+				switch o.qmix.pick(rng) {
+				case "point":
+					_, qerr = c.PointIDs(pt, 0)
+				case "range":
+					_, qerr = c.RangeIDs(geom.Rect{
+						Min: geom.Point{X: pt.X - o.rangeW, Y: pt.Y - o.rangeW},
+						Max: geom.Point{X: pt.X + o.rangeW, Y: pt.Y + o.rangeW},
+					})
+				case "nn":
+					_, qerr = c.Nearest(pt)
+				}
+				elapsed := time.Since(start)
+				if !measuring.Load() {
+					continue
+				}
+				if qerr != nil {
+					errs.Add(1)
+					continue
+				}
+				hists[w*o.phases+ph].Record(elapsed.Seconds())
+			}
+		}(w)
+	}
+
+	// Snapshot the server's counters at every phase boundary so repartition
+	// events (and anything else) can be attributed per phase. A failed
+	// snapshot leaves the slot empty and the report degrades gracefully.
+	snapAt := func() (obs.Snapshot, bool) {
+		msg, err := c.StatsSnapshot()
+		if err != nil {
+			return obs.Snapshot{}, false
+		}
+		return obs.SnapshotFromMsg(msg), true
+	}
+	snaps := make([]obs.Snapshot, o.phases+1)
+	snapOK := make([]bool, o.phases+1)
+
+	time.Sleep(o.warmup)
+	snaps[0], snapOK[0] = snapAt()
+	measuring.Store(true)
+	start := time.Now()
+	phaseLen := o.duration / time.Duration(o.phases)
+	for p := 0; p < o.phases; p++ {
+		phase.Store(int64(p))
+		time.Sleep(phaseLen)
+		snaps[p+1], snapOK[p+1] = snapAt()
+	}
+	measuring.Store(false)
+	measured := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	fmt.Printf("mqload: drift workload, %d phases x %v, zipf s=%.2f over %d centers/phase, mix %s\n",
+		o.phases, phaseLen.Round(time.Millisecond), o.zipfS, o.hotspots, mixString(o.qmix))
+	total := stats.NewLatencyHistogram()
+	for p := 0; p < o.phases; p++ {
+		ph := stats.NewLatencyHistogram()
+		for w := 0; w < o.conns; w++ {
+			if err := ph.Merge(hists[w*o.phases+p]); err != nil {
+				return err
+			}
+		}
+		if err := total.Merge(ph); err != nil {
+			return err
+		}
+		line := fmt.Sprintf("  phase %-2d  %7d queries (%.0f qps)  p50 %s  p99 %s",
+			p, ph.Count(), float64(ph.Count())/phaseLen.Seconds(), ms(ph.P(0.50)), ms(ph.P(0.99)))
+		if snapOK[p] && snapOK[p+1] {
+			splits := counterDelta(snaps[p], snaps[p+1], "mutable_splits_total")
+			merges := counterDelta(snaps[p], snaps[p+1], "mutable_merges_total")
+			if splits+merges > 0 || snapOK[0] {
+				line += fmt.Sprintf("  [%.0f splits, %.0f merges]", splits, merges)
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("  total     %d queries (%.0f qps), p50 %s p95 %s p99 %s, %d errors, %d retries\n",
+		total.Count(), float64(total.Count())/measured.Seconds(),
+		ms(total.P(0.50)), ms(total.P(0.95)), ms(total.P(0.99)), errs.Load(), c.Retries())
+	if snapOK[0] && snapOK[o.phases] {
+		fmt.Printf("  adaptive  %.0f splits, %.0f merges over the run\n",
+			counterDelta(snaps[0], snaps[o.phases], "mutable_splits_total"),
+			counterDelta(snaps[0], snaps[o.phases], "mutable_merges_total"))
+	}
+	printWireReport(c.WireStats(), c.Link().BandwidthBps, 1)
+	if o.routerMode && snapOK[0] && snapOK[o.phases] {
+		printRouterReport(snaps[0], snaps[o.phases])
+	}
+	if o.serverStats {
+		msg, err := c.StatsSnapshot()
+		if err != nil {
+			return fmt.Errorf("server stats: %w", err)
+		}
+		snap := obs.SnapshotFromMsg(msg)
+		if snapOK[0] {
+			printShardReport(snaps[0], snap)
+			printCacheReport(snaps[0], snap)
+		}
+		printServerStats(snap, msg.UptimeMicros)
+	}
+	return nil
+}
+
+func mixString(m mix) string {
+	s := ""
+	for i, k := range m.kinds {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%d", k, m.weights[i])
+	}
+	return s
+}

@@ -42,6 +42,13 @@
 //	-router      the target is an mqrouter coordinator: append its fan-out,
 //	             failover, and per-backend leg report (the workload itself
 //	             is unchanged — the router speaks the same protocol)
+//	-drift       migrating-hotspot workload: the Zipf hotspot cluster jumps
+//	             to a new region of the map each phase — the pattern an
+//	             adaptive server (mqserve -adaptive) chases by splitting hot
+//	             shards; the report prints p50/p99 and the server's
+//	             repartition events per phase (implies -zipf 1.5 if unset;
+//	             incompatible with -planner, -batch, and -moving)
+//	-phases      drift mode: hotspot phases across the run (default 4)
 //	-moving      moving-objects workload: vehicles drive shortest-path
 //	             routes on the road network derived from the dataset,
 //	             each step a MsgMove write, interleaved with reads near
@@ -164,6 +171,8 @@ func run(args []string) error {
 	fallback := fs.Bool("fallback", false, "arm the breaker and answer queries locally when the link fails")
 	serverStats := fs.Bool("serverstats", false, "print the server's metrics snapshot at the end")
 	routerMode := fs.Bool("router", false, "target is an mqrouter: print its fan-out/failover report at the end")
+	drift := fs.Bool("drift", false, "migrating-hotspot workload: the Zipf hotspot cluster jumps to a new region each phase")
+	phases := fs.Int("phases", 4, "drift mode: hotspot phases across the run")
 	moving := fs.Bool("moving", false, "moving-objects workload against a -mutable server")
 	vehicles := fs.Int("vehicles", 64, "moving mode: vehicle count")
 	readFrac := fs.Float64("readfrac", 1.0, "moving mode: mean reads per move")
@@ -174,7 +183,24 @@ func run(args []string) error {
 	if *moving && (*planner || *batch > 1) {
 		return fmt.Errorf("-moving is incompatible with -planner and -batch")
 	}
-	if *zipfS != 0 {
+	if *drift {
+		if *moving || *planner || *batch > 1 {
+			return fmt.Errorf("-drift is incompatible with -moving, -planner, and -batch")
+		}
+		if *zipfS == 0 {
+			*zipfS = 1.5 // a drifting hotspot is a Zipf hotspot by definition
+		}
+		if *zipfS <= 1 {
+			return fmt.Errorf("-drift needs zipf s > 1 (got %v)", *zipfS)
+		}
+		if *phases < 1 {
+			return fmt.Errorf("-phases must be >= 1")
+		}
+		if *hotspotN < 2 {
+			return fmt.Errorf("-hotspots must be >= 2 in drift mode")
+		}
+	}
+	if *zipfS != 0 && !*drift {
 		if *zipfS <= 1 {
 			return fmt.Errorf("-zipf needs s > 1 (got %v)", *zipfS)
 		}
@@ -260,6 +286,23 @@ func run(args []string) error {
 		// A faulted or fallback-armed run tolerates an unreachable server —
 		// demonstrating that is the point.
 		fmt.Printf("mqload: probe failed (%v) — continuing degraded\n", err)
+	}
+
+	if *drift {
+		return runDrift(c, driftOpts{
+			dsName:      *dsName,
+			conns:       *conns,
+			duration:    *duration,
+			warmup:      *warmup,
+			qmix:        qmix,
+			rangeW:      *rangeW,
+			zipfS:       *zipfS,
+			hotspots:    *hotspotN,
+			phases:      *phases,
+			seed:        *seed,
+			serverStats: *serverStats,
+			routerMode:  *routerMode,
+		})
 	}
 
 	if *moving {
@@ -518,6 +561,16 @@ func printRouterReport(pre, post obs.Snapshot) {
 		backends, gaugeValue(post, "router_ranges"), legErrs, failovers, unroutable)
 	if visited+pruned > 0 {
 		fmt.Printf("            nn legs: %.0f visited, %.0f pruned by the running bound\n", visited, pruned)
+	}
+	if batches := counterDelta(pre, post, "router_batches_total"); batches > 0 {
+		legs := counterDelta(pre, post, "router_batch_legs_total")
+		fmt.Printf("            batches: %.0f grouped (%.0f sub-queries), %.0f legs = %.2f legs/batch, %.0f fallbacks\n",
+			batches, counterDelta(pre, post, "router_batch_queries_total"),
+			legs, legs/batches, counterDelta(pre, post, "router_batch_fallback_total"))
+	}
+	if structural := counterDelta(pre, post, "router_refresh_structural_total"); structural > 0 {
+		fmt.Printf("            refreshes: %.0f structural (backend repartitioned) of %.0f total\n",
+			structural, counterDelta(pre, post, "router_refresh_total"))
 	}
 	for _, c := range post.Counters {
 		name, label, ok := splitLabeled(c.Name, "router_backend_legs_total")

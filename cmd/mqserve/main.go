@@ -27,6 +27,11 @@
 //	            overlaying a delta tree on the packed base and folding it
 //	            in with epoch-swapped compactions (monolithic or with
 //	            -partition; -shards sets the monolithic shard count)
+//	-adaptive   workload-adaptive repartitioning (with -mutable, monolithic
+//	            only): a background repartitioner tracks per-shard query
+//	            heat and splits hot shards / merges cold neighbors at their
+//	            median Hilbert key, publishing the new cuts through live
+//	            summaries so routers follow the workload
 //	-qcache     result-cache budget in MB (0 = caching off): hotspot query
 //	            results are cached under cell-snapped keys and invalidated
 //	            by shard version, so repeated nearby queries skip the index
@@ -84,6 +89,7 @@ func run(args []string) error {
 	partition := fs.String("partition", "", "i/N: cluster backend i of N Hilbert ranges (\"\" = whole dataset)")
 	replicas := fs.Int("replicas", 1, "R-way replication under rotation placement (with -partition)")
 	mut := fs.Bool("mutable", false, "updatable pool accepting live inserts/deletes/moves")
+	adaptive := fs.Bool("adaptive", false, "workload-adaptive shard repartitioning (with -mutable, monolithic only)")
 	qcacheMB := fs.Int("qcache", 0, "result-cache budget in MB (0 = off)")
 	qcell := fs.Float64("qcell", qcache.DefaultCellSize, "result-cache snapping grid pitch in map units")
 	fault := fs.String("fault", "", "faultlink profile injected on the listener (\"\" = none)")
@@ -114,6 +120,14 @@ func run(args []string) error {
 	var pool serve.Executor
 	var held []proto.RangeInfo
 	numRanges := 0
+	if *adaptive {
+		if !*mut {
+			return fmt.Errorf("-adaptive requires -mutable")
+		}
+		if *partition != "" {
+			return fmt.Errorf("-adaptive requires a monolithic pool (drop -partition); the repartitioner must own the whole key space")
+		}
+	}
 	if *partition != "" {
 		var err error
 		held, numRanges, pool, err = partitionPool(ds, *partition, *replicas, *shards, *workers, *mut, hub)
@@ -125,12 +139,20 @@ func run(args []string) error {
 		if n <= 0 {
 			n = 4
 		}
-		mp, err := mutable.NewFromDataset(ds, n, mutable.Config{Workers: *workers, Obs: hub})
+		mp, err := mutable.NewFromDataset(ds, n, mutable.Config{
+			Workers: *workers, Obs: hub,
+			Adaptive: mutable.AdaptiveConfig{Enabled: *adaptive},
+		})
 		if err != nil {
 			return err
 		}
 		defer mp.Close()
-		fmt.Printf("mqserve: mutable pool, %d updatable shards over %d segments\n", mp.NumShards(), mp.Len())
+		if *adaptive {
+			fmt.Printf("mqserve: adaptive mutable pool, %d updatable shards over %d segments (split/merge on query heat)\n",
+				mp.NumShards(), mp.Len())
+		} else {
+			fmt.Printf("mqserve: mutable pool, %d updatable shards over %d segments\n", mp.NumShards(), mp.Len())
+		}
 		pool = mp
 	} else if *shards > 0 {
 		sp, err := shard.New(ds, shard.Config{Shards: *shards, Workers: *workers, Obs: hub.Reg})

@@ -122,6 +122,12 @@ func render(w *os.File, addr string, c *client.Client, uptimeMicros uint64, snap
 	if line := mutableLine(snap); line != "" {
 		fmt.Fprintln(w, line)
 	}
+	// An adaptive server exports per-shard mutable_heat gauges and the
+	// repartition counters; older servers (or -adaptive off) export none
+	// and the line is absent — same graceful degradation.
+	if line := heatLine(snap, prev, haveDelta); line != "" {
+		fmt.Fprintln(w, line)
+	}
 	// A caching server exports qcache_* counters; older servers (or -qcache
 	// off) export none and the line is absent — same graceful degradation.
 	if line := cacheLine(snap, prev, dt, haveDelta); line != "" {
@@ -193,6 +199,51 @@ func mutableLine(snap obs.Snapshot) string {
 	}
 	return fmt.Sprintf("mutable — %d shards  max epoch %.0f  pending %.0f  max staleness %s",
 		shards, maxEpoch, pending, ms(maxStale))
+}
+
+// heatLine folds the adaptive-repartitioning telemetry into one line: total
+// and hottest per-shard EWMA query rate (mutable_heat gauges) plus split and
+// merge counts, with the last interval's repartition events when a baseline
+// exists. Returns "" when the server exports no heat at all — a frozen pool,
+// a non-adaptive mutable server, or a server predating the repartitioner.
+func heatLine(snap, prev obs.Snapshot, haveDelta bool) string {
+	n, total, hottest, hotIdx := 0, 0.0, 0.0, ""
+	for _, g := range snap.Gauges {
+		if rest, ok := strings.CutPrefix(g.Name, "mutable_heat{shard=\""); ok {
+			n++
+			total += g.Value
+			if g.Value >= hottest {
+				hottest = g.Value
+				hotIdx = strings.TrimSuffix(rest, "\"}")
+			}
+		}
+	}
+	var splits, merges, prevSplits, prevMerges uint64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "mutable_splits_total":
+			splits = c.Value
+		case "mutable_merges_total":
+			merges = c.Value
+		}
+	}
+	if n == 0 && splits == 0 && merges == 0 {
+		return ""
+	}
+	for _, c := range prev.Counters {
+		switch c.Name {
+		case "mutable_splits_total":
+			prevSplits = c.Value
+		case "mutable_merges_total":
+			prevMerges = c.Value
+		}
+	}
+	line := fmt.Sprintf("heat — %.0f q/s across %d shards  hottest shard %s (%.0f q/s)  %d splits  %d merges",
+		total, n, hotIdx, hottest, splits, merges)
+	if haveDelta && (splits > prevSplits || merges > prevMerges) {
+		line += fmt.Sprintf("  [+%d/+%d this interval]", splits-prevSplits, merges-prevMerges)
+	}
+	return line
 }
 
 // cacheLine folds the qcache_* counters into one result-cache summary line —

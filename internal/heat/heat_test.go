@@ -1,0 +1,96 @@
+package heat
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTouchAndDecay(t *testing.T) {
+	tr := New(4, 10)
+	for i := 0; i < 100; i++ {
+		tr.Touch(1)
+	}
+	tr.Decay(1.0)
+	if r := tr.Rate(1); r <= 0 || r > 100 {
+		t.Fatalf("rate(1) = %v, want in (0, 100]", r)
+	}
+	if r := tr.Rate(0); r != 0 {
+		t.Fatalf("rate(0) = %v, want 0", r)
+	}
+	// Idle decay: after many half-lives the rate approaches zero.
+	got := tr.Rate(1)
+	tr.Decay(100)
+	if r := tr.Rate(1); r >= got/2 {
+		t.Fatalf("rate(1) after idle decay = %v, want well below %v", r, got)
+	}
+}
+
+func TestHalfLife(t *testing.T) {
+	tr := New(1, 5)
+	tr.Seed(0, 100)
+	tr.Decay(5) // exactly one half-life with zero raw traffic
+	if r := tr.Rate(0); math.Abs(r-50) > 1e-9 {
+		t.Fatalf("rate after one half-life = %v, want 50", r)
+	}
+}
+
+func TestOutOfRangeSafe(t *testing.T) {
+	tr := New(2, 10)
+	tr.Touch(-1)
+	tr.Touch(2)
+	tr.Seed(99, 5)
+	if tr.Rate(-1) != 0 || tr.Rate(2) != 0 {
+		t.Fatal("out-of-range rate should be 0")
+	}
+	var nilTr *Tracker
+	nilTr.Touch(0) // must not panic
+	if nilTr.Rate(0) != 0 || nilTr.Total() != 0 {
+		t.Fatal("nil tracker should read as zero")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	tr := New(3, 10)
+	tr.Seed(0, 1)
+	tr.Seed(1, 2)
+	tr.Seed(2, 3)
+	if got := tr.Total(); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("total = %v, want 6", got)
+	}
+}
+
+func TestConcurrentTouch(t *testing.T) {
+	tr := New(8, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Touch(i % 8)
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.Decay(1)
+	var sum float64
+	for i := 0; i < 8; i++ {
+		sum += tr.Rate(i)
+	}
+	if sum <= 0 {
+		t.Fatal("expected positive total rate after concurrent touches")
+	}
+}
+
+func BenchmarkTouch(b *testing.B) {
+	tr := New(64, 10)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tr.Touch(i & 63)
+			i++
+		}
+	})
+}

@@ -30,14 +30,19 @@ import (
 // ForceCompact synchronously compacts every shard with a non-empty overlay.
 // Tests and benchmarks use it to pin the "fully folded" state.
 func (p *Pool) ForceCompact() {
-	for _, s := range p.shards {
+	for _, s := range p.topo.Load().shards {
 		s.compact()
 	}
 }
 
 // CompactShard synchronously compacts shard i; it reports whether a
-// compaction ran.
-func (p *Pool) CompactShard(i int) bool { return p.shards[i].compact() }
+// compaction ran. An index outside the current topology is a no-op.
+func (p *Pool) CompactShard(i int) bool {
+	if t := p.topo.Load(); i >= 0 && i < len(t.shards) {
+		return t.shards[i].compact()
+	}
+	return false
+}
 
 func (s *mshard) compact() bool {
 	f := s.freeze()
@@ -139,7 +144,10 @@ func (p *Pool) compactLoop() {
 			return
 		case <-t.C:
 			now := time.Now().UnixNano()
-			for _, s := range p.shards {
+			// Load the topology fresh each tick: a repartition may have
+			// swapped it, and retired shards need no compaction — their
+			// readers drain and the shards become garbage.
+			for _, s := range p.topo.Load().shards {
 				pend := int(s.pend.Load())
 				if pend == 0 {
 					continue
@@ -158,18 +166,34 @@ func (p *Pool) compactLoop() {
 	}
 }
 
-// updateGauges publishes per-shard epoch, pending-overlay, and staleness
-// gauges; the serving tier's generic stats snapshot carries them to mqtop
-// and mqload with no wire-format changes.
+// updateGauges publishes per-shard epoch, pending-overlay, staleness, and
+// heat gauges; the serving tier's generic stats snapshot carries them to
+// mqtop and mqload with no wire-format changes. Gauge rows beyond the
+// current shard count (left over from before a merge) publish zero.
 func (p *Pool) updateGauges() {
+	t := p.topo.Load()
+	t.heat.Fold()
+	epochG, pendG, staleG, heatG := p.m.shardGauges(len(t.shards))
+	if epochG == nil {
+		return
+	}
 	now := time.Now().UnixNano()
-	for i, s := range p.shards {
-		p.m.epochG[i].Set(float64(s.epoch.Load()))
-		p.m.pendG[i].Set(float64(s.pend.Load()))
+	for i := range epochG {
+		if i >= len(t.shards) {
+			epochG[i].Set(0)
+			pendG[i].Set(0)
+			staleG[i].Set(0)
+			heatG[i].Set(0)
+			continue
+		}
+		s := t.shards[i]
+		epochG[i].Set(float64(s.epoch.Load()))
+		pendG[i].Set(float64(s.pend.Load()))
 		stale := 0.0
 		if since := s.pendSince.Load(); since > 0 && now > since {
 			stale = float64(now-since) / float64(time.Second)
 		}
-		p.m.staleG[i].Set(stale)
+		staleG[i].Set(stale)
+		heatG[i].Set(t.heat.Rate(i))
 	}
 }

@@ -15,20 +15,37 @@
 // rebuild cost is batched into the compactor where it amortizes across
 // CompactThreshold updates.
 //
+// The shard layout itself is also mutable: the pool's cut table, shard set,
+// and ownership map live in one immutable topology value behind an atomic
+// pointer, and a background repartitioner (see repartition.go) splits hot
+// shards at their median Hilbert key and merges cold neighbors by building
+// replacement shards off to the side and swapping a new topology in — the
+// same freeze/rebuild/swap discipline compaction uses, so readers never
+// block on a repartition either.
+//
 // Consistency model: a Pool is linearizable per object id (writes to one id
 // are serialized by the pool's owner table; a read observes every write
 // acknowledged before the read began, because writers publish under the
 // shard write lock that readers with a non-empty overlay take in read mode,
 // and the empty-overlay fast path is only reachable after a compaction that
-// folded every acknowledged write). Epochs count compactions: an update ack
-// carries the owning shard's current base epoch E, meaning the write lives
-// in the overlay above base E and will be folded into base E+1 or later —
-// the distance between a replica's acked epoch and its current epoch is the
-// staleness the stats surface reports.
+// folded every acknowledged write). A topology swap preserves this: the
+// retired shards keep their contents (the repartitioner copies, never moves,
+// the live overlay into the replacement shards), so a reader still holding
+// the old topology keeps observing every acknowledged write until it drops
+// the snapshot. Multi-shard scans are not snapshot-isolated — a write
+// concurrent with the scan may or may not be observed — but each answer
+// contains an id at most once: writers signal cross-shard transfers through
+// a pool-wide counter and a scan that raced one dedups its answer before
+// returning it (read.go). Epochs count compactions: an update ack carries the owning
+// shard's current base epoch E, meaning the write lives in the overlay above
+// base E and will be folded into base E+1 or later — the distance between a
+// replica's acked epoch and its current epoch is the staleness the stats
+// surface reports.
 package mutable
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,8 +53,10 @@ import (
 
 	"mobispatial/internal/dataset"
 	"mobispatial/internal/geom"
+	"mobispatial/internal/heat"
 	"mobispatial/internal/hilbert"
 	"mobispatial/internal/obs"
+	"mobispatial/internal/proto"
 	"mobispatial/internal/shard"
 )
 
@@ -104,6 +123,11 @@ type Config struct {
 	// negative disables the age trigger.
 	CompactMaxAge time.Duration
 
+	// Adaptive configures workload-adaptive repartitioning (split hot
+	// shards, merge cold neighbors). See AdaptiveConfig; the zero value
+	// leaves the topology static.
+	Adaptive AdaptiveConfig
+
 	// Obs receives mutable_* metrics; nil disables them.
 	Obs *obs.Hub
 }
@@ -121,6 +145,47 @@ func (c *Config) fill() {
 	if c.CompactMaxAge == 0 {
 		c.CompactMaxAge = time.Second
 	}
+	c.Adaptive.fill()
+}
+
+// versGenShift positions the topology generation in the high bits of every
+// reported shard version. Two different topologies may reuse a shard index
+// for different shards, and two different shards' raw write counters can
+// coincide — the generation prefix makes every version value from one
+// topology incomparable with every value from another, so the result cache's
+// (mask, version-vector) views can never falsely match across a repartition.
+// 48 bits leave room for ~2.8e14 writes per shard before the counter would
+// bleed into the generation, which a process will not live to see.
+const versGenShift = 48
+
+// topology is one immutable generation of the pool's shard layout: the
+// cluster-wide cut table, the global-range → local-shard mapping, the shard
+// set, and the per-shard heat tracker. Readers load it once per operation
+// through the pool's atomic pointer; the repartitioner publishes a fresh
+// value and never mutates a published one.
+type topology struct {
+	// gen counts repartitions; it prefixes every reported version.
+	gen uint64
+	// cuts are the cluster-wide Lo keys, ascending (shard.RangeForKey).
+	cuts []uint64
+	// local maps a cluster-wide range index to a shards index.
+	local map[int]int
+	// shards are the live shards, in local index order.
+	shards []*mshard
+	// heat tracks per-shard EWMA query rates; sized to shards.
+	heat *heat.Tracker
+	// ownsAll reports the pool owns every cluster range with an identity
+	// mapping — the precondition for repartitioning (a replica holding a
+	// subset cannot re-cut the cluster unilaterally).
+	ownsAll bool
+}
+
+// rangeHi returns global range g's inclusive Hi key under this cut table.
+func (t *topology) rangeHi(g int) uint64 {
+	if g+1 < len(t.cuts) {
+		return t.cuts[g+1] - 1
+	}
+	return math.MaxUint64
 }
 
 // Pool is an updatable sharded spatial index. It implements the serving
@@ -132,24 +197,44 @@ type Pool struct {
 	ds  *dataset.Dataset
 	q   *hilbert.Quantizer
 
-	cuts   []uint64
-	local  map[int]int // cluster-wide range index -> shards index
-	shards []*mshard
+	topo atomic.Pointer[topology]
+
+	// liSeq hands out unique lock-ordering ids for new shards (mshard.li).
+	liSeq atomic.Int64
 
 	// omu guards ownerOf and serializes the ownership decision of every
 	// write (the shard locks a write needs are acquired, in ascending
-	// shard order, before omu is released — so shard contents can never
-	// disagree with the owner table).
+	// li order, before omu is released — so shard contents can never
+	// disagree with the owner table). Topology swaps also happen under
+	// omu, so a writer always resolves ownership against the topology it
+	// will still be current when the shard locks are taken.
 	omu     sync.Mutex
-	ownerOf map[uint32]int32 // live object id -> shards index
-	// counts[i] is the number of live objects shard i owns — the per-range
-	// item count live registration summaries report. Mutated only under
-	// omu (at the same sites ownerOf changes), read lock-free.
-	counts []atomic.Int64
+	ownerOf map[uint32]*mshard // live object id -> owning shard
 
 	nnPool sync.Pool // *nnState
 
-	m poolMetrics
+	m *poolMetrics
+
+	splits, merges atomic.Uint64
+
+	// xfers counts cross-shard transfers: any write that makes an id's
+	// visible copy leave one shard while the id lands in (or is deleted
+	// ahead of a re-insert into) another. Writers bump it after the
+	// removal is visible and before the insert is — so a multi-shard scan
+	// that observes the counter unchanged across its walk is guaranteed
+	// not to contain the same id twice, and a scan that raced a transfer
+	// dedups its answer in place (see read.go). Same-shard updates, the
+	// moving-object hot path, never touch it.
+	xfers atomic.Uint64
+
+	// xferRing records WHICH ids transferred. Slot i%len holds
+	// (i+1)<<32 | id for transfer i (the tag is the counter value the
+	// bump published, so a reader can tell a slot that lags the counter
+	// or has been lapped from the entry it wants). A scan that raced a
+	// few transfers scrubs just those ids from its answer instead of
+	// sort-deduping the whole thing; any tag mismatch or burst larger
+	// than the ring falls back to the full sort (see noteXfer/read.go).
+	xferRing [xferRingSize]atomic.Uint64
 
 	stopc     chan struct{}
 	wg        sync.WaitGroup
@@ -182,14 +267,16 @@ func New(cfg Config) (*Pool, error) {
 		cfg:     cfg,
 		ds:      cfg.Dataset,
 		q:       shard.QuantizerFor(cfg.Bounds, cfg.Order),
-		cuts:    cfg.Cuts,
-		local:   make(map[int]int, len(cfg.Ranges)),
-		ownerOf: make(map[uint32]int32),
+		ownerOf: make(map[uint32]*mshard),
 		stopc:   make(chan struct{}),
 	}
 	p.nnPool.New = func() any { return newNNState(p) }
-	p.m = newPoolMetrics(cfg.Obs, len(cfg.Ranges))
+	p.m = newPoolMetrics(cfg.Obs)
 
+	t := &topology{
+		cuts:  cfg.Cuts,
+		local: make(map[int]int, len(cfg.Ranges)),
+	}
 	for i, r := range cfg.Ranges {
 		g := i
 		if cfg.GlobalIndex != nil {
@@ -201,29 +288,51 @@ func New(cfg Config) (*Pool, error) {
 		if g < 0 || g >= len(cfg.Cuts) {
 			return nil, fmt.Errorf("mutable: range %d has global index %d outside cuts", i, g)
 		}
-		if _, dup := p.local[g]; dup {
+		if _, dup := t.local[g]; dup {
 			return nil, fmt.Errorf("mutable: global range %d held twice", g)
 		}
-		p.local[g] = i
-		s, err := newMShard(p, i, r.Items)
+		t.local[g] = i
+		s, err := newMShard(p, int(p.liSeq.Add(1)-1), r.Items)
 		if err != nil {
 			return nil, err
 		}
-		p.shards = append(p.shards, s)
+		t.shards = append(t.shards, s)
 		for _, it := range r.Items {
-			p.ownerOf[it.ID] = int32(i)
+			p.ownerOf[it.ID] = s
 		}
+		s.count.Store(int64(len(r.Items)))
 	}
-	p.counts = make([]atomic.Int64, len(p.shards))
-	for _, li := range p.ownerOf {
-		p.counts[li].Add(1)
+	t.heat = heat.New(len(t.shards), cfg.Adaptive.HalfLifeSeconds)
+	t.ownsAll = topologyOwnsAll(t)
+	if cfg.Adaptive.Enabled && !t.ownsAll {
+		return nil, fmt.Errorf("mutable: adaptive repartitioning requires a pool owning every cluster range (got %d of %d)",
+			len(t.shards), len(t.cuts))
 	}
+	p.topo.Store(t)
 
 	if cfg.CompactInterval > 0 {
 		p.wg.Add(1)
 		go p.compactLoop()
 	}
+	if cfg.Adaptive.Enabled && cfg.Adaptive.Interval > 0 {
+		p.wg.Add(1)
+		go p.repartitionLoop()
+	}
 	return p, nil
+}
+
+// topologyOwnsAll reports whether t holds every cluster range under the
+// identity mapping — the shape repartitioning preserves and requires.
+func topologyOwnsAll(t *topology) bool {
+	if len(t.shards) != len(t.cuts) {
+		return false
+	}
+	for g := range t.cuts {
+		if li, ok := t.local[g]; !ok || li != g {
+			return false
+		}
+	}
+	return true
 }
 
 // NewFromDataset builds a monolithic updatable pool: the dataset is
@@ -250,7 +359,7 @@ func NewFromDataset(ds *dataset.Dataset, nShards int, cfg Config) (*Pool, error)
 	return New(cfg)
 }
 
-// Close stops the background compactor. Idempotent.
+// Close stops the background compactor and repartitioner. Idempotent.
 func (p *Pool) Close() {
 	p.closeOnce.Do(func() {
 		close(p.stopc)
@@ -264,8 +373,8 @@ func (p *Pool) Workers() int { return p.cfg.Workers }
 // Dataset returns the base dataset (canonical geometry of original ids).
 func (p *Pool) Dataset() *dataset.Dataset { return p.ds }
 
-// NumShards returns the local shard count.
-func (p *Pool) NumShards() int { return len(p.shards) }
+// NumShards returns the current local shard count.
+func (p *Pool) NumShards() int { return len(p.topo.Load().shards) }
 
 // Len returns the number of live objects the pool currently holds.
 func (p *Pool) Len() int {
@@ -279,41 +388,130 @@ func (p *Pool) Len() int {
 // geometry — the extent a registration summary should advertise.
 func (p *Pool) Bounds() geom.Rect {
 	out := geom.EmptyRect()
-	for _, s := range p.shards {
+	for _, s := range p.topo.Load().shards {
 		out = out.Union(s.boundsNow())
 	}
 	return out
 }
 
-// Epoch returns shard i's base epoch (number of compactions folded in).
-func (p *Pool) Epoch(i int) uint64 { return p.shards[i].epoch.Load() }
+// Epoch returns shard i's base epoch (number of compactions folded in), or 0
+// for an index outside the current topology (a caller may race a swap).
+func (p *Pool) Epoch(i int) uint64 {
+	if t := p.topo.Load(); i >= 0 && i < len(t.shards) {
+		return t.shards[i].epoch.Load()
+	}
+	return 0
+}
 
-// Pending returns shard i's overlay size (unfolded updates + tombstones).
-func (p *Pool) Pending(i int) int { return int(p.shards[i].pend.Load()) }
+// Pending returns shard i's overlay size (unfolded updates + tombstones), or
+// 0 for an index outside the current topology.
+func (p *Pool) Pending(i int) int {
+	if t := p.topo.Load(); i >= 0 && i < len(t.shards) {
+		return int(t.shards[i].pend.Load())
+	}
+	return 0
+}
 
 // Version returns shard i's monotone write-version counter — the result
 // cache's validity signal (qcache.Source). It advances under the shard
 // write lock, before the write is acknowledged, on every overlay mutation
-// and on every compaction epoch swap.
-func (p *Pool) Version(i int) uint64 { return p.shards[i].version.Load() }
+// and on every compaction epoch swap. The topology generation occupies the
+// high bits (versGenShift), so a version observed under one topology can
+// never equal a version observed under another — a repartition invalidates
+// every cached view wholesale, by construction rather than by protocol.
+func (p *Pool) Version(i int) uint64 {
+	t := p.topo.Load()
+	if i < 0 || i >= len(t.shards) {
+		return t.gen << versGenShift
+	}
+	return t.gen<<versGenShift | t.shards[i].version.Load()
+}
 
 // ShardBounds returns shard i's current extent (qcache.Source): base bounds
-// plus any overlay geometry, empty for a shard holding nothing.
-func (p *Pool) ShardBounds(i int) geom.Rect { return p.shards[i].boundsNow() }
+// plus any overlay geometry, empty for a shard holding nothing or an index
+// outside the current topology.
+func (p *Pool) ShardBounds(i int) geom.Rect {
+	if t := p.topo.Load(); i >= 0 && i < len(t.shards) {
+		return t.shards[i].boundsNow()
+	}
+	return geom.EmptyRect()
+}
 
 // ShardItems returns the number of live objects shard i currently owns —
 // the per-range item count a live registration summary reports.
-func (p *Pool) ShardItems(i int) int { return int(p.counts[i].Load()) }
+func (p *Pool) ShardItems(i int) int {
+	if t := p.topo.Load(); i >= 0 && i < len(t.shards) {
+		return int(t.shards[i].count.Load())
+	}
+	return 0
+}
+
+// ShardHeat returns shard i's EWMA query rate in queries per second, folding
+// any accumulated raw counts first.
+func (p *Pool) ShardHeat(i int) float64 {
+	t := p.topo.Load()
+	t.heat.Fold()
+	return t.heat.Rate(i)
+}
+
+// Gen returns the topology generation (the number of repartitions applied).
+func (p *Pool) Gen() uint64 { return p.topo.Load().gen }
+
+// Splits returns the number of shard splits applied.
+func (p *Pool) Splits() uint64 { return p.splits.Load() }
+
+// Merges returns the number of shard merges applied.
+func (p *Pool) Merges() uint64 { return p.merges.Load() }
 
 // LocalShard maps a cluster-wide range index to this pool's local shard
 // index, or -1 when the pool does not hold that range. The inverse of
 // Config.GlobalIndex, for callers (the serving layer's summary builder)
 // that enumerate ranges in cluster terms.
 func (p *Pool) LocalShard(global int) int {
-	if li, ok := p.local[global]; ok {
+	if li, ok := p.topo.Load().local[global]; ok {
 		return li
 	}
 	return -1
+}
+
+// LiveRangesEnabled reports whether this pool's range layout can change at
+// runtime (serve.LiveRangeSet): a server fronting an adaptive pool must
+// rebuild its summary's range table per request instead of patching a
+// fixed-length registration template.
+func (p *Pool) LiveRangesEnabled() bool { return p.cfg.Adaptive.Enabled }
+
+// SummaryRanges appends the pool's current per-range summary rows to dst and
+// returns the cluster-wide range count, all from one topology snapshot. Each
+// row carries the range's cut-table key span, live item count, generation-
+// prefixed version, current MBR, and EWMA heat.
+func (p *Pool) SummaryRanges(dst []proto.RangeInfo) ([]proto.RangeInfo, int) {
+	t := p.topo.Load()
+	t.heat.Fold()
+	for g := range t.cuts {
+		li, ok := t.local[g]
+		if !ok || li >= len(t.shards) {
+			continue
+		}
+		s := t.shards[li]
+		n := s.count.Load()
+		if n < 0 {
+			n = 0
+		}
+		items := uint32(math.MaxUint32)
+		if n < math.MaxUint32 {
+			items = uint32(n)
+		}
+		dst = append(dst, proto.RangeInfo{
+			Index:   uint32(g),
+			Items:   items,
+			Lo:      t.cuts[g],
+			Hi:      t.rangeHi(g),
+			Version: t.gen<<versGenShift | s.version.Load(),
+			MBR:     s.boundsNow(),
+			Heat:    t.heat.Rate(li),
+		})
+	}
+	return dst, len(t.cuts)
 }
 
 // SegOf returns the live geometry of id, falling back to the base dataset
@@ -322,7 +520,7 @@ func (p *Pool) LocalShard(global int) int {
 // sit at or above Dataset.Len(), where Dataset.Seg would be out of range.
 func (p *Pool) SegOf(id uint32) geom.Segment {
 	p.omu.Lock()
-	li, ok := p.ownerOf[id]
+	s, ok := p.ownerOf[id]
 	p.omu.Unlock()
 	if !ok {
 		if int(id) < p.ds.Len() {
@@ -330,7 +528,6 @@ func (p *Pool) SegOf(id uint32) geom.Segment {
 		}
 		return geom.Segment{}
 	}
-	s := p.shards[li]
 	if s.pend.Load() == 0 {
 		bv := s.base.Load()
 		if seg, ok := bv.over[id]; ok {

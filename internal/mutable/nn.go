@@ -60,7 +60,11 @@ func (p *Pool) NearestWith(pt geom.Point, sc *parallel.Scratch) parallel.Nearest
 	best := math.Inf(1)
 	var bestID uint32
 	found := false
-	for _, s := range p.shards {
+	t := p.topo.Load()
+	for i, s := range t.shards {
+		if s.base.Load().bounds.ContainsPoint(pt) {
+			t.heat.Touch(i)
+		}
 		s.nearestInto(st, nnsc, pt, &best, &bestID, &found)
 	}
 	st.clear()
@@ -118,12 +122,45 @@ func (p *Pool) KNearestAppend(dst []rtree.Neighbor, pt geom.Point, k int, sc *pa
 		nnsc = &sc.NN
 	}
 	nnsc.ResetKNN()
-	for _, s := range p.shards {
+	x0 := p.xfers.Load()
+	t := p.topo.Load()
+	from := len(dst)
+	for i, s := range t.shards {
+		if s.base.Load().bounds.ContainsPoint(pt) {
+			t.heat.Touch(i)
+		}
 		s.knnInto(st, nnsc, pt, k)
 	}
 	st.clear()
 	p.nnPool.Put(st)
-	return nnsc.DrainKNNAppend(dst), true
+	dst = nnsc.DrainKNNAppend(dst)
+	if len(t.shards) > 1 && p.xfers.Load() != x0 {
+		dst = dedupNeighbors(dst, from)
+	}
+	return dst, true
+}
+
+// dedupNeighbors drops repeated ids from dst[from:], keeping the nearest
+// (first) occurrence — the answer is already sorted by ascending distance.
+// Quadratic, but it runs only when a cross-shard transfer raced the scan and
+// k is small; the raced answer may then hold fewer than k neighbors, which
+// the executor contract allows (a pool smaller than k returns what it has).
+func dedupNeighbors(dst []rtree.Neighbor, from int) []rtree.Neighbor {
+	w := from
+	for i := from; i < len(dst); i++ {
+		dup := false
+		for j := from; j < w; j++ {
+			if dst[j].ID == dst[i].ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst[w] = dst[i]
+			w++
+		}
+	}
+	return dst[:w]
 }
 
 func (s *mshard) knnInto(st *nnState, nnsc *rtree.NNScratch, pt geom.Point, k int) {

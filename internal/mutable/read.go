@@ -1,6 +1,8 @@
 package mutable
 
 import (
+	"slices"
+
 	"mobispatial/internal/geom"
 	"mobispatial/internal/ops"
 )
@@ -13,12 +15,112 @@ import (
 // and the live delta, which is never masked. The merge allocates nothing
 // beyond the caller's dst growth: masks are map lookups and candidates are
 // compacted in place.
+//
+// Every query loads the topology once and walks that snapshot's shards, so
+// a concurrent repartition never changes the shard set mid-query; per
+// participating shard (base bounds touching the query geometry) it records
+// one heat sample — a single atomic add — which is what the repartitioner's
+// split/merge decisions feed on.
+//
+// A multi-shard scan can race a cross-shard transfer of one id — an object
+// moving over a cut, a delete followed by a re-insert elsewhere, or (with
+// the repartitioner on) a write landing in a live shard while the scan's
+// topology snapshot still shows a retired parent holding the old copy — and
+// observe the same id in two shards. Writers bump Pool.xfers between the
+// removal becoming visible and the insert becoming visible, so the scan
+// detects every such race by comparing the counter across its walk; only
+// a transferred id can appear twice (ownership keeps every other id in
+// exactly one shard at a time), so the scan reads the raced transfers'
+// ids out of Pool.xferRing and scrubs second occurrences of just those
+// from the appended answer. A burst that outruns the ring — or a slot
+// whose write is still in flight — falls back to sort-dedup of the whole
+// appended region. Every path allocates nothing; the warm path pays two
+// atomic loads.
+
+const (
+	// xferRingSize is the transfer ring capacity; see Pool.xferRing.
+	xferRingSize = 256
+	// maxXferScrub bounds how many raced transfers the per-id scrub
+	// handles before the O(answer * transfers) pass would cost more than
+	// the sort it replaces.
+	maxXferScrub = 16
+)
+
+// dedupAppended sorts dst[base:] and compacts duplicate ids in place.
+func dedupAppended(dst []uint32, base int) []uint32 {
+	tail := dst[base:]
+	if len(tail) < 2 {
+		return dst
+	}
+	slices.Sort(tail)
+	w := base + 1
+	for i := base + 1; i < len(dst); i++ {
+		if dst[i] != dst[w-1] {
+			dst[w] = dst[i]
+			w++
+		}
+	}
+	return dst[:w]
+}
+
+// dedupRaced resolves a multi-shard scan against the transfers that raced
+// it: with the counter unchanged the answer is clean, with a small burst it
+// scrubs the transferred ids read from the ring, and otherwise it sorts.
+func (p *Pool) dedupRaced(dst []uint32, from int, x0 uint64, nShards int) []uint32 {
+	if nShards <= 1 {
+		return dst
+	}
+	x1 := p.xfers.Load()
+	if x1 == x0 {
+		return dst
+	}
+	if x1-x0 > maxXferScrub {
+		return dedupAppended(dst, from)
+	}
+	var ids [maxXferScrub]uint32
+	n := 0
+	for x := x0 + 1; x <= x1; x++ {
+		e := p.xferRing[(x-1)%xferRingSize].Load()
+		if uint32(e>>32) != uint32(x) {
+			// Slot write still in flight, or lapped by a newer transfer.
+			return dedupAppended(dst, from)
+		}
+		ids[n] = uint32(e)
+		n++
+	}
+	var seen [maxXferScrub]bool
+	w := from
+	for i := from; i < len(dst); i++ {
+		id := dst[i]
+		dup := false
+		for j := 0; j < n; j++ {
+			if ids[j] == id {
+				if seen[j] {
+					dup = true
+				} else {
+					seen[j] = true
+				}
+				break
+			}
+		}
+		if !dup {
+			dst[w] = id
+			w++
+		}
+	}
+	return dst[:w]
+}
 
 // FilterRangeAppend appends the MBR-filter (candidate) answer of a window
 // query to dst.
 func (p *Pool) FilterRangeAppend(dst []uint32, w geom.Rect) []uint32 {
-	for _, s := range p.shards {
-		s := s
+	x0 := p.xfers.Load()
+	t := p.topo.Load()
+	from := len(dst)
+	for i, s := range t.shards {
+		if s.base.Load().bounds.Intersects(w) {
+			t.heat.Touch(i)
+		}
 		if s.pend.Load() == 0 {
 			dst = s.base.Load().tree.AppendSearch(dst, w, ops.Null{})
 			continue
@@ -27,13 +129,18 @@ func (p *Pool) FilterRangeAppend(dst []uint32, w geom.Rect) []uint32 {
 		dst = s.overlayRangeLocked(dst, w)
 		s.mu.RUnlock()
 	}
-	return dst
+	return p.dedupRaced(dst, from, x0, len(t.shards))
 }
 
 // FilterPointAppend appends the MBR-filter answer of a point query to dst.
 func (p *Pool) FilterPointAppend(dst []uint32, pt geom.Point) []uint32 {
-	for _, s := range p.shards {
-		s := s
+	x0 := p.xfers.Load()
+	t := p.topo.Load()
+	from := len(dst)
+	for i, s := range t.shards {
+		if s.base.Load().bounds.ContainsPoint(pt) {
+			t.heat.Touch(i)
+		}
 		if s.pend.Load() == 0 {
 			dst = s.base.Load().tree.AppendSearchPoint(dst, pt, ops.Null{})
 			continue
@@ -42,17 +149,22 @@ func (p *Pool) FilterPointAppend(dst []uint32, pt geom.Point) []uint32 {
 		dst = s.overlayPointLocked(dst, pt)
 		s.mu.RUnlock()
 	}
-	return dst
+	return p.dedupRaced(dst, from, x0, len(t.shards))
 }
 
 // RangeAppend appends the exact answer of a window query to dst: the
 // candidate set refined against live geometry, hits compacted in place over
 // the candidate region as in the read-only pool.
 func (p *Pool) RangeAppend(dst []uint32, w geom.Rect) []uint32 {
-	for _, s := range p.shards {
-		s := s
+	x0 := p.xfers.Load()
+	t := p.topo.Load()
+	from := len(dst)
+	for i, s := range t.shards {
 		if s.pend.Load() == 0 {
 			bv := s.base.Load()
+			if bv.bounds.Intersects(w) {
+				t.heat.Touch(i)
+			}
 			base := len(dst)
 			dst = bv.tree.AppendSearch(dst, w, ops.Null{})
 			hits := dst[:base]
@@ -66,6 +178,9 @@ func (p *Pool) RangeAppend(dst []uint32, w geom.Rect) []uint32 {
 		}
 		s.mu.RLock()
 		bv := s.base.Load()
+		if bv.bounds.Intersects(w) {
+			t.heat.Touch(i)
+		}
 		base := len(dst)
 		dst = s.overlayRangeLocked(dst, w)
 		hits := dst[:base]
@@ -77,15 +192,20 @@ func (p *Pool) RangeAppend(dst []uint32, w geom.Rect) []uint32 {
 		dst = hits
 		s.mu.RUnlock()
 	}
-	return dst
+	return p.dedupRaced(dst, from, x0, len(t.shards))
 }
 
 // PointAppend appends the exact answer of a point query to dst.
 func (p *Pool) PointAppend(dst []uint32, pt geom.Point, eps float64) []uint32 {
-	for _, s := range p.shards {
-		s := s
+	x0 := p.xfers.Load()
+	t := p.topo.Load()
+	from := len(dst)
+	for i, s := range t.shards {
 		if s.pend.Load() == 0 {
 			bv := s.base.Load()
+			if bv.bounds.ContainsPoint(pt) {
+				t.heat.Touch(i)
+			}
 			base := len(dst)
 			dst = bv.tree.AppendSearchPoint(dst, pt, ops.Null{})
 			hits := dst[:base]
@@ -99,6 +219,9 @@ func (p *Pool) PointAppend(dst []uint32, pt geom.Point, eps float64) []uint32 {
 		}
 		s.mu.RLock()
 		bv := s.base.Load()
+		if bv.bounds.ContainsPoint(pt) {
+			t.heat.Touch(i)
+		}
 		base := len(dst)
 		dst = s.overlayPointLocked(dst, pt)
 		hits := dst[:base]
@@ -110,7 +233,7 @@ func (p *Pool) PointAppend(dst []uint32, pt geom.Point, eps float64) []uint32 {
 		dst = hits
 		s.mu.RUnlock()
 	}
-	return dst
+	return p.dedupRaced(dst, from, x0, len(t.shards))
 }
 
 // overlayRangeLocked merges the three layers' window candidates into dst.

@@ -1,0 +1,54 @@
+package mutable
+
+import "fmt"
+
+// checkOwners enables an owner-table invariant check at every repartition
+// publish: after adopt, no ownerOf entry may point at a shard outside the
+// about-to-be-published set. The soak test flips it on; production leaves it
+// off and pays one branch per split/merge. The per-layer state dump in the
+// panic is deliberate — a violation here means a writer and a repartition
+// disagreed about where an id lives, and the layer bits are what localize
+// which freeze window the write slipped through.
+var checkOwners bool
+
+func ownerIDState(tag string, s *mshard, id uint32) string {
+	_, inOver := s.overSeg[id]
+	_, inTomb := s.tombs[id]
+	_, inHas := s.base.Load().has[id]
+	fOver, fTomb := false, false
+	if s.frozen != nil {
+		_, fOver = s.frozen.overSeg[id]
+		_, fTomb = s.frozen.tombs[id]
+	}
+	return fmt.Sprintf(" %s(li=%d over=%v tomb=%v has=%v fOver=%v fTomb=%v frozen=%v)",
+		tag, s.li, inOver, inTomb, inHas, fOver, fTomb, s.frozen != nil)
+}
+
+// verifyOwnersLocked panics if any ownerOf entry points outside
+// (t.shards \ retired) ∪ created. Caller holds p.omu and the shard locks of
+// every retired/created shard, immediately before storing the new topology.
+func verifyOwnersLocked(p *Pool, op string, t *topology, retired, created []*mshard) {
+	valid := make(map[*mshard]bool, len(t.shards)+len(created))
+	for _, s := range t.shards {
+		valid[s] = true
+	}
+	for _, s := range retired {
+		delete(valid, s)
+	}
+	for _, s := range created {
+		valid[s] = true
+	}
+	for id, sh := range p.ownerOf {
+		if !valid[sh] {
+			msg := fmt.Sprintf("%s gen %d->%d: ownerOf[%d] -> invalid shard li=%d;", op, t.gen, t.gen+1, id, sh.li)
+			msg += ownerIDState("owner", sh, id)
+			for i, s := range retired {
+				msg += ownerIDState(fmt.Sprintf("retired%d", i), s, id)
+			}
+			for i, s := range created {
+				msg += ownerIDState(fmt.Sprintf("new%d", i), s, id)
+			}
+			panic(msg)
+		}
+	}
+}

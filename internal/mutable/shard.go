@@ -67,7 +67,9 @@ func newDelta(nodeBytes int) (*dynrtree.Tree, error) {
 // are disjoint at each layer.
 type mshard struct {
 	pl *Pool
-	li int // index into pl.shards
+	// li is the shard's unique lock-ordering id (pool-monotone; after a
+	// repartition it no longer equals the shard's topology position).
+	li int
 
 	epoch atomic.Uint64
 	// version counts every visible-state change: it advances (under the
@@ -88,6 +90,10 @@ type mshard struct {
 	// (approximate across a compaction swap); 0 when the overlay is
 	// empty. Staleness gauges derive from it.
 	pendSince atomic.Int64
+	// count is the number of live objects this shard owns — the per-range
+	// item count live registration summaries report. Mutated only under
+	// the pool's omu (at the same sites ownerOf changes), read lock-free.
+	count atomic.Int64
 
 	mu      sync.RWMutex
 	delta   *dynrtree.Tree
@@ -302,9 +308,13 @@ func (p *Pool) applyUpsert(id uint32, seg geom.Segment) (uint64, bool, bool, err
 		return 0, false, false, err
 	}
 	key := shard.WriteKey(p.q, seg.MBR())
-	li, ownedHere := p.local[shard.RangeForKey(p.cuts, key)]
 
+	// Ownership resolves under omu: a topology swap also happens under
+	// omu, so the shard chosen here is still the owner when its lock is
+	// taken below — a writer can never land an object in a retired shard.
 	p.omu.Lock()
+	t := p.topo.Load()
+	li, ownedHere := t.local[shard.RangeForKey(t.cuts, key)]
 	old, hadOld := p.ownerOf[id]
 
 	if !ownedHere {
@@ -316,45 +326,55 @@ func (p *Pool) applyUpsert(id uint32, seg geom.Segment) (uint64, bool, bool, err
 			return 0, false, false, nil
 		}
 		delete(p.ownerOf, id)
-		p.counts[old].Add(-1)
-		sh := p.shards[old]
-		sh.mu.Lock()
+		old.count.Add(-1)
+		old.mu.Lock()
 		p.omu.Unlock()
-		existed := sh.removeLocked(id)
-		epoch := sh.epoch.Load()
-		sh.mu.Unlock()
+		existed := old.removeLocked(id)
+		epoch := old.epoch.Load()
+		old.mu.Unlock()
+		if existed {
+			// The id may re-enter through another shard later; signal the
+			// departure after it is visible and before this write acks, so
+			// a scan spanning the departure and a subsequent arrival sees
+			// the transfer counter move (see Pool.xfers).
+			p.noteXfer(id)
+		}
 		p.m.notOwned.Inc()
 		return epoch, existed, false, nil
 	}
 
-	target := p.shards[li]
-	p.ownerOf[id] = int32(li)
+	target := t.shards[li]
+	p.ownerOf[id] = target
 	if !hadOld {
-		p.counts[li].Add(1)
-	} else if int(old) != li {
-		p.counts[old].Add(-1)
-		p.counts[li].Add(1)
+		target.count.Add(1)
+	} else if old != target {
+		old.count.Add(-1)
+		target.count.Add(1)
 	}
 
-	if hadOld && int(old) != li {
+	if hadOld && old != target {
 		// Cross-shard move: drop the old copy and install the new one
-		// under both locks, acquired in ascending shard order while omu
+		// under both locks, acquired in ascending li order while omu
 		// still serializes us against every other write of any id.
-		oldSh := p.shards[old]
-		a, b := oldSh, target
+		a, b := old, target
 		if a.li > b.li {
 			a, b = b, a
 		}
 		a.mu.Lock()
 		b.mu.Lock()
 		p.omu.Unlock()
-		existed := oldSh.removeLocked(id)
+		existed := old.removeLocked(id)
 		if target.upsertLocked(id, seg) {
 			existed = true
 		}
 		epoch := target.epoch.Load()
-		b.mu.Unlock()
-		a.mu.Unlock()
+		// Unlock order is deliberate: the removal becomes visible first,
+		// the transfer counter moves, and only then does the new copy
+		// become visible — so any scan that can observe both copies is
+		// guaranteed to observe the counter change and dedup (Pool.xfers).
+		old.mu.Unlock()
+		p.noteXfer(id)
+		target.mu.Unlock()
 		return epoch, existed, true, nil
 	}
 
@@ -372,57 +392,95 @@ func (p *Pool) applyUpsert(id uint32, seg geom.Segment) (uint64, bool, bool, err
 // succeeds with existed=false.
 func (p *Pool) ApplyDelete(id uint32) (epoch uint64, existed, owned bool, err error) {
 	p.omu.Lock()
-	li, ok := p.ownerOf[id]
+	sh, ok := p.ownerOf[id]
 	if !ok {
 		p.omu.Unlock()
 		p.m.deletes.Inc()
 		return 0, false, false, nil
 	}
 	delete(p.ownerOf, id)
-	p.counts[li].Add(-1)
-	sh := p.shards[li]
+	sh.count.Add(-1)
 	sh.mu.Lock()
 	p.omu.Unlock()
 	existed = sh.removeLocked(id)
 	epoch = sh.epoch.Load()
 	sh.mu.Unlock()
+	if existed {
+		// A later insert may land the same id in a different shard; bump
+		// after the removal is visible and before this delete acks, so a
+		// scan spanning both events sees the counter move (Pool.xfers).
+		p.noteXfer(id)
+	}
 	p.m.deletes.Inc()
 	return epoch, existed, true, nil
+}
+
+// noteXfer publishes one cross-shard transfer: bump the counter, then tag
+// the ring slot with the counter value and the id. The order (counter
+// first) means a reader can briefly observe the counter ahead of the slot
+// write — it detects that by the tag mismatch and falls back to the full
+// sort-dedup, so the read fast path never waits on a writer.
+func (p *Pool) noteXfer(id uint32) {
+	x := p.xfers.Add(1)
+	p.xferRing[(x-1)%xferRingSize].Store(x<<32 | uint64(id))
 }
 
 // ---- metrics ----
 
 type poolMetrics struct {
+	hub         *obs.Hub
 	inserts     *obs.Counter
 	deletes     *obs.Counter
 	moves       *obs.Counter
 	notOwned    *obs.Counter
 	compactions *obs.Counter
 	compactErrs *obs.Counter
-	epochG      []*obs.Gauge
-	pendG       []*obs.Gauge
-	staleG      []*obs.Gauge
+	splits      *obs.Counter
+	merges      *obs.Counter
+
+	// Per-shard gauges are indexed by topology position and extended on
+	// demand: a split grows the shard count at runtime. gmu guards the
+	// slice growth (the compactor and the repartitioner both publish).
+	gmu    sync.Mutex
+	epochG []*obs.Gauge
+	pendG  []*obs.Gauge
+	staleG []*obs.Gauge
+	heatG  []*obs.Gauge
 }
 
-func newPoolMetrics(h *obs.Hub, nShards int) poolMetrics {
-	var m poolMetrics
-	m.epochG = make([]*obs.Gauge, nShards)
-	m.pendG = make([]*obs.Gauge, nShards)
-	m.staleG = make([]*obs.Gauge, nShards)
+func newPoolMetrics(h *obs.Hub) *poolMetrics {
+	m := &poolMetrics{}
 	if h == nil || h.Reg == nil {
 		return m // nil handles are no-ops
 	}
+	m.hub = h
 	m.inserts = h.Reg.Counter("mutable_inserts_total")
 	m.deletes = h.Reg.Counter("mutable_deletes_total")
 	m.moves = h.Reg.Counter("mutable_moves_total")
 	m.notOwned = h.Reg.Counter("mutable_not_owned_total")
 	m.compactions = h.Reg.Counter("mutable_compactions_total")
 	m.compactErrs = h.Reg.Counter("mutable_compact_errors_total")
-	for i := 0; i < nShards; i++ {
-		lbl := fmt.Sprintf("%d", i)
-		m.epochG[i] = h.Reg.Gauge(obs.Name("mutable_epoch", "shard", lbl))
-		m.pendG[i] = h.Reg.Gauge(obs.Name("mutable_pending", "shard", lbl))
-		m.staleG[i] = h.Reg.Gauge(obs.Name("mutable_staleness_seconds", "shard", lbl))
-	}
+	m.splits = h.Reg.Counter("mutable_splits_total")
+	m.merges = h.Reg.Counter("mutable_merges_total")
 	return m
+}
+
+// shardGauges returns every registered per-shard gauge row, extending the
+// registration to cover positions [0, n). The returned slices may be longer
+// than n (a merge shrank the topology); the publisher zeroes the tail so a
+// dead position does not freeze its last value in the snapshot.
+func (m *poolMetrics) shardGauges(n int) (epochG, pendG, staleG, heatG []*obs.Gauge) {
+	if m.hub == nil {
+		return nil, nil, nil, nil
+	}
+	m.gmu.Lock()
+	defer m.gmu.Unlock()
+	for i := len(m.epochG); i < n; i++ {
+		lbl := fmt.Sprintf("%d", i)
+		m.epochG = append(m.epochG, m.hub.Reg.Gauge(obs.Name("mutable_epoch", "shard", lbl)))
+		m.pendG = append(m.pendG, m.hub.Reg.Gauge(obs.Name("mutable_pending", "shard", lbl)))
+		m.staleG = append(m.staleG, m.hub.Reg.Gauge(obs.Name("mutable_staleness_seconds", "shard", lbl)))
+		m.heatG = append(m.heatG, m.hub.Reg.Gauge(obs.Name("mutable_heat", "shard", lbl)))
+	}
+	return m.epochG, m.pendG, m.staleG, m.heatG
 }

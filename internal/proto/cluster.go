@@ -189,6 +189,10 @@ type RangeInfo struct {
 	// 0 means the backend has no per-range version (a frozen pool).
 	Version uint64
 	MBR     geom.Rect
+	// Heat is the holder's EWMA query rate for this range in queries per
+	// second — adaptive-repartitioning telemetry. 0 means unreported (an
+	// older backend omits the field entirely; see decodePayload).
+	Heat float64
 }
 
 // SummaryMsg is a backend's partition summary. A monolithic (unpartitioned)
@@ -233,6 +237,9 @@ func (m *SummaryMsg) Validate() error {
 		if err := checkRect(r.MBR); err != nil {
 			return fmt.Errorf("proto: summary range %d: %w", i, err)
 		}
+		if math.IsNaN(r.Heat) || math.IsInf(r.Heat, 0) || r.Heat < 0 {
+			return fmt.Errorf("proto: summary range %d has bad heat %v", i, r.Heat)
+		}
 	}
 	return nil
 }
@@ -250,6 +257,7 @@ func (m *SummaryMsg) appendPayload(b []byte) []byte {
 		b = binaryAppendU64(b, r.Hi)
 		b = binaryAppendU64(b, r.Version)
 		b = appendRect(b, r.MBR)
+		b = appendF64(b, r.Heat)
 	}
 	return b
 }
@@ -261,21 +269,34 @@ func (m *SummaryMsg) decodePayload(b []byte) error {
 	m.Items = d.u64()
 	m.Bounds = d.rect()
 	n := int(d.u32())
-	const rangeBytes = 4 + 4 + 8 + 8 + 8 + 32
-	if d.err == nil && n*rangeBytes != len(d.b)-d.off {
-		return fmt.Errorf("proto: summary range count %d does not match %d payload bytes", n, len(d.b)-d.off)
+	// Two accepted range encodings: the original 64-byte row and the
+	// 72-byte row that appends the heat field. The row size is inferred
+	// from the payload length, so a new router reads an old backend's
+	// summary (heat zero) and vice versa.
+	const rangeBytesV1 = 4 + 4 + 8 + 8 + 8 + 32
+	const rangeBytesV2 = rangeBytesV1 + 8
+	rb, rest := rangeBytesV2, len(d.b)-d.off
+	if d.err == nil && n > 0 && n*rangeBytesV1 == rest {
+		rb = rangeBytesV1
+	}
+	if d.err == nil && n*rb != rest {
+		return fmt.Errorf("proto: summary range count %d does not match %d payload bytes", n, rest)
 	}
 	m.Ranges = m.Ranges[:0]
-	if d.err == nil && d.need(n*rangeBytes) {
+	if d.err == nil && d.need(n*rb) {
 		for i := 0; i < n; i++ {
-			m.Ranges = append(m.Ranges, RangeInfo{
+			r := RangeInfo{
 				Index:   d.u32(),
 				Items:   d.u32(),
 				Lo:      d.u64(),
 				Hi:      d.u64(),
 				Version: d.u64(),
 				MBR:     d.rect(),
-			})
+			}
+			if rb == rangeBytesV2 {
+				r.Heat = d.f64()
+			}
+			m.Ranges = append(m.Ranges, r)
 		}
 	}
 	return d.finish("summary")

@@ -1,0 +1,331 @@
+package router
+
+// batch_test.go pins the locality-aware batch path (batch.go): a client
+// batch through a router-fronted server must reach each owning backend as
+// ONE MsgBatchQuery leg (the wire-counter acceptance check), answer exactly
+// what the monolithic truth answers, survive a dead backend through the
+// per-item fallback, and — the adaptive half — the router must pick up a
+// backend's repartitioned cut table through its summary refresh without a
+// restart.
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"mobispatial/internal/geom"
+	"mobispatial/internal/mutable"
+	"mobispatial/internal/obs"
+	"mobispatial/internal/proto"
+	"mobispatial/internal/serve"
+	"mobispatial/internal/serve/client"
+	"mobispatial/internal/shard"
+)
+
+var _ serve.BatchExecutor = (*Router)(nil)
+
+// mixedBatch builds a batch of range/filter/point sub-queries spread over
+// the extent, led by one full-extent window so every backend owns work.
+func mixedBatch(rng *rand.Rand, extent geom.Rect, n int) []proto.QueryMsg {
+	qs := []proto.QueryMsg{{Kind: proto.KindRange, Mode: proto.ModeIDs, Window: extent}}
+	for len(qs) < n {
+		switch len(qs) % 3 {
+		case 0:
+			qs = append(qs, proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeIDs,
+				Window: randWindow(rng, extent, 0.02+0.2*rng.Float64())})
+		case 1:
+			qs = append(qs, proto.QueryMsg{Kind: proto.KindRange, Mode: proto.ModeFilter,
+				Window: randWindow(rng, extent, 0.02+0.2*rng.Float64())})
+		default:
+			qs = append(qs, proto.QueryMsg{Kind: proto.KindPoint, Mode: proto.ModeIDs, Eps: 25,
+				Point: geom.Point{
+					X: extent.Min.X + rng.Float64()*extent.Width(),
+					Y: extent.Min.Y + rng.Float64()*extent.Height(),
+				}})
+		}
+	}
+	return qs
+}
+
+// checkBatchItem verifies one sub-query's id answer against the monolithic
+// truth pool.
+func checkBatchItem(t *testing.T, pool interface {
+	RangeAppend([]uint32, geom.Rect) []uint32
+	FilterRangeAppend([]uint32, geom.Rect) []uint32
+	PointAppend([]uint32, geom.Point, float64) []uint32
+}, i int, q *proto.QueryMsg, got []uint32) {
+	t.Helper()
+	switch {
+	case q.Kind == proto.KindRange && q.Mode == proto.ModeFilter:
+		sameIDs(t, "batch filter", got, pool.FilterRangeAppend(nil, q.Window))
+	case q.Kind == proto.KindRange:
+		sameIDs(t, "batch range", got, pool.RangeAppend(nil, q.Window))
+	case q.Kind == proto.KindPoint:
+		sameIDs(t, "batch point", got, pool.PointAppend(nil, q.Point, q.Eps))
+	default:
+		t.Fatalf("item %d: unexpected kind %v", i, q.Kind)
+	}
+}
+
+// TestRouterBatchOneLegPerBackend is the acceptance wire-counter check: a
+// client batch into a router-fronted server must cost each owning backend
+// exactly ONE MsgBatchQuery, however many sub-queries it answers. R=1 makes
+// ownership deterministic, and the full-extent lead query forces every
+// backend to own work.
+func TestRouterBatchOneLegPerBackend(t *testing.T) {
+	ds := clusterDataset(t)
+	pool := truthPool(t, ds)
+	tc := startCluster(t, ds, 3, 1)
+	hub := obs.NewHub()
+	r := newRouter(t, tc, func(cfg *Config) { cfg.Obs = hub })
+
+	front, err := serve.New(serve.Config{Pool: r})
+	if err != nil {
+		t.Fatalf("front server: %v", err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go front.Serve(lis)
+	t.Cleanup(func() { front.Close() })
+	c, err := client.New(client.Config{Addr: lis.Addr().String(), Conns: 1})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	rng := rand.New(rand.NewSource(61))
+	qs := mixedBatch(rng, ds.Extent, 18)
+
+	before := make([]uint64, len(tc.servers))
+	for b, srv := range tc.servers {
+		before[b] = srv.Stats().Batches
+	}
+	res, err := c.QueryBatch(qs)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for b, srv := range tc.servers {
+		if got := srv.Stats().Batches - before[b]; got != 1 {
+			t.Fatalf("backend %d served %d batch legs for one %d-query client batch, want exactly 1",
+				b, got, len(qs))
+		}
+	}
+	for i := range qs {
+		if res[i].Err != nil {
+			t.Fatalf("item %d: %v", i, res[i].Err)
+		}
+		checkBatchItem(t, pool, i, &qs[i], res[i].IDs)
+	}
+	if v := hub.Reg.Counter("router_batches_total").Value(); v != 1 {
+		t.Fatalf("router_batches_total = %d, want 1", v)
+	}
+	if v := hub.Reg.Counter("router_batch_legs_total").Value(); v != uint64(len(tc.servers)) {
+		t.Fatalf("router_batch_legs_total = %d, want %d (one per backend)", v, len(tc.servers))
+	}
+	if v := hub.Reg.Counter("router_batch_fallback_total").Value(); v != 0 {
+		t.Fatalf("healthy cluster took %d batch fallbacks", v)
+	}
+}
+
+// TestRouterRunQueryBatchEquivalence drives the BatchExecutor surface
+// directly: mixed kinds and modes against an R=2 cluster (multi-holder
+// covers exercise the sorted-dedup stitch), NN sub-queries riding along,
+// and a slot the serve layer pre-rejected that must come back untouched.
+func TestRouterRunQueryBatchEquivalence(t *testing.T) {
+	ds := clusterDataset(t)
+	pool := truthPool(t, ds)
+	tc := startCluster(t, ds, 3, 2)
+	r := newRouter(t, tc, nil)
+
+	rng := rand.New(rand.NewSource(62))
+	for round := 0; round < 4; round++ {
+		qs := mixedBatch(rng, ds.Extent, 12)
+		nnPt := geom.Point{X: 40000 * rng.Float64(), Y: 40000 * rng.Float64()}
+		qs = append(qs, proto.QueryMsg{Kind: proto.KindNN, Mode: proto.ModeIDs, Point: nnPt, K: 5})
+		qs = append(qs, proto.QueryMsg{Kind: proto.KindNN, Mode: proto.ModeIDs, Point: nnPt, K: 4000})
+		items := make([]proto.BatchItem, len(qs))
+		rejected := len(qs) - 1 // the serve layer pre-rejects over-limit k
+		items[rejected].Err = proto.CodeBadRequest
+
+		r.RunQueryBatch(qs, items, time.Time{})
+
+		for i := range qs {
+			if i == rejected {
+				if items[i].Err != proto.CodeBadRequest || len(items[i].IDs) != 0 {
+					t.Fatalf("round %d: pre-rejected slot was touched: %+v", round, items[i])
+				}
+				continue
+			}
+			if items[i].Err != 0 {
+				t.Fatalf("round %d item %d: code %d (%s)", round, i, items[i].Err, items[i].Text)
+			}
+			if qs[i].Kind == proto.KindNN {
+				want, _ := pool.KNearestAppend(nil, qs[i].Point, int(qs[i].K), nil)
+				if len(items[i].IDs) != len(want) {
+					t.Fatalf("round %d nn: %d ids, want %d", round, len(items[i].IDs), len(want))
+				}
+				for j, id := range items[i].IDs {
+					if d := ds.Seg(id).DistToPoint(qs[i].Point); d != want[j].Dist {
+						t.Fatalf("round %d nn rank %d: id %d at dist %v, truth dist %v",
+							round, j, id, d, want[j].Dist)
+					}
+				}
+				continue
+			}
+			checkBatchItem(t, pool, i, &qs[i], items[i].IDs)
+		}
+	}
+}
+
+// TestRouterBatchFallbackOnDeadBackend kills one backend of an R=2 cluster:
+// every sub-query must still answer correctly (grouped legs into the corpse
+// fail, their sub-queries re-run through the per-item fan-out and its
+// failover), with the fallbacks visible in the router's counter.
+func TestRouterBatchFallbackOnDeadBackend(t *testing.T) {
+	ds := clusterDataset(t)
+	pool := truthPool(t, ds)
+	tc := startCluster(t, ds, 3, 2)
+	hub := obs.NewHub()
+	r := newRouter(t, tc, func(cfg *Config) {
+		cfg.Obs = hub
+		cfg.LegTimeout = 500 * time.Millisecond
+	})
+
+	tc.servers[1].Close()
+
+	rng := rand.New(rand.NewSource(63))
+	for round := 0; round < 8; round++ {
+		qs := mixedBatch(rng, ds.Extent, 10)
+		items := make([]proto.BatchItem, len(qs))
+		r.RunQueryBatch(qs, items, time.Time{})
+		for i := range qs {
+			if items[i].Err != 0 {
+				t.Fatalf("round %d item %d during outage: code %d (%s)",
+					round, i, items[i].Err, items[i].Text)
+			}
+			checkBatchItem(t, pool, i, &qs[i], items[i].IDs)
+		}
+	}
+	if v := hub.Reg.Counter("router_batch_fallback_total").Value(); v == 0 {
+		t.Fatal("no batch fallbacks recorded despite a dead backend")
+	}
+	if v := hub.Reg.Counter("router_unroutable_total").Value(); v != 0 {
+		t.Fatalf("%d sub-queries unroutable; R=2 must survive one backend", v)
+	}
+}
+
+// TestRouterPicksUpAdaptiveCuts closes the adaptive loop across the wire: a
+// backend pool splits a hot shard at runtime, and the router — registered
+// when the backend had ONE range — must learn the new cut table through its
+// summary refresh (a structural swap), grow its range view, and keep
+// answering exactly.
+func TestRouterPicksUpAdaptiveCuts(t *testing.T) {
+	ds := clusterDataset(t)
+	ranges, bounds := shard.PartitionHilbert(ds.Items(), 1, 0)
+	cuts := []uint64{ranges[0].Lo}
+	pool, err := mutable.New(mutable.Config{
+		Dataset:         ds,
+		Ranges:          ranges,
+		Cuts:            cuts,
+		GlobalIndex:     []int{0},
+		Bounds:          bounds,
+		CompactInterval: -1,
+		Adaptive: mutable.AdaptiveConfig{
+			Enabled:       true,
+			Interval:      -1, // ticks driven by hand below
+			MinShardItems: 8,
+			MaxShards:     8,
+		},
+	})
+	if err != nil {
+		t.Fatalf("adaptive pool: %v", err)
+	}
+	t.Cleanup(pool.Close)
+	infos := []proto.RangeInfo{{
+		Index: 0,
+		Items: uint32(len(ranges[0].Items)),
+		Lo:    ranges[0].Lo,
+		Hi:    ranges[0].Hi,
+		MBR:   ranges[0].MBR,
+	}}
+	srv, err := serve.New(serve.Config{Pool: pool, Ranges: infos, NumRanges: 1})
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	tc := &testCluster{ds: ds, ranges: ranges, addrs: []string{lis.Addr().String()}, servers: []*serve.Server{srv}}
+
+	hub := obs.NewHub()
+	r := newRouter(t, tc, func(cfg *Config) {
+		cfg.Obs = hub
+		cfg.RefreshInterval = 25 * time.Millisecond
+	})
+	if got := r.NumShards(); got != 1 {
+		t.Fatalf("NumShards = %d at registration, want 1", got)
+	}
+
+	// Heat the pool until the repartitioner splits (driven by hand so the
+	// test controls pacing; the EWMA fold needs wall time to see a rate).
+	rng := rand.New(rand.NewSource(64))
+	var buf []uint32
+	deadline := time.Now().Add(15 * time.Second)
+	for pool.Splits() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("repartitioner never split a 6000-item pool under sustained traffic")
+		}
+		for i := 0; i < 64; i++ {
+			buf = pool.FilterRangeAppend(buf[:0], randWindow(rng, ds.Extent, 0.05))
+		}
+		pool.RepartitionOnce()
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The refresh loop must pick the new cut table up as a structural swap.
+	deadline = time.Now().Add(10 * time.Second)
+	for r.NumShards() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("router still sees %d ranges after the backend split (refresh stalled?)", r.NumShards())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := hub.Reg.Counter("router_refresh_structural_total").Value(); v == 0 {
+		t.Fatal("range set grew without a structural refresh being counted")
+	}
+	// The backend stamps its topology generation into the version high bits,
+	// so every post-split version the router reports reflects the new world.
+	if gen := r.Version(0) >> 48; gen == 0 {
+		t.Fatalf("range 0 version %#x carries no topology generation after a split", r.Version(0))
+	}
+
+	// The grown table must still route exactly.
+	for i := 0; i < 20; i++ {
+		w := randWindow(rng, ds.Extent, 0.02+0.2*rng.Float64())
+		got, err := r.RangeAppendUntil(nil, w, time.Time{})
+		if err != nil {
+			t.Fatalf("post-split range %d: %v", i, err)
+		}
+		sameIDs(t, "post-split range", got, pool.RangeAppend(nil, w))
+	}
+	pt := geom.Point{X: 40000 * rng.Float64(), Y: 40000 * rng.Float64()}
+	nbs, err := r.KNearestAppendUntil(nil, pt, 8, nil, time.Time{})
+	if err != nil {
+		t.Fatalf("post-split knn: %v", err)
+	}
+	want, _ := pool.KNearestAppend(nil, pt, 8, nil)
+	if len(nbs) != len(want) {
+		t.Fatalf("post-split knn: %d neighbors, want %d", len(nbs), len(want))
+	}
+	for i := range nbs {
+		if nbs[i].Dist != want[i].Dist {
+			t.Fatalf("post-split knn rank %d: dist %v, want %v", i, nbs[i].Dist, want[i].Dist)
+		}
+	}
+}

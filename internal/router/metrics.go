@@ -31,11 +31,25 @@ import (
 //	                                until the missing replicas recover
 //	router_write_unroutable_total   counter: writes no backend accepted
 //	                                (answered CodeUnavailable)
+//	router_batches_total            counter: client batches answered through
+//	                                the grouped (one-leg-per-backend) path
+//	router_batch_queries_total      counter: sub-queries inside those batches
+//	router_batch_legs_total         counter: grouped batch legs shipped —
+//	                                legs/batches is the locality win over
+//	                                the per-item fan-out
+//	router_batch_fallback_total     counter: sub-queries re-answered by the
+//	                                per-item fan-out after a grouped leg
+//	                                failed
 //	router_refresh_total            counter: routing-table refreshes swapped
 //	router_refresh_errors_total     counter: refresh polls that failed (an
 //	                                unreachable backend, an inconsistent
 //	                                summary set) — the table keeps serving
 //	                                its previous snapshot
+//	router_refresh_structural_total counter: refreshes that swapped in a
+//	                                STRUCTURALLY different table (an
+//	                                adaptive backend split or merged a
+//	                                range) — write sequences and growth
+//	                                restart against the new range set
 //	router_ranges_divergent         gauge: ranges whose holders disagreed on
 //	                                version or item count at the last
 //	                                refresh — replication lag in flight;
@@ -64,9 +78,15 @@ type routerMetrics struct {
 	writeDivergence *obs.Counter
 	writeUnroutable *obs.Counter
 
-	refreshes       *obs.Counter
-	refreshErrors   *obs.Counter
-	divergentRanges *obs.Gauge
+	batches        *obs.Counter
+	batchQueries   *obs.Counter
+	batchLegs      *obs.Counter
+	batchFallbacks *obs.Counter
+
+	refreshes           *obs.Counter
+	refreshErrors       *obs.Counter
+	structuralRefreshes *obs.Counter
+	divergentRanges     *obs.Gauge
 
 	beHealthy []*obs.Gauge
 	beLegs    []*obs.Counter
@@ -95,8 +115,13 @@ func newRouterMetrics(h *obs.Hub, backends []string) routerMetrics {
 	m.writeLegErrs = h.Reg.Counter("router_write_leg_errors_total")
 	m.writeDivergence = h.Reg.Counter("router_write_divergence_total")
 	m.writeUnroutable = h.Reg.Counter("router_write_unroutable_total")
+	m.batches = h.Reg.Counter("router_batches_total")
+	m.batchQueries = h.Reg.Counter("router_batch_queries_total")
+	m.batchLegs = h.Reg.Counter("router_batch_legs_total")
+	m.batchFallbacks = h.Reg.Counter("router_batch_fallback_total")
 	m.refreshes = h.Reg.Counter("router_refresh_total")
 	m.refreshErrors = h.Reg.Counter("router_refresh_errors_total")
+	m.structuralRefreshes = h.Reg.Counter("router_refresh_structural_total")
 	m.divergentRanges = h.Reg.Gauge("router_ranges_divergent")
 	for _, addr := range backends {
 		g := h.Reg.Gauge(obs.Name("router_backend_healthy", "backend", addr))

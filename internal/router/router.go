@@ -58,6 +58,7 @@ package router
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -179,10 +180,16 @@ type Router struct {
 	// provably covers the writes.
 	growth atomic.Pointer[growthState]
 	// wseq[r] counts writes this router has routed into range r — the
-	// cumulative half of the cluster version vector (never reset; the
-	// summary-reported half catches up across refreshes and the sum stays
-	// monotone).
-	wseq []atomic.Uint64
+	// cumulative half of the cluster version vector. The vector is held
+	// behind a pointer because a STRUCTURAL refresh (an adaptive backend
+	// split or merged a range, changing the range count or key cuts)
+	// replaces it wholesale: the old indices no longer mean anything. It
+	// never resets otherwise (the summary-reported half catches up across
+	// refreshes and the sum stays monotone); across a structural swap,
+	// monotonicity of Version is carried by the backends' generation-
+	// encoded range versions, which jump by far more than any dropped
+	// write count.
+	wseq atomic.Pointer[[]atomic.Uint64]
 	// rr rotates replica choice across queries — the read-spreading
 	// counter.
 	rr      atomic.Uint64
@@ -357,9 +364,22 @@ func (r *Router) register() error {
 	}
 	r.summaries = summaries
 	r.tbl.Store(&tbl)
-	r.wseq = make([]atomic.Uint64, tbl.numRanges)
+	seqs := make([]atomic.Uint64, tbl.numRanges)
+	r.wseq.Store(&seqs)
 	r.growth.Store(emptyGrowth(tbl.numRanges, len(r.clients)))
 	return nil
+}
+
+// wseqAt reads one write sequence, tolerating the transient skew between the
+// table snapshot and the sequence vector around a structural refresh: an
+// index beyond the current vector reads as zero (the fresh vector starts
+// there anyway).
+func (r *Router) wseqAt(i int) uint64 {
+	ws := *r.wseq.Load()
+	if i >= len(ws) {
+		return 0
+	}
+	return ws[i].Load()
 }
 
 // refreshLoop re-polls backend summaries and swaps the routing snapshot —
@@ -368,16 +388,28 @@ func (r *Router) register() error {
 // overlay drains back to exact backend-reported MBRs.
 func (r *Router) refreshLoop() {
 	defer r.probeWG.Done()
-	tick := time.NewTicker(r.cfg.RefreshInterval)
-	defer tick.Stop()
+	// Jittered sleeps (±20% of the interval) instead of a fixed ticker: a
+	// fleet of routers started together against the same backends would
+	// otherwise poll summaries in lockstep, hitting every backend with a
+	// synchronized burst each period. The jitter decorrelates them; one
+	// router's mean refresh period is unchanged.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	timer := time.NewTimer(jitterInterval(rng, r.cfg.RefreshInterval))
+	defer timer.Stop()
 	for {
 		select {
 		case <-r.stopc:
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
 		r.refreshOnce()
+		timer.Reset(jitterInterval(rng, r.cfg.RefreshInterval))
 	}
+}
+
+// jitterInterval spreads d uniformly over [0.8d, 1.2d].
+func jitterInterval(rng *rand.Rand, d time.Duration) time.Duration {
+	return d + time.Duration((rng.Float64()-0.5)*0.4*float64(d))
 }
 
 // refreshOnce polls one summary round and, if anything answered, swaps in a
@@ -390,9 +422,10 @@ func (r *Router) refreshLoop() {
 // is kept for the next round (conservative: a too-wide predicate only costs
 // an extra leg, a too-narrow one loses objects).
 func (r *Router) refreshOnce() {
-	before := make([]uint64, len(r.wseq))
-	for i := range r.wseq {
-		before[i] = r.wseq[i].Load()
+	ws := *r.wseq.Load()
+	before := make([]uint64, len(ws))
+	for i := range ws {
+		before[i] = ws[i].Load()
 	}
 	polled := false
 	for i, cc := range r.clients {
@@ -416,10 +449,51 @@ func (r *Router) refreshOnce() {
 		return
 	}
 	old := r.tbl.Load()
-	if tbl.numRanges != old.numRanges {
-		// A repartitioned cluster invalidates the write sequences and the
-		// growth overlay wholesale; re-registration is the only safe path.
-		r.metrics.refreshErrors.Inc()
+	if structuralChange(&tbl, old) {
+		// An adaptive backend repartitioned: the range count or the key
+		// cuts changed, so every per-range index — write sequences, growth
+		// rects, versions — refers to ranges that no longer exist. Swap in
+		// the new table with a fresh (zeroed) sequence vector. Version
+		// monotonicity survives the reset because adaptive backends encode
+		// their topology generation in the high bits of every range version
+		// (mutable's gen<<48), which dwarfs any dropped write count.
+		//
+		// Growth cannot be mapped range-to-range (the rects carry no keys),
+		// so the union of all old growth is applied to EVERY new range that
+		// had any: conservative — a too-wide predicate costs extra legs for
+		// one refresh interval, and the rects drain on the next refresh
+		// like any other growth.
+		r.wmu.Lock()
+		carry := geom.EmptyRect()
+		g := r.growth.Load()
+		for rg := range g.rect {
+			if r.wseqAt(rg) != before[rg] || !g.rect[rg].IsEmpty() {
+				carry = carry.Union(g.rect[rg])
+			}
+		}
+		ng := emptyGrowth(tbl.numRanges, len(r.clients))
+		if !carry.IsEmpty() {
+			for rg := range ng.rect {
+				ng.rect[rg] = carry
+			}
+			for b := range ng.be {
+				ng.be[b] = carry
+			}
+		}
+		r.tbl.Store(&tbl)
+		seqs := make([]atomic.Uint64, tbl.numRanges)
+		// Every new range starts one write up: the reset would otherwise
+		// leave Version momentarily equal for caches built against the
+		// carried growth; the bump forces every consumer to re-validate.
+		for i := range seqs {
+			seqs[i].Store(1)
+		}
+		r.wseq.Store(&seqs)
+		r.growth.Store(ng)
+		r.wmu.Unlock()
+		r.metrics.refreshes.Inc()
+		r.metrics.structuralRefreshes.Inc()
+		r.metrics.ranges.Set(float64(tbl.numRanges))
 		return
 	}
 	// Per-range versions must never go backwards (a cache entry stored
@@ -436,7 +510,7 @@ func (r *Router) refreshOnce() {
 	g := r.growth.Load()
 	ng := emptyGrowth(tbl.numRanges, len(r.clients))
 	for rg := range ng.rect {
-		if r.wseq[rg].Load() != before[rg] {
+		if r.wseqAt(rg) != before[rg] {
 			ng.rect[rg] = g.rect[rg]
 		}
 	}
@@ -460,6 +534,21 @@ func (r *Router) refreshOnce() {
 	r.metrics.divergentRanges.Set(float64(divergent))
 }
 
+// structuralChange reports whether two tables describe different range
+// structures — a different range count or different Hilbert key cuts. Same
+// structure with different MBRs/versions/items is an ordinary refresh.
+func structuralChange(a, b *table) bool {
+	if a.numRanges != b.numRanges {
+		return true
+	}
+	for i := range a.keyLo {
+		if a.keyLo[i] != b.keyLo[i] {
+			return true
+		}
+	}
+	return false
+}
+
 // snap returns the current routing snapshot. The returned table is
 // immutable; callers load it once and use it for the whole query so every
 // decision within the query sees one consistent assignment.
@@ -481,7 +570,7 @@ func (r *Router) NumShards() int { return r.snap().numRanges }
 // Spurious advances (a refresh catching up to writes wseq already counted)
 // only cost cache misses, never staleness.
 func (r *Router) Version(i int) uint64 {
-	return r.snap().version[i] + r.wseq[i].Load()
+	return r.snap().version[i] + r.wseqAt(i)
 }
 
 // ShardBounds implements qcache.Source: the range's summary MBR widened by
@@ -518,14 +607,30 @@ func (r *Router) noteWrite(t *table, mbr geom.Rect, target int, bumps ...int) {
 			rect: append([]geom.Rect(nil), old.rect...),
 			be:   append([]geom.Rect(nil), old.be...),
 		}
-		ng.rect[target] = ng.rect[target].Union(mbr)
-		for _, b := range t.holders[target] {
-			ng.be[b] = ng.be[b].Union(mbr)
+		if cur := r.tbl.Load(); cur != t && structuralChange(t, cur) {
+			// A structural refresh swapped the range set while this write
+			// was in flight: the writer's target index describes a key span
+			// that no longer exists. Widen every range instead —
+			// conservative (extra legs for one interval), never a hole.
+			for rg := range ng.rect {
+				ng.rect[rg] = ng.rect[rg].Union(mbr)
+			}
+			for b := range ng.be {
+				ng.be[b] = ng.be[b].Union(mbr)
+			}
+		} else {
+			ng.rect[target] = ng.rect[target].Union(mbr)
+			for _, b := range t.holders[target] {
+				ng.be[b] = ng.be[b].Union(mbr)
+			}
 		}
 		r.growth.Store(ng)
 	}
+	ws := *r.wseq.Load()
 	for _, rg := range bumps {
-		r.wseq[rg].Add(1)
+		if rg < len(ws) { // a structural refresh may have shrunk the vector
+			ws[rg].Add(1)
+		}
 	}
 	r.wmu.Unlock()
 }
@@ -534,8 +639,9 @@ func (r *Router) noteWrite(t *table, mbr geom.Rect, target int, bumps ...int) {
 // position is unknown and the ranges it touched cannot be narrowed down.
 func (r *Router) bumpAllRanges() {
 	r.wmu.Lock()
-	for i := range r.wseq {
-		r.wseq[i].Add(1)
+	ws := *r.wseq.Load()
+	for i := range ws {
+		ws[i].Add(1)
 	}
 	r.wmu.Unlock()
 }

@@ -152,8 +152,8 @@ type Client struct {
 	// construction, so there is no reset path.
 	semRetired atomic.Bool
 	semHits    atomic.Uint64
-	semLocalJ   obs.Gauge // modeled Joules of semantic local answers
-	semSavedJ   obs.Gauge // modeled NIC Joules the avoided exchanges cost
+	semLocalJ  obs.Gauge // modeled Joules of semantic local answers
+	semSavedJ  obs.Gauge // modeled NIC Joules the avoided exchanges cost
 
 	hub     *obs.Hub
 	metrics clientMetrics

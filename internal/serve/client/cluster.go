@@ -106,6 +106,51 @@ func (c *Client) KNearestNeighborsAppendUntil(dst []proto.Neighbor, pt geom.Poin
 	return dst, fmt.Errorf("client: unexpected %v reply to nn leg", resp.Type())
 }
 
+// QueryBatchVisit sends one batch leg — a sub-slice of a client batch the
+// router grouped onto this backend — and visits each item's answer in order:
+// visit(i, ids, code, text), where i indexes qs. The ids slice aliases the
+// pooled reply and is valid only during the visit call; the caller appends
+// what it keeps. ID and TimeoutMicros fields of qs are managed here. Like
+// every cluster-side call, an exchange failure surfaces as an error (no
+// local fallback) so the router can fail over to replica holders.
+func (c *Client) QueryBatchVisit(qs []proto.QueryMsg, deadline time.Time, visit func(i int, ids []uint32, code proto.ErrCode, text string)) error {
+	if len(qs) == 0 {
+		return nil
+	}
+	if len(qs) > proto.MaxBatchQueries {
+		return fmt.Errorf("client: batch leg of %d exceeds wire limit %d", len(qs), proto.MaxBatchQueries)
+	}
+	req := proto.AcquireBatchQuery()
+	req.ID = c.id()
+	req.TimeoutMicros = c.microsUntil(deadline)
+	req.Queries = append(req.Queries[:0], qs...)
+	resp, err := c.exchange(req, deadline)
+	proto.ReleaseMessage(req)
+	c.wire.queries.Add(uint64(len(qs)))
+	c.metrics.batches.Inc()
+	c.metrics.batchQueries.Add(uint64(len(qs)))
+	if err != nil {
+		return err
+	}
+	switch r := resp.(type) {
+	case *proto.BatchReplyMsg:
+		if len(r.Items) != len(qs) {
+			n := len(r.Items)
+			proto.ReleaseMessage(r)
+			return fmt.Errorf("client: batch leg reply has %d items for %d queries", n, len(qs))
+		}
+		for i := range r.Items {
+			it := &r.Items[i]
+			visit(i, it.IDs, it.Err, it.Text)
+		}
+		proto.ReleaseMessage(r)
+		return nil
+	case *proto.ErrorMsg:
+		return r
+	}
+	return fmt.Errorf("client: unexpected %v reply to batch leg", resp.Type())
+}
+
 // Summary fetches the backend's partition summary — the router's
 // registration handshake. The reply is caller-owned (summaries are not
 // pooled; registration is rare).

@@ -132,6 +132,43 @@ type RangeReporter interface {
 	Bounds() geom.Rect
 }
 
+// LiveRangeSet is the optional surface an adaptive pool adds on top of
+// RangeReporter (a mutable pool with repartitioning enabled implements it):
+// the range LAYOUT itself — the cut table, not just per-range state — can
+// change at runtime, so MsgSummary replies must be rebuilt wholesale from
+// the pool's current topology instead of patching a fixed-length
+// registration template. LiveRangesEnabled gates the behavior: a pool that
+// implements the methods but reports false keeps the template path, so a
+// non-adaptive mutable pool serves summaries exactly as before.
+type LiveRangeSet interface {
+	LiveRangesEnabled() bool
+	// SummaryRanges appends the pool's current per-range summary rows
+	// (key span, items, version, MBR, heat) to dst and returns the
+	// cluster-wide range count.
+	SummaryRanges(dst []proto.RangeInfo) ([]proto.RangeInfo, int)
+}
+
+// HeatReporter is the optional per-shard query-heat surface (mutable.Pool
+// implements it): the EWMA query rate the adaptive repartitioner splits and
+// merges on, exported through summaries so routers and dashboards can watch
+// the workload move.
+type HeatReporter interface {
+	ShardHeat(i int) float64
+}
+
+// BatchExecutor is the optional batch-aware surface a distributed executor
+// adds (the Router implements it): one call answers every sub-query of a
+// MsgBatchQuery, letting the executor group sub-queries by owning backend
+// and issue one wire leg per backend instead of one full fan-out per
+// sub-query. items[i] answers qs[i]: the executor appends ids into the
+// slot's (already reset) IDs slice or sets Err/Text; slots arriving with
+// Err already set were rejected by the server and must be skipped. Record
+// materialization for data-mode queries stays with the server, so executors
+// always answer in id space.
+type BatchExecutor interface {
+	RunQueryBatch(qs []proto.QueryMsg, items []proto.BatchItem, deadline time.Time)
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// Pool executes the queries; required. *parallel.Pool serves one
@@ -259,6 +296,16 @@ type Server struct {
 	// per-range state, MsgSummary replies are rebuilt live instead of
 	// served from the frozen registration snapshot.
 	rr RangeReporter
+	// lrs is the optional live-range-SET surface: non-nil only when the
+	// pool's range layout can change at runtime (adaptive repartitioning),
+	// in which case summaries rebuild their whole range table per request.
+	lrs LiveRangeSet
+	// hr is the optional per-shard heat surface feeding summary heat.
+	hr HeatReporter
+	// bx is the optional batch-aware executor surface: batches route
+	// through it (one leg per owning backend) instead of the per-item
+	// loop whenever the result cache is off.
+	bx BatchExecutor
 	// summary is the precomputed MsgSummaryReq reply (ID filled per request;
 	// Ranges shared read-only across replies, and used as the template the
 	// live rebuild fills when rr is set).
@@ -436,6 +483,14 @@ func New(cfg Config) (*Server, error) {
 	s.upd, _ = cfg.Pool.(Updatable)
 	s.sr, _ = cfg.Pool.(SegResolver)
 	s.rr, _ = cfg.Pool.(RangeReporter)
+	if lrs, ok := cfg.Pool.(LiveRangeSet); ok && lrs.LiveRangesEnabled() {
+		if s.rr == nil {
+			return nil, fmt.Errorf("serve: pool %T reports live ranges without RangeReporter", cfg.Pool)
+		}
+		s.lrs = lrs
+	}
+	s.hr, _ = cfg.Pool.(HeatReporter)
+	s.bx, _ = cfg.Pool.(BatchExecutor)
 	s.em = obs.DefaultEnergyModel()
 	if cfg.Obs != nil {
 		s.em = cfg.Obs.Energy
@@ -520,6 +575,19 @@ func (s *Server) summaryReply(id uint32) *proto.SummaryMsg {
 	if s.rr == nil {
 		return &m
 	}
+	if s.lrs != nil {
+		// Adaptive pool: the cut table itself moves (splits and merges), so
+		// the whole range table — count included — rebuilds from the pool's
+		// current topology. A router polling summaries picks the new cuts up
+		// within one refresh interval.
+		ranges, num := s.lrs.SummaryRanges(make([]proto.RangeInfo, 0, len(s.summary.Ranges)+2))
+		n := s.rr.Len()
+		m.NumRanges = uint32(num)
+		m.Items = uint64(n)
+		m.Bounds = s.rr.Bounds()
+		m.Ranges = ranges
+		return &m
+	}
 	ranges := make([]proto.RangeInfo, len(s.summary.Ranges))
 	copy(ranges, s.summary.Ranges)
 	if len(s.cfg.Ranges) == 0 {
@@ -527,14 +595,19 @@ func (s *Server) summaryReply(id uint32) *proto.SummaryMsg {
 		// space. Its version is the sum of the shard versions — monotone,
 		// and it advances exactly when any shard's visible state changes.
 		var ver uint64
+		var heat float64
 		for i := 0; i < s.rr.NumShards(); i++ {
 			ver += s.rr.Version(i)
+			if s.hr != nil {
+				heat += s.hr.ShardHeat(i)
+			}
 		}
 		n := s.rr.Len()
 		b := s.rr.Bounds()
 		ranges[0].Items = clampItems(n)
 		ranges[0].Version = ver
 		ranges[0].MBR = b
+		ranges[0].Heat = heat
 		m.Items = uint64(n)
 		m.Bounds = b
 	} else {
@@ -550,6 +623,9 @@ func (s *Server) summaryReply(id uint32) *proto.SummaryMsg {
 			ranges[i].Items = clampItems(n)
 			ranges[i].Version = s.rr.Version(li)
 			ranges[i].MBR = mbr
+			if s.hr != nil {
+				ranges[i].Heat = s.hr.ShardHeat(li)
+			}
 			total += uint64(n)
 			bounds = bounds.Union(mbr)
 		}
@@ -1340,6 +1416,14 @@ func (s *Server) executeQuery(q *proto.QueryMsg, sc *reqScratch, deadline time.T
 // already-seen shape allocates nothing. Per-item failures (e.g. an over-limit
 // k mid-batch) become per-item errors; the rest of the batch still answers.
 func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch, deadline time.Time) proto.Message {
+	if s.bx != nil && s.qc == nil {
+		// Batch-aware pool (the router): hand the whole batch over so it
+		// issues one leg per owning backend instead of one fan-out per
+		// sub-query. With the result cache on, the per-item loop below is
+		// kept instead — the cache probes and fills per sub-query, and a
+		// hot batch answering mostly from cache beats a grouped fan-out.
+		return s.executeBatchGrouped(m, sc, deadline)
+	}
 	items := sc.batch.Items[:0]
 	for i := range m.Queries {
 		if i < cap(items) {
@@ -1393,6 +1477,54 @@ func (s *Server) executeBatch(m *proto.BatchQueryMsg, sc *reqScratch, deadline t
 			}
 		}
 		s.observeExecQuery(q, time.Since(start).Seconds())
+	}
+	sc.batch.ID = m.ID
+	sc.batch.Epoch = s.epochHint()
+	sc.batch.Items = items
+	s.nBatches.Add(1)
+	s.nBatchQueries.Add(uint64(len(m.Queries)))
+	s.metrics.batches.Inc()
+	s.metrics.batchQueries.Add(uint64(len(m.Queries)))
+	return &sc.batch
+}
+
+// executeBatchGrouped is the locality-aware batch path: the pool's
+// BatchExecutor answers every sub-query in id space (grouping them by owning
+// backend under the hood), then data-mode items materialize their records
+// here. Per-item k limits are enforced before the handoff; pre-set Err slots
+// are the executor's contract to skip.
+func (s *Server) executeBatchGrouped(m *proto.BatchQueryMsg, sc *reqScratch, deadline time.Time) proto.Message {
+	items := sc.batch.Items[:0]
+	for i := range m.Queries {
+		if i < cap(items) {
+			items = items[:i+1]
+		} else {
+			items = append(items, proto.BatchItem{})
+		}
+		it := &items[i]
+		it.IDs, it.Recs, it.Err, it.Text = it.IDs[:0], it.Recs[:0], 0, ""
+		if q := &m.Queries[i]; q.Kind == proto.KindNN && int(q.K) > s.cfg.MaxKNN {
+			it.Err = proto.CodeBadRequest
+			it.Text = fmt.Sprintf("k=%d exceeds limit %d", q.K, s.cfg.MaxKNN)
+		}
+	}
+	start := time.Now()
+	s.bx.RunQueryBatch(m.Queries, items, deadline)
+	var per float64
+	if len(m.Queries) > 0 {
+		per = time.Since(start).Seconds() / float64(len(m.Queries))
+	}
+	ds := s.cfg.Pool.Dataset()
+	for i := range m.Queries {
+		q := &m.Queries[i]
+		it := &items[i]
+		if it.Err == 0 && q.Mode == proto.ModeData {
+			for _, id := range it.IDs {
+				it.Recs = append(it.Recs, proto.Record{ID: id, Seg: s.segOf(ds, id)})
+			}
+			it.IDs = it.IDs[:0]
+		}
+		s.observeExecQuery(q, per)
 	}
 	sc.batch.ID = m.ID
 	sc.batch.Epoch = s.epochHint()
